@@ -1,0 +1,129 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "graph/degree_stats.h"
+
+namespace hsgf::bench {
+
+LabelledSample SampleNodesPerLabel(const graph::HetGraph& graph, int per_label,
+                                   util::Rng& rng,
+                                   double max_degree_percentile) {
+  const int degree_cap =
+      graph::DegreePercentile(graph, max_degree_percentile);
+  LabelledSample sample;
+  for (int l = 0; l < graph.num_labels(); ++l) {
+    std::vector<graph::NodeId> candidates;
+    for (graph::NodeId v : graph.NodesWithLabel(static_cast<graph::Label>(l))) {
+      if (graph.degree(v) > 0 && graph.degree(v) <= degree_cap) {
+        candidates.push_back(v);
+      }
+    }
+    rng.Shuffle(candidates);
+    int take = std::min<size_t>(per_label, candidates.size());
+    for (int i = 0; i < take; ++i) {
+      sample.nodes.push_back(candidates[i]);
+      sample.labels.push_back(l);
+    }
+  }
+  return sample;
+}
+
+ml::Matrix ComputeDeepWalk(const graph::HetGraph& graph,
+                           const std::vector<graph::NodeId>& nodes,
+                           const EmbeddingScale& scale, uint64_t seed) {
+  embed::DeepWalkOptions options;
+  options.walks_per_node = scale.walks_per_node;
+  options.walk_length = scale.walk_length;
+  options.sgns.dimensions = scale.dimensions;
+  options.sgns.window = scale.window;
+  options.seed = seed;
+  options.sgns.seed = seed + 101;
+  return embed::DeepWalkEmbeddings(graph, nodes, options);
+}
+
+ml::Matrix ComputeNode2Vec(const graph::HetGraph& graph,
+                           const std::vector<graph::NodeId>& nodes,
+                           const EmbeddingScale& scale, uint64_t seed) {
+  embed::Node2VecOptions options;
+  options.p = 1.0;  // paper defaults
+  options.q = 1.0;
+  options.walks_per_node = scale.walks_per_node;
+  options.walk_length = scale.walk_length;
+  options.sgns.dimensions = scale.dimensions;
+  options.sgns.window = scale.window;
+  options.seed = seed;
+  options.sgns.seed = seed + 103;
+  return embed::Node2VecEmbeddings(graph, nodes, options);
+}
+
+ml::Matrix ComputeLine(const graph::HetGraph& graph,
+                       const std::vector<graph::NodeId>& nodes,
+                       const EmbeddingScale& scale, uint64_t seed) {
+  embed::LineOptions options;
+  options.dimensions = scale.dimensions;
+  options.samples = scale.line_samples_per_edge *
+                    std::max<int64_t>(1, graph.num_edges());
+  options.seed = seed;
+  return embed::LineEmbeddings(graph, nodes, options);
+}
+
+double LabelPredictionTrial(const ml::Matrix& features,
+                            const std::vector<int>& labels, int num_classes,
+                            double train_fraction, util::Rng& rng) {
+  ml::Split split = ml::StratifiedSplit(labels, train_fraction, rng);
+  ml::StandardScaler scaler;
+  ml::Matrix train = features.SelectRows(split.train);
+  scaler.Fit(train);
+  train = scaler.Transform(train);
+  ml::Matrix test = scaler.Transform(features.SelectRows(split.test));
+
+  std::vector<int> y_train;
+  y_train.reserve(split.train.size());
+  for (int i : split.train) y_train.push_back(labels[i]);
+  std::vector<int> y_test;
+  y_test.reserve(split.test.size());
+  for (int i : split.test) y_test.push_back(labels[i]);
+
+  ml::LogisticRegression::Options options;
+  options.l2 = 1e-3;
+  options.max_iterations = 150;  // bench-scale budget
+  ml::OneVsRestLogistic classifier(options);
+  classifier.Fit(train, y_train);
+  std::vector<int> predictions = classifier.Predict(test);
+  return eval::EvaluateClassification(y_test, predictions, num_classes)
+      .macro_f1;
+}
+
+std::vector<double> LabelPredictionTrials(const ml::Matrix& features,
+                                          const std::vector<int>& labels,
+                                          int num_classes,
+                                          double train_fraction, int repeats,
+                                          uint64_t seed) {
+  std::vector<double> scores;
+  scores.reserve(repeats);
+  util::Rng rng(seed);
+  for (int r = 0; r < repeats; ++r) {
+    scores.push_back(LabelPredictionTrial(features, labels, num_classes,
+                                          train_fraction, rng));
+  }
+  return scores;
+}
+
+double FlagDouble(int argc, char** argv, const std::string& name,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+int FlagInt(int argc, char** argv, const std::string& name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace hsgf::bench

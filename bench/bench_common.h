@@ -1,0 +1,109 @@
+#ifndef HSGF_BENCH_BENCH_COMMON_H_
+#define HSGF_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries: node
+// sampling, the four feature families (subgraph, node2vec, DeepWalk, LINE),
+// and the logistic-regression label-prediction protocol of §4.3.
+//
+// Scale note: the embedding hyper-parameters here are scaled down from the
+// paper's defaults (d=128, r=10, l=80) so every bench finishes on a laptop
+// core; EXPERIMENTS.md documents the mapping. The *protocol* (sampling 250
+// nodes per label, masked start labels, one-vs-rest logistic regression,
+// Macro-F1) follows the paper.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "data/cooccurrence.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "embed/deepwalk.h"
+#include "embed/line.h"
+#include "embed/node2vec.h"
+#include "eval/classification.h"
+#include "graph/het_graph.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+#include "ml/preprocess.h"
+#include "util/rng.h"
+
+namespace hsgf::bench {
+
+// The three evaluation networks of §4.1, generated at the given scale.
+struct EvaluationNetwork {
+  std::string name;
+  graph::HetGraph graph;
+};
+
+inline std::vector<EvaluationNetwork> MakeEvaluationNetworks(double scale,
+                                                             uint64_t seed) {
+  std::vector<EvaluationNetwork> networks;
+  networks.push_back(
+      {"LOAD", data::MakeCooccurrenceNetwork(
+                   data::LoadCooccurrenceConfig(scale), seed + 1)});
+  networks.push_back({"IMDB", data::MakeNetwork(data::ImdbLikeSchema(scale),
+                                                seed + 2)});
+  networks.push_back({"MAG", data::MakeNetwork(data::MagLikeSchema(scale),
+                                               seed + 3)});
+  return networks;
+}
+
+// Samples up to `per_label` connected (degree >= 1) nodes of every label,
+// skipping nodes above the `max_degree_percentile` of the degree
+// distribution. The paper does the same: "prediction performance does not
+// decrease when we extract features only up to the 95% mark" (§4.3.5) —
+// hub start nodes are exempt from dmax and would dominate the runtime.
+struct LabelledSample {
+  std::vector<graph::NodeId> nodes;
+  std::vector<int> labels;
+};
+
+LabelledSample SampleNodesPerLabel(const graph::HetGraph& graph, int per_label,
+                                   util::Rng& rng,
+                                   double max_degree_percentile = 95.0);
+
+// Scaled-down embedding configurations (see header comment).
+struct EmbeddingScale {
+  int dimensions = 32;
+  int walks_per_node = 4;
+  int walk_length = 40;
+  int window = 5;
+  // LINE is trained with far more samples than the walk methods consume
+  // tokens, mirroring the paper's observation that it is the slowest (and
+  // strongest) embedding baseline.
+  int64_t line_samples_per_edge = 300;
+};
+
+ml::Matrix ComputeDeepWalk(const graph::HetGraph& graph,
+                           const std::vector<graph::NodeId>& nodes,
+                           const EmbeddingScale& scale, uint64_t seed);
+ml::Matrix ComputeNode2Vec(const graph::HetGraph& graph,
+                           const std::vector<graph::NodeId>& nodes,
+                           const EmbeddingScale& scale, uint64_t seed);
+ml::Matrix ComputeLine(const graph::HetGraph& graph,
+                       const std::vector<graph::NodeId>& nodes,
+                       const EmbeddingScale& scale, uint64_t seed);
+
+// One resampled label-prediction trial (§4.3.3): stratified train/test
+// split, standardize, one-vs-rest L2 logistic regression, Macro-F1.
+double LabelPredictionTrial(const ml::Matrix& features,
+                            const std::vector<int>& labels, int num_classes,
+                            double train_fraction, util::Rng& rng);
+
+// Repeats the trial `repeats` times, returning the Macro-F1 of each run.
+std::vector<double> LabelPredictionTrials(const ml::Matrix& features,
+                                          const std::vector<int>& labels,
+                                          int num_classes,
+                                          double train_fraction, int repeats,
+                                          uint64_t seed);
+
+// Minimal flag parsing for the bench binaries: `--name value` pairs.
+double FlagDouble(int argc, char** argv, const std::string& name,
+                  double fallback);
+int FlagInt(int argc, char** argv, const std::string& name, int fallback);
+
+}  // namespace hsgf::bench
+
+#endif  // HSGF_BENCH_BENCH_COMMON_H_

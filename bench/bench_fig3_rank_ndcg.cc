@@ -1,0 +1,309 @@
+// Reproduces Figure 3 and Table 1: NDCG@20 for institution rank prediction
+// per conference, across four regressors (linear regression, decision tree,
+// random forest, Bayesian ridge) and six feature families (classic,
+// subgraph, combined, node2vec, DeepWalk, LINE).
+//
+// Protocol (§4.2): for every target year, features are computed from the
+// history strictly before it; models train on target years up to 2014 and
+// predict institution relevance for 2015; NDCG@20 against the KDD-Cup-style
+// ground truth. Expected shape (paper): classic and subgraph features are
+// comparable and strong for random forest / Bayesian ridge; combined
+// features are the most stable; neural embeddings trail badly (LINE best
+// among them, occasionally competitive under random forests).
+//
+// Flags: --institutions (default 80), --papers (default 25),
+//        --emax (default 4; paper used 6), --trees (default 100; paper 300),
+//        --first-train-year (default 2010), --features (default 300).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/census.h"
+#include "core/feature_matrix.h"
+#include "data/classic_features.h"
+#include "data/publication_world.h"
+#include "eval/ndcg.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+#include "ml/bayesian_ridge.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_regression.h"
+#include "ml/preprocess.h"
+#include "ml/random_forest.h"
+
+namespace {
+
+using namespace hsgf;
+
+constexpr int kTestYear = 2015;
+constexpr int kHistoryYears = 3;
+
+struct YearBlock {
+  int target_year;
+  data::PublicationWorld::ConferenceGraph conference_graph;
+  data::ClassicFeatureSet classic;
+  std::vector<core::CensusResult> censuses;  // one per institution
+};
+
+// Builds the per-(institution, target-year) sample rows for one conference.
+struct ConferenceData {
+  std::vector<int> row_year;         // target year per row
+  std::vector<int> row_institution;  // institution per row
+  std::vector<double> target;        // relevance at the target year
+  std::map<std::string, ml::Matrix> features;  // family -> matrix
+};
+
+ConferenceData BuildConferenceData(const data::PublicationWorld& world,
+                                   int conference, int first_train_year,
+                                   int emax, int max_features) {
+  const int num_institutions = world.num_institutions();
+  std::vector<YearBlock> blocks;
+  for (int ty = first_train_year; ty <= kTestYear; ++ty) {
+    YearBlock block;
+    block.target_year = ty;
+    block.conference_graph = world.BuildConferenceGraph(conference, ty - 1);
+    block.classic =
+        data::BuildClassicFeatures(world, conference, ty, kHistoryYears);
+
+    core::CensusConfig census_config;
+    census_config.max_edges = emax;
+    census_config.keep_encodings = true;
+    core::CensusWorker worker(block.conference_graph.graph, census_config);
+    block.censuses.resize(num_institutions);
+    for (int i = 0; i < num_institutions; ++i) {
+      graph::NodeId node = block.conference_graph.institution_nodes[i];
+      if (node >= 0) worker.Run(node, block.censuses[i]);
+      // Absent institutions keep an empty census (all-zero feature row).
+    }
+    blocks.push_back(std::move(block));
+  }
+
+  ConferenceData result;
+  std::vector<core::CensusResult> all_censuses;
+  for (const YearBlock& block : blocks) {
+    for (int i = 0; i < num_institutions; ++i) {
+      result.row_year.push_back(block.target_year);
+      result.row_institution.push_back(i);
+      result.target.push_back(
+          world.Relevance(i, conference, block.target_year));
+      all_censuses.push_back(block.censuses[i]);
+    }
+  }
+
+  // Subgraph features: one vocabulary across all years of the conference
+  // (hashes are seed-stable, so identical encodings share columns).
+  core::FeatureBuildOptions build_options;
+  build_options.max_features = max_features;
+  core::FeatureSet subgraph_set =
+      core::BuildFeatureSet(all_censuses, build_options);
+
+  // Classic features (identical column layout across years by construction).
+  const int classic_cols = blocks.front().classic.matrix.cols();
+  ml::Matrix classic(static_cast<int>(result.target.size()), classic_cols);
+  {
+    int row = 0;
+    for (const YearBlock& block : blocks) {
+      for (int i = 0; i < num_institutions; ++i, ++row) {
+        for (int c = 0; c < classic_cols; ++c) {
+          classic(row, c) = block.classic.matrix(i, c);
+        }
+      }
+    }
+  }
+
+  // Embeddings per year graph, rows aligned with the sample rows.
+  bench::EmbeddingScale embed_scale;
+  auto embed_rows = [&](auto&& fn, uint64_t seed) {
+    ml::Matrix out(static_cast<int>(result.target.size()),
+                   embed_scale.dimensions);
+    int row = 0;
+    for (const YearBlock& block : blocks) {
+      // Embed only the mapped institution nodes of this year's graph.
+      std::vector<graph::NodeId> nodes;
+      std::vector<int> institution_of_node_row;
+      for (int i = 0; i < num_institutions; ++i) {
+        if (block.conference_graph.institution_nodes[i] >= 0) {
+          nodes.push_back(block.conference_graph.institution_nodes[i]);
+          institution_of_node_row.push_back(i);
+        }
+      }
+      ml::Matrix embedded = fn(block.conference_graph.graph, nodes,
+                               seed + block.target_year);
+      std::vector<int> node_row_of_institution(num_institutions, -1);
+      for (size_t k = 0; k < institution_of_node_row.size(); ++k) {
+        node_row_of_institution[institution_of_node_row[k]] =
+            static_cast<int>(k);
+      }
+      for (int i = 0; i < num_institutions; ++i, ++row) {
+        int source = node_row_of_institution[i];
+        if (source < 0) continue;  // zero row for absent institutions
+        for (int c = 0; c < embedded.cols(); ++c) {
+          out(row, c) = embedded(source, c);
+        }
+      }
+    }
+    return out;
+  };
+
+  result.features.emplace("Classic", std::move(classic));
+  result.features.emplace("Subgraph", subgraph_set.matrix);
+  result.features.emplace(
+      "Combined",
+      result.features.at("Classic").ConcatCols(subgraph_set.matrix));
+  result.features.emplace(
+      "node2vec",
+      embed_rows(
+          [&](const graph::HetGraph& g, const std::vector<graph::NodeId>& n,
+              uint64_t s) { return bench::ComputeNode2Vec(g, n, embed_scale, s); },
+          81));
+  result.features.emplace(
+      "DeepWalk",
+      embed_rows(
+          [&](const graph::HetGraph& g, const std::vector<graph::NodeId>& n,
+              uint64_t s) { return bench::ComputeDeepWalk(g, n, embed_scale, s); },
+          82));
+  result.features.emplace(
+      "LINE",
+      embed_rows(
+          [&](const graph::HetGraph& g, const std::vector<graph::NodeId>& n,
+              uint64_t s) { return bench::ComputeLine(g, n, embed_scale, s); },
+          83));
+  return result;
+}
+
+// Fits one regressor family and returns the NDCG@20 on the 2015 rows.
+double EvaluateRegressor(const std::string& regressor,
+                         const ml::Matrix& features,
+                         const ConferenceData& data, int trees) {
+  std::vector<int> train_rows;
+  std::vector<int> test_rows;
+  for (size_t r = 0; r < data.row_year.size(); ++r) {
+    (data.row_year[r] == kTestYear ? test_rows : train_rows)
+        .push_back(static_cast<int>(r));
+  }
+  ml::Matrix x_train = features.SelectRows(train_rows);
+  ml::Matrix x_test = features.SelectRows(test_rows);
+  std::vector<double> y_train;
+  for (int r : train_rows) y_train.push_back(data.target[r]);
+  std::vector<double> truth;
+  for (int r : test_rows) truth.push_back(data.target[r]);
+
+  std::vector<double> predicted;
+  if (regressor == "LinRegr" || regressor == "DecTree") {
+    // §4.2.3: these models get the top-5 features by univariate F score.
+    auto scores = ml::FRegressionScores(x_train, y_train);
+    auto top = ml::TopKIndices(scores, 5);
+    ml::Matrix x_train_sel = x_train.SelectCols(top);
+    ml::Matrix x_test_sel = x_test.SelectCols(top);
+    if (regressor == "LinRegr") {
+      ml::LinearRegression model;
+      model.Fit(x_train_sel, y_train);
+      predicted = model.Predict(x_test_sel);
+    } else {
+      ml::TreeOptions options;
+      options.min_samples_leaf = 2;
+      ml::DecisionTree model(ml::DecisionTree::Task::kRegression, options);
+      model.Fit(x_train_sel, y_train);
+      predicted = model.Predict(x_test_sel);
+    }
+  } else if (regressor == "BayRidge") {
+    // §4.2.3: Bayesian ridge on the top-60 features.
+    auto scores = ml::FRegressionScores(x_train, y_train);
+    auto top = ml::TopKIndices(scores, 60);
+    ml::BayesianRidge model;
+    model.Fit(x_train.SelectCols(top), y_train);
+    predicted = model.Predict(x_test.SelectCols(top));
+  } else {  // RanForest
+    ml::RandomForestRegressor::Options options;
+    options.num_trees = trees;
+    ml::RandomForestRegressor model(options);
+    model.Fit(x_train, y_train);
+    predicted = model.Predict(x_test);
+  }
+  return eval::Ndcg20(predicted, truth);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int institutions = bench::FlagInt(argc, argv, "--institutions", 80);
+  const int papers = bench::FlagInt(argc, argv, "--papers", 25);
+  const int emax = bench::FlagInt(argc, argv, "--emax", 4);
+  const int trees = bench::FlagInt(argc, argv, "--trees", 100);
+  const int first_train_year =
+      bench::FlagInt(argc, argv, "--first-train-year", 2010);
+  const int max_features = bench::FlagInt(argc, argv, "--features", 300);
+
+  data::WorldConfig world_config;
+  world_config.num_institutions = institutions;
+  world_config.mean_full_papers = papers;
+  world_config.mean_short_papers = papers / 2;
+  data::PublicationWorld world(world_config, 20180610);
+
+  std::printf("=== Figure 3 / Table 1: rank prediction NDCG@20 ===\n");
+  std::printf("(%d institutions, ~%d full papers/conf-year, emax=%d, %d "
+              "trees; train %d-2014, test 2015)\n\n",
+              institutions, papers, emax, trees, first_train_year);
+
+  const std::vector<std::string> families = {"Classic",  "Subgraph", "Combined",
+                                             "node2vec", "DeepWalk", "LINE"};
+  const std::vector<std::string> regressors = {"LinRegr", "DecTree",
+                                               "RanForest", "BayRidge"};
+
+  // ndcg[regressor][family][conference]
+  std::map<std::string, std::map<std::string, std::vector<double>>> ndcg;
+
+  for (int c = 0; c < world.num_conferences(); ++c) {
+    ConferenceData data =
+        BuildConferenceData(world, c, first_train_year, emax, max_features);
+    for (const std::string& regressor : regressors) {
+      for (const std::string& family : families) {
+        ndcg[regressor][family].push_back(
+            EvaluateRegressor(regressor, data.features.at(family), data,
+                              trees));
+      }
+    }
+    std::fprintf(stderr, "conference %s done\n",
+                 world.config().conference_names[c].c_str());
+  }
+
+  // Figure 3: one table per regressor, columns = conferences.
+  for (const std::string& regressor : regressors) {
+    std::printf("--- Figure 3 panel: %s ---\n", regressor.c_str());
+    std::vector<std::string> headers = {"feature"};
+    for (const auto& name : world.config().conference_names) {
+      headers.push_back(name);
+    }
+    eval::Table table(headers);
+    for (const std::string& family : families) {
+      std::vector<std::string> row = {family};
+      for (double value : ndcg[regressor][family]) {
+        row.push_back(eval::Table::Num(value));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // Table 1: average NDCG over conferences.
+  std::printf("--- Table 1: average NDCG over all conferences ---\n");
+  eval::Table table({"feature", "LinRegr", "DecTree", "RanForest", "BayRidge"});
+  for (const std::string& family : families) {
+    std::vector<std::string> row = {family};
+    for (const std::string& regressor : regressors) {
+      row.push_back(eval::Table::Num(eval::Mean(ndcg[regressor][family])));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Paper (Table 1):            LinRegr DecTree RanForest BayRidge\n");
+  std::printf("  classic   0.65 0.58 0.64 0.51\n");
+  std::printf("  subgraph  0.58 0.51 0.68 0.65\n");
+  std::printf("  combined  0.62 0.46 0.68 0.60\n");
+  std::printf("  node2vec  0.18 0.19 0.39 0.27\n");
+  std::printf("  DeepWalk  0.14 0.17 0.25 0.18\n");
+  std::printf("  LINE      0.17 0.23 0.56 0.23\n");
+  return 0;
+}

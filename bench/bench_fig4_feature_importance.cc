@@ -1,0 +1,99 @@
+// Reproduces Figure 4: the two most discriminative heterogeneous subgraph
+// features per conference for the rank-prediction task, ranked by random-
+// forest impurity-decrease importance, decoded back into human-readable
+// structures. The paper's qualitative finding: cross-institution
+// collaboration patterns (two authors of different institutions on one
+// paper) rank among the most discriminative subgraphs.
+//
+// Flags: --institutions (default 60), --papers (default 20),
+//        --emax (default 4), --trees (default 150).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/census.h"
+#include "core/encoding.h"
+#include "core/feature_matrix.h"
+#include "data/publication_world.h"
+#include "ml/random_forest.h"
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+  const int institutions = bench::FlagInt(argc, argv, "--institutions", 60);
+  const int papers = bench::FlagInt(argc, argv, "--papers", 20);
+  const int emax = bench::FlagInt(argc, argv, "--emax", 4);
+  const int trees = bench::FlagInt(argc, argv, "--trees", 150);
+
+  data::WorldConfig world_config;
+  world_config.num_institutions = institutions;
+  world_config.mean_full_papers = papers;
+  world_config.mean_short_papers = papers / 2;
+  data::PublicationWorld world(world_config, 20180611);
+
+  std::printf("=== Figure 4: most discriminative subgraphs per conference ===\n");
+  std::printf("(labels: I=institution, A=author, P=paper; encoding blocks are\n");
+  std::printf("'<label><#I-neighbours><#A-neighbours><#P-neighbours>')\n\n");
+
+  for (int c = 0; c < world.num_conferences(); ++c) {
+    // Subgraph features for target year 2015, census over the 2014 graph.
+    auto cg = world.BuildConferenceGraph(c, 2014);
+    core::CensusConfig census_config;
+    census_config.max_edges = emax;
+    census_config.keep_encodings = true;
+    core::CensusWorker worker(cg.graph, census_config);
+    std::vector<core::CensusResult> censuses(world.num_institutions());
+    std::vector<double> target(world.num_institutions());
+    for (int i = 0; i < world.num_institutions(); ++i) {
+      if (cg.institution_nodes[i] >= 0) {
+        worker.Run(cg.institution_nodes[i], censuses[i]);
+      }
+      target[i] = world.Relevance(i, c, 2015);
+    }
+    core::FeatureBuildOptions options;
+    options.max_features = 250;
+    core::FeatureSet features = core::BuildFeatureSet(censuses, options);
+
+    ml::RandomForestRegressor::Options forest_options;
+    forest_options.num_trees = trees;
+    ml::RandomForestRegressor forest(forest_options);
+    forest.Fit(features.matrix, target);
+    std::vector<double> importances = forest.FeatureImportances();
+
+    // Top-2 columns by importance.
+    std::vector<int> order(importances.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::partial_sort(order.begin(), order.begin() + 2, order.end(),
+                      [&](int a, int b) {
+                        return importances[a] > importances[b];
+                      });
+
+    std::printf("--- %s ---\n", world.config().conference_names[c].c_str());
+    for (int rank = 0; rank < 2 && rank < static_cast<int>(order.size());
+         ++rank) {
+      int column = order[rank];
+      uint64_t hash = features.feature_hashes[column];
+      auto it = features.encodings.find(hash);
+      std::printf("  #%d (importance %.3f): ", rank + 1, importances[column]);
+      if (it == features.encodings.end()) {
+        std::printf("<encoding unavailable>\n");
+        continue;
+      }
+      std::printf("%s\n",
+                  core::EncodingToString(it->second, cg.graph.num_labels(),
+                                         cg.graph.label_names())
+                      .c_str());
+      auto realized =
+          core::RealizeEncoding(it->second, cg.graph.num_labels());
+      if (realized.has_value()) {
+        std::printf("      structure: %s\n",
+                    realized->ToString(cg.graph.label_names()).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: subgraphs encoding cross-institution\n");
+  std::printf("collaboration (A-P-A with distinct I attachments) are among\n");
+  std::printf("the most discriminative features.\n");
+  return 0;
+}

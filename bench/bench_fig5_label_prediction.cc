@@ -1,0 +1,87 @@
+// Reproduces Figure 5 A-C: label-prediction Macro-F1 of subgraph features
+// vs node2vec / DeepWalk / LINE on the three evaluation networks, as a
+// function of training-set size (10%..90%), with confidence intervals over
+// resampled splits. Expected shape (paper): subgraph features win on every
+// network by a wide margin; LINE is the best embedding; node2vec beats
+// DeepWalk.
+//
+// Flags: --scale (default 0.5), --per-label (default 100),
+//        --repeats (default 10), --emax (default 5).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+  const double scale = bench::FlagDouble(argc, argv, "--scale", 0.5);
+  const int per_label = bench::FlagInt(argc, argv, "--per-label", 60);
+  const int repeats = bench::FlagInt(argc, argv, "--repeats", 6);
+  const int emax = bench::FlagInt(argc, argv, "--emax", 5);
+
+  std::printf("=== Figure 5 A-C: Macro-F1 vs training size ===\n");
+  std::printf("(emax=%d, dmax at 90%%, %d nodes/label, %d resamples, "
+              "scale=%.2f)\n\n",
+              emax, per_label, repeats, scale);
+
+  auto networks = bench::MakeEvaluationNetworks(scale, 1234);
+  bench::EmbeddingScale embed_scale;
+  const double train_sizes[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  for (const auto& network : networks) {
+    util::Rng rng(500 + network.graph.num_nodes());
+    bench::LabelledSample sample =
+        bench::SampleNodesPerLabel(network.graph, per_label, rng);
+    const int num_classes = network.graph.num_labels();
+
+    // Feature matrices for all four feature families.
+    core::ExtractorConfig config;
+    config.census.max_edges = emax;
+    config.census.mask_start_label = true;
+    config.dmax_percentile = 90.0;
+    config.features.max_features = 500;
+    core::ExtractionResult extraction =
+        core::ExtractFeatures(network.graph, sample.nodes, config);
+
+    struct Family {
+      const char* name;
+      ml::Matrix features;
+    };
+    std::vector<Family> families;
+    families.push_back({"Subgraph", extraction.features.matrix});
+    families.push_back(
+        {"node2vec",
+         bench::ComputeNode2Vec(network.graph, sample.nodes, embed_scale, 61)});
+    families.push_back(
+        {"DeepWalk",
+         bench::ComputeDeepWalk(network.graph, sample.nodes, embed_scale, 62)});
+    families.push_back(
+        {"LINE",
+         bench::ComputeLine(network.graph, sample.nodes, embed_scale, 63)});
+
+    std::printf("--- %s (%d nodes, %lld edges) ---\n", network.name.c_str(),
+                network.graph.num_nodes(),
+                static_cast<long long>(network.graph.num_edges()));
+    eval::Table table(
+        {"feature", "10%", "30%", "50%", "70%", "90%", "ci95@90%"});
+    for (const auto& family : families) {
+      std::vector<std::string> row = {family.name};
+      eval::ConfidenceInterval last_ci;
+      for (double train : train_sizes) {
+        std::vector<double> scores = bench::LabelPredictionTrials(
+            family.features, sample.labels, num_classes, train, repeats,
+            9000 + static_cast<uint64_t>(train * 100));
+        last_ci = eval::Ci95(scores);
+        row.push_back(eval::Table::Num(last_ci.mean));
+      }
+      row.push_back("+/-" + eval::Table::Num(last_ci.half_width, 3));
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("Paper shape: Subgraph > LINE > node2vec > DeepWalk on all\n");
+  std::printf("three networks; gain up to 68.8%% over the best embedding on "
+              "MAG.\n");
+  return 0;
+}

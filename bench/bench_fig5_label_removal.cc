@@ -1,0 +1,100 @@
+// Reproduces Figure 5 D-F: label-prediction Macro-F1 with partially removed
+// node labels (0%..75% of graph nodes relabelled to an artificial
+// "unlabeled" class before the census), at 90% training size. The embedded
+// features are invariant to label removal (horizontal lines in the paper);
+// subgraph features degrade gracefully and should still beat node2vec and
+// DeepWalk at 75% removal.
+//
+// Flags: --scale (default 0.5), --per-label (default 100),
+//        --repeats (default 10), --emax (default 5).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+  const double scale = bench::FlagDouble(argc, argv, "--scale", 0.5);
+  const int per_label = bench::FlagInt(argc, argv, "--per-label", 60);
+  const int repeats = bench::FlagInt(argc, argv, "--repeats", 6);
+  const int emax = bench::FlagInt(argc, argv, "--emax", 5);
+
+  std::printf("=== Figure 5 D-F: Macro-F1 vs removed node labels ===\n");
+  std::printf("(emax=%d, dmax at 90%%, %d nodes/label, %d resamples, 90%% "
+              "training size, scale=%.2f)\n\n",
+              emax, per_label, repeats, scale);
+
+  auto networks = bench::MakeEvaluationNetworks(scale, 777);
+  bench::EmbeddingScale embed_scale;
+  const double removal_levels[] = {0.0, 0.25, 0.50, 0.75};
+
+  for (const auto& network : networks) {
+    util::Rng rng(900 + network.graph.num_nodes());
+    bench::LabelledSample sample =
+        bench::SampleNodesPerLabel(network.graph, per_label, rng);
+    const int num_classes = network.graph.num_labels();
+
+    std::printf("--- %s ---\n", network.name.c_str());
+    eval::Table table({"feature", "0%", "25%", "50%", "75%"});
+
+    // Subgraph features: re-extract per removal level on the relabelled
+    // graph. The *target* labels (ground truth for the classifier) stay the
+    // original ones — only the graph-side label information degrades.
+    std::vector<std::string> subgraph_row = {"Subgraph"};
+    for (double removal : removal_levels) {
+      graph::HetGraph working = network.graph;
+      if (removal > 0.0) {
+        std::vector<graph::NodeId> all(network.graph.num_nodes());
+        for (graph::NodeId v = 0; v < network.graph.num_nodes(); ++v) {
+          all[v] = v;
+        }
+        util::Rng removal_rng(1717 + static_cast<uint64_t>(removal * 100));
+        removal_rng.Shuffle(all);
+        all.resize(static_cast<size_t>(removal * all.size()));
+        working = network.graph.WithRelabeledNodes(
+            all, static_cast<graph::Label>(network.graph.num_labels()),
+            "unlabeled");
+      }
+      core::ExtractorConfig config;
+      config.census.max_edges = emax;
+      config.census.mask_start_label = true;
+      config.dmax_percentile = 90.0;
+      config.features.max_features = 500;
+      core::ExtractionResult extraction =
+          core::ExtractFeatures(working, sample.nodes, config);
+      std::vector<double> scores = bench::LabelPredictionTrials(
+          extraction.features.matrix, sample.labels, num_classes, 0.9,
+          repeats, 4200 + static_cast<uint64_t>(removal * 100));
+      subgraph_row.push_back(eval::Table::Num(eval::Mean(scores)));
+    }
+    table.AddRow(subgraph_row);
+
+    // Embeddings ignore node labels entirely: one score, constant row.
+    struct Family {
+      const char* name;
+      ml::Matrix features;
+    };
+    std::vector<Family> families;
+    families.push_back(
+        {"node2vec",
+         bench::ComputeNode2Vec(network.graph, sample.nodes, embed_scale, 71)});
+    families.push_back(
+        {"DeepWalk",
+         bench::ComputeDeepWalk(network.graph, sample.nodes, embed_scale, 72)});
+    families.push_back(
+        {"LINE",
+         bench::ComputeLine(network.graph, sample.nodes, embed_scale, 73)});
+    for (const auto& family : families) {
+      std::vector<double> scores = bench::LabelPredictionTrials(
+          family.features, sample.labels, num_classes, 0.9, repeats, 4300);
+      std::string value = eval::Table::Num(eval::Mean(scores));
+      table.AddRow({family.name, value, value, value, value});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("Paper shape: subgraph features degrade with removal but stay\n");
+  std::printf("above node2vec/DeepWalk even at 75%%; LINE catches up only on\n");
+  std::printf("data sets where its initial gap was small.\n");
+  return 0;
+}

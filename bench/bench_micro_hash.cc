@@ -1,0 +1,102 @@
+// Micro-benchmarks for the hashing layer (§3.2 "Hashing Optimization"):
+// incremental rolling-hash updates vs re-encoding + string hashing (the
+// strategy the paper's optimization replaces), and the cost of the
+// mixed-contribution variant vs the raw linear sum.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/encoding.h"
+#include "core/rolling_hash.h"
+#include "core/small_graph.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hsgf;
+
+std::vector<core::SmallGraph> RandomSubgraphs(int count, int num_labels,
+                                              uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::SmallGraph> graphs;
+  while (static_cast<int>(graphs.size()) < count) {
+    int n = 3 + static_cast<int>(rng.UniformInt(4));
+    std::vector<graph::Label> labels(n);
+    for (int v = 0; v < n; ++v) {
+      labels[v] = static_cast<graph::Label>(rng.UniformInt(num_labels));
+    }
+    core::SmallGraph graph(labels);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.45)) graph.AddEdge(u, v);
+      }
+    }
+    if (graph.IsConnected() && graph.num_edges() <= 6) {
+      graphs.push_back(graph);
+    }
+  }
+  return graphs;
+}
+
+// Baseline the paper argues against: build the canonical encoding, convert
+// to a string, hash the string.
+void BM_HashViaEncodingString(benchmark::State& state) {
+  auto graphs = RandomSubgraphs(256, 4, 1);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const core::SmallGraph& graph = graphs[cursor];
+    core::Encoding encoding = core::EncodeSmallGraph(graph, 4);
+    std::string key(encoding.begin(), encoding.end());
+    benchmark::DoNotOptimize(std::hash<std::string>{}(key));
+    cursor = (cursor + 1) % graphs.size();
+  }
+}
+BENCHMARK(BM_HashViaEncodingString);
+
+// The paper's scheme: sum of per-edge deltas from precomputed power tables.
+void BM_HashViaRollingSum(benchmark::State& state) {
+  auto graphs = RandomSubgraphs(256, 4, 1);
+  core::RollingHash hash(4);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.HashSmallGraph(graphs[cursor]));
+    cursor = (cursor + 1) % graphs.size();
+  }
+}
+BENCHMARK(BM_HashViaRollingSum);
+
+// End-to-end effect inside the census: mixed vs unmixed contributions.
+void BM_CensusMixedContributions(benchmark::State& state) {
+  static const graph::HetGraph* graph =
+      new graph::HetGraph(data::MakeNetwork(data::LoadLikeSchema(0.2), 9));
+  core::CensusConfig config;
+  config.max_edges = 4;
+  config.max_degree = 40;
+  config.mix_contributions = state.range(0) != 0;
+  core::CensusWorker worker(*graph, config);
+  core::CensusResult result;
+  util::Rng rng(3);
+  std::vector<graph::NodeId> nodes;
+  while (nodes.size() < 16) {
+    graph::NodeId v =
+        static_cast<graph::NodeId>(rng.UniformInt(graph->num_nodes()));
+    if (graph->degree(v) > 0) nodes.push_back(v);
+  }
+  size_t cursor = 0;
+  int64_t subgraphs = 0;
+  for (auto _ : state) {
+    worker.Run(nodes[cursor], result);
+    subgraphs += result.total_subgraphs;
+    cursor = (cursor + 1) % nodes.size();
+  }
+  state.SetItemsProcessed(subgraphs);
+}
+BENCHMARK(BM_CensusMixedContributions)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

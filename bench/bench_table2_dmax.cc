@@ -1,0 +1,67 @@
+// Reproduces Table 2: Macro-F1 of subgraph features under varying maximum-
+// degree percentile levels (90%..100%) on the three evaluation networks.
+// Paper shape: LOAD (dense) is stable across levels; IMDB and MAG (sparser)
+// fluctuate more and degrade when too many hubs are cut; the 100% column is
+// infeasible for the dense networks (the paper reports "-" for LOAD/MAG).
+//
+// Flags: --scale (default 0.5), --per-label (default 100),
+//        --repeats (default 10), --emax (default 5).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+  const double scale = bench::FlagDouble(argc, argv, "--scale", 0.5);
+  const int per_label = bench::FlagInt(argc, argv, "--per-label", 60);
+  const int repeats = bench::FlagInt(argc, argv, "--repeats", 6);
+  const int emax = bench::FlagInt(argc, argv, "--emax", 5);
+
+  std::printf("=== Table 2: Macro-F1 vs maximum-degree percentile ===\n");
+  std::printf("(emax=%d, %d nodes/label, %d resamples, 90%% training size; "
+              "scale=%.2f)\n\n",
+              emax, per_label, repeats, scale);
+
+  const double levels[] = {90, 92, 94, 96, 98, 100};
+  auto networks = bench::MakeEvaluationNetworks(scale, 42);
+
+  eval::Table table({"network", "90%", "92%", "94%", "96%", "98%", "100%"});
+  for (const auto& network : networks) {
+    util::Rng rng(7 + network.graph.num_nodes());
+    bench::LabelledSample sample =
+        bench::SampleNodesPerLabel(network.graph, per_label, rng);
+
+    std::vector<std::string> row = {network.name};
+    for (double level : levels) {
+      // Like the paper, the unlimited-dmax (100%) extraction "did not
+      // finish due to the large number of subgraphs introduced by hubs" on
+      // LOAD and MAG; we print "-" for those cells (Table 2 does the same)
+      // and bound the remaining 100% cell with a per-node subgraph budget.
+      if (level >= 100 && network.name != "IMDB") {
+        row.push_back("-");
+        continue;
+      }
+      core::ExtractorConfig config;
+      config.census.max_edges = emax;
+      config.census.mask_start_label = true;
+      config.dmax_percentile = level;
+      config.features.max_features = 500;
+      if (level >= 100) config.census.max_subgraphs = 2000000;
+      core::ExtractionResult extraction =
+          core::ExtractFeatures(network.graph, sample.nodes, config);
+      std::vector<double> scores = bench::LabelPredictionTrials(
+          extraction.features.matrix, sample.labels,
+          network.graph.num_labels(), 0.9, repeats, 1000 + (int)level);
+      row.push_back(eval::Table::Num(eval::Mean(scores)));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Paper (Table 2) for reference:\n");
+  std::printf("LOAD 0.76 0.75 0.73 0.76 0.74 -\n");
+  std::printf("IMDB 0.44 0.39 0.43 0.55 0.54 0.55\n");
+  std::printf("MAG  0.55 0.35 0.36 0.30 0.40 -\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Example: node label prediction on a LOAD-like entity co-occurrence
+// network (paper §4.3), comparing heterogeneous subgraph features against a
+// LINE embedding. Demonstrates the full pipeline: synthetic network ->
+// masked-label census -> feature matrix -> one-vs-rest logistic regression
+// -> Macro-F1.
+//
+//   $ ./label_prediction [nodes-per-label]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "embed/line.h"
+#include "eval/classification.h"
+#include "ml/logistic_regression.h"
+#include "ml/preprocess.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+  const int per_label = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  // 1. A dense 4-label co-occurrence network (locations, organizations,
+  //    actors, dates).
+  graph::HetGraph graph = data::MakeNetwork(data::LoadLikeSchema(0.3), 2024);
+  std::printf("LOAD-like network: %d nodes, %lld edges\n", graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()));
+
+  // 2. Sample nodes per label; their labels are the prediction targets.
+  util::Rng rng(1);
+  std::vector<graph::NodeId> nodes;
+  std::vector<int> labels;
+  for (int l = 0; l < graph.num_labels(); ++l) {
+    auto candidates = graph.NodesWithLabel(static_cast<graph::Label>(l));
+    rng.Shuffle(candidates);
+    for (int i = 0; i < per_label && i < static_cast<int>(candidates.size());
+         ++i) {
+      if (graph.degree(candidates[i]) == 0) continue;
+      nodes.push_back(candidates[i]);
+      labels.push_back(l);
+    }
+  }
+
+  // 3. Heterogeneous subgraph features with the start label masked so the
+  //    feature cannot leak the target (§4.3.2).
+  core::ExtractorConfig config;
+  config.census.max_edges = 5;
+  config.census.mask_start_label = true;
+  config.dmax_percentile = 90.0;  // Table 2's recommended operating point
+  config.features.max_features = 400;
+  core::ExtractionResult subgraph = core::ExtractFeatures(graph, nodes, config);
+  std::printf("subgraph features: %lld rooted subgraphs -> %d columns (dmax=%d)\n",
+              static_cast<long long>(subgraph.total_subgraphs),
+              subgraph.features.matrix.cols(), subgraph.effective_dmax);
+
+  // 4. LINE embedding baseline (scaled down for example runtime).
+  embed::LineOptions line_options;
+  line_options.dimensions = 32;
+  line_options.samples = 20 * graph.num_edges();
+  ml::Matrix line = embed::LineEmbeddings(graph, nodes, line_options);
+
+  // 5. Train / evaluate both with the same protocol.
+  auto evaluate = [&](const ml::Matrix& features, const char* name) {
+    util::Rng split_rng(99);
+    double total = 0.0;
+    constexpr int kRepeats = 5;
+    for (int r = 0; r < kRepeats; ++r) {
+      ml::Split split = ml::StratifiedSplit(labels, 0.7, split_rng);
+      ml::StandardScaler scaler;
+      ml::Matrix train = scaler.FitTransform(features.SelectRows(split.train));
+      ml::Matrix test = scaler.Transform(features.SelectRows(split.test));
+      std::vector<int> y_train;
+      std::vector<int> y_test;
+      for (int i : split.train) y_train.push_back(labels[i]);
+      for (int i : split.test) y_test.push_back(labels[i]);
+      ml::OneVsRestLogistic classifier;
+      classifier.Fit(train, y_train);
+      auto report = eval::EvaluateClassification(
+          y_test, classifier.Predict(test), graph.num_labels());
+      total += report.macro_f1;
+    }
+    std::printf("%-10s Macro-F1: %.3f\n", name, total / kRepeats);
+  };
+  evaluate(subgraph.features.matrix, "Subgraph");
+  evaluate(line, "LINE");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a tiny heterogeneous publication network by hand,
+// extract heterogeneous subgraph features for one node, and inspect them.
+//
+//   $ ./quickstart
+//
+// This walks through the core public API end to end:
+//   graph::GraphBuilder  -> core::ExtractFeatures -> decoded encodings.
+#include <cstdio>
+
+#include "core/encoding.h"
+#include "core/extractor.h"
+#include "graph/builder.h"
+#include "graph/label_connectivity.h"
+
+int main() {
+  using namespace hsgf;
+
+  // 1. Build the network of Fig. 1A: institutions, authors, papers.
+  graph::GraphBuilder builder({"I", "A", "P"});
+  graph::NodeId mit = builder.AddNode(0);
+  graph::NodeId eth = builder.AddNode(0);
+  graph::NodeId alice = builder.AddNode(1);
+  graph::NodeId bob = builder.AddNode(1);
+  graph::NodeId carol = builder.AddNode(1);
+  graph::NodeId paper1 = builder.AddNode(2);
+  graph::NodeId paper2 = builder.AddNode(2);
+  builder.AddEdge(alice, mit);
+  builder.AddEdge(bob, mit);
+  builder.AddEdge(carol, eth);
+  builder.AddEdge(alice, paper1);
+  builder.AddEdge(carol, paper1);  // cross-institution collaboration
+  builder.AddEdge(bob, paper2);
+  builder.AddEdge(paper1, paper2);  // citation
+  graph::HetGraph graph = std::move(builder).Build();
+
+  std::printf("network: %d nodes, %lld edges, %d labels\n", graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()), graph.num_labels());
+  graph::LabelConnectivityGraph lcg(graph);
+  std::printf("label connectivity graph:\n%s\n", lcg.ToString().c_str());
+
+  // 2. Extract heterogeneous subgraph features for the two institutions.
+  core::ExtractorConfig config;
+  config.census.max_edges = 4;           // emax
+  config.census.keep_encodings = true;   // keep canonical encodings
+  config.features.log1p_transform = false;
+  core::ExtractionResult result =
+      core::ExtractFeatures(graph, {mit, eth}, config);
+
+  std::printf("extracted %lld rooted subgraphs, %zu distinct features\n\n",
+              static_cast<long long>(result.total_subgraphs),
+              result.features.feature_hashes.size());
+
+  // 3. Print each feature: its decoded characteristic sequence and the
+  //    per-institution counts.
+  std::printf("%-28s %6s %6s\n", "characteristic sequence", "MIT", "ETH");
+  for (size_t c = 0; c < result.features.feature_hashes.size(); ++c) {
+    uint64_t hash = result.features.feature_hashes[c];
+    const core::Encoding& encoding = result.features.encodings.at(hash);
+    std::printf("%-28s %6.0f %6.0f\n",
+                core::EncodingToString(encoding, graph.num_labels(),
+                                       graph.label_names())
+                    .c_str(),
+                result.features.matrix(0, static_cast<int>(c)),
+                result.features.matrix(1, static_cast<int>(c)));
+  }
+  std::printf("\nEach block reads '<label><#I><#A><#P>': e.g. 'A101' is an\n");
+  std::printf("author with one institution and one paper neighbour inside\n");
+  std::printf("the subgraph.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: interpretability of heterogeneous subgraph features (paper
+// §4.2.5 / Fig. 4). Unlike neural embeddings, each feature is a concrete
+// labelled subgraph: this example extracts features on an IMDB-like movie
+// network, ranks them by random-forest importance for predicting movie
+// degree (a stand-in prediction target), and prints the decoded structures.
+//
+//   $ ./subgraph_interpretation
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace hsgf;
+  graph::HetGraph graph = data::MakeNetwork(data::ImdbLikeSchema(0.25), 33);
+  std::printf("IMDB-like network: %d nodes, %lld edges\n", graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()));
+
+  // Target: predict the number of keywords attached to a movie from its
+  // subgraph neighbourhood (a fully structural, verifiable quantity).
+  util::Rng rng(2);
+  std::vector<graph::NodeId> movies;
+  for (graph::NodeId v : graph.NodesWithLabel(0)) {
+    if (graph.degree(v) > 0) movies.push_back(v);
+  }
+  rng.Shuffle(movies);
+  movies.resize(std::min<size_t>(250, movies.size()));
+
+  std::vector<double> target;
+  constexpr graph::Label kKeyword = 5;
+  for (graph::NodeId movie : movies) {
+    target.push_back(
+        static_cast<double>(graph.LabelRange(movie, kKeyword).size()));
+  }
+
+  core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  config.dmax_percentile = 95.0;
+  config.features.max_features = 150;
+  core::ExtractionResult extraction =
+      core::ExtractFeatures(graph, movies, config);
+  std::printf("%zu distinct subgraph features extracted\n\n",
+              extraction.features.feature_hashes.size());
+
+  ml::RandomForestRegressor::Options forest_options;
+  forest_options.num_trees = 100;
+  ml::RandomForestRegressor forest(forest_options);
+  forest.Fit(extraction.features.matrix, target);
+  std::vector<double> importances = forest.FeatureImportances();
+
+  std::vector<int> order(importances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return importances[a] > importances[b]; });
+
+  std::printf("top-5 features by importance (labels M,A,D,W,C,K; block =\n");
+  std::printf("'<label><#M><#A><#D><#W><#C><#K>'):\n");
+  for (int rank = 0; rank < 5 && rank < static_cast<int>(order.size());
+       ++rank) {
+    int column = order[rank];
+    uint64_t hash = extraction.features.feature_hashes[column];
+    const core::Encoding& encoding = extraction.features.encodings.at(hash);
+    std::printf("  %.3f  %s\n", importances[column],
+                core::EncodingToString(encoding, graph.num_labels(),
+                                       graph.label_names())
+                    .c_str());
+    auto realized = core::RealizeEncoding(encoding, graph.num_labels());
+    if (realized.has_value()) {
+      std::printf("         realized: %s\n",
+                  realized->ToString(graph.label_names()).c_str());
+    }
+  }
+  std::printf("\nAs expected, subgraphs containing keyword (K) attachments\n");
+  std::printf("dominate the importance ranking — the feature family exposes\n");
+  std::printf("*which* structures carry the signal, which embeddings cannot.\n");
+  return 0;
+}

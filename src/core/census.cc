@@ -1,0 +1,226 @@
+#include "core/census.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsgf::core {
+
+namespace {
+
+// SplitMix64 finalizer; the identity on 0, bijective on 64-bit values.
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CensusWorker::CensusWorker(const graph::HetGraph& graph,
+                           const CensusConfig& config)
+    : graph_(graph),
+      config_(config),
+      hasher_(graph.num_labels() + (config.mask_start_label ? 1 : 0),
+              config.hash_seed),
+      num_effective_labels_(graph.num_labels() +
+                            (config.mask_start_label ? 1 : 0)),
+      node_epoch_(graph.num_nodes(), 0),
+      linear_contribution_(graph.num_nodes(), 0) {
+  assert(config_.max_edges >= 1);
+}
+
+graph::Label CensusWorker::EffectiveLabel(graph::NodeId v) const {
+  if (config_.mask_start_label && v == start_) {
+    return static_cast<graph::Label>(graph_.num_labels());
+  }
+  return graph_.label(v);
+}
+
+uint64_t CensusWorker::MixedContribution(graph::NodeId v) const {
+  uint64_t c = linear_contribution_[v];
+  return config_.mix_contributions ? Mix(c) : c;
+}
+
+graph::NodeId CensusWorker::AddEdge(const CandidateEdge& edge) {
+  const graph::Label la = EffectiveLabel(edge.from);
+  const graph::Label lb = EffectiveLabel(edge.to);
+  current_hash_ -= MixedContribution(edge.from);
+  linear_contribution_[edge.from] += hasher_.Power(la, lb);
+  current_hash_ += MixedContribution(edge.from);
+  if (InSubgraph(edge.to)) {
+    current_hash_ -= MixedContribution(edge.to);
+    linear_contribution_[edge.to] += hasher_.Power(lb, la);
+    current_hash_ += MixedContribution(edge.to);
+    return -1;
+  }
+  node_epoch_[edge.to] = epoch_;
+  linear_contribution_[edge.to] = hasher_.Power(lb, la);
+  current_hash_ += MixedContribution(edge.to);
+  return edge.to;
+}
+
+void CensusWorker::RemoveEdge(const CandidateEdge& edge,
+                              graph::NodeId added_node) {
+  const graph::Label la = EffectiveLabel(edge.from);
+  const graph::Label lb = EffectiveLabel(edge.to);
+  current_hash_ -= MixedContribution(edge.from);
+  linear_contribution_[edge.from] -= hasher_.Power(la, lb);
+  current_hash_ += MixedContribution(edge.from);
+  if (added_node != -1) {
+    current_hash_ -= MixedContribution(edge.to);
+    node_epoch_[edge.to] = 0;  // leave the subgraph
+    return;
+  }
+  current_hash_ -= MixedContribution(edge.to);
+  linear_contribution_[edge.to] -= hasher_.Power(lb, la);
+  current_hash_ += MixedContribution(edge.to);
+}
+
+void CensusWorker::AppendFrontierOf(graph::NodeId w, graph::NodeId parent) {
+  // Topological heuristic (§3.2): hubs are added but never expanded through;
+  // the start node is exempt (§4.3.5).
+  if (IsBlocked(w)) return;
+  for (graph::NodeId y : graph_.neighbors(w)) {
+    if (!InSubgraph(y)) {
+      arena_.push_back({w, y});
+    } else if (IsBlocked(y) && y != parent) {
+      // Edges back into the subgraph are normally offered by the other
+      // endpoint when *it* joins — but blocked nodes never offer their
+      // edges, so cycle-closing edges into an in-subgraph hub must be
+      // offered here (excluding w's own discovery edge). This keeps the
+      // enumerated set independent of candidate order and duplicate-free.
+      arena_.push_back({w, y});
+    }
+  }
+}
+
+Encoding CensusWorker::MaterializeEncoding() const {
+  // Collect the distinct nodes of the current subgraph (at most
+  // max_edges + 1 of them) and recount labelled degrees from the edge stack.
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(edge_stack_.size() + 1);
+  for (const auto& [u, v] : edge_stack_) {
+    nodes.push_back(u);
+    nodes.push_back(v);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::vector<NodeSignature> signatures(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    signatures[i].label = EffectiveLabel(nodes[i]);
+    signatures[i].neighbor_counts.assign(num_effective_labels_, 0);
+  }
+  auto index_of = [&nodes](graph::NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+  for (const auto& [u, v] : edge_stack_) {
+    ++signatures[index_of(u)].neighbor_counts[EffectiveLabel(v)];
+    ++signatures[index_of(v)].neighbor_counts[EffectiveLabel(u)];
+  }
+  return EncodeSignatures(std::move(signatures), num_effective_labels_);
+}
+
+void CensusWorker::Extend(size_t begin, size_t end, int depth,
+                          CensusResult& result) {
+  size_t i = begin;
+  while (i < end) {
+    if (config_.max_subgraphs > 0 &&
+        result.total_subgraphs >= config_.max_subgraphs) {
+      result.truncated = true;
+      return;
+    }
+    const CandidateEdge head = arena_[i];
+    const bool head_is_new_node = !InSubgraph(head.to);
+    size_t j = i + 1;
+    if (head_is_new_node && config_.group_by_label) {
+      // Heterogeneous optimization heuristic: consecutive candidates that
+      // extend the same subgraph node with a *new* neighbour of the same
+      // label all produce the same encoding (and hash); batch their count.
+      const graph::Label head_label = EffectiveLabel(head.to);
+      while (j < end && arena_[j].from == head.from &&
+             !InSubgraph(arena_[j].to) &&
+             EffectiveLabel(arena_[j].to) == head_label) {
+        ++j;
+      }
+    }
+    const int64_t run = static_cast<int64_t>(j - i);
+
+    // Hash of the subgraph after adding `head` (identical for the whole
+    // run): both endpoints' contributions change.
+    const graph::Label la = EffectiveLabel(head.from);
+    const graph::Label lb = EffectiveLabel(head.to);
+    uint64_t hash_after = current_hash_;
+    hash_after -= MixedContribution(head.from);
+    {
+      uint64_t c_from = linear_contribution_[head.from] + hasher_.Power(la, lb);
+      hash_after += config_.mix_contributions ? Mix(c_from) : c_from;
+    }
+    if (head_is_new_node) {
+      uint64_t c_to = hasher_.Power(lb, la);
+      hash_after += config_.mix_contributions ? Mix(c_to) : c_to;
+    } else {
+      hash_after -= MixedContribution(head.to);
+      uint64_t c_to = linear_contribution_[head.to] + hasher_.Power(lb, la);
+      hash_after += config_.mix_contributions ? Mix(c_to) : c_to;
+    }
+
+    result.counts.Add(hash_after, run);
+    result.total_subgraphs += run;
+    if (config_.keep_encodings && !result.encodings.contains(hash_after)) {
+      edge_stack_.push_back({head.from, head.to});
+      result.encodings.emplace(hash_after, MaterializeEncoding());
+      edge_stack_.pop_back();
+    }
+
+    if (depth + 1 < config_.max_edges) {
+      for (size_t k = i; k < j; ++k) {
+        if (result.truncated) return;
+        const CandidateEdge edge = arena_[k];
+        graph::NodeId added = AddEdge(edge);
+        edge_stack_.emplace_back(edge.from, edge.to);
+        const size_t child_begin = arena_.size();
+        for (size_t t = k + 1; t < end; ++t) {
+          CandidateEdge carried = arena_[t];
+          arena_.push_back(carried);
+        }
+        if (added != -1) AppendFrontierOf(added, edge.from);
+        Extend(child_begin, arena_.size(), depth + 1, result);
+        arena_.resize(child_begin);
+        edge_stack_.pop_back();
+        RemoveEdge(edge, added);
+      }
+    }
+    i = j;
+  }
+}
+
+void CensusWorker::Run(graph::NodeId start, CensusResult& result) {
+  assert(start >= 0 && start < graph_.num_nodes());
+  result.counts.Clear();
+  result.encodings.clear();
+  result.total_subgraphs = 0;
+  result.truncated = false;
+
+  start_ = start;
+  ++epoch_;
+  node_epoch_[start] = epoch_;
+  linear_contribution_[start] = 0;
+  current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
+
+  arena_.clear();
+  edge_stack_.clear();
+  // The start node is always expanded, regardless of dmax.
+  for (graph::NodeId y : graph_.neighbors(start)) arena_.push_back({start, y});
+  Extend(0, arena_.size(), 0, result);
+  node_epoch_[start] = 0;
+}
+
+CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,
+                       const CensusConfig& config) {
+  CensusWorker worker(graph, config);
+  return worker.Run(start);
+}
+
+}  // namespace hsgf::core

@@ -1,0 +1,160 @@
+#ifndef HSGF_CORE_CENSUS_H_
+#define HSGF_CORE_CENSUS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/rolling_hash.h"
+#include "graph/het_graph.h"
+#include "util/flat_count_map.h"
+
+namespace hsgf::core {
+
+// Configuration of the rooted subgraph census (paper §3.2).
+struct CensusConfig {
+  // Maximum number of edges per subgraph (emax). The paper uses 6 for the
+  // rank-prediction task and 5 for label prediction.
+  int max_edges = 5;
+
+  // Maximum degree constraint (dmax): nodes with degree > max_degree are
+  // added to subgraphs but not expanded through ("Topological Optimization
+  // Heuristic"). <= 0 means unlimited (the paper's dmax = ∞). The start node
+  // is always expanded regardless (§4.3.5).
+  int max_degree = 0;
+
+  // Replace the start node's label with an artificial mask label during
+  // encoding (§4.3.2) so the feature does not leak the node's own label in
+  // label-prediction experiments. The mask label has index
+  // graph.num_labels().
+  bool mask_start_label = false;
+
+  // Apply the paper's "Heterogeneous Optimization Heuristic": batch the
+  // census-count increments of consecutive same-label new-node extensions
+  // (one hash-map update per label group instead of one per neighbour).
+  // Identical results either way; exposed for the ablation benchmark.
+  bool group_by_label = true;
+
+  // Pass each per-node linear hash contribution through a 64-bit finalizer
+  // before summing. The paper's Eq. 5 sums the raw linear contributions,
+  // which makes the subgraph hash a function of the multiset of edge label
+  // pairs only — e.g. a monochrome triangle and a monochrome 4-node path
+  // collide systematically. Mixing removes this failure mode at identical
+  // asymptotic cost. Disable to study the unmixed variant.
+  bool mix_contributions = true;
+
+  // Safety budget: stop enumerating after this many subgraph occurrences
+  // (0 = unlimited). Hub start nodes — which the dmax heuristic exempts —
+  // can induce astronomically many subgraphs (the paper reports per-node
+  // outliers of 2493 s, Table 3); the budget bounds the worst case and sets
+  // CensusResult::truncated when it fires.
+  int64_t max_subgraphs = 0;
+
+  // Also materialize the canonical characteristic-sequence encoding the
+  // first time each hash value is seen (needed to interpret features and to
+  // build cross-node vocabularies; costs O(subgraph size) per *distinct*
+  // encoding only).
+  bool keep_encodings = false;
+
+  uint64_t hash_seed = RollingHash::kDefaultSeed;
+};
+
+// Census output for one start node: the heterogeneous subgraph feature
+// vector in sparse form (Eq. 4 counts keyed by encoding hash).
+struct CensusResult {
+  util::FlatCountMap counts;
+  // Hash -> canonical encoding; populated iff keep_encodings.
+  std::unordered_map<uint64_t, Encoding> encodings;
+  int64_t total_subgraphs = 0;
+  // True iff enumeration stopped early because max_subgraphs was reached.
+  bool truncated = false;
+};
+
+// Enumerates all connected subgraphs (edge subsets) of `graph` that contain
+// a given start node and have 1..max_edges edges, counting them by encoding
+// hash. Exact and duplicate-free: each qualifying edge subset is visited
+// exactly once (ordered-extension enumeration with a forbidden-set
+// discipline). Thread-safe for concurrent Run() calls on distinct workers;
+// one CensusWorker holds O(V) scratch state and is reused across start
+// nodes (paper: memory O(tV + E) for t threads).
+class CensusWorker {
+ public:
+  CensusWorker(const graph::HetGraph& graph, const CensusConfig& config);
+
+  CensusWorker(const CensusWorker&) = delete;
+  CensusWorker& operator=(const CensusWorker&) = delete;
+
+  const CensusConfig& config() const { return config_; }
+
+  // Runs the census rooted at `start`. The result is overwritten.
+  void Run(graph::NodeId start, CensusResult& result);
+
+  // Convenience allocation-per-call form.
+  CensusResult Run(graph::NodeId start) {
+    CensusResult result;
+    Run(start, result);
+    return result;
+  }
+
+ private:
+  struct CandidateEdge {
+    graph::NodeId from;  // endpoint that was inside the subgraph at discovery
+    graph::NodeId to;    // endpoint that was outside (may have joined since)
+  };
+
+  // Effective label of a node (mask applied to the start node).
+  graph::Label EffectiveLabel(graph::NodeId v) const;
+
+  bool InSubgraph(graph::NodeId v) const { return node_epoch_[v] == epoch_; }
+
+  uint64_t MixedContribution(graph::NodeId v) const;
+
+  // Adds edge (from, to); returns `to` if it newly joined the subgraph,
+  // -1 otherwise. Updates the rolling hash incrementally.
+  graph::NodeId AddEdge(const CandidateEdge& edge);
+  void RemoveEdge(const CandidateEdge& edge, graph::NodeId added_node);
+
+  // True iff the dmax heuristic forbids expanding through v.
+  bool IsBlocked(graph::NodeId v) const {
+    return config_.max_degree > 0 && v != start_ &&
+           graph_.degree(v) > config_.max_degree;
+  }
+
+  // Appends the frontier edges contributed by newly-joined node `w` (whose
+  // discovery edge came from `parent`): edges to nodes outside the subgraph
+  // plus cycle-closing edges into in-subgraph *blocked* nodes, which no one
+  // else offers. Honours dmax.
+  void AppendFrontierOf(graph::NodeId w, graph::NodeId parent);
+
+  // Core recursion over the candidate range [begin, end) of the arena.
+  void Extend(size_t begin, size_t end, int depth, CensusResult& result);
+
+  // Builds the canonical encoding of the current subgraph from the edge
+  // stack (rare: once per distinct hash).
+  Encoding MaterializeEncoding() const;
+
+  const graph::HetGraph& graph_;
+  CensusConfig config_;
+  RollingHash hasher_;
+  int num_effective_labels_;
+
+  graph::NodeId start_ = -1;
+  uint64_t epoch_ = 0;
+  uint64_t current_hash_ = 0;
+
+  // Per-node scratch, epoch-stamped so Run() needs no O(V) clear.
+  std::vector<uint64_t> node_epoch_;
+  std::vector<uint64_t> linear_contribution_;  // Σ_i t_i b_v^i for in-subgraph nodes
+
+  std::vector<CandidateEdge> arena_;                  // per-level candidate lists
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edge_stack_;
+};
+
+// One-shot convenience: census for a single node.
+CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,
+                       const CensusConfig& config);
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_CENSUS_H_

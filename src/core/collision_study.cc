@@ -1,0 +1,138 @@
+#include "core/collision_study.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/encoding.h"
+#include "core/isomorphism.h"
+
+namespace hsgf::core {
+
+namespace {
+
+// String key for byte vectors (canonical forms / encodings).
+std::string BytesKey(const std::vector<uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// All non-isomorphic *unlabelled* connected graphs on exactly n nodes with
+// exactly e edges (every node incident to an edge; implied by connectivity
+// for n >= 2).
+std::vector<SmallGraph> EnumerateUnlabelled(int n, int e) {
+  std::vector<std::pair<int, int>> slots;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) slots.emplace_back(u, v);
+  }
+  const int m = static_cast<int>(slots.size());
+  std::vector<SmallGraph> classes;
+  std::unordered_set<std::string> seen;
+  if (e > m) return classes;
+
+  // Enumerate e-subsets of the m candidate edges.
+  std::vector<int> pick(e);
+  for (int i = 0; i < e; ++i) pick[i] = i;
+  for (;;) {
+    SmallGraph graph(std::vector<graph::Label>(n, 0));
+    for (int i : pick) graph.AddEdge(slots[i].first, slots[i].second);
+    if (graph.IsConnected()) {
+      std::string key = BytesKey(CanonicalForm(graph));
+      if (seen.insert(std::move(key)).second) classes.push_back(graph);
+    }
+    // Next combination.
+    int i = e - 1;
+    while (i >= 0 && pick[i] == m - e + i) --i;
+    if (i < 0) break;
+    ++pick[i];
+    for (int j = i + 1; j < e; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  return classes;
+}
+
+bool HasSameLabelEdge(const SmallGraph& graph) {
+  for (const auto& [u, v] : graph.Edges()) {
+    if (graph.label(u) == graph.label(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SmallGraph> EnumerateConnectedLabelledGraphs(
+    int edges, int num_labels, bool allow_same_label_edges) {
+  assert(edges >= 1 && num_labels >= 1);
+  std::vector<SmallGraph> result;
+  for (int n = 2; n <= edges + 1 && n <= SmallGraph::kMaxNodes; ++n) {
+    std::vector<SmallGraph> skeletons = EnumerateUnlabelled(n, edges);
+    for (const SmallGraph& skeleton : skeletons) {
+      // All label assignments, deduplicated by canonical form. Different
+      // skeletons are never isomorphic, so dedup per skeleton is exact.
+      std::unordered_set<std::string> seen;
+      std::vector<graph::Label> assignment(n, 0);
+      for (;;) {
+        SmallGraph labelled = skeleton;
+        for (int v = 0; v < n; ++v) labelled.set_label(v, assignment[v]);
+        if (allow_same_label_edges || !HasSameLabelEdge(labelled)) {
+          std::string key = BytesKey(CanonicalForm(labelled));
+          if (seen.insert(std::move(key)).second) result.push_back(labelled);
+        }
+        // Next assignment (odometer).
+        int v = n - 1;
+        while (v >= 0 && assignment[v] == num_labels - 1) {
+          assignment[v] = 0;
+          --v;
+        }
+        if (v < 0) break;
+        ++assignment[v];
+      }
+    }
+  }
+  return result;
+}
+
+CollisionStudyReport RunCollisionStudy(const CollisionStudyConfig& config) {
+  CollisionStudyReport report;
+  report.config = config;
+  report.max_collision_free_edges = config.max_edges;
+  bool collision_free_so_far = true;
+
+  for (int e = 1; e <= config.max_edges; ++e) {
+    std::vector<SmallGraph> classes = EnumerateConnectedLabelledGraphs(
+        e, config.num_labels, config.allow_same_label_edges);
+
+    // Group isomorphism classes by encoding.
+    std::map<std::string, std::vector<const SmallGraph*>> by_encoding;
+    for (const SmallGraph& graph : classes) {
+      Encoding encoding = EncodeSmallGraph(graph, config.num_labels);
+      by_encoding[BytesKey(encoding)].push_back(&graph);
+    }
+
+    CollisionStudyReport::PerEdgeCount row;
+    row.edges = e;
+    row.isomorphism_classes = static_cast<int64_t>(classes.size());
+    row.distinct_encodings = static_cast<int64_t>(by_encoding.size());
+    for (const auto& [key, members] : by_encoding) {
+      if (members.size() > 1) {
+        row.colliding_classes += static_cast<int64_t>(members.size());
+        if (report.example_collision.empty()) {
+          report.example_collision = members[0]->ToString() + "  vs  " +
+                                     members[1]->ToString() +
+                                     "  (same encoding, " +
+                                     std::to_string(e) + " edges)";
+        }
+      }
+    }
+    report.by_edges.push_back(row);
+
+    if (row.colliding_classes > 0 && collision_free_so_far) {
+      report.max_collision_free_edges = e - 1;
+      collision_free_so_far = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace hsgf::core

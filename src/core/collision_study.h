@@ -1,0 +1,60 @@
+#ifndef HSGF_CORE_COLLISION_STUDY_H_
+#define HSGF_CORE_COLLISION_STUDY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/small_graph.h"
+
+namespace hsgf::core {
+
+// Exhaustive verification of the encoding-uniqueness bounds claimed in
+// §3.1: the characteristic-sequence encoding distinguishes all connected
+// labelled subgraphs up to isomorphism for at most emax = 5 edges when the
+// label connectivity graph has no self loops, and emax = 4 when it does.
+//
+// The study enumerates, for each edge count e, every connected labelled
+// graph with e edges (up to label-preserving isomorphism), groups the
+// isomorphism classes by encoding, and counts classes whose encoding also
+// belongs to a different class.
+struct CollisionStudyConfig {
+  int max_edges = 6;
+  int num_labels = 2;
+  // Whether edges between two nodes of the same label are permitted, i.e.
+  // whether the label connectivity graph may contain self loops.
+  bool allow_same_label_edges = true;
+};
+
+struct CollisionStudyReport {
+  CollisionStudyConfig config;
+
+  struct PerEdgeCount {
+    int edges = 0;
+    int64_t isomorphism_classes = 0;
+    int64_t distinct_encodings = 0;
+    // Classes sharing their encoding with at least one other class.
+    int64_t colliding_classes = 0;
+  };
+  std::vector<PerEdgeCount> by_edges;  // index 0 -> 1 edge, etc.
+
+  // Largest e such that no collisions occur for any edge count <= e
+  // (max_edges if none occur at all).
+  int max_collision_free_edges = 0;
+
+  // One example collision (two non-isomorphic graphs, same encoding), empty
+  // if none was found. Rendered via SmallGraph::ToString.
+  std::string example_collision;
+};
+
+CollisionStudyReport RunCollisionStudy(const CollisionStudyConfig& config);
+
+// Enumerates all connected labelled graphs with exactly `edges` edges over
+// `num_labels` labels, up to label-preserving isomorphism, honouring the
+// same-label-edge constraint. Exposed for tests.
+std::vector<SmallGraph> EnumerateConnectedLabelledGraphs(
+    int edges, int num_labels, bool allow_same_label_edges);
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_COLLISION_STUDY_H_

@@ -1,0 +1,358 @@
+#include "core/directed_census.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace hsgf::core {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// --- SmallDiGraph ----------------------------------------------------------
+
+SmallDiGraph::SmallDiGraph(std::vector<graph::Label> labels)
+    : labels_(std::move(labels)) {
+  assert(num_nodes() <= kMaxNodes);
+}
+
+int SmallDiGraph::num_arcs() const {
+  int total = 0;
+  for (int v = 0; v < num_nodes(); ++v) total += std::popcount(out_[v]);
+  return total;
+}
+
+void SmallDiGraph::AddArc(int u, int v) {
+  assert(u != v && u >= 0 && v >= 0 && u < num_nodes() && v < num_nodes());
+  out_[u] |= static_cast<uint16_t>(1u << v);
+  in_[v] |= static_cast<uint16_t>(1u << u);
+}
+
+bool SmallDiGraph::IsWeaklyConnected() const {
+  if (num_nodes() == 0) return true;
+  uint16_t visited = 1u;
+  uint16_t frontier = 1u;
+  const uint16_t all = static_cast<uint16_t>((1u << num_nodes()) - 1);
+  while (frontier != 0 && visited != all) {
+    uint16_t next = 0;
+    uint16_t f = frontier;
+    while (f != 0) {
+      int v = std::countr_zero(f);
+      f &= static_cast<uint16_t>(f - 1);
+      next |= static_cast<uint16_t>(out_[v] | in_[v]);
+    }
+    frontier = next & static_cast<uint16_t>(~visited);
+    visited |= next;
+  }
+  return visited == all;
+}
+
+std::vector<std::pair<int, int>> SmallDiGraph::Arcs() const {
+  std::vector<std::pair<int, int>> arcs;
+  for (int u = 0; u < num_nodes(); ++u) {
+    uint16_t mask = out_[u];
+    while (mask != 0) {
+      int v = std::countr_zero(mask);
+      mask &= static_cast<uint16_t>(mask - 1);
+      arcs.emplace_back(u, v);
+    }
+  }
+  return arcs;
+}
+
+std::string SmallDiGraph::ToString() const {
+  std::ostringstream out;
+  out << "labels=[";
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (v > 0) out << ',';
+    out << static_cast<int>(labels_[v]);
+  }
+  out << "] arcs=[";
+  bool first = true;
+  for (const auto& [u, v] : Arcs()) {
+    if (!first) out << ',';
+    first = false;
+    out << u << "->" << v;
+  }
+  out << ']';
+  return out.str();
+}
+
+// --- Directed encoding ------------------------------------------------------
+
+Encoding EncodeSmallDiGraph(const SmallDiGraph& graph, int num_labels) {
+  const int block = 1 + 2 * num_labels;
+  std::vector<std::vector<uint8_t>> blocks;
+  blocks.reserve(graph.num_nodes());
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    std::vector<uint8_t> bytes(block, 0);
+    bytes[0] = graph.label(v);
+    uint16_t in_mask = graph.InMask(v);
+    while (in_mask != 0) {
+      int u = std::countr_zero(in_mask);
+      in_mask &= static_cast<uint16_t>(in_mask - 1);
+      ++bytes[1 + graph.label(u)];
+    }
+    uint16_t out_mask = graph.OutMask(v);
+    while (out_mask != 0) {
+      int u = std::countr_zero(out_mask);
+      out_mask &= static_cast<uint16_t>(out_mask - 1);
+      ++bytes[1 + num_labels + graph.label(u)];
+    }
+    blocks.push_back(std::move(bytes));
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+  Encoding encoding;
+  encoding.reserve(blocks.size() * block);
+  for (const auto& bytes : blocks) {
+    encoding.insert(encoding.end(), bytes.begin(), bytes.end());
+  }
+  return encoding;
+}
+
+std::string DirectedEncodingToString(
+    const Encoding& encoding, int num_labels,
+    const std::vector<std::string>& label_names) {
+  const int block = 1 + 2 * num_labels;
+  if (block <= 1 || encoding.size() % block != 0) return "<malformed>";
+  std::ostringstream out;
+  for (size_t offset = 0; offset < encoding.size(); offset += block) {
+    if (offset > 0) out << ' ';
+    graph::Label label = encoding[offset];
+    if (label < label_names.size()) {
+      out << label_names[label];
+    } else {
+      out << '#' << static_cast<int>(label);
+    }
+    out << "|in:";
+    for (int l = 0; l < num_labels; ++l) {
+      out << static_cast<int>(encoding[offset + 1 + l]);
+    }
+    out << "|out:";
+    for (int l = 0; l < num_labels; ++l) {
+      out << static_cast<int>(encoding[offset + 1 + num_labels + l]);
+    }
+  }
+  return out.str();
+}
+
+// --- DirectedCensusWorker ---------------------------------------------------
+
+DirectedCensusWorker::DirectedCensusWorker(const graph::DirectedHetGraph& graph,
+                                           const CensusConfig& config)
+    : graph_(graph),
+      config_(config),
+      num_effective_labels_(graph.num_labels() +
+                            (config.mask_start_label ? 1 : 0)),
+      node_epoch_(graph.num_nodes(), 0),
+      linear_contribution_(graph.num_nodes(), 0) {
+  assert(config_.max_edges >= 1);
+  // Two independent odd base families: one for in-, one for out-counts.
+  const int L = num_effective_labels_;
+  std::vector<uint64_t> out_bases(L);
+  std::vector<uint64_t> in_bases(L);
+  uint64_t state = config_.hash_seed ^ 0x5851f42d4c957f2dULL;
+  for (int l = 0; l < L; ++l) out_bases[l] = util::SplitMix64(state) | 1ULL;
+  for (int l = 0; l < L; ++l) in_bases[l] = util::SplitMix64(state) | 1ULL;
+  out_power_.resize(static_cast<size_t>(L) * L);
+  in_power_.resize(static_cast<size_t>(L) * L);
+  for (int a = 0; a < L; ++a) {
+    uint64_t po = out_bases[a];
+    uint64_t pi = in_bases[a];
+    for (int i = 0; i < L; ++i) {
+      out_power_[static_cast<size_t>(a) * L + i] = po;
+      in_power_[static_cast<size_t>(a) * L + i] = pi;
+      po *= out_bases[a];
+      pi *= in_bases[a];
+    }
+  }
+}
+
+graph::Label DirectedCensusWorker::EffectiveLabel(graph::NodeId v) const {
+  if (config_.mask_start_label && v == start_) {
+    return static_cast<graph::Label>(graph_.num_labels());
+  }
+  return graph_.label(v);
+}
+
+uint64_t DirectedCensusWorker::Contribution(uint64_t linear) const {
+  return config_.mix_contributions ? Mix(linear) : linear;
+}
+
+graph::NodeId DirectedCensusWorker::AddArc(const CandidateArc& arc) {
+  const graph::Label lt = EffectiveLabel(arc.tail);
+  const graph::Label lh = EffectiveLabel(arc.head);
+  const uint64_t tail_delta = OutPower(lt, lh);  // tail gains an out-neighbour
+  const uint64_t head_delta = InPower(lh, lt);   // head gains an in-neighbour
+  graph::NodeId added = -1;
+
+  // At most one endpoint is outside the subgraph (candidate invariant).
+  auto apply = [&](graph::NodeId v, uint64_t delta) {
+    if (InSubgraph(v)) {
+      current_hash_ -= Contribution(linear_contribution_[v]);
+      linear_contribution_[v] += delta;
+      current_hash_ += Contribution(linear_contribution_[v]);
+    } else {
+      assert(added == -1);
+      node_epoch_[v] = epoch_;
+      linear_contribution_[v] = delta;
+      current_hash_ += Contribution(delta);
+      added = v;
+    }
+  };
+  apply(arc.tail, tail_delta);
+  apply(arc.head, head_delta);
+  return added;
+}
+
+void DirectedCensusWorker::RemoveArc(const CandidateArc& arc,
+                                     graph::NodeId added_node) {
+  const graph::Label lt = EffectiveLabel(arc.tail);
+  const graph::Label lh = EffectiveLabel(arc.head);
+  auto revert = [this](graph::NodeId v, uint64_t delta) {
+    current_hash_ -= Contribution(linear_contribution_[v]);
+    linear_contribution_[v] -= delta;
+    current_hash_ += Contribution(linear_contribution_[v]);
+  };
+  if (added_node == arc.tail) {
+    current_hash_ -= Contribution(linear_contribution_[arc.tail]);
+    node_epoch_[arc.tail] = 0;
+    revert(arc.head, InPower(lh, lt));
+  } else if (added_node == arc.head) {
+    current_hash_ -= Contribution(linear_contribution_[arc.head]);
+    node_epoch_[arc.head] = 0;
+    revert(arc.tail, OutPower(lt, lh));
+  } else {
+    revert(arc.tail, OutPower(lt, lh));
+    revert(arc.head, InPower(lh, lt));
+  }
+}
+
+void DirectedCensusWorker::AppendFrontierOf(graph::NodeId w,
+                                            const CandidateArc& discovery) {
+  if (IsBlocked(w)) return;
+  auto offer = [&](graph::NodeId tail, graph::NodeId head,
+                   graph::NodeId other) {
+    if (!InSubgraph(other)) {
+      arena_.push_back({tail, head});
+    } else if (IsBlocked(other) &&
+               !(tail == discovery.tail && head == discovery.head)) {
+      // Blocked nodes never offer their own arcs; offer cycle closers here
+      // (excluding the discovery arc itself).
+      arena_.push_back({tail, head});
+    }
+  };
+  for (graph::NodeId y : graph_.successors(w)) offer(w, y, y);
+  for (graph::NodeId y : graph_.predecessors(w)) offer(y, w, y);
+}
+
+Encoding DirectedCensusWorker::MaterializeEncoding() const {
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(arc_stack_.size() + 1);
+  for (const auto& [t, h] : arc_stack_) {
+    nodes.push_back(t);
+    nodes.push_back(h);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  const int L = num_effective_labels_;
+  const int block = 1 + 2 * L;
+  std::vector<std::vector<uint8_t>> blocks(nodes.size());
+  auto index_of = [&nodes](graph::NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    blocks[i].assign(block, 0);
+    blocks[i][0] = EffectiveLabel(nodes[i]);
+  }
+  for (const auto& [t, h] : arc_stack_) {
+    ++blocks[index_of(h)][1 + EffectiveLabel(t)];          // in-count of head
+    ++blocks[index_of(t)][1 + L + EffectiveLabel(h)];      // out-count of tail
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+  Encoding encoding;
+  encoding.reserve(blocks.size() * block);
+  for (const auto& bytes : blocks) {
+    encoding.insert(encoding.end(), bytes.begin(), bytes.end());
+  }
+  return encoding;
+}
+
+void DirectedCensusWorker::Extend(size_t begin, size_t end, int depth,
+                                  CensusResult& result) {
+  for (size_t i = begin; i < end; ++i) {
+    if (config_.max_subgraphs > 0 &&
+        result.total_subgraphs >= config_.max_subgraphs) {
+      result.truncated = true;
+      return;
+    }
+    const CandidateArc arc = arena_[i];
+    graph::NodeId added = AddArc(arc);
+    arc_stack_.emplace_back(arc.tail, arc.head);
+
+    result.counts.Add(current_hash_, 1);
+    ++result.total_subgraphs;
+    if (config_.keep_encodings &&
+        !result.encodings.contains(current_hash_)) {
+      result.encodings.emplace(current_hash_, MaterializeEncoding());
+    }
+
+    if (depth + 1 < config_.max_edges) {
+      const size_t child_begin = arena_.size();
+      for (size_t t = i + 1; t < end; ++t) {
+        CandidateArc carried = arena_[t];
+        arena_.push_back(carried);
+      }
+      if (added != -1) AppendFrontierOf(added, arc);
+      Extend(child_begin, arena_.size(), depth + 1, result);
+      arena_.resize(child_begin);
+    }
+    arc_stack_.pop_back();
+    RemoveArc(arc, added);
+    if (result.truncated) return;
+  }
+}
+
+void DirectedCensusWorker::Run(graph::NodeId start, CensusResult& result) {
+  assert(start >= 0 && start < graph_.num_nodes());
+  result.counts.Clear();
+  result.encodings.clear();
+  result.total_subgraphs = 0;
+  result.truncated = false;
+
+  start_ = start;
+  ++epoch_;
+  node_epoch_[start] = epoch_;
+  linear_contribution_[start] = 0;
+  current_hash_ = Contribution(0);
+
+  arena_.clear();
+  arc_stack_.clear();
+  for (graph::NodeId y : graph_.successors(start)) arena_.push_back({start, y});
+  for (graph::NodeId y : graph_.predecessors(start)) arena_.push_back({y, start});
+  Extend(0, arena_.size(), 0, result);
+  node_epoch_[start] = 0;
+}
+
+CensusResult RunDirectedCensus(const graph::DirectedHetGraph& graph,
+                               graph::NodeId start,
+                               const CensusConfig& config) {
+  DirectedCensusWorker worker(graph, config);
+  return worker.Run(start);
+}
+
+}  // namespace hsgf::core

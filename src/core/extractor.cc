@@ -1,0 +1,69 @@
+#include "core/extractor.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "graph/degree_stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hsgf::core {
+
+ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
+                                 const std::vector<graph::NodeId>& nodes,
+                                 const ExtractorConfig& config) {
+  CensusConfig census_config = config.census;
+  if (config.dmax_percentile > 0.0 && config.dmax_percentile < 100.0) {
+    census_config.max_degree =
+        graph::DegreePercentile(graph, config.dmax_percentile);
+  } else if (config.dmax_percentile >= 100.0) {
+    census_config.max_degree = 0;
+  }
+
+  ExtractionResult result;
+  result.effective_dmax = census_config.max_degree;
+
+  std::vector<CensusResult> censuses(nodes.size());
+  if (config.record_timings) result.seconds_per_node.assign(nodes.size(), 0.0);
+
+  unsigned num_threads = config.num_threads;
+  if (num_threads == 0) num_threads = 0;  // ThreadPool resolves hardware count
+
+  auto process = [&](CensusWorker& worker, size_t i) {
+    util::Stopwatch watch;
+    worker.Run(nodes[i], censuses[i]);
+    if (config.record_timings) {
+      result.seconds_per_node[i] = watch.ElapsedSeconds();
+    }
+  };
+
+  if (num_threads == 1 || nodes.size() <= 1) {
+    CensusWorker worker(graph, census_config);
+    for (size_t i = 0; i < nodes.size(); ++i) process(worker, i);
+  } else {
+    util::ThreadPool pool(num_threads);
+    std::atomic<size_t> cursor{0};
+    const unsigned worker_count = pool.num_threads();
+    for (unsigned t = 0; t < worker_count; ++t) {
+      pool.Submit([&] {
+        // One O(V) census worker per thread; the graph is shared read-only
+        // (paper: O(tV + E) memory).
+        CensusWorker worker(graph, census_config);
+        for (;;) {
+          size_t i = cursor.fetch_add(1);
+          if (i >= nodes.size()) return;
+          process(worker, i);
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  for (const CensusResult& census : censuses) {
+    result.total_subgraphs += census.total_subgraphs;
+  }
+  result.features = BuildFeatureSet(censuses, config.features);
+  return result;
+}
+
+}  // namespace hsgf::core

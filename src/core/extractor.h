@@ -1,0 +1,54 @@
+#ifndef HSGF_CORE_EXTRACTOR_H_
+#define HSGF_CORE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/census.h"
+#include "core/feature_matrix.h"
+#include "graph/het_graph.h"
+
+namespace hsgf::core {
+
+// High-level entry point: run the rooted subgraph census for a set of nodes
+// (in parallel, per paper §3.2 "trivially parallelizable by starting node")
+// and assemble the heterogeneous subgraph feature matrix.
+struct ExtractorConfig {
+  CensusConfig census;
+
+  // Convenience: when in (0, 100), census.max_degree is derived as the
+  // degree at this percentile of the graph's degree distribution (the
+  // Table 2 parameterization). 0 keeps census.max_degree as given; 100
+  // disables the constraint.
+  double dmax_percentile = 0.0;
+
+  // Worker threads for the per-node fan-out (0 = hardware concurrency).
+  unsigned num_threads = 1;
+
+  FeatureBuildOptions features;
+
+  // Record per-node census wall-clock time (Table 3).
+  bool record_timings = false;
+};
+
+struct ExtractionResult {
+  FeatureSet features;
+  // Census wall-clock seconds per node (input order); empty unless
+  // record_timings.
+  std::vector<double> seconds_per_node;
+  // The dmax actually applied (0 = unlimited).
+  int effective_dmax = 0;
+  // Total subgraph occurrences enumerated over all nodes.
+  int64_t total_subgraphs = 0;
+};
+
+// Runs the census rooted at every node in `nodes` and builds the feature
+// set. `nodes` may contain any subset of the graph's nodes (the paper
+// samples 250 per label for label prediction and all institutions for rank
+// prediction).
+ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
+                                 const std::vector<graph::NodeId>& nodes,
+                                 const ExtractorConfig& config);
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_EXTRACTOR_H_

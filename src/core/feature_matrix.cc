@@ -1,0 +1,67 @@
+#include "core/feature_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsgf::core {
+
+FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
+                           const FeatureBuildOptions& options) {
+  // Total count per hash across all nodes.
+  std::unordered_map<uint64_t, int64_t> totals;
+  for (const CensusResult& census : censuses) {
+    census.counts.ForEach(
+        [&totals](uint64_t hash, int64_t count) { totals[hash] += count; });
+  }
+
+  // Select the feature columns.
+  std::vector<std::pair<uint64_t, int64_t>> candidates;
+  candidates.reserve(totals.size());
+  for (const auto& [hash, total] : totals) {
+    if (total >= options.min_total_count) candidates.emplace_back(hash, total);
+  }
+  if (options.max_features > 0 &&
+      static_cast<int>(candidates.size()) > options.max_features) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + options.max_features,
+                     candidates.end(), [](const auto& a, const auto& b) {
+                       if (a.second != b.second) return a.second > b.second;
+                       return a.first < b.first;
+                     });
+    candidates.resize(options.max_features);
+  }
+  // Deterministic column order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  FeatureSet set;
+  set.feature_hashes.reserve(candidates.size());
+  std::unordered_map<uint64_t, int> column_of;
+  column_of.reserve(candidates.size());
+  for (const auto& [hash, total] : candidates) {
+    column_of.emplace(hash, static_cast<int>(set.feature_hashes.size()));
+    set.feature_hashes.push_back(hash);
+  }
+
+  set.matrix = ml::Matrix(static_cast<int>(censuses.size()),
+                          static_cast<int>(set.feature_hashes.size()));
+  for (size_t r = 0; r < censuses.size(); ++r) {
+    double* row = set.matrix.row(static_cast<int>(r));
+    censuses[r].counts.ForEach([&](uint64_t hash, int64_t count) {
+      auto it = column_of.find(hash);
+      if (it == column_of.end()) return;
+      row[it->second] = options.log1p_transform
+                            ? std::log1p(static_cast<double>(count))
+                            : static_cast<double>(count);
+    });
+    for (const auto& [hash, encoding] : censuses[r].encodings) {
+      if (column_of.contains(hash)) set.encodings.emplace(hash, encoding);
+    }
+  }
+  return set;
+}
+
+}  // namespace hsgf::core

@@ -1,0 +1,43 @@
+#ifndef HSGF_CORE_FEATURE_MATRIX_H_
+#define HSGF_CORE_FEATURE_MATRIX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/census.h"
+#include "core/encoding.h"
+#include "ml/matrix.h"
+
+namespace hsgf::core {
+
+// Options for turning per-node sparse censuses into a dense feature matrix
+// shared across nodes (each distinct subgraph encoding is one feature
+// column; its value is the count, Eq. 4).
+struct FeatureBuildOptions {
+  // Drop features whose total count over all nodes is below this.
+  int64_t min_total_count = 0;
+
+  // Keep only the `max_features` columns with the largest total counts
+  // (0 = keep everything). Ties broken by hash for determinism.
+  int max_features = 0;
+
+  // Apply log(1 + count): subgraph counts span many orders of magnitude and
+  // the linear models need tamed scales. Tree models are invariant to this.
+  bool log1p_transform = true;
+};
+
+struct FeatureSet {
+  ml::Matrix matrix;                     // rows follow the input node order
+  std::vector<uint64_t> feature_hashes;  // column -> encoding hash
+  // hash -> canonical encoding, merged from the censuses when available.
+  std::unordered_map<uint64_t, Encoding> encodings;
+};
+
+// Assembles the dense matrix from one census per node.
+FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
+                           const FeatureBuildOptions& options = {});
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_FEATURE_MATRIX_H_

@@ -1,0 +1,133 @@
+#include "core/isomorphism.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+namespace hsgf::core {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Iterative invariant refinement: start from (label, degree) and fold in the
+// sorted multiset of neighbour invariants until stable (n rounds suffice).
+// Invariants are preserved by any label-preserving isomorphism, so nodes
+// that can possibly correspond always share an invariant.
+std::vector<uint64_t> RefineInvariants(const SmallGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<uint64_t> invariant(n);
+  for (int v = 0; v < n; ++v) {
+    invariant[v] = MixHash(graph.label(v) + 1, graph.Degree(v) + 1);
+  }
+  std::vector<uint64_t> next(n);
+  std::vector<uint64_t> neighbor_invs;
+  for (int round = 0; round < n; ++round) {
+    for (int v = 0; v < n; ++v) {
+      neighbor_invs.clear();
+      uint16_t mask = graph.NeighborMask(v);
+      while (mask != 0) {
+        int u = std::countr_zero(mask);
+        mask &= static_cast<uint16_t>(mask - 1);
+        neighbor_invs.push_back(invariant[u]);
+      }
+      std::sort(neighbor_invs.begin(), neighbor_invs.end());
+      uint64_t h = invariant[v];
+      for (uint64_t ni : neighbor_invs) h = MixHash(h, ni);
+      next[v] = h;
+    }
+    invariant.swap(next);
+  }
+  return invariant;
+}
+
+// Serializes the graph under the node order given by `perm` (perm[i] =
+// original node placed at position i): labels first, then the upper
+// triangle of the adjacency matrix as bytes.
+std::vector<uint8_t> Serialize(const SmallGraph& graph,
+                               const std::vector<int>& perm) {
+  const int n = graph.num_nodes();
+  std::vector<uint8_t> bytes;
+  bytes.reserve(n + n * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) bytes.push_back(graph.label(perm[i]));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bytes.push_back(graph.HasEdge(perm[i], perm[j]) ? 1 : 0);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<uint8_t> CanonicalForm(const SmallGraph& graph) {
+  const int n = graph.num_nodes();
+  if (n == 0) return {};
+  std::vector<uint64_t> invariant = RefineInvariants(graph);
+
+  // Sort nodes by invariant to fix the order of classes; only permutations
+  // within equal-invariant runs need to be explored (isomorphisms map
+  // classes onto classes).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (invariant[a] != invariant[b]) return invariant[a] < invariant[b];
+    return a < b;
+  });
+
+  // Identify runs of equal invariants.
+  std::vector<std::pair<int, int>> runs;  // [begin, end) into `order`
+  for (int begin = 0; begin < n;) {
+    int end = begin + 1;
+    while (end < n && invariant[order[end]] == invariant[order[begin]]) ++end;
+    runs.emplace_back(begin, end);
+    begin = end;
+  }
+
+  std::vector<uint8_t> best;
+  std::vector<int> perm = order;
+  // Enumerate the Cartesian product of within-run permutations via recursive
+  // std::next_permutation sweeps.
+  auto explore = [&](auto&& self, size_t run_index) -> void {
+    if (run_index == runs.size()) {
+      std::vector<uint8_t> bytes = Serialize(graph, perm);
+      if (best.empty() || bytes < best) best = std::move(bytes);
+      return;
+    }
+    auto [begin, end] = runs[run_index];
+    std::sort(perm.begin() + begin, perm.begin() + end);
+    do {
+      self(self, run_index + 1);
+    } while (std::next_permutation(perm.begin() + begin, perm.begin() + end));
+  };
+  explore(explore, 0);
+  return best;
+}
+
+bool AreIsomorphic(const SmallGraph& a, const SmallGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  // Cheap multiset invariant checks before the exponential canonical form.
+  std::vector<uint64_t> inv_a = RefineInvariants(a);
+  std::vector<uint64_t> inv_b = RefineInvariants(b);
+  std::sort(inv_a.begin(), inv_a.end());
+  std::sort(inv_b.begin(), inv_b.end());
+  if (inv_a != inv_b) return false;
+  return CanonicalForm(a) == CanonicalForm(b);
+}
+
+uint64_t IsomorphismInvariant(const SmallGraph& graph) {
+  std::vector<uint8_t> canonical = CanonicalForm(graph);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : canonical) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace hsgf::core

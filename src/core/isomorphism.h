@@ -1,0 +1,36 @@
+#ifndef HSGF_CORE_ISOMORPHISM_H_
+#define HSGF_CORE_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/small_graph.h"
+
+namespace hsgf::core {
+
+// Exact label-preserving isomorphism for SmallGraphs (paper §3, "Graph
+// Isomorphism"): G ≃ G' iff a bijection φ exists with uv ∈ E ⇔ φ(u)φ(v) ∈ E'
+// and λ(v) = λ(φ(v)).
+//
+// Implementation: iterative refinement of node invariants (label, degree,
+// sorted multiset of neighbour invariants) to split nodes into candidate
+// classes, then backtracking search over class-respecting bijections. Small
+// graphs only (≤ 16 nodes); used by tests and the §3.1 collision study,
+// never on the census hot path.
+bool AreIsomorphic(const SmallGraph& a, const SmallGraph& b);
+
+// A canonical 64-bit invariant: equal for isomorphic graphs (by
+// construction), and distinct for non-isomorphic graphs up to hashing
+// accidents. Computed from the canonical form below. Useful for bucketing
+// before exact checks.
+uint64_t IsomorphismInvariant(const SmallGraph& graph);
+
+// The lexicographically smallest (labels, adjacency-bits) representation
+// over all node permutations that respect the refinement classes. Two graphs
+// are isomorphic iff their canonical forms are equal. Exponential worst
+// case; fine for ≤ 8-node subgraphs.
+std::vector<uint8_t> CanonicalForm(const SmallGraph& graph);
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_ISOMORPHISM_H_

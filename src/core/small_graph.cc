@@ -1,0 +1,122 @@
+#include "core/small_graph.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace hsgf::core {
+
+SmallGraph::SmallGraph(std::vector<graph::Label> labels)
+    : labels_(std::move(labels)) {
+  assert(num_nodes() <= kMaxNodes);
+}
+
+int SmallGraph::num_edges() const {
+  int total = 0;
+  for (int v = 0; v < num_nodes(); ++v) total += Degree(v);
+  return total / 2;
+}
+
+void SmallGraph::AddEdge(int u, int v) {
+  assert(u != v && u >= 0 && v >= 0 && u < num_nodes() && v < num_nodes());
+  adjacency_[u] |= static_cast<uint16_t>(1u << v);
+  adjacency_[v] |= static_cast<uint16_t>(1u << u);
+}
+
+void SmallGraph::RemoveEdge(int u, int v) {
+  adjacency_[u] &= static_cast<uint16_t>(~(1u << v));
+  adjacency_[v] &= static_cast<uint16_t>(~(1u << u));
+}
+
+int SmallGraph::Degree(int v) const { return std::popcount(adjacency_[v]); }
+
+int SmallGraph::LabelDegree(int v, graph::Label l) const {
+  int count = 0;
+  uint16_t mask = adjacency_[v];
+  while (mask != 0) {
+    int u = std::countr_zero(mask);
+    mask &= static_cast<uint16_t>(mask - 1);
+    if (labels_[u] == l) ++count;
+  }
+  return count;
+}
+
+bool SmallGraph::IsConnected() const {
+  if (num_nodes() == 0) return true;
+  uint16_t visited = 1u;  // start at node 0
+  uint16_t frontier = 1u;
+  const uint16_t all = static_cast<uint16_t>((1u << num_nodes()) - 1);
+  while (frontier != 0) {
+    uint16_t next = 0;
+    uint16_t f = frontier;
+    while (f != 0) {
+      int v = std::countr_zero(f);
+      f &= static_cast<uint16_t>(f - 1);
+      next |= adjacency_[v];
+    }
+    frontier = next & static_cast<uint16_t>(~visited);
+    visited |= next;
+    if (visited == all) return true;
+  }
+  return visited == all;
+}
+
+int SmallGraph::MaxLabelPlusOne() const {
+  int max_label = -1;
+  for (graph::Label l : labels_) max_label = std::max<int>(max_label, l);
+  return max_label + 1;
+}
+
+SmallGraph SmallGraph::InducedOn(uint16_t mask) const {
+  std::vector<int> keep;
+  std::vector<graph::Label> labels;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if ((mask >> v) & 1u) {
+      keep.push_back(v);
+      labels.push_back(labels_[v]);
+    }
+  }
+  SmallGraph out(std::move(labels));
+  for (size_t i = 0; i < keep.size(); ++i) {
+    for (size_t j = i + 1; j < keep.size(); ++j) {
+      if (HasEdge(keep[i], keep[j])) out.AddEdge(static_cast<int>(i),
+                                                 static_cast<int>(j));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> SmallGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (int v = u + 1; v < num_nodes(); ++v) {
+      if (HasEdge(u, v)) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::string SmallGraph::ToString(
+    const std::vector<std::string>& label_names) const {
+  std::ostringstream out;
+  out << "labels=[";
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (v > 0) out << ',';
+    if (labels_[v] < label_names.size()) {
+      out << label_names[labels_[v]];
+    } else {
+      out << static_cast<int>(labels_[v]);
+    }
+  }
+  out << "] edges=[";
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) out << ',';
+    first = false;
+    out << '(' << u << ',' << v << ')';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace hsgf::core

@@ -1,0 +1,69 @@
+#ifndef HSGF_CORE_SMALL_GRAPH_H_
+#define HSGF_CORE_SMALL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::core {
+
+// A tiny labelled undirected graph (<= kMaxNodes nodes) with bitset
+// adjacency. This is the working representation for everything that reasons
+// about subgraphs *as objects*: the characteristic-sequence encoder, the
+// exact isomorphism test, and the collision study of §3.1. The census itself
+// (census.h) never materializes SmallGraphs on its hot path.
+class SmallGraph {
+ public:
+  static constexpr int kMaxNodes = 16;
+
+  SmallGraph() = default;
+
+  // Creates `num_nodes` isolated nodes with the given labels.
+  explicit SmallGraph(std::vector<graph::Label> labels);
+
+  int num_nodes() const { return static_cast<int>(labels_.size()); }
+  int num_edges() const;
+
+  graph::Label label(int v) const { return labels_[v]; }
+  void set_label(int v, graph::Label l) { labels_[v] = l; }
+
+  bool HasEdge(int u, int v) const {
+    return (adjacency_[u] >> v) & 1u;
+  }
+  void AddEdge(int u, int v);
+  void RemoveEdge(int u, int v);
+
+  // Bitmask of v's neighbours.
+  uint16_t NeighborMask(int v) const { return adjacency_[v]; }
+
+  int Degree(int v) const;
+
+  // Number of v's neighbours with label l.
+  int LabelDegree(int v, graph::Label l) const;
+
+  bool IsConnected() const;
+
+  // Largest label value present plus one (0 for the empty graph).
+  int MaxLabelPlusOne() const;
+
+  // Returns the subgraph induced on the nodes whose bits are set in `mask`
+  // (node ids are compacted in ascending order of original id).
+  SmallGraph InducedOn(uint16_t mask) const;
+
+  // All edges as (u, v) with u < v, ordered.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  // Debug rendering: "labels=[a,b,a] edges=[(0,1),(1,2)]".
+  std::string ToString(
+      const std::vector<std::string>& label_names = {}) const;
+
+ private:
+  std::vector<graph::Label> labels_;
+  uint16_t adjacency_[kMaxNodes] = {};
+};
+
+}  // namespace hsgf::core
+
+#endif  // HSGF_CORE_SMALL_GRAPH_H_

@@ -1,0 +1,222 @@
+#include "data/classic_features.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hsgf::data {
+
+namespace {
+
+// Per-institution accumulators over the history window.
+struct InstitutionAggregate {
+  double full_papers = 0;
+  double all_papers = 0;
+  std::unordered_set<int> full_paper_authors;
+  std::unordered_set<int> short_paper_authors;
+  double last_author_occurrences = 0;
+  // Linguistic accumulators (over papers the institution participated in).
+  double papers_seen = 0;
+  double institutions_sum = 0;
+  double keywords_sum = 0;
+  double title_words_sum = 0;
+  double title_chars_sum = 0;
+  std::vector<double> word_class_counts;
+  double distinct_words_sum = 0;
+  double word_length_sum = 0;
+  std::vector<double> top_word_counts;
+};
+
+// Institutions of a paper = all affiliations of its authors.
+std::set<int> PaperInstitutions(const PublicationWorld& world, int paper_id) {
+  std::set<int> institutions;
+  for (int a : world.papers()[paper_id].authors) {
+    const auto& author = world.authors()[a];
+    institutions.insert(author.primary_institution);
+    if (author.secondary_institution >= 0) {
+      institutions.insert(author.secondary_institution);
+    }
+  }
+  return institutions;
+}
+
+}  // namespace
+
+ClassicFeatureSet BuildClassicFeatures(const PublicationWorld& world,
+                                       int conference, int target_year,
+                                       int history_years) {
+  const WorldConfig& config = world.config();
+  const int first_history_year =
+      std::max(config.start_year, target_year - history_years);
+  const int num_institutions = world.num_institutions();
+  assert(target_year > config.start_year);
+
+  // Conference-wide top-20 title words over the history window.
+  std::unordered_map<int, int64_t> word_frequency;
+  std::vector<int> history_papers;
+  for (size_t p = 0; p < world.papers().size(); ++p) {
+    const auto& paper = world.papers()[p];
+    if (paper.conference != conference || paper.year < first_history_year ||
+        paper.year >= target_year) {
+      continue;
+    }
+    history_papers.push_back(static_cast<int>(p));
+    for (int w : paper.title_words) ++word_frequency[w];
+  }
+  std::vector<std::pair<int64_t, int>> ranked;  // (count, word)
+  ranked.reserve(word_frequency.size());
+  for (const auto& [word, count] : word_frequency) {
+    ranked.emplace_back(count, word);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  constexpr int kTopWords = 20;
+  std::vector<int> top_words;
+  std::unordered_map<int, int> top_word_index;
+  for (int i = 0; i < kTopWords && i < static_cast<int>(ranked.size()); ++i) {
+    top_word_index.emplace(ranked[i].second, i);
+    top_words.push_back(ranked[i].second);
+  }
+
+  // Aggregate per institution.
+  std::vector<InstitutionAggregate> agg(num_institutions);
+  for (auto& a : agg) {
+    a.word_class_counts.assign(PublicationWorld::kNumWordClasses, 0.0);
+    a.top_word_counts.assign(kTopWords, 0.0);
+  }
+  // Per-author paper counts at this conference (for the authorship
+  // feature: average papers per year per author, summed by institution).
+  std::unordered_map<int, int> author_paper_count;
+
+  for (int p : history_papers) {
+    const auto& paper = world.papers()[p];
+    std::set<int> institutions = PaperInstitutions(world, p);
+    for (int a : paper.authors) ++author_paper_count[a];
+    // Linguistic statistics of this paper, attributed to each participating
+    // institution.
+    double title_chars = 0;
+    std::vector<double> class_counts(PublicationWorld::kNumWordClasses, 0.0);
+    std::set<int> distinct_words;
+    double word_length_total = 0;
+    for (int w : paper.title_words) {
+      title_chars += world.WordLength(w);
+      word_length_total += world.WordLength(w);
+      ++class_counts[world.WordClass(w)];
+      distinct_words.insert(w);
+    }
+    for (int i : institutions) {
+      InstitutionAggregate& a = agg[i];
+      if (paper.full_paper) {
+        a.full_papers += 1;
+      }
+      a.all_papers += 1;
+      for (int author : paper.authors) {
+        (paper.full_paper ? a.full_paper_authors : a.short_paper_authors)
+            .insert(author);
+      }
+      if (!paper.authors.empty()) {
+        const auto& last = world.authors()[paper.authors.back()];
+        if (last.primary_institution == i ||
+            last.secondary_institution == i) {
+          a.last_author_occurrences += 1;
+        }
+      }
+      a.papers_seen += 1;
+      a.institutions_sum += static_cast<double>(institutions.size());
+      a.keywords_sum += paper.num_keywords;
+      a.title_words_sum += static_cast<double>(paper.title_words.size());
+      a.title_chars_sum += title_chars;
+      for (int cls = 0; cls < PublicationWorld::kNumWordClasses; ++cls) {
+        a.word_class_counts[cls] += class_counts[cls];
+      }
+      a.distinct_words_sum += static_cast<double>(distinct_words.size());
+      a.word_length_sum += word_length_total;
+      for (int w : paper.title_words) {
+        auto it = top_word_index.find(w);
+        if (it != top_word_index.end()) a.top_word_counts[it->second] += 1;
+      }
+    }
+  }
+
+  // Assemble columns.
+  ClassicFeatureSet set;
+  std::vector<std::string>& names = set.names;
+  for (int y = target_year - 1; y >= first_history_year; --y) {
+    names.push_back("rel_" + std::to_string(y));
+  }
+  for (int y = target_year - 1; y >= first_history_year; --y) {
+    names.push_back("rel_norm_" + std::to_string(y));
+  }
+  names.insert(names.end(),
+               {"full_papers", "all_papers", "authorship", "full_authors",
+                "short_authors", "last_author"});
+  names.insert(names.end(),
+               {"avg_institutions", "avg_keywords", "avg_title_words",
+                "avg_title_chars"});
+  for (int cls = 0; cls < PublicationWorld::kNumWordClasses; ++cls) {
+    names.push_back("wordclass_" + std::to_string(cls));
+  }
+  names.insert(names.end(), {"type_token_ratio", "avg_word_length"});
+  for (int i = 0; i < kTopWords; ++i) {
+    names.push_back("topword_" + std::to_string(i));
+  }
+
+  set.matrix = ml::Matrix(num_institutions, static_cast<int>(names.size()));
+  const int years_in_window = target_year - first_history_year;
+  for (int i = 0; i < num_institutions; ++i) {
+    double* row = set.matrix.row(i);
+    int col = 0;
+    for (int y = target_year - 1; y >= first_history_year; --y) {
+      row[col++] = world.Relevance(i, conference, y);
+    }
+    for (int y = target_year - 1; y >= first_history_year; --y) {
+      int accepted = world.AcceptedFullPapers(conference, y);
+      row[col++] = accepted > 0
+                       ? world.Relevance(i, conference, y) / accepted
+                       : 0.0;
+    }
+    const InstitutionAggregate& a = agg[i];
+    row[col++] = a.full_papers;
+    row[col++] = a.all_papers;
+    // Authorship: each institution author's average papers per year, summed.
+    double authorship = 0.0;
+    for (int author : a.full_paper_authors) {
+      authorship += static_cast<double>(author_paper_count[author]) /
+                    years_in_window;
+    }
+    for (int author : a.short_paper_authors) {
+      if (!a.full_paper_authors.contains(author)) {
+        authorship += static_cast<double>(author_paper_count[author]) /
+                      years_in_window;
+      }
+    }
+    row[col++] = authorship;
+    row[col++] = static_cast<double>(a.full_paper_authors.size());
+    row[col++] = static_cast<double>(a.short_paper_authors.size());
+    row[col++] = a.last_author_occurrences;
+
+    const double papers = std::max(1.0, a.papers_seen);
+    row[col++] = a.institutions_sum / papers;
+    row[col++] = a.keywords_sum / papers;
+    row[col++] = a.title_words_sum / papers;
+    row[col++] = a.title_chars_sum / papers;
+    const double words = std::max(1.0, a.title_words_sum);
+    for (int cls = 0; cls < PublicationWorld::kNumWordClasses; ++cls) {
+      row[col++] = a.word_class_counts[cls] / words;
+    }
+    row[col++] = a.distinct_words_sum / words;   // type-token ratio
+    row[col++] = a.word_length_sum / words;      // mean word length
+    for (int w = 0; w < kTopWords; ++w) {
+      row[col++] = a.top_word_counts[w] / papers;
+    }
+    assert(col == static_cast<int>(names.size()));
+  }
+  return set;
+}
+
+}  // namespace hsgf::data

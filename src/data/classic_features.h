@@ -1,0 +1,37 @@
+#ifndef HSGF_DATA_CLASSIC_FEATURES_H_
+#define HSGF_DATA_CLASSIC_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/publication_world.h"
+#include "ml/matrix.h"
+
+namespace hsgf::data {
+
+// The paper's hand-engineered "classic" features (§4.2.2) computed from the
+// simulated publication world for one (conference, target year) pair, using
+// only history strictly before the target year. One row per institution.
+//
+// Core features (i)–(viii): per-year relevance (absolute and normalized by
+// the number of accepted full papers), full/all paper counts, the grouped
+// authorship productivity feature, full/short-paper author counts, and
+// last-author occurrences.
+//
+// Linguistic features (32 total, as in the paper): 4 simple averages
+// (institutions per paper, keywords, title words, title characters), 8
+// word-class features (six class fractions, type-token ratio, mean word
+// length), and 20 usage rates of the conference's overall top-20 title
+// words.
+struct ClassicFeatureSet {
+  ml::Matrix matrix;               // num_institutions x num_features
+  std::vector<std::string> names;  // column names
+};
+
+ClassicFeatureSet BuildClassicFeatures(const PublicationWorld& world,
+                                       int conference, int target_year,
+                                       int history_years = 8);
+
+}  // namespace hsgf::data
+
+#endif  // HSGF_DATA_CLASSIC_FEATURES_H_

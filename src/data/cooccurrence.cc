@@ -1,0 +1,100 @@
+#include "data/cooccurrence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace hsgf::data {
+
+graph::HetGraph MakeCooccurrenceNetwork(const CooccurrenceConfig& config,
+                                        uint64_t seed) {
+  assert(!config.label_names.empty());
+  assert(config.nodes_per_label.size() == config.label_names.size());
+  assert(!config.templates.empty());
+  const int num_labels = static_cast<int>(config.label_names.size());
+
+  graph::GraphBuilder builder(config.label_names);
+  std::vector<graph::NodeId> first_id(num_labels);
+  for (int l = 0; l < num_labels; ++l) {
+    first_id[l] = builder.AddNodes(static_cast<graph::Label>(l),
+                                   config.nodes_per_label[l]);
+  }
+
+  util::Rng rng(seed);
+  std::vector<double> template_weights;
+  template_weights.reserve(config.templates.size());
+  for (const SentenceTemplate& t : config.templates) {
+    assert(!t.member_labels.empty());
+    for (graph::Label l : t.member_labels) {
+      assert(l < num_labels);
+      (void)l;
+    }
+    template_weights.push_back(t.weight);
+  }
+
+  // Mention urns: drawing from the urn reuses entities proportionally to
+  // their past mention counts (prominent entities recur).
+  std::vector<std::vector<graph::NodeId>> mention_urn(num_labels);
+
+  std::vector<graph::NodeId> sentence_entities;
+  for (int64_t s = 0; s < config.num_sentences; ++s) {
+    const SentenceTemplate& sentence =
+        config.templates[rng.Discrete(template_weights)];
+    sentence_entities.clear();
+    for (graph::Label label : sentence.member_labels) {
+      graph::NodeId entity;
+      if (!mention_urn[label].empty() &&
+          rng.Bernoulli(config.reuse_probability)) {
+        entity = mention_urn[label][rng.UniformInt(mention_urn[label].size())];
+      } else {
+        entity = first_id[label] + static_cast<graph::NodeId>(rng.UniformInt(
+                                       config.nodes_per_label[label]));
+      }
+      sentence_entities.push_back(entity);
+      mention_urn[label].push_back(entity);
+    }
+    // The sentence's entities form a clique (duplicates and self loops are
+    // dropped by the builder).
+    for (size_t i = 0; i < sentence_entities.size(); ++i) {
+      for (size_t j = i + 1; j < sentence_entities.size(); ++j) {
+        if (sentence_entities[i] != sentence_entities[j]) {
+          builder.AddEdge(sentence_entities[i], sentence_entities[j]);
+        }
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+CooccurrenceConfig LoadCooccurrenceConfig(double scale) {
+  auto scaled = [scale](int base) {
+    return std::max(4, static_cast<int>(std::lround(base * scale)));
+  };
+  CooccurrenceConfig config;
+  config.label_names = {"L", "O", "A", "D"};
+  config.nodes_per_label = {scaled(1200), scaled(1000), scaled(1500),
+                            scaled(800)};
+  constexpr graph::Label kL = 0, kO = 1, kA = 2, kD = 3;
+  // Sentence templates in the style of Civil War reporting. Every label
+  // pair (including same-label pairs) appears in some template, so the
+  // label connectivity graph is complete with all self loops (Fig. 2).
+  config.templates = {
+      {{kL, kD, kA, kA}, 3.0},   // battle: place, date, two commanders
+      {{kL, kO, kO}, 2.0},       // units engaged at a place
+      {{kA, kO, kD}, 2.0},       // appointment of a commander
+      {{kL, kL, kD}, 1.5},       // troop movement between places
+      {{kA, kA, kA, kO}, 1.5},   // staff listings
+      {{kL, kA}, 2.5},           // biography fragments
+      {{kO, kD}, 1.5},           // formation dates
+      {{kD, kD, kA}, 1.0},       // period descriptions
+      {{kL, kO, kA, kD}, 1.0},   // full event reports
+  };
+  config.num_sentences = static_cast<int64_t>(std::llround(14000 * scale));
+  config.reuse_probability = 0.65;
+  return config;
+}
+
+}  // namespace hsgf::data

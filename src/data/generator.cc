@@ -1,0 +1,93 @@
+#include "data/generator.h"
+
+#include <cassert>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace hsgf::data {
+
+graph::HetGraph MakeNetwork(const NetworkSchema& schema, uint64_t seed) {
+  assert(schema.num_labels() > 0);
+  assert(schema.nodes_per_label.size() == schema.label_names.size());
+
+  graph::GraphBuilder builder(schema.label_names);
+  std::vector<graph::NodeId> first_id(schema.num_labels());
+  for (int l = 0; l < schema.num_labels(); ++l) {
+    first_id[l] = builder.AddNodes(static_cast<graph::Label>(l),
+                                   schema.nodes_per_label[l]);
+  }
+
+  util::Rng rng(seed);
+  for (const RelationSpec& relation : schema.relations) {
+    assert(relation.label_a < schema.num_labels());
+    assert(relation.label_b < schema.num_labels());
+    const int count_a = schema.nodes_per_label[relation.label_a];
+    const int count_b = schema.nodes_per_label[relation.label_b];
+    // Urns of previously used endpoints: drawing from the urn is exactly
+    // degree-proportional sampling within this relation.
+    std::vector<graph::NodeId> urn_a;
+    std::vector<graph::NodeId> urn_b;
+    urn_a.reserve(relation.num_edges);
+    urn_b.reserve(relation.num_edges);
+
+    auto draw = [&rng](double preferential, std::vector<graph::NodeId>& urn,
+                       graph::NodeId first, int count) {
+      if (!urn.empty() && rng.Bernoulli(preferential)) {
+        return urn[rng.UniformInt(urn.size())];
+      }
+      return static_cast<graph::NodeId>(first + rng.UniformInt(count));
+    };
+
+    for (int64_t e = 0; e < relation.num_edges; ++e) {
+      graph::NodeId a = draw(relation.preferential_a, urn_a,
+                             first_id[relation.label_a], count_a);
+      graph::NodeId b = draw(relation.preferential_b, urn_b,
+                             first_id[relation.label_b], count_b);
+      if (a == b) continue;  // same-label relation may collide
+      builder.AddEdge(a, b);
+      urn_a.push_back(a);
+      urn_b.push_back(b);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+graph::DirectedHetGraph MakeDirectedNetwork(const NetworkSchema& schema,
+                                            uint64_t seed) {
+  assert(schema.num_labels() > 0);
+  graph::DiGraphBuilder builder(schema.label_names);
+  std::vector<graph::NodeId> first_id(schema.num_labels());
+  for (int l = 0; l < schema.num_labels(); ++l) {
+    first_id[l] = builder.AddNodes(static_cast<graph::Label>(l),
+                                   schema.nodes_per_label[l]);
+  }
+  util::Rng rng(seed ^ 0xd1e5c7a93b1f0245ULL);
+  for (const RelationSpec& relation : schema.relations) {
+    const int count_a = schema.nodes_per_label[relation.label_a];
+    const int count_b = schema.nodes_per_label[relation.label_b];
+    std::vector<graph::NodeId> urn_a;
+    std::vector<graph::NodeId> urn_b;
+    auto draw = [&rng](double preferential, std::vector<graph::NodeId>& urn,
+                       graph::NodeId first, int count) {
+      if (!urn.empty() && rng.Bernoulli(preferential)) {
+        return urn[rng.UniformInt(urn.size())];
+      }
+      return static_cast<graph::NodeId>(first + rng.UniformInt(count));
+    };
+    for (int64_t e = 0; e < relation.num_edges; ++e) {
+      graph::NodeId a = draw(relation.preferential_a, urn_a,
+                             first_id[relation.label_a], count_a);
+      graph::NodeId b = draw(relation.preferential_b, urn_b,
+                             first_id[relation.label_b], count_b);
+      if (a == b) continue;
+      builder.AddArc(a, b);
+      urn_a.push_back(a);
+      urn_b.push_back(b);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace hsgf::data

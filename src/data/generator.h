@@ -1,0 +1,32 @@
+#ifndef HSGF_DATA_GENERATOR_H_
+#define HSGF_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/schema.h"
+#include "graph/digraph.h"
+#include "graph/het_graph.h"
+
+namespace hsgf::data {
+
+// Realizes a NetworkSchema as a concrete heterogeneous graph.
+//
+// Each relation draws `num_edges` endpoint pairs; an endpoint is chosen
+// preferentially (proportional to its degree within the relation, via a
+// repeated-endpoints urn) with the configured probability, uniformly
+// otherwise. Self loops and duplicate pairs are dropped, so realized edge
+// counts are slightly below the requested ones in dense relations.
+//
+// Node ids are grouped by label: label l occupies a contiguous id range in
+// schema order.
+graph::HetGraph MakeNetwork(const NetworkSchema& schema, uint64_t seed);
+
+// Directed variant: every relation produces arcs label_a -> label_b (e.g.
+// P -> P citations point from citing to cited paper). Used by the directed
+// subgraph-feature extension (paper §5 future work).
+graph::DirectedHetGraph MakeDirectedNetwork(const NetworkSchema& schema,
+                                            uint64_t seed);
+
+}  // namespace hsgf::data
+
+#endif  // HSGF_DATA_GENERATOR_H_

@@ -1,0 +1,324 @@
+#include "data/publication_world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace hsgf::data {
+
+namespace {
+
+uint64_t WordHash(int word) {
+  uint64_t state = 0x5bf03635f0935ac1ULL + static_cast<uint64_t>(word);
+  return hsgf::util::SplitMix64(state);
+}
+
+}  // namespace
+
+PublicationWorld::PublicationWorld(const WorldConfig& config, uint64_t seed)
+    : config_(config) {
+  assert(config_.num_institutions > 0);
+  assert(!config_.conference_names.empty());
+  assert(config_.end_year >= config_.start_year);
+  util::Rng rng(seed);
+
+  const int num_conf = num_conferences();
+  const int num_inst = config_.num_institutions;
+
+  // Latent institution quality: heavy-tailed, a few strong institutions.
+  institution_quality_.resize(num_inst);
+  double quality_sum = 0.0;
+  for (int i = 0; i < num_inst; ++i) {
+    institution_quality_[i] = rng.Pareto(1.0, 1.1);
+    quality_sum += institution_quality_[i];
+  }
+  const double quality_mean = quality_sum / num_inst;
+
+  // Conference lean: how strongly each institution publishes at each venue.
+  institution_lean_.resize(static_cast<size_t>(num_inst) * num_conf);
+  for (int i = 0; i < num_inst; ++i) {
+    double total = 0.0;
+    for (int c = 0; c < num_conf; ++c) {
+      double w = std::exp(rng.Normal(0.0, 1.0));
+      institution_lean_[static_cast<size_t>(i) * num_conf + c] = w;
+      total += w;
+    }
+    for (int c = 0; c < num_conf; ++c) {
+      institution_lean_[static_cast<size_t>(i) * num_conf + c] /= total;
+    }
+  }
+
+  // Authors, grouped by institution (institution-major author ids).
+  authors_of_institution_first_.assign(num_inst + 1, 0);
+  for (int i = 0; i < num_inst; ++i) {
+    double mean = config_.authors_per_institution_mean *
+                  (0.5 + institution_quality_[i] / quality_mean);
+    int count = std::max(1, rng.Poisson(mean));
+    authors_of_institution_first_[i + 1] =
+        authors_of_institution_first_[i] + count;
+    for (int a = 0; a < count; ++a) {
+      Author author;
+      author.primary_institution = i;
+      author.productivity = rng.Pareto(0.4, 1.6);
+      if (rng.Bernoulli(config_.multi_affiliation_prob) && num_inst > 1) {
+        int other = static_cast<int>(rng.UniformInt(num_inst - 1));
+        if (other >= i) ++other;
+        author.secondary_institution = other;
+      }
+      authors_.push_back(author);
+    }
+  }
+
+  // Per-conference institution weights for lead-institution selection.
+  std::vector<std::vector<double>> institution_weight(num_conf);
+  for (int c = 0; c < num_conf; ++c) {
+    institution_weight[c].resize(num_inst);
+    for (int i = 0; i < num_inst; ++i) {
+      institution_weight[c][i] =
+          institution_quality_[i] *
+          institution_lean_[static_cast<size_t>(i) * num_conf + c];
+    }
+  }
+
+  auto pick_author_from = [&](int institution) {
+    int begin = authors_of_institution_first_[institution];
+    int end = authors_of_institution_first_[institution + 1];
+    std::vector<double> weights(end - begin);
+    for (int a = begin; a < end; ++a) {
+      weights[a - begin] = authors_[a].productivity;
+    }
+    return begin + rng.Discrete(weights);
+  };
+
+  // Paper generation, year by year so citations only point backwards.
+  std::vector<int> citation_urn;  // paper ids, degree-proportional
+  std::vector<std::vector<int>> prior_by_conference(num_conf);
+  relevance_.assign(
+      num_conf, std::vector<std::vector<double>>(
+                    NumYears(), std::vector<double>(num_inst, 0.0)));
+  accepted_full_.assign(num_conf, std::vector<int>(NumYears(), 0));
+
+  for (int year = config_.start_year; year <= config_.end_year; ++year) {
+    const int yi = YearIndex(year);
+    std::vector<int> new_papers_this_year;
+    for (int c = 0; c < num_conf; ++c) {
+      int full = std::max(5, rng.Poisson(config_.mean_full_papers));
+      int shorts = std::max(2, rng.Poisson(config_.mean_short_papers));
+      accepted_full_[c][yi] = full;
+      for (int p = 0; p < full + shorts; ++p) {
+        Paper paper;
+        paper.conference = c;
+        paper.year = year;
+        paper.full_paper = p < full;
+
+        // Author team.
+        int lead_institution = rng.Discrete(institution_weight[c]);
+        int team_size = std::min(8, 1 + rng.Poisson(1.8));
+        std::unordered_set<int> team;
+        team.insert(pick_author_from(lead_institution));
+        for (int t = 1; t < static_cast<int>(team_size); ++t) {
+          int institution = lead_institution;
+          if (rng.Bernoulli(config_.cross_institution_collab_prob)) {
+            institution = rng.Discrete(institution_weight[c]);
+          }
+          team.insert(pick_author_from(institution));
+        }
+        paper.authors.assign(team.begin(), team.end());
+        rng.Shuffle(paper.authors);
+        // Seniority: the most productive team member tends to sign last.
+        if (paper.authors.size() > 1 && rng.Bernoulli(0.7)) {
+          auto senior = std::max_element(
+              paper.authors.begin(), paper.authors.end(),
+              [this](int a, int b) {
+                return authors_[a].productivity < authors_[b].productivity;
+              });
+          std::iter_swap(senior, paper.authors.end() - 1);
+        }
+
+        // References to earlier papers: preferential (citation urn) mixed
+        // with uniform, biased toward the same conference.
+        if (!papers_.empty()) {
+          int num_refs = rng.Poisson(config_.citation_mean);
+          for (int r = 0; r < num_refs; ++r) {
+            int ref;
+            if (!citation_urn.empty() && rng.Bernoulli(0.6)) {
+              ref = citation_urn[rng.UniformInt(citation_urn.size())];
+            } else if (!prior_by_conference[c].empty() && rng.Bernoulli(0.5)) {
+              ref = prior_by_conference[c][rng.UniformInt(
+                  prior_by_conference[c].size())];
+            } else {
+              ref = static_cast<int>(rng.UniformInt(papers_.size()));
+            }
+            paper.references.push_back(ref);
+          }
+          std::sort(paper.references.begin(), paper.references.end());
+          paper.references.erase(
+              std::unique(paper.references.begin(), paper.references.end()),
+              paper.references.end());
+          for (int ref : paper.references) citation_urn.push_back(ref);
+        }
+
+        // Title: mixture of a conference-specific Zipf vocabulary (topical
+        // words) and the global Zipf distribution.
+        int title_length =
+            std::max(3, rng.Poisson(config_.title_words_mean));
+        for (int w = 0; w < title_length; ++w) {
+          int word = rng.Zipf(config_.vocabulary_size, 1.05);
+          if (rng.Bernoulli(0.7)) {
+            // Deterministic per-conference permutation of the vocabulary.
+            word = static_cast<int>(
+                (static_cast<int64_t>(word) * 131 + 17 * (c + 1)) %
+                config_.vocabulary_size);
+          }
+          paper.title_words.push_back(word);
+        }
+        paper.num_keywords = std::max(1, rng.Poisson(config_.keywords_mean));
+
+        // Ground-truth relevance contributions (full papers only, KDD Cup
+        // directives i–iii).
+        if (paper.full_paper) {
+          const double per_author = 1.0 / paper.authors.size();
+          for (int a : paper.authors) {
+            const Author& author = authors_[a];
+            const double per_affiliation =
+                per_author / author.num_affiliations();
+            relevance_[c][yi][author.primary_institution] += per_affiliation;
+            if (author.secondary_institution >= 0) {
+              relevance_[c][yi][author.secondary_institution] +=
+                  per_affiliation;
+            }
+          }
+        }
+
+        new_papers_this_year.push_back(static_cast<int>(papers_.size()));
+        prior_by_conference[c].push_back(static_cast<int>(papers_.size()));
+        papers_.push_back(std::move(paper));
+      }
+    }
+    (void)new_papers_this_year;
+  }
+}
+
+double PublicationWorld::Relevance(int institution, int conference,
+                                   int year) const {
+  assert(institution >= 0 && institution < num_institutions());
+  assert(conference >= 0 && conference < num_conferences());
+  assert(year >= config_.start_year && year <= config_.end_year);
+  return relevance_[conference][YearIndex(year)][institution];
+}
+
+int PublicationWorld::AcceptedFullPapers(int conference, int year) const {
+  return accepted_full_[conference][YearIndex(year)];
+}
+
+std::vector<int> PublicationWorld::PapersOf(int conference, int year) const {
+  std::vector<int> result;
+  for (size_t p = 0; p < papers_.size(); ++p) {
+    if (papers_[p].conference == conference && papers_[p].year == year) {
+      result.push_back(static_cast<int>(p));
+    }
+  }
+  return result;
+}
+
+int PublicationWorld::WordClass(int word) const {
+  // Deterministic pseudo part-of-speech with English-like proportions:
+  // 45% noun, 15% verb, 15% adjective, 5% adverb, 5% number, 15% other.
+  int bucket = static_cast<int>(WordHash(word) % 100);
+  if (bucket < 45) return 0;
+  if (bucket < 60) return 1;
+  if (bucket < 75) return 2;
+  if (bucket < 80) return 3;
+  if (bucket < 85) return 4;
+  return 5;
+}
+
+int PublicationWorld::WordLength(int word) const {
+  return 3 + static_cast<int>((WordHash(word) >> 8) % 9);
+}
+
+PublicationWorld::ConferenceGraph PublicationWorld::BuildConferenceGraph(
+    int conference, int up_to_year) const {
+  assert(conference >= 0 && conference < num_conferences());
+
+  // Papers of the conference up to the year, then referenced papers at
+  // citation distance <= 2.
+  std::unordered_set<int> included_papers;
+  std::vector<int> frontier;
+  for (size_t p = 0; p < papers_.size(); ++p) {
+    if (papers_[p].conference == conference && papers_[p].year <= up_to_year) {
+      included_papers.insert(static_cast<int>(p));
+      frontier.push_back(static_cast<int>(p));
+    }
+  }
+  for (int hop = 0; hop < 2; ++hop) {
+    std::vector<int> next;
+    for (int p : frontier) {
+      for (int ref : papers_[p].references) {
+        if (included_papers.insert(ref).second) next.push_back(ref);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Authors of included papers and their institutions.
+  std::unordered_set<int> included_authors;
+  std::unordered_set<int> included_institutions;
+  for (int p : included_papers) {
+    for (int a : papers_[p].authors) {
+      if (included_authors.insert(a).second) {
+        included_institutions.insert(authors_[a].primary_institution);
+        if (authors_[a].secondary_institution >= 0) {
+          included_institutions.insert(authors_[a].secondary_institution);
+        }
+      }
+    }
+  }
+
+  // Deterministic node order: institutions, authors, papers (each sorted).
+  std::vector<int> institution_list(included_institutions.begin(),
+                                    included_institutions.end());
+  std::vector<int> author_list(included_authors.begin(),
+                               included_authors.end());
+  std::vector<int> paper_list(included_papers.begin(), included_papers.end());
+  std::sort(institution_list.begin(), institution_list.end());
+  std::sort(author_list.begin(), author_list.end());
+  std::sort(paper_list.begin(), paper_list.end());
+
+  graph::GraphBuilder builder({"I", "A", "P"});
+  ConferenceGraph result;
+  result.institution_nodes.assign(num_institutions(), -1);
+  std::vector<graph::NodeId> author_node(authors_.size(), -1);
+  std::vector<graph::NodeId> paper_node(papers_.size(), -1);
+  for (int i : institution_list) {
+    result.institution_nodes[i] = builder.AddNode(0);
+  }
+  for (int a : author_list) author_node[a] = builder.AddNode(1);
+  for (int p : paper_list) paper_node[p] = builder.AddNode(2);
+
+  for (int a : author_list) {
+    builder.AddEdge(author_node[a],
+                    result.institution_nodes[authors_[a].primary_institution]);
+    if (authors_[a].secondary_institution >= 0) {
+      builder.AddEdge(
+          author_node[a],
+          result.institution_nodes[authors_[a].secondary_institution]);
+    }
+  }
+  for (int p : paper_list) {
+    for (int a : papers_[p].authors) {
+      builder.AddEdge(paper_node[p], author_node[a]);
+    }
+    for (int ref : papers_[p].references) {
+      if (paper_node[ref] != -1) builder.AddEdge(paper_node[p], paper_node[ref]);
+    }
+  }
+  result.graph = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace hsgf::data

@@ -1,0 +1,117 @@
+#ifndef HSGF_DATA_PUBLICATION_WORLD_H_
+#define HSGF_DATA_PUBLICATION_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::data {
+
+// Generative stand-in for the Microsoft Academic Graph subset used by the
+// paper's rank-prediction task (§4.2). It simulates institutions with latent
+// quality, authors with latent productivity and conference affinities,
+// papers with author teams, citations, titles and keywords over the years
+// 2007–2015, and computes the ground-truth institution relevance exactly per
+// the 2016 KDD Cup directives:
+//   (i)  each accepted full paper has an equal vote,
+//   (ii) each author contributes equally to a paper,
+//   (iii) for authors with multiple affiliations, each affiliation
+//        contributes equally.
+struct WorldConfig {
+  int num_institutions = 120;
+  double authors_per_institution_mean = 10.0;
+  std::vector<std::string> conference_names = {"KDD", "FSE", "ICML", "MM",
+                                               "MOBICOM"};
+  int start_year = 2007;
+  int end_year = 2015;
+  double mean_full_papers = 45.0;   // accepted full papers per conference-year
+  double mean_short_papers = 25.0;  // workshop/demo papers
+  double multi_affiliation_prob = 0.02;  // "exceedingly rare" in the data
+  double cross_institution_collab_prob = 0.35;
+  double citation_mean = 6.0;  // references per paper
+  int vocabulary_size = 600;
+  double title_words_mean = 8.0;
+  double keywords_mean = 4.0;
+};
+
+class PublicationWorld {
+ public:
+  PublicationWorld(const WorldConfig& config, uint64_t seed);
+
+  struct Author {
+    int primary_institution = 0;
+    int secondary_institution = -1;  // -1 = single affiliation
+    double productivity = 0.0;       // latent papers-per-year propensity
+
+    int num_affiliations() const { return secondary_institution >= 0 ? 2 : 1; }
+  };
+
+  struct Paper {
+    int conference = 0;
+    int year = 0;
+    bool full_paper = true;
+    std::vector<int> authors;     // ordered; the last author is senior
+    std::vector<int> references;  // ids of earlier papers
+    std::vector<int> title_words; // vocabulary word ids
+    int num_keywords = 0;
+  };
+
+  const WorldConfig& config() const { return config_; }
+  int num_institutions() const { return config_.num_institutions; }
+  int num_conferences() const {
+    return static_cast<int>(config_.conference_names.size());
+  }
+  const std::vector<Author>& authors() const { return authors_; }
+  const std::vector<Paper>& papers() const { return papers_; }
+  double institution_quality(int i) const { return institution_quality_[i]; }
+
+  // Ground-truth relevance of an institution for a conference-year.
+  double Relevance(int institution, int conference, int year) const;
+
+  // Number of accepted full papers of a conference-year (normalizer for the
+  // classic features).
+  int AcceptedFullPapers(int conference, int year) const;
+
+  // Paper ids of a conference-year (full + short).
+  std::vector<int> PapersOf(int conference, int year) const;
+
+  // Vocabulary metadata for the linguistic features: simulated word classes
+  // (noun/verb/adjective/adverb/number/punctuation) and character lengths.
+  int WordClass(int word) const;     // in [0, 6)
+  int WordLength(int word) const;    // characters
+  static constexpr int kNumWordClasses = 6;
+
+  // Heterogeneous graph over labels {I, A, P} for feature extraction: all
+  // papers of `conference` published in [start_year, up_to_year], plus
+  // referenced papers up to citation distance 2, plus all their authors and
+  // the authors' institutions (§4.2.2).
+  struct ConferenceGraph {
+    graph::HetGraph graph;
+    // institution_nodes[i] = node id of institution i, or -1 if the
+    // institution does not appear in this subset.
+    std::vector<graph::NodeId> institution_nodes;
+  };
+  ConferenceGraph BuildConferenceGraph(int conference, int up_to_year) const;
+
+ private:
+  int YearIndex(int year) const { return year - config_.start_year; }
+  int NumYears() const { return config_.end_year - config_.start_year + 1; }
+
+  WorldConfig config_;
+  std::vector<double> institution_quality_;
+  // Per-institution conference lean (num_institutions x num_conferences).
+  std::vector<double> institution_lean_;
+  std::vector<Author> authors_;
+  std::vector<int> authors_of_institution_first_;  // prefix index per inst.
+  std::vector<Paper> papers_;
+  // relevance_[conference][year_index][institution].
+  std::vector<std::vector<std::vector<double>>> relevance_;
+  // accepted_full_[conference][year_index].
+  std::vector<std::vector<int>> accepted_full_;
+};
+
+}  // namespace hsgf::data
+
+#endif  // HSGF_DATA_PUBLICATION_WORLD_H_

@@ -1,0 +1,82 @@
+#include "data/schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsgf::data {
+
+namespace {
+
+int Scaled(double scale, int base) {
+  return std::max(4, static_cast<int>(std::lround(base * scale)));
+}
+
+int64_t ScaledEdges(double scale, int64_t base) {
+  return std::max<int64_t>(8, static_cast<int64_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+NetworkSchema MagLikeSchema(double scale) {
+  NetworkSchema schema;
+  schema.label_names = {"A", "I", "C", "J", "F", "P"};
+  schema.nodes_per_label = {Scaled(scale, 3000), Scaled(scale, 300),
+                            Scaled(scale, 60),   Scaled(scale, 120),
+                            Scaled(scale, 200),  Scaled(scale, 6000)};
+  constexpr graph::Label kA = 0, kI = 1, kC = 2, kJ = 3, kF = 4, kP = 5;
+  schema.relations = {
+      {kP, kP, ScaledEdges(scale, 12000), 0.3, 0.8},  // citations (hubs cited)
+      {kP, kA, ScaledEdges(scale, 15000), 0.2, 0.6},  // authorship
+      {kP, kC, ScaledEdges(scale, 4000), 0.1, 0.7},   // conference venue
+      {kP, kJ, ScaledEdges(scale, 2500), 0.1, 0.7},   // journal venue
+      {kP, kF, ScaledEdges(scale, 9000), 0.2, 0.8},   // fields of study
+      {kA, kI, ScaledEdges(scale, 3300), 0.1, 0.7},   // affiliation
+  };
+  return schema;
+}
+
+NetworkSchema LoadLikeSchema(double scale) {
+  NetworkSchema schema;
+  schema.label_names = {"L", "O", "A", "D"};
+  schema.nodes_per_label = {Scaled(scale, 1200), Scaled(scale, 1000),
+                            Scaled(scale, 1500), Scaled(scale, 800)};
+  constexpr graph::Label kL = 0, kO = 1, kA = 2, kD = 3;
+  // Dense co-occurrence: every pair of labels connected, including self
+  // loops (Fig. 2 middle). Strong preferential attachment models the few
+  // very prominent entities of the Civil War corpus.
+  schema.relations = {
+      {kL, kL, ScaledEdges(scale, 3000), 0.7, 0.7},
+      {kO, kO, ScaledEdges(scale, 2200), 0.7, 0.7},
+      {kA, kA, ScaledEdges(scale, 4200), 0.7, 0.7},
+      {kD, kD, ScaledEdges(scale, 1400), 0.7, 0.7},
+      {kL, kO, ScaledEdges(scale, 3400), 0.7, 0.7},
+      {kL, kA, ScaledEdges(scale, 4400), 0.7, 0.7},
+      {kL, kD, ScaledEdges(scale, 2800), 0.7, 0.7},
+      {kO, kA, ScaledEdges(scale, 3800), 0.7, 0.7},
+      {kO, kD, ScaledEdges(scale, 2200), 0.7, 0.7},
+      {kA, kD, ScaledEdges(scale, 3200), 0.7, 0.7},
+  };
+  return schema;
+}
+
+NetworkSchema ImdbLikeSchema(double scale) {
+  NetworkSchema schema;
+  schema.label_names = {"M", "A", "D", "W", "C", "K"};
+  schema.nodes_per_label = {Scaled(scale, 1500), Scaled(scale, 4000),
+                            Scaled(scale, 500),  Scaled(scale, 700),
+                            Scaled(scale, 300),  Scaled(scale, 1000)};
+  constexpr graph::Label kM = 0, kA = 1, kD = 2, kW = 3, kC = 4, kK = 5;
+  // Star-like relational records (Fig. 2 right): every edge is incident to
+  // a movie. Cast members and keywords reappear across movies
+  // preferentially (prolific actors, common keywords).
+  schema.relations = {
+      {kM, kA, ScaledEdges(scale, 7500), 0.0, 0.6},
+      {kM, kD, ScaledEdges(scale, 1600), 0.0, 0.6},
+      {kM, kW, ScaledEdges(scale, 1800), 0.0, 0.6},
+      {kM, kC, ScaledEdges(scale, 1500), 0.0, 0.6},
+      {kM, kK, ScaledEdges(scale, 6000), 0.0, 0.8},
+  };
+  return schema;
+}
+
+}  // namespace hsgf::data

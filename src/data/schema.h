@@ -1,0 +1,61 @@
+#ifndef HSGF_DATA_SCHEMA_H_
+#define HSGF_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::data {
+
+// Declarative description of a synthetic heterogeneous network: node counts
+// per label and one entry per label-pair relation. The generator realizes
+// each relation with a preferential-attachment endpoint process, giving the
+// skewed degree distributions the paper's heuristics are designed for
+// (§3.2 "Topological Optimization Heuristic").
+struct RelationSpec {
+  graph::Label label_a = 0;
+  graph::Label label_b = 0;  // may equal label_a (self loop in the label
+                             // connectivity graph)
+  int64_t num_edges = 0;
+
+  // Probability that an endpoint is drawn preferentially (proportional to
+  // its current degree in this relation) rather than uniformly. 0 gives an
+  // Erdős–Rényi-like relation; ~0.75 gives a heavy tail with hubs.
+  double preferential_a = 0.5;
+  double preferential_b = 0.5;
+};
+
+struct NetworkSchema {
+  std::vector<std::string> label_names;
+  std::vector<int> nodes_per_label;
+  std::vector<RelationSpec> relations;
+
+  int num_labels() const { return static_cast<int>(label_names.size()); }
+  int64_t total_nodes() const {
+    int64_t total = 0;
+    for (int n : nodes_per_label) total += n;
+    return total;
+  }
+};
+
+// Schema presets mirroring the label connectivity graphs of the paper's
+// three evaluation networks (Fig. 2), scaled by `scale` (1.0 reproduces the
+// default laptop-scale sizes documented in DESIGN.md).
+
+// MAG label-prediction subset: authors A, institutions I, conferences C,
+// journals J, fields F, papers P; papers cite papers (self loop at P).
+NetworkSchema MagLikeSchema(double scale = 1.0);
+
+// LOAD: locations L, organizations O, actors A, dates D; dense entity
+// co-occurrence with every label pair connected including self loops.
+NetworkSchema LoadLikeSchema(double scale = 1.0);
+
+// IMDB: movies M, actors A, directors D, writers W, composers C, keywords
+// K; star-like — every relation is movie-to-X, no self loops.
+NetworkSchema ImdbLikeSchema(double scale = 1.0);
+
+}  // namespace hsgf::data
+
+#endif  // HSGF_DATA_SCHEMA_H_

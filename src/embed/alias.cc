@@ -1,0 +1,47 @@
+#include "embed/alias.h"
+
+#include <cassert>
+
+namespace hsgf::embed {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<int> small;
+  std::vector<int> large;
+  for (int i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int s = small.back();
+    small.pop_back();
+    int l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (int i : large) probability_[i] = 1.0;
+  for (int i : small) probability_[i] = 1.0;  // numerical leftovers
+}
+
+int AliasTable::Sample(util::Rng& rng) const {
+  assert(!probability_.empty());
+  int column = static_cast<int>(rng.UniformInt(probability_.size()));
+  return rng.UniformReal() < probability_[column] ? column : alias_[column];
+}
+
+}  // namespace hsgf::embed

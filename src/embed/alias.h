@@ -1,0 +1,33 @@
+#ifndef HSGF_EMBED_ALIAS_H_
+#define HSGF_EMBED_ALIAS_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+// Walker's alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) setup. Used for the SGNS negative-sampling table and LINE's
+// edge sampler.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds from non-negative weights (at least one must be positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  int size() const { return static_cast<int>(probability_.size()); }
+  bool empty() const { return probability_.empty(); }
+
+  // Draws an index with probability proportional to its weight.
+  int Sample(util::Rng& rng) const;
+
+ private:
+  std::vector<double> probability_;
+  std::vector<int> alias_;
+};
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_ALIAS_H_

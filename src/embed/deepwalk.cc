@@ -1,0 +1,18 @@
+#include "embed/deepwalk.h"
+
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+ml::Matrix DeepWalkEmbeddings(const graph::HetGraph& graph,
+                              const std::vector<graph::NodeId>& nodes,
+                              const DeepWalkOptions& options) {
+  util::Rng rng(options.seed);
+  WalkCorpus corpus = UniformWalks(graph, options.walks_per_node,
+                                   options.walk_length, rng);
+  SgnsModel model(graph.num_nodes(), options.sgns);
+  model.Train(corpus, rng);
+  return model.EmbeddingsFor(nodes);
+}
+
+}  // namespace hsgf::embed

@@ -1,0 +1,31 @@
+#ifndef HSGF_EMBED_DEEPWALK_H_
+#define HSGF_EMBED_DEEPWALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/sgns.h"
+#include "graph/het_graph.h"
+#include "ml/matrix.h"
+
+namespace hsgf::embed {
+
+// DeepWalk (Perozzi et al. 2014): truncated uniform random walks fed to a
+// skip-gram model. Paper defaults: r = 10 walks/node, l = 80, d = 128,
+// window k = 10, K = 5 negatives (§4.2.2). The benchmarks scale these down
+// for single-machine runtime; the knobs below accept the paper values.
+struct DeepWalkOptions {
+  int walks_per_node = 10;
+  int walk_length = 80;
+  SgnsOptions sgns;
+  uint64_t seed = 21;
+};
+
+// Trains on the whole graph, returns embeddings for `nodes`.
+ml::Matrix DeepWalkEmbeddings(const graph::HetGraph& graph,
+                              const std::vector<graph::NodeId>& nodes,
+                              const DeepWalkOptions& options);
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_DEEPWALK_H_

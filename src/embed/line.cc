@@ -1,0 +1,131 @@
+#include "embed/line.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "embed/alias.h"
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+namespace {
+
+float FastSigmoid(float z) {
+  if (z > 8.0f) return 1.0f;
+  if (z < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-z));
+}
+
+// One training order of LINE. For first-order proximity the "context" table
+// aliases the vertex table (symmetric model); for second-order it is a
+// separate parameter set.
+void TrainOrder(const graph::HetGraph& graph, int d, int64_t samples,
+                int negatives, double initial_lr, double min_lr,
+                bool second_order, std::vector<float>& vertex,
+                util::Rng& rng) {
+  const graph::NodeId n = graph.num_nodes();
+  // Flatten the edge list once for uniform edge sampling (unweighted graph,
+  // so a plain uniform draw replaces LINE's weighted alias table).
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  edges.reserve(graph.num_edges() * 2);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (graph::NodeId u : graph.neighbors(v)) {
+      edges.emplace_back(v, u);  // both directions: undirected edges
+    }
+  }
+  if (edges.empty()) return;
+
+  // Negative table over degree^0.75 (LINE's vertex noise distribution).
+  std::vector<double> noise(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    noise[v] = std::pow(static_cast<double>(graph.degree(v)), 0.75);
+  }
+  AliasTable negative_table(noise);
+
+  std::vector<float> context;
+  if (second_order) {
+    context.assign(static_cast<size_t>(n) * d, 0.0f);
+  }
+  std::vector<float>& out_table = second_order ? context : vertex;
+
+  std::vector<float> gradient(d);
+  for (int64_t s = 0; s < samples; ++s) {
+    const double progress = static_cast<double>(s) / samples;
+    const float lr = static_cast<float>(
+        std::max(min_lr, initial_lr * (1.0 - progress)));
+    const auto& [src, dst] = edges[rng.UniformInt(edges.size())];
+    float* in = vertex.data() + static_cast<size_t>(src) * d;
+    std::fill(gradient.begin(), gradient.end(), 0.0f);
+    for (int k = 0; k <= negatives; ++k) {
+      graph::NodeId target;
+      float label;
+      if (k == 0) {
+        target = dst;
+        label = 1.0f;
+      } else {
+        target = negative_table.Sample(rng);
+        if (target == dst || target == src) continue;
+        label = 0.0f;
+      }
+      float* out = out_table.data() + static_cast<size_t>(target) * d;
+      float dot = 0.0f;
+      for (int i = 0; i < d; ++i) dot += in[i] * out[i];
+      const float g = (label - FastSigmoid(dot)) * lr;
+      for (int i = 0; i < d; ++i) {
+        gradient[i] += g * out[i];
+        out[i] += g * in[i];
+      }
+    }
+    for (int i = 0; i < d; ++i) in[i] += gradient[i];
+  }
+}
+
+}  // namespace
+
+ml::Matrix LineEmbeddings(const graph::HetGraph& graph,
+                          const std::vector<graph::NodeId>& nodes,
+                          const LineOptions& options) {
+  assert(options.dimensions >= 2);
+  const int half = options.dimensions / 2;
+  const graph::NodeId n = graph.num_nodes();
+  int64_t samples = options.samples > 0
+                        ? options.samples
+                        : 50 * std::max<int64_t>(1, graph.num_edges());
+
+  util::Rng rng(options.seed);
+  auto init_table = [&rng, half, n] {
+    std::vector<float> table(static_cast<size_t>(n) * half);
+    for (float& v : table) {
+      v = static_cast<float>((rng.UniformReal() - 0.5) / half);
+    }
+    return table;
+  };
+  std::vector<float> first = init_table();
+  std::vector<float> second = init_table();
+
+  TrainOrder(graph, half, samples, options.negatives, options.initial_lr,
+             options.min_lr, /*second_order=*/false, first, rng);
+  TrainOrder(graph, half, samples, options.negatives, options.initial_lr,
+             options.min_lr, /*second_order=*/true, second, rng);
+
+  // Concatenate the (L2-normalized, as in the reference implementation)
+  // halves.
+  auto normalized_row = [half](const std::vector<float>& table,
+                               graph::NodeId v, double* dst) {
+    const float* src = table.data() + static_cast<size_t>(v) * half;
+    double norm = 0.0;
+    for (int i = 0; i < half; ++i) norm += src[i] * src[i];
+    norm = norm > 0.0 ? std::sqrt(norm) : 1.0;
+    for (int i = 0; i < half; ++i) dst[i] = src[i] / norm;
+  };
+  ml::Matrix out(static_cast<int>(nodes.size()), 2 * half);
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    double* dst = out.row(static_cast<int>(r));
+    normalized_row(first, nodes[r], dst);
+    normalized_row(second, nodes[r], dst + half);
+  }
+  return out;
+}
+
+}  // namespace hsgf::embed

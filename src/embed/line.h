@@ -1,0 +1,34 @@
+#ifndef HSGF_EMBED_LINE_H_
+#define HSGF_EMBED_LINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/het_graph.h"
+#include "ml/matrix.h"
+
+namespace hsgf::embed {
+
+// LINE (Tang et al. 2015): large-scale information network embedding by
+// edge sampling with negative sampling. First-order proximity trains
+// symmetric vertex vectors on observed edges; second-order proximity trains
+// vertex + context vectors. The final representation concatenates the two
+// halves (each of dimensions/2), following the original paper and §4.2.2.
+struct LineOptions {
+  int dimensions = 128;   // total; split evenly between 1st and 2nd order
+  int negatives = 5;      // K = 5
+  // Edge-sample count per order; 0 selects 50 * |E| (a laptop-scale default;
+  // the original uses O(billions) for web-scale graphs).
+  int64_t samples = 0;
+  double initial_lr = 0.025;
+  double min_lr = 0.0001;
+  uint64_t seed = 23;
+};
+
+ml::Matrix LineEmbeddings(const graph::HetGraph& graph,
+                          const std::vector<graph::NodeId>& nodes,
+                          const LineOptions& options);
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_LINE_H_

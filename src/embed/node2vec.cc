@@ -1,0 +1,19 @@
+#include "embed/node2vec.h"
+
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+ml::Matrix Node2VecEmbeddings(const graph::HetGraph& graph,
+                              const std::vector<graph::NodeId>& nodes,
+                              const Node2VecOptions& options) {
+  util::Rng rng(options.seed);
+  WalkCorpus corpus =
+      Node2VecWalks(graph, options.walks_per_node, options.walk_length,
+                    options.p, options.q, rng);
+  SgnsModel model(graph.num_nodes(), options.sgns);
+  model.Train(corpus, rng);
+  return model.EmbeddingsFor(nodes);
+}
+
+}  // namespace hsgf::embed

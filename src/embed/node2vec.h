@@ -1,0 +1,31 @@
+#ifndef HSGF_EMBED_NODE2VEC_H_
+#define HSGF_EMBED_NODE2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/sgns.h"
+#include "graph/het_graph.h"
+#include "ml/matrix.h"
+
+namespace hsgf::embed {
+
+// node2vec (Grover & Leskovec 2016): second-order biased random walks with
+// return parameter p and in-out parameter q, trained with skip-gram.
+// Paper defaults: p = q = 1, r = 10, l = 80, d = 128, k = 10, K = 5.
+struct Node2VecOptions {
+  double p = 1.0;
+  double q = 1.0;
+  int walks_per_node = 10;
+  int walk_length = 80;
+  SgnsOptions sgns;
+  uint64_t seed = 22;
+};
+
+ml::Matrix Node2VecEmbeddings(const graph::HetGraph& graph,
+                              const std::vector<graph::NodeId>& nodes,
+                              const Node2VecOptions& options);
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_NODE2VEC_H_

@@ -1,0 +1,116 @@
+#include "embed/sgns.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "embed/alias.h"
+
+namespace hsgf::embed {
+
+namespace {
+
+float FastSigmoid(float z) {
+  if (z > 8.0f) return 1.0f;
+  if (z < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-z));
+}
+
+}  // namespace
+
+SgnsModel::SgnsModel(int num_nodes, const SgnsOptions& options)
+    : options_(options), num_nodes_(num_nodes) {
+  assert(num_nodes > 0 && options.dimensions > 0);
+  const size_t total =
+      static_cast<size_t>(num_nodes) * options_.dimensions;
+  input_.assign(total, 0.0f);
+  output_.assign(total, 0.0f);
+  // word2vec-style init: input uniform in [-0.5/d, 0.5/d), output zero.
+  util::Rng rng(options_.seed ^ 0xabcdef12345ULL);
+  for (float& v : input_) {
+    v = static_cast<float>((rng.UniformReal() - 0.5) / options_.dimensions);
+  }
+}
+
+void SgnsModel::TrainPair(int center, int context, double lr, util::Rng& rng,
+                          const AliasTable& negative_table,
+                          std::vector<float>& gradient) {
+  const int d = options_.dimensions;
+  float* in = input_.data() + static_cast<size_t>(center) * d;
+  std::fill(gradient.begin(), gradient.end(), 0.0f);
+  for (int k = 0; k <= options_.negatives; ++k) {
+    int target;
+    float label;
+    if (k == 0) {
+      target = context;
+      label = 1.0f;
+    } else {
+      target = negative_table.Sample(rng);
+      if (target == context) continue;
+      label = 0.0f;
+    }
+    float* out = output_.data() + static_cast<size_t>(target) * d;
+    float dot = 0.0f;
+    for (int i = 0; i < d; ++i) dot += in[i] * out[i];
+    const float grad = (label - FastSigmoid(dot)) * static_cast<float>(lr);
+    for (int i = 0; i < d; ++i) {
+      gradient[i] += grad * out[i];
+      out[i] += grad * in[i];
+    }
+  }
+  for (int i = 0; i < d; ++i) in[i] += gradient[i];
+}
+
+void SgnsModel::Train(const WalkCorpus& corpus, util::Rng& rng) {
+  // Unigram^0.75 negative-sampling distribution from corpus frequencies.
+  std::vector<double> weights(num_nodes_, 0.0);
+  size_t total_tokens = 0;
+  for (const auto& walk : corpus) {
+    for (graph::NodeId node : walk) {
+      weights[node] += 1.0;
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return;
+  for (double& w : weights) w = std::pow(w, 0.75);
+  AliasTable negative_table(weights);
+
+  std::vector<float> gradient(options_.dimensions);
+  const size_t total_steps =
+      static_cast<size_t>(options_.epochs) * total_tokens;
+  size_t step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& walk : corpus) {
+      const int len = static_cast<int>(walk.size());
+      for (int pos = 0; pos < len; ++pos, ++step) {
+        const double progress =
+            static_cast<double>(step) / static_cast<double>(total_steps);
+        const double lr = std::max(
+            options_.min_lr, options_.initial_lr * (1.0 - progress));
+        // word2vec's dynamic window: uniform in [1, window].
+        const int window =
+            1 + static_cast<int>(rng.UniformInt(options_.window));
+        const int begin = std::max(0, pos - window);
+        const int end = std::min(len - 1, pos + window);
+        for (int ctx = begin; ctx <= end; ++ctx) {
+          if (ctx == pos) continue;
+          TrainPair(walk[pos], walk[ctx], lr, rng, negative_table, gradient);
+        }
+      }
+    }
+  }
+}
+
+ml::Matrix SgnsModel::EmbeddingsFor(
+    const std::vector<graph::NodeId>& nodes) const {
+  const int d = options_.dimensions;
+  ml::Matrix out(static_cast<int>(nodes.size()), d);
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    const float* src = input_.data() + static_cast<size_t>(nodes[r]) * d;
+    double* dst = out.row(static_cast<int>(r));
+    for (int i = 0; i < d; ++i) dst[i] = src[i];
+  }
+  return out;
+}
+
+}  // namespace hsgf::embed

@@ -1,0 +1,58 @@
+#ifndef HSGF_EMBED_SGNS_H_
+#define HSGF_EMBED_SGNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/walks.h"
+#include "graph/het_graph.h"
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+// Skip-gram with negative sampling (word2vec-style) over a random-walk
+// corpus — the training core shared by DeepWalk and node2vec. Negative
+// samples are drawn from the corpus unigram distribution raised to 3/4.
+struct SgnsOptions {
+  int dimensions = 128;    // paper default d = 128
+  int window = 10;         // paper default context size k = 10
+  int negatives = 5;       // paper default K = 5
+  int epochs = 1;
+  double initial_lr = 0.025;
+  double min_lr = 0.0001;
+  uint64_t seed = 11;
+};
+
+// Trained node embeddings: one row per graph node (all-zero rows for nodes
+// absent from the corpus).
+class SgnsModel {
+ public:
+  SgnsModel(int num_nodes, const SgnsOptions& options);
+
+  // Trains in place over the corpus (linear learning-rate decay across all
+  // epoch-token pairs, as in word2vec).
+  void Train(const WalkCorpus& corpus, util::Rng& rng);
+
+  int dimensions() const { return options_.dimensions; }
+
+  const std::vector<float>& input_vectors() const { return input_; }
+
+  // Copies the input-side embedding of each requested node into a dense
+  // feature matrix (rows follow `nodes`).
+  ml::Matrix EmbeddingsFor(const std::vector<graph::NodeId>& nodes) const;
+
+ private:
+  void TrainPair(int center, int context, double lr, util::Rng& rng,
+                 const class AliasTable& negative_table,
+                 std::vector<float>& gradient);
+
+  SgnsOptions options_;
+  int num_nodes_;
+  std::vector<float> input_;   // num_nodes x d
+  std::vector<float> output_;  // num_nodes x d (context vectors)
+};
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_SGNS_H_

@@ -1,0 +1,84 @@
+#include "embed/walks.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsgf::embed {
+
+WalkCorpus UniformWalks(const graph::HetGraph& graph, int walks_per_node,
+                        int walk_length, util::Rng& rng) {
+  assert(walks_per_node >= 1 && walk_length >= 1);
+  WalkCorpus corpus;
+  corpus.reserve(static_cast<size_t>(graph.num_nodes()) * walks_per_node);
+  for (int r = 0; r < walks_per_node; ++r) {
+    for (graph::NodeId start = 0; start < graph.num_nodes(); ++start) {
+      if (graph.degree(start) == 0) continue;
+      std::vector<graph::NodeId> walk;
+      walk.reserve(walk_length);
+      walk.push_back(start);
+      graph::NodeId current = start;
+      while (static_cast<int>(walk.size()) < walk_length) {
+        auto neighbors = graph.neighbors(current);
+        current = neighbors[rng.UniformInt(neighbors.size())];
+        walk.push_back(current);
+      }
+      corpus.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+WalkCorpus Node2VecWalks(const graph::HetGraph& graph, int walks_per_node,
+                         int walk_length, double p, double q,
+                         util::Rng& rng) {
+  assert(walks_per_node >= 1 && walk_length >= 1 && p > 0.0 && q > 0.0);
+  const double w_return = 1.0 / p;
+  const double w_common = 1.0;
+  const double w_far = 1.0 / q;
+  const double w_max = std::max({w_return, w_common, w_far});
+
+  WalkCorpus corpus;
+  corpus.reserve(static_cast<size_t>(graph.num_nodes()) * walks_per_node);
+  for (int r = 0; r < walks_per_node; ++r) {
+    for (graph::NodeId start = 0; start < graph.num_nodes(); ++start) {
+      if (graph.degree(start) == 0) continue;
+      std::vector<graph::NodeId> walk;
+      walk.reserve(walk_length);
+      walk.push_back(start);
+      auto first_neighbors = graph.neighbors(start);
+      graph::NodeId prev = start;
+      graph::NodeId current =
+          first_neighbors[rng.UniformInt(first_neighbors.size())];
+      walk.push_back(current);
+      while (static_cast<int>(walk.size()) < walk_length) {
+        auto neighbors = graph.neighbors(current);
+        // Rejection sampling of the biased second-order transition: draw a
+        // uniform candidate, accept with probability w(candidate) / w_max.
+        graph::NodeId next = -1;
+        for (;;) {
+          graph::NodeId candidate =
+              neighbors[rng.UniformInt(neighbors.size())];
+          double weight;
+          if (candidate == prev) {
+            weight = w_return;
+          } else if (graph.HasEdge(candidate, prev)) {
+            weight = w_common;
+          } else {
+            weight = w_far;
+          }
+          if (rng.UniformReal() * w_max < weight) {
+            next = candidate;
+            break;
+          }
+        }
+        walk.push_back(next);
+        prev = current;
+        current = next;
+      }
+      corpus.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace hsgf::embed

@@ -1,0 +1,33 @@
+#ifndef HSGF_EMBED_WALKS_H_
+#define HSGF_EMBED_WALKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/het_graph.h"
+#include "util/rng.h"
+
+namespace hsgf::embed {
+
+// Random-walk corpora for DeepWalk and node2vec. A corpus is a list of node
+// sequences, consumed by the SGNS trainer as "sentences".
+using WalkCorpus = std::vector<std::vector<graph::NodeId>>;
+
+// DeepWalk: `walks_per_node` truncated uniform random walks of length
+// `walk_length` from every node (walks stop early at isolated nodes or
+// dead ends — impossible in undirected graphs unless degree 0).
+WalkCorpus UniformWalks(const graph::HetGraph& graph, int walks_per_node,
+                        int walk_length, util::Rng& rng);
+
+// node2vec second-order walks with return parameter p and in-out parameter
+// q (Grover & Leskovec 2016). Transition weights from (prev -> current) to
+// candidate x:
+//   1/p if x == prev, 1 if x adjacent to prev, 1/q otherwise.
+// Implemented with rejection sampling (no per-edge alias tables), so memory
+// stays O(V + E).
+WalkCorpus Node2VecWalks(const graph::HetGraph& graph, int walks_per_node,
+                         int walk_length, double p, double q, util::Rng& rng);
+
+}  // namespace hsgf::embed
+
+#endif  // HSGF_EMBED_WALKS_H_

@@ -1,0 +1,68 @@
+#include "eval/classification.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace hsgf::eval {
+
+std::vector<std::vector<int>> ConfusionMatrix(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int num_classes) {
+  assert(truth.size() == predicted.size());
+  std::vector<std::vector<int>> confusion(num_classes,
+                                          std::vector<int>(num_classes, 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    assert(truth[i] >= 0 && truth[i] < num_classes);
+    assert(predicted[i] >= 0 && predicted[i] < num_classes);
+    ++confusion[truth[i]][predicted[i]];
+  }
+  return confusion;
+}
+
+ClassificationReport EvaluateClassification(const std::vector<int>& truth,
+                                            const std::vector<int>& predicted,
+                                            int num_classes) {
+  ClassificationReport report;
+  report.per_class.resize(num_classes);
+  if (truth.empty()) return report;
+
+  std::vector<std::vector<int>> confusion =
+      ConfusionMatrix(truth, predicted, num_classes);
+
+  int correct = 0;
+  int classes_with_support = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    int true_positive = confusion[c][c];
+    int actual = 0;
+    int predicted_count = 0;
+    for (int o = 0; o < num_classes; ++o) {
+      actual += confusion[c][o];
+      predicted_count += confusion[o][c];
+    }
+    correct += true_positive;
+    ClassMetrics& m = report.per_class[c];
+    m.support = actual;
+    m.precision = predicted_count > 0
+                      ? static_cast<double>(true_positive) / predicted_count
+                      : 0.0;
+    m.recall = actual > 0 ? static_cast<double>(true_positive) / actual : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    if (actual > 0) {
+      ++classes_with_support;
+      report.macro_f1 += m.f1;
+      report.macro_precision += m.precision;
+      report.macro_recall += m.recall;
+    }
+  }
+  report.accuracy = static_cast<double>(correct) / truth.size();
+  if (classes_with_support > 0) {
+    report.macro_f1 /= classes_with_support;
+    report.macro_precision /= classes_with_support;
+    report.macro_recall /= classes_with_support;
+  }
+  return report;
+}
+
+}  // namespace hsgf::eval

@@ -1,0 +1,40 @@
+#ifndef HSGF_EVAL_CLASSIFICATION_H_
+#define HSGF_EVAL_CLASSIFICATION_H_
+
+#include <vector>
+
+namespace hsgf::eval {
+
+// Classification metrics for the label-prediction task (§4.3.1). Labels are
+// dense class ids in [0, num_classes).
+
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int support = 0;  // number of true instances of the class
+};
+
+struct ClassificationReport {
+  std::vector<ClassMetrics> per_class;
+  double accuracy = 0.0;
+  // Unweighted mean of per-class F1 scores (the Macro F1 of the reference
+  // embedding evaluations the paper compares against). Classes with zero
+  // support are excluded from the average.
+  double macro_f1 = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+};
+
+ClassificationReport EvaluateClassification(const std::vector<int>& truth,
+                                            const std::vector<int>& predicted,
+                                            int num_classes);
+
+// Confusion matrix, row = true class, column = predicted class.
+std::vector<std::vector<int>> ConfusionMatrix(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int num_classes);
+
+}  // namespace hsgf::eval
+
+#endif  // HSGF_EVAL_CLASSIFICATION_H_

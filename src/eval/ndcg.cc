@@ -1,0 +1,41 @@
+#include "eval/ndcg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hsgf::eval {
+
+double NdcgAtN(const std::vector<double>& predicted_scores,
+               const std::vector<double>& true_relevance, int n) {
+  assert(predicted_scores.size() == true_relevance.size());
+  const int count = static_cast<int>(true_relevance.size());
+  if (count == 0 || n <= 0) return 0.0;
+  n = std::min(n, count);
+
+  std::vector<int> by_prediction(count);
+  std::iota(by_prediction.begin(), by_prediction.end(), 0);
+  std::stable_sort(by_prediction.begin(), by_prediction.end(),
+                   [&predicted_scores](int a, int b) {
+                     return predicted_scores[a] > predicted_scores[b];
+                   });
+
+  std::vector<int> by_truth(count);
+  std::iota(by_truth.begin(), by_truth.end(), 0);
+  std::stable_sort(by_truth.begin(), by_truth.end(),
+                   [&true_relevance](int a, int b) {
+                     return true_relevance[a] > true_relevance[b];
+                   });
+
+  double dcg = 0.0;
+  double ideal = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double discount = std::log2(static_cast<double>(i) + 2.0);
+    dcg += true_relevance[by_prediction[i]] / discount;
+    ideal += true_relevance[by_truth[i]] / discount;
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+}  // namespace hsgf::eval

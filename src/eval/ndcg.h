@@ -1,0 +1,25 @@
+#ifndef HSGF_EVAL_NDCG_H_
+#define HSGF_EVAL_NDCG_H_
+
+#include <vector>
+
+namespace hsgf::eval {
+
+// Normalized discounted cumulative gain at rank n (paper Eq. 6, following
+// Järvelin & Kekäläinen): the DCG of the true relevances in *predicted*
+// rank order, normalized by the ideal DCG. 1.0 is a perfect ranking.
+//
+// `predicted_scores` and `true_relevance` are parallel arrays over the same
+// items. Ties in predicted scores are broken by item index (deterministic).
+double NdcgAtN(const std::vector<double>& predicted_scores,
+               const std::vector<double>& true_relevance, int n);
+
+// The paper's headline metric: NDCG@20 (2016 KDD Cup task definition).
+inline double Ndcg20(const std::vector<double>& predicted_scores,
+                     const std::vector<double>& true_relevance) {
+  return NdcgAtN(predicted_scores, true_relevance, 20);
+}
+
+}  // namespace hsgf::eval
+
+#endif  // HSGF_EVAL_NDCG_H_

@@ -1,0 +1,46 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hsgf::eval {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double Percentile(std::vector<double> values, double percentile) {
+  assert(percentile >= 0.0 && percentile <= 100.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+ConfidenceInterval Ci95(const std::vector<double>& values) {
+  ConfidenceInterval ci;
+  ci.mean = Mean(values);
+  if (values.size() >= 2) {
+    ci.half_width = 1.96 * SampleStdDev(values) /
+                    std::sqrt(static_cast<double>(values.size()));
+  }
+  ci.lower = ci.mean - ci.half_width;
+  ci.upper = ci.mean + ci.half_width;
+  return ci;
+}
+
+}  // namespace hsgf::eval

@@ -1,0 +1,33 @@
+#ifndef HSGF_EVAL_STATS_H_
+#define HSGF_EVAL_STATS_H_
+
+#include <vector>
+
+namespace hsgf::eval {
+
+// Summary statistics for repeated-trial experiment results (the paper
+// reports 95% confidence intervals over 100 training/test resamples,
+// Fig. 3 and Fig. 5).
+
+double Mean(const std::vector<double>& values);
+
+// Sample standard deviation (n - 1 denominator); 0 for fewer than 2 values.
+double SampleStdDev(const std::vector<double>& values);
+
+// Value at the given percentile (in [0, 100]) using the nearest-rank
+// method, as reported for per-node extraction times in Table 3.
+double Percentile(std::vector<double> values, double percentile);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double half_width = 0.0;
+};
+
+// Normal-approximation 95% CI of the mean: mean ± 1.96 · s/√n.
+ConfidenceInterval Ci95(const std::vector<double>& values);
+
+}  // namespace hsgf::eval
+
+#endif  // HSGF_EVAL_STATS_H_

@@ -1,0 +1,33 @@
+#ifndef HSGF_EVAL_TABLE_H_
+#define HSGF_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hsgf::eval {
+
+// Fixed-width text table used by the benchmark binaries to print the
+// paper's tables and figure series in a uniform format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double value, int decimals = 2);
+  static std::string Int(long long value);
+
+  // Renders with column alignment (left for the first column, right for the
+  // rest) and a header underline.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hsgf::eval
+
+#endif  // HSGF_EVAL_TABLE_H_

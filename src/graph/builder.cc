@@ -1,0 +1,85 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsgf::graph {
+
+GraphBuilder::GraphBuilder(std::vector<std::string> label_names)
+    : label_names_(std::move(label_names)) {
+  assert(!label_names_.empty());
+  assert(label_names_.size() <= kMaxLabels);
+}
+
+NodeId GraphBuilder::AddNode(Label label) {
+  assert(label < num_labels());
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size()) - 1;
+}
+
+NodeId GraphBuilder::AddNodes(Label label, int count) {
+  assert(count > 0);
+  NodeId first = num_nodes();
+  labels_.insert(labels_.end(), count, label);
+  return first;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (u == v) {
+    ++dropped_self_loops_;
+    return;
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+HetGraph GraphBuilder::Build() && {
+  // Deduplicate edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  HetGraph graph;
+  graph.label_names_ = std::move(label_names_);
+  graph.labels_ = std::move(labels_);
+
+  const NodeId n = graph.num_nodes();
+  graph.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++graph.offsets_[u + 1];
+    ++graph.offsets_[v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) graph.offsets_[v + 1] += graph.offsets_[v];
+
+  graph.neighbors_.resize(static_cast<size_t>(graph.offsets_[n]));
+  std::vector<int64_t> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    graph.neighbors_[cursor[u]++] = v;
+    graph.neighbors_[cursor[v]++] = u;
+  }
+
+  // Sort each adjacency list by (label, id) so per-label runs are contiguous.
+  for (NodeId v = 0; v < n; ++v) {
+    auto begin = graph.neighbors_.begin() + graph.offsets_[v];
+    auto end = graph.neighbors_.begin() + graph.offsets_[v + 1];
+    std::sort(begin, end, [&graph](NodeId a, NodeId b) {
+      if (graph.labels_[a] != graph.labels_[b]) {
+        return graph.labels_[a] < graph.labels_[b];
+      }
+      return a < b;
+    });
+  }
+  graph.BuildLabelOffsets();
+  return graph;
+}
+
+HetGraph MakeGraph(std::vector<std::string> label_names,
+                   const std::vector<Label>& node_labels,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder builder(std::move(label_names));
+  for (Label l : node_labels) builder.AddNode(l);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).Build();
+}
+
+}  // namespace hsgf::graph

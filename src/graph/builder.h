@@ -1,0 +1,66 @@
+#ifndef HSGF_GRAPH_BUILDER_H_
+#define HSGF_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Mutable construction companion for HetGraph.
+//
+// Usage:
+//   GraphBuilder builder({"author", "paper"});
+//   NodeId a = builder.AddNode(0);
+//   NodeId p = builder.AddNode(1);
+//   builder.AddEdge(a, p);
+//   HetGraph graph = std::move(builder).Build();
+//
+// Self loops are rejected; duplicate edges are deduplicated at Build() time.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::vector<std::string> label_names);
+
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+  NodeId num_nodes() const { return static_cast<NodeId>(labels_.size()); }
+  int64_t num_edge_entries() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  // Adds a node with the given label and returns its id (ids are dense and
+  // assigned in insertion order).
+  NodeId AddNode(Label label);
+
+  // Adds `count` nodes with the given label; returns the first id.
+  NodeId AddNodes(Label label, int count);
+
+  // Records an undirected edge. Self loops (u == v) are ignored and counted
+  // in dropped_self_loops(). Duplicates are allowed here and removed at
+  // Build() time.
+  void AddEdge(NodeId u, NodeId v);
+
+  int64_t dropped_self_loops() const { return dropped_self_loops_; }
+
+  // Finalizes into an immutable CSR graph. The builder is consumed.
+  HetGraph Build() &&;
+
+ private:
+  std::vector<std::string> label_names_;
+  std::vector<Label> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  int64_t dropped_self_loops_ = 0;
+};
+
+// Convenience: builds a graph directly from a label assignment and an edge
+// list (used pervasively in tests).
+HetGraph MakeGraph(std::vector<std::string> label_names,
+                   const std::vector<Label>& node_labels,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_BUILDER_H_

@@ -1,0 +1,90 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "graph/builder.h"
+
+namespace hsgf::graph {
+
+ComponentInfo ConnectedComponents(const HetGraph& graph) {
+  ComponentInfo info;
+  info.component.assign(graph.num_nodes(), -1);
+  std::deque<NodeId> frontier;
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (info.component[start] != -1) continue;
+    const int id = info.num_components++;
+    info.sizes.push_back(0);
+    info.component[start] = id;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop_front();
+      ++info.sizes[id];
+      for (NodeId u : graph.neighbors(v)) {
+        if (info.component[u] == -1) {
+          info.component[u] = id;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+std::vector<NodeId> BfsBall(const HetGraph& graph,
+                            const std::vector<NodeId>& seeds,
+                            int max_distance) {
+  assert(max_distance >= 0);
+  std::vector<int> distance(graph.num_nodes(), -1);
+  std::deque<NodeId> frontier;
+  for (NodeId seed : seeds) {
+    if (distance[seed] == -1) {
+      distance[seed] = 0;
+      frontier.push_back(seed);
+    }
+  }
+  std::vector<NodeId> ball;
+  while (!frontier.empty()) {
+    NodeId v = frontier.front();
+    frontier.pop_front();
+    ball.push_back(v);
+    if (distance[v] == max_distance) continue;
+    for (NodeId u : graph.neighbors(v)) {
+      if (distance[u] == -1) {
+        distance[u] = distance[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+InducedSubgraph ExtractInducedSubgraph(const HetGraph& graph,
+                                       std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  InducedSubgraph result;
+  result.old_to_new.assign(graph.num_nodes(), -1);
+  result.new_to_old = nodes;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    result.old_to_new[nodes[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(graph.label_names());
+  for (NodeId old_id : nodes) builder.AddNode(graph.label(old_id));
+  for (NodeId old_id : nodes) {
+    NodeId new_u = result.old_to_new[old_id];
+    for (NodeId old_v : graph.neighbors(old_id)) {
+      NodeId new_v = result.old_to_new[old_v];
+      if (new_v != -1 && new_u < new_v) builder.AddEdge(new_u, new_v);
+    }
+  }
+  result.graph = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace hsgf::graph

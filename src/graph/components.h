@@ -1,0 +1,44 @@
+#ifndef HSGF_GRAPH_COMPONENTS_H_
+#define HSGF_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Connected-component labelling and BFS utilities. The rank-prediction
+// pipeline uses bounded BFS to mimic the paper's subset selection ("all
+// referenced papers with a distance of at most 2", §4.2.2).
+
+struct ComponentInfo {
+  // component[v] = id of v's connected component (ids are dense, 0-based,
+  // assigned in order of discovery).
+  std::vector<int> component;
+  int num_components = 0;
+  // Size of each component.
+  std::vector<int64_t> sizes;
+};
+
+ComponentInfo ConnectedComponents(const HetGraph& graph);
+
+// All nodes within `max_distance` hops of any seed (the seeds themselves are
+// included, distance 0). Result is sorted ascending.
+std::vector<NodeId> BfsBall(const HetGraph& graph,
+                            const std::vector<NodeId>& seeds,
+                            int max_distance);
+
+// Extracts the subgraph induced by `nodes` (sorted, unique). Returns the new
+// graph plus the mapping old-id -> new-id (-1 for excluded nodes).
+struct InducedSubgraph {
+  HetGraph graph;
+  std::vector<NodeId> old_to_new;   // size = original num_nodes
+  std::vector<NodeId> new_to_old;   // size = subgraph num_nodes
+};
+
+InducedSubgraph ExtractInducedSubgraph(const HetGraph& graph,
+                                       std::vector<NodeId> nodes);
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_COMPONENTS_H_

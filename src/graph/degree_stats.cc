@@ -1,0 +1,54 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hsgf::graph {
+
+std::vector<int> SortedDegrees(const HetGraph& graph) {
+  std::vector<int> degrees(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) degrees[v] = graph.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+int DegreePercentile(const HetGraph& graph, double percentile) {
+  assert(percentile >= 0.0 && percentile <= 100.0);
+  std::vector<int> degrees = SortedDegrees(graph);
+  if (degrees.empty()) return 0;
+  // Index of the last node inside the percentile (nearest-rank method).
+  size_t rank = static_cast<size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(degrees.size())));
+  if (rank == 0) rank = 1;
+  return degrees[rank - 1];
+}
+
+std::vector<int64_t> DegreeHistogram(const HetGraph& graph) {
+  int max_degree = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  std::vector<int64_t> histogram(max_degree + 1, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    ++histogram[graph.degree(v)];
+  }
+  return histogram;
+}
+
+DegreeSummary SummarizeDegrees(const HetGraph& graph) {
+  DegreeSummary summary;
+  if (graph.num_nodes() == 0) return summary;
+  std::vector<int> degrees = SortedDegrees(graph);
+  summary.min = degrees.front();
+  summary.max = degrees.back();
+  int64_t total = 0;
+  for (int d : degrees) total += d;
+  summary.mean = static_cast<double>(total) / degrees.size();
+  summary.median = degrees[degrees.size() / 2];
+  summary.p90 = degrees[static_cast<size_t>(0.90 * (degrees.size() - 1))];
+  summary.p99 = degrees[static_cast<size_t>(0.99 * (degrees.size() - 1))];
+  return summary;
+}
+
+}  // namespace hsgf::graph

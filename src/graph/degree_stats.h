@@ -1,0 +1,38 @@
+#ifndef HSGF_GRAPH_DEGREE_STATS_H_
+#define HSGF_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Degree-distribution summaries. The maximum-degree heuristic (paper §3.2,
+// evaluated in Table 2) is parameterized by a degree *percentile*: dmax is
+// set so that the given percentage of nodes have degree <= dmax.
+
+// All node degrees, ascending.
+std::vector<int> SortedDegrees(const HetGraph& graph);
+
+// The smallest degree d such that at least `percentile` (in [0, 100]) percent
+// of nodes have degree <= d. percentile == 100 returns the maximum degree.
+int DegreePercentile(const HetGraph& graph, double percentile);
+
+// Histogram of degrees: result[d] = number of nodes with degree d.
+std::vector<int64_t> DegreeHistogram(const HetGraph& graph);
+
+struct DegreeSummary {
+  int min = 0;
+  int max = 0;
+  double mean = 0.0;
+  int median = 0;
+  int p90 = 0;
+  int p99 = 0;
+};
+
+DegreeSummary SummarizeDegrees(const HetGraph& graph);
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_DEGREE_STATS_H_

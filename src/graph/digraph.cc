@@ -1,0 +1,107 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/builder.h"
+
+namespace hsgf::graph {
+
+bool DirectedHetGraph::HasArc(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  // Successors are sorted by (label, id).
+  auto succ = successors(u);
+  auto it = std::lower_bound(succ.begin(), succ.end(), v,
+                             [this](NodeId a, NodeId b) {
+                               if (label(a) != label(b)) {
+                                 return label(a) < label(b);
+                               }
+                               return a < b;
+                             });
+  return it != succ.end() && *it == v;
+}
+
+HetGraph DirectedHetGraph::ToUndirected() const {
+  GraphBuilder builder(label_names_);
+  for (NodeId v = 0; v < num_nodes(); ++v) builder.AddNode(labels_[v]);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId u : successors(v)) builder.AddEdge(v, u);
+  }
+  return std::move(builder).Build();
+}
+
+DiGraphBuilder::DiGraphBuilder(std::vector<std::string> label_names)
+    : label_names_(std::move(label_names)) {
+  assert(!label_names_.empty());
+  assert(label_names_.size() <= kMaxLabels);
+}
+
+NodeId DiGraphBuilder::AddNode(Label label) {
+  assert(label < num_labels());
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size()) - 1;
+}
+
+NodeId DiGraphBuilder::AddNodes(Label label, int count) {
+  assert(count > 0);
+  NodeId first = num_nodes();
+  labels_.insert(labels_.end(), count, label);
+  return first;
+}
+
+void DiGraphBuilder::AddArc(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (u == v) {
+    ++dropped_self_loops_;
+    return;
+  }
+  arcs_.emplace_back(u, v);
+}
+
+DirectedHetGraph DiGraphBuilder::Build() && {
+  std::sort(arcs_.begin(), arcs_.end());
+  arcs_.erase(std::unique(arcs_.begin(), arcs_.end()), arcs_.end());
+
+  DirectedHetGraph graph;
+  graph.label_names_ = std::move(label_names_);
+  graph.labels_ = std::move(labels_);
+  const NodeId n = graph.num_nodes();
+
+  graph.out_offsets_.assign(n + 1, 0);
+  graph.in_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : arcs_) {
+    ++graph.out_offsets_[u + 1];
+    ++graph.in_offsets_[v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    graph.out_offsets_[v + 1] += graph.out_offsets_[v];
+    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
+  }
+  graph.heads_.resize(arcs_.size());
+  graph.tails_.resize(arcs_.size());
+  std::vector<int64_t> out_cursor(graph.out_offsets_.begin(),
+                                  graph.out_offsets_.end() - 1);
+  std::vector<int64_t> in_cursor(graph.in_offsets_.begin(),
+                                 graph.in_offsets_.end() - 1);
+  for (const auto& [u, v] : arcs_) {
+    graph.heads_[out_cursor[u]++] = v;
+    graph.tails_[in_cursor[v]++] = u;
+  }
+  auto by_label_then_id = [&graph](NodeId a, NodeId b) {
+    if (graph.labels_[a] != graph.labels_[b]) {
+      return graph.labels_[a] < graph.labels_[b];
+    }
+    return a < b;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(graph.heads_.begin() + graph.out_offsets_[v],
+              graph.heads_.begin() + graph.out_offsets_[v + 1],
+              by_label_then_id);
+    std::sort(graph.tails_.begin() + graph.in_offsets_[v],
+              graph.tails_.begin() + graph.in_offsets_[v + 1],
+              by_label_then_id);
+  }
+  return graph;
+}
+
+}  // namespace hsgf::graph

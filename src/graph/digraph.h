@@ -1,0 +1,100 @@
+#ifndef HSGF_GRAPH_DIGRAPH_H_
+#define HSGF_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Directed heterogeneous graph (labelled digraph without self loops or
+// parallel arcs). Supports the directed-subgraph-feature extension the
+// paper leaves as future work (§5): both out- and in-adjacency are stored
+// in CSR form, each sorted by (neighbour label, id).
+//
+// Antiparallel arc pairs (u->v and v->u) are allowed; they are distinct
+// arcs. Built through DiGraphBuilder; immutable and thread-safe to share
+// afterwards.
+class DirectedHetGraph {
+ public:
+  DirectedHetGraph() = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(labels_.size()); }
+  int64_t num_arcs() const { return static_cast<int64_t>(heads_.size()); }
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+
+  Label label(NodeId v) const { return labels_[v]; }
+  const std::string& label_name(Label l) const { return label_names_[l]; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  int out_degree(NodeId v) const {
+    return static_cast<int>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  int in_degree(NodeId v) const {
+    return static_cast<int>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  int total_degree(NodeId v) const { return out_degree(v) + in_degree(v); }
+
+  // Successors of v (v -> u), sorted by (label, id).
+  std::span<const NodeId> successors(NodeId v) const {
+    return {heads_.data() + out_offsets_[v],
+            static_cast<size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+  // Predecessors of v (u -> v), sorted by (label, id).
+  std::span<const NodeId> predecessors(NodeId v) const {
+    return {tails_.data() + in_offsets_[v],
+            static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+  }
+
+  // True iff the arc u -> v exists.
+  bool HasArc(NodeId u, NodeId v) const;
+
+  // Forgets directions: the undirected heterogeneous graph with an edge
+  // wherever at least one arc exists. Used to compare directed vs
+  // undirected subgraph features on the same data.
+  HetGraph ToUndirected() const;
+
+ private:
+  friend class DiGraphBuilder;
+
+  std::vector<Label> labels_;
+  std::vector<std::string> label_names_;
+  std::vector<int64_t> out_offsets_;  // size num_nodes + 1
+  std::vector<NodeId> heads_;         // arc heads, grouped by tail
+  std::vector<int64_t> in_offsets_;   // size num_nodes + 1
+  std::vector<NodeId> tails_;         // arc tails, grouped by head
+};
+
+// Mutable construction companion, mirroring GraphBuilder.
+class DiGraphBuilder {
+ public:
+  explicit DiGraphBuilder(std::vector<std::string> label_names);
+
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+  NodeId num_nodes() const { return static_cast<NodeId>(labels_.size()); }
+
+  NodeId AddNode(Label label);
+  NodeId AddNodes(Label label, int count);
+
+  // Records the arc u -> v. Self loops are dropped and counted; duplicate
+  // arcs are deduplicated at Build() time.
+  void AddArc(NodeId u, NodeId v);
+
+  int64_t dropped_self_loops() const { return dropped_self_loops_; }
+
+  DirectedHetGraph Build() &&;
+
+ private:
+  std::vector<std::string> label_names_;
+  std::vector<Label> labels_;
+  std::vector<std::pair<NodeId, NodeId>> arcs_;
+  int64_t dropped_self_loops_ = 0;
+};
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_DIGRAPH_H_

@@ -1,0 +1,71 @@
+#include "graph/het_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hsgf::graph {
+
+bool HetGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto run = LabelRange(u, label(v));
+  return std::binary_search(run.begin(), run.end(), v);
+}
+
+std::vector<int64_t> HetGraph::LabelCounts() const {
+  std::vector<int64_t> counts(num_labels(), 0);
+  for (Label l : labels_) ++counts[l];
+  return counts;
+}
+
+std::vector<NodeId> HetGraph::NodesWithLabel(Label l) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (labels_[v] == l) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+HetGraph HetGraph::WithRelabeledNodes(const std::vector<NodeId>& nodes,
+                                      Label new_label,
+                                      const std::string& new_label_name) const {
+  assert(new_label <= num_labels());
+  HetGraph out = *this;
+  if (new_label == num_labels()) {
+    out.label_names_.push_back(new_label_name);
+  }
+  for (NodeId v : nodes) {
+    assert(v >= 0 && v < num_nodes());
+    out.labels_[v] = new_label;
+  }
+  // Re-sort every adjacency list by (new label, id) and rebuild run offsets.
+  for (NodeId v = 0; v < out.num_nodes(); ++v) {
+    auto begin = out.neighbors_.begin() + out.offsets_[v];
+    auto end = out.neighbors_.begin() + out.offsets_[v + 1];
+    std::sort(begin, end, [&out](NodeId a, NodeId b) {
+      if (out.labels_[a] != out.labels_[b]) return out.labels_[a] < out.labels_[b];
+      return a < b;
+    });
+  }
+  out.BuildLabelOffsets();
+  return out;
+}
+
+void HetGraph::BuildLabelOffsets() {
+  const int stride = num_labels() + 1;
+  label_offsets_.assign(static_cast<int64_t>(num_nodes()) * stride, 0);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    int64_t* row = label_offsets_.data() + static_cast<int64_t>(v) * stride;
+    int64_t pos = offsets_[v];
+    const int64_t end = offsets_[v + 1];
+    for (int l = 0; l < num_labels(); ++l) {
+      row[l] = pos;
+      while (pos < end && labels_[neighbors_[pos]] == l) ++pos;
+    }
+    row[num_labels()] = end;
+    assert(pos == end && "adjacency must be sorted by label");
+  }
+}
+
+}  // namespace hsgf::graph

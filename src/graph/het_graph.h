@@ -1,0 +1,91 @@
+#ifndef HSGF_GRAPH_HET_GRAPH_H_
+#define HSGF_GRAPH_HET_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsgf::graph {
+
+using NodeId = int32_t;
+using Label = uint8_t;
+
+inline constexpr Label kMaxLabels = 250;
+
+// Immutable undirected heterogeneous graph G = (V, E, L) stored in CSR form.
+//
+// Per the paper's feature model (§3): no self loops, no parallel edges, and
+// a label function λ : V → L. The adjacency list of every node is sorted by
+// (neighbour label, neighbour id); the per-label runs are additionally
+// exposed through LabelRange() to support the heterogeneous optimization
+// heuristic (§3.2), which groups neighbours by label during enumeration.
+//
+// Instances are built through GraphBuilder (builder.h) and are safe to share
+// read-only across threads.
+class HetGraph {
+ public:
+  HetGraph() = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(labels_.size()); }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(neighbors_.size()) / 2;
+  }
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+
+  Label label(NodeId v) const { return labels_[v]; }
+
+  const std::string& label_name(Label l) const { return label_names_[l]; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  int degree(NodeId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbours of v, sorted by (label, id).
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  // The contiguous run of v's neighbours that carry label l.
+  std::span<const NodeId> LabelRange(NodeId v, Label l) const {
+    int64_t begin = label_offsets_[static_cast<int64_t>(v) * (num_labels() + 1) + l];
+    int64_t end = label_offsets_[static_cast<int64_t>(v) * (num_labels() + 1) + l + 1];
+    return {neighbors_.data() + begin, static_cast<size_t>(end - begin)};
+  }
+
+  // True iff uv ∈ E (binary search within u's label-l run).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // Number of nodes carrying each label.
+  std::vector<int64_t> LabelCounts() const;
+
+  // All node ids with the given label, ascending.
+  std::vector<NodeId> NodesWithLabel(Label l) const;
+
+  // Returns a copy of this graph in which the label of every node listed in
+  // `nodes` is replaced by `new_label` (which may be an existing label or
+  // num_labels() to introduce a fresh one, e.g. "unlabeled" for the partial
+  // label-removal experiment, Fig. 5D-F). Adjacency label-sort is rebuilt.
+  HetGraph WithRelabeledNodes(const std::vector<NodeId>& nodes,
+                              Label new_label,
+                              const std::string& new_label_name) const;
+
+ private:
+  friend class GraphBuilder;
+
+  void BuildLabelOffsets();
+
+  std::vector<Label> labels_;
+  std::vector<std::string> label_names_;
+  std::vector<int64_t> offsets_;    // size num_nodes + 1
+  std::vector<NodeId> neighbors_;   // size 2 * num_edges
+  // Row-major (num_nodes x (num_labels + 1)) absolute offsets into
+  // neighbors_ delimiting each node's per-label runs.
+  std::vector<int64_t> label_offsets_;
+};
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_HET_GRAPH_H_

@@ -1,0 +1,104 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace hsgf::graph {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+void WriteGraph(const HetGraph& graph, std::ostream& out) {
+  out << "# hsgf-graph v1\n";
+  out << "labels";
+  for (const std::string& name : graph.label_names()) out << ' ' << name;
+  out << '\n';
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << "node " << v << ' ' << static_cast<int>(graph.label(v)) << '\n';
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId u : graph.neighbors(v)) {
+      if (v < u) out << "edge " << v << ' ' << u << '\n';
+    }
+  }
+}
+
+std::optional<HetGraph> ReadGraph(std::istream& in, std::string* error) {
+  std::vector<std::string> label_names;
+  std::vector<Label> node_labels;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    auto syntax_error = [&](const std::string& what) {
+      Fail(error, "line " + std::to_string(line_number) + ": " + what);
+      return std::nullopt;
+    };
+    if (keyword == "labels") {
+      std::string name;
+      while (tokens >> name) label_names.push_back(name);
+      if (label_names.empty()) return syntax_error("empty label list");
+    } else if (keyword == "node") {
+      int64_t id = -1;
+      int label = -1;
+      if (!(tokens >> id >> label)) return syntax_error("malformed node line");
+      if (id != static_cast<int64_t>(node_labels.size())) {
+        return syntax_error("node ids must be dense and in order");
+      }
+      if (label < 0 || label >= static_cast<int>(label_names.size())) {
+        return syntax_error("label index out of range");
+      }
+      node_labels.push_back(static_cast<Label>(label));
+    } else if (keyword == "edge") {
+      int64_t u = -1;
+      int64_t v = -1;
+      if (!(tokens >> u >> v)) return syntax_error("malformed edge line");
+      if (u < 0 || v < 0 || u >= static_cast<int64_t>(node_labels.size()) ||
+          v >= static_cast<int64_t>(node_labels.size())) {
+        return syntax_error("edge endpoint out of range");
+      }
+      if (u == v) return syntax_error("self loops are not allowed");
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      return syntax_error("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (label_names.empty()) {
+    Fail(error, "missing 'labels' line");
+    return std::nullopt;
+  }
+  return MakeGraph(std::move(label_names), node_labels, edges);
+}
+
+bool WriteGraphToFile(const HetGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteGraph(graph, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<HetGraph> ReadGraphFromFile(const std::string& path,
+                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadGraph(in, error);
+}
+
+}  // namespace hsgf::graph

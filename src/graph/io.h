@@ -1,0 +1,33 @@
+#ifndef HSGF_GRAPH_IO_H_
+#define HSGF_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Text serialization for heterogeneous graphs. Format:
+//
+//   # hsgf-graph v1
+//   labels <name_0> <name_1> ...
+//   node <id> <label_index>          (one per node, ids must be dense 0..n-1)
+//   edge <u> <v>                     (one per undirected edge)
+//
+// Lines starting with '#' are comments. Whitespace-separated tokens.
+
+void WriteGraph(const HetGraph& graph, std::ostream& out);
+
+// Returns std::nullopt (and sets *error if non-null) on malformed input.
+std::optional<HetGraph> ReadGraph(std::istream& in, std::string* error = nullptr);
+
+// File-path convenience wrappers. WriteGraphToFile returns false on I/O error.
+bool WriteGraphToFile(const HetGraph& graph, const std::string& path);
+std::optional<HetGraph> ReadGraphFromFile(const std::string& path,
+                                          std::string* error = nullptr);
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_IO_H_

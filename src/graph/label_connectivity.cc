@@ -1,0 +1,53 @@
+#include "graph/label_connectivity.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace hsgf::graph {
+
+LabelConnectivityGraph::LabelConnectivityGraph(const HetGraph& graph)
+    : label_names_(graph.label_names()),
+      edge_counts_(static_cast<size_t>(graph.num_labels()) * graph.num_labels(),
+                   0) {
+  const int num_labels = graph.num_labels();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const Label lv = graph.label(v);
+    for (NodeId u : graph.neighbors(v)) {
+      if (u < v) continue;  // count each undirected edge once
+      const Label lu = graph.label(u);
+      ++edge_counts_[static_cast<size_t>(lv) * num_labels + lu];
+      if (lu != lv) ++edge_counts_[static_cast<size_t>(lu) * num_labels + lv];
+    }
+  }
+}
+
+LabelConnectivityGraph::LabelConnectivityGraph(
+    std::vector<std::string> label_names, std::vector<int64_t> edge_counts)
+    : label_names_(std::move(label_names)),
+      edge_counts_(std::move(edge_counts)) {
+  assert(edge_counts_.size() ==
+         label_names_.size() * label_names_.size());
+}
+
+bool LabelConnectivityGraph::HasSelfLoop() const {
+  for (int l = 0; l < num_labels(); ++l) {
+    if (edge_count(l, l) > 0) return true;
+  }
+  return false;
+}
+
+std::string LabelConnectivityGraph::ToString() const {
+  std::ostringstream out;
+  for (int a = 0; a < num_labels(); ++a) {
+    for (int b = a; b < num_labels(); ++b) {
+      int64_t count = edge_count(a, b);
+      if (count == 0) continue;
+      out << label_names_[a] << " -- " << label_names_[b];
+      if (a == b) out << " (self loop)";
+      out << ": " << count << " edges\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hsgf::graph

@@ -1,0 +1,53 @@
+#ifndef HSGF_GRAPH_LABEL_CONNECTIVITY_H_
+#define HSGF_GRAPH_LABEL_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::graph {
+
+// Label connectivity graph (paper §3, Fig. 1A/2): all nodes with the same
+// label are aggregated into a single node; it has a self loop at label l iff
+// the network contains an edge between two nodes labelled l. The paper's
+// encoding-uniqueness bounds depend on whether this graph has self loops
+// (emax = 5 without, emax = 4 with, §3.1).
+class LabelConnectivityGraph {
+ public:
+  // Aggregates the label connectivity graph of `graph`.
+  explicit LabelConnectivityGraph(const HetGraph& graph);
+
+  // Constructs directly from an edge-count matrix (row-major, L x L,
+  // symmetric). Used by the collision study, which operates on abstract
+  // label schemas rather than concrete networks.
+  LabelConnectivityGraph(std::vector<std::string> label_names,
+                         std::vector<int64_t> edge_counts);
+
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+
+  // Number of network edges between labels a and b (symmetric; the diagonal
+  // counts same-label edges).
+  int64_t edge_count(Label a, Label b) const {
+    return edge_counts_[static_cast<size_t>(a) * num_labels() + b];
+  }
+
+  bool HasEdge(Label a, Label b) const { return edge_count(a, b) > 0; }
+
+  // True iff some label is connected to itself in the network.
+  bool HasSelfLoop() const;
+
+  // Multi-line human-readable rendering, e.g.
+  //   A -- P (12034 edges)
+  //   A -- A (self loop, 210 edges)
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> label_names_;
+  std::vector<int64_t> edge_counts_;  // L x L, row-major, symmetric
+};
+
+}  // namespace hsgf::graph
+
+#endif  // HSGF_GRAPH_LABEL_CONNECTIVITY_H_

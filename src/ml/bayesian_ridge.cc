@@ -1,0 +1,98 @@
+#include "ml/bayesian_ridge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "ml/linalg.h"
+
+namespace hsgf::ml {
+
+bool BayesianRidge::Fit(const Matrix& x, const std::vector<double>& y) {
+  const int n = x.rows();
+  const int p = x.cols();
+  assert(static_cast<int>(y.size()) == n && n > 0);
+
+  // Centre (intercept handled separately, as in scikit-learn).
+  std::vector<double> x_mean(p, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (int c = 0; c < p; ++c) x_mean[c] += row[c];
+  }
+  for (int c = 0; c < p; ++c) x_mean[c] /= n;
+  double y_mean = std::accumulate(y.begin(), y.end(), 0.0) / n;
+
+  Matrix xc(n, p);
+  std::vector<double> yc(n);
+  for (int r = 0; r < n; ++r) {
+    const double* src = x.row(r);
+    double* dst = xc.row(r);
+    for (int c = 0; c < p; ++c) dst[c] = src[c] - x_mean[c];
+    yc[r] = y[r] - y_mean;
+  }
+
+  Matrix gram = Gram(xc);
+  std::vector<double> xty = Xty(xc, yc);
+
+  // Initialize alpha from the target variance (scikit default).
+  double y_var = 0.0;
+  for (double v : yc) y_var += v * v;
+  y_var /= n;
+  alpha_ = y_var > 1e-12 ? 1.0 / y_var : 1.0;
+  lambda_ = 1.0;
+
+  std::vector<double> w(p, 0.0);
+  for (iterations_run_ = 0; iterations_run_ < options_.max_iterations;
+       ++iterations_run_) {
+    // Posterior covariance Σ = (λ I + α X^T X)^-1 and mean μ = α Σ X^T y.
+    Matrix a(p, p);
+    for (int i = 0; i < p; ++i) {
+      for (int j = 0; j < p; ++j) a(i, j) = alpha_ * gram(i, j);
+      a(i, i) += lambda_;
+    }
+    auto sigma = InvertSpd(a);
+    if (!sigma.has_value()) return false;
+    std::vector<double> w_new(p, 0.0);
+    for (int i = 0; i < p; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < p; ++j) sum += (*sigma)(i, j) * xty[j];
+      w_new[i] = alpha_ * sum;
+    }
+
+    // Effective number of well-determined parameters γ = p - λ tr(Σ).
+    double trace = 0.0;
+    for (int i = 0; i < p; ++i) trace += (*sigma)(i, i);
+    double gamma = p - lambda_ * trace;
+    gamma = std::clamp(gamma, 1e-12, static_cast<double>(p));
+
+    // Residual sum of squares under the new weights.
+    std::vector<double> residual = MatVec(xc, w_new);
+    double rss = 0.0;
+    for (int r = 0; r < n; ++r) {
+      double d = yc[r] - residual[r];
+      rss += d * d;
+    }
+    double wtw = Dot(w_new, w_new);
+
+    lambda_ = (gamma + 2.0 * options_.lambda_prior_shape) /
+              (wtw + 2.0 * options_.lambda_prior_rate);
+    alpha_ = (n - gamma + 2.0 * options_.alpha_prior_shape) /
+             (rss + 2.0 * options_.alpha_prior_rate);
+
+    double change = 0.0;
+    for (int i = 0; i < p; ++i) change += std::abs(w_new[i] - w[i]);
+    w = std::move(w_new);
+    if (change < options_.tolerance) break;
+  }
+
+  coef_ = std::move(w);
+  intercept_ = y_mean - Dot(coef_, x_mean);
+  return true;
+}
+
+std::vector<double> BayesianRidge::Predict(const Matrix& x) const {
+  return MatVec(x, coef_, intercept_);
+}
+
+}  // namespace hsgf::ml

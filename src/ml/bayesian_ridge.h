@@ -1,0 +1,52 @@
+#ifndef HSGF_ML_BAYESIAN_RIDGE_H_
+#define HSGF_ML_BAYESIAN_RIDGE_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace hsgf::ml {
+
+// Bayesian ridge regression with evidence maximization of the noise
+// precision alpha and weight precision lambda (the scikit-learn
+// `BayesianRidge` algorithm, MacKay's fixed-point updates). The paper uses
+// it as one of the four rank-prediction regressors with default
+// hyper-priors (§4.2.3).
+class BayesianRidge {
+ public:
+  struct Options {
+    int max_iterations = 300;
+    double tolerance = 1e-3;   // on the weight-vector change
+    double alpha_prior_shape = 1e-6;  // α₁
+    double alpha_prior_rate = 1e-6;   // α₂
+    double lambda_prior_shape = 1e-6; // λ₁
+    double lambda_prior_rate = 1e-6;  // λ₂
+  };
+
+  BayesianRidge() = default;
+  explicit BayesianRidge(Options options) : options_(options) {}
+
+  // Returns false if the posterior covariance becomes singular (does not
+  // happen on finite inputs).
+  bool Fit(const Matrix& x, const std::vector<double>& y);
+
+  std::vector<double> Predict(const Matrix& x) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  double alpha() const { return alpha_; }    // learned noise precision
+  double lambda() const { return lambda_; }  // learned weight precision
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  Options options_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  double alpha_ = 1.0;
+  double lambda_ = 1.0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_BAYESIAN_RIDGE_H_

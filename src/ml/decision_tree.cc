@@ -1,0 +1,262 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hsgf::ml {
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       util::Rng* rng) {
+  std::vector<int> all(x.rows());
+  std::iota(all.begin(), all.end(), 0);
+  Fit(x, y, all, rng);
+}
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       const std::vector<int>& sample_indices,
+                       util::Rng* rng) {
+  assert(static_cast<int>(y.size()) == x.rows());
+  assert(!sample_indices.empty());
+  nodes_.clear();
+  num_features_ = x.cols();
+  max_depth_reached_ = 0;
+  importances_.assign(num_features_, 0.0);
+  num_classes_ = 0;
+  if (task_ == Task::kClassification) {
+    for (double v : y) {
+      num_classes_ = std::max(num_classes_, static_cast<int>(v) + 1);
+    }
+  }
+  std::vector<int> indices = sample_indices;
+  BuildNode(x, y, indices, 0, static_cast<int>(indices.size()), 0, rng);
+}
+
+double DecisionTree::Impurity(const std::vector<double>& y,
+                              const std::vector<int>& indices, int begin,
+                              int end) const {
+  const double n = end - begin;
+  if (task_ == Task::kRegression) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = begin; i < end; ++i) {
+      sum += y[indices[i]];
+      sum_sq += y[indices[i]] * y[indices[i]];
+    }
+    return sum_sq / n - (sum / n) * (sum / n);
+  }
+  std::vector<double> counts(num_classes_, 0.0);
+  for (int i = begin; i < end; ++i) ++counts[static_cast<int>(y[indices[i]])];
+  return GiniFromCounts(counts, n);
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                            std::vector<int>& indices, int begin, int end,
+                            int depth, util::Rng* rng) {
+  const int n = end - begin;
+  max_depth_reached_ = std::max(max_depth_reached_, depth);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Leaf statistics (always computed; interior nodes keep `value` too, which
+  // keeps PredictOne robust if a branch is pruned later).
+  if (task_ == Task::kRegression) {
+    double sum = 0.0;
+    for (int i = begin; i < end; ++i) sum += y[indices[i]];
+    nodes_[node_id].value = sum / n;
+  } else {
+    std::vector<double> counts(num_classes_, 0.0);
+    for (int i = begin; i < end; ++i) {
+      ++counts[static_cast<int>(y[indices[i]])];
+    }
+    int best_class = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (counts[c] > counts[best_class]) best_class = c;
+    }
+    nodes_[node_id].value = best_class;
+    nodes_[node_id].class_counts = std::move(counts);
+  }
+
+  const double node_impurity = Impurity(y, indices, begin, end);
+  const bool depth_exhausted =
+      options_.max_depth > 0 && depth >= options_.max_depth;
+  if (n < options_.min_samples_split || n < 2 * options_.min_samples_leaf ||
+      depth_exhausted || node_impurity <= 1e-12) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (without replacement).
+  std::vector<int> features;
+  if (options_.max_features > 0 && options_.max_features < num_features_) {
+    assert(rng != nullptr);
+    features = rng->SampleWithoutReplacement(num_features_,
+                                             options_.max_features);
+  } else {
+    features.resize(num_features_);
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  // Exact best-split search.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_children_impurity = node_impurity;
+  std::vector<std::pair<double, int>> sorted(n);  // (value, sample index)
+  std::vector<double> left_counts;
+  std::vector<double> right_counts;
+  for (int feature : features) {
+    for (int i = 0; i < n; ++i) {
+      int sample = indices[begin + i];
+      sorted[i] = {x(sample, feature), sample};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    if (task_ == Task::kRegression) {
+      double left_sum = 0.0;
+      double left_sq = 0.0;
+      double total_sum = 0.0;
+      double total_sq = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double target = y[sorted[i].second];
+        total_sum += target;
+        total_sq += target * target;
+      }
+      for (int i = 0; i < n - 1; ++i) {
+        double target = y[sorted[i].second];
+        left_sum += target;
+        left_sq += target * target;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        int left_n = i + 1;
+        int right_n = n - left_n;
+        if (left_n < options_.min_samples_leaf ||
+            right_n < options_.min_samples_leaf) {
+          continue;
+        }
+        double left_var = left_sq / left_n -
+                          (left_sum / left_n) * (left_sum / left_n);
+        double right_sum = total_sum - left_sum;
+        double right_sq = total_sq - left_sq;
+        double right_var = right_sq / right_n -
+                           (right_sum / right_n) * (right_sum / right_n);
+        double children =
+            (left_n * left_var + right_n * right_var) / static_cast<double>(n);
+        if (children < best_children_impurity - 1e-15) {
+          best_children_impurity = children;
+          best_feature = feature;
+          // The midpoint of two adjacent doubles can round up to the right
+          // value, which would leave one partition side empty; clamp to the
+          // left value (the partition test is `x <= threshold`).
+          double midpoint = 0.5 * (sorted[i].first + sorted[i + 1].first);
+          best_threshold =
+              midpoint < sorted[i + 1].first ? midpoint : sorted[i].first;
+        }
+      }
+    } else {
+      left_counts.assign(num_classes_, 0.0);
+      right_counts.assign(num_classes_, 0.0);
+      for (int i = 0; i < n; ++i) {
+        ++right_counts[static_cast<int>(y[sorted[i].second])];
+      }
+      for (int i = 0; i < n - 1; ++i) {
+        int cls = static_cast<int>(y[sorted[i].second]);
+        ++left_counts[cls];
+        --right_counts[cls];
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        int left_n = i + 1;
+        int right_n = n - left_n;
+        if (left_n < options_.min_samples_leaf ||
+            right_n < options_.min_samples_leaf) {
+          continue;
+        }
+        double children = (left_n * GiniFromCounts(left_counts, left_n) +
+                           right_n * GiniFromCounts(right_counts, right_n)) /
+                          static_cast<double>(n);
+        if (children < best_children_impurity - 1e-15) {
+          best_children_impurity = children;
+          best_feature = feature;
+          double midpoint = 0.5 * (sorted[i].first + sorted[i + 1].first);
+          best_threshold =
+              midpoint < sorted[i + 1].first ? midpoint : sorted[i].first;
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split found
+
+  // Attribute the (sample-weighted) impurity decrease to the feature.
+  importances_[best_feature] +=
+      n * (node_impurity - best_children_impurity);
+
+  // Partition indices in place.
+  int mid = begin;
+  for (int i = begin; i < end; ++i) {
+    if (x(indices[i], best_feature) <= best_threshold) {
+      std::swap(indices[i], indices[mid]);
+      ++mid;
+    }
+  }
+  assert(mid > begin && mid < end);
+  if (mid == begin || mid == end) {
+    // Defensive: a degenerate partition would recurse forever; fall back to
+    // a leaf (cannot happen with the clamped threshold, kept as a guard).
+    importances_[best_feature] -= n * (node_impurity - best_children_impurity);
+    return node_id;
+  }
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = BuildNode(x, y, indices, begin, mid, depth + 1, rng);
+  nodes_[node_id].left = left;
+  int right = BuildNode(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictOne(const double* row) const {
+  assert(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::vector<double> DecisionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = PredictOne(x.row(r));
+  return out;
+}
+
+std::vector<double> DecisionTree::PredictProbaOne(const double* row) const {
+  assert(task_ == Task::kClassification && !nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  const std::vector<double>& counts = nodes_[node].class_counts;
+  double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  std::vector<double> proba(num_classes_, 0.0);
+  if (total > 0.0) {
+    for (int c = 0; c < num_classes_; ++c) proba[c] = counts[c] / total;
+  }
+  return proba;
+}
+
+}  // namespace hsgf::ml

@@ -1,0 +1,92 @@
+#ifndef HSGF_ML_DECISION_TREE_H_
+#define HSGF_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace hsgf::ml {
+
+// CART decision tree supporting regression (variance impurity) and
+// classification (Gini impurity). Exact split search: per candidate feature
+// the node's samples are sorted by value and every boundary between
+// distinct values is evaluated.
+//
+// The rank-prediction evaluation uses the regression variant directly and
+// inside RandomForestRegressor (which also relies on the accumulated
+// impurity-decrease feature importances, §4.2.5).
+struct TreeOptions {
+  int max_depth = 0;         // 0 = grow until pure / min samples
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  // Number of features examined per split; 0 = all features. Random forests
+  // pass sqrt(p) or p/3 here.
+  int max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  enum class Task { kRegression, kClassification };
+
+  DecisionTree(Task task, TreeOptions options = {})
+      : task_(task), options_(options) {}
+
+  // Fits on the samples listed in `sample_indices` (with multiplicity, so
+  // bootstrap bags work). For classification, y holds class ids in
+  // [0, num_classes). `rng` supplies feature subsampling and may be null
+  // when options.max_features == 0.
+  void Fit(const Matrix& x, const std::vector<double>& y,
+           const std::vector<int>& sample_indices, util::Rng* rng = nullptr);
+
+  // Convenience: fit on all rows.
+  void Fit(const Matrix& x, const std::vector<double>& y,
+           util::Rng* rng = nullptr);
+
+  // Regression: the mean of the leaf. Classification: the majority class id.
+  double PredictOne(const double* row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  // Classification only: per-class probability (leaf class frequencies).
+  std::vector<double> PredictProbaOne(const double* row) const;
+
+  int num_classes() const { return num_classes_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return max_depth_reached_; }
+
+  // Total impurity decrease attributed to each feature (unnormalized).
+  // Caller-side normalization lets forests sum across trees first.
+  const std::vector<double>& raw_feature_importances() const {
+    return importances_;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 = leaf
+    double threshold = 0.0;    // go left iff value <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;        // regression mean / majority class id
+    std::vector<double> class_counts;  // classification leaves only
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<double>& y,
+                std::vector<int>& indices, int begin, int end, int depth,
+                util::Rng* rng);
+
+  double Impurity(const std::vector<double>& y, const std::vector<int>& indices,
+                  int begin, int end) const;
+
+  Task task_;
+  TreeOptions options_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  int max_depth_reached_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+};
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_DECISION_TREE_H_

@@ -1,0 +1,106 @@
+#include "ml/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hsgf::ml {
+
+std::optional<std::vector<double>> SolveSpd(const Matrix& a,
+                                            const std::vector<double>& b) {
+  const int n = a.rows();
+  assert(a.cols() == n && static_cast<int>(b.size()) == n);
+  // In-place Cholesky factorization A = L L^T.
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 1e-300) return std::nullopt;  // not positive definite
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = z[i];
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::optional<Matrix> InvertSpd(const Matrix& a) {
+  const int n = a.rows();
+  assert(a.cols() == n);
+  // Solve A x = e_i column by column; n is small wherever this is used.
+  Matrix inverse(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    unit[i] = 1.0;
+    auto column = SolveSpd(a, unit);
+    if (!column.has_value()) return std::nullopt;
+    for (int r = 0; r < n; ++r) inverse(r, i) = (*column)[r];
+    unit[i] = 0.0;
+  }
+  return inverse;
+}
+
+Matrix Gram(const Matrix& x) {
+  const int n = x.rows();
+  const int p = x.cols();
+  Matrix g(p, p);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (int i = 0; i < p; ++i) {
+      if (row[i] == 0.0) continue;
+      for (int j = i; j < p; ++j) g(i, j) += row[i] * row[j];
+    }
+  }
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Xty(const Matrix& x, const std::vector<double>& y) {
+  assert(static_cast<int>(y.size()) == x.rows());
+  std::vector<double> result(x.cols(), 0.0);
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r);
+    for (int c = 0; c < x.cols(); ++c) result[c] += row[c] * y[r];
+  }
+  return result;
+}
+
+std::vector<double> MatVec(const Matrix& x, const std::vector<double>& w,
+                           double intercept) {
+  assert(static_cast<int>(w.size()) == x.cols());
+  std::vector<double> result(x.rows(), intercept);
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r);
+    double sum = intercept;
+    for (int c = 0; c < x.cols(); ++c) sum += row[c] * w[c];
+    result[r] = sum;
+  }
+  return result;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace hsgf::ml

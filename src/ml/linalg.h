@@ -1,0 +1,36 @@
+#ifndef HSGF_ML_LINALG_H_
+#define HSGF_ML_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace hsgf::ml {
+
+// Small dense linear-algebra kernels used by the regressors. All operate on
+// symmetric positive (semi-)definite systems of modest size (p <= a few
+// hundred features after selection), so a plain Cholesky is appropriate.
+
+// Solves A x = b for symmetric positive-definite A (n x n, row-major).
+// Returns std::nullopt if A is not positive definite (within tolerance).
+std::optional<std::vector<double>> SolveSpd(const Matrix& a,
+                                            const std::vector<double>& b);
+
+// Inverse of a symmetric positive-definite matrix via Cholesky. Returns
+// std::nullopt if A is not positive definite.
+std::optional<Matrix> InvertSpd(const Matrix& a);
+
+// Gram matrix X^T X (p x p) and moment vector X^T y (p).
+Matrix Gram(const Matrix& x);
+std::vector<double> Xty(const Matrix& x, const std::vector<double>& y);
+
+// y_hat = X w + intercept.
+std::vector<double> MatVec(const Matrix& x, const std::vector<double>& w,
+                           double intercept = 0.0);
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_LINALG_H_

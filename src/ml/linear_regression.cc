@@ -1,0 +1,47 @@
+#include "ml/linear_regression.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "ml/linalg.h"
+
+namespace hsgf::ml {
+
+bool LinearRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  const int n = x.rows();
+  const int p = x.cols();
+  assert(static_cast<int>(y.size()) == n && n > 0);
+
+  // Centre the data so the intercept separates from the coefficients.
+  std::vector<double> x_mean(p, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (int c = 0; c < p; ++c) x_mean[c] += row[c];
+  }
+  for (int c = 0; c < p; ++c) x_mean[c] /= n;
+  double y_mean = std::accumulate(y.begin(), y.end(), 0.0) / n;
+
+  Matrix centred(n, p);
+  std::vector<double> y_centred(n);
+  for (int r = 0; r < n; ++r) {
+    const double* src = x.row(r);
+    double* dst = centred.row(r);
+    for (int c = 0; c < p; ++c) dst[c] = src[c] - x_mean[c];
+    y_centred[r] = y[r] - y_mean;
+  }
+
+  Matrix gram = Gram(centred);
+  const double jitter = l2_ > 0.0 ? l2_ : 1e-8;
+  for (int c = 0; c < p; ++c) gram(c, c) += jitter;
+  auto solution = SolveSpd(gram, Xty(centred, y_centred));
+  if (!solution.has_value()) return false;
+  coef_ = std::move(*solution);
+  intercept_ = y_mean - Dot(coef_, x_mean);
+  return true;
+}
+
+std::vector<double> LinearRegression::Predict(const Matrix& x) const {
+  return MatVec(x, coef_, intercept_);
+}
+
+}  // namespace hsgf::ml

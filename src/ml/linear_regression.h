@@ -1,0 +1,36 @@
+#ifndef HSGF_ML_LINEAR_REGRESSION_H_
+#define HSGF_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace hsgf::ml {
+
+// Ordinary least squares with an intercept, solved through ridge-stabilized
+// normal equations (tiny jitter keeps the Gram matrix positive definite for
+// collinear feature sets, which subgraph count features frequently are).
+class LinearRegression {
+ public:
+  // `l2` is the ridge penalty; 0 requests plain OLS (a numerical jitter of
+  // 1e-8 is still applied).
+  explicit LinearRegression(double l2 = 0.0) : l2_(l2) {}
+
+  // Fits on rows of x against y. Returns false if the system could not be
+  // solved (never happens with the jitter unless inputs contain NaN).
+  bool Fit(const Matrix& x, const std::vector<double>& y);
+
+  std::vector<double> Predict(const Matrix& x) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double l2_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,139 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hsgf::ml {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+// Numerically stable log(1 + exp(z)).
+double Softplus(double z) {
+  if (z > 30.0) return z;
+  if (z < -30.0) return 0.0;
+  return std::log1p(std::exp(z));
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y) {
+  const int n = x.rows();
+  const int p = x.cols();
+  assert(static_cast<int>(y.size()) == n && n > 0);
+
+  // Lipschitz bound on the gradient: L <= 0.25 ||X||_F^2 / n + λ (plus the
+  // intercept column of ones).
+  double frob_sq = static_cast<double>(n);
+  for (const double v : x.data()) frob_sq += v * v;
+  const double lipschitz = 0.25 * frob_sq / n + options_.l2;
+  const double step = 1.0 / lipschitz;
+
+  std::vector<double> w(p, 0.0);
+  std::vector<double> w_prev(p, 0.0);
+  double b = 0.0;
+  double b_prev = 0.0;
+  std::vector<double> grad(p, 0.0);
+  double previous_objective = std::numeric_limits<double>::infinity();
+
+  for (iterations_run_ = 0; iterations_run_ < options_.max_iterations;
+       ++iterations_run_) {
+    // Nesterov lookahead point.
+    const double momentum =
+        iterations_run_ == 0
+            ? 0.0
+            : static_cast<double>(iterations_run_ - 1) / (iterations_run_ + 2);
+    std::vector<double> v(p);
+    for (int c = 0; c < p; ++c) v[c] = w[c] + momentum * (w[c] - w_prev[c]);
+    double vb = b + momentum * (b - b_prev);
+
+    // Gradient and objective at the lookahead point.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    double objective = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double* row = x.row(r);
+      double z = vb;
+      for (int c = 0; c < p; ++c) z += row[c] * v[c];
+      const double sign = y[r] == 1 ? 1.0 : -1.0;
+      objective += Softplus(-sign * z);
+      // d/dz log(1+exp(-s z)) = -s * sigmoid(-s z)
+      const double coeff = -sign * Sigmoid(-sign * z);
+      grad_b += coeff;
+      for (int c = 0; c < p; ++c) grad[c] += coeff * row[c];
+    }
+    objective /= n;
+    grad_b /= n;
+    for (int c = 0; c < p; ++c) {
+      grad[c] = grad[c] / n + options_.l2 * v[c];
+      objective += 0.5 * options_.l2 * v[c] * v[c];
+    }
+
+    w_prev = w;
+    b_prev = b;
+    for (int c = 0; c < p; ++c) w[c] = v[c] - step * grad[c];
+    b = vb - step * grad_b;
+
+    if (std::abs(previous_objective - objective) <
+        options_.tolerance * std::max(1.0, std::abs(previous_objective))) {
+      break;
+    }
+    previous_objective = objective;
+  }
+  coef_ = std::move(w);
+  intercept_ = b;
+}
+
+double LogisticRegression::PredictProbaOne(const double* row) const {
+  double z = intercept_;
+  for (size_t c = 0; c < coef_.size(); ++c) z += row[c] * coef_[c];
+  return Sigmoid(z);
+}
+
+std::vector<double> LogisticRegression::PredictProba(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = PredictProbaOne(x.row(r));
+  return out;
+}
+
+void OneVsRestLogistic::Fit(const Matrix& x, const std::vector<int>& y) {
+  int num_classes = 0;
+  for (int label : y) num_classes = std::max(num_classes, label + 1);
+  classifiers_.assign(num_classes, LogisticRegression(options_));
+  std::vector<int> binary(y.size());
+  for (int cls = 0; cls < num_classes; ++cls) {
+    for (size_t i = 0; i < y.size(); ++i) binary[i] = y[i] == cls ? 1 : 0;
+    classifiers_[cls].Fit(x, binary);
+  }
+}
+
+int OneVsRestLogistic::PredictOne(const double* row) const {
+  assert(!classifiers_.empty());
+  int best = 0;
+  double best_proba = -1.0;
+  for (size_t cls = 0; cls < classifiers_.size(); ++cls) {
+    double proba = classifiers_[cls].PredictProbaOne(row);
+    if (proba > best_proba) {
+      best_proba = proba;
+      best = static_cast<int>(cls);
+    }
+  }
+  return best;
+}
+
+std::vector<int> OneVsRestLogistic::Predict(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = PredictOne(x.row(r));
+  return out;
+}
+
+}  // namespace hsgf::ml

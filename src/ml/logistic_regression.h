@@ -1,0 +1,68 @@
+#ifndef HSGF_ML_LOGISTIC_REGRESSION_H_
+#define HSGF_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace hsgf::ml {
+
+// L2-regularized binary logistic regression trained with Nesterov-
+// accelerated full-batch gradient descent (step size from a Frobenius-norm
+// Lipschitz bound). Objective:
+//   (1/n) Σ log(1 + exp(-y_i (w·x_i + b))) + (λ/2) ||w||²
+// with y ∈ {-1, +1}; the intercept is not penalized.
+class LogisticRegression {
+ public:
+  struct Options {
+    double l2 = 1e-3;        // λ; the paper tunes this per task (§4.3.3)
+    int max_iterations = 500;
+    double tolerance = 1e-6;  // on relative objective improvement
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  // `y` holds 0/1 class indicators.
+  void Fit(const Matrix& x, const std::vector<int>& y);
+
+  // P(class = 1 | x).
+  double PredictProbaOne(const double* row) const;
+  std::vector<double> PredictProba(const Matrix& x) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  Options options_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  int iterations_run_ = 0;
+};
+
+// One-vs-rest multiclass wrapper (the paper's label-prediction setup,
+// §4.3.3: one classifier per label, predict the argmax probability).
+class OneVsRestLogistic {
+ public:
+  OneVsRestLogistic() = default;
+  explicit OneVsRestLogistic(LogisticRegression::Options options)
+      : options_(options) {}
+
+  // `y` holds class ids in [0, num_classes).
+  void Fit(const Matrix& x, const std::vector<int>& y);
+
+  // Class id with the highest per-classifier probability.
+  int PredictOne(const double* row) const;
+  std::vector<int> Predict(const Matrix& x) const;
+
+  int num_classes() const { return static_cast<int>(classifiers_.size()); }
+
+ private:
+  LogisticRegression::Options options_;
+  std::vector<LogisticRegression> classifiers_;
+};
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_LOGISTIC_REGRESSION_H_

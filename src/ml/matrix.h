@@ -1,0 +1,89 @@
+#ifndef HSGF_ML_MATRIX_H_
+#define HSGF_ML_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hsgf::ml {
+
+// Dense row-major matrix of doubles. Rows are samples, columns features.
+// Deliberately minimal: the learning code needs element access, row views
+// and a few reductions, not a linear-algebra framework.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  Matrix(int rows, int cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == static_cast<size_t>(rows) * cols);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  // Returns the matrix restricted to the given row indices (copies).
+  Matrix SelectRows(const std::vector<int>& indices) const {
+    Matrix out(static_cast<int>(indices.size()), cols_);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const double* src = row(indices[i]);
+      double* dst = out.row(static_cast<int>(i));
+      for (int c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+  // Returns the matrix restricted to the given column indices (copies).
+  Matrix SelectCols(const std::vector<int>& indices) const {
+    Matrix out(rows_, static_cast<int>(indices.size()));
+    for (int r = 0; r < rows_; ++r) {
+      const double* src = row(r);
+      double* dst = out.row(r);
+      for (size_t i = 0; i < indices.size(); ++i) dst[i] = src[indices[i]];
+    }
+    return out;
+  }
+
+  // Horizontal concatenation: [this | other]. Row counts must match.
+  Matrix ConcatCols(const Matrix& other) const {
+    assert(rows_ == other.rows_);
+    Matrix out(rows_, cols_ + other.cols_);
+    for (int r = 0; r < rows_; ++r) {
+      double* dst = out.row(r);
+      const double* a = row(r);
+      const double* b = other.row(r);
+      for (int c = 0; c < cols_; ++c) dst[c] = a[c];
+      for (int c = 0; c < other.cols_; ++c) dst[cols_ + c] = b[c];
+    }
+    return out;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_MATRIX_H_

@@ -1,0 +1,162 @@
+#include "ml/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace hsgf::ml {
+
+void StandardScaler::Fit(const Matrix& x) {
+  const int n = x.rows();
+  const int p = x.cols();
+  means_.assign(p, 0.0);
+  scales_.assign(p, 1.0);
+  if (n == 0) return;
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (int c = 0; c < p; ++c) means_[c] += row[c];
+  }
+  for (int c = 0; c < p; ++c) means_[c] /= n;
+  std::vector<double> variance(p, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (int c = 0; c < p; ++c) {
+      double d = row[c] - means_[c];
+      variance[c] += d * d;
+    }
+  }
+  for (int c = 0; c < p; ++c) {
+    double v = variance[c] / n;
+    scales_[c] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  assert(static_cast<size_t>(x.cols()) == means_.size());
+  Matrix out(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* src = x.row(r);
+    double* dst = out.row(r);
+    for (int c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> FRegressionScores(const Matrix& x,
+                                      const std::vector<double>& y) {
+  const int n = x.rows();
+  const int p = x.cols();
+  assert(static_cast<int>(y.size()) == n);
+  std::vector<double> scores(p, 0.0);
+  if (n < 3) return scores;
+  double y_mean = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double y_ss = 0.0;
+  for (double v : y) y_ss += (v - y_mean) * (v - y_mean);
+  if (y_ss <= 0.0) return scores;
+  const int dof = n - 2;
+  for (int c = 0; c < p; ++c) {
+    double x_mean = 0.0;
+    for (int r = 0; r < n; ++r) x_mean += x(r, c);
+    x_mean /= n;
+    double xy = 0.0;
+    double x_ss = 0.0;
+    for (int r = 0; r < n; ++r) {
+      double dx = x(r, c) - x_mean;
+      xy += dx * (y[r] - y_mean);
+      x_ss += dx * dx;
+    }
+    if (x_ss <= 1e-12) continue;
+    double r2 = (xy * xy) / (x_ss * y_ss);
+    r2 = std::min(r2, 1.0 - 1e-12);
+    scores[c] = r2 / (1.0 - r2) * dof;
+  }
+  return scores;
+}
+
+std::vector<double> FClassifScores(const Matrix& x, const std::vector<int>& y) {
+  const int n = x.rows();
+  const int p = x.cols();
+  assert(static_cast<int>(y.size()) == n);
+  // Group sample indices by class.
+  std::map<int, std::vector<int>> groups;
+  for (int r = 0; r < n; ++r) groups[y[r]].push_back(r);
+  const int k = static_cast<int>(groups.size());
+  std::vector<double> scores(p, 0.0);
+  if (k < 2 || n <= k) return scores;
+  for (int c = 0; c < p; ++c) {
+    double grand_mean = 0.0;
+    for (int r = 0; r < n; ++r) grand_mean += x(r, c);
+    grand_mean /= n;
+    double between = 0.0;
+    double within = 0.0;
+    for (const auto& [label, members] : groups) {
+      double group_mean = 0.0;
+      for (int r : members) group_mean += x(r, c);
+      group_mean /= static_cast<double>(members.size());
+      between += members.size() * (group_mean - grand_mean) *
+                 (group_mean - grand_mean);
+      for (int r : members) {
+        within += (x(r, c) - group_mean) * (x(r, c) - group_mean);
+      }
+    }
+    if (within <= 1e-12) {
+      scores[c] = between > 1e-12 ? 1e12 : 0.0;
+      continue;
+    }
+    scores[c] = (between / (k - 1)) / (within / (n - k));
+  }
+  return scores;
+}
+
+std::vector<int> TopKIndices(const std::vector<double>& scores, int k) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&scores](int a, int b) {
+    double sa = std::isnan(scores[a]) ? -1.0 : scores[a];
+    double sb = std::isnan(scores[b]) ? -1.0 : scores[b];
+    return sa > sb;
+  });
+  k = std::min<int>(k, static_cast<int>(order.size()));
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Split TrainTestSplit(int n, double train_fraction, util::Rng& rng) {
+  assert(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+  int train_count = std::clamp(
+      static_cast<int>(std::lround(train_fraction * n)), 1, n - 1);
+  Split split;
+  split.train.assign(indices.begin(), indices.begin() + train_count);
+  split.test.assign(indices.begin() + train_count, indices.end());
+  return split;
+}
+
+Split StratifiedSplit(const std::vector<int>& labels, double train_fraction,
+                      util::Rng& rng) {
+  assert(train_fraction > 0.0 && train_fraction < 1.0);
+  std::map<int, std::vector<int>> groups;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    groups[labels[i]].push_back(static_cast<int>(i));
+  }
+  Split split;
+  for (auto& [label, members] : groups) {
+    rng.Shuffle(members);
+    int n = static_cast<int>(members.size());
+    int train_count = std::clamp(
+        static_cast<int>(std::lround(train_fraction * n)), 1, std::max(1, n - 1));
+    for (int i = 0; i < n; ++i) {
+      (i < train_count ? split.train : split.test).push_back(members[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace hsgf::ml

@@ -1,0 +1,61 @@
+#ifndef HSGF_ML_PREPROCESS_H_
+#define HSGF_ML_PREPROCESS_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace hsgf::ml {
+
+// Column-wise standardization to zero mean / unit variance. Constant
+// columns are left centred with scale 1 (matching scikit-learn).
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+// Univariate F-statistic of each feature against a continuous target
+// (scikit-learn's f_regression): squared Pearson correlation converted to an
+// F score. Used to pick the top-k features for the weaker regressors
+// (paper §4.2.3: top-5 for linear regression / decision tree, top-60 for
+// Bayesian ridge).
+std::vector<double> FRegressionScores(const Matrix& x,
+                                      const std::vector<double>& y);
+
+// One-way ANOVA F-statistic of each feature against integer class labels
+// (scikit-learn's f_classif).
+std::vector<double> FClassifScores(const Matrix& x,
+                                   const std::vector<int>& y);
+
+// Indices of the k highest-scoring features (ties broken by index; k is
+// clamped to the number of features). NaN scores rank last.
+std::vector<int> TopKIndices(const std::vector<double>& scores, int k);
+
+// Random train/test split of n samples; `train_fraction` in (0, 1).
+struct Split {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+Split TrainTestSplit(int n, double train_fraction, util::Rng& rng);
+
+// Stratified variant: preserves per-class proportions (used for the label
+// prediction task where every label contributes 250 nodes).
+Split StratifiedSplit(const std::vector<int>& labels, double train_fraction,
+                      util::Rng& rng);
+
+}  // namespace hsgf::ml
+
+#endif  // HSGF_ML_PREPROCESS_H_

@@ -1,0 +1,67 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hsgf::ml {
+
+void RandomForestRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  assert(x.rows() > 0);
+  num_features_ = x.cols();
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features <= 0) {
+    // Classic regression-forest default: p/3 features per split.
+    tree_options.max_features =
+        std::max(1, num_features_ / 3);
+  }
+  tree_options.max_features = std::min(tree_options.max_features, num_features_);
+
+  trees_.assign(options_.num_trees,
+                DecisionTree(DecisionTree::Task::kRegression, tree_options));
+  const int n = x.rows();
+
+  auto build_tree = [&](int64_t t) {
+    util::Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + t);
+    // Bootstrap bag of n samples with replacement.
+    std::vector<int> bag(n);
+    for (int i = 0; i < n; ++i) {
+      bag[i] = static_cast<int>(rng.UniformInt(n));
+    }
+    trees_[t].Fit(x, y, bag, &rng);
+  };
+
+  if (options_.pool != nullptr && options_.pool->num_threads() > 1) {
+    util::ParallelFor(*options_.pool, options_.num_trees, build_tree);
+  } else {
+    for (int t = 0; t < options_.num_trees; ++t) build_tree(t);
+  }
+}
+
+std::vector<double> RandomForestRegressor::Predict(const Matrix& x) const {
+  assert(!trees_.empty());
+  std::vector<double> out(x.rows(), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    for (int r = 0; r < x.rows(); ++r) out[r] += tree.PredictOne(x.row(r));
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::vector<double> RandomForestRegressor::FeatureImportances() const {
+  std::vector<double> importances(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& raw = tree.raw_feature_importances();
+    for (int f = 0; f < num_features_; ++f) importances[f] += raw[f];
+  }
+  double total = 0.0;
+  for (double v : importances) total += v;
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+}  // namespace hsgf::ml

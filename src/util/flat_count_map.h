@@ -1,0 +1,109 @@
+#ifndef HSGF_UTIL_FLAT_COUNT_MAP_H_
+#define HSGF_UTIL_FLAT_COUNT_MAP_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace hsgf::util {
+
+// Open-addressing hash map from uint64 keys to int64 counts, specialized for
+// the census inner loop (increment-or-insert). Linear probing over a
+// power-of-two table; no tombstones (no erase). Key 0 is handled through a
+// dedicated slot so the table can use 0 as the empty sentinel.
+class FlatCountMap {
+ public:
+  explicit FlatCountMap(size_t initial_capacity = 64) {
+    size_t capacity = 16;
+    while (capacity < initial_capacity) capacity *= 2;
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, 0);
+    mask_ = capacity - 1;
+  }
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  // counts[key] += delta (inserting if absent).
+  void Add(uint64_t key, int64_t delta) {
+    if (key == 0) {
+      if (!has_zero_) has_zero_ = true;
+      zero_count_ += delta;
+      return;
+    }
+    size_t slot = Probe(key);
+    if (keys_[slot] == 0) {
+      keys_[slot] = key;
+      values_[slot] = delta;
+      if (++size_ * 10 >= keys_.size() * 7) Grow();
+    } else {
+      values_[slot] += delta;
+    }
+  }
+
+  // Returns the count for key, or 0 if absent.
+  int64_t Get(uint64_t key) const {
+    if (key == 0) return has_zero_ ? zero_count_ : 0;
+    size_t slot = Probe(key);
+    return keys_[slot] == key ? values_[slot] : 0;
+  }
+
+  bool Contains(uint64_t key) const {
+    if (key == 0) return has_zero_;
+    return keys_[Probe(key)] == key;
+  }
+
+  // Invokes fn(key, count) for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(uint64_t{0}, zero_count_);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), 0);
+    size_ = 0;
+    has_zero_ = false;
+    zero_count_ = 0;
+  }
+
+ private:
+  static uint64_t Scramble(uint64_t key) {
+    // Fibonacci multiplicative scrambling; keys are already well mixed but
+    // this guards against adversarial low-bit structure.
+    return key * 0x9e3779b97f4a7c15ULL;
+  }
+
+  size_t Probe(uint64_t key) const {
+    size_t slot = static_cast<size_t>(Scramble(key) >> 32) & mask_;
+    while (keys_[slot] != 0 && keys_[slot] != key) slot = (slot + 1) & mask_;
+    return slot;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int64_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, 0);
+    values_.assign(old_values.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      size_t slot = Probe(old_keys[i]);
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int64_t> values_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  bool has_zero_ = false;
+  int64_t zero_count_ = 0;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_FLAT_COUNT_MAP_H_

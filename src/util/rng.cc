@@ -1,0 +1,126 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hsgf::util {
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply into a 128-bit product and reject the biased
+  // low fringe.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform on two uniforms in (0, 1].
+  double u1 = 1.0 - UniformReal();
+  double u2 = UniformReal();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0);
+  return -std::log(1.0 - UniformReal()) / rate;
+}
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    double limit = std::exp(-mean);
+    double product = UniformReal();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformReal();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  double value = std::round(Normal(mean, std::sqrt(mean)));
+  return value < 0 ? 0 : static_cast<int>(value);
+}
+
+double Rng::Pareto(double xmin, double alpha) {
+  assert(xmin > 0 && alpha > 0);
+  double u = 1.0 - UniformReal();  // in (0, 1]
+  return xmin * std::pow(u, -1.0 / alpha);
+}
+
+int Rng::Zipf(int n, double alpha) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (n != zipf_n_ || alpha != zipf_alpha_) {
+    zipf_n_ = n;
+    zipf_alpha_ = alpha;
+    zipf_cdf_.resize(n);
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -alpha);
+      zipf_cdf_[k] = total;
+    }
+    for (int k = 0; k < n; ++k) zipf_cdf_[k] /= total;
+  }
+  double u = UniformReal();
+  // Binary search for the first CDF entry >= u.
+  int lo = 0;
+  int hi = n - 1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher–Yates over an index array.
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) indices[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(UniformInt(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+int Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double target = UniformReal() * total;
+  double running = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    running += weights[i];
+    if (target < running) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace hsgf::util

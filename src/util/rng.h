@@ -1,0 +1,136 @@
+#ifndef HSGF_UTIL_RNG_H_
+#define HSGF_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hsgf::util {
+
+// Splits a 64-bit seed into a well-mixed stream of 64-bit values.
+// Used for seeding and as a cheap standalone generator.
+// Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+// Generators" (SplitMix64 finalizer).
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic xoshiro256** generator. All stochastic components of the
+// library take an explicit seed through this class so that experiments are
+// reproducible run-to-run and across platforms.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  // Re-initializes the state from `seed` via SplitMix64, per the xoshiro
+  // authors' recommendation (avoids all-zero and low-entropy states).
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Returns the next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformReal() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return lo + (hi - lo) * UniformReal();
+  }
+
+  // Standard normal deviate (Box–Muller with caching).
+  double Normal();
+
+  // Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  // Exponential deviate with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  // Poisson deviate with the given mean (inversion for small means,
+  // normal approximation for large means).
+  int Poisson(double mean);
+
+  // Pareto-tailed deviate: xmin * U^(-1/alpha). Used for skewed degree and
+  // productivity distributions in the synthetic networks.
+  double Pareto(double xmin, double alpha);
+
+  // Zipf-like integer in [0, n): probability of k proportional to
+  // (k + 1)^(-alpha). Precomputation-free rejection-inversion would be
+  // overkill for our sizes; this uses cached CDF sampling per (n, alpha).
+  int Zipf(int n, double alpha);
+
+  // Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples `k` distinct indices from [0, n) in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Draws an index from the discrete distribution given by non-negative
+  // weights (linear scan; use embed::AliasTable for repeated draws).
+  int Discrete(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+  // Cache for Zipf sampling: CDF for the most recent (n, alpha) pair.
+  int zipf_n_ = -1;
+  double zipf_alpha_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_RNG_H_

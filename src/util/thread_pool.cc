@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace hsgf::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down, queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, int64_t count,
+                 const std::function<void(int64_t)>& body,
+                 int64_t chunk_size) {
+  if (count <= 0) return;
+  chunk_size = std::max<int64_t>(1, chunk_size);
+  // A shared cursor hands out chunks dynamically so skewed per-item costs
+  // (hub start nodes) do not serialize on one worker.
+  auto cursor = std::make_shared<std::atomic<int64_t>>(0);
+  unsigned num_tasks = std::min<int64_t>(pool.num_threads(),
+                                         (count + chunk_size - 1) / chunk_size);
+  for (unsigned t = 0; t < num_tasks; ++t) {
+    pool.Submit([cursor, count, chunk_size, &body] {
+      for (;;) {
+        int64_t begin = cursor->fetch_add(chunk_size);
+        if (begin >= count) return;
+        int64_t end = std::min(count, begin + chunk_size);
+        for (int64_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace hsgf::util

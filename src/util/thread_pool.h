@@ -1,0 +1,58 @@
+#ifndef HSGF_UTIL_THREAD_POOL_H_
+#define HSGF_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hsgf::util {
+
+// Fixed-size worker pool. The subgraph census parallelizes by start node
+// (paper §3.2: the edge list is shared read-only, per-thread state is O(V),
+// so memory is O(tV + E) for t threads).
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers. `num_threads == 0` selects
+  // the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+// Runs body(i) for every i in [0, count), distributing dynamically over the
+// pool's workers in chunks. Blocks until complete. `body` must be safe to
+// call concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, int64_t count,
+                 const std::function<void(int64_t)>& body,
+                 int64_t chunk_size = 1);
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+#ifndef HSGF_UTIL_TIMER_H_
+#define HSGF_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hsgf::util {
+
+// Wall-clock stopwatch used for the per-node extraction timings (Table 3).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_TIMER_H_

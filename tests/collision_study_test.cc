@@ -1,0 +1,108 @@
+#include "core/collision_study.h"
+
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "core/isomorphism.h"
+
+namespace hsgf::core {
+namespace {
+
+TEST(CollisionStudyTest, OneEdgeClassCounts) {
+  // With 2 labels and same-label edges allowed, the connected 1-edge graphs
+  // are: a-a, a-b, b-b -> 3 classes. Without same-label edges: only a-b.
+  EXPECT_EQ(EnumerateConnectedLabelledGraphs(1, 2, true).size(), 3u);
+  EXPECT_EQ(EnumerateConnectedLabelledGraphs(1, 2, false).size(), 1u);
+  // Single label: a-a (allowed) / none (disallowed).
+  EXPECT_EQ(EnumerateConnectedLabelledGraphs(1, 1, true).size(), 1u);
+  EXPECT_EQ(EnumerateConnectedLabelledGraphs(1, 1, false).size(), 0u);
+}
+
+TEST(CollisionStudyTest, TwoEdgeClassCountsSingleLabel) {
+  // Connected unlabelled graphs with 2 edges: the path P3 only.
+  EXPECT_EQ(EnumerateConnectedLabelledGraphs(2, 1, true).size(), 1u);
+}
+
+TEST(CollisionStudyTest, EnumerationContainsNoIsomorphicDuplicates) {
+  for (int e = 1; e <= 4; ++e) {
+    auto classes = EnumerateConnectedLabelledGraphs(e, 2, true);
+    for (size_t i = 0; i < classes.size(); ++i) {
+      for (size_t j = i + 1; j < classes.size(); ++j) {
+        EXPECT_FALSE(AreIsomorphic(classes[i], classes[j]))
+            << classes[i].ToString() << " duplicates "
+            << classes[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(CollisionStudyTest, EverythingEnumeratedIsConnectedAndConstrained) {
+  auto classes = EnumerateConnectedLabelledGraphs(4, 2, false);
+  for (const SmallGraph& graph : classes) {
+    EXPECT_TRUE(graph.IsConnected());
+    EXPECT_EQ(graph.num_edges(), 4);
+    for (const auto& [u, v] : graph.Edges()) {
+      EXPECT_NE(graph.label(u), graph.label(v));
+    }
+  }
+}
+
+// §3.1 headline claims. These are the paper's emax bounds, verified
+// exhaustively: with self loops in the label connectivity graph the
+// encoding is unique up to 4 edges (collision at 5); without, up to 5
+// (collision at 6).
+TEST(CollisionStudyTest, PaperBoundWithSelfLoops) {
+  CollisionStudyConfig config;
+  config.max_edges = 5;
+  config.num_labels = 1;  // single label: every edge is a self-loop edge
+  config.allow_same_label_edges = true;
+  CollisionStudyReport report = RunCollisionStudy(config);
+  EXPECT_EQ(report.max_collision_free_edges, 4);
+  EXPECT_FALSE(report.example_collision.empty());
+  // Collision-free for e <= 4, colliding at 5.
+  for (const auto& row : report.by_edges) {
+    if (row.edges <= 4) {
+      EXPECT_EQ(row.colliding_classes, 0) << "e=" << row.edges;
+    } else {
+      EXPECT_GT(row.colliding_classes, 0) << "e=" << row.edges;
+    }
+  }
+}
+
+TEST(CollisionStudyTest, PaperBoundWithTwoLabelsAndSelfLoops) {
+  CollisionStudyConfig config;
+  config.max_edges = 5;
+  config.num_labels = 2;
+  config.allow_same_label_edges = true;
+  CollisionStudyReport report = RunCollisionStudy(config);
+  EXPECT_EQ(report.max_collision_free_edges, 4);
+}
+
+TEST(CollisionStudyTest, PaperBoundWithoutSelfLoops) {
+  CollisionStudyConfig config;
+  config.max_edges = 6;
+  config.num_labels = 2;
+  config.allow_same_label_edges = false;
+  CollisionStudyReport report = RunCollisionStudy(config);
+  EXPECT_EQ(report.max_collision_free_edges, 5);
+  for (const auto& row : report.by_edges) {
+    if (row.edges <= 5) {
+      EXPECT_EQ(row.colliding_classes, 0) << "e=" << row.edges;
+    }
+  }
+}
+
+TEST(CollisionStudyTest, EncodingCountNeverExceedsClassCount) {
+  CollisionStudyConfig config;
+  config.max_edges = 4;
+  config.num_labels = 3;
+  config.allow_same_label_edges = true;
+  CollisionStudyReport report = RunCollisionStudy(config);
+  for (const auto& row : report.by_edges) {
+    EXPECT_LE(row.distinct_encodings, row.isomorphism_classes);
+    EXPECT_GT(row.isomorphism_classes, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hsgf::core

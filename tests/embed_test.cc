@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "embed/alias.h"
+#include "embed/deepwalk.h"
+#include "embed/line.h"
+#include "embed/node2vec.h"
+#include "embed/sgns.h"
+#include "embed/walks.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace hsgf::embed {
+namespace {
+
+using graph::HetGraph;
+using graph::MakeGraph;
+using graph::NodeId;
+
+TEST(AliasTableTest, MatchesWeights) {
+  std::vector<double> weights = {1.0, 2.0, 4.0, 0.0, 1.0};
+  AliasTable table(weights);
+  util::Rng rng(1);
+  std::vector<int> counts(5, 0);
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  EXPECT_EQ(counts[3], 0);
+  double total_weight = 8.0;
+  for (int i = 0; i < 5; ++i) {
+    double expected = kDraws * weights[i] / total_weight;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected + 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  AliasTable table(std::vector<double>{3.0});
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0);
+}
+
+// Two cliques joined by one bridge: a good testbed for locality-preserving
+// embeddings.
+HetGraph TwoCliqueGraph(int clique_size) {
+  graph::GraphBuilder builder({"x"});
+  int n = clique_size * 2;
+  for (int i = 0; i < n; ++i) builder.AddNode(0);
+  for (int c = 0; c < 2; ++c) {
+    int base = c * clique_size;
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        builder.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  builder.AddEdge(clique_size - 1, clique_size);  // bridge
+  return std::move(builder).Build();
+}
+
+TEST(WalksTest, UniformWalksHaveValidStepsAndLengths) {
+  HetGraph graph = TwoCliqueGraph(5);
+  util::Rng rng(3);
+  WalkCorpus corpus = UniformWalks(graph, 2, 12, rng);
+  EXPECT_EQ(corpus.size(), static_cast<size_t>(graph.num_nodes()) * 2);
+  for (const auto& walk : corpus) {
+    EXPECT_EQ(walk.size(), 12u);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(graph.HasEdge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(WalksTest, IsolatedNodesAreSkipped) {
+  graph::GraphBuilder builder({"x"});
+  builder.AddNode(0);
+  builder.AddNode(0);
+  builder.AddNode(0);  // isolated
+  builder.AddEdge(0, 1);
+  HetGraph graph = std::move(builder).Build();
+  util::Rng rng(4);
+  WalkCorpus corpus = UniformWalks(graph, 1, 5, rng);
+  EXPECT_EQ(corpus.size(), 2u);
+  for (const auto& walk : corpus) {
+    for (NodeId v : walk) EXPECT_NE(v, 2);
+  }
+}
+
+TEST(WalksTest, Node2VecStepsAreValidEdges) {
+  HetGraph graph = TwoCliqueGraph(5);
+  util::Rng rng(5);
+  WalkCorpus corpus = Node2VecWalks(graph, 2, 15, 0.5, 2.0, rng);
+  for (const auto& walk : corpus) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(graph.HasEdge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(WalksTest, LowPIncreasesReturns) {
+  // p << 1 makes the walk return to the previous node much more often.
+  HetGraph graph = TwoCliqueGraph(6);
+  auto return_rate = [&graph](double p) {
+    util::Rng rng(6);
+    WalkCorpus corpus = Node2VecWalks(graph, 3, 30, p, 1.0, rng);
+    int64_t returns = 0;
+    int64_t steps = 0;
+    for (const auto& walk : corpus) {
+      for (size_t i = 2; i < walk.size(); ++i) {
+        ++steps;
+        if (walk[i] == walk[i - 2]) ++returns;
+      }
+    }
+    return static_cast<double>(returns) / steps;
+  };
+  EXPECT_GT(return_rate(0.1), 2.0 * return_rate(10.0));
+}
+
+TEST(SgnsTest, ClusterSimilarityExceedsCrossCluster) {
+  HetGraph graph = TwoCliqueGraph(8);
+  util::Rng rng(7);
+  WalkCorpus corpus = UniformWalks(graph, 8, 20, rng);
+  SgnsOptions options;
+  options.dimensions = 16;
+  options.window = 4;
+  options.epochs = 3;
+  SgnsModel model(graph.num_nodes(), options);
+  model.Train(corpus, rng);
+
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) all.push_back(v);
+  ml::Matrix emb = model.EmbeddingsFor(all);
+  auto cosine = [&emb](int a, int b) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (int i = 0; i < emb.cols(); ++i) {
+      dot += emb(a, i) * emb(b, i);
+      na += emb(a, i) * emb(a, i);
+      nb += emb(b, i) * emb(b, i);
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  // Average intra-clique vs inter-clique similarity (excluding bridges).
+  double intra = 0.0;
+  int intra_n = 0;
+  double inter = 0.0;
+  int inter_n = 0;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = a + 1; b < 16; ++b) {
+      if ((a < 8) == (b < 8)) {
+        intra += cosine(a, b);
+        ++intra_n;
+      } else {
+        inter += cosine(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n, inter / inter_n + 0.1);
+}
+
+TEST(DeepWalkTest, ProducesRequestedShape) {
+  HetGraph graph = TwoCliqueGraph(5);
+  DeepWalkOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 10;
+  options.sgns.dimensions = 8;
+  ml::Matrix emb = DeepWalkEmbeddings(graph, {0, 3, 9}, options);
+  EXPECT_EQ(emb.rows(), 3);
+  EXPECT_EQ(emb.cols(), 8);
+  // Embeddings are non-degenerate (not all zero).
+  double norm = 0.0;
+  for (int c = 0; c < emb.cols(); ++c) norm += emb(0, c) * emb(0, c);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(Node2VecTest, ProducesRequestedShape) {
+  HetGraph graph = TwoCliqueGraph(5);
+  Node2VecOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 10;
+  options.sgns.dimensions = 8;
+  ml::Matrix emb = Node2VecEmbeddings(graph, {1, 2}, options);
+  EXPECT_EQ(emb.rows(), 2);
+  EXPECT_EQ(emb.cols(), 8);
+}
+
+TEST(LineTest, HalvesAreNormalizedAndClustered) {
+  HetGraph graph = TwoCliqueGraph(8);
+  LineOptions options;
+  options.dimensions = 16;
+  options.samples = 40000;
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) all.push_back(v);
+  ml::Matrix emb = LineEmbeddings(graph, all, options);
+  EXPECT_EQ(emb.cols(), 16);
+  // Each half row is unit length.
+  for (int r = 0; r < emb.rows(); ++r) {
+    double first = 0.0;
+    double second = 0.0;
+    for (int c = 0; c < 8; ++c) first += emb(r, c) * emb(r, c);
+    for (int c = 8; c < 16; ++c) second += emb(r, c) * emb(r, c);
+    EXPECT_NEAR(first, 1.0, 1e-6);
+    EXPECT_NEAR(second, 1.0, 1e-6);
+  }
+  // First-order half: intra-clique similarity beats inter-clique.
+  auto cosine_first = [&emb](int a, int b) {
+    double dot = 0.0;
+    for (int c = 0; c < 8; ++c) dot += emb(a, c) * emb(b, c);
+    return dot;
+  };
+  double intra = 0.0;
+  int intra_n = 0;
+  double inter = 0.0;
+  int inter_n = 0;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = a + 1; b < 16; ++b) {
+      if ((a < 8) == (b < 8)) {
+        intra += cosine_first(a, b);
+        ++intra_n;
+      } else {
+        inter += cosine_first(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n, inter / inter_n);
+}
+
+}  // namespace
+}  // namespace hsgf::embed

@@ -1,0 +1,162 @@
+#include "core/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/isomorphism.h"
+#include "core/small_graph.h"
+#include "util/rng.h"
+
+namespace hsgf::core {
+namespace {
+
+using graph::Label;
+
+// The paper's running example (Fig. 1B): labels {x, y, z}; a path
+// z - y - z encodes as "z010 z010 y002".
+TEST(EncodingTest, PaperFigure1BExample) {
+  // Labels: 0 = x, 1 = y, 2 = z.
+  SmallGraph path({2, 1, 2});
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  Encoding encoding = EncodeSmallGraph(path, 3);
+  EXPECT_EQ(EncodingToString(encoding, 3, {"x", "y", "z"}), "z010 z010 y002");
+}
+
+TEST(EncodingTest, BlocksAreSortedDescending) {
+  std::vector<NodeSignature> sigs(3);
+  sigs[0] = {0, {0, 1}};
+  sigs[1] = {1, {1, 0}};
+  sigs[2] = {1, {1, 1}};
+  Encoding encoding = EncodeSignatures(sigs, 2);
+  auto decoded = DecodeEncoding(encoding, 2);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 3u);
+  // Descending lexicographic: label 1 blocks first, larger counts first.
+  EXPECT_EQ((*decoded)[0].label, 1);
+  EXPECT_EQ((*decoded)[0].neighbor_counts, (std::vector<uint8_t>{1, 1}));
+  EXPECT_EQ((*decoded)[1].label, 1);
+  EXPECT_EQ((*decoded)[1].neighbor_counts, (std::vector<uint8_t>{1, 0}));
+  EXPECT_EQ((*decoded)[2].label, 0);
+}
+
+TEST(EncodingTest, NodeOrderInvariance) {
+  // Same labelled graph under two node orders must encode identically.
+  SmallGraph a({0, 1, 0, 1});
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  a.AddEdge(2, 3);
+  SmallGraph b({1, 0, 1, 0});  // reversed node order of the same path
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  EXPECT_EQ(EncodeSmallGraph(a, 2), EncodeSmallGraph(b, 2));
+}
+
+TEST(EncodingTest, DistinguishesLabelsOfSameTopology) {
+  SmallGraph a({0, 0});
+  a.AddEdge(0, 1);
+  SmallGraph b({0, 1});
+  b.AddEdge(0, 1);
+  EXPECT_NE(EncodeSmallGraph(a, 2), EncodeSmallGraph(b, 2));
+}
+
+TEST(EncodingTest, DecodeRejectsMalformedLength) {
+  Encoding bad = {0, 1, 2};  // not a multiple of num_labels + 1 = 3? It is 3.
+  EXPECT_TRUE(DecodeEncoding(bad, 2).has_value());
+  Encoding worse = {0, 1};
+  EXPECT_FALSE(DecodeEncoding(worse, 2).has_value());
+}
+
+TEST(EncodingTest, RealizeRoundTripsIsomorphismClass) {
+  // For random small graphs, realizing the encoding must yield a graph with
+  // the same encoding (not necessarily isomorphic above the uniqueness
+  // bound, but encoding-equal always).
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(5));
+    int num_labels = 1 + static_cast<int>(rng.UniformInt(3));
+    std::vector<Label> labels(n);
+    for (int v = 0; v < n; ++v) {
+      labels[v] = static_cast<Label>(rng.UniformInt(num_labels));
+    }
+    SmallGraph graph(labels);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) graph.AddEdge(u, v);
+      }
+    }
+    if (!graph.IsConnected()) continue;
+    Encoding encoding = EncodeSmallGraph(graph, num_labels);
+    auto realized = RealizeEncoding(encoding, num_labels);
+    ASSERT_TRUE(realized.has_value()) << graph.ToString();
+    EXPECT_EQ(EncodeSmallGraph(*realized, num_labels), encoding)
+        << graph.ToString() << " -> " << realized->ToString();
+  }
+}
+
+TEST(EncodingTest, RealizeSmallSubgraphsGivesIsomorphicGraph) {
+  // Below the uniqueness bound (<= 4 edges with same-label edges present),
+  // realization must reproduce the exact isomorphism class.
+  util::Rng rng(7);
+  int tested = 0;
+  for (int trial = 0; trial < 400 && tested < 100; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(4));
+    std::vector<Label> labels(n);
+    for (int v = 0; v < n; ++v) {
+      labels[v] = static_cast<Label>(rng.UniformInt(2));
+    }
+    SmallGraph graph(labels);
+    int edges = 0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) {
+          graph.AddEdge(u, v);
+          ++edges;
+        }
+      }
+    }
+    if (!graph.IsConnected() || edges > 4) continue;
+    ++tested;
+    Encoding encoding = EncodeSmallGraph(graph, 2);
+    auto realized = RealizeEncoding(encoding, 2);
+    ASSERT_TRUE(realized.has_value());
+    EXPECT_TRUE(AreIsomorphic(graph, *realized))
+        << graph.ToString() << " vs " << realized->ToString();
+  }
+  EXPECT_GE(tested, 50);
+}
+
+TEST(EncodingTest, FnvHashDistinguishesEncodings) {
+  std::set<uint64_t> hashes;
+  std::set<Encoding> encodings;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(4));
+    std::vector<Label> labels(n);
+    for (int v = 0; v < n; ++v) {
+      labels[v] = static_cast<Label>(rng.UniformInt(2));
+    }
+    SmallGraph graph(labels);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) graph.AddEdge(u, v);
+      }
+    }
+    Encoding encoding = EncodeSmallGraph(graph, 2);
+    encodings.insert(encoding);
+    hashes.insert(FnvHash(encoding));
+  }
+  EXPECT_EQ(hashes.size(), encodings.size());
+}
+
+TEST(EncodingTest, MaskedLabelRendersAsIndex) {
+  std::vector<NodeSignature> sigs(1);
+  sigs[0] = {2, {1, 0}};
+  Encoding encoding = EncodeSignatures(sigs, 2);
+  EXPECT_EQ(EncodingToString(encoding, 2, {"a", "b"}), "#210");
+}
+
+}  // namespace
+}  // namespace hsgf::core

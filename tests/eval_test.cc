@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/classification.h"
+#include "eval/ndcg.h"
+#include "eval/stats.h"
+#include "eval/table.h"
+
+namespace hsgf::eval {
+namespace {
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<double> relevance = {10, 8, 5, 2, 1};
+  EXPECT_DOUBLE_EQ(NdcgAtN(relevance, relevance, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtN(relevance, relevance, 3), 1.0);
+}
+
+TEST(NdcgTest, ReversedRankingIsWorst) {
+  std::vector<double> relevance = {10, 8, 5, 2, 1};
+  std::vector<double> reversed = {1, 2, 5, 8, 10};
+  double reversed_score = NdcgAtN(reversed, relevance, 5);
+  EXPECT_LT(reversed_score, 1.0);
+  // Any other permutation scores at least as well.
+  std::vector<double> partial = {10, 1, 5, 2, 8};
+  EXPECT_GE(NdcgAtN(partial, relevance, 5), reversed_score);
+}
+
+TEST(NdcgTest, HandComputedValue) {
+  // Items: true relevance (3, 2): predicted order swaps them.
+  // DCG = 2/log2(2) + 3/log2(3); ideal = 3/log2(2) + 2/log2(3).
+  std::vector<double> truth = {3, 2};
+  std::vector<double> prediction = {1, 2};  // ranks item 1 first
+  double dcg = 2.0 / std::log2(2.0) + 3.0 / std::log2(3.0);
+  double ideal = 3.0 / std::log2(2.0) + 2.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtN(prediction, truth, 2), dcg / ideal, 1e-12);
+}
+
+TEST(NdcgTest, TopNTruncates) {
+  // Only the top-1 position matters with n = 1.
+  std::vector<double> truth = {5, 3, 1};
+  std::vector<double> good = {9, 0, 0};
+  std::vector<double> bad = {0, 0, 9};
+  EXPECT_DOUBLE_EQ(NdcgAtN(good, truth, 1), 1.0);
+  EXPECT_NEAR(NdcgAtN(bad, truth, 1), 1.0 / 5.0, 1e-12);
+}
+
+TEST(NdcgTest, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(NdcgAtN({}, {}, 20), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtN({1.0}, {0.0}, 20), 0.0);  // no relevance mass
+}
+
+TEST(ClassificationTest, PerfectPrediction) {
+  std::vector<int> truth = {0, 1, 2, 0, 1, 2};
+  ClassificationReport report = EvaluateClassification(truth, truth, 3);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.macro_f1, 1.0);
+}
+
+TEST(ClassificationTest, HandComputedMacroF1) {
+  // truth:      0 0 1 1
+  // predicted:  0 1 1 1
+  // class 0: precision 1, recall 0.5 -> F1 = 2/3.
+  // class 1: precision 2/3, recall 1 -> F1 = 0.8.
+  std::vector<int> truth = {0, 0, 1, 1};
+  std::vector<int> predicted = {0, 1, 1, 1};
+  ClassificationReport report = EvaluateClassification(truth, predicted, 2);
+  EXPECT_NEAR(report.per_class[0].f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[1].f1, 0.8, 1e-12);
+  EXPECT_NEAR(report.macro_f1, (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+  EXPECT_NEAR(report.accuracy, 0.75, 1e-12);
+}
+
+TEST(ClassificationTest, ZeroSupportClassExcluded) {
+  // Class 2 never occurs in truth: excluded from the macro average.
+  std::vector<int> truth = {0, 0, 1, 1};
+  std::vector<int> predicted = {0, 0, 1, 2};
+  ClassificationReport report = EvaluateClassification(truth, predicted, 3);
+  EXPECT_EQ(report.per_class[2].support, 0);
+  EXPECT_NEAR(report.macro_f1,
+              (report.per_class[0].f1 + report.per_class[1].f1) / 2.0, 1e-12);
+}
+
+TEST(ClassificationTest, ConfusionMatrixEntries) {
+  std::vector<int> truth = {0, 0, 1, 1, 1};
+  std::vector<int> predicted = {0, 1, 1, 1, 0};
+  auto confusion = ConfusionMatrix(truth, predicted, 2);
+  EXPECT_EQ(confusion[0][0], 1);
+  EXPECT_EQ(confusion[0][1], 1);
+  EXPECT_EQ(confusion[1][0], 1);
+  EXPECT_EQ(confusion[1][1], 2);
+}
+
+TEST(StatsTest, MeanStdDevPercentile) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(values), 3.0);
+  EXPECT_NEAR(SampleStdDev(values), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1), 1.0);
+}
+
+TEST(StatsTest, Ci95CoversMean) {
+  std::vector<double> values = {10, 10, 10, 10};
+  ConfidenceInterval ci = Ci95(values);
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  std::vector<double> noisy = {9, 10, 11, 10, 9, 11};
+  ConfidenceInterval noisy_ci = Ci95(noisy);
+  EXPECT_GT(noisy_ci.half_width, 0.0);
+  EXPECT_LT(noisy_ci.lower, noisy_ci.mean);
+  EXPECT_GT(noisy_ci.upper, noisy_ci.mean);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", Table::Num(1.5)});
+  table.AddRow({"beta", Table::Int(42)});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("1.50"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsgf::eval

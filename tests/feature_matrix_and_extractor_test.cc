@@ -1,0 +1,172 @@
+#include "core/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/feature_matrix.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/builder.h"
+#include "graph/degree_stats.h"
+
+namespace hsgf::core {
+namespace {
+
+using graph::HetGraph;
+using graph::NodeId;
+
+HetGraph TestNetwork() {
+  return data::MakeNetwork(data::LoadLikeSchema(0.03), 7);
+}
+
+TEST(FeatureMatrixTest, ColumnsSharedAcrossNodes) {
+  HetGraph graph = TestNetwork();
+  CensusConfig config;
+  config.max_edges = 3;
+  config.keep_encodings = true;
+  CensusWorker worker(graph, config);
+  std::vector<CensusResult> censuses(3);
+  worker.Run(0, censuses[0]);
+  worker.Run(1, censuses[1]);
+  worker.Run(2, censuses[2]);
+  FeatureBuildOptions options;
+  options.log1p_transform = false;
+  FeatureSet set = BuildFeatureSet(censuses, options);
+  EXPECT_EQ(set.matrix.rows(), 3);
+  EXPECT_EQ(set.matrix.cols(), static_cast<int>(set.feature_hashes.size()));
+  // Every nonzero cell equals the census count for that hash.
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < set.matrix.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(
+          set.matrix(r, c),
+          static_cast<double>(censuses[r].counts.Get(set.feature_hashes[c])));
+    }
+  }
+  // Encodings recorded for all columns.
+  for (uint64_t hash : set.feature_hashes) {
+    EXPECT_TRUE(set.encodings.contains(hash));
+  }
+}
+
+TEST(FeatureMatrixTest, MaxFeaturesKeepsMostFrequent) {
+  HetGraph graph = TestNetwork();
+  CensusConfig config;
+  config.max_edges = 3;
+  CensusWorker worker(graph, config);
+  std::vector<CensusResult> censuses(4);
+  for (int i = 0; i < 4; ++i) worker.Run(i, censuses[i]);
+
+  FeatureBuildOptions all_options;
+  FeatureSet all = BuildFeatureSet(censuses, all_options);
+  FeatureBuildOptions top_options;
+  top_options.max_features = 5;
+  FeatureSet top = BuildFeatureSet(censuses, top_options);
+  ASSERT_GT(all.feature_hashes.size(), 5u);
+  EXPECT_EQ(top.feature_hashes.size(), 5u);
+  // The kept columns are the 5 highest-total columns of the full set, which
+  // are the first 5 since columns are sorted by total count.
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_EQ(top.feature_hashes[c], all.feature_hashes[c]);
+  }
+}
+
+TEST(FeatureMatrixTest, Log1pTransformApplied) {
+  HetGraph graph = TestNetwork();
+  CensusConfig config;
+  config.max_edges = 2;
+  CensusWorker worker(graph, config);
+  std::vector<CensusResult> censuses(1);
+  worker.Run(0, censuses[0]);
+  FeatureBuildOptions raw_options;
+  raw_options.log1p_transform = false;
+  FeatureBuildOptions log_options;
+  log_options.log1p_transform = true;
+  FeatureSet raw = BuildFeatureSet(censuses, raw_options);
+  FeatureSet logged = BuildFeatureSet(censuses, log_options);
+  for (int c = 0; c < raw.matrix.cols(); ++c) {
+    EXPECT_NEAR(logged.matrix(0, c), std::log1p(raw.matrix(0, c)), 1e-12);
+  }
+}
+
+TEST(ExtractorTest, ParallelMatchesSerial) {
+  HetGraph graph = TestNetwork();
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < 12; ++v) nodes.push_back(v);
+
+  ExtractorConfig serial;
+  serial.census.max_edges = 3;
+  serial.census.keep_encodings = true;
+  serial.num_threads = 1;
+  ExtractorConfig parallel = serial;
+  parallel.num_threads = 4;
+
+  ExtractionResult a = ExtractFeatures(graph, nodes, serial);
+  ExtractionResult b = ExtractFeatures(graph, nodes, parallel);
+  EXPECT_EQ(a.total_subgraphs, b.total_subgraphs);
+  ASSERT_EQ(a.features.feature_hashes, b.features.feature_hashes);
+  EXPECT_EQ(a.features.matrix.data(), b.features.matrix.data());
+}
+
+TEST(ExtractorTest, DmaxPercentileResolvesToDegree) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 2;
+  config.dmax_percentile = 90.0;
+  ExtractionResult result = ExtractFeatures(graph, {0, 1}, config);
+  EXPECT_EQ(result.effective_dmax, graph::DegreePercentile(graph, 90.0));
+  // 100% disables the constraint.
+  config.dmax_percentile = 100.0;
+  result = ExtractFeatures(graph, {0, 1}, config);
+  EXPECT_EQ(result.effective_dmax, 0);
+}
+
+TEST(ExtractorTest, TimingsRecordedPerNode) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.record_timings = true;
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4};
+  ExtractionResult result = ExtractFeatures(graph, nodes, config);
+  ASSERT_EQ(result.seconds_per_node.size(), nodes.size());
+  for (double t : result.seconds_per_node) EXPECT_GE(t, 0.0);
+}
+
+TEST(ExtractorTest, SmallerDmaxNeverIncreasesSubgraphCount) {
+  HetGraph graph = TestNetwork();
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  ExtractorConfig unlimited;
+  unlimited.census.max_edges = 3;
+  ExtractorConfig limited = unlimited;
+  limited.dmax_percentile = 80.0;
+  ExtractionResult full = ExtractFeatures(graph, nodes, unlimited);
+  ExtractionResult pruned = ExtractFeatures(graph, nodes, limited);
+  EXPECT_LE(pruned.total_subgraphs, full.total_subgraphs);
+}
+
+TEST(ExtractorTest, MaskedStartLabelHidesOwnLabelFeature) {
+  // With masking on, two nodes with identical neighbourhood structure but
+  // different own labels get identical feature rows.
+  graph::GraphBuilder builder({"a", "b", "c"});
+  NodeId x = builder.AddNode(0);
+  NodeId y = builder.AddNode(1);
+  // Give both the same neighbourhood: two c-neighbours each.
+  for (int i = 0; i < 2; ++i) {
+    NodeId c1 = builder.AddNode(2);
+    NodeId c2 = builder.AddNode(2);
+    builder.AddEdge(x, c1);
+    builder.AddEdge(y, c2);
+  }
+  HetGraph graph = std::move(builder).Build();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.mask_start_label = true;
+  ExtractionResult result = ExtractFeatures(graph, {x, y}, config);
+  for (int c = 0; c < result.features.matrix.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(result.features.matrix(0, c),
+                     result.features.matrix(1, c));
+  }
+}
+
+}  // namespace
+}  // namespace hsgf::core

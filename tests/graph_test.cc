@@ -1,0 +1,183 @@
+#include "graph/het_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+#include "graph/io.h"
+#include "graph/label_connectivity.h"
+
+namespace hsgf::graph {
+namespace {
+
+HetGraph SmallTestGraph() {
+  // Labels: 0=A (nodes 0,1), 1=P (nodes 2,3,4). Edges: bipartite-ish plus a
+  // P-P edge.
+  return MakeGraph({"A", "P"}, {0, 0, 1, 1, 1},
+                   {{0, 2}, {0, 3}, {1, 3}, {2, 3}, {3, 4}});
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  HetGraph graph = SmallTestGraph();
+  EXPECT_EQ(graph.num_nodes(), 5);
+  EXPECT_EQ(graph.num_edges(), 5);
+  EXPECT_EQ(graph.num_labels(), 2);
+  EXPECT_EQ(graph.label(0), 0);
+  EXPECT_EQ(graph.label(4), 1);
+  EXPECT_EQ(graph.label_name(1), "P");
+}
+
+TEST(GraphBuilderTest, DeduplicatesAndDropsSelfLoops) {
+  GraphBuilder builder({"x"});
+  NodeId a = builder.AddNode(0);
+  NodeId b = builder.AddNode(0);
+  builder.AddEdge(a, b);
+  builder.AddEdge(b, a);  // duplicate in reverse
+  builder.AddEdge(a, a);  // self loop
+  EXPECT_EQ(builder.dropped_self_loops(), 1);
+  HetGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.num_edges(), 1);
+}
+
+TEST(GraphTest, AdjacencySortedByLabelThenId) {
+  HetGraph graph = SmallTestGraph();
+  auto neighbors = graph.neighbors(3);  // node 3: neighbors 0,1 (A), 2,4 (P)
+  ASSERT_EQ(neighbors.size(), 4u);
+  EXPECT_EQ(neighbors[0], 0);
+  EXPECT_EQ(neighbors[1], 1);
+  EXPECT_EQ(neighbors[2], 2);
+  EXPECT_EQ(neighbors[3], 4);
+  auto a_run = graph.LabelRange(3, 0);
+  EXPECT_EQ(a_run.size(), 2u);
+  auto p_run = graph.LabelRange(3, 1);
+  EXPECT_EQ(p_run.size(), 2u);
+}
+
+TEST(GraphTest, HasEdge) {
+  HetGraph graph = SmallTestGraph();
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 4));
+  EXPECT_FALSE(graph.HasEdge(0, 0));
+}
+
+TEST(GraphTest, LabelCountsAndNodesWithLabel) {
+  HetGraph graph = SmallTestGraph();
+  EXPECT_EQ(graph.LabelCounts(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(graph.NodesWithLabel(0), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(GraphTest, RelabelNodesAddsFreshLabel) {
+  HetGraph graph = SmallTestGraph();
+  HetGraph relabeled = graph.WithRelabeledNodes({2, 4}, 2, "unlabeled");
+  EXPECT_EQ(relabeled.num_labels(), 3);
+  EXPECT_EQ(relabeled.label(2), 2);
+  EXPECT_EQ(relabeled.label(3), 1);
+  // Adjacency runs must be rebuilt consistently.
+  EXPECT_EQ(relabeled.LabelRange(3, 2).size(), 2u);
+  EXPECT_TRUE(relabeled.HasEdge(2, 3));
+}
+
+TEST(LabelConnectivityTest, DetectsSelfLoops) {
+  HetGraph graph = SmallTestGraph();
+  LabelConnectivityGraph lcg(graph);
+  EXPECT_TRUE(lcg.HasSelfLoop());         // P-P edges exist
+  EXPECT_EQ(lcg.edge_count(0, 1), 3);     // A-P edges
+  EXPECT_EQ(lcg.edge_count(1, 1), 2);     // P-P edges
+  EXPECT_EQ(lcg.edge_count(0, 0), 0);     // no A-A edge
+  EXPECT_FALSE(lcg.ToString().empty());
+}
+
+TEST(DegreeStatsTest, PercentilesAndSummary) {
+  HetGraph graph = SmallTestGraph();
+  // Degrees: node0=2, node1=1, node2=2, node3=4, node4=1 -> sorted 1,1,2,2,4.
+  EXPECT_EQ(DegreePercentile(graph, 100.0), 4);
+  EXPECT_EQ(DegreePercentile(graph, 80.0), 2);
+  EXPECT_EQ(DegreePercentile(graph, 40.0), 1);
+  DegreeSummary summary = SummarizeDegrees(graph);
+  EXPECT_EQ(summary.min, 1);
+  EXPECT_EQ(summary.max, 4);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.0);
+  auto histogram = DegreeHistogram(graph);
+  EXPECT_EQ(histogram[1], 2);
+  EXPECT_EQ(histogram[2], 2);
+  EXPECT_EQ(histogram[4], 1);
+}
+
+TEST(ComponentsTest, SingleAndMultipleComponents) {
+  HetGraph connected = SmallTestGraph();
+  EXPECT_EQ(ConnectedComponents(connected).num_components, 1);
+
+  HetGraph split = MakeGraph({"x"}, {0, 0, 0, 0}, {{0, 1}, {2, 3}});
+  ComponentInfo info = ConnectedComponents(split);
+  EXPECT_EQ(info.num_components, 2);
+  EXPECT_EQ(info.component[0], info.component[1]);
+  EXPECT_NE(info.component[0], info.component[2]);
+  EXPECT_EQ(info.sizes, (std::vector<int64_t>{2, 2}));
+}
+
+TEST(ComponentsTest, BfsBallRespectsDistance) {
+  // Path 0-1-2-3-4.
+  HetGraph path =
+      MakeGraph({"x"}, {0, 0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(BfsBall(path, {0}, 0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(BfsBall(path, {0}, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(BfsBall(path, {0, 4}, 1), (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(ComponentsTest, InducedSubgraphKeepsInternalEdges) {
+  HetGraph graph = SmallTestGraph();
+  InducedSubgraph sub = ExtractInducedSubgraph(graph, {0, 2, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 3);  // 0-2, 0-3, 2-3 all survive
+  EXPECT_EQ(sub.old_to_new[4], -1);
+  EXPECT_EQ(sub.new_to_old[sub.old_to_new[3]], 3);
+  EXPECT_EQ(sub.graph.label(sub.old_to_new[0]), 0);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  HetGraph graph = SmallTestGraph();
+  std::ostringstream out;
+  WriteGraph(graph, out);
+  std::istringstream in(out.str());
+  std::string error;
+  auto loaded = ReadGraph(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_nodes(), graph.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->label(v), graph.label(v));
+    EXPECT_EQ(loaded->degree(v), graph.degree(v));
+  }
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  std::string error;
+  {
+    std::istringstream in("node 0 0\n");
+    EXPECT_FALSE(ReadGraph(in, &error).has_value());  // missing labels line
+  }
+  {
+    std::istringstream in("labels x\nnode 0 0\nedge 0 0\n");
+    EXPECT_FALSE(ReadGraph(in, &error).has_value());  // self loop
+    EXPECT_NE(error.find("self loop"), std::string::npos);
+  }
+  {
+    std::istringstream in("labels x\nnode 0 3\n");
+    EXPECT_FALSE(ReadGraph(in, &error).has_value());  // label out of range
+  }
+  {
+    std::istringstream in("labels x\nnode 1 0\n");
+    EXPECT_FALSE(ReadGraph(in, &error).has_value());  // non-dense ids
+  }
+  {
+    std::istringstream in("labels x\nfrobnicate\n");
+    EXPECT_FALSE(ReadGraph(in, &error).has_value());  // unknown keyword
+  }
+}
+
+}  // namespace
+}  // namespace hsgf::graph

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/bayesian_ridge.h"
+#include "ml/linalg.h"
+#include "ml/linear_regression.h"
+#include "ml/matrix.h"
+#include "ml/preprocess.h"
+#include "util/rng.h"
+
+namespace hsgf::ml {
+namespace {
+
+Matrix RandomMatrix(int n, int p, util::Rng& rng) {
+  Matrix x(n, p);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < p; ++c) x(r, c) = rng.Normal();
+  }
+  return x;
+}
+
+TEST(LinalgTest, SolveSpdRecoversKnownSolution) {
+  // A = [[4,1],[1,3]], b = A * [2,-1] = [7,-1].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  auto x = SolveSpd(a, {7.0, -1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], -1.0, 1e-10);
+}
+
+TEST(LinalgTest, SolveSpdRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(SolveSpd(a, {1.0, 1.0}).has_value());
+}
+
+TEST(LinalgTest, InvertSpdTimesOriginalIsIdentity) {
+  util::Rng rng(3);
+  Matrix x = RandomMatrix(20, 4, rng);
+  Matrix gram = Gram(x);
+  for (int i = 0; i < 4; ++i) gram(i, i) += 1.0;
+  auto inverse = InvertSpd(gram);
+  ASSERT_TRUE(inverse.has_value());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) sum += gram(i, k) * (*inverse)(k, j);
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(LinearRegressionTest, RecoversPlantedCoefficients) {
+  util::Rng rng(17);
+  const int n = 300;
+  Matrix x = RandomMatrix(n, 3, rng);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    y[r] = 2.5 * x(r, 0) - 1.0 * x(r, 1) + 0.25 * x(r, 2) + 4.0 +
+           0.01 * rng.Normal();
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y));
+  EXPECT_NEAR(model.coefficients()[0], 2.5, 0.01);
+  EXPECT_NEAR(model.coefficients()[1], -1.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[2], 0.25, 0.01);
+  EXPECT_NEAR(model.intercept(), 4.0, 0.01);
+  auto predictions = model.Predict(x);
+  double mse = 0.0;
+  for (int r = 0; r < n; ++r) mse += (predictions[r] - y[r]) * (predictions[r] - y[r]);
+  EXPECT_LT(mse / n, 0.001);
+}
+
+TEST(LinearRegressionTest, HandlesCollinearFeatures) {
+  // Duplicate column: the jitter keeps the solve well-posed.
+  util::Rng rng(18);
+  const int n = 100;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    double v = rng.Normal();
+    x(r, 0) = v;
+    x(r, 1) = v;  // perfectly collinear
+    y[r] = 3.0 * v;
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y));
+  auto predictions = model.Predict(x);
+  for (int r = 0; r < n; ++r) EXPECT_NEAR(predictions[r], y[r], 1e-3);
+}
+
+TEST(BayesianRidgeTest, ShrinksNoiseFeatures) {
+  util::Rng rng(19);
+  const int n = 200;
+  Matrix x = RandomMatrix(n, 5, rng);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    // Only feature 0 matters.
+    y[r] = 3.0 * x(r, 0) + 0.5 * rng.Normal();
+  }
+  BayesianRidge model;
+  ASSERT_TRUE(model.Fit(x, y));
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 0.15);
+  for (int c = 1; c < 5; ++c) {
+    EXPECT_LT(std::abs(model.coefficients()[c]), 0.15);
+  }
+  // The learned noise precision should be near 1/0.25 = 4.
+  EXPECT_NEAR(model.alpha(), 4.0, 1.5);
+}
+
+TEST(BayesianRidgeTest, PredictsOnHoldout) {
+  util::Rng rng(20);
+  Matrix x = RandomMatrix(300, 4, rng);
+  std::vector<double> y(300);
+  for (int r = 0; r < 300; ++r) {
+    y[r] = x(r, 0) - 2.0 * x(r, 3) + 1.0 + 0.1 * rng.Normal();
+  }
+  Split split = TrainTestSplit(300, 0.8, rng);
+  BayesianRidge model;
+  std::vector<double> y_train;
+  for (int i : split.train) y_train.push_back(y[i]);
+  ASSERT_TRUE(model.Fit(x.SelectRows(split.train), y_train));
+  auto predictions = model.Predict(x.SelectRows(split.test));
+  double mse = 0.0;
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    double d = predictions[i] - y[split.test[i]];
+    mse += d * d;
+  }
+  EXPECT_LT(mse / split.test.size(), 0.05);
+}
+
+TEST(PreprocessTest, StandardScalerNormalizes) {
+  util::Rng rng(21);
+  Matrix x(100, 2);
+  for (int r = 0; r < 100; ++r) {
+    x(r, 0) = 5.0 + 2.0 * rng.Normal();
+    x(r, 1) = -3.0;  // constant column
+  }
+  StandardScaler scaler;
+  Matrix z = scaler.FitTransform(x);
+  double mean0 = 0.0;
+  double var0 = 0.0;
+  for (int r = 0; r < 100; ++r) mean0 += z(r, 0);
+  mean0 /= 100;
+  for (int r = 0; r < 100; ++r) var0 += (z(r, 0) - mean0) * (z(r, 0) - mean0);
+  var0 /= 100;
+  EXPECT_NEAR(mean0, 0.0, 1e-9);
+  EXPECT_NEAR(var0, 1.0, 1e-9);
+  // Constant column centred, scale 1 (not NaN).
+  for (int r = 0; r < 100; ++r) EXPECT_NEAR(z(r, 1), 0.0, 1e-9);
+}
+
+TEST(PreprocessTest, FRegressionRanksSignalFirst) {
+  util::Rng rng(22);
+  Matrix x = RandomMatrix(200, 6, rng);
+  std::vector<double> y(200);
+  for (int r = 0; r < 200; ++r) {
+    y[r] = 4.0 * x(r, 2) + 0.5 * rng.Normal();
+  }
+  auto scores = FRegressionScores(x, y);
+  auto top = TopKIndices(scores, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 2);
+}
+
+TEST(PreprocessTest, FClassifSeparatesInformativeFeature) {
+  util::Rng rng(23);
+  Matrix x(150, 3);
+  std::vector<int> y(150);
+  for (int r = 0; r < 150; ++r) {
+    y[r] = r % 3;
+    x(r, 0) = rng.Normal();
+    x(r, 1) = y[r] * 2.0 + 0.3 * rng.Normal();  // informative
+    x(r, 2) = rng.Normal();
+  }
+  auto scores = FClassifScores(x, y);
+  EXPECT_GT(scores[1], scores[0] * 10);
+  EXPECT_GT(scores[1], scores[2] * 10);
+}
+
+TEST(PreprocessTest, TopKHandlesTiesAndClamping) {
+  std::vector<double> scores = {1.0, 3.0, 3.0, 0.5};
+  auto top = TopKIndices(scores, 2);
+  EXPECT_EQ(top, (std::vector<int>{1, 2}));
+  EXPECT_EQ(TopKIndices(scores, 100).size(), 4u);
+}
+
+TEST(PreprocessTest, SplitsPartitionSamples) {
+  util::Rng rng(24);
+  Split split = TrainTestSplit(100, 0.7, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 100u);
+  EXPECT_EQ(split.train.size(), 70u);
+  std::vector<bool> seen(100, false);
+  for (int i : split.train) seen[i] = true;
+  for (int i : split.test) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(PreprocessTest, StratifiedSplitPreservesClassBalance) {
+  util::Rng rng(25);
+  std::vector<int> labels;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 50; ++i) labels.push_back(c);
+  }
+  Split split = StratifiedSplit(labels, 0.8, rng);
+  std::vector<int> train_counts(4, 0);
+  for (int i : split.train) ++train_counts[labels[i]];
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(train_counts[c], 40);
+}
+
+TEST(MatrixTest, SelectAndConcat) {
+  Matrix m(3, 2);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) m(r, c) = r * 10 + c;
+  }
+  Matrix rows = m.SelectRows({2, 0});
+  EXPECT_EQ(rows(0, 0), 20);
+  EXPECT_EQ(rows(1, 1), 1);
+  Matrix cols = m.SelectCols({1});
+  EXPECT_EQ(cols(2, 0), 21);
+  Matrix joined = m.ConcatCols(cols);
+  EXPECT_EQ(joined.cols(), 3);
+  EXPECT_EQ(joined(1, 2), 11);
+}
+
+}  // namespace
+}  // namespace hsgf::ml

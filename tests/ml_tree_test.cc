@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace hsgf::ml {
+namespace {
+
+TEST(DecisionTreeTest, RegressionFitsStepFunction) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (int r = 0; r < 100; ++r) {
+    x(r, 0) = r;
+    y[r] = r < 50 ? 1.0 : 5.0;
+  }
+  DecisionTree tree(DecisionTree::Task::kRegression);
+  tree.Fit(x, y);
+  EXPECT_NEAR(tree.PredictOne(x.row(10)), 1.0, 1e-9);
+  EXPECT_NEAR(tree.PredictOne(x.row(90)), 5.0, 1e-9);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, RegressionFitsXorInteraction) {
+  // XOR needs at least depth 2; linear models cannot fit it at all.
+  util::Rng rng(1);
+  Matrix x(400, 2);
+  std::vector<double> y(400);
+  for (int r = 0; r < 400; ++r) {
+    x(r, 0) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    x(r, 1) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    y[r] = (x(r, 0) != x(r, 1)) ? 1.0 : 0.0;
+  }
+  DecisionTree tree(DecisionTree::Task::kRegression);
+  tree.Fit(x, y);
+  for (int r = 0; r < 400; ++r) {
+    EXPECT_NEAR(tree.PredictOne(x.row(r)), y[r], 1e-9);
+  }
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  util::Rng rng(2);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (int r = 0; r < 200; ++r) {
+    x(r, 0) = rng.Normal();
+    y[r] = rng.Normal();
+  }
+  TreeOptions options;
+  options.max_depth = 3;
+  DecisionTree tree(DecisionTree::Task::kRegression, options);
+  tree.Fit(x, y);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (int r = 0; r < 10; ++r) {
+    x(r, 0) = r;
+    y[r] = r;
+  }
+  TreeOptions options;
+  options.min_samples_leaf = 5;
+  DecisionTree tree(DecisionTree::Task::kRegression, options);
+  tree.Fit(x, y);
+  // Only one split (5 | 5) is possible.
+  EXPECT_LE(tree.node_count(), 3);
+}
+
+TEST(DecisionTreeTest, ClassificationSeparatesClusters) {
+  util::Rng rng(3);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (int r = 0; r < 300; ++r) {
+    int cls = r % 3;
+    y[r] = cls;
+    x(r, 0) = cls * 4.0 + rng.Normal();
+    x(r, 1) = rng.Normal();
+  }
+  DecisionTree tree(DecisionTree::Task::kClassification);
+  tree.Fit(x, y);
+  int correct = 0;
+  for (int r = 0; r < 300; ++r) {
+    if (tree.PredictOne(x.row(r)) == y[r]) ++correct;
+  }
+  EXPECT_GT(correct, 290);
+  // Probability output sums to one.
+  auto proba = tree.PredictProbaOne(x.row(0));
+  double total = 0.0;
+  for (double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, ImportancesConcentrateOnSignal) {
+  util::Rng rng(4);
+  Matrix x(300, 4);
+  std::vector<double> y(300);
+  for (int r = 0; r < 300; ++r) {
+    for (int c = 0; c < 4; ++c) x(r, c) = rng.Normal();
+    y[r] = x(r, 1) > 0 ? 2.0 : -2.0;
+  }
+  DecisionTree tree(DecisionTree::Task::kRegression);
+  tree.Fit(x, y);
+  const auto& imp = tree.raw_feature_importances();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+  EXPECT_GT(imp[1], imp[3]);
+}
+
+TEST(DecisionTreeTest, AdjacentDoubleValuesDoNotHang) {
+  // Regression test: the midpoint of two adjacent doubles rounds up to the
+  // right value; an unclamped threshold then yields an empty partition and
+  // infinite recursion (stack overflow).
+  const double base = 2.833213344056216;
+  const double next = std::nextafter(base, 10.0);
+  Matrix x(4, 1);
+  x(0, 0) = base;
+  x(1, 0) = base;
+  x(2, 0) = next;
+  x(3, 0) = next;
+  std::vector<double> y = {0.0, 0.0, 1.0, 1.0};
+  DecisionTree tree(DecisionTree::Task::kRegression);
+  tree.Fit(x, y);  // must terminate
+  EXPECT_NEAR(tree.PredictOne(x.row(0)), 0.0, 1e-9);
+  EXPECT_NEAR(tree.PredictOne(x.row(3)), 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, OutperformsSingleTreeOnNoisyData) {
+  util::Rng rng(5);
+  auto make_data = [&rng](int n, Matrix& x, std::vector<double>& y) {
+    x = Matrix(n, 3);
+    y.resize(n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < 3; ++c) x(r, c) = rng.Normal();
+      y[r] = std::sin(x(r, 0)) + 0.5 * x(r, 1) + 0.3 * rng.Normal();
+    }
+  };
+  Matrix x_train;
+  Matrix x_test;
+  std::vector<double> y_train;
+  std::vector<double> y_test;
+  make_data(400, x_train, y_train);
+  make_data(200, x_test, y_test);
+
+  auto mse = [&](const std::vector<double>& pred) {
+    double total = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+      total += (pred[i] - y_test[i]) * (pred[i] - y_test[i]);
+    }
+    return total / pred.size();
+  };
+
+  DecisionTree tree(DecisionTree::Task::kRegression);
+  tree.Fit(x_train, y_train);
+
+  RandomForestRegressor::Options options;
+  options.num_trees = 60;
+  RandomForestRegressor forest(options);
+  forest.Fit(x_train, y_train);
+
+  EXPECT_LT(mse(forest.Predict(x_test)), mse(tree.Predict(x_test)));
+}
+
+TEST(RandomForestTest, ImportancesSumToOneAndFindSignal) {
+  util::Rng rng(6);
+  Matrix x(300, 5);
+  std::vector<double> y(300);
+  for (int r = 0; r < 300; ++r) {
+    for (int c = 0; c < 5; ++c) x(r, c) = rng.Normal();
+    y[r] = 3.0 * x(r, 4) + 0.2 * rng.Normal();
+  }
+  RandomForestRegressor::Options options;
+  options.num_trees = 50;
+  RandomForestRegressor forest(options);
+  forest.Fit(x, y);
+  auto importances = forest.FeatureImportances();
+  double total = 0.0;
+  for (double v : importances) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (int c = 0; c < 4; ++c) EXPECT_GT(importances[4], importances[c]);
+}
+
+TEST(RandomForestTest, DeterministicForFixedSeed) {
+  util::Rng rng(7);
+  Matrix x(100, 3);
+  std::vector<double> y(100);
+  for (int r = 0; r < 100; ++r) {
+    for (int c = 0; c < 3; ++c) x(r, c) = rng.Normal();
+    y[r] = x(r, 0) + rng.Normal();
+  }
+  RandomForestRegressor::Options options;
+  options.num_trees = 20;
+  options.seed = 99;
+  RandomForestRegressor a(options);
+  RandomForestRegressor b(options);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  EXPECT_EQ(a.Predict(x), b.Predict(x));
+}
+
+TEST(LogisticRegressionTest, SeparablePerfectAccuracy) {
+  util::Rng rng(8);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (int r = 0; r < 200; ++r) {
+    y[r] = r % 2;
+    x(r, 0) = (y[r] == 1 ? 3.0 : -3.0) + 0.5 * rng.Normal();
+    x(r, 1) = rng.Normal();
+  }
+  LogisticRegression model;
+  model.Fit(x, y);
+  int correct = 0;
+  for (int r = 0; r < 200; ++r) {
+    int pred = model.PredictProbaOne(x.row(r)) > 0.5 ? 1 : 0;
+    if (pred == y[r]) ++correct;
+  }
+  EXPECT_EQ(correct, 200);
+}
+
+TEST(LogisticRegressionTest, StrongerL2ShrinksWeights) {
+  util::Rng rng(9);
+  Matrix x(100, 2);
+  std::vector<int> y(100);
+  for (int r = 0; r < 100; ++r) {
+    y[r] = r % 2;
+    x(r, 0) = y[r] == 1 ? 1.0 : -1.0;
+    x(r, 1) = rng.Normal();
+  }
+  LogisticRegression::Options weak;
+  weak.l2 = 1e-4;
+  LogisticRegression::Options strong;
+  strong.l2 = 10.0;
+  LogisticRegression weak_model(weak);
+  LogisticRegression strong_model(strong);
+  weak_model.Fit(x, y);
+  strong_model.Fit(x, y);
+  EXPECT_GT(std::abs(weak_model.coefficients()[0]),
+            std::abs(strong_model.coefficients()[0]));
+}
+
+TEST(OneVsRestTest, MulticlassClusters) {
+  util::Rng rng(10);
+  Matrix x(300, 2);
+  std::vector<int> y(300);
+  for (int r = 0; r < 300; ++r) {
+    int cls = r % 3;
+    y[r] = cls;
+    x(r, 0) = std::cos(cls * 2.1) * 4.0 + 0.5 * rng.Normal();
+    x(r, 1) = std::sin(cls * 2.1) * 4.0 + 0.5 * rng.Normal();
+  }
+  OneVsRestLogistic model;
+  model.Fit(x, y);
+  EXPECT_EQ(model.num_classes(), 3);
+  auto predictions = model.Predict(x);
+  int correct = 0;
+  for (int r = 0; r < 300; ++r) {
+    if (predictions[r] == y[r]) ++correct;
+  }
+  EXPECT_GT(correct, 285);
+}
+
+}  // namespace
+}  // namespace hsgf::ml

@@ -1,0 +1,101 @@
+#include "core/rolling_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/encoding.h"
+#include "core/small_graph.h"
+#include "util/rng.h"
+
+namespace hsgf::core {
+namespace {
+
+using graph::Label;
+
+TEST(RollingHashTest, EdgeDeltaIsSymmetric) {
+  RollingHash hash(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(hash.EdgeDelta(a, b), hash.EdgeDelta(b, a));
+    }
+  }
+}
+
+TEST(RollingHashTest, GraphHashEqualsEncodingHash) {
+  // Eq. 5 evaluated over the graph's edges must equal the same sum computed
+  // from the canonical encoding's node signatures.
+  util::Rng rng(17);
+  RollingHash hash(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(5));
+    std::vector<Label> labels(n);
+    for (int v = 0; v < n; ++v) {
+      labels[v] = static_cast<Label>(rng.UniformInt(3));
+    }
+    SmallGraph graph(labels);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) graph.AddEdge(u, v);
+      }
+    }
+    Encoding encoding = EncodeSmallGraph(graph, 3);
+    EXPECT_EQ(hash.HashSmallGraph(graph), hash.HashEncoding(encoding));
+  }
+}
+
+TEST(RollingHashTest, IncrementalSumMatchesBatch) {
+  // Adding edges one at a time via EdgeDelta reproduces the batch hash.
+  RollingHash hash(3);
+  SmallGraph graph({0, 1, 2, 1});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  uint64_t incremental = 0;
+  for (const auto& [u, v] : edges) {
+    graph.AddEdge(u, v);
+    incremental += hash.EdgeDelta(graph.label(u), graph.label(v));
+  }
+  EXPECT_EQ(incremental, hash.HashSmallGraph(graph));
+}
+
+TEST(RollingHashTest, SeedChangesHashes) {
+  RollingHash a(3, 1);
+  RollingHash b(3, 2);
+  SmallGraph graph({0, 1, 2});
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  EXPECT_NE(a.HashSmallGraph(graph), b.HashSmallGraph(graph));
+}
+
+TEST(RollingHashTest, LinearHashIsEdgeLabelMultisetOnly) {
+  // Documents the Eq. 5 limitation: the raw sum cannot distinguish graphs
+  // with the same multiset of edge label pairs (triangle vs 3-star, single
+  // label). This motivates CensusConfig::mix_contributions.
+  RollingHash hash(1);
+  SmallGraph triangle({0, 0, 0});
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  SmallGraph star({0, 0, 0, 0});
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  EXPECT_EQ(hash.HashSmallGraph(triangle), hash.HashSmallGraph(star));
+  // ...while the canonical encodings do differ.
+  EXPECT_NE(EncodeSmallGraph(triangle, 1), EncodeSmallGraph(star, 1));
+}
+
+TEST(RollingHashTest, DistinctLabelPairsGetDistinctDeltas) {
+  RollingHash hash(5);
+  std::set<uint64_t> deltas;
+  int pairs = 0;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a; b < 5; ++b) {
+      deltas.insert(hash.EdgeDelta(a, b));
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(deltas.size()), pairs);
+}
+
+}  // namespace
+}  // namespace hsgf::core

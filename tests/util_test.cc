@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/flat_count_map.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hsgf::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(6);
+  for (double mean : {0.5, 3.0, 12.0, 80.0}) {
+    double total = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) total += rng.Poisson(mean);
+    EXPECT_NEAR(total / kDraws, mean, 0.1 * mean + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, ParetoLowerBoundHolds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  rng.Shuffle(items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(30, 12);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 12u);
+    for (int s : sample) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 30);
+    }
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(12);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(pool, kCount, [&](int64_t i) { hits[i].fetch_add(1); }, 16);
+  for (int64_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ZeroCountParallelForIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](int64_t) { FAIL(); });
+}
+
+TEST(FlatCountMapTest, AddAndGet) {
+  FlatCountMap map;
+  map.Add(42, 3);
+  map.Add(42, 2);
+  map.Add(7, 1);
+  EXPECT_EQ(map.Get(42), 5);
+  EXPECT_EQ(map.Get(7), 1);
+  EXPECT_EQ(map.Get(1), 0);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.Contains(7));
+  EXPECT_FALSE(map.Contains(8));
+}
+
+TEST(FlatCountMapTest, ZeroKeyWorks) {
+  FlatCountMap map;
+  map.Add(0, 10);
+  map.Add(0, 5);
+  EXPECT_EQ(map.Get(0), 15);
+  EXPECT_TRUE(map.Contains(0));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatCountMapTest, GrowsBeyondInitialCapacity) {
+  FlatCountMap map(16);
+  Rng rng(13);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.Add(keys[i], static_cast<int64_t>(i) + 1);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.Get(keys[i]), static_cast<int64_t>(i) + 1);
+  }
+  int64_t total = 0;
+  size_t entries = 0;
+  map.ForEach([&](uint64_t, int64_t count) {
+    total += count;
+    ++entries;
+  });
+  EXPECT_EQ(entries, map.size());
+  EXPECT_EQ(total, 5000LL * 5001 / 2);
+}
+
+TEST(FlatCountMapTest, ClearEmpties) {
+  FlatCountMap map;
+  map.Add(1, 1);
+  map.Add(0, 1);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Get(1), 0);
+  EXPECT_EQ(map.Get(0), 0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMicros(), 0);
+  (void)sink;
+}
+
+}  // namespace
+}  // namespace hsgf::util

@@ -1,0 +1,153 @@
+// hsgf_extract — command-line feature extractor.
+//
+// Reads a heterogeneous graph in the hsgf text format (see graph/io.h),
+// runs the rooted subgraph census for the requested nodes, and writes the
+// feature matrix as CSV (one row per node; the header carries each
+// feature's decoded characteristic sequence).
+//
+// Usage:
+//   hsgf_extract --graph g.hsgf [--out features.csv] [--nodes 1,5,9 | --all]
+//                [--emax 5] [--dmax-percentile 90] [--mask-start-label]
+//                [--max-features 1000] [--threads 1] [--raw-counts]
+//
+// Example:
+//   ./hsgf_extract --graph citations.hsgf --all --emax 4 --out f.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/extractor.h"
+#include "graph/io.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool FlagPresent(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hsgf_extract --graph FILE [--out FILE] "
+               "[--nodes id,id,... | --all]\n"
+               "                    [--emax N] [--dmax-percentile P] "
+               "[--mask-start-label]\n"
+               "                    [--max-features N] [--threads N] "
+               "[--raw-counts]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+
+  const char* graph_path = FlagValue(argc, argv, "--graph");
+  if (graph_path == nullptr) return Usage();
+  std::string error;
+  auto graph = graph::ReadGraphFromFile(graph_path, &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Node selection.
+  std::vector<graph::NodeId> nodes;
+  if (const char* list = FlagValue(argc, argv, "--nodes"); list != nullptr) {
+    std::stringstream stream(list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      long id = std::strtol(token.c_str(), nullptr, 10);
+      if (id < 0 || id >= graph->num_nodes()) {
+        std::fprintf(stderr, "error: node id %ld out of range\n", id);
+        return 1;
+      }
+      nodes.push_back(static_cast<graph::NodeId>(id));
+    }
+  } else if (FlagPresent(argc, argv, "--all")) {
+    for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
+  } else {
+    return Usage();
+  }
+  if (nodes.empty()) return Usage();
+
+  core::ExtractorConfig config;
+  config.census.keep_encodings = true;
+  if (const char* v = FlagValue(argc, argv, "--emax")) {
+    config.census.max_edges = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--dmax-percentile")) {
+    config.dmax_percentile = std::atof(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-features")) {
+    config.features.max_features = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--threads")) {
+    config.num_threads = static_cast<unsigned>(std::atoi(v));
+  }
+  config.census.mask_start_label = FlagPresent(argc, argv, "--mask-start-label");
+  config.features.log1p_transform = !FlagPresent(argc, argv, "--raw-counts");
+
+  core::ExtractionResult result = core::ExtractFeatures(*graph, nodes, config);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (const char* path = FlagValue(argc, argv, "--out")) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write %s\n", path);
+      return 1;
+    }
+    out = &file;
+  }
+
+  // Header: node id + decoded feature names.
+  const int effective_labels =
+      graph->num_labels() + (config.census.mask_start_label ? 1 : 0);
+  *out << "node";
+  for (uint64_t hash : result.features.feature_hashes) {
+    auto it = result.features.encodings.find(hash);
+    *out << ',';
+    if (it != result.features.encodings.end()) {
+      std::string name = core::EncodingToString(it->second, effective_labels,
+                                                graph->label_names());
+      for (char& c : name) {
+        if (c == ',' || c == ' ') c = '.';
+      }
+      *out << name;
+    } else {
+      *out << "h" << hash;
+    }
+  }
+  *out << '\n';
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    *out << nodes[r];
+    for (int c = 0; c < result.features.matrix.cols(); ++c) {
+      *out << ',' << result.features.matrix(static_cast<int>(r), c);
+    }
+    *out << '\n';
+  }
+
+  std::fprintf(stderr,
+               "extracted %lld subgraphs over %zu nodes -> %d features "
+               "(emax=%d, dmax=%d)\n",
+               static_cast<long long>(result.total_subgraphs), nodes.size(),
+               result.features.matrix.cols(), config.census.max_edges,
+               result.effective_dmax);
+  return 0;
+}
