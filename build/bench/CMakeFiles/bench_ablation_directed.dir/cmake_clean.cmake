@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_directed.dir/bench_ablation_directed.cc.o"
+  "CMakeFiles/bench_ablation_directed.dir/bench_ablation_directed.cc.o.d"
+  "bench_ablation_directed"
+  "bench_ablation_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_collisions.dir/bench_fig1_collisions.cc.o"
+  "CMakeFiles/bench_fig1_collisions.dir/bench_fig1_collisions.cc.o.d"
+  "bench_fig1_collisions"
+  "bench_fig1_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_label_connectivity.dir/bench_fig2_label_connectivity.cc.o"
+  "CMakeFiles/bench_fig2_label_connectivity.dir/bench_fig2_label_connectivity.cc.o.d"
+  "bench_fig2_label_connectivity"
+  "bench_fig2_label_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_label_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rank_ndcg.dir/bench_fig3_rank_ndcg.cc.o"
+  "CMakeFiles/bench_fig3_rank_ndcg.dir/bench_fig3_rank_ndcg.cc.o.d"
+  "bench_fig3_rank_ndcg"
+  "bench_fig3_rank_ndcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rank_ndcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_feature_importance.dir/bench_fig4_feature_importance.cc.o"
+  "CMakeFiles/bench_fig4_feature_importance.dir/bench_fig4_feature_importance.cc.o.d"
+  "bench_fig4_feature_importance"
+  "bench_fig4_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

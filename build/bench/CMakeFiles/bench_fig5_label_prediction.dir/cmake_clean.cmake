@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_label_prediction.dir/bench_fig5_label_prediction.cc.o"
+  "CMakeFiles/bench_fig5_label_prediction.dir/bench_fig5_label_prediction.cc.o.d"
+  "bench_fig5_label_prediction"
+  "bench_fig5_label_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_label_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

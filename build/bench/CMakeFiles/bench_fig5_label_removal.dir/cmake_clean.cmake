@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_label_removal.dir/bench_fig5_label_removal.cc.o"
+  "CMakeFiles/bench_fig5_label_removal.dir/bench_fig5_label_removal.cc.o.d"
+  "bench_fig5_label_removal"
+  "bench_fig5_label_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_label_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_census.dir/bench_micro_census.cc.o"
+  "CMakeFiles/bench_micro_census.dir/bench_micro_census.cc.o.d"
+  "bench_micro_census"
+  "bench_micro_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

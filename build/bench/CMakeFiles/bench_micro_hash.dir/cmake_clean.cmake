@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hash.dir/bench_micro_hash.cc.o"
+  "CMakeFiles/bench_micro_hash.dir/bench_micro_hash.cc.o.d"
+  "bench_micro_hash"
+  "bench_micro_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dmax.dir/bench_table2_dmax.cc.o"
+  "CMakeFiles/bench_table2_dmax.dir/bench_table2_dmax.cc.o.d"
+  "bench_table2_dmax"
+  "bench_table2_dmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

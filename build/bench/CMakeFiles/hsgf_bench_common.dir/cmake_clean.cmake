@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hsgf_bench_common.dir/bench_common.cc.o.d"
+  "libhsgf_bench_common.a"
+  "libhsgf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsgf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_prediction.dir/label_prediction.cpp.o"
+  "CMakeFiles/label_prediction.dir/label_prediction.cpp.o.d"
+  "label_prediction"
+  "label_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

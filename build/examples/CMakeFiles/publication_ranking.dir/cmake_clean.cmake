@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_ranking.dir/publication_ranking.cpp.o"
+  "CMakeFiles/publication_ranking.dir/publication_ranking.cpp.o.d"
+  "publication_ranking"
+  "publication_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for publication_ranking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/subgraph_interpretation.cpp" "examples/CMakeFiles/subgraph_interpretation.dir/subgraph_interpretation.cpp.o" "gcc" "examples/CMakeFiles/subgraph_interpretation.dir/subgraph_interpretation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hsgf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsgf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/hsgf_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hsgf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hsgf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hsgf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

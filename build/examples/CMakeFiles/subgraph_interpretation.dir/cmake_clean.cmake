@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_interpretation.dir/subgraph_interpretation.cpp.o"
+  "CMakeFiles/subgraph_interpretation.dir/subgraph_interpretation.cpp.o.d"
+  "subgraph_interpretation"
+  "subgraph_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for subgraph_interpretation.
+# This may be replaced when dependencies are built.

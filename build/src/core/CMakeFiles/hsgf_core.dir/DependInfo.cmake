@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/census.cc" "src/core/CMakeFiles/hsgf_core.dir/census.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/census.cc.o.d"
+  "/root/repo/src/core/collision_study.cc" "src/core/CMakeFiles/hsgf_core.dir/collision_study.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/collision_study.cc.o.d"
+  "/root/repo/src/core/directed_census.cc" "src/core/CMakeFiles/hsgf_core.dir/directed_census.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/directed_census.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/hsgf_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/encoding.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/hsgf_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/feature_matrix.cc" "src/core/CMakeFiles/hsgf_core.dir/feature_matrix.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/feature_matrix.cc.o.d"
+  "/root/repo/src/core/isomorphism.cc" "src/core/CMakeFiles/hsgf_core.dir/isomorphism.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/isomorphism.cc.o.d"
+  "/root/repo/src/core/rolling_hash.cc" "src/core/CMakeFiles/hsgf_core.dir/rolling_hash.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/rolling_hash.cc.o.d"
+  "/root/repo/src/core/small_graph.cc" "src/core/CMakeFiles/hsgf_core.dir/small_graph.cc.o" "gcc" "src/core/CMakeFiles/hsgf_core.dir/small_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hsgf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hsgf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_core.dir/census.cc.o"
+  "CMakeFiles/hsgf_core.dir/census.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/collision_study.cc.o"
+  "CMakeFiles/hsgf_core.dir/collision_study.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/directed_census.cc.o"
+  "CMakeFiles/hsgf_core.dir/directed_census.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/encoding.cc.o"
+  "CMakeFiles/hsgf_core.dir/encoding.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/extractor.cc.o"
+  "CMakeFiles/hsgf_core.dir/extractor.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/feature_matrix.cc.o"
+  "CMakeFiles/hsgf_core.dir/feature_matrix.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/isomorphism.cc.o"
+  "CMakeFiles/hsgf_core.dir/isomorphism.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/rolling_hash.cc.o"
+  "CMakeFiles/hsgf_core.dir/rolling_hash.cc.o.d"
+  "CMakeFiles/hsgf_core.dir/small_graph.cc.o"
+  "CMakeFiles/hsgf_core.dir/small_graph.cc.o.d"
+  "libhsgf_core.a"
+  "libhsgf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

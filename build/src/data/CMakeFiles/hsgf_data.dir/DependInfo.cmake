@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/classic_features.cc" "src/data/CMakeFiles/hsgf_data.dir/classic_features.cc.o" "gcc" "src/data/CMakeFiles/hsgf_data.dir/classic_features.cc.o.d"
+  "/root/repo/src/data/cooccurrence.cc" "src/data/CMakeFiles/hsgf_data.dir/cooccurrence.cc.o" "gcc" "src/data/CMakeFiles/hsgf_data.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/hsgf_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/hsgf_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/publication_world.cc" "src/data/CMakeFiles/hsgf_data.dir/publication_world.cc.o" "gcc" "src/data/CMakeFiles/hsgf_data.dir/publication_world.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/hsgf_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/hsgf_data.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hsgf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hsgf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

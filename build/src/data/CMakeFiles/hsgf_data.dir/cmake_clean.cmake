@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_data.dir/classic_features.cc.o"
+  "CMakeFiles/hsgf_data.dir/classic_features.cc.o.d"
+  "CMakeFiles/hsgf_data.dir/cooccurrence.cc.o"
+  "CMakeFiles/hsgf_data.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/hsgf_data.dir/generator.cc.o"
+  "CMakeFiles/hsgf_data.dir/generator.cc.o.d"
+  "CMakeFiles/hsgf_data.dir/publication_world.cc.o"
+  "CMakeFiles/hsgf_data.dir/publication_world.cc.o.d"
+  "CMakeFiles/hsgf_data.dir/schema.cc.o"
+  "CMakeFiles/hsgf_data.dir/schema.cc.o.d"
+  "libhsgf_data.a"
+  "libhsgf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

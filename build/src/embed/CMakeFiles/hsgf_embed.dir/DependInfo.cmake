@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/alias.cc" "src/embed/CMakeFiles/hsgf_embed.dir/alias.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/alias.cc.o.d"
+  "/root/repo/src/embed/deepwalk.cc" "src/embed/CMakeFiles/hsgf_embed.dir/deepwalk.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/deepwalk.cc.o.d"
+  "/root/repo/src/embed/line.cc" "src/embed/CMakeFiles/hsgf_embed.dir/line.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/line.cc.o.d"
+  "/root/repo/src/embed/node2vec.cc" "src/embed/CMakeFiles/hsgf_embed.dir/node2vec.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/node2vec.cc.o.d"
+  "/root/repo/src/embed/sgns.cc" "src/embed/CMakeFiles/hsgf_embed.dir/sgns.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/sgns.cc.o.d"
+  "/root/repo/src/embed/walks.cc" "src/embed/CMakeFiles/hsgf_embed.dir/walks.cc.o" "gcc" "src/embed/CMakeFiles/hsgf_embed.dir/walks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hsgf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hsgf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

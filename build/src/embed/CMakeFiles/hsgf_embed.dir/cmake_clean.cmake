@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_embed.dir/alias.cc.o"
+  "CMakeFiles/hsgf_embed.dir/alias.cc.o.d"
+  "CMakeFiles/hsgf_embed.dir/deepwalk.cc.o"
+  "CMakeFiles/hsgf_embed.dir/deepwalk.cc.o.d"
+  "CMakeFiles/hsgf_embed.dir/line.cc.o"
+  "CMakeFiles/hsgf_embed.dir/line.cc.o.d"
+  "CMakeFiles/hsgf_embed.dir/node2vec.cc.o"
+  "CMakeFiles/hsgf_embed.dir/node2vec.cc.o.d"
+  "CMakeFiles/hsgf_embed.dir/sgns.cc.o"
+  "CMakeFiles/hsgf_embed.dir/sgns.cc.o.d"
+  "CMakeFiles/hsgf_embed.dir/walks.cc.o"
+  "CMakeFiles/hsgf_embed.dir/walks.cc.o.d"
+  "libhsgf_embed.a"
+  "libhsgf_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

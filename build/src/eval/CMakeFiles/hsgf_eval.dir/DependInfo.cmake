@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/classification.cc" "src/eval/CMakeFiles/hsgf_eval.dir/classification.cc.o" "gcc" "src/eval/CMakeFiles/hsgf_eval.dir/classification.cc.o.d"
+  "/root/repo/src/eval/ndcg.cc" "src/eval/CMakeFiles/hsgf_eval.dir/ndcg.cc.o" "gcc" "src/eval/CMakeFiles/hsgf_eval.dir/ndcg.cc.o.d"
+  "/root/repo/src/eval/stats.cc" "src/eval/CMakeFiles/hsgf_eval.dir/stats.cc.o" "gcc" "src/eval/CMakeFiles/hsgf_eval.dir/stats.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/hsgf_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/hsgf_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_eval.dir/classification.cc.o"
+  "CMakeFiles/hsgf_eval.dir/classification.cc.o.d"
+  "CMakeFiles/hsgf_eval.dir/ndcg.cc.o"
+  "CMakeFiles/hsgf_eval.dir/ndcg.cc.o.d"
+  "CMakeFiles/hsgf_eval.dir/stats.cc.o"
+  "CMakeFiles/hsgf_eval.dir/stats.cc.o.d"
+  "CMakeFiles/hsgf_eval.dir/table.cc.o"
+  "CMakeFiles/hsgf_eval.dir/table.cc.o.d"
+  "libhsgf_eval.a"
+  "libhsgf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

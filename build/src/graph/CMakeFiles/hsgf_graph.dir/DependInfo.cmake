@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/hsgf_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/hsgf_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/graph/CMakeFiles/hsgf_graph.dir/degree_stats.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/degree_stats.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/hsgf_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/het_graph.cc" "src/graph/CMakeFiles/hsgf_graph.dir/het_graph.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/het_graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/hsgf_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/label_connectivity.cc" "src/graph/CMakeFiles/hsgf_graph.dir/label_connectivity.cc.o" "gcc" "src/graph/CMakeFiles/hsgf_graph.dir/label_connectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

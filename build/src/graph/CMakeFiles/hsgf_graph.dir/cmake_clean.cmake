@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_graph.dir/builder.cc.o"
+  "CMakeFiles/hsgf_graph.dir/builder.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/components.cc.o"
+  "CMakeFiles/hsgf_graph.dir/components.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/degree_stats.cc.o"
+  "CMakeFiles/hsgf_graph.dir/degree_stats.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/digraph.cc.o"
+  "CMakeFiles/hsgf_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/het_graph.cc.o"
+  "CMakeFiles/hsgf_graph.dir/het_graph.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/io.cc.o"
+  "CMakeFiles/hsgf_graph.dir/io.cc.o.d"
+  "CMakeFiles/hsgf_graph.dir/label_connectivity.cc.o"
+  "CMakeFiles/hsgf_graph.dir/label_connectivity.cc.o.d"
+  "libhsgf_graph.a"
+  "libhsgf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsgf_graph.a"
+)

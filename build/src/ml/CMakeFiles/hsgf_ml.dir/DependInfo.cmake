@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayesian_ridge.cc" "src/ml/CMakeFiles/hsgf_ml.dir/bayesian_ridge.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/bayesian_ridge.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/hsgf_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/hsgf_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/hsgf_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/hsgf_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/preprocess.cc" "src/ml/CMakeFiles/hsgf_ml.dir/preprocess.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/preprocess.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/hsgf_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/hsgf_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_ml.dir/bayesian_ridge.cc.o"
+  "CMakeFiles/hsgf_ml.dir/bayesian_ridge.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/hsgf_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/linalg.cc.o"
+  "CMakeFiles/hsgf_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/hsgf_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/hsgf_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/preprocess.cc.o"
+  "CMakeFiles/hsgf_ml.dir/preprocess.cc.o.d"
+  "CMakeFiles/hsgf_ml.dir/random_forest.cc.o"
+  "CMakeFiles/hsgf_ml.dir/random_forest.cc.o.d"
+  "libhsgf_ml.a"
+  "libhsgf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_util.dir/rng.cc.o"
+  "CMakeFiles/hsgf_util.dir/rng.cc.o.d"
+  "CMakeFiles/hsgf_util.dir/thread_pool.cc.o"
+  "CMakeFiles/hsgf_util.dir/thread_pool.cc.o.d"
+  "libhsgf_util.a"
+  "libhsgf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

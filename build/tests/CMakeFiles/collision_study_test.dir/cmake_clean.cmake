@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_study_test.dir/collision_study_test.cc.o"
+  "CMakeFiles/collision_study_test.dir/collision_study_test.cc.o.d"
+  "collision_study_test"
+  "collision_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_census_test.dir/directed_census_test.cc.o"
+  "CMakeFiles/directed_census_test.dir/directed_census_test.cc.o.d"
+  "directed_census_test"
+  "directed_census_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_matrix_and_extractor_test.dir/feature_matrix_and_extractor_test.cc.o"
+  "CMakeFiles/feature_matrix_and_extractor_test.dir/feature_matrix_and_extractor_test.cc.o.d"
+  "feature_matrix_and_extractor_test"
+  "feature_matrix_and_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_matrix_and_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_hash_test.dir/rolling_hash_test.cc.o"
+  "CMakeFiles/rolling_hash_test.dir/rolling_hash_test.cc.o.d"
+  "rolling_hash_test"
+  "rolling_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

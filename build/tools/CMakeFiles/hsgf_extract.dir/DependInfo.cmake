@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hsgf_extract.cc" "tools/CMakeFiles/hsgf_extract.dir/hsgf_extract.cc.o" "gcc" "tools/CMakeFiles/hsgf_extract.dir/hsgf_extract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hsgf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hsgf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hsgf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsgf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

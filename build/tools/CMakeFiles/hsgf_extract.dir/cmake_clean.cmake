@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsgf_extract.dir/hsgf_extract.cc.o"
+  "CMakeFiles/hsgf_extract.dir/hsgf_extract.cc.o.d"
+  "hsgf_extract"
+  "hsgf_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsgf_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
