@@ -7,6 +7,7 @@
 #include "core/census.h"
 #include "data/generator.h"
 #include "data/schema.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -40,7 +41,10 @@ std::vector<graph::NodeId> SampleNodes(const graph::HetGraph& graph, int count,
 void RunCensusBenchmark(benchmark::State& state, const graph::HetGraph& graph,
                         core::CensusConfig config) {
   auto nodes = SampleNodes(graph, 16, 77);
-  core::CensusWorker worker(graph, config);
+  util::MetricsRegistry registry;
+  core::CensusWorker worker(graph, config,
+                            core::CensusMetrics::Register(registry,
+                                                          config.max_edges));
   core::CensusResult result;
   int64_t subgraphs = 0;
   size_t cursor = 0;
@@ -50,6 +54,18 @@ void RunCensusBenchmark(benchmark::State& state, const graph::HetGraph& graph,
     cursor = (cursor + 1) % nodes.size();
   }
   state.SetItemsProcessed(subgraphs);
+  // Heuristic-effectiveness counters (per census), exported into the
+  // google-benchmark JSON so BENCH_*.json tracks them over time.
+  const util::MetricsSnapshot snap = registry.Snapshot();
+  auto per_iter = [&](const char* name) {
+    return benchmark::Counter(static_cast<double>(snap.Counter(name)),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["subgraphs"] = per_iter("census.subgraphs_total");
+  state.counters["distinct"] = per_iter("census.distinct_encodings");
+  state.counters["group_saved"] = per_iter("census.label_group_saved");
+  state.counters["dmax_blocked"] = per_iter("census.dmax_blocked");
+  state.counters["materialized"] = per_iter("census.encoding_materializations");
 }
 
 void BM_CensusEmax(benchmark::State& state) {

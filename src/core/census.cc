@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace hsgf::core {
 
@@ -16,10 +18,33 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
+CensusMetrics CensusMetrics::Register(util::MetricsRegistry& registry,
+                                      int max_edges) {
+  CensusMetrics metrics;
+  metrics.registry = &registry;
+  metrics.nodes = registry.Counter("census.nodes");
+  metrics.subgraphs_total = registry.Counter("census.subgraphs_total");
+  metrics.subgraphs_by_edges.reserve(static_cast<size_t>(max_edges));
+  for (int k = 1; k <= max_edges; ++k) {
+    metrics.subgraphs_by_edges.push_back(
+        registry.Counter("census.subgraphs.edges_" + std::to_string(k)));
+  }
+  metrics.distinct_encodings = registry.Counter("census.distinct_encodings");
+  metrics.label_group_saved = registry.Counter("census.label_group_saved");
+  metrics.dmax_blocked = registry.Counter("census.dmax_blocked");
+  metrics.encoding_materializations =
+      registry.Counter("census.encoding_materializations");
+  metrics.budget_truncated_nodes =
+      registry.Counter("census.budget_truncated_nodes");
+  metrics.stopped_nodes = registry.Counter("census.stopped_nodes");
+  return metrics;
+}
+
 CensusWorker::CensusWorker(const graph::HetGraph& graph,
-                           const CensusConfig& config)
+                           const CensusConfig& config, CensusMetrics metrics)
     : graph_(graph),
       config_(config),
+      metrics_(std::move(metrics)),
       hasher_(graph.num_labels() + (config.mask_start_label ? 1 : 0),
               config.hash_seed),
       num_effective_labels_(graph.num_labels() +
@@ -27,6 +52,12 @@ CensusWorker::CensusWorker(const graph::HetGraph& graph,
       node_epoch_(graph.num_nodes(), 0),
       linear_contribution_(graph.num_nodes(), 0) {
   assert(config_.max_edges >= 1);
+  // Tolerate hooks registered for a smaller emax: missing per-edge-count
+  // counters become inert instead of out-of-bounds.
+  if (metrics_.registry != nullptr) {
+    metrics_.subgraphs_by_edges.resize(
+        static_cast<size_t>(config_.max_edges), util::kInvalidMetric);
+  }
 }
 
 graph::Label CensusWorker::EffectiveLabel(graph::NodeId v) const {
@@ -79,7 +110,12 @@ void CensusWorker::RemoveEdge(const CandidateEdge& edge,
 void CensusWorker::AppendFrontierOf(graph::NodeId w, graph::NodeId parent) {
   // Topological heuristic (§3.2): hubs are added but never expanded through;
   // the start node is exempt (§4.3.5).
-  if (IsBlocked(w)) return;
+  if (IsBlocked(w)) {
+    if (metrics_.registry != nullptr) {
+      metrics_.registry->Increment(metrics_.dmax_blocked);
+    }
+    return;
+  }
   for (graph::NodeId y : graph_.neighbors(w)) {
     if (!InSubgraph(y)) {
       arena_.push_back({w, y});
@@ -131,6 +167,13 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
       result.truncated = true;
       return;
     }
+    if (has_stop_ && --stop_countdown_ <= 0) {
+      stop_countdown_ = kStopCheckInterval;
+      if (stop_.StopRequested()) {
+        result.stopped = true;
+        return;
+      }
+    }
     const CandidateEdge head = arena_[i];
     const bool head_is_new_node = !InSubgraph(head.to);
     size_t j = i + 1;
@@ -168,15 +211,25 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
 
     result.counts.Add(hash_after, run);
     result.total_subgraphs += run;
+    if (metrics_.registry != nullptr) {
+      metrics_.registry->Increment(metrics_.subgraphs_total, run);
+      metrics_.registry->Increment(metrics_.subgraphs_by_edges[depth], run);
+      if (run > 1) {
+        metrics_.registry->Increment(metrics_.label_group_saved, run - 1);
+      }
+    }
     if (config_.keep_encodings && !result.encodings.contains(hash_after)) {
       edge_stack_.push_back({head.from, head.to});
       result.encodings.emplace(hash_after, MaterializeEncoding());
       edge_stack_.pop_back();
+      if (metrics_.registry != nullptr) {
+        metrics_.registry->Increment(metrics_.encoding_materializations);
+      }
     }
 
     if (depth + 1 < config_.max_edges) {
       for (size_t k = i; k < j; ++k) {
-        if (result.truncated) return;
+        if (result.truncated || result.stopped) return;
         const CandidateEdge edge = arena_[k];
         graph::NodeId added = AddEdge(edge);
         edge_stack_.emplace_back(edge.from, edge.to);
@@ -196,31 +249,55 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
   }
 }
 
-void CensusWorker::Run(graph::NodeId start, CensusResult& result) {
+void CensusWorker::Run(graph::NodeId start, CensusResult& result,
+                       util::StopToken stop) {
   assert(start >= 0 && start < graph_.num_nodes());
   result.counts.Clear();
   result.encodings.clear();
   result.total_subgraphs = 0;
   result.truncated = false;
+  result.stopped = false;
 
-  start_ = start;
-  ++epoch_;
-  node_epoch_[start] = epoch_;
-  linear_contribution_[start] = 0;
-  current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
+  stop_ = std::move(stop);
+  has_stop_ = stop_.CanStop();
+  stop_countdown_ = kStopCheckInterval;
+  if (has_stop_ && stop_.StopRequested()) {
+    result.stopped = true;
+  } else {
+    start_ = start;
+    ++epoch_;
+    node_epoch_[start] = epoch_;
+    linear_contribution_[start] = 0;
+    current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
 
-  arena_.clear();
-  edge_stack_.clear();
-  // The start node is always expanded, regardless of dmax.
-  for (graph::NodeId y : graph_.neighbors(start)) arena_.push_back({start, y});
-  Extend(0, arena_.size(), 0, result);
-  node_epoch_[start] = 0;
+    arena_.clear();
+    edge_stack_.clear();
+    // The start node is always expanded, regardless of dmax.
+    for (graph::NodeId y : graph_.neighbors(start)) {
+      arena_.push_back({start, y});
+    }
+    Extend(0, arena_.size(), 0, result);
+    node_epoch_[start] = 0;
+  }
+
+  if (metrics_.registry != nullptr) {
+    util::MetricsRegistry* registry = metrics_.registry;
+    registry->Increment(metrics_.nodes);
+    registry->Increment(metrics_.distinct_encodings,
+                        static_cast<int64_t>(result.counts.size()));
+    if (result.truncated) {
+      registry->Increment(metrics_.budget_truncated_nodes);
+    }
+    if (result.stopped) registry->Increment(metrics_.stopped_nodes);
+  }
 }
 
 CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,
                        const CensusConfig& config) {
   CensusWorker worker(graph, config);
-  return worker.Run(start);
+  CensusResult result;
+  worker.Run(start, result);
+  return result;
 }
 
 }  // namespace hsgf::core

@@ -9,6 +9,8 @@
 #include "core/rolling_hash.h"
 #include "graph/het_graph.h"
 #include "util/flat_count_map.h"
+#include "util/metrics.h"
+#include "util/stop_token.h"
 
 namespace hsgf::core {
 
@@ -69,6 +71,44 @@ struct CensusResult {
   int64_t total_subgraphs = 0;
   // True iff enumeration stopped early because max_subgraphs was reached.
   bool truncated = false;
+  // True iff enumeration was interrupted by a StopToken (cancellation or
+  // deadline); counts cover the subgraphs visited so far.
+  bool stopped = false;
+};
+
+// Instrumentation hooks for the census hot loop. All ids default to
+// kInvalidMetric (recording into them is a no-op), and a null registry
+// disables instrumentation entirely; pass the struct returned by Register()
+// to CensusWorker to light the counters up. Counter semantics are
+// documented in DESIGN.md §Observability.
+struct CensusMetrics {
+  util::MetricsRegistry* registry = nullptr;
+  // census.nodes — Run() invocations.
+  util::MetricId nodes = util::kInvalidMetric;
+  // census.subgraphs_total — subgraph occurrences enumerated.
+  util::MetricId subgraphs_total = util::kInvalidMetric;
+  // census.subgraphs.edges_<k> — occurrences with exactly k edges
+  // (index k-1), k = 1..max_edges.
+  std::vector<util::MetricId> subgraphs_by_edges;
+  // census.distinct_encodings — per-node distinct hashes, summed over nodes.
+  util::MetricId distinct_encodings = util::kInvalidMetric;
+  // census.label_group_saved — hash-map updates avoided by the label-
+  // grouping heuristic (batch size minus one per batched increment, §4.3.4).
+  util::MetricId label_group_saved = util::kInvalidMetric;
+  // census.dmax_blocked — frontier expansions suppressed by dmax (§4.3.5).
+  util::MetricId dmax_blocked = util::kInvalidMetric;
+  // census.encoding_materializations — canonical encodings built
+  // (once per distinct hash when keep_encodings is set).
+  util::MetricId encoding_materializations = util::kInvalidMetric;
+  // census.budget_truncated_nodes — nodes whose census hit max_subgraphs.
+  util::MetricId budget_truncated_nodes = util::kInvalidMetric;
+  // census.stopped_nodes — nodes whose census a StopToken interrupted.
+  util::MetricId stopped_nodes = util::kInvalidMetric;
+
+  // Registers every census metric (idempotent by name) and returns the
+  // filled-in hook struct. `max_edges` bounds the per-edge-count counters.
+  static CensusMetrics Register(util::MetricsRegistry& registry,
+                                int max_edges);
 };
 
 // Enumerates all connected subgraphs (edge subsets) of `graph` that contain
@@ -80,22 +120,23 @@ struct CensusResult {
 // nodes (paper: memory O(tV + E) for t threads).
 class CensusWorker {
  public:
-  CensusWorker(const graph::HetGraph& graph, const CensusConfig& config);
+  // `metrics` is optional instrumentation (see CensusMetrics); the worker
+  // keeps a copy, so the hooks may be a temporary, but the registry they
+  // point into must outlive the worker.
+  CensusWorker(const graph::HetGraph& graph, const CensusConfig& config,
+               CensusMetrics metrics = {});
 
   CensusWorker(const CensusWorker&) = delete;
   CensusWorker& operator=(const CensusWorker&) = delete;
 
   const CensusConfig& config() const { return config_; }
 
-  // Runs the census rooted at `start`. The result is overwritten.
-  void Run(graph::NodeId start, CensusResult& result);
-
-  // Convenience allocation-per-call form.
-  CensusResult Run(graph::NodeId start) {
-    CensusResult result;
-    Run(start, result);
-    return result;
-  }
+  // Runs the census rooted at `start`. The result is overwritten. `stop` is
+  // polled (amortized over kStopCheckInterval enumeration steps) inside the
+  // enumeration loop: when it fires, the census returns the partial counts
+  // collected so far with result.stopped set.
+  void Run(graph::NodeId start, CensusResult& result,
+           util::StopToken stop = {});
 
  private:
   struct CandidateEdge {
@@ -134,14 +175,23 @@ class CensusWorker {
   // stack (rare: once per distinct hash).
   Encoding MaterializeEncoding() const;
 
+  // How many enumeration steps may pass between StopToken polls; bounds
+  // cancellation latency without putting a clock read in the hot loop.
+  static constexpr int kStopCheckInterval = 1024;
+
   const graph::HetGraph& graph_;
   CensusConfig config_;
+  CensusMetrics metrics_;
   RollingHash hasher_;
   int num_effective_labels_;
 
   graph::NodeId start_ = -1;
   uint64_t epoch_ = 0;
   uint64_t current_hash_ = 0;
+
+  util::StopToken stop_;
+  bool has_stop_ = false;
+  int stop_countdown_ = kStopCheckInterval;
 
   // Per-node scratch, epoch-stamped so Run() needs no O(V) clear.
   std::vector<uint64_t> node_epoch_;
@@ -151,7 +201,10 @@ class CensusWorker {
   std::vector<std::pair<graph::NodeId, graph::NodeId>> edge_stack_;
 };
 
-// One-shot convenience: census for a single node.
+// The one one-shot convenience: builds a throwaway worker, runs the census
+// for a single node, and returns the result by value. Anything that runs
+// more than one census should construct a CensusWorker and reuse it (worker
+// construction is O(V)).
 CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,
                        const CensusConfig& config);
 

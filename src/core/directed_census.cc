@@ -352,7 +352,9 @@ CensusResult RunDirectedCensus(const graph::DirectedHetGraph& graph,
                                graph::NodeId start,
                                const CensusConfig& config) {
   DirectedCensusWorker worker(graph, config);
-  return worker.Run(start);
+  CensusResult result;
+  worker.Run(start, result);
+  return result;
 }
 
 }  // namespace hsgf::core

@@ -74,12 +74,6 @@ class DirectedCensusWorker {
 
   void Run(graph::NodeId start, CensusResult& result);
 
-  CensusResult Run(graph::NodeId start) {
-    CensusResult result;
-    Run(start, result);
-    return result;
-  }
-
  private:
   struct CandidateArc {
     graph::NodeId tail;

@@ -2,68 +2,127 @@
 
 #include <atomic>
 #include <cassert>
+#include <mutex>
+#include <utility>
 
 #include "graph/degree_stats.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hsgf::core {
 
-ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
-                                 const std::vector<graph::NodeId>& nodes,
-                                 const ExtractorConfig& config) {
-  CensusConfig census_config = config.census;
+int ResolveDmax(const graph::HetGraph& graph, const ExtractorConfig& config) {
   if (config.dmax_percentile > 0.0 && config.dmax_percentile < 100.0) {
-    census_config.max_degree =
-        graph::DegreePercentile(graph, config.dmax_percentile);
-  } else if (config.dmax_percentile >= 100.0) {
-    census_config.max_degree = 0;
+    return graph::DegreePercentile(graph, config.dmax_percentile);
   }
+  if (config.dmax_percentile >= 100.0) return 0;  // constraint disabled
+  return config.census.max_degree;
+}
 
+Extractor::Extractor(const graph::HetGraph& graph,
+                     const ExtractorConfig& config)
+    : graph_(graph), config_(config), census_config_(config.census) {
+  span_resolve_dmax_ = metrics_.Span("extract.resolve_dmax");
+  span_census_ = metrics_.Span("extract.census");
+  hist_node_micros_ = metrics_.Histogram("census.node_micros");
+  gauge_effective_dmax_ = metrics_.Gauge("extract.effective_dmax");
+  gauge_nodes_total_ = metrics_.Gauge("extract.nodes_total");
+  gauge_features_selected_ = metrics_.Gauge("extract.features_selected");
+  census_metrics_ = CensusMetrics::Register(metrics_, census_config_.max_edges);
+
+  {
+    util::ScopedSpan span(metrics_, span_resolve_dmax_);
+    census_config_.max_degree = ResolveDmax(graph, config);
+  }
+  metrics_.SetGauge(gauge_effective_dmax_, census_config_.max_degree);
+
+  // The pool (and its threads) lives for the whole session; num_threads == 0
+  // resolves to the hardware concurrency inside ThreadPool.
+  if (config_.num_threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+}
+
+Extractor::~Extractor() = default;
+
+ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes) {
+  return Run(nodes, util::StopToken(), nullptr);
+}
+
+ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
+                                util::StopToken stop, ProgressFn progress) {
   ExtractionResult result;
-  result.effective_dmax = census_config.max_degree;
+  result.effective_dmax = census_config_.max_degree;
+  metrics_.SetGauge(gauge_nodes_total_, static_cast<double>(nodes.size()));
 
   std::vector<CensusResult> censuses(nodes.size());
-  if (config.record_timings) result.seconds_per_node.assign(nodes.size(), 0.0);
-
-  unsigned num_threads = config.num_threads;
-  if (num_threads == 0) num_threads = 0;  // ThreadPool resolves hardware count
+  std::atomic<size_t> nodes_done{0};
+  std::atomic<int64_t> subgraphs_so_far{0};
+  std::atomic<bool> any_stopped{false};
+  std::mutex progress_mutex;
 
   auto process = [&](CensusWorker& worker, size_t i) {
     util::Stopwatch watch;
-    worker.Run(nodes[i], censuses[i]);
-    if (config.record_timings) {
-      result.seconds_per_node[i] = watch.ElapsedSeconds();
+    worker.Run(nodes[i], censuses[i], stop);
+    metrics_.Observe(hist_node_micros_, watch.ElapsedMicros());
+    if (censuses[i].stopped) any_stopped.store(true, std::memory_order_relaxed);
+    subgraphs_so_far.fetch_add(censuses[i].total_subgraphs);
+    nodes_done.fetch_add(1);
+    if (progress) {
+      // Re-read under the lock rather than passing the values computed
+      // above: reports stay monotone even when workers reach the lock out
+      // of order, and the last report carries the final totals.
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress({nodes_done.load(), nodes.size(), subgraphs_so_far.load()});
     }
   };
 
-  if (num_threads == 1 || nodes.size() <= 1) {
-    CensusWorker worker(graph, census_config);
-    for (size_t i = 0; i < nodes.size(); ++i) process(worker, i);
-  } else {
-    util::ThreadPool pool(num_threads);
-    std::atomic<size_t> cursor{0};
-    const unsigned worker_count = pool.num_threads();
-    for (unsigned t = 0; t < worker_count; ++t) {
-      pool.Submit([&] {
-        // One O(V) census worker per thread; the graph is shared read-only
-        // (paper: O(tV + E) memory).
-        CensusWorker worker(graph, census_config);
-        for (;;) {
-          size_t i = cursor.fetch_add(1);
-          if (i >= nodes.size()) return;
-          process(worker, i);
-        }
-      });
+  {
+    util::ScopedSpan span(metrics_, span_census_);
+    if (pool_ == nullptr || nodes.size() <= 1) {
+      CensusWorker worker(graph_, census_config_, census_metrics_);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (stop.StopRequested()) break;
+        process(worker, i);
+      }
+    } else {
+      std::atomic<size_t> cursor{0};
+      const unsigned worker_count = pool_->num_threads();
+      for (unsigned t = 0; t < worker_count; ++t) {
+        pool_->Submit([&] {
+          // One O(V) census worker per thread; the graph is shared
+          // read-only (paper: O(tV + E) memory).
+          CensusWorker worker(graph_, census_config_, census_metrics_);
+          for (;;) {
+            if (stop.StopRequested()) return;
+            const size_t i = cursor.fetch_add(1);
+            if (i >= nodes.size()) return;
+            process(worker, i);
+          }
+        });
+      }
+      pool_->Wait();
     }
-    pool.Wait();
   }
 
+  result.nodes_processed = nodes_done.load();
+  result.stopped_early = any_stopped.load(std::memory_order_relaxed) ||
+                         result.nodes_processed < nodes.size();
   for (const CensusResult& census : censuses) {
     result.total_subgraphs += census.total_subgraphs;
+    if (census.truncated) ++result.truncated_nodes;
   }
-  result.features = BuildFeatureSet(censuses, config.features);
+  result.features = BuildFeatureSet(censuses, config_.features, &metrics_);
+  metrics_.SetGauge(gauge_features_selected_,
+                    static_cast<double>(result.features.matrix.cols()));
+  result.metrics = metrics_.Snapshot();
   return result;
+}
+
+ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
+                                 const std::vector<graph::NodeId>& nodes,
+                                 const ExtractorConfig& config) {
+  Extractor extractor(graph, config);
+  return extractor.Run(nodes);
 }
 
 }  // namespace hsgf::core

@@ -1,11 +1,16 @@
 #ifndef HSGF_CORE_EXTRACTOR_H_
 #define HSGF_CORE_EXTRACTOR_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/census.h"
 #include "core/feature_matrix.h"
 #include "graph/het_graph.h"
+#include "util/metrics.h"
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
 
 namespace hsgf::core {
 
@@ -25,26 +30,100 @@ struct ExtractorConfig {
   unsigned num_threads = 1;
 
   FeatureBuildOptions features;
-
-  // Record per-node census wall-clock time (Table 3).
-  bool record_timings = false;
 };
+
+// The dmax that an Extractor built from (graph, config) will apply:
+// census.max_degree, overridden by the dmax_percentile convenience when it
+// is set (0 = unlimited). Public so the CLI and benches can report or reuse
+// the resolved value without re-deriving the percentile themselves.
+int ResolveDmax(const graph::HetGraph& graph, const ExtractorConfig& config);
+
+// Progress report delivered after each node's census completes.
+struct ExtractionProgress {
+  size_t nodes_done = 0;
+  size_t nodes_total = 0;
+  int64_t subgraphs_so_far = 0;
+};
+using ProgressFn = std::function<void(const ExtractionProgress&)>;
 
 struct ExtractionResult {
   FeatureSet features;
-  // Census wall-clock seconds per node (input order); empty unless
-  // record_timings.
-  std::vector<double> seconds_per_node;
   // The dmax actually applied (0 = unlimited).
   int effective_dmax = 0;
   // Total subgraph occurrences enumerated over all nodes.
   int64_t total_subgraphs = 0;
+  // Nodes whose census hit CensusConfig::max_subgraphs and was truncated.
+  int64_t truncated_nodes = 0;
+  // Nodes whose census ran (fully or partially); the remaining rows of the
+  // feature matrix are zero. Equals the node count unless stopped early.
+  size_t nodes_processed = 0;
+  // True iff a StopToken (cancellation or deadline) interrupted the run;
+  // `features` then covers only the censuses finished in time.
+  bool stopped_early = false;
+  // Snapshot of the extractor's metrics registry taken at the end of Run():
+  // census counters, per-node time histogram, and per-stage spans
+  // (cumulative across Run() calls on the same Extractor). See DESIGN.md
+  // §Observability for the metric names.
+  util::MetricsSnapshot metrics;
 };
 
-// Runs the census rooted at every node in `nodes` and builds the feature
-// set. `nodes` may contain any subset of the graph's nodes (the paper
-// samples 250 per label for label prediction and all institutions for rank
-// prediction).
+// Extraction session: binds (graph, config) once, resolves dmax up front,
+// and owns the worker thread pool and metrics registry across Run() calls.
+// Prefer this over the one-shot ExtractFeatures() wrapper when extracting
+// repeatedly from the same graph — the pool threads and the resolved dmax
+// are reused, and the metrics registry accumulates over the session.
+//
+// Run() is deterministic: the feature matrix is identical for any thread
+// count. The Extractor itself is not re-entrant (one Run() at a time), but
+// its censuses execute on the internal pool.
+class Extractor {
+ public:
+  Extractor(const graph::HetGraph& graph, const ExtractorConfig& config);
+  ~Extractor();
+
+  Extractor(const Extractor&) = delete;
+  Extractor& operator=(const Extractor&) = delete;
+
+  const graph::HetGraph& graph() const { return graph_; }
+  const ExtractorConfig& config() const { return config_; }
+  // The dmax applied to every census of this session (0 = unlimited).
+  int effective_dmax() const { return census_config_.max_degree; }
+
+  // Live registry backing this session's instrumentation; snapshot it at
+  // any time (including concurrently with Run()) for in-flight metrics.
+  util::MetricsRegistry& metrics() { return metrics_; }
+
+  // Runs the census rooted at every node in `nodes` and builds the feature
+  // set. `nodes` may contain any subset of the graph's nodes (the paper
+  // samples 250 per label for label prediction and all institutions for
+  // rank prediction).
+  //
+  // `stop` is polled inside the census enumeration loops: when it fires,
+  // in-flight censuses return their partial counts, queued nodes are
+  // skipped, and the result carries stopped_early. `progress`, when set, is
+  // invoked after each node's census (serialized, but possibly from worker
+  // threads).
+  ExtractionResult Run(const std::vector<graph::NodeId>& nodes);
+  ExtractionResult Run(const std::vector<graph::NodeId>& nodes,
+                       util::StopToken stop, ProgressFn progress = nullptr);
+
+ private:
+  const graph::HetGraph& graph_;
+  ExtractorConfig config_;
+  CensusConfig census_config_;  // config_.census with dmax resolved
+  util::MetricsRegistry metrics_;
+  CensusMetrics census_metrics_;
+  util::MetricId span_resolve_dmax_ = util::kInvalidMetric;
+  util::MetricId span_census_ = util::kInvalidMetric;
+  util::MetricId hist_node_micros_ = util::kInvalidMetric;
+  util::MetricId gauge_effective_dmax_ = util::kInvalidMetric;
+  util::MetricId gauge_nodes_total_ = util::kInvalidMetric;
+  util::MetricId gauge_features_selected_ = util::kInvalidMetric;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when single-threaded
+};
+
+// One-shot convenience kept for existing call sites: builds a throwaway
+// Extractor session and runs it once.
 ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
                                  const std::vector<graph::NodeId>& nodes,
                                  const ExtractorConfig& config);

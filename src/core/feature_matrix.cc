@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/timer.h"
+
 namespace hsgf::core {
 
 FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
-                           const FeatureBuildOptions& options) {
+                           const FeatureBuildOptions& options,
+                           util::MetricsRegistry* metrics) {
+  util::Stopwatch watch;
   // Total count per hash across all nodes.
   std::unordered_map<uint64_t, int64_t> totals;
   for (const CensusResult& census : censuses) {
@@ -45,6 +49,11 @@ FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
     column_of.emplace(hash, static_cast<int>(set.feature_hashes.size()));
     set.feature_hashes.push_back(hash);
   }
+  if (metrics != nullptr) {
+    metrics->AddSpanSeconds(metrics->Span("extract.vocabulary"),
+                            watch.ElapsedSeconds());
+    watch.Restart();
+  }
 
   set.matrix = ml::Matrix(static_cast<int>(censuses.size()),
                           static_cast<int>(set.feature_hashes.size()));
@@ -60,6 +69,10 @@ FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
     for (const auto& [hash, encoding] : censuses[r].encodings) {
       if (column_of.contains(hash)) set.encodings.emplace(hash, encoding);
     }
+  }
+  if (metrics != nullptr) {
+    metrics->AddSpanSeconds(metrics->Span("extract.matrix_build"),
+                            watch.ElapsedSeconds());
   }
   return set;
 }

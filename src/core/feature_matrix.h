@@ -8,6 +8,7 @@
 #include "core/census.h"
 #include "core/encoding.h"
 #include "ml/matrix.h"
+#include "util/metrics.h"
 
 namespace hsgf::core {
 
@@ -34,9 +35,13 @@ struct FeatureSet {
   std::unordered_map<uint64_t, Encoding> encodings;
 };
 
-// Assembles the dense matrix from one census per node.
+// Assembles the dense matrix from one census per node. When `metrics` is
+// non-null, the two stages are timed into the "extract.vocabulary" (totals
+// + column selection) and "extract.matrix_build" (dense fill + encoding
+// merge) spans.
 FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
-                           const FeatureBuildOptions& options = {});
+                           const FeatureBuildOptions& options = {},
+                           util::MetricsRegistry* metrics = nullptr);
 
 }  // namespace hsgf::core
 

@@ -1,0 +1,386 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hsgf::util {
+
+namespace metrics_internal {
+
+int BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const uint64_t u = static_cast<uint64_t>(value);
+  const int octave = 63 - std::countl_zero(u);  // floor(log2), >= kMinOctave
+  if (octave > kMaxOctave) return kNumBuckets - 1;
+  const int sub =
+      static_cast<int>((u >> (octave - kMinOctave)) & (kSubBuckets - 1));
+  return kSubBuckets + (octave - kMinOctave) * kSubBuckets + sub;
+}
+
+std::pair<int64_t, int64_t> BucketBounds(int index) {
+  if (index < kSubBuckets) return {index, index + 1};
+  const int b = index - kSubBuckets;
+  const int octave = b / kSubBuckets + kMinOctave;
+  const int sub = b % kSubBuckets;
+  const int shift = octave - kMinOctave;
+  const int64_t lower = static_cast<int64_t>(kSubBuckets + sub) << shift;
+  const int64_t width = int64_t{1} << shift;
+  return {lower, lower + width};
+}
+
+}  // namespace metrics_internal
+
+namespace {
+
+constexpr int kKindShift = 28;
+constexpr int32_t kBaseMask = (int32_t{1} << kKindShift) - 1;
+
+int BaseOf(MetricId id) { return static_cast<int>(id & kBaseMask); }
+[[maybe_unused]] int KindBitsOf(MetricId id) {
+  return static_cast<int>(id >> kKindShift);
+}
+
+uint64_t NextRegistryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void AppendJsonInt(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+// One thread's private slot array. Slots are written only by the owning
+// thread (relaxed load + store — a plain add on mainstream hardware) and
+// read by Snapshot() under the registry mutex; relaxed atomics keep that
+// cross-thread read race-free without any synchronization on the hot path.
+struct MetricsRegistry::Shard {
+  static constexpr int kCapacity = 4096;
+  std::array<std::atomic<int64_t>, kCapacity> slots{};
+};
+
+MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricId MetricsRegistry::Register(const std::string& name, Kind kind,
+                                   int slots_needed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name != name) continue;
+    if (metrics_[i].kind != kind) {
+      throw std::runtime_error("metric '" + name +
+                               "' re-registered as a different kind");
+    }
+    return static_cast<MetricId>(
+        (static_cast<int32_t>(metrics_[i].kind) << kKindShift) |
+        metrics_[i].base);
+  }
+  int base;
+  if (kind == Kind::kGauge) {
+    base = static_cast<int>(gauges_.size());
+    gauges_.emplace_back(0.0);
+  } else if (kind == Kind::kSpan) {
+    base = static_cast<int>(spans_.size());
+    spans_.emplace_back();
+  } else {
+    if (next_slot_ + slots_needed > Shard::kCapacity) {
+      throw std::runtime_error("MetricsRegistry slot capacity exhausted");
+    }
+    base = next_slot_;
+    next_slot_ += slots_needed;
+  }
+  metrics_.push_back({name, kind, base});
+  return static_cast<MetricId>((static_cast<int32_t>(kind) << kKindShift) |
+                               base);
+}
+
+MetricId MetricsRegistry::Counter(const std::string& name) {
+  return Register(name, Kind::kCounter, 1);
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name) {
+  return Register(name, Kind::kGauge, 0);
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name) {
+  // Layout: [count, sum, max, bucket 0 .. bucket kNumBuckets-1].
+  return Register(name, Kind::kHistogram, 3 + metrics_internal::kNumBuckets);
+}
+
+MetricId MetricsRegistry::Span(const std::string& name) {
+  return Register(name, Kind::kSpan, 0);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  // Per-thread cache of (registry id -> shard). The single-registry fast
+  // path is two loads and a compare. Registry ids are process-unique and
+  // never reused, so stale entries for dead registries can never be
+  // returned; the shards themselves are owned by the registry, so no
+  // cleanup is needed on thread exit.
+  struct Cache {
+    uint64_t id = 0;
+    Shard* shard = nullptr;
+    std::vector<std::pair<uint64_t, Shard*>> others;
+  };
+  thread_local Cache cache;
+  if (cache.id == id_) return *cache.shard;
+  for (size_t i = 0; i < cache.others.size(); ++i) {
+    if (cache.others[i].first != id_) continue;
+    // Promote to the fast slot, demoting the previous occupant.
+    Shard* found = cache.others[i].second;
+    if (cache.shard != nullptr) {
+      cache.others[i] = {cache.id, cache.shard};
+    } else {
+      cache.others[i] = cache.others.back();
+      cache.others.pop_back();
+    }
+    cache.id = id_;
+    cache.shard = found;
+    return *found;
+  }
+  Shard* shard;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+  }
+  if (cache.shard != nullptr) cache.others.emplace_back(cache.id, cache.shard);
+  cache.id = id_;
+  cache.shard = shard;
+  return *shard;
+}
+
+void MetricsRegistry::Increment(MetricId counter, int64_t delta) {
+  if (counter < 0) return;
+  assert(KindBitsOf(counter) == static_cast<int>(Kind::kCounter));
+  auto& slot = LocalShard().slots[BaseOf(counter)];
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(MetricId gauge, double value) {
+  if (gauge < 0) return;
+  assert(KindBitsOf(gauge) == static_cast<int>(Kind::kGauge));
+  gauges_[BaseOf(gauge)].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(MetricId histogram, int64_t value) {
+  if (histogram < 0) return;
+  assert(KindBitsOf(histogram) == static_cast<int>(Kind::kHistogram));
+  if (value < 0) value = 0;
+  Shard& shard = LocalShard();
+  const int base = BaseOf(histogram);
+  auto bump = [&shard](int slot, int64_t delta) {
+    auto& s = shard.slots[slot];
+    s.store(s.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+  };
+  bump(base + 0, 1);      // count
+  bump(base + 1, value);  // sum
+  auto& max_slot = shard.slots[base + 2];
+  if (value > max_slot.load(std::memory_order_relaxed)) {
+    max_slot.store(value, std::memory_order_relaxed);
+  }
+  bump(base + 3 + metrics_internal::BucketIndex(value), 1);
+}
+
+void MetricsRegistry::AddSpanSeconds(MetricId span, double seconds) {
+  if (span < 0) return;
+  assert(KindBitsOf(span) == static_cast<int>(Kind::kSpan));
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanData& data = spans_[BaseOf(span)];
+  data.seconds += seconds;
+  data.count += 1;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  auto sum_slot = [this](int slot) {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  for (const MetricInfo& info : metrics_) {
+    switch (info.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(info.name, sum_slot(info.base));
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(
+            info.name, gauges_[info.base].load(std::memory_order_relaxed));
+        break;
+      case Kind::kSpan: {
+        const SpanData& data = spans_[info.base];
+        snap.spans.push_back({info.name, data.seconds, data.count});
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramSnapshot hist;
+        hist.name = info.name;
+        hist.count = sum_slot(info.base + 0);
+        hist.sum = sum_slot(info.base + 1);
+        for (const auto& shard : shards_) {
+          hist.max = std::max(
+              hist.max,
+              shard->slots[info.base + 2].load(std::memory_order_relaxed));
+        }
+        for (int b = 0; b < metrics_internal::kNumBuckets; ++b) {
+          int64_t count = sum_slot(info.base + 3 + b);
+          if (count == 0) continue;
+          auto [lower, upper] = metrics_internal::BucketBounds(b);
+          hist.buckets.push_back({lower, upper, count});
+        }
+        snap.histograms.push_back(std::move(hist));
+        break;
+      }
+    }
+  }
+  auto by_first = [](const auto& a, const auto& b) { return a.first < b.first; };
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_first);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_first);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.spans.begin(), snap.spans.end(), by_name);
+  return snap;
+}
+
+int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (const Bucket& bucket : buckets) {
+    cumulative += bucket.count;
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(bucket.upper, max);
+    }
+  }
+  return max;
+}
+
+int64_t MetricsSnapshot::Counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::Gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::Histogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const SpanSnapshot* MetricsSnapshot::Span(const std::string& name) const {
+  for (const SpanSnapshot& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, counters[i].first);
+    out += ": ";
+    AppendJsonInt(out, counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, gauges[i].first);
+    out += ": ";
+    AppendJsonDouble(out, gauges[i].second);
+  }
+  out += "\n  },\n  \"spans\": {";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, spans[i].name);
+    out += ": {\"seconds\": ";
+    AppendJsonDouble(out, spans[i].seconds);
+    out += ", \"count\": ";
+    AppendJsonInt(out, spans[i].count);
+    out += "}";
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, h.name);
+    out += ": {\"count\": ";
+    AppendJsonInt(out, h.count);
+    out += ", \"sum\": ";
+    AppendJsonInt(out, h.sum);
+    out += ", \"max\": ";
+    AppendJsonInt(out, h.max);
+    out += ", \"mean\": ";
+    AppendJsonDouble(out, h.Mean());
+    out += ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += "{\"lo\": ";
+      AppendJsonInt(out, h.buckets[b].lower);
+      out += ", \"hi\": ";
+      AppendJsonInt(out, h.buckets[b].upper);
+      out += ", \"count\": ";
+      AppendJsonInt(out, h.buckets[b].count);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace hsgf::util

@@ -1,0 +1,173 @@
+#ifndef HSGF_UTIL_METRICS_H_
+#define HSGF_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace hsgf::util {
+
+// Handle to a registered metric. Encodes the metric kind and its storage
+// index; obtain one from MetricsRegistry::Counter/Gauge/Histogram/Span.
+// Negative ids are inert: every recording call silently ignores them, so
+// optional instrumentation can default to kInvalidMetric.
+using MetricId = int32_t;
+inline constexpr MetricId kInvalidMetric = -1;
+
+// Log-linear histogram geometry (HdrHistogram-lite): values 0..7 get exact
+// buckets; every octave [2^k, 2^{k+1}) above that is split into 8 equal
+// sub-buckets, so any recorded value is bucketed with <= 12.5% relative
+// error. Values >= 2^40 clamp into the last bucket.
+namespace metrics_internal {
+inline constexpr int kSubBuckets = 8;
+inline constexpr int kMinOctave = 3;   // first log-bucketed octave [8, 16)
+inline constexpr int kMaxOctave = 39;  // last octave [2^39, 2^40)
+inline constexpr int kNumBuckets =
+    kSubBuckets + (kMaxOctave - kMinOctave + 1) * kSubBuckets;
+
+int BucketIndex(int64_t value);
+// Half-open [lower, upper) bounds of bucket `index`.
+std::pair<int64_t, int64_t> BucketBounds(int index);
+}  // namespace metrics_internal
+
+struct HistogramSnapshot {
+  struct Bucket {
+    int64_t lower = 0;  // inclusive
+    int64_t upper = 0;  // exclusive
+    int64_t count = 0;
+  };
+
+  std::string name;
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;  // exact maximum observed value (0 if empty)
+  std::vector<Bucket> buckets;  // non-empty buckets, ascending by bound
+
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  // Approximate p-th percentile (p in [0, 100]): the upper bound of the
+  // bucket holding the p-th ranked observation, clamped to `max`. Accurate
+  // to one log-linear bucket (<= 12.5% relative error).
+  int64_t Percentile(double p) const;
+};
+
+struct SpanSnapshot {
+  std::string name;
+  double seconds = 0.0;  // total accumulated wall-clock time
+  int64_t count = 0;     // number of recorded intervals
+};
+
+// Point-in-time aggregation of every metric in a registry. Plain data —
+// safe to copy, store, and read after the registry is gone.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, double>> gauges;     // sorted by name
+  std::vector<HistogramSnapshot> histograms;              // sorted by name
+  std::vector<SpanSnapshot> spans;                        // sorted by name
+
+  // Lookup helpers; Counter/Gauge return 0 when absent, the pointer forms
+  // return nullptr.
+  int64_t Counter(const std::string& name) const;
+  double Gauge(const std::string& name) const;
+  const HistogramSnapshot* Histogram(const std::string& name) const;
+  const SpanSnapshot* Span(const std::string& name) const;
+
+  // Serializes the snapshot as a JSON object (schema documented in
+  // DESIGN.md §Observability).
+  std::string ToJson() const;
+};
+
+// Registry of named counters, gauges, log-scale histograms, and wall-clock
+// spans.
+//
+// Counters and histograms are sharded per thread: each thread lazily gets a
+// private slot array, and a recording call is one relaxed atomic load/store
+// on the caller's own shard — no contended read-modify-write, no locks —
+// so instrumentation is cheap enough for the census hot loop. Snapshot()
+// sums the shards under the registry mutex. Gauges (last-set-wins) and
+// spans (accumulated rarely, at stage granularity) live in the registry
+// itself.
+//
+// Registration is idempotent by name: registering an existing (name, kind)
+// pair returns the original id, so independent components can share metric
+// names. Recording on a registry is thread-safe; the registry must outlive
+// every thread that records into it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration. Names are expected to be dotted identifiers
+  // ("census.subgraphs_total"). Throws std::runtime_error if a name is
+  // re-registered as a different kind or slot capacity is exhausted.
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name);
+  MetricId Span(const std::string& name);
+
+  // Recording. All calls ignore invalid (negative) ids.
+  void Increment(MetricId counter, int64_t delta = 1);
+  void SetGauge(MetricId gauge, double value);
+  void Observe(MetricId histogram, int64_t value);  // negative clamps to 0
+  void AddSpanSeconds(MetricId span, double seconds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  friend class ScopedSpan;
+  enum class Kind : int32_t { kCounter = 0, kGauge, kHistogram, kSpan };
+  struct MetricInfo {
+    std::string name;
+    Kind kind;
+    int base;  // slot index (counter/histogram) or dense index (gauge/span)
+  };
+  struct Shard;
+  struct SpanData {
+    double seconds = 0.0;
+    int64_t count = 0;
+  };
+
+  MetricId Register(const std::string& name, Kind kind, int slots_needed);
+  Shard& LocalShard();
+
+  const uint64_t id_;  // process-unique; keys the thread-local shard cache
+  mutable std::mutex mutex_;
+  std::vector<MetricInfo> metrics_;               // guarded by mutex_
+  int next_slot_ = 0;                             // guarded by mutex_
+  std::vector<std::unique_ptr<Shard>> shards_;    // guarded by mutex_
+  std::deque<std::atomic<double>> gauges_;        // stable refs; lock-free set
+  std::vector<SpanData> spans_;                   // guarded by mutex_
+};
+
+// RAII helper recording the wall-clock time between construction and
+// destruction into a span metric.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry& registry, MetricId span)
+      : registry_(registry), span_(span) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { registry_.AddSpanSeconds(span_, watch_.ElapsedSeconds()); }
+
+ private:
+  MetricsRegistry& registry_;
+  MetricId span_;
+  Stopwatch watch_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_METRICS_H_

@@ -1,0 +1,92 @@
+#ifndef HSGF_UTIL_STOP_TOKEN_H_
+#define HSGF_UTIL_STOP_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace hsgf::util {
+
+// Cooperative cancellation for long extractions: a StopSource owns the stop
+// state (explicit RequestStop() and/or a wall-clock deadline) and hands out
+// cheap copyable StopTokens that workers poll. Unlike std::stop_token this
+// carries an optional deadline, so a single poll covers both "the user hit
+// ^C" and "the time budget ran out".
+//
+// A default-constructed StopToken has no state and never reports stop —
+// polling it is a single null check, so APIs can take one by value with no
+// cost when cancellation is unused.
+
+namespace stop_internal {
+struct StopState {
+  std::atomic<bool> requested{false};
+  std::atomic<int64_t> deadline_ns{0};  // steady_clock ns since epoch; 0=none
+
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+}  // namespace stop_internal
+
+class StopToken {
+ public:
+  StopToken() = default;
+
+  // True iff this token is connected to a StopSource (i.e. polling it could
+  // ever return true). Lets hot loops skip the amortized poll entirely.
+  bool CanStop() const { return state_ != nullptr; }
+
+  // True once stop has been requested or the deadline has passed. Sticky:
+  // after the deadline fires once, subsequent polls are a relaxed load.
+  bool StopRequested() const {
+    if (state_ == nullptr) return false;
+    if (state_->requested.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != 0 && stop_internal::StopState::NowNs() >= deadline) {
+      state_->requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<stop_internal::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<stop_internal::StopState> state_;
+};
+
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<stop_internal::StopState>()) {}
+
+  void RequestStop() {
+    state_->requested.store(true, std::memory_order_relaxed);
+  }
+
+  // Arms (or re-arms) a deadline `seconds` of wall-clock time from now;
+  // tokens start reporting stop once it passes.
+  void SetDeadlineAfter(double seconds) {
+    state_->deadline_ns.store(
+        stop_internal::StopState::NowNs() +
+            static_cast<int64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
+  bool StopRequested() const { return Token().StopRequested(); }
+
+  StopToken Token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<stop_internal::StopState> state_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_STOP_TOKEN_H_

@@ -9,6 +9,9 @@
 #include "data/schema.h"
 #include "graph/builder.h"
 #include "graph/degree_stats.h"
+#include "util/metrics.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
 
 namespace hsgf::core {
 namespace {
@@ -121,15 +124,122 @@ TEST(ExtractorTest, DmaxPercentileResolvesToDegree) {
   EXPECT_EQ(result.effective_dmax, 0);
 }
 
-TEST(ExtractorTest, TimingsRecordedPerNode) {
+TEST(ExtractorTest, MetricsCoverEveryNodeAndStage) {
   HetGraph graph = TestNetwork();
   ExtractorConfig config;
   config.census.max_edges = 3;
-  config.record_timings = true;
   std::vector<NodeId> nodes = {0, 1, 2, 3, 4};
   ExtractionResult result = ExtractFeatures(graph, nodes, config);
-  ASSERT_EQ(result.seconds_per_node.size(), nodes.size());
-  for (double t : result.seconds_per_node) EXPECT_GE(t, 0.0);
+  EXPECT_FALSE(result.stopped_early);
+  EXPECT_EQ(result.nodes_processed, nodes.size());
+
+  const util::MetricsSnapshot& snap = result.metrics;
+  EXPECT_EQ(snap.Counter("census.nodes"), static_cast<int64_t>(nodes.size()));
+  EXPECT_EQ(snap.Counter("census.subgraphs_total"), result.total_subgraphs);
+  EXPECT_GT(snap.Counter("census.distinct_encodings"), 0);
+
+  const util::HistogramSnapshot* node_micros =
+      snap.Histogram("census.node_micros");
+  ASSERT_NE(node_micros, nullptr);
+  EXPECT_EQ(node_micros->count, static_cast<int64_t>(nodes.size()));
+
+  for (const char* span : {"extract.resolve_dmax", "extract.census",
+                           "extract.vocabulary", "extract.matrix_build"}) {
+    const util::SpanSnapshot* s = snap.Span(span);
+    ASSERT_NE(s, nullptr) << span;
+    EXPECT_GE(s->count, 1) << span;
+  }
+  EXPECT_DOUBLE_EQ(snap.Gauge("extract.nodes_total"),
+                   static_cast<double>(nodes.size()));
+}
+
+TEST(ExtractorTest, SessionReuseAccumulatesMetrics) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  Extractor extractor(graph, config);
+  ExtractionResult first = extractor.Run({0, 1, 2});
+  ExtractionResult second = extractor.Run({3, 4});
+  // The registry lives with the session: counters accumulate across runs.
+  EXPECT_EQ(first.metrics.Counter("census.nodes"), 3);
+  EXPECT_EQ(second.metrics.Counter("census.nodes"), 5);
+  EXPECT_EQ(second.features.matrix.rows(), 2);
+  EXPECT_EQ(extractor.effective_dmax(), first.effective_dmax);
+}
+
+TEST(ExtractorTest, ProgressReportsEveryNode) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.num_threads = 2;
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  Extractor extractor(graph, config);
+  std::vector<ExtractionProgress> updates;
+  ExtractionResult result = extractor.Run(
+      nodes, util::StopToken(),
+      [&updates](const ExtractionProgress& p) { updates.push_back(p); });
+  ASSERT_EQ(updates.size(), nodes.size());
+  size_t last_done = 0;
+  for (const ExtractionProgress& p : updates) {
+    EXPECT_EQ(p.nodes_total, nodes.size());
+    EXPECT_GE(p.nodes_done, last_done);  // monotone under the lock
+    last_done = p.nodes_done;
+  }
+  EXPECT_EQ(updates.back().nodes_done, nodes.size());
+  EXPECT_EQ(updates.back().subgraphs_so_far, result.total_subgraphs);
+}
+
+TEST(ExtractorTest, PreCancelledTokenStopsImmediately) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  util::StopSource source;
+  source.RequestStop();
+  Extractor extractor(graph, config);
+  ExtractionResult result = extractor.Run(nodes, source.Token());
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.nodes_processed, nodes.size());
+  // Partial results still come back well-formed.
+  EXPECT_EQ(result.features.matrix.rows(), static_cast<int>(nodes.size()));
+}
+
+TEST(ExtractorTest, DeadlineStopsLargeCensus) {
+  // A dense network with no dmax cap and a tight deadline: the extraction
+  // must come back quickly with stopped_early set rather than finishing the
+  // full (expensive) census.
+  HetGraph graph = data::MakeNetwork(data::LoadLikeSchema(0.4), 11);
+  ExtractorConfig config;
+  config.census.max_edges = 6;
+  config.dmax_percentile = 100.0;  // no degree cap
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nodes.push_back(v);
+
+  util::StopSource source;
+  source.SetDeadlineAfter(0.05);
+  util::Stopwatch watch;
+  Extractor extractor(graph, config);
+  ExtractionResult result = extractor.Run(nodes, source.Token());
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.nodes_processed, nodes.size());
+  // Generous bound: polling every kStopCheckInterval steps must get us out
+  // far sooner than the unbounded census would take.
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_GT(result.metrics.Counter("census.stopped_nodes"), 0);
+}
+
+TEST(ExtractorTest, BudgetTruncationSurfacesInResultAndMetrics) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 4;
+  config.census.max_subgraphs = 10;  // tiny per-node budget
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  ExtractionResult result = ExtractFeatures(graph, nodes, config);
+  EXPECT_GT(result.truncated_nodes, 0);
+  EXPECT_EQ(result.metrics.Counter("census.budget_truncated_nodes"),
+            result.truncated_nodes);
+  EXPECT_FALSE(result.stopped_early);
 }
 
 TEST(ExtractorTest, SmallerDmaxNeverIncreasesSubgraphCount) {

@@ -1,0 +1,233 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
+
+namespace hsgf::util {
+namespace {
+
+TEST(MetricsRegistryTest, CounterSumsAcrossIncrements) {
+  MetricsRegistry registry;
+  MetricId hits = registry.Counter("test.hits");
+  registry.Increment(hits);
+  registry.Increment(hits, 41);
+  EXPECT_EQ(registry.Snapshot().Counter("test.hits"), 42);
+  EXPECT_EQ(registry.Snapshot().Counter("test.absent"), 0);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  MetricId a = registry.Counter("test.same");
+  MetricId b = registry.Counter("test.same");
+  EXPECT_EQ(a, b);
+  registry.Increment(a);
+  registry.Increment(b);
+  EXPECT_EQ(registry.Snapshot().Counter("test.same"), 2);
+  // Re-registering under a different kind is an error.
+  EXPECT_THROW(registry.Histogram("test.same"), std::runtime_error);
+}
+
+TEST(MetricsRegistryTest, InvalidIdsAreInert) {
+  MetricsRegistry registry;
+  registry.Increment(kInvalidMetric);
+  registry.Observe(kInvalidMetric, 7);
+  registry.SetGauge(kInvalidMetric, 1.0);
+  registry.AddSpanSeconds(kInvalidMetric, 1.0);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  MetricId counter = registry.Counter("test.concurrent");
+  MetricId histogram = registry.Histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&registry, counter, histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.Increment(counter);
+        registry.Observe(histogram, i % 100);
+      }
+    });
+  }
+  pool.Wait();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("test.concurrent"),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot* hist = snap.Histogram("test.concurrent_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->max, 99);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileIncrementingIsSafe) {
+  // Exercised under ThreadSanitizer: relaxed atomics on the shard slots keep
+  // concurrent Snapshot() race-free.
+  MetricsRegistry registry;
+  MetricId counter = registry.Counter("test.live");
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    for (int i = 0; i < 50000; ++i) registry.Increment(counter);
+    done.store(true);
+  });
+  int64_t last = 0;
+  while (!done.load()) {
+    int64_t now = registry.Snapshot().Counter("test.live");
+    EXPECT_GE(now, last);  // monotone
+    last = now;
+  }
+  pool.Wait();
+  EXPECT_EQ(registry.Snapshot().Counter("test.live"), 50000);
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesOnOneThreadStayIndependent) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  MetricId ca = a.Counter("test.x");
+  MetricId cb = b.Counter("test.x");
+  a.Increment(ca, 3);
+  b.Increment(cb, 5);
+  a.Increment(ca, 1);
+  EXPECT_EQ(a.Snapshot().Counter("test.x"), 4);
+  EXPECT_EQ(b.Snapshot().Counter("test.x"), 5);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdges) {
+  using metrics_internal::BucketBounds;
+  using metrics_internal::BucketIndex;
+  // Values 0..7 get exact unit buckets.
+  for (int64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(BucketIndex(v), v);
+    auto [lo, hi] = BucketBounds(BucketIndex(v));
+    EXPECT_EQ(lo, v);
+    EXPECT_EQ(hi, v + 1);
+  }
+  // Above that, buckets are log-linear: every value lands in a bucket
+  // containing it, buckets tile the range contiguously, and the relative
+  // width is <= 1/8.
+  int64_t previous_upper = 8;
+  for (int index = metrics_internal::kSubBuckets;
+       index < metrics_internal::kNumBuckets; ++index) {
+    auto [lo, hi] = BucketBounds(index);
+    EXPECT_EQ(lo, previous_upper) << "gap before bucket " << index;
+    EXPECT_GT(hi, lo);
+    EXPECT_LE(hi - lo, (lo + 7) / 8);  // <= 12.5% relative width
+    EXPECT_EQ(BucketIndex(lo), index);
+    EXPECT_EQ(BucketIndex(hi - 1), index);
+    previous_upper = hi;
+  }
+  // Octave boundaries: 8, 15, 16, 1023, 1024 land where expected.
+  EXPECT_EQ(BucketIndex(8), 8);
+  EXPECT_EQ(BucketIndex(15), 15);
+  EXPECT_EQ(BucketIndex(16), 16);
+  EXPECT_EQ(BucketIndex(1023), BucketIndex(1016));
+  EXPECT_NE(BucketIndex(1023), BucketIndex(1024));
+  // Values beyond the last octave clamp into the final bucket.
+  EXPECT_EQ(BucketIndex(int64_t{1} << 45),
+            metrics_internal::kNumBuckets - 1);
+  // Negative observations clamp to zero.
+  EXPECT_EQ(BucketIndex(-5), 0);
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndPercentiles) {
+  MetricsRegistry registry;
+  MetricId hist_id = registry.Histogram("test.hist");
+  for (int64_t v = 1; v <= 100; ++v) registry.Observe(hist_id, v);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hist = snap.Histogram("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 100);
+  EXPECT_EQ(hist->sum, 5050);
+  EXPECT_EQ(hist->max, 100);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 50.5);
+  // Percentiles are bucket-upper-bound approximations: within 12.5% above
+  // the true value, never above the observed max.
+  for (double p : {10.0, 50.0, 90.0, 100.0}) {
+    int64_t truth = static_cast<int64_t>(p);  // values are 1..100
+    int64_t approx = hist->Percentile(p);
+    EXPECT_GE(approx, truth);
+    EXPECT_LE(approx, std::max<int64_t>(truth + (truth + 7) / 8, truth + 1));
+    EXPECT_LE(approx, hist->max);
+  }
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  MetricId gauge = registry.Gauge("test.gauge");
+  registry.SetGauge(gauge, 1.5);
+  registry.SetGauge(gauge, -2.25);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Gauge("test.gauge"), -2.25);
+}
+
+TEST(MetricsRegistryTest, SpanAccumulates) {
+  MetricsRegistry registry;
+  MetricId span = registry.Span("test.span");
+  registry.AddSpanSeconds(span, 0.25);
+  {
+    ScopedSpan scoped(registry, span);
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const SpanSnapshot* snap = snapshot.Span("test.span");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 2);
+  EXPECT_GE(snap->seconds, 0.25);
+}
+
+TEST(MetricsRegistryTest, JsonContainsAllSections) {
+  MetricsRegistry registry;
+  registry.Increment(registry.Counter("c.one"), 7);
+  registry.SetGauge(registry.Gauge("g.one"), 2.5);
+  registry.Observe(registry.Histogram("h.one"), 12);
+  registry.AddSpanSeconds(registry.Span("s.one"), 0.5);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"s.one\""), std::string::npos);
+}
+
+TEST(StopTokenTest, DefaultTokenNeverStops) {
+  StopToken token;
+  EXPECT_FALSE(token.CanStop());
+  EXPECT_FALSE(token.StopRequested());
+}
+
+TEST(StopTokenTest, RequestStopPropagatesToAllTokens) {
+  StopSource source;
+  StopToken a = source.Token();
+  StopToken b = source.Token();
+  EXPECT_TRUE(a.CanStop());
+  EXPECT_FALSE(a.StopRequested());
+  source.RequestStop();
+  EXPECT_TRUE(a.StopRequested());
+  EXPECT_TRUE(b.StopRequested());
+}
+
+TEST(StopTokenTest, DeadlineFires) {
+  StopSource source;
+  source.SetDeadlineAfter(0.0);  // already expired
+  EXPECT_TRUE(source.Token().StopRequested());
+
+  StopSource patient;
+  patient.SetDeadlineAfter(3600.0);
+  EXPECT_FALSE(patient.Token().StopRequested());
+}
+
+}  // namespace
+}  // namespace hsgf::util

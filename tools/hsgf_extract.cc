@@ -9,9 +9,17 @@
 //   hsgf_extract --graph g.hsgf [--out features.csv] [--nodes 1,5,9 | --all]
 //                [--emax 5] [--dmax-percentile 90] [--mask-start-label]
 //                [--max-features 1000] [--threads 1] [--raw-counts]
+//                [--metrics-json m.json] [--progress] [--deadline-s 60]
+//
+// Observability: --metrics-json dumps the extraction's metrics snapshot
+// (census counters, per-node time histogram, per-stage spans; schema in
+// DESIGN.md §Observability), --progress reports per-node completion on
+// stderr, and --deadline-s cancels the extraction after a wall-clock
+// budget, still emitting the partial feature matrix.
 //
 // Example:
 //   ./hsgf_extract --graph citations.hsgf --all --emax 4 --out f.csv
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,22 +32,9 @@
 #include "core/encoding.h"
 #include "core/extractor.h"
 #include "graph/io.h"
+#include "util/stop_token.h"
 
 namespace {
-
-const char* FlagValue(int argc, char** argv, const char* name) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return nullptr;
-}
-
-bool FlagPresent(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
 
 int Usage() {
   std::fprintf(stderr,
@@ -48,8 +43,126 @@ int Usage() {
                "                    [--emax N] [--dmax-percentile P] "
                "[--mask-start-label]\n"
                "                    [--max-features N] [--threads N] "
-               "[--raw-counts]\n");
+               "[--raw-counts]\n"
+               "                    [--metrics-json FILE] [--progress] "
+               "[--deadline-s S]\n");
   return 2;
+}
+
+// Strict numeric parsing: the whole token must be consumed and in range.
+bool ParseLong(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+struct Options {
+  const char* graph_path = nullptr;
+  const char* out_path = nullptr;
+  const char* nodes_list = nullptr;
+  const char* metrics_json = nullptr;
+  bool all = false;
+  bool mask_start_label = false;
+  bool raw_counts = false;
+  bool progress = false;
+  long emax = -1;           // <0: keep config default
+  double dmax_percentile = 0.0;
+  long max_features = -1;   // <0: keep config default
+  long threads = 1;
+  double deadline_s = 0.0;  // <=0: no deadline
+};
+
+// Returns false (after printing an error) on unknown flags, missing values,
+// or malformed numbers.
+bool ParseArgs(int argc, char** argv, Options* options) {
+  auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
+    const char* value = nullptr;
+    if (is("--graph")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->graph_path = value;
+    } else if (is("--out")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->out_path = value;
+    } else if (is("--nodes")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->nodes_list = value;
+    } else if (is("--metrics-json")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->metrics_json = value;
+    } else if (is("--all")) {
+      options->all = true;
+    } else if (is("--mask-start-label")) {
+      options->mask_start_label = true;
+    } else if (is("--raw-counts")) {
+      options->raw_counts = true;
+    } else if (is("--progress")) {
+      options->progress = true;
+    } else if (is("--emax")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->emax) || options->emax < 1) {
+        std::fprintf(stderr, "error: invalid --emax value '%s'\n", value);
+        return false;
+      }
+    } else if (is("--dmax-percentile")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseDouble(value, &options->dmax_percentile) ||
+          options->dmax_percentile < 0.0 ||
+          options->dmax_percentile > 100.0) {
+        std::fprintf(stderr, "error: invalid --dmax-percentile value '%s'\n",
+                     value);
+        return false;
+      }
+    } else if (is("--max-features")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->max_features) ||
+          options->max_features < 0) {
+        std::fprintf(stderr, "error: invalid --max-features value '%s'\n",
+                     value);
+        return false;
+      }
+    } else if (is("--threads")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->threads) || options->threads < 0) {
+        std::fprintf(stderr, "error: invalid --threads value '%s'\n", value);
+        return false;
+      }
+    } else if (is("--deadline-s")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseDouble(value, &options->deadline_s) ||
+          options->deadline_s <= 0.0) {
+        std::fprintf(stderr, "error: invalid --deadline-s value '%s'\n",
+                     value);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -57,10 +170,13 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace hsgf;
 
-  const char* graph_path = FlagValue(argc, argv, "--graph");
-  if (graph_path == nullptr) return Usage();
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.graph_path == nullptr) return Usage();
+  if (options.all == (options.nodes_list != nullptr)) return Usage();
+
   std::string error;
-  auto graph = graph::ReadGraphFromFile(graph_path, &error);
+  auto graph = graph::ReadGraphFromFile(options.graph_path, &error);
   if (!graph.has_value()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
@@ -68,49 +184,70 @@ int main(int argc, char** argv) {
 
   // Node selection.
   std::vector<graph::NodeId> nodes;
-  if (const char* list = FlagValue(argc, argv, "--nodes"); list != nullptr) {
-    std::stringstream stream(list);
+  if (options.nodes_list != nullptr) {
+    std::stringstream stream(options.nodes_list);
     std::string token;
     while (std::getline(stream, token, ',')) {
-      long id = std::strtol(token.c_str(), nullptr, 10);
+      long id;
+      if (!ParseLong(token.c_str(), &id)) {
+        std::fprintf(stderr, "error: invalid node id '%s' in --nodes\n",
+                     token.c_str());
+        return Usage();
+      }
       if (id < 0 || id >= graph->num_nodes()) {
         std::fprintf(stderr, "error: node id %ld out of range\n", id);
         return 1;
       }
       nodes.push_back(static_cast<graph::NodeId>(id));
     }
-  } else if (FlagPresent(argc, argv, "--all")) {
-    for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
   } else {
-    return Usage();
+    for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
   }
   if (nodes.empty()) return Usage();
 
   core::ExtractorConfig config;
   config.census.keep_encodings = true;
-  if (const char* v = FlagValue(argc, argv, "--emax")) {
-    config.census.max_edges = std::atoi(v);
+  if (options.emax > 0) config.census.max_edges = static_cast<int>(options.emax);
+  config.dmax_percentile = options.dmax_percentile;
+  if (options.max_features >= 0) {
+    config.features.max_features = static_cast<int>(options.max_features);
   }
-  if (const char* v = FlagValue(argc, argv, "--dmax-percentile")) {
-    config.dmax_percentile = std::atof(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "--max-features")) {
-    config.features.max_features = std::atoi(v);
-  }
-  if (const char* v = FlagValue(argc, argv, "--threads")) {
-    config.num_threads = static_cast<unsigned>(std::atoi(v));
-  }
-  config.census.mask_start_label = FlagPresent(argc, argv, "--mask-start-label");
-  config.features.log1p_transform = !FlagPresent(argc, argv, "--raw-counts");
+  config.num_threads = static_cast<unsigned>(options.threads);
+  config.census.mask_start_label = options.mask_start_label;
+  config.features.log1p_transform = !options.raw_counts;
 
-  core::ExtractionResult result = core::ExtractFeatures(*graph, nodes, config);
+  core::Extractor extractor(*graph, config);
+
+  util::StopSource stop_source;
+  util::StopToken stop;
+  if (options.deadline_s > 0.0) {
+    stop_source.SetDeadlineAfter(options.deadline_s);
+    stop = stop_source.Token();
+  }
+  core::ProgressFn progress;
+  if (options.progress) {
+    progress = [](const core::ExtractionProgress& p) {
+      std::fprintf(stderr, "\r[hsgf_extract] %zu/%zu nodes, %lld subgraphs",
+                   p.nodes_done, p.nodes_total,
+                   static_cast<long long>(p.subgraphs_so_far));
+    };
+  }
+
+  core::ExtractionResult result = extractor.Run(nodes, stop, progress);
+  if (options.progress) std::fprintf(stderr, "\n");
+  if (result.stopped_early) {
+    std::fprintf(stderr,
+                 "warning: stopped early after %.3fs deadline; %zu/%zu nodes "
+                 "processed, emitting partial features\n",
+                 options.deadline_s, result.nodes_processed, nodes.size());
+  }
 
   std::ostream* out = &std::cout;
   std::ofstream file;
-  if (const char* path = FlagValue(argc, argv, "--out")) {
-    file.open(path);
+  if (options.out_path != nullptr) {
+    file.open(options.out_path);
     if (!file) {
-      std::fprintf(stderr, "error: cannot write %s\n", path);
+      std::fprintf(stderr, "error: cannot write %s\n", options.out_path);
       return 1;
     }
     out = &file;
@@ -143,11 +280,22 @@ int main(int argc, char** argv) {
     *out << '\n';
   }
 
+  if (options.metrics_json != nullptr) {
+    std::ofstream metrics_file(options.metrics_json);
+    if (!metrics_file) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.metrics_json);
+      return 1;
+    }
+    metrics_file << result.metrics.ToJson();
+  }
+
   std::fprintf(stderr,
-               "extracted %lld subgraphs over %zu nodes -> %d features "
-               "(emax=%d, dmax=%d)\n",
-               static_cast<long long>(result.total_subgraphs), nodes.size(),
+               "extracted %lld subgraphs over %zu/%zu nodes -> %d features "
+               "(emax=%d, dmax=%d, truncated=%lld)\n",
+               static_cast<long long>(result.total_subgraphs),
+               result.nodes_processed, nodes.size(),
                result.features.matrix.cols(), config.census.max_edges,
-               result.effective_dmax);
+               result.effective_dmax,
+               static_cast<long long>(result.truncated_nodes));
   return 0;
 }
