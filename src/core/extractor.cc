@@ -118,6 +118,15 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
   return result;
 }
 
+CensusResult Extractor::RunCensus(graph::NodeId node, util::StopToken stop) {
+  CensusWorker worker(graph_, census_config_, census_metrics_);
+  CensusResult result;
+  util::Stopwatch watch;
+  worker.Run(node, result, stop);
+  metrics_.Observe(hist_node_micros_, watch.ElapsedMicros());
+  return result;
+}
+
 ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
                                  const std::vector<graph::NodeId>& nodes,
                                  const ExtractorConfig& config) {

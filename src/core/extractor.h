@@ -89,6 +89,13 @@ class Extractor {
   // The dmax applied to every census of this session (0 = unlimited).
   int effective_dmax() const { return census_config_.max_degree; }
 
+  // Worker threads Run() fans out over. This is the single place where
+  // ExtractorConfig::num_threads == 0 resolves (to the hardware concurrency,
+  // inside ThreadPool); 1 means the census runs inline on the caller.
+  unsigned num_worker_threads() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+
   // Live registry backing this session's instrumentation; snapshot it at
   // any time (including concurrently with Run()) for in-flight metrics.
   util::MetricsRegistry& metrics() { return metrics_; }
@@ -106,6 +113,14 @@ class Extractor {
   ExtractionResult Run(const std::vector<graph::NodeId>& nodes);
   ExtractionResult Run(const std::vector<graph::NodeId>& nodes,
                        util::StopToken stop, ProgressFn progress = nullptr);
+
+  // Censuses a single node inline with the session's resolved configuration
+  // and instrumentation — the serving layer's cold-miss path. Produces
+  // exactly the counts a batch Run() would produce for this node (per-node
+  // censuses are independent). Builds a fresh O(V) worker per call; safe to
+  // call concurrently with other RunCensus() calls (the registry is
+  // thread-safe), but not concurrently with Run().
+  CensusResult RunCensus(graph::NodeId node, util::StopToken stop = {});
 
  private:
   const graph::HetGraph& graph_;

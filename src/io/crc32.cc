@@ -1,0 +1,39 @@
+#include "io/crc32.h"
+
+#include <array>
+
+namespace hsgf::io {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = state_;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  state_ = crc;
+}
+
+uint32_t Crc32Of(const void* data, size_t size) {
+  Crc32 crc;
+  crc.Update(data, size);
+  return crc.Value();
+}
+
+}  // namespace hsgf::io

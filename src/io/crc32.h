@@ -1,0 +1,31 @@
+#ifndef HSGF_IO_CRC32_H_
+#define HSGF_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hsgf::io {
+
+// Incremental CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG
+// variant). The snapshot format checksums the whole file with the stored
+// checksum field zeroed, so corruption anywhere — header or payload — is
+// detected by a single pass.
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void Update(const void* data, size_t size);
+
+  // The digest of everything fed so far. Update() may continue afterwards.
+  uint32_t Value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// One-shot convenience.
+uint32_t Crc32Of(const void* data, size_t size);
+
+}  // namespace hsgf::io
+
+#endif  // HSGF_IO_CRC32_H_

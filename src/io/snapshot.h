@@ -1,0 +1,223 @@
+#ifndef HSGF_IO_SNAPSHOT_H_
+#define HSGF_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/feature_matrix.h"
+#include "graph/het_graph.h"
+
+namespace hsgf::io {
+
+// Persistent feature-store snapshot (format v1): one self-contained binary
+// file holding an extraction's feature matrix plus everything needed to
+// interpret and re-derive it — the label alphabet, the encoding vocabulary
+// (feature hashes, per-column totals, canonical encodings), the per-node
+// metadata (original node ids + labels), and the census configuration
+// (emax, effective dmax, start-label masking, log1p, hash seed).
+//
+// The writer streams sections behind a fixed header and patches a CRC-32 of
+// the whole file (header checksum field zeroed) at the end; the reader mmaps
+// the file and serves every array zero-copy after validating magic, version,
+// section bounds, the CRC, and the structural invariants (so reads after a
+// successful open cannot go out of bounds). Byte layout is documented in
+// DESIGN.md §"Snapshot format & serving". Little-endian hosts only, like
+// every other binary path in this repo.
+
+enum class SnapshotErrorCode {
+  kOk = 0,
+  kIoError,       // open/read/write/mmap failed (message carries errno text)
+  kBadMagic,      // not a snapshot file
+  kBadVersion,    // snapshot from an incompatible format version
+  kTruncated,     // file shorter than the header or its section table claims
+  kCrcMismatch,   // bytes corrupted in place
+  kEmpty,         // zero rows or zero feature columns
+  kMalformed,     // internal inconsistency (bad offsets, counts, indices)
+};
+
+const char* SnapshotErrorCodeName(SnapshotErrorCode code);
+
+struct SnapshotError {
+  SnapshotErrorCode code = SnapshotErrorCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == SnapshotErrorCode::kOk; }
+};
+
+namespace snapshot_internal {
+
+inline constexpr char kMagic[8] = {'H', 'S', 'G', 'F', 'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr uint32_t kFlagLog1p = 1u << 0;
+inline constexpr uint32_t kFlagMaskStartLabel = 1u << 1;
+
+// Section order is also the physical order in the file.
+enum Section : int {
+  kLabelNames = 0,   // u32 count, then per label: u32 length + bytes
+  kNodeIds,          // i32[num_rows], row order
+  kNodeLabels,       // u8[num_rows]
+  kSortedRows,       // u32[num_rows], row indices ordered by ascending node id
+  kFeatureHashes,    // u64[num_cols], column order
+  kColumnTotals,     // f64[num_cols], sum of the stored column values
+  kEncodingOffsets,  // u64[num_cols + 1] into kEncodingBytes
+  kEncodingBytes,    // concatenated canonical encodings (may have empty runs)
+  kRowOffsets,       // u64[num_rows + 1] into the CSR arrays
+  kColIndices,       // u32[nnz]
+  kValues,           // f64[nnz]
+  kNumSections,
+};
+
+struct SectionRef {
+  uint64_t offset = 0;  // absolute, 8-byte aligned
+  uint64_t size = 0;    // bytes, before padding
+};
+
+struct Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t header_size;
+  uint32_t crc32;  // CRC-32 of the whole file with this field zeroed
+  uint32_t flags;
+  uint64_t hash_seed;
+  int32_t max_edges;
+  int32_t effective_dmax;
+  uint32_t num_labels;
+  uint32_t num_rows;
+  uint32_t num_cols;
+  uint32_t reserved0;
+  uint64_t nnz;
+  SectionRef sections[16];  // kNumSections used; the rest reserved as zero
+};
+
+static_assert(sizeof(Header) == 320, "snapshot header layout changed");
+
+}  // namespace snapshot_internal
+
+// Everything SaveSnapshot persists. Views borrow from the caller (notably
+// `features`); they must stay alive for the duration of the call only.
+struct SnapshotContents {
+  int max_edges = 5;
+  int effective_dmax = 0;  // 0 = unlimited
+  bool mask_start_label = false;
+  bool log1p_transform = true;
+  uint64_t hash_seed = 0;
+
+  std::vector<std::string> label_names;
+
+  // Row metadata, one entry per feature-matrix row, same order. Node ids
+  // must be unique (they key the serving-time row lookup).
+  std::vector<graph::NodeId> node_ids;
+  std::vector<graph::Label> node_labels;
+
+  const core::FeatureSet* features = nullptr;
+};
+
+// Assembles SnapshotContents from an extraction run: `nodes` is the node
+// list passed to Extractor::Run (row order), `config` the extractor config
+// the run used. The returned struct borrows result.features.
+SnapshotContents MakeSnapshotContents(const graph::HetGraph& graph,
+                                      const std::vector<graph::NodeId>& nodes,
+                                      const core::ExtractionResult& result,
+                                      const core::ExtractorConfig& config);
+
+// Writes the snapshot to `path` (overwriting). Fails closed with kEmpty on
+// zero rows/columns and kMalformed on inconsistent contents; nothing is a
+// valid snapshot at `path` after a failed save.
+bool SaveSnapshot(const std::string& path, const SnapshotContents& contents,
+                  SnapshotError* error = nullptr);
+
+// Read-only view of an open snapshot. Cheap to copy (copies share the
+// mapping); all span accessors point straight into the mapped file and stay
+// valid as long as any copy of the Snapshot lives.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  uint32_t num_rows() const { return header_->num_rows; }
+  uint32_t num_cols() const { return header_->num_cols; }
+  uint32_t num_labels() const { return header_->num_labels; }
+  uint64_t nnz() const { return header_->nnz; }
+  int max_edges() const { return header_->max_edges; }
+  int effective_dmax() const { return header_->effective_dmax; }
+  uint64_t hash_seed() const { return header_->hash_seed; }
+  bool log1p_transform() const {
+    return (header_->flags & snapshot_internal::kFlagLog1p) != 0;
+  }
+  bool mask_start_label() const {
+    return (header_->flags & snapshot_internal::kFlagMaskStartLabel) != 0;
+  }
+
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  // Row order matches the node list of the producing extraction.
+  std::span<const int32_t> node_ids() const { return node_ids_; }
+  std::span<const uint8_t> node_labels() const { return node_labels_; }
+
+  // Column order is BuildFeatureSet's: descending total count, ties by hash.
+  std::span<const uint64_t> feature_hashes() const { return feature_hashes_; }
+  std::span<const double> column_totals() const { return column_totals_; }
+
+  // Canonical encoding of column `col`; empty when the producing census did
+  // not materialize it (keep_encodings off or hash dropped).
+  core::Encoding EncodingOf(uint32_t col) const;
+
+  // Row index holding `node`, or -1 when the node is not in the snapshot
+  // (binary search over the sorted index; O(log num_rows)).
+  int64_t FindRow(graph::NodeId node) const;
+
+  struct SparseRow {
+    std::span<const uint32_t> cols;  // ascending
+    std::span<const double> values;
+  };
+  SparseRow Row(uint32_t row) const;
+
+  // The row expanded to a dense num_cols() vector.
+  std::vector<double> DenseRow(uint32_t row) const;
+
+  size_t file_size() const { return mapping_ ? mapping_->size : 0; }
+
+ private:
+  friend std::optional<Snapshot> OpenSnapshot(const std::string& path,
+                                              SnapshotError* error);
+
+  struct Mapping {
+    Mapping(const uint8_t* data_in, size_t size_in)
+        : data(data_in), size(size_in) {}
+    Mapping(const Mapping&) = delete;
+    Mapping& operator=(const Mapping&) = delete;
+    ~Mapping();
+
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+
+  std::shared_ptr<const Mapping> mapping_;
+  const snapshot_internal::Header* header_ = nullptr;
+  std::vector<std::string> label_names_;
+  std::span<const int32_t> node_ids_;
+  std::span<const uint8_t> node_labels_;
+  std::span<const uint32_t> sorted_rows_;
+  std::span<const uint64_t> feature_hashes_;
+  std::span<const double> column_totals_;
+  std::span<const uint64_t> encoding_offsets_;
+  std::span<const uint8_t> encoding_bytes_;
+  std::span<const uint64_t> row_offsets_;
+  std::span<const uint32_t> col_indices_;
+  std::span<const double> values_;
+};
+
+// Maps and validates the snapshot at `path`. On any failure returns
+// std::nullopt with a typed error; a returned Snapshot is fully validated
+// (every subsequent accessor is bounds-safe).
+std::optional<Snapshot> OpenSnapshot(const std::string& path,
+                                     SnapshotError* error = nullptr);
+
+}  // namespace hsgf::io
+
+#endif  // HSGF_IO_SNAPSHOT_H_

@@ -1,0 +1,292 @@
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/crc32.h"
+#include "io/snapshot.h"
+
+namespace hsgf::io {
+
+namespace {
+
+using snapshot_internal::Header;
+using snapshot_internal::SectionRef;
+
+void SetError(SnapshotError* error, SnapshotErrorCode code,
+              std::string message) {
+  if (error != nullptr) {
+    error->code = code;
+    error->message = std::move(message);
+  }
+}
+
+constexpr uint64_t Pad8(uint64_t size) { return (size + 7) & ~uint64_t{7}; }
+
+// Typed zero-copy view of a section; fails when the byte size does not match
+// the expected element count exactly.
+template <typename T>
+bool SectionSpan(const uint8_t* base, const SectionRef& ref, size_t count,
+                 std::span<const T>* out) {
+  if (ref.size != count * sizeof(T)) return false;
+  *out = {reinterpret_cast<const T*>(base + ref.offset), count};
+  return true;
+}
+
+}  // namespace
+
+Snapshot::Mapping::~Mapping() {
+  if (data != nullptr) {
+    munmap(const_cast<uint8_t*>(data), size);
+  }
+}
+
+core::Encoding Snapshot::EncodingOf(uint32_t col) const {
+  const uint64_t begin = encoding_offsets_[col];
+  const uint64_t end = encoding_offsets_[col + 1];
+  return core::Encoding(encoding_bytes_.begin() + begin,
+                        encoding_bytes_.begin() + end);
+}
+
+int64_t Snapshot::FindRow(graph::NodeId node) const {
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(sorted_rows_.size()) - 1;
+  while (lo <= hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    const graph::NodeId at = node_ids_[sorted_rows_[mid]];
+    if (at == node) return sorted_rows_[mid];
+    if (at < node) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+Snapshot::SparseRow Snapshot::Row(uint32_t row) const {
+  const uint64_t begin = row_offsets_[row];
+  const uint64_t end = row_offsets_[row + 1];
+  return {col_indices_.subspan(begin, end - begin),
+          values_.subspan(begin, end - begin)};
+}
+
+std::vector<double> Snapshot::DenseRow(uint32_t row) const {
+  std::vector<double> dense(num_cols(), 0.0);
+  const SparseRow sparse = Row(row);
+  for (size_t i = 0; i < sparse.cols.size(); ++i) {
+    dense[sparse.cols[i]] = sparse.values[i];
+  }
+  return dense;
+}
+
+std::optional<Snapshot> OpenSnapshot(const std::string& path,
+                                     SnapshotError* error) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, SnapshotErrorCode::kIoError,
+             "cannot open " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  struct stat st{};
+  if (fstat(fd, &st) != 0) {
+    SetError(error, SnapshotErrorCode::kIoError,
+             "fstat failed for " + path + ": " + std::strerror(errno));
+    close(fd);
+    return std::nullopt;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    SetError(error, SnapshotErrorCode::kTruncated, path + " is empty");
+    close(fd);
+    return std::nullopt;
+  }
+  void* mapped = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  close(fd);  // the mapping keeps the file alive
+  if (mapped == MAP_FAILED) {
+    SetError(error, SnapshotErrorCode::kIoError,
+             "mmap failed for " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+
+  auto mapping = std::make_shared<const Snapshot::Mapping>(
+      static_cast<const uint8_t*>(mapped), size);
+  const uint8_t* base = mapping->data;
+
+  // Identity first: a non-snapshot file should report bad magic, not
+  // truncation, whenever enough bytes exist to tell.
+  if (size >= sizeof(snapshot_internal::kMagic) &&
+      std::memcmp(base, snapshot_internal::kMagic,
+                  sizeof(snapshot_internal::kMagic)) != 0) {
+    SetError(error, SnapshotErrorCode::kBadMagic,
+             path + " is not an HSGF snapshot");
+    return std::nullopt;
+  }
+  if (size < sizeof(Header)) {
+    SetError(error, SnapshotErrorCode::kTruncated,
+             path + " is shorter than the snapshot header");
+    return std::nullopt;
+  }
+  const auto* header = reinterpret_cast<const Header*>(base);
+  if (header->version != snapshot_internal::kFormatVersion) {
+    SetError(error, SnapshotErrorCode::kBadVersion,
+             "snapshot format v" + std::to_string(header->version) +
+                 ", this build reads v" +
+                 std::to_string(snapshot_internal::kFormatVersion));
+    return std::nullopt;
+  }
+  if (header->header_size != sizeof(Header)) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "unexpected header size " + std::to_string(header->header_size));
+    return std::nullopt;
+  }
+
+  // Section table sanity before touching any section: every section must be
+  // aligned, in order, and the file must reach the end of the last one.
+  uint64_t expected_offset = sizeof(Header);
+  for (int s = 0; s < snapshot_internal::kNumSections; ++s) {
+    const SectionRef& ref = header->sections[s];
+    if (ref.offset != expected_offset) {
+      SetError(error, SnapshotErrorCode::kMalformed,
+               "section " + std::to_string(s) + " misplaced");
+      return std::nullopt;
+    }
+    expected_offset += Pad8(ref.size);
+  }
+  if (expected_offset > size) {
+    SetError(error, SnapshotErrorCode::kTruncated,
+             path + " truncated: sections need " +
+                 std::to_string(expected_offset) + " bytes, file has " +
+                 std::to_string(size));
+    return std::nullopt;
+  }
+
+  // Whole-file checksum with the stored checksum field zeroed.
+  Crc32 crc;
+  Header zeroed = *header;
+  zeroed.crc32 = 0;
+  crc.Update(&zeroed, sizeof(zeroed));
+  crc.Update(base + sizeof(Header), size - sizeof(Header));
+  if (crc.Value() != header->crc32) {
+    SetError(error, SnapshotErrorCode::kCrcMismatch,
+             path + " failed its checksum (corrupted)");
+    return std::nullopt;
+  }
+
+  if (header->num_rows == 0 || header->num_cols == 0) {
+    SetError(error, SnapshotErrorCode::kEmpty,
+             path + " holds an empty feature matrix");
+    return std::nullopt;
+  }
+  if (header->num_labels == 0 || header->num_labels > graph::kMaxLabels) {
+    SetError(error, SnapshotErrorCode::kMalformed, "bad label alphabet size");
+    return std::nullopt;
+  }
+
+  Snapshot snapshot;
+  snapshot.mapping_ = mapping;
+  snapshot.header_ = header;
+
+  using snapshot_internal::Section;
+  const size_t rows = header->num_rows;
+  const size_t cols = header->num_cols;
+  const size_t nnz = header->nnz;
+  std::span<const uint8_t> label_blob = {
+      base + header->sections[Section::kLabelNames].offset,
+      header->sections[Section::kLabelNames].size};
+  const bool spans_ok =
+      SectionSpan(base, header->sections[Section::kNodeIds], rows,
+                  &snapshot.node_ids_) &&
+      SectionSpan(base, header->sections[Section::kNodeLabels], rows,
+                  &snapshot.node_labels_) &&
+      SectionSpan(base, header->sections[Section::kSortedRows], rows,
+                  &snapshot.sorted_rows_) &&
+      SectionSpan(base, header->sections[Section::kFeatureHashes], cols,
+                  &snapshot.feature_hashes_) &&
+      SectionSpan(base, header->sections[Section::kColumnTotals], cols,
+                  &snapshot.column_totals_) &&
+      SectionSpan(base, header->sections[Section::kEncodingOffsets], cols + 1,
+                  &snapshot.encoding_offsets_) &&
+      SectionSpan(base, header->sections[Section::kRowOffsets], rows + 1,
+                  &snapshot.row_offsets_) &&
+      SectionSpan(base, header->sections[Section::kColIndices], nnz,
+                  &snapshot.col_indices_) &&
+      SectionSpan(base, header->sections[Section::kValues], nnz,
+                  &snapshot.values_);
+  if (!spans_ok) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "section sizes disagree with the header counts");
+    return std::nullopt;
+  }
+  snapshot.encoding_bytes_ = {
+      base + header->sections[Section::kEncodingBytes].offset,
+      header->sections[Section::kEncodingBytes].size};
+
+  // Structural invariants, so accessors never need bounds checks: offset
+  // arrays monotone and ending at their blob sizes, indices in range, the
+  // sorted row index strictly increasing by node id (implies a valid
+  // permutation with unique ids).
+  auto monotone = [](std::span<const uint64_t> offsets, uint64_t end) {
+    if (offsets.front() != 0 || offsets.back() != end) return false;
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) return false;
+    }
+    return true;
+  };
+  if (!monotone(snapshot.encoding_offsets_, snapshot.encoding_bytes_.size()) ||
+      !monotone(snapshot.row_offsets_, nnz)) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "non-monotone section offsets");
+    return std::nullopt;
+  }
+  for (uint32_t col : snapshot.col_indices_) {
+    if (col >= cols) {
+      SetError(error, SnapshotErrorCode::kMalformed,
+               "column index out of range");
+      return std::nullopt;
+    }
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    if (snapshot.sorted_rows_[i] >= rows ||
+        (i > 0 && snapshot.node_ids_[snapshot.sorted_rows_[i - 1]] >=
+                      snapshot.node_ids_[snapshot.sorted_rows_[i]])) {
+      SetError(error, SnapshotErrorCode::kMalformed, "bad sorted row index");
+      return std::nullopt;
+    }
+  }
+
+  // Label alphabet: u32 count, then u32 length + bytes per name.
+  {
+    size_t pos = 0;
+    auto read_u32 = [&](uint32_t* out) {
+      if (pos + sizeof(uint32_t) > label_blob.size()) return false;
+      std::memcpy(out, label_blob.data() + pos, sizeof(uint32_t));
+      pos += sizeof(uint32_t);
+      return true;
+    };
+    uint32_t count = 0;
+    if (!read_u32(&count) || count != header->num_labels) {
+      SetError(error, SnapshotErrorCode::kMalformed, "bad label name table");
+      return std::nullopt;
+    }
+    snapshot.label_names_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t length = 0;
+      if (!read_u32(&length) || pos + length > label_blob.size()) {
+        SetError(error, SnapshotErrorCode::kMalformed, "bad label name table");
+        return std::nullopt;
+      }
+      snapshot.label_names_.emplace_back(
+          reinterpret_cast<const char*>(label_blob.data() + pos), length);
+      pos += length;
+    }
+  }
+
+  SetError(error, SnapshotErrorCode::kOk, "");
+  return snapshot;
+}
+
+}  // namespace hsgf::io

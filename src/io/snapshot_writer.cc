@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+
+#include "io/crc32.h"
+#include "io/snapshot.h"
+
+namespace hsgf::io {
+
+namespace {
+
+using snapshot_internal::Header;
+using snapshot_internal::SectionRef;
+
+void SetError(SnapshotError* error, SnapshotErrorCode code,
+              std::string message) {
+  if (error != nullptr) {
+    error->code = code;
+    error->message = std::move(message);
+  }
+}
+
+constexpr uint64_t Pad8(uint64_t size) { return (size + 7) & ~uint64_t{7}; }
+
+// Appends one section's bytes to the stream and the running checksum,
+// 8-byte-padding the tail so every section starts aligned.
+class SectionStreamer {
+ public:
+  SectionStreamer(std::ofstream& out, Crc32& crc) : out_(out), crc_(crc) {}
+
+  void Write(const void* data, size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    crc_.Update(data, size);
+    written_ += size;
+  }
+
+  void FinishSection() {
+    static const char kZeros[8] = {};
+    const uint64_t padded = Pad8(written_);
+    if (padded > written_) Write(kZeros, padded - written_);
+    written_ = 0;
+  }
+
+ private:
+  std::ofstream& out_;
+  Crc32& crc_;
+  uint64_t written_ = 0;
+};
+
+}  // namespace
+
+const char* SnapshotErrorCodeName(SnapshotErrorCode code) {
+  switch (code) {
+    case SnapshotErrorCode::kOk: return "ok";
+    case SnapshotErrorCode::kIoError: return "io_error";
+    case SnapshotErrorCode::kBadMagic: return "bad_magic";
+    case SnapshotErrorCode::kBadVersion: return "bad_version";
+    case SnapshotErrorCode::kTruncated: return "truncated";
+    case SnapshotErrorCode::kCrcMismatch: return "crc_mismatch";
+    case SnapshotErrorCode::kEmpty: return "empty";
+    case SnapshotErrorCode::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+SnapshotContents MakeSnapshotContents(const graph::HetGraph& graph,
+                                      const std::vector<graph::NodeId>& nodes,
+                                      const core::ExtractionResult& result,
+                                      const core::ExtractorConfig& config) {
+  SnapshotContents contents;
+  contents.max_edges = config.census.max_edges;
+  contents.effective_dmax = result.effective_dmax;
+  contents.mask_start_label = config.census.mask_start_label;
+  contents.log1p_transform = config.features.log1p_transform;
+  contents.hash_seed = config.census.hash_seed;
+  contents.label_names = graph.label_names();
+  contents.node_ids = nodes;
+  contents.node_labels.reserve(nodes.size());
+  for (graph::NodeId v : nodes) contents.node_labels.push_back(graph.label(v));
+  contents.features = &result.features;
+  return contents;
+}
+
+bool SaveSnapshot(const std::string& path, const SnapshotContents& contents,
+                  SnapshotError* error) {
+  const core::FeatureSet* features = contents.features;
+  if (features == nullptr) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "SnapshotContents::features is null");
+    return false;
+  }
+  const size_t num_rows = contents.node_ids.size();
+  const size_t num_cols = features->feature_hashes.size();
+  if (num_rows == 0 || num_cols == 0) {
+    SetError(error, SnapshotErrorCode::kEmpty,
+             "refusing to save an empty snapshot (" +
+                 std::to_string(num_rows) + " rows, " +
+                 std::to_string(num_cols) + " feature columns)");
+    return false;
+  }
+  if (static_cast<size_t>(features->matrix.rows()) != num_rows ||
+      contents.node_labels.size() != num_rows) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "node_ids / node_labels / matrix row counts disagree");
+    return false;
+  }
+  if (static_cast<size_t>(features->matrix.cols()) != num_cols) {
+    SetError(error, SnapshotErrorCode::kMalformed,
+             "feature_hashes / matrix column counts disagree");
+    return false;
+  }
+  if (contents.label_names.empty() ||
+      contents.label_names.size() > graph::kMaxLabels) {
+    SetError(error, SnapshotErrorCode::kMalformed, "bad label alphabet size");
+    return false;
+  }
+  for (graph::Label label : contents.node_labels) {
+    if (static_cast<size_t>(label) >= contents.label_names.size()) {
+      SetError(error, SnapshotErrorCode::kMalformed,
+               "node label " + std::to_string(label) +
+                   " outside the label alphabet");
+      return false;
+    }
+  }
+
+  // Row lookup index: row indices ordered by ascending node id. Duplicate
+  // node ids would make serving-time lookup ambiguous — reject them.
+  std::vector<uint32_t> sorted_rows(num_rows);
+  std::iota(sorted_rows.begin(), sorted_rows.end(), 0u);
+  std::sort(sorted_rows.begin(), sorted_rows.end(),
+            [&](uint32_t a, uint32_t b) {
+              return contents.node_ids[a] < contents.node_ids[b];
+            });
+  for (size_t i = 1; i < num_rows; ++i) {
+    if (contents.node_ids[sorted_rows[i - 1]] ==
+        contents.node_ids[sorted_rows[i]]) {
+      SetError(error, SnapshotErrorCode::kMalformed,
+               "duplicate node id " +
+                   std::to_string(contents.node_ids[sorted_rows[i]]));
+      return false;
+    }
+  }
+
+  // CSR encode the matrix and the per-column totals of the stored values.
+  std::vector<uint64_t> row_offsets(num_rows + 1, 0);
+  std::vector<uint32_t> col_indices;
+  std::vector<double> values;
+  std::vector<double> column_totals(num_cols, 0.0);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double* row = features->matrix.row(static_cast<int>(r));
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (row[c] == 0.0) continue;
+      col_indices.push_back(static_cast<uint32_t>(c));
+      values.push_back(row[c]);
+      column_totals[c] += row[c];
+    }
+    row_offsets[r + 1] = col_indices.size();
+  }
+
+  // Encoding blob: per-column canonical encodings, empty when unknown.
+  std::vector<uint64_t> encoding_offsets(num_cols + 1, 0);
+  std::vector<uint8_t> encoding_bytes;
+  for (size_t c = 0; c < num_cols; ++c) {
+    auto it = features->encodings.find(features->feature_hashes[c]);
+    if (it != features->encodings.end()) {
+      encoding_bytes.insert(encoding_bytes.end(), it->second.begin(),
+                            it->second.end());
+    }
+    encoding_offsets[c + 1] = encoding_bytes.size();
+  }
+
+  // Label-name section: u32 count, then u32 length + bytes per name.
+  std::vector<uint8_t> label_blob;
+  auto put_u32 = [&label_blob](uint32_t v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    label_blob.insert(label_blob.end(), p, p + sizeof(v));
+  };
+  put_u32(static_cast<uint32_t>(contents.label_names.size()));
+  for (const std::string& name : contents.label_names) {
+    put_u32(static_cast<uint32_t>(name.size()));
+    label_blob.insert(label_blob.end(), name.begin(), name.end());
+  }
+
+  Header header{};
+  std::memcpy(header.magic, snapshot_internal::kMagic, sizeof(header.magic));
+  header.version = snapshot_internal::kFormatVersion;
+  header.header_size = sizeof(Header);
+  header.crc32 = 0;  // patched after streaming
+  header.flags = (contents.log1p_transform ? snapshot_internal::kFlagLog1p : 0u) |
+                 (contents.mask_start_label
+                      ? snapshot_internal::kFlagMaskStartLabel
+                      : 0u);
+  header.hash_seed = contents.hash_seed;
+  header.max_edges = contents.max_edges;
+  header.effective_dmax = contents.effective_dmax;
+  header.num_labels = static_cast<uint32_t>(contents.label_names.size());
+  header.num_rows = static_cast<uint32_t>(num_rows);
+  header.num_cols = static_cast<uint32_t>(num_cols);
+  header.nnz = col_indices.size();
+
+  struct SectionData {
+    const void* data;
+    uint64_t size;
+  };
+  const SectionData sections[snapshot_internal::kNumSections] = {
+      {label_blob.data(), label_blob.size()},
+      {contents.node_ids.data(), num_rows * sizeof(int32_t)},
+      {contents.node_labels.data(), num_rows * sizeof(uint8_t)},
+      {sorted_rows.data(), num_rows * sizeof(uint32_t)},
+      {features->feature_hashes.data(), num_cols * sizeof(uint64_t)},
+      {column_totals.data(), num_cols * sizeof(double)},
+      {encoding_offsets.data(), (num_cols + 1) * sizeof(uint64_t)},
+      {encoding_bytes.data(), encoding_bytes.size()},
+      {row_offsets.data(), (num_rows + 1) * sizeof(uint64_t)},
+      {col_indices.data(), col_indices.size() * sizeof(uint32_t)},
+      {values.data(), values.size() * sizeof(double)},
+  };
+
+  uint64_t offset = sizeof(Header);
+  for (int s = 0; s < snapshot_internal::kNumSections; ++s) {
+    header.sections[s] = SectionRef{offset, sections[s].size};
+    offset += Pad8(sections[s].size);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    SetError(error, SnapshotErrorCode::kIoError, "cannot open " + path);
+    return false;
+  }
+
+  // Stream header + sections while accumulating the file CRC (header's own
+  // checksum field is zero during the pass), then patch the checksum.
+  Crc32 crc;
+  crc.Update(&header, sizeof(header));
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  SectionStreamer streamer(out, crc);
+  for (const SectionData& section : sections) {
+    if (section.size > 0) streamer.Write(section.data, section.size);
+    streamer.FinishSection();
+  }
+
+  const uint32_t checksum = crc.Value();
+  out.seekp(offsetof(Header, crc32));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    SetError(error, SnapshotErrorCode::kIoError, "write failed for " + path);
+    return false;
+  }
+  SetError(error, SnapshotErrorCode::kOk, "");
+  return true;
+}
+
+}  // namespace hsgf::io

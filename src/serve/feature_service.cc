@@ -1,0 +1,161 @@
+#include "serve/feature_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "core/encoding.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
+
+namespace hsgf::serve {
+
+FeatureService::FeatureService(io::Snapshot snapshot,
+                               util::MetricsRegistry& metrics,
+                               FeatureServiceConfig config)
+    : snapshot_(std::move(snapshot)),
+      metrics_(metrics),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {
+  snapshot_hits_ = metrics_.Counter("serve.snapshot_hits");
+  cache_hits_ = metrics_.Counter("serve.cache_hits");
+  cache_misses_ = metrics_.Counter("serve.cache_misses");
+  not_found_ = metrics_.Counter("serve.not_found");
+  deadline_exceeded_ = metrics_.Counter("serve.deadline_exceeded");
+  cold_census_micros_ = metrics_.Histogram("serve.cold_census_micros");
+
+  const auto hashes = snapshot_.feature_hashes();
+  column_of_.reserve(hashes.size());
+  for (uint32_t c = 0; c < hashes.size(); ++c) column_of_.emplace(hashes[c], c);
+}
+
+bool FeatureService::AttachGraph(const graph::HetGraph& graph,
+                                 std::string* error) {
+  // Encoding hashes are a function of the label alphabet: a graph with a
+  // different alphabet would silently produce features in a different
+  // coordinate system, so refuse it.
+  if (graph.label_names() != snapshot_.label_names()) {
+    if (error != nullptr) {
+      *error = "graph label alphabet does not match the snapshot's";
+    }
+    return false;
+  }
+  core::ExtractorConfig config;
+  config.census.max_edges = snapshot_.max_edges();
+  config.census.max_degree = snapshot_.effective_dmax();
+  config.census.mask_start_label = snapshot_.mask_start_label();
+  config.census.hash_seed = snapshot_.hash_seed();
+  config.census.keep_encodings = false;  // vocabulary is fixed by the snapshot
+  config.num_threads = 1;                // cold misses are single-node
+  extractor_ = std::make_unique<core::Extractor>(graph, config);
+  return true;
+}
+
+FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node) {
+  const int64_t row = snapshot_.FindRow(node);
+  if (row >= 0) {
+    metrics_.Increment(snapshot_hits_);
+    return {Outcome::kOk, FeatureSource::kSnapshot,
+            snapshot_.DenseRow(static_cast<uint32_t>(row))};
+  }
+  if (auto cached = cache_.Get(node)) {
+    metrics_.Increment(cache_hits_);
+    return {Outcome::kOk, FeatureSource::kCache, std::move(*cached)};
+  }
+  if (extractor_ == nullptr || node < 0 ||
+      node >= extractor_->graph().num_nodes()) {
+    metrics_.Increment(not_found_);
+    return {Outcome::kNotFound, FeatureSource::kComputed, {}};
+  }
+  metrics_.Increment(cache_misses_);
+  return ComputeCold(node);
+}
+
+FeatureService::FeatureReply FeatureService::ComputeCold(graph::NodeId node) {
+  util::StopSource stop_source;
+  util::StopToken stop;
+  if (config_.cold_census_deadline_s > 0.0) {
+    stop_source.SetDeadlineAfter(config_.cold_census_deadline_s);
+    stop = stop_source.Token();
+  }
+  util::Stopwatch watch;
+  core::CensusResult census = extractor_->RunCensus(node, stop);
+  metrics_.Observe(cold_census_micros_, watch.ElapsedMicros());
+  if (census.stopped) {
+    // Partial counts would differ from what a full extraction produces;
+    // fail the request rather than serve (or cache) them.
+    metrics_.Increment(deadline_exceeded_);
+    return {Outcome::kDeadline, FeatureSource::kComputed, {}};
+  }
+
+  // Project the sparse census onto the snapshot's vocabulary — the same
+  // fill BuildFeatureSet performs, so values are bit-identical to the
+  // producing extraction's matrix row.
+  std::vector<double> values(snapshot_.num_cols(), 0.0);
+  const bool log1p = snapshot_.log1p_transform();
+  census.counts.ForEach([&](uint64_t hash, int64_t count) {
+    auto it = column_of_.find(hash);
+    if (it == column_of_.end()) return;
+    values[it->second] = log1p ? std::log1p(static_cast<double>(count))
+                               : static_cast<double>(count);
+  });
+  cache_.Put(node, values);
+  return {Outcome::kOk, FeatureSource::kComputed, std::move(values)};
+}
+
+std::vector<uint64_t> FeatureService::Vocabulary() const {
+  const auto hashes = snapshot_.feature_hashes();
+  return {hashes.begin(), hashes.end()};
+}
+
+std::vector<FeatureService::VocabularyEntry> FeatureService::TopKEncodings(
+    size_t k) const {
+  const size_t n = std::min<size_t>(k, snapshot_.num_cols());
+  const int effective_labels =
+      static_cast<int>(snapshot_.num_labels()) +
+      (snapshot_.mask_start_label() ? 1 : 0);
+  // Rank by the stored column totals. Columns arrive in BuildFeatureSet's
+  // raw-count order, which the log1p transform does not preserve, so a
+  // prefix of the column order is not the top-k of the stored values.
+  std::vector<uint32_t> order(snapshot_.num_cols());
+  std::iota(order.begin(), order.end(), 0u);
+  const auto totals = snapshot_.column_totals();
+  const auto hashes = snapshot_.feature_hashes();
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(n),
+                    order.end(), [&](uint32_t a, uint32_t b) {
+                      if (totals[a] != totals[b]) return totals[a] > totals[b];
+                      return hashes[a] < hashes[b];  // deterministic ties
+                    });
+  std::vector<VocabularyEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = order[i];
+    VocabularyEntry entry;
+    entry.hash = hashes[c];
+    entry.total = totals[c];
+    const core::Encoding encoding = snapshot_.EncodingOf(c);
+    entry.encoding = encoding.empty()
+                         ? "h" + std::to_string(entry.hash)
+                         : core::EncodingToString(encoding, effective_labels,
+                                                  snapshot_.label_names());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+FeatureService::Stats FeatureService::GetStats() const {
+  Stats stats;
+  stats.num_rows = snapshot_.num_rows();
+  stats.num_cols = snapshot_.num_cols();
+  stats.num_labels = snapshot_.num_labels();
+  stats.max_edges = snapshot_.max_edges();
+  stats.effective_dmax = snapshot_.effective_dmax();
+  stats.graph_attached = extractor_ != nullptr;
+  stats.cache_entries = cache_.size();
+  stats.cache_capacity = cache_.capacity();
+  stats.cache_evictions = cache_.evictions();
+  return stats;
+}
+
+}  // namespace hsgf::serve

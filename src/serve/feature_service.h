@@ -1,0 +1,125 @@
+#ifndef HSGF_SERVE_FEATURE_SERVICE_H_
+#define HSGF_SERVE_FEATURE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/extractor.h"
+#include "graph/het_graph.h"
+#include "io/snapshot.h"
+#include "util/lru_cache.h"
+#include "util/metrics.h"
+
+namespace hsgf::serve {
+
+// Where a served feature vector came from. Wire-stable (sent as u8 in
+// GetFeatures responses).
+enum class FeatureSource : uint8_t {
+  kSnapshot = 0,  // row was persisted in the snapshot
+  kCache = 1,     // previously computed on demand, still in the LRU
+  kComputed = 2,  // cold miss: censused on demand against the live graph
+};
+
+struct FeatureServiceConfig {
+  // Cold-miss LRU budget (entries) and shard count.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+
+  // Wall-clock budget for one on-demand census (<= 0: unlimited). A census
+  // that exceeds it is abandoned — partial counts are never served or
+  // cached, so everything returned stays bit-identical to a full extraction.
+  double cold_census_deadline_s = 10.0;
+};
+
+// Answers per-node feature queries from an open snapshot: rows persisted in
+// the snapshot are served zero-copy; nodes absent from it are censused on
+// demand against an attached graph (same emax/dmax/masking/seed as the
+// producing extraction, projected onto the snapshot's vocabulary) behind a
+// sharded LRU. All methods are safe to call concurrently: the snapshot is
+// immutable, the cache and the metrics registry are internally synchronized,
+// and each cold census runs on a private worker.
+class FeatureService {
+ public:
+  // Counters/histograms land in `metrics` under "serve.*" (names in
+  // DESIGN.md §"Snapshot format & serving"). The registry must outlive the
+  // service.
+  FeatureService(io::Snapshot snapshot, util::MetricsRegistry& metrics,
+                 FeatureServiceConfig config = {});
+
+  FeatureService(const FeatureService&) = delete;
+  FeatureService& operator=(const FeatureService&) = delete;
+
+  // Enables the cold-miss path. The graph must outlive the service and carry
+  // the snapshot's label alphabet (the encoding hashes depend on it);
+  // returns false with *error set on a mismatch.
+  bool AttachGraph(const graph::HetGraph& graph, std::string* error = nullptr);
+
+  const io::Snapshot& snapshot() const { return snapshot_; }
+  bool has_graph() const { return extractor_ != nullptr; }
+
+  enum class Outcome : uint8_t {
+    kOk = 0,
+    kNotFound = 1,  // node in neither the snapshot nor the attached graph
+    kDeadline = 2,  // cold census exceeded cold_census_deadline_s
+  };
+
+  struct FeatureReply {
+    Outcome outcome = Outcome::kOk;
+    FeatureSource source = FeatureSource::kSnapshot;
+    // Dense vector in the snapshot's column order (empty unless kOk).
+    std::vector<double> values;
+  };
+
+  FeatureReply GetFeatures(graph::NodeId node);
+
+  // The snapshot's column hashes, in column order.
+  std::vector<uint64_t> Vocabulary() const;
+
+  struct VocabularyEntry {
+    uint64_t hash = 0;
+    double total = 0.0;     // column total of the stored values
+    std::string encoding;   // rendered characteristic sequence, or "h<hash>"
+  };
+
+  // The k columns with the largest stored totals (descending, ties by
+  // hash), with decoded encodings.
+  std::vector<VocabularyEntry> TopKEncodings(size_t k) const;
+
+  struct Stats {
+    uint32_t num_rows = 0;
+    uint32_t num_cols = 0;
+    uint32_t num_labels = 0;
+    int max_edges = 0;
+    int effective_dmax = 0;
+    bool graph_attached = false;
+    size_t cache_entries = 0;
+    size_t cache_capacity = 0;
+    int64_t cache_evictions = 0;
+  };
+
+  Stats GetStats() const;
+
+ private:
+  FeatureReply ComputeCold(graph::NodeId node);
+
+  io::Snapshot snapshot_;
+  util::MetricsRegistry& metrics_;
+  FeatureServiceConfig config_;
+  std::unique_ptr<core::Extractor> extractor_;  // null until AttachGraph
+  std::unordered_map<uint64_t, uint32_t> column_of_;
+  util::ShardedLruCache<graph::NodeId, std::vector<double>> cache_;
+
+  util::MetricId snapshot_hits_ = util::kInvalidMetric;
+  util::MetricId cache_hits_ = util::kInvalidMetric;
+  util::MetricId cache_misses_ = util::kInvalidMetric;
+  util::MetricId not_found_ = util::kInvalidMetric;
+  util::MetricId deadline_exceeded_ = util::kInvalidMetric;
+  util::MetricId cold_census_micros_ = util::kInvalidMetric;
+};
+
+}  // namespace hsgf::serve
+
+#endif  // HSGF_SERVE_FEATURE_SERVICE_H_

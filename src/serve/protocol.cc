@@ -1,0 +1,244 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hsgf::serve {
+
+namespace {
+
+// Append-only little-endian writer over a std::string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF64(double v) { PutRaw(&v, sizeof(v)); }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+
+  std::string* out_;
+};
+
+// Bounds-checked little-endian reader; every getter returns false once the
+// payload is exhausted, so decoders fail closed on short frames.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI32(int32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetF64(double* v) { return GetRaw(v, sizeof(*v)); }
+
+  bool GetString(std::string* s) {
+    uint32_t length = 0;
+    if (!GetU32(&length) || length > Remaining()) return false;
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_), length);
+    pos_ += length;
+    return true;
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool GetRaw(void* out, size_t size) {
+    if (Remaining() < size) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+bool ReadExactly(int fd, void* buffer, size_t size) {
+  auto* bytes = static_cast<char*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = read(fd, bytes + done, size - done);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteExactly(int fd, const void* buffer, size_t size) {
+  const auto* bytes = static_cast<const char*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = write(fd, bytes + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  WireWriter writer(&payload);
+  writer.PutU8(static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case MessageType::kGetFeatures:
+      writer.PutI32(request.node);
+      break;
+    case MessageType::kTopKEncodings:
+      writer.PutU32(request.k);
+      break;
+    case MessageType::kGetVocabulary:
+    case MessageType::kStats:
+    case MessageType::kShutdown:
+      break;
+  }
+  return payload;
+}
+
+bool DecodeRequest(std::span<const uint8_t> payload, Request* request) {
+  WireReader reader(payload);
+  uint8_t type = 0;
+  if (!reader.GetU8(&type)) return false;
+  request->type = static_cast<MessageType>(type);
+  switch (request->type) {
+    case MessageType::kGetFeatures:
+      return reader.GetI32(&request->node) && reader.AtEnd();
+    case MessageType::kTopKEncodings:
+      return reader.GetU32(&request->k) && reader.AtEnd();
+    case MessageType::kGetVocabulary:
+    case MessageType::kStats:
+    case MessageType::kShutdown:
+      return reader.AtEnd();
+  }
+  return false;  // unknown message type
+}
+
+std::string EncodeResponse(MessageType type, const Response& response) {
+  std::string payload;
+  WireWriter writer(&payload);
+  writer.PutU8(static_cast<uint8_t>(response.status));
+  if (response.status != StatusCode::kOk) {
+    writer.PutString(response.text);
+    return payload;
+  }
+  switch (type) {
+    case MessageType::kGetFeatures:
+      writer.PutU8(response.source);
+      writer.PutU32(static_cast<uint32_t>(response.values.size()));
+      for (double v : response.values) writer.PutF64(v);
+      break;
+    case MessageType::kGetVocabulary:
+      writer.PutU32(static_cast<uint32_t>(response.hashes.size()));
+      for (uint64_t h : response.hashes) writer.PutU64(h);
+      break;
+    case MessageType::kTopKEncodings:
+      writer.PutU32(static_cast<uint32_t>(response.entries.size()));
+      for (const TopKEntry& entry : response.entries) {
+        writer.PutU64(entry.hash);
+        writer.PutF64(entry.total);
+        writer.PutString(entry.encoding);
+      }
+      break;
+    case MessageType::kStats:
+      writer.PutString(response.text);
+      break;
+    case MessageType::kShutdown:
+      break;
+  }
+  return payload;
+}
+
+bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
+                    Response* response) {
+  WireReader reader(payload);
+  uint8_t status = 0;
+  if (!reader.GetU8(&status)) return false;
+  response->status = static_cast<StatusCode>(status);
+  if (response->status != StatusCode::kOk) {
+    return reader.GetString(&response->text) && reader.AtEnd();
+  }
+  switch (type) {
+    case MessageType::kGetFeatures: {
+      uint32_t n = 0;
+      if (!reader.GetU8(&response->source) || !reader.GetU32(&n) ||
+          reader.Remaining() != n * sizeof(double)) {
+        return false;
+      }
+      response->values.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!reader.GetF64(&response->values[i])) return false;
+      }
+      return reader.AtEnd();
+    }
+    case MessageType::kGetVocabulary: {
+      uint32_t n = 0;
+      if (!reader.GetU32(&n) || reader.Remaining() != n * sizeof(uint64_t)) {
+        return false;
+      }
+      response->hashes.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!reader.GetU64(&response->hashes[i])) return false;
+      }
+      return reader.AtEnd();
+    }
+    case MessageType::kTopKEncodings: {
+      uint32_t n = 0;
+      if (!reader.GetU32(&n)) return false;
+      response->entries.clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        TopKEntry entry;
+        if (!reader.GetU64(&entry.hash) || !reader.GetF64(&entry.total) ||
+            !reader.GetString(&entry.encoding)) {
+          return false;
+        }
+        response->entries.push_back(std::move(entry));
+      }
+      return reader.AtEnd();
+    }
+    case MessageType::kStats:
+      return reader.GetString(&response->text) && reader.AtEnd();
+    case MessageType::kShutdown:
+      return reader.AtEnd();
+  }
+  return false;
+}
+
+bool ReadFrame(int fd, std::string* payload) {
+  uint32_t length = 0;
+  if (!ReadExactly(fd, &length, sizeof(length))) return false;
+  if (length > kMaxFrameBytes) return false;
+  payload->resize(length);
+  return length == 0 || ReadExactly(fd, payload->data(), length);
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  if (length > kMaxFrameBytes) return false;
+  return WriteExactly(fd, &length, sizeof(length)) &&
+         WriteExactly(fd, payload.data(), payload.size());
+}
+
+}  // namespace hsgf::serve

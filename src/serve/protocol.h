@@ -1,0 +1,79 @@
+#ifndef HSGF_SERVE_PROTOCOL_H_
+#define HSGF_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsgf::serve {
+
+// Wire protocol of the hsgf_serve daemon. Everything is little-endian.
+//
+// Frame:    [u32 length][payload: length bytes]
+// Request:  [u8 MessageType][type-specific body]
+// Response: [u8 StatusCode][body]
+//           status != kOk  -> body = string (error message)
+//           status == kOk  -> body depends on the request type (below)
+//
+// Strings are [u32 length][bytes]. The frame length covers the payload only
+// and is capped at kMaxFrameBytes so a garbage peer cannot trigger an
+// unbounded allocation.
+
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  kGetFeatures = 1,    // body: i32 node        -> u8 source, u32 n, f64[n]
+  kGetVocabulary = 2,  // body: empty           -> u32 n, u64 hash[n]
+  kTopKEncodings = 3,  // body: u32 k           -> u32 n, n x (u64 hash,
+                       //                          f64 total, string encoding)
+  kStats = 4,          // body: empty           -> string (JSON)
+  kShutdown = 5,       // body: empty           -> empty; daemon then exits
+};
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,    // node is in neither the snapshot nor the graph
+  kBadRequest = 2,  // undecodable payload or unknown message type
+  kError = 3,       // e.g. cold census deadline exceeded
+};
+
+struct Request {
+  MessageType type = MessageType::kGetFeatures;
+  int32_t node = 0;  // kGetFeatures
+  uint32_t k = 0;    // kTopKEncodings
+};
+
+struct TopKEntry {
+  uint64_t hash = 0;
+  double total = 0.0;
+  std::string encoding;  // human-readable characteristic sequence
+};
+
+struct Response {
+  StatusCode status = StatusCode::kOk;
+  uint8_t source = 0;             // kGetFeatures (serve::FeatureSource)
+  std::vector<double> values;     // kGetFeatures
+  std::vector<uint64_t> hashes;   // kGetVocabulary
+  std::vector<TopKEntry> entries; // kTopKEncodings
+  std::string text;               // kStats JSON, or the error message
+};
+
+std::string EncodeRequest(const Request& request);
+bool DecodeRequest(std::span<const uint8_t> payload, Request* request);
+
+// `type` selects which body layout an ok-status response carries.
+std::string EncodeResponse(MessageType type, const Response& response);
+bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
+                    Response* response);
+
+// Blocking framed I/O over a connected socket. ReadFrame returns false on
+// clean EOF, short reads, or an oversized length prefix; WriteFrame returns
+// false on write errors.
+bool ReadFrame(int fd, std::string* payload);
+bool WriteFrame(int fd, std::string_view payload);
+
+}  // namespace hsgf::serve
+
+#endif  // HSGF_SERVE_PROTOCOL_H_

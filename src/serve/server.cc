@@ -1,0 +1,244 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace hsgf::serve {
+
+namespace {
+
+// Latency histogram suffix per message type (indexed by type value - 1).
+const char* const kTypeNames[] = {"get_features", "get_vocabulary",
+                                  "top_k_encodings", "stats", "shutdown"};
+
+int TypeIndex(MessageType type) {
+  const int index = static_cast<int>(type) - 1;
+  return (index >= 0 && index < 5) ? index : -1;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(FeatureService& service,
+                           util::MetricsRegistry& metrics, ServerConfig config)
+    : service_(service), metrics_(metrics), config_(std::move(config)) {
+  connections_ = metrics_.Counter("serve.connections");
+  requests_total_ = metrics_.Counter("serve.requests_total");
+  bad_requests_ = metrics_.Counter("serve.bad_requests");
+  request_micros_ = metrics_.Histogram("serve.request_micros");
+  for (int i = 0; i < 5; ++i) {
+    request_micros_by_type_[i] = metrics_.Histogram(
+        std::string("serve.request_micros.") + kTypeNames[i]);
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    if (!config_.unix_socket_path.empty()) {
+      unlink(config_.unix_socket_path.c_str());
+    }
+  }
+}
+
+bool SocketServer::Start(std::string* error) {
+  const bool want_unix = !config_.unix_socket_path.empty();
+  const bool want_tcp = config_.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    if (error != nullptr) {
+      *error = "configure exactly one of unix_socket_path / tcp_port";
+    }
+    return false;
+  }
+
+  if (want_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, config_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    unlink(config_.unix_socket_path.c_str());  // clear a stale socket file
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error != nullptr) {
+        *error = "bind " + config_.unix_socket_path + ": " +
+                 std::strerror(errno);
+      }
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error != nullptr) {
+        *error = "bind 127.0.0.1:" + std::to_string(config_.tcp_port) + ": " +
+                 std::strerror(errno);
+      }
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stop_.load(std::memory_order_relaxed)) continue;
+      break;  // listener shut down (RequestStop) or unrecoverable
+    }
+    metrics_.Increment(connections_);
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void SocketServer::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+}
+
+void SocketServer::HandleConnection(int fd) {
+  std::string payload;
+  while (!stop_.load(std::memory_order_relaxed) && ReadFrame(fd, &payload)) {
+    util::Stopwatch watch;
+    Request request;
+    std::string encoded;
+    bool shutdown_requested = false;
+    if (!DecodeRequest(
+            {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+            &request)) {
+      metrics_.Increment(bad_requests_);
+      Response bad;
+      bad.status = StatusCode::kBadRequest;
+      bad.text = "undecodable request";
+      encoded = EncodeResponse(request.type, bad);
+    } else {
+      encoded = HandleRequest(request, &shutdown_requested);
+    }
+    const bool written = WriteFrame(fd, encoded);
+
+    metrics_.Increment(requests_total_);
+    const int64_t micros = watch.ElapsedMicros();
+    metrics_.Observe(request_micros_, micros);
+    const int type_index = TypeIndex(request.type);
+    if (type_index >= 0) {
+      metrics_.Observe(request_micros_by_type_[type_index], micros);
+    }
+
+    const int64_t served = requests_served_.fetch_add(1) + 1;
+    if (shutdown_requested ||
+        (config_.max_requests > 0 && served >= config_.max_requests)) {
+      RequestStop();
+      break;
+    }
+    if (!written) break;
+  }
+}
+
+std::string SocketServer::HandleRequest(const Request& request,
+                                        bool* shutdown) {
+  Response response;
+  switch (request.type) {
+    case MessageType::kGetFeatures: {
+      FeatureService::FeatureReply reply = service_.GetFeatures(request.node);
+      switch (reply.outcome) {
+        case FeatureService::Outcome::kOk:
+          response.source = static_cast<uint8_t>(reply.source);
+          response.values = std::move(reply.values);
+          break;
+        case FeatureService::Outcome::kNotFound:
+          response.status = StatusCode::kNotFound;
+          response.text = "node " + std::to_string(request.node) +
+                          " is in neither the snapshot nor the graph";
+          break;
+        case FeatureService::Outcome::kDeadline:
+          response.status = StatusCode::kError;
+          response.text = "cold census deadline exceeded for node " +
+                          std::to_string(request.node);
+          break;
+      }
+      break;
+    }
+    case MessageType::kGetVocabulary:
+      response.hashes = service_.Vocabulary();
+      break;
+    case MessageType::kTopKEncodings: {
+      for (FeatureService::VocabularyEntry& entry :
+           service_.TopKEncodings(request.k)) {
+        response.entries.push_back(
+            TopKEntry{entry.hash, entry.total, std::move(entry.encoding)});
+      }
+      break;
+    }
+    case MessageType::kStats:
+      response.text = StatsJson();
+      break;
+    case MessageType::kShutdown:
+      *shutdown = true;
+      break;
+  }
+  return EncodeResponse(request.type, response);
+}
+
+std::string SocketServer::StatsJson() const {
+  const FeatureService::Stats stats = service_.GetStats();
+  std::ostringstream out;
+  out << "{\"snapshot\":{\"rows\":" << stats.num_rows
+      << ",\"cols\":" << stats.num_cols << ",\"labels\":" << stats.num_labels
+      << ",\"emax\":" << stats.max_edges
+      << ",\"dmax\":" << stats.effective_dmax << "}"
+      << ",\"graph_attached\":" << (stats.graph_attached ? "true" : "false")
+      << ",\"cache\":{\"entries\":" << stats.cache_entries
+      << ",\"capacity\":" << stats.cache_capacity
+      << ",\"evictions\":" << stats.cache_evictions << "}"
+      << ",\"metrics\":" << metrics_.Snapshot().ToJson() << "}";
+  return out.str();
+}
+
+}  // namespace hsgf::serve

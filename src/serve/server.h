@@ -1,0 +1,80 @@
+#ifndef HSGF_SERVE_SERVER_H_
+#define HSGF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <string>
+
+#include "serve/feature_service.h"
+#include "serve/protocol.h"
+#include "util/metrics.h"
+
+namespace hsgf::serve {
+
+struct ServerConfig {
+  // Exactly one endpoint: a Unix domain socket path, or a loopback TCP port
+  // (0 picks an ephemeral port — read it back with tcp_port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;
+
+  // Stop serving after this many requests (0 = until a kShutdown request).
+  // Lets smoke tests bound the daemon's lifetime without signals.
+  int64_t max_requests = 0;
+};
+
+// Accept loop speaking the length-prefixed protocol (protocol.h) over a
+// Unix or TCP socket. Connections are handled sequentially — one request is
+// a hash probe or an mmap read in the common case, so the accept loop is not
+// the bottleneck until cold misses dominate; FeatureService is fully
+// thread-safe, so the loop can fan out to a worker pool without changes to
+// the service layer when that day comes.
+class SocketServer {
+ public:
+  SocketServer(FeatureService& service, util::MetricsRegistry& metrics,
+               ServerConfig config);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and listens. False (with *error set) on bad config or bind/listen
+  // failure.
+  bool Start(std::string* error);
+
+  // The bound TCP port (after Start); -1 for Unix endpoints.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  // Serves until a kShutdown request arrives, max_requests is exhausted, or
+  // RequestStop() is called. Blocking; run it on a dedicated thread if the
+  // caller needs to keep working.
+  void Serve();
+
+  // Makes Serve() return promptly; callable from any thread and from signal
+  // handlers (only async-signal-safe calls).
+  void RequestStop();
+
+ private:
+  void HandleConnection(int fd);
+  // Returns the encoded response; sets *shutdown for kShutdown requests.
+  std::string HandleRequest(const Request& request, bool* shutdown);
+  std::string StatsJson() const;
+
+  FeatureService& service_;
+  util::MetricsRegistry& metrics_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+
+  util::MetricId connections_ = util::kInvalidMetric;
+  util::MetricId requests_total_ = util::kInvalidMetric;
+  util::MetricId bad_requests_ = util::kInvalidMetric;
+  util::MetricId request_micros_ = util::kInvalidMetric;
+  util::MetricId request_micros_by_type_[6] = {
+      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric,
+      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric};
+};
+
+}  // namespace hsgf::serve
+
+#endif  // HSGF_SERVE_SERVER_H_

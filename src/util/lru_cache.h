@@ -1,0 +1,126 @@
+#ifndef HSGF_UTIL_LRU_CACHE_H_
+#define HSGF_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hsgf::util {
+
+// Thread-safe LRU cache, sharded by key hash so concurrent readers on
+// different keys do not serialize on one mutex (the serving layer fronts
+// on-demand censuses with this; a census is ~10^4-10^6x the cost of a probe,
+// so per-shard locking is plenty). Each shard is an intrusive-order LRU:
+// a doubly-linked list in recency order plus an index into it.
+//
+// Values are returned by copy — entries can be evicted by another thread the
+// moment the shard lock is released, so references would dangle.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across shards (each
+  // shard holds at least one entry). `num_shards` is rounded up to 1.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
+    if (num_shards == 0) num_shards = 1;
+    if (num_shards > capacity && capacity > 0) num_shards = capacity;
+    const size_t per_shard =
+        capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  // Returns a copy of the cached value and refreshes its recency, or
+  // std::nullopt on miss (capacity 0 always misses).
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  // Inserts or overwrites; the entry becomes most recent. Evicts the shard's
+  // least recent entry when over budget.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.capacity == 0) return;
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    if (shard.order.size() > shard.capacity) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  // Current entry count (summed across shards; approximate under writes).
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->order.size();
+    }
+    return total;
+  }
+
+  // Total entry budget across shards.
+  size_t capacity() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->capacity;
+    return total;
+  }
+
+  // Evictions since construction (summed across shards).
+  int64_t evictions() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->evictions;
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t capacity_in) : capacity(capacity_in) {}
+
+    const size_t capacity;
+    mutable std::mutex mutex;
+    std::list<std::pair<Key, Value>> order;  // front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+        index;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardOf(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  // unique_ptr: shards are immovable (mutex) but the vector is built once.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_LRU_CACHE_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "core/feature_matrix.h"
 #include "data/generator.h"
@@ -252,6 +253,79 @@ TEST(ExtractorTest, SmallerDmaxNeverIncreasesSubgraphCount) {
   ExtractionResult full = ExtractFeatures(graph, nodes, unlimited);
   ExtractionResult pruned = ExtractFeatures(graph, nodes, limited);
   EXPECT_LE(pruned.total_subgraphs, full.total_subgraphs);
+}
+
+TEST(ExtractorTest, ZeroThreadsResolvesToHardwareConcurrencyOnce) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 2;
+
+  // num_threads == 0 must resolve in exactly one place (the pool), and
+  // num_worker_threads() must report the resolved value, not the raw 0.
+  config.num_threads = 0;
+  Extractor auto_sized(graph, config);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  EXPECT_EQ(auto_sized.num_worker_threads(), hardware == 0 ? 1u : hardware);
+  EXPECT_GE(auto_sized.num_worker_threads(), 1u);
+
+  config.num_threads = 1;
+  Extractor inline_sized(graph, config);
+  EXPECT_EQ(inline_sized.num_worker_threads(), 1u);
+
+  config.num_threads = 3;
+  Extractor explicit_sized(graph, config);
+  EXPECT_EQ(explicit_sized.num_worker_threads(), 3u);
+
+  // The resolved pool still produces the single-threaded matrix.
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  ExtractionResult auto_result = auto_sized.Run(nodes);
+  ExtractionResult inline_result = inline_sized.Run(nodes);
+  ASSERT_EQ(auto_result.features.feature_hashes,
+            inline_result.features.feature_hashes);
+  EXPECT_EQ(auto_result.features.matrix.data(),
+            inline_result.features.matrix.data());
+}
+
+TEST(ExtractorTest, SingleNodeRunCensusMatchesBatchRun) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  config.features.log1p_transform = false;  // cells equal raw counts
+
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  Extractor extractor(graph, config);
+  ExtractionResult batch = extractor.Run(nodes);
+
+  // The serving layer's cold-miss path: every node censused alone must
+  // reproduce its batch matrix row exactly (bit-identical counts).
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    CensusResult solo = extractor.RunCensus(nodes[r]);
+    EXPECT_FALSE(solo.stopped);
+    int64_t nonzero = 0;
+    for (size_t c = 0; c < batch.features.feature_hashes.size(); ++c) {
+      const double cell =
+          batch.features.matrix(static_cast<int>(r), static_cast<int>(c));
+      EXPECT_EQ(cell, static_cast<double>(solo.counts.Get(
+                          batch.features.feature_hashes[c])))
+          << "node " << nodes[r] << " col " << c;
+      if (cell != 0.0) ++nonzero;
+    }
+    if (graph.degree(nodes[r]) > 0) {
+      EXPECT_GT(nonzero, 0) << "node " << nodes[r];
+    }
+  }
+}
+
+TEST(ExtractorTest, RunCensusHonorsStopToken) {
+  HetGraph graph = TestNetwork();
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  Extractor extractor(graph, config);
+  util::StopSource source;
+  source.RequestStop();
+  CensusResult result = extractor.RunCensus(0, source.Token());
+  EXPECT_TRUE(result.stopped);
 }
 
 TEST(ExtractorTest, MaskedStartLabelHidesOwnLabelFeature) {

@@ -1,0 +1,113 @@
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hsgf::util {
+namespace {
+
+// A single shard makes eviction order fully deterministic.
+using SingleShard = ShardedLruCache<int, std::string>;
+
+TEST(LruCacheTest, PutThenGet) {
+  SingleShard cache(4, 1);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.Get(1).value_or(""), "one");
+  EXPECT_EQ(cache.Get(2).value_or(""), "two");
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutOverwritesAndRefreshes) {
+  SingleShard cache(2, 1);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  cache.Put(1, "uno");  // overwrite; 1 becomes most recent
+  cache.Put(3, "three");  // evicts 2, the least recent
+  EXPECT_EQ(cache.Get(1).value_or(""), "uno");
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(3).value_or(""), "three");
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  SingleShard cache(3, 1);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  cache.Put(3, "c");
+  cache.Put(4, "d");  // evicts 1
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  SingleShard cache(2, 1);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 is now most recent
+  cache.Put(3, "c");                      // must evict 2, not 1
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  SingleShard cache(0, 4);
+  cache.Put(1, "a");
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(LruCacheTest, ShardCountClampsToCapacity) {
+  // 16 shards with capacity 3 would give most shards zero budget; the
+  // constructor clamps shards so every shard can hold an entry.
+  SingleShard cache(3, 16);
+  EXPECT_EQ(cache.num_shards(), 3u);
+  EXPECT_GE(cache.capacity(), 3u);
+  SingleShard zero_shards(8, 0);
+  EXPECT_EQ(zero_shards.num_shards(), 1u);
+}
+
+TEST(LruCacheTest, CapacitySpreadAcrossShards) {
+  SingleShard cache(8, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 8u);
+  // Overfill: total size can never exceed the per-shard budgets.
+  for (int i = 0; i < 100; ++i) cache.Put(i, "x");
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(LruCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  ShardedLruCache<int, int> cache(64, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 31 + i) % 200;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 2);
+        } else {
+          auto hit = cache.Get(key);
+          // Values are keyed deterministically, so a hit is always coherent.
+          if (hit.has_value()) {
+            EXPECT_EQ(*hit, key * 2);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace hsgf::util

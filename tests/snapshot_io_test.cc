@@ -1,0 +1,317 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "io/crc32.h"
+
+namespace hsgf::io {
+namespace {
+
+using core::ExtractionResult;
+using core::ExtractorConfig;
+using graph::HetGraph;
+using graph::NodeId;
+
+HetGraph TestNetwork() {
+  return data::MakeNetwork(data::LoadLikeSchema(0.03), 7);
+}
+
+ExtractorConfig TestConfig() {
+  ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  return config;
+}
+
+std::vector<NodeId> FirstNodes(const HetGraph& graph, int count) {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes() && v < count; ++v) {
+    nodes.push_back(v);
+  }
+  return nodes;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// The header's crc32 field sits right after magic[8] + version + header_size.
+constexpr size_t kCrcFieldOffset = 16;
+
+// Recomputes and patches the file CRC so header edits (e.g. the version
+// field) are the *only* thing the reader can object to.
+void RepatchCrc(std::string* bytes) {
+  ASSERT_GE(bytes->size(), kCrcFieldOffset + 4);
+  std::memset(bytes->data() + kCrcFieldOffset, 0, 4);
+  const uint32_t crc =
+      Crc32Of(reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size());
+  std::memcpy(bytes->data() + kCrcFieldOffset, &crc, 4);
+}
+
+struct SavedSnapshot {
+  HetGraph graph;
+  std::vector<NodeId> nodes;
+  ExtractionResult result;
+  std::string path;
+};
+
+SavedSnapshot SaveTestSnapshot(const char* filename) {
+  SavedSnapshot saved{TestNetwork(), {}, {}, TempPath(filename)};
+  saved.nodes = FirstNodes(saved.graph, 12);
+  core::Extractor extractor(saved.graph, TestConfig());
+  saved.result = extractor.Run(saved.nodes);
+  const SnapshotContents contents = MakeSnapshotContents(
+      saved.graph, saved.nodes, saved.result, TestConfig());
+  SnapshotError error;
+  EXPECT_TRUE(SaveSnapshot(saved.path, contents, &error))
+      << error.message;
+  return saved;
+}
+
+TEST(SnapshotIoTest, RoundTripPreservesEverything) {
+  SavedSnapshot saved = SaveTestSnapshot("roundtrip.hsnap");
+  const core::FeatureSet& features = saved.result.features;
+
+  SnapshotError error;
+  auto snapshot = OpenSnapshot(saved.path, &error);
+  ASSERT_TRUE(snapshot.has_value()) << error.message;
+
+  EXPECT_EQ(snapshot->num_rows(), saved.nodes.size());
+  EXPECT_EQ(snapshot->num_cols(), features.feature_hashes.size());
+  EXPECT_EQ(snapshot->num_labels(),
+            static_cast<uint32_t>(saved.graph.num_labels()));
+  EXPECT_EQ(snapshot->max_edges(), 3);
+  EXPECT_TRUE(snapshot->log1p_transform());
+  EXPECT_FALSE(snapshot->mask_start_label());
+  EXPECT_EQ(snapshot->label_names(), saved.graph.label_names());
+
+  // Row metadata.
+  ASSERT_EQ(snapshot->node_ids().size(), saved.nodes.size());
+  for (size_t i = 0; i < saved.nodes.size(); ++i) {
+    EXPECT_EQ(snapshot->node_ids()[i], saved.nodes[i]);
+    EXPECT_EQ(snapshot->node_labels()[i],
+              static_cast<uint8_t>(saved.graph.label(saved.nodes[i])));
+  }
+
+  // Vocabulary order and every matrix cell, bit for bit.
+  ASSERT_EQ(snapshot->feature_hashes().size(), features.feature_hashes.size());
+  for (size_t c = 0; c < features.feature_hashes.size(); ++c) {
+    EXPECT_EQ(snapshot->feature_hashes()[c], features.feature_hashes[c]);
+  }
+  for (uint32_t r = 0; r < snapshot->num_rows(); ++r) {
+    const std::vector<double> dense = snapshot->DenseRow(r);
+    ASSERT_EQ(dense.size(), snapshot->num_cols());
+    for (uint32_t c = 0; c < snapshot->num_cols(); ++c) {
+      EXPECT_EQ(dense[c], features.matrix(static_cast<int>(r),
+                                          static_cast<int>(c)))
+          << "row " << r << " col " << c;
+    }
+  }
+
+  // Column totals match the stored values.
+  for (uint32_t c = 0; c < snapshot->num_cols(); ++c) {
+    double total = 0.0;
+    for (uint32_t r = 0; r < snapshot->num_rows(); ++r) {
+      total += features.matrix(static_cast<int>(r), static_cast<int>(c));
+    }
+    EXPECT_DOUBLE_EQ(snapshot->column_totals()[c], total);
+  }
+
+  // Encodings survive when the census kept them.
+  int non_empty = 0;
+  for (uint32_t c = 0; c < snapshot->num_cols(); ++c) {
+    const core::Encoding encoding = snapshot->EncodingOf(c);
+    if (!encoding.empty()) ++non_empty;
+    const auto it = features.encodings.find(snapshot->feature_hashes()[c]);
+    if (it != features.encodings.end()) {
+      EXPECT_EQ(encoding, it->second);
+    }
+  }
+  EXPECT_GT(non_empty, 0);
+}
+
+TEST(SnapshotIoTest, FindRowLocatesEveryNodeAndRejectsStrangers) {
+  SavedSnapshot saved = SaveTestSnapshot("findrow.hsnap");
+  auto snapshot = OpenSnapshot(saved.path);
+  ASSERT_TRUE(snapshot.has_value());
+  for (size_t i = 0; i < saved.nodes.size(); ++i) {
+    const int64_t row = snapshot->FindRow(saved.nodes[i]);
+    ASSERT_GE(row, 0);
+    EXPECT_EQ(snapshot->node_ids()[static_cast<size_t>(row)], saved.nodes[i]);
+  }
+  EXPECT_EQ(snapshot->FindRow(-1), -1);
+  EXPECT_EQ(snapshot->FindRow(saved.graph.num_nodes() + 100), -1);
+}
+
+TEST(SnapshotIoTest, SparseRowsMatchDenseRows) {
+  SavedSnapshot saved = SaveTestSnapshot("sparse.hsnap");
+  auto snapshot = OpenSnapshot(saved.path);
+  ASSERT_TRUE(snapshot.has_value());
+  for (uint32_t r = 0; r < snapshot->num_rows(); ++r) {
+    const Snapshot::SparseRow row = snapshot->Row(r);
+    ASSERT_EQ(row.cols.size(), row.values.size());
+    std::vector<double> rebuilt(snapshot->num_cols(), 0.0);
+    uint32_t prev_col = 0;
+    for (size_t i = 0; i < row.cols.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GT(row.cols[i], prev_col);  // strictly ascending
+      }
+      prev_col = row.cols[i];
+      EXPECT_NE(row.values[i], 0.0);  // zeros are not stored
+      rebuilt[row.cols[i]] = row.values[i];
+    }
+    EXPECT_EQ(rebuilt, snapshot->DenseRow(r));
+  }
+}
+
+TEST(SnapshotIoTest, MissingFileIsIoError) {
+  SnapshotError error;
+  auto snapshot = OpenSnapshot(TempPath("does-not-exist.hsnap"), &error);
+  EXPECT_FALSE(snapshot.has_value());
+  EXPECT_EQ(error.code, SnapshotErrorCode::kIoError);
+}
+
+TEST(SnapshotIoTest, BadMagicIsDetected) {
+  SavedSnapshot saved = SaveTestSnapshot("badmagic.hsnap");
+  std::string bytes = ReadFileBytes(saved.path);
+  bytes[0] = 'X';
+  const std::string path = TempPath("badmagic-patched.hsnap");
+  WriteFileBytes(path, bytes);
+  SnapshotError error;
+  EXPECT_FALSE(OpenSnapshot(path, &error).has_value());
+  EXPECT_EQ(error.code, SnapshotErrorCode::kBadMagic);
+}
+
+TEST(SnapshotIoTest, WrongVersionIsDetectedEvenWithValidCrc) {
+  SavedSnapshot saved = SaveTestSnapshot("badversion.hsnap");
+  std::string bytes = ReadFileBytes(saved.path);
+  const uint32_t bad_version = 99;
+  std::memcpy(bytes.data() + 8, &bad_version, 4);  // version follows magic
+  RepatchCrc(&bytes);
+  const std::string path = TempPath("badversion-patched.hsnap");
+  WriteFileBytes(path, bytes);
+  SnapshotError error;
+  EXPECT_FALSE(OpenSnapshot(path, &error).has_value());
+  EXPECT_EQ(error.code, SnapshotErrorCode::kBadVersion);
+}
+
+TEST(SnapshotIoTest, TruncationIsDetected) {
+  SavedSnapshot saved = SaveTestSnapshot("truncated.hsnap");
+  const std::string bytes = ReadFileBytes(saved.path);
+  // Chop at several depths: mid-payload, mid-header, and to nothing. Every
+  // cut must fail closed as kTruncated (never a crash, never success).
+  const size_t cuts[] = {bytes.size() - 1, bytes.size() / 2, 300, 64, 0};
+  for (size_t cut : cuts) {
+    const std::string path = TempPath("truncated-cut.hsnap");
+    WriteFileBytes(path, bytes.substr(0, cut));
+    SnapshotError error;
+    EXPECT_FALSE(OpenSnapshot(path, &error).has_value()) << "cut=" << cut;
+    EXPECT_EQ(error.code, SnapshotErrorCode::kTruncated) << "cut=" << cut;
+  }
+}
+
+TEST(SnapshotIoTest, FlippedPayloadByteIsCrcMismatch) {
+  SavedSnapshot saved = SaveTestSnapshot("bitrot.hsnap");
+  std::string bytes = ReadFileBytes(saved.path);
+  ASSERT_GT(bytes.size(), 400u);
+  // One flip in the payload, one in a header count field; both must be
+  // caught by the whole-file checksum.
+  for (size_t victim : {bytes.size() - 5, size_t{40}}) {
+    std::string corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x40);
+    const std::string path = TempPath("bitrot-patched.hsnap");
+    WriteFileBytes(path, corrupt);
+    SnapshotError error;
+    EXPECT_FALSE(OpenSnapshot(path, &error).has_value()) << victim;
+    EXPECT_EQ(error.code, SnapshotErrorCode::kCrcMismatch) << victim;
+  }
+}
+
+TEST(SnapshotIoTest, SaveRejectsEmptyContents) {
+  core::FeatureSet empty_features;
+  SnapshotContents contents;
+  contents.label_names = {"a", "b"};
+  contents.features = &empty_features;
+  SnapshotError error;
+  EXPECT_FALSE(SaveSnapshot(TempPath("empty.hsnap"), contents, &error));
+  EXPECT_EQ(error.code, SnapshotErrorCode::kEmpty);
+}
+
+TEST(SnapshotIoTest, SaveRejectsInconsistentContents) {
+  SavedSnapshot saved = SaveTestSnapshot("malformed-src.hsnap");
+  const SnapshotContents good = MakeSnapshotContents(
+      saved.graph, saved.nodes, saved.result, TestConfig());
+
+  {  // Node-id count disagrees with the matrix row count.
+    SnapshotContents bad = good;
+    bad.node_ids.pop_back();
+    SnapshotError error;
+    EXPECT_FALSE(SaveSnapshot(TempPath("malformed.hsnap"), bad, &error));
+    EXPECT_EQ(error.code, SnapshotErrorCode::kMalformed);
+  }
+  {  // Duplicate node ids would make the serving-time lookup ambiguous.
+    SnapshotContents bad = good;
+    bad.node_ids.back() = bad.node_ids.front();
+    SnapshotError error;
+    EXPECT_FALSE(SaveSnapshot(TempPath("malformed.hsnap"), bad, &error));
+    EXPECT_EQ(error.code, SnapshotErrorCode::kMalformed);
+  }
+  {  // A node label outside the label alphabet.
+    SnapshotContents bad = good;
+    bad.node_labels.back() =
+        static_cast<graph::Label>(bad.label_names.size() + 3);
+    SnapshotError error;
+    EXPECT_FALSE(SaveSnapshot(TempPath("malformed.hsnap"), bad, &error));
+    EXPECT_EQ(error.code, SnapshotErrorCode::kMalformed);
+  }
+}
+
+TEST(SnapshotIoTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(SnapshotErrorCodeName(SnapshotErrorCode::kOk), "ok");
+  EXPECT_STREQ(SnapshotErrorCodeName(SnapshotErrorCode::kCrcMismatch),
+               "crc_mismatch");
+  EXPECT_STREQ(SnapshotErrorCodeName(SnapshotErrorCode::kTruncated),
+               "truncated");
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32Of(reinterpret_cast<const uint8_t*>(data), 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "heterogeneous subgraph features";
+  Crc32 crc;
+  crc.Update(reinterpret_cast<const uint8_t*>(data.data()), 10);
+  crc.Update(reinterpret_cast<const uint8_t*>(data.data()) + 10,
+             data.size() - 10);
+  EXPECT_EQ(crc.Value(),
+            Crc32Of(reinterpret_cast<const uint8_t*>(data.data()),
+                    data.size()));
+}
+
+}  // namespace
+}  // namespace hsgf::io

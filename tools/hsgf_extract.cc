@@ -10,12 +10,19 @@
 //                [--emax 5] [--dmax-percentile 90] [--mask-start-label]
 //                [--max-features 1000] [--threads 1] [--raw-counts]
 //                [--metrics-json m.json] [--progress] [--deadline-s 60]
+//                [--save-snapshot s.hsnap]
+//   hsgf_extract --load-snapshot s.hsnap [--out features.csv]
 //
 // Observability: --metrics-json dumps the extraction's metrics snapshot
 // (census counters, per-node time histogram, per-stage spans; schema in
 // DESIGN.md §Observability), --progress reports per-node completion on
 // stderr, and --deadline-s cancels the extraction after a wall-clock
 // budget, still emitting the partial feature matrix.
+//
+// Persistence: --save-snapshot writes the extraction to the binary feature
+// store (src/io/snapshot.h) for hsgf_serve to answer queries from;
+// --load-snapshot re-emits a saved snapshot as the identical CSV without
+// re-running the census (round-trip: the two CSVs are byte-identical).
 //
 // Example:
 //   ./hsgf_extract --graph citations.hsgf --all --emax 4 --out f.csv
@@ -32,6 +39,7 @@
 #include "core/encoding.h"
 #include "core/extractor.h"
 #include "graph/io.h"
+#include "io/snapshot.h"
 #include "util/stop_token.h"
 
 namespace {
@@ -45,7 +53,9 @@ int Usage() {
                "                    [--max-features N] [--threads N] "
                "[--raw-counts]\n"
                "                    [--metrics-json FILE] [--progress] "
-               "[--deadline-s S]\n");
+               "[--deadline-s S]\n"
+               "                    [--save-snapshot FILE]\n"
+               "       hsgf_extract --load-snapshot FILE [--out FILE]\n");
   return 2;
 }
 
@@ -75,6 +85,8 @@ struct Options {
   const char* out_path = nullptr;
   const char* nodes_list = nullptr;
   const char* metrics_json = nullptr;
+  const char* save_snapshot = nullptr;
+  const char* load_snapshot = nullptr;
   bool all = false;
   bool mask_start_label = false;
   bool raw_counts = false;
@@ -112,6 +124,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (is("--metrics-json")) {
       if ((value = value_of(i)) == nullptr) return false;
       options->metrics_json = value;
+    } else if (is("--save-snapshot")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->save_snapshot = value;
+    } else if (is("--load-snapshot")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->load_snapshot = value;
     } else if (is("--all")) {
       options->all = true;
     } else if (is("--mask-start-label")) {
@@ -165,6 +183,67 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   return true;
 }
 
+// CSV header cell for one feature column: the decoded characteristic
+// sequence with CSV-hostile characters replaced, or "h<hash>" when the
+// canonical encoding was not materialized. Shared by the extraction and
+// --load-snapshot paths so their CSVs are byte-identical.
+std::string FeatureColumnName(const hsgf::core::Encoding& encoding,
+                              uint64_t hash, int effective_labels,
+                              const std::vector<std::string>& label_names) {
+  if (encoding.empty()) return "h" + std::to_string(hash);
+  std::string name =
+      hsgf::core::EncodingToString(encoding, effective_labels, label_names);
+  for (char& c : name) {
+    if (c == ',' || c == ' ') c = '.';
+  }
+  return name;
+}
+
+// --load-snapshot: re-emit a saved snapshot as the extraction CSV.
+int LoadSnapshotToCsv(const Options& options) {
+  using namespace hsgf;
+  io::SnapshotError snap_error;
+  auto snapshot = io::OpenSnapshot(options.load_snapshot, &snap_error);
+  if (!snapshot.has_value()) {
+    std::fprintf(stderr, "error: cannot open snapshot (%s): %s\n",
+                 io::SnapshotErrorCodeName(snap_error.code),
+                 snap_error.message.c_str());
+    return 1;
+  }
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (options.out_path != nullptr) {
+    file.open(options.out_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.out_path);
+      return 1;
+    }
+    out = &file;
+  }
+
+  const int effective_labels = static_cast<int>(snapshot->num_labels()) +
+                               (snapshot->mask_start_label() ? 1 : 0);
+  *out << "node";
+  for (uint32_t c = 0; c < snapshot->num_cols(); ++c) {
+    *out << ','
+         << FeatureColumnName(snapshot->EncodingOf(c),
+                              snapshot->feature_hashes()[c], effective_labels,
+                              snapshot->label_names());
+  }
+  *out << '\n';
+  for (uint32_t r = 0; r < snapshot->num_rows(); ++r) {
+    *out << snapshot->node_ids()[r];
+    for (double v : snapshot->DenseRow(r)) *out << ',' << v;
+    *out << '\n';
+  }
+
+  std::fprintf(stderr, "loaded snapshot %s: %u rows x %u features\n",
+               options.load_snapshot, snapshot->num_rows(),
+               snapshot->num_cols());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +251,17 @@ int main(int argc, char** argv) {
 
   Options options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.load_snapshot != nullptr) {
+    // Load mode replays a saved extraction; flags that drive a live census
+    // make no sense here.
+    if (options.graph_path != nullptr || options.all ||
+        options.nodes_list != nullptr || options.save_snapshot != nullptr) {
+      std::fprintf(stderr,
+                   "error: --load-snapshot combines only with --out\n");
+      return Usage();
+    }
+    return LoadSnapshotToCsv(options);
+  }
   if (options.graph_path == nullptr) return Usage();
   if (options.all == (options.nodes_list != nullptr)) return Usage();
 
@@ -259,17 +349,12 @@ int main(int argc, char** argv) {
   *out << "node";
   for (uint64_t hash : result.features.feature_hashes) {
     auto it = result.features.encodings.find(hash);
-    *out << ',';
-    if (it != result.features.encodings.end()) {
-      std::string name = core::EncodingToString(it->second, effective_labels,
-                                                graph->label_names());
-      for (char& c : name) {
-        if (c == ',' || c == ' ') c = '.';
-      }
-      *out << name;
-    } else {
-      *out << "h" << hash;
-    }
+    static const core::Encoding kNoEncoding;
+    const core::Encoding& encoding =
+        it != result.features.encodings.end() ? it->second : kNoEncoding;
+    *out << ','
+         << FeatureColumnName(encoding, hash, effective_labels,
+                              graph->label_names());
   }
   *out << '\n';
   for (size_t r = 0; r < nodes.size(); ++r) {
@@ -278,6 +363,26 @@ int main(int argc, char** argv) {
       *out << ',' << result.features.matrix(static_cast<int>(r), c);
     }
     *out << '\n';
+  }
+
+  if (options.save_snapshot != nullptr) {
+    if (result.stopped_early) {
+      std::fprintf(stderr,
+                   "warning: saving a snapshot of a stopped-early extraction; "
+                   "unprocessed rows are all zeros\n");
+    }
+    io::SnapshotContents contents =
+        io::MakeSnapshotContents(*graph, nodes, result, config);
+    io::SnapshotError snap_error;
+    if (!io::SaveSnapshot(options.save_snapshot, contents, &snap_error)) {
+      std::fprintf(stderr, "error: cannot save snapshot (%s): %s\n",
+                   io::SnapshotErrorCodeName(snap_error.code),
+                   snap_error.message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved snapshot %s (%zu rows x %d features)\n",
+                 options.save_snapshot, nodes.size(),
+                 result.features.matrix.cols());
   }
 
   if (options.metrics_json != nullptr) {

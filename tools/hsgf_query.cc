@@ -1,0 +1,294 @@
+// hsgf_query — client for the hsgf_serve daemon.
+//
+// Speaks the length-prefixed protocol in src/serve/protocol.h over a Unix or
+// loopback TCP socket. Feature rows print as CSV (`node,v1,v2,...`) with the
+// same stream formatting hsgf_extract uses, so a served row is textually
+// identical to the corresponding row of the extraction CSV.
+//
+// Usage:
+//   hsgf_query (--unix-socket PATH | --tcp-port N)
+//              [--nodes 1,5,9] [--vocab] [--top-k N] [--stats] [--shutdown]
+//
+// Actions run in the order listed above, over one connection. --verbose
+// reports each feature row's source (snapshot / cache / computed) on stderr.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace {
+
+using hsgf::serve::DecodeResponse;
+using hsgf::serve::EncodeRequest;
+using hsgf::serve::MessageType;
+using hsgf::serve::ReadFrame;
+using hsgf::serve::Request;
+using hsgf::serve::Response;
+using hsgf::serve::StatusCode;
+using hsgf::serve::WriteFrame;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hsgf_query (--unix-socket PATH | --tcp-port N)\n"
+               "                  [--nodes id,id,...] [--vocab] [--top-k N]\n"
+               "                  [--stats] [--shutdown] [--verbose]\n");
+  return 2;
+}
+
+bool ParseLong(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+struct Options {
+  const char* unix_socket = nullptr;
+  const char* nodes_list = nullptr;
+  long tcp_port = -1;
+  long top_k = -1;
+  bool vocab = false;
+  bool stats = false;
+  bool shutdown = false;
+  bool verbose = false;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
+    const char* value = nullptr;
+    if (is("--unix-socket")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->unix_socket = value;
+    } else if (is("--nodes")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->nodes_list = value;
+    } else if (is("--tcp-port")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->tcp_port) || options->tcp_port < 0 ||
+          options->tcp_port > 65535) {
+        std::fprintf(stderr, "error: invalid --tcp-port value '%s'\n", value);
+        return false;
+      }
+    } else if (is("--top-k")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->top_k) || options->top_k < 1) {
+        std::fprintf(stderr, "error: invalid --top-k value '%s'\n", value);
+        return false;
+      }
+    } else if (is("--vocab")) {
+      options->vocab = true;
+    } else if (is("--stats")) {
+      options->stats = true;
+    } else if (is("--shutdown")) {
+      options->shutdown = true;
+    } else if (is("--verbose")) {
+      options->verbose = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Connect(const Options& options) {
+  if (options.unix_socket != nullptr) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (std::strlen(options.unix_socket) >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "error: unix socket path too long\n");
+      return -1;
+    }
+    std::strncpy(addr.sun_path, options.unix_socket,
+                 sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+      std::fprintf(stderr, "error: connect unix:%s: %s\n",
+                   options.unix_socket, std::strerror(errno));
+      if (fd >= 0) close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: connect tcp:127.0.0.1:%ld: %s\n",
+                 options.tcp_port, std::strerror(errno));
+    if (fd >= 0) close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one request and decodes the reply. False on transport or protocol
+// failure; a non-ok status is returned to the caller for reporting.
+bool RoundTrip(int fd, const Request& request, Response* response) {
+  if (!WriteFrame(fd, EncodeRequest(request))) {
+    std::fprintf(stderr, "error: write failed\n");
+    return false;
+  }
+  std::string payload;
+  if (!ReadFrame(fd, &payload)) {
+    std::fprintf(stderr, "error: connection closed mid-reply\n");
+    return false;
+  }
+  if (!DecodeResponse(
+          request.type,
+          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+          response)) {
+    std::fprintf(stderr, "error: undecodable response\n");
+    return false;
+  }
+  return true;
+}
+
+const char* SourceName(uint8_t source) {
+  switch (source) {
+    case 0: return "snapshot";
+    case 1: return "cache";
+    case 2: return "computed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if ((options.unix_socket != nullptr) == (options.tcp_port >= 0)) {
+    return Usage();
+  }
+  if (options.nodes_list == nullptr && !options.vocab && options.top_k < 0 &&
+      !options.stats && !options.shutdown) {
+    return Usage();
+  }
+
+  std::vector<long> nodes;
+  if (options.nodes_list != nullptr) {
+    std::stringstream stream(options.nodes_list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      long id;
+      if (!ParseLong(token.c_str(), &id)) {
+        std::fprintf(stderr, "error: invalid node id '%s' in --nodes\n",
+                     token.c_str());
+        return Usage();
+      }
+      nodes.push_back(id);
+    }
+  }
+
+  const int fd = Connect(options);
+  if (fd < 0) return 1;
+  int exit_code = 0;
+
+  for (long node : nodes) {
+    Request request;
+    request.type = MessageType::kGetFeatures;
+    request.node = static_cast<int32_t>(node);
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    if (response.status != StatusCode::kOk) {
+      std::fprintf(stderr, "error: node %ld: %s\n", node,
+                   response.text.c_str());
+      exit_code = 1;
+      continue;
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[hsgf_query] node %ld served from %s (%zu "
+                   "features)\n",
+                   node, SourceName(response.source),
+                   response.values.size());
+    }
+    std::cout << node;
+    for (double v : response.values) std::cout << ',' << v;
+    std::cout << '\n';
+  }
+
+  if (options.vocab) {
+    Request request;
+    request.type = MessageType::kGetVocabulary;
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    for (uint64_t hash : response.hashes) std::cout << 'h' << hash << '\n';
+  }
+
+  if (options.top_k > 0) {
+    Request request;
+    request.type = MessageType::kTopKEncodings;
+    request.k = static_cast<uint32_t>(options.top_k);
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    for (const auto& entry : response.entries) {
+      std::cout << 'h' << entry.hash << ',' << entry.total << ','
+                << entry.encoding << '\n';
+    }
+  }
+
+  if (options.stats) {
+    Request request;
+    request.type = MessageType::kStats;
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    std::cout << response.text << '\n';
+  }
+
+  if (options.shutdown) {
+    Request request;
+    request.type = MessageType::kShutdown;
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[hsgf_query] daemon acknowledged shutdown\n");
+    }
+  }
+
+  close(fd);
+  return exit_code;
+}

@@ -1,0 +1,236 @@
+// hsgf_serve — feature query daemon.
+//
+// Opens a persistent feature-store snapshot (written by
+// `hsgf_extract --save-snapshot`) and answers GetFeatures / GetVocabulary /
+// TopKEncodings / Stats requests over a Unix or loopback TCP socket using
+// the length-prefixed protocol in src/serve/protocol.h (client:
+// hsgf_query). With --graph, nodes absent from the snapshot are censused on
+// demand — same emax/dmax/masking/seed as the producing extraction — behind
+// a sharded LRU cache.
+//
+// Usage:
+//   hsgf_serve --snapshot s.hsnap (--unix-socket PATH | --tcp-port N)
+//              [--graph g.hsgf] [--cache-capacity N] [--deadline-s S]
+//              [--max-requests N] [--metrics-json FILE]
+//
+// The daemon exits on a client kShutdown request (hsgf_query --shutdown),
+// after --max-requests requests, or on SIGINT/SIGTERM; --metrics-json then
+// dumps the serve-path metrics (request latency histograms, cache hit/miss
+// counters) as JSON.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "graph/io.h"
+#include "io/snapshot.h"
+#include "serve/feature_service.h"
+#include "serve/server.h"
+#include "util/metrics.h"
+
+namespace {
+
+hsgf::serve::SocketServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hsgf_serve --snapshot FILE "
+               "(--unix-socket PATH | --tcp-port N)\n"
+               "                  [--graph FILE] [--cache-capacity N] "
+               "[--deadline-s S]\n"
+               "                  [--max-requests N] [--metrics-json FILE]\n");
+  return 2;
+}
+
+bool ParseLong(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+struct Options {
+  const char* snapshot_path = nullptr;
+  const char* graph_path = nullptr;
+  const char* unix_socket = nullptr;
+  const char* metrics_json = nullptr;
+  long tcp_port = -1;
+  long cache_capacity = 4096;
+  long max_requests = 0;
+  double deadline_s = 10.0;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
+    const char* value = nullptr;
+    if (is("--snapshot")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->snapshot_path = value;
+    } else if (is("--graph")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->graph_path = value;
+    } else if (is("--unix-socket")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->unix_socket = value;
+    } else if (is("--metrics-json")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      options->metrics_json = value;
+    } else if (is("--tcp-port")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->tcp_port) || options->tcp_port < 0 ||
+          options->tcp_port > 65535) {
+        std::fprintf(stderr, "error: invalid --tcp-port value '%s'\n", value);
+        return false;
+      }
+    } else if (is("--cache-capacity")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->cache_capacity) ||
+          options->cache_capacity < 0) {
+        std::fprintf(stderr, "error: invalid --cache-capacity value '%s'\n",
+                     value);
+        return false;
+      }
+    } else if (is("--max-requests")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseLong(value, &options->max_requests) ||
+          options->max_requests < 0) {
+        std::fprintf(stderr, "error: invalid --max-requests value '%s'\n",
+                     value);
+        return false;
+      }
+    } else if (is("--deadline-s")) {
+      if ((value = value_of(i)) == nullptr) return false;
+      if (!ParseDouble(value, &options->deadline_s) ||
+          options->deadline_s < 0.0) {
+        std::fprintf(stderr, "error: invalid --deadline-s value '%s'\n",
+                     value);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.snapshot_path == nullptr) return Usage();
+  if ((options.unix_socket != nullptr) == (options.tcp_port >= 0)) {
+    return Usage();
+  }
+
+  io::SnapshotError snapshot_error;
+  auto snapshot = io::OpenSnapshot(options.snapshot_path, &snapshot_error);
+  if (!snapshot.has_value()) {
+    std::fprintf(stderr, "error: cannot open snapshot (%s): %s\n",
+                 io::SnapshotErrorCodeName(snapshot_error.code),
+                 snapshot_error.message.c_str());
+    return 1;
+  }
+
+  util::MetricsRegistry metrics;
+  serve::FeatureServiceConfig service_config;
+  service_config.cache_capacity =
+      static_cast<size_t>(options.cache_capacity);
+  service_config.cold_census_deadline_s = options.deadline_s;
+  serve::FeatureService service(std::move(*snapshot), metrics,
+                                service_config);
+
+  std::optional<graph::HetGraph> graph;
+  if (options.graph_path != nullptr) {
+    std::string error;
+    graph = graph::ReadGraphFromFile(options.graph_path, &error);
+    if (!graph.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::string attach_error;
+    if (!service.AttachGraph(*graph, &attach_error)) {
+      std::fprintf(stderr, "error: %s\n", attach_error.c_str());
+      return 1;
+    }
+  }
+
+  serve::ServerConfig server_config;
+  if (options.unix_socket != nullptr) {
+    server_config.unix_socket_path = options.unix_socket;
+  } else {
+    server_config.tcp_port = static_cast<int>(options.tcp_port);
+  }
+  server_config.max_requests = options.max_requests;
+
+  serve::SocketServer server(service, metrics, server_config);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // a client hanging up must not kill us
+
+  const serve::FeatureService::Stats stats = service.GetStats();
+  if (options.unix_socket != nullptr) {
+    std::fprintf(stderr, "[hsgf_serve] listening on unix:%s\n",
+                 options.unix_socket);
+  } else {
+    std::fprintf(stderr, "[hsgf_serve] listening on tcp:127.0.0.1:%d\n",
+                 server.tcp_port());
+  }
+  std::fprintf(stderr,
+               "[hsgf_serve] snapshot: %u rows x %u features, %u labels, "
+               "emax=%d, dmax=%d; cold-miss census %s\n",
+               stats.num_rows, stats.num_cols, stats.num_labels,
+               stats.max_edges, stats.effective_dmax,
+               stats.graph_attached ? "enabled" : "disabled (no --graph)");
+
+  server.Serve();
+
+  if (options.metrics_json != nullptr) {
+    std::ofstream metrics_file(options.metrics_json);
+    if (!metrics_file) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.metrics_json);
+      return 1;
+    }
+    metrics_file << metrics.Snapshot().ToJson();
+  }
+  std::fprintf(stderr, "[hsgf_serve] shut down cleanly\n");
+  return 0;
+}
