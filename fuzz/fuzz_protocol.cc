@@ -1,0 +1,53 @@
+// Fuzz harness for the wire-protocol decoders (src/serve/protocol.cc) — the
+// bytes a garbage or hostile peer can put on the daemon's socket.
+//
+// The first input byte selects what the rest of the payload is decoded as:
+// mode 0 -> DecodeRequest, modes 1..5 -> DecodeResponse for that
+// MessageType. Because the decoders demand the frame be fully consumed
+// (AtEnd) and the encoders are canonical, any payload that decodes must
+// re-encode to the identical bytes; the harness checks that round-trip, so a
+// decoder that silently misreads a field is a crash, not a missed bug.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1u << 20;
+
+using hsgf::serve::MessageType;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > kMaxInputBytes) return 0;
+  const uint8_t mode = data[0] % 6;
+  const std::span<const uint8_t> payload(data + 1, size - 1);
+
+  if (mode == 0) {
+    hsgf::serve::Request request;
+    if (!hsgf::serve::DecodeRequest(payload, &request)) return 0;
+    const std::string reencoded = hsgf::serve::EncodeRequest(request);
+    HSGF_CHECK_EQ(reencoded.size(), payload.size())
+        << "request round-trip changed length";
+    HSGF_CHECK(std::memcmp(reencoded.data(), payload.data(),
+                           payload.size()) == 0)
+        << "request round-trip changed bytes";
+    return 0;
+  }
+
+  const auto type = static_cast<MessageType>(mode);
+  hsgf::serve::Response response;
+  if (!hsgf::serve::DecodeResponse(type, payload, &response)) return 0;
+  const std::string reencoded = hsgf::serve::EncodeResponse(type, response);
+  HSGF_CHECK_EQ(reencoded.size(), payload.size())
+      << "response round-trip changed length";
+  HSGF_CHECK(payload.empty() || std::memcmp(reencoded.data(), payload.data(),
+                                            payload.size()) == 0)
+      << "response round-trip changed bytes";
+  return 0;
+}

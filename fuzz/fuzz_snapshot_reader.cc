@@ -1,0 +1,88 @@
+// Fuzz harness for the snapshot reader (src/io/snapshot_reader.cc), the
+// largest untrusted-input surface in the repo: OpenSnapshot mmaps a file and
+// every accessor afterwards trusts the validation pass completely.
+//
+// The input is written to a scratch file and opened. When the input already
+// carries the snapshot magic, the header CRC field is recomputed and patched
+// first — otherwise nearly every mutation dies at the checksum and the
+// structural validators never see it (the CRC path itself is covered by
+// snapshot_io_test). If the open succeeds the harness walks everything the
+// serving path walks: all rows, all encodings, dense expansion, and the
+// sorted-row lookup.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/crc32.h"
+#include "io/snapshot.h"
+#include "util/check.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1u << 20;
+constexpr size_t kCrcFieldOffset = 16;  // after magic[8] + version + size
+
+const std::string& ScratchPath() {
+  static const std::string path = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string dir = (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
+    return dir + "/hsgf_fuzz_snapshot_" + std::to_string(getpid()) + ".hsnap";
+  }();
+  return path;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+
+  std::vector<uint8_t> bytes(data, data + size);
+  if (bytes.size() >= sizeof(hsgf::io::snapshot_internal::Header) &&
+      std::memcmp(bytes.data(), hsgf::io::snapshot_internal::kMagic,
+                  sizeof(hsgf::io::snapshot_internal::kMagic)) == 0) {
+    std::memset(bytes.data() + kCrcFieldOffset, 0, 4);
+    const uint32_t crc = hsgf::io::Crc32Of(bytes.data(), bytes.size());
+    std::memcpy(bytes.data() + kCrcFieldOffset, &crc, 4);
+  }
+
+  {
+    std::ofstream out(ScratchPath(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return 0;
+  }
+
+  hsgf::io::SnapshotError error;
+  auto snapshot = hsgf::io::OpenSnapshot(ScratchPath(), &error);
+  if (!snapshot.has_value()) return 0;
+
+  // A successful open promises bounds-safe accessors; hold it to that.
+  for (const std::string& name : snapshot->label_names()) {
+    HSGF_CHECK_LE(name.size(), snapshot->file_size());
+  }
+  uint64_t nnz_seen = 0;
+  for (uint32_t row = 0; row < snapshot->num_rows(); ++row) {
+    const auto sparse = snapshot->Row(row);
+    HSGF_CHECK_EQ(sparse.cols.size(), sparse.values.size());
+    nnz_seen += sparse.cols.size();
+    for (uint32_t col : sparse.cols) HSGF_CHECK_LT(col, snapshot->num_cols());
+    const std::vector<double> dense = snapshot->DenseRow(row);
+    HSGF_CHECK_EQ(dense.size(), static_cast<size_t>(snapshot->num_cols()));
+  }
+  HSGF_CHECK_EQ(nnz_seen, snapshot->nnz());
+  for (uint32_t col = 0; col < snapshot->num_cols(); ++col) {
+    (void)snapshot->EncodingOf(col);
+  }
+  for (int32_t node : snapshot->node_ids()) {
+    const int64_t row = snapshot->FindRow(node);
+    HSGF_CHECK(row >= 0 && row < snapshot->num_rows());
+    HSGF_CHECK_EQ(snapshot->node_ids()[static_cast<size_t>(row)], node);
+  }
+  HSGF_CHECK_EQ(snapshot->FindRow(-1), int64_t{-1});
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Seed-corpus generator for the fuzz/ harnesses. Writes deterministic seed
+// inputs under DIR/{snapshot,protocol,graph}/ — a real saved snapshot, every
+// request/response wire shape (with the harness's one-byte mode prefix), and
+// a spread of valid and near-valid graph texts — so the fuzzers start from
+// deep program states instead of rediscovering the formats byte by byte.
+//
+// Usage: make_fuzz_corpus DIR
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/io.h"
+#include "io/snapshot.h"
+#include "serve/protocol.h"
+
+namespace {
+
+bool WriteSeed(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// One-byte harness mode prefix + encoded payload (see fuzz_protocol.cc).
+std::string Mode(uint8_t mode, const std::string& payload) {
+  std::string bytes(1, static_cast<char>(mode));
+  bytes += payload;
+  return bytes;
+}
+
+bool MakeDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot mkdir %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteSnapshotSeeds(const std::string& dir) {
+  using hsgf::graph::NodeId;
+  const hsgf::graph::HetGraph graph =
+      hsgf::data::MakeNetwork(hsgf::data::LoadLikeSchema(0.05), 3);
+  hsgf::core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes() && v < 8; ++v) nodes.push_back(v);
+  hsgf::core::Extractor extractor(graph, config);
+  const hsgf::core::ExtractionResult result = extractor.Run(nodes);
+  const hsgf::io::SnapshotContents contents =
+      hsgf::io::MakeSnapshotContents(graph, nodes, result, config);
+  hsgf::io::SnapshotError error;
+  if (!hsgf::io::SaveSnapshot(dir + "/valid.hsnap", contents, &error)) {
+    std::fprintf(stderr, "error: SaveSnapshot: %s\n", error.message.c_str());
+    return false;
+  }
+  // A bare header (all-zero counts) and a magic-only stub cover the
+  // truncation ladder from the other side.
+  std::string magic_only(hsgf::io::snapshot_internal::kMagic,
+                         sizeof(hsgf::io::snapshot_internal::kMagic));
+  return WriteSeed(dir + "/magic_only.bin", magic_only) &&
+         WriteSeed(dir + "/empty.bin", "");
+}
+
+bool WriteProtocolSeeds(const std::string& dir) {
+  using hsgf::serve::MessageType;
+  using hsgf::serve::Request;
+  using hsgf::serve::Response;
+  using hsgf::serve::StatusCode;
+
+  Request features;
+  features.type = MessageType::kGetFeatures;
+  features.node = 42;
+  Request topk;
+  topk.type = MessageType::kTopKEncodings;
+  topk.k = 5;
+  Request vocab;
+  vocab.type = MessageType::kGetVocabulary;
+  Request stats;
+  stats.type = MessageType::kStats;
+  Request shutdown;
+  shutdown.type = MessageType::kShutdown;
+  bool ok = WriteSeed(dir + "/req_features.bin",
+                      Mode(0, EncodeRequest(features))) &&
+            WriteSeed(dir + "/req_topk.bin", Mode(0, EncodeRequest(topk))) &&
+            WriteSeed(dir + "/req_vocab.bin", Mode(0, EncodeRequest(vocab))) &&
+            WriteSeed(dir + "/req_stats.bin", Mode(0, EncodeRequest(stats))) &&
+            WriteSeed(dir + "/req_shutdown.bin",
+                      Mode(0, EncodeRequest(shutdown)));
+
+  Response values;
+  values.values = {1.5, 0.0, -2.25};
+  values.source = 2;
+  Response hashes;
+  hashes.hashes = {0x1234567890abcdefULL, 7};
+  Response entries;
+  entries.entries.push_back({0xfeedULL, 3.5, "paper21 load1"});
+  entries.entries.push_back({0xbeefULL, 1.0, ""});
+  Response text;
+  text.text = "{\"requests\":0}";
+  Response failure;
+  failure.status = StatusCode::kNotFound;
+  failure.text = "node 9 not found";
+  Response empty;
+  ok = ok &&
+       WriteSeed(dir + "/resp_features.bin",
+                 Mode(1, EncodeResponse(MessageType::kGetFeatures, values))) &&
+       WriteSeed(dir + "/resp_vocab.bin",
+                 Mode(2, EncodeResponse(MessageType::kGetVocabulary, hashes))) &&
+       WriteSeed(dir + "/resp_topk.bin",
+                 Mode(3, EncodeResponse(MessageType::kTopKEncodings, entries))) &&
+       WriteSeed(dir + "/resp_stats.bin",
+                 Mode(4, EncodeResponse(MessageType::kStats, text))) &&
+       WriteSeed(dir + "/resp_error.bin",
+                 Mode(1, EncodeResponse(MessageType::kGetFeatures, failure))) &&
+       WriteSeed(dir + "/resp_shutdown.bin",
+                 Mode(5, EncodeResponse(MessageType::kShutdown, empty)));
+  return ok;
+}
+
+bool WriteGraphSeeds(const std::string& dir) {
+  // A real generated network, serialized by the writer itself.
+  const hsgf::graph::HetGraph graph =
+      hsgf::data::MakeNetwork(hsgf::data::LoadLikeSchema(0.05), 5);
+  std::ostringstream out;
+  hsgf::graph::WriteGraph(graph, out);
+  bool ok = WriteSeed(dir + "/generated.txt", out.str());
+
+  ok = ok && WriteSeed(dir + "/tiny.txt",
+                       "# hsgf-graph v1\n"
+                       "labels user item\n"
+                       "node 0 0\n"
+                       "node 1 1\n"
+                       "node 2 0\n"
+                       "edge 0 1\n"
+                       "edge 1 2\n");
+  ok = ok && WriteSeed(dir + "/no_edges.txt",
+                       "labels only\nnode 0 0\n");
+  ok = ok && WriteSeed(dir + "/comments.txt",
+                       "# comment\n\n# another\nlabels a\nnode 0 0\n");
+  ok = ok && WriteSeed(dir + "/bad_dense.txt",
+                       "labels a\nnode 1 0\n");
+  ok = ok && WriteSeed(dir + "/empty.txt", "");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_fuzz_corpus DIR\n");
+    return 2;
+  }
+  const std::string root = argv[1];
+  if (!MakeDir(root) || !MakeDir(root + "/snapshot") ||
+      !MakeDir(root + "/protocol") || !MakeDir(root + "/graph")) {
+    return 1;
+  }
+  if (!WriteSnapshotSeeds(root + "/snapshot") ||
+      !WriteProtocolSeeds(root + "/protocol") ||
+      !WriteGraphSeeds(root + "/graph")) {
+    return 1;
+  }
+  std::fprintf(stderr, "corpus written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Corpus-replay driver for builds without libFuzzer (gcc). Links against a
+// harness's LLVMFuzzerTestOneInput and feeds it every file named on the
+// command line (directories are walked one level deep), so the exact harness
+// code the clang fuzz job runs is also exercised locally under ASan/UBSan:
+//
+//   fuzz_snapshot_reader corpus/snapshot/ extra_input.bin
+//
+// Exit status is 0 unless an input cannot be read; a harness failure is a
+// crash (HSGF_CHECK abort or sanitizer report), matching libFuzzer semantics.
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  const std::string bytes{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+// Lists regular entries of `dir`; empty when `path` is not a directory.
+std::vector<std::string> DirEntries(const std::string& path) {
+  std::vector<std::string> files;
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return files;
+  while (dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    files.push_back(path + "/" + name);
+  }
+  closedir(dir);
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s CORPUS_DIR_OR_FILE...\n", argv[0]);
+    return 2;
+  }
+  size_t executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::vector<std::string> entries = DirEntries(argv[i]);
+    if (entries.empty()) {
+      if (!RunFile(argv[i])) return 1;
+      ++executed;
+      continue;
+    }
+    for (const std::string& file : entries) {
+      if (!RunFile(file)) return 1;
+      ++executed;
+    }
+  }
+  std::fprintf(stderr, "replayed %zu input(s) without failure\n", executed);
+  return 0;
+}

@@ -1,9 +1,10 @@
 #include "core/census.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace hsgf::core {
 
@@ -51,7 +52,7 @@ CensusWorker::CensusWorker(const graph::HetGraph& graph,
                             (config.mask_start_label ? 1 : 0)),
       node_epoch_(graph.num_nodes(), 0),
       linear_contribution_(graph.num_nodes(), 0) {
-  assert(config_.max_edges >= 1);
+  HSGF_CHECK_GE(config_.max_edges, 1) << "census needs at least one edge";
   // Tolerate hooks registered for a smaller emax: missing per-edge-count
   // counters become inert instead of out-of-bounds.
   if (metrics_.registry != nullptr) {
@@ -73,6 +74,11 @@ uint64_t CensusWorker::MixedContribution(graph::NodeId v) const {
 }
 
 graph::NodeId CensusWorker::AddEdge(const CandidateEdge& edge) {
+  // Every candidate extends the current subgraph: its source endpoint must
+  // already be inside, or the incremental hash bookkeeping drifts silently.
+  HSGF_DCHECK(InSubgraph(edge.from))
+      << "candidate edge " << edge.from << "->" << edge.to
+      << " does not touch the subgraph";
   const graph::Label la = EffectiveLabel(edge.from);
   const graph::Label lb = EffectiveLabel(edge.to);
   current_hash_ -= MixedContribution(edge.from);
@@ -108,6 +114,10 @@ void CensusWorker::RemoveEdge(const CandidateEdge& edge,
 }
 
 void CensusWorker::AppendFrontierOf(graph::NodeId w, graph::NodeId parent) {
+  // Frontier candidates are only collected for nodes that just joined the
+  // subgraph; expanding an outside node would enumerate disconnected sets.
+  HSGF_DCHECK(InSubgraph(w)) << "frontier expansion of node " << w
+                             << " outside the subgraph";
   // Topological heuristic (§3.2): hubs are added but never expanded through;
   // the start node is exempt (§4.3.5).
   if (IsBlocked(w)) {
@@ -160,6 +170,10 @@ Encoding CensusWorker::MaterializeEncoding() const {
 
 void CensusWorker::Extend(size_t begin, size_t end, int depth,
                           CensusResult& result) {
+  HSGF_DCHECK_LE(begin, end);
+  HSGF_DCHECK_LE(end, arena_.size());
+  HSGF_DCHECK_LT(depth, config_.max_edges);
+  HSGF_DCHECK_EQ(edge_stack_.size(), static_cast<size_t>(depth));
   size_t i = begin;
   while (i < end) {
     if (config_.max_subgraphs > 0 &&
@@ -212,6 +226,8 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
     result.counts.Add(hash_after, run);
     result.total_subgraphs += run;
     if (metrics_.registry != nullptr) {
+      HSGF_DCHECK_LT(static_cast<size_t>(depth),
+                     metrics_.subgraphs_by_edges.size());
       metrics_.registry->Increment(metrics_.subgraphs_total, run);
       metrics_.registry->Increment(metrics_.subgraphs_by_edges[depth], run);
       if (run > 1) {
@@ -251,7 +267,9 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
 
 void CensusWorker::Run(graph::NodeId start, CensusResult& result,
                        util::StopToken stop) {
-  assert(start >= 0 && start < graph_.num_nodes());
+  HSGF_CHECK(start >= 0 && start < graph_.num_nodes())
+      << "census start node " << start << " outside [0, "
+      << graph_.num_nodes() << ")";
   result.counts.Clear();
   result.encodings.clear();
   result.total_subgraphs = 0;
@@ -277,6 +295,14 @@ void CensusWorker::Run(graph::NodeId start, CensusResult& result,
       arena_.push_back({start, y});
     }
     Extend(0, arena_.size(), 0, result);
+    // The enumeration must unwind completely — even on truncation or stop —
+    // or the epoch-stamped scratch poisons the next Run() on this worker.
+    HSGF_DCHECK(edge_stack_.empty())
+        << edge_stack_.size() << " edges left on the stack after unwind";
+    HSGF_DCHECK_EQ(linear_contribution_[start], uint64_t{0})
+        << "start-node hash contribution not restored";
+    HSGF_DCHECK_EQ(current_hash_, MixedContribution(start))
+        << "rolling hash did not return to the empty-subgraph state";
     node_epoch_[start] = 0;
   }
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace hsgf::core {
@@ -17,13 +17,25 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Descending lexicographic block order (canonical encoding order). Explicit
+// byte loop: every block has the same length, and vector's three-way
+// compare trips GCC's memcmp bound analysis under -O3.
+bool DescendingBytes(const std::vector<uint8_t>& a,
+                     const std::vector<uint8_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return a.size() > b.size();
+}
+
 }  // namespace
 
 // --- SmallDiGraph ----------------------------------------------------------
 
 SmallDiGraph::SmallDiGraph(std::vector<graph::Label> labels)
     : labels_(std::move(labels)) {
-  assert(num_nodes() <= kMaxNodes);
+  HSGF_CHECK_LE(num_nodes(), kMaxNodes);
 }
 
 int SmallDiGraph::num_arcs() const {
@@ -33,7 +45,8 @@ int SmallDiGraph::num_arcs() const {
 }
 
 void SmallDiGraph::AddArc(int u, int v) {
-  assert(u != v && u >= 0 && v >= 0 && u < num_nodes() && v < num_nodes());
+  HSGF_DCHECK(u != v && u >= 0 && v >= 0 && u < num_nodes() &&
+              v < num_nodes());
   out_[u] |= static_cast<uint16_t>(1u << v);
   in_[v] |= static_cast<uint16_t>(1u << u);
 }
@@ -111,8 +124,7 @@ Encoding EncodeSmallDiGraph(const SmallDiGraph& graph, int num_labels) {
     }
     blocks.push_back(std::move(bytes));
   }
-  std::sort(blocks.begin(), blocks.end(),
-            [](const auto& a, const auto& b) { return a > b; });
+  std::sort(blocks.begin(), blocks.end(), DescendingBytes);
   Encoding encoding;
   encoding.reserve(blocks.size() * block);
   for (const auto& bytes : blocks) {
@@ -157,7 +169,7 @@ DirectedCensusWorker::DirectedCensusWorker(const graph::DirectedHetGraph& graph,
                             (config.mask_start_label ? 1 : 0)),
       node_epoch_(graph.num_nodes(), 0),
       linear_contribution_(graph.num_nodes(), 0) {
-  assert(config_.max_edges >= 1);
+  HSGF_CHECK_GE(config_.max_edges, 1);
   // Two independent odd base families: one for in-, one for out-counts.
   const int L = num_effective_labels_;
   std::vector<uint64_t> out_bases(L);
@@ -204,7 +216,8 @@ graph::NodeId DirectedCensusWorker::AddArc(const CandidateArc& arc) {
       linear_contribution_[v] += delta;
       current_hash_ += Contribution(linear_contribution_[v]);
     } else {
-      assert(added == -1);
+      HSGF_DCHECK_EQ(added, -1)
+          << "both arc endpoints were outside the subgraph";
       node_epoch_[v] = epoch_;
       linear_contribution_[v] = delta;
       current_hash_ += Contribution(delta);
@@ -282,8 +295,7 @@ Encoding DirectedCensusWorker::MaterializeEncoding() const {
     ++blocks[index_of(h)][1 + EffectiveLabel(t)];          // in-count of head
     ++blocks[index_of(t)][1 + L + EffectiveLabel(h)];      // out-count of tail
   }
-  std::sort(blocks.begin(), blocks.end(),
-            [](const auto& a, const auto& b) { return a > b; });
+  std::sort(blocks.begin(), blocks.end(), DescendingBytes);
   Encoding encoding;
   encoding.reserve(blocks.size() * block);
   for (const auto& bytes : blocks) {
@@ -328,7 +340,7 @@ void DirectedCensusWorker::Extend(size_t begin, size_t end, int depth,
 }
 
 void DirectedCensusWorker::Run(graph::NodeId start, CensusResult& result) {
-  assert(start >= 0 && start < graph_.num_nodes());
+  HSGF_CHECK(start >= 0 && start < graph_.num_nodes());
   result.counts.Clear();
   result.encodings.clear();
   result.total_subgraphs = 0;

@@ -1,18 +1,20 @@
 #include "core/encoding.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace hsgf::core {
 
 Encoding EncodeSignatures(std::vector<NodeSignature> signatures,
                           int num_labels) {
+  HSGF_CHECK_GE(num_labels, 1);
   const int block = num_labels + 1;
   std::vector<std::vector<uint8_t>> blocks;
   blocks.reserve(signatures.size());
   for (const NodeSignature& sig : signatures) {
-    assert(static_cast<int>(sig.neighbor_counts.size()) == num_labels);
+    HSGF_DCHECK_EQ(static_cast<int>(sig.neighbor_counts.size()), num_labels);
     std::vector<uint8_t> bytes;
     bytes.reserve(block);
     bytes.push_back(sig.label);
@@ -21,18 +23,33 @@ Encoding EncodeSignatures(std::vector<NodeSignature> signatures,
     blocks.push_back(std::move(bytes));
   }
   // Descending lexicographic order (Eq. 2: s_v1 >= s_v2 >= ... >= s_vn).
-  std::sort(blocks.begin(), blocks.end(),
-            [](const auto& a, const auto& b) { return a > b; });
+  // Explicit byte loop: every block has the same length, and vector's
+  // three-way compare trips GCC's memcmp bound analysis under -O3.
+  auto descending = [](const std::vector<uint8_t>& a,
+                       const std::vector<uint8_t>& b) {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return a[i] > b[i];
+    }
+    return a.size() > b.size();
+  };
+  std::sort(blocks.begin(), blocks.end(), descending);
   Encoding encoding;
   encoding.reserve(blocks.size() * block);
   for (const auto& bytes : blocks) {
     encoding.insert(encoding.end(), bytes.begin(), bytes.end());
   }
+  // Canonicality (what makes equal subgraphs hash equal): fixed block size,
+  // blocks in descending order.
+  HSGF_DCHECK_EQ(encoding.size(), blocks.size() * block);
+  HSGF_DCHECK(std::is_sorted(blocks.begin(), blocks.end(), descending))
+      << "encoding blocks are not in canonical descending order";
   return encoding;
 }
 
 Encoding EncodeSmallGraph(const SmallGraph& graph, int num_labels) {
-  assert(num_labels >= graph.MaxLabelPlusOne());
+  HSGF_CHECK_GE(num_labels, graph.MaxLabelPlusOne())
+      << "label alphabet too small for the graph's labels";
   std::vector<NodeSignature> signatures(graph.num_nodes());
   for (int v = 0; v < graph.num_nodes(); ++v) {
     signatures[v].label = graph.label(v);

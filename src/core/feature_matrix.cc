@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace hsgf::core {
@@ -57,11 +58,18 @@ FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
 
   set.matrix = ml::Matrix(static_cast<int>(censuses.size()),
                           static_cast<int>(set.feature_hashes.size()));
+  const int num_cols = set.matrix.cols();
   for (size_t r = 0; r < censuses.size(); ++r) {
     double* row = set.matrix.row(static_cast<int>(r));
     censuses[r].counts.ForEach([&](uint64_t hash, int64_t count) {
       auto it = column_of.find(hash);
       if (it == column_of.end()) return;
+      // The column map indexes the row buffer raw; a stale or duplicated
+      // vocabulary entry here is a heap overflow, not just a wrong answer.
+      HSGF_DCHECK(it->second >= 0 && it->second < num_cols)
+          << "column " << it->second << " for hash " << hash
+          << " outside the " << num_cols << "-column matrix";
+      HSGF_DCHECK_GE(count, 0) << "negative census count for hash " << hash;
       row[it->second] = options.log1p_transform
                             ? std::log1p(static_cast<double>(count))
                             : static_cast<double>(count);
@@ -74,6 +82,9 @@ FeatureSet BuildFeatureSet(const std::vector<CensusResult>& censuses,
     metrics->AddSpanSeconds(metrics->Span("extract.matrix_build"),
                             watch.ElapsedSeconds());
   }
+  HSGF_CHECK_EQ(set.feature_hashes.size(),
+                static_cast<size_t>(set.matrix.cols()))
+      << "vocabulary and matrix width disagree";
   return set;
 }
 

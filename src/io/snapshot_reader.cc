@@ -8,6 +8,7 @@
 
 #include "io/crc32.h"
 #include "io/snapshot.h"
+#include "util/check.h"
 
 namespace hsgf::io {
 
@@ -45,8 +46,13 @@ Snapshot::Mapping::~Mapping() {
 }
 
 core::Encoding Snapshot::EncodingOf(uint32_t col) const {
+  HSGF_CHECK_LT(col, num_cols()) << "encoding column out of range";
   const uint64_t begin = encoding_offsets_[col];
   const uint64_t end = encoding_offsets_[col + 1];
+  // OpenSnapshot validated monotonicity ending at the blob size; anything
+  // else here means the validated mapping changed under us.
+  HSGF_DCHECK_LE(begin, end);
+  HSGF_DCHECK_LE(end, encoding_bytes_.size());
   return core::Encoding(encoding_bytes_.begin() + begin,
                         encoding_bytes_.begin() + end);
 }
@@ -68,8 +74,11 @@ int64_t Snapshot::FindRow(graph::NodeId node) const {
 }
 
 Snapshot::SparseRow Snapshot::Row(uint32_t row) const {
+  HSGF_CHECK_LT(row, num_rows()) << "feature row out of range";
   const uint64_t begin = row_offsets_[row];
   const uint64_t end = row_offsets_[row + 1];
+  HSGF_DCHECK_LE(begin, end);
+  HSGF_DCHECK_LE(end, nnz());
   return {col_indices_.subspan(begin, end - begin),
           values_.subspan(begin, end - begin)};
 }
@@ -78,6 +87,7 @@ std::vector<double> Snapshot::DenseRow(uint32_t row) const {
   std::vector<double> dense(num_cols(), 0.0);
   const SparseRow sparse = Row(row);
   for (size_t i = 0; i < sparse.cols.size(); ++i) {
+    HSGF_DCHECK_LT(sparse.cols[i], num_cols());
     dense[sparse.cols[i]] = sparse.values[i];
   }
   return dense;

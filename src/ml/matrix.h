@@ -1,9 +1,10 @@
 #ifndef HSGF_ML_MATRIX_H_
 #define HSGF_ML_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "util/check.h"
 
 namespace hsgf::ml {
 
@@ -16,26 +17,32 @@ class Matrix {
 
   Matrix(int rows, int cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
-    assert(rows >= 0 && cols >= 0);
+    HSGF_CHECK(rows >= 0 && cols >= 0);
   }
 
   Matrix(int rows, int cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    assert(data_.size() == static_cast<size_t>(rows) * cols);
+    HSGF_CHECK_EQ(data_.size(), static_cast<size_t>(rows) * cols);
   }
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
   double& operator()(int r, int c) {
+    HSGF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   double operator()(int r, int c) const {
+    HSGF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
-  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  double* row(int r) {
+    HSGF_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const double* row(int r) const {
+    HSGF_DCHECK(r >= 0 && r < rows_);
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 
@@ -66,7 +73,7 @@ class Matrix {
 
   // Horizontal concatenation: [this | other]. Row counts must match.
   Matrix ConcatCols(const Matrix& other) const {
-    assert(rows_ == other.rows_);
+    HSGF_CHECK_EQ(rows_, other.rows_);
     Matrix out(rows_, cols_ + other.cols_);
     for (int r = 0; r < rows_; ++r) {
       double* dst = out.row(r);

@@ -135,10 +135,16 @@ std::vector<FeatureService::VocabularyEntry> FeatureService::TopKEncodings(
     entry.hash = hashes[c];
     entry.total = totals[c];
     const core::Encoding encoding = snapshot_.EncodingOf(c);
-    entry.encoding = encoding.empty()
-                         ? "h" + std::to_string(entry.hash)
-                         : core::EncodingToString(encoding, effective_labels,
-                                                  snapshot_.label_names());
+    if (encoding.empty()) {
+      // Built via append: `"h" + std::to_string(...)` trips a GCC 12
+      // -Wrestrict false positive (PR105329) under -O3.
+      std::string name = "h";
+      name += std::to_string(entry.hash);
+      entry.encoding = std::move(name);
+    } else {
+      entry.encoding = core::EncodingToString(encoding, effective_labels,
+                                              snapshot_.label_names());
+    }
     entries.push_back(std::move(entry));
   }
   return entries;

@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/check.h"
+
 namespace hsgf::serve {
 
 namespace {
@@ -53,12 +55,17 @@ class WireReader {
     return true;
   }
 
-  size_t Remaining() const { return data_.size() - pos_; }
+  size_t Remaining() const {
+    HSGF_DCHECK_LE(pos_, data_.size())
+        << "wire reader cursor ran past the frame";
+    return data_.size() - pos_;
+  }
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
   bool GetRaw(void* out, size_t size) {
     if (Remaining() < size) return false;
+    HSGF_DCHECK_LE(pos_ + size, data_.size());
     std::memcpy(out, data_.data() + pos_, size);
     pos_ += size;
     return true;
@@ -231,7 +238,11 @@ bool ReadFrame(int fd, std::string* payload) {
   if (!ReadExactly(fd, &length, sizeof(length))) return false;
   if (length > kMaxFrameBytes) return false;
   payload->resize(length);
-  return length == 0 || ReadExactly(fd, payload->data(), length);
+  if (length != 0 && !ReadExactly(fd, payload->data(), length)) return false;
+  // The frame cap is the allocation bound the decoders rely on; a frame
+  // larger than it must never reach them.
+  HSGF_CHECK_LE(payload->size(), kMaxFrameBytes);
+  return true;
 }
 
 bool WriteFrame(int fd, std::string_view payload) {

@@ -212,7 +212,7 @@ std::string SocketServer::HandleRequest(const Request& request,
       for (FeatureService::VocabularyEntry& entry :
            service_.TopKEncodings(request.k)) {
         response.entries.push_back(
-            TopKEntry{entry.hash, entry.total, std::move(entry.encoding)});
+            {entry.hash, entry.total, std::move(entry.encoding)});
       }
       break;
     }

@@ -1,0 +1,32 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hsgf::util {
+
+namespace {
+
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+namespace check_internal {
+
+void CheckFailure(const char* file, int line, const std::string& message) {
+  CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(file, line, message);  // may throw to unwind out of the check
+  }
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace hsgf::util

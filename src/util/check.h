@@ -1,0 +1,145 @@
+#ifndef HSGF_UTIL_CHECK_H_
+#define HSGF_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace hsgf::util {
+
+// Fatal invariant checks.
+//
+//   HSGF_CHECK(frontier_size <= budget) << "node " << v;
+//   HSGF_CHECK_EQ(offsets.back(), blob.size());
+//   HSGF_DCHECK_LT(col, num_cols());
+//
+// HSGF_CHECK* is always on and fails the process (or calls the installed
+// failure handler) with file:line, the stringified condition, the operand
+// values for the comparison forms, and any message streamed onto the macro.
+// HSGF_DCHECK* is the same in debug builds and compiles to nothing — no
+// argument evaluation, no branch — when NDEBUG is defined, so hot loops
+// (the census recursion) pay zero cost in Release.
+//
+// The failure path may evaluate the checked expressions a second time to
+// print them; do not put side effects in check arguments.
+//
+// Failure handling is hookable so tests can observe (and survive) a failed
+// check: the installed handler may throw to unwind out of the failing
+// expression. If no handler is installed, or the handler returns, the
+// message goes to stderr and the process aborts.
+
+// Receives the failing site and the fully formatted message. Installed
+// handlers run on the failing thread; throwing from one is allowed (and is
+// how tests intercept failures).
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const std::string& message);
+
+// Installs `handler` (nullptr restores the abort default) and returns the
+// previously installed handler.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace check_internal {
+
+// Reports a failed check. Never returns normally: either the installed
+// handler throws, or the process aborts.
+[[noreturn]] void CheckFailure(const char* file, int line,
+                               const std::string& message);
+
+// Collects the streamed message; the destructor (end of the full check
+// expression) fires the failure. Only ever constructed on the failure path.
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* summary)
+      : file_(file), line_(line) {
+    stream_ << summary;
+  }
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+  ~CheckStream() noexcept(false) { CheckFailure(file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Lower precedence than << so streamed messages bind to the stream first;
+// makes the failure arm of the ternary a void expression.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+// Integral characters print as numbers in failure messages, not glyphs.
+template <typename T>
+const T& Printable(const T& value) {
+  return value;
+}
+inline int Printable(char value) { return value; }
+inline int Printable(signed char value) { return value; }
+inline unsigned int Printable(unsigned char value) { return value; }
+
+}  // namespace check_internal
+}  // namespace hsgf::util
+
+#define HSGF_CHECK(condition)                                      \
+  (condition)                                                      \
+      ? (void)0                                                    \
+      : ::hsgf::util::check_internal::Voidify() &                  \
+            ::hsgf::util::check_internal::CheckStream(             \
+                __FILE__, __LINE__, "HSGF_CHECK(" #condition ") failed ") \
+                .stream()
+
+#define HSGF_INTERNAL_CHECK_OP(a, op, b)                                     \
+  ((a)op(b)) ? (void)0                                                       \
+             : ::hsgf::util::check_internal::Voidify() &                     \
+                   ::hsgf::util::check_internal::CheckStream(                \
+                       __FILE__, __LINE__,                                   \
+                       "HSGF_CHECK(" #a " " #op " " #b ") failed ")          \
+                           .stream()                                         \
+                       << "(" << ::hsgf::util::check_internal::Printable(a)  \
+                       << " vs. "                                            \
+                       << ::hsgf::util::check_internal::Printable(b) << ") "
+
+#define HSGF_CHECK_EQ(a, b) HSGF_INTERNAL_CHECK_OP(a, ==, b)
+#define HSGF_CHECK_NE(a, b) HSGF_INTERNAL_CHECK_OP(a, !=, b)
+#define HSGF_CHECK_LT(a, b) HSGF_INTERNAL_CHECK_OP(a, <, b)
+#define HSGF_CHECK_LE(a, b) HSGF_INTERNAL_CHECK_OP(a, <=, b)
+#define HSGF_CHECK_GT(a, b) HSGF_INTERNAL_CHECK_OP(a, >, b)
+#define HSGF_CHECK_GE(a, b) HSGF_INTERNAL_CHECK_OP(a, >=, b)
+
+// 1 when HSGF_DCHECK* is live (debug builds), 0 when it compiles away.
+#ifdef NDEBUG
+#define HSGF_DCHECK_IS_ON 0
+#else
+#define HSGF_DCHECK_IS_ON 1
+#endif
+
+#if HSGF_DCHECK_IS_ON
+#define HSGF_DCHECK(condition) HSGF_CHECK(condition)
+#define HSGF_DCHECK_EQ(a, b) HSGF_CHECK_EQ(a, b)
+#define HSGF_DCHECK_NE(a, b) HSGF_CHECK_NE(a, b)
+#define HSGF_DCHECK_LT(a, b) HSGF_CHECK_LT(a, b)
+#define HSGF_DCHECK_LE(a, b) HSGF_CHECK_LE(a, b)
+#define HSGF_DCHECK_GT(a, b) HSGF_CHECK_GT(a, b)
+#define HSGF_DCHECK_GE(a, b) HSGF_CHECK_GE(a, b)
+#else
+// `while (false)` keeps the operands type-checked (no bit-rot) but emits no
+// code and evaluates nothing, even at -O0.
+#define HSGF_DCHECK(condition) \
+  while (false) HSGF_CHECK(condition)
+#define HSGF_DCHECK_EQ(a, b) \
+  while (false) HSGF_CHECK_EQ(a, b)
+#define HSGF_DCHECK_NE(a, b) \
+  while (false) HSGF_CHECK_NE(a, b)
+#define HSGF_DCHECK_LT(a, b) \
+  while (false) HSGF_CHECK_LT(a, b)
+#define HSGF_DCHECK_LE(a, b) \
+  while (false) HSGF_CHECK_LE(a, b)
+#define HSGF_DCHECK_GT(a, b) \
+  while (false) HSGF_CHECK_GT(a, b)
+#define HSGF_DCHECK_GE(a, b) \
+  while (false) HSGF_CHECK_GE(a, b)
+#endif
+
+#endif  // HSGF_UTIL_CHECK_H_

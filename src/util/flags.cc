@@ -1,0 +1,128 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace hsgf::util {
+
+bool ParseLong(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+void FlagParser::AddBool(const char* name, bool* out) {
+  Flag flag{};
+  flag.name = name;
+  flag.kind = Kind::kBool;
+  flag.bool_out = out;
+  flags_.push_back(flag);
+}
+
+void FlagParser::AddString(const char* name, const char** out) {
+  Flag flag{};
+  flag.name = name;
+  flag.kind = Kind::kString;
+  flag.string_out = out;
+  flags_.push_back(flag);
+}
+
+void FlagParser::AddLong(const char* name, long* out, long min_value,
+                         long max_value) {
+  Flag flag{};
+  flag.name = name;
+  flag.kind = Kind::kLong;
+  flag.long_out = out;
+  flag.long_min = min_value;
+  flag.long_max = max_value;
+  flags_.push_back(flag);
+}
+
+void FlagParser::AddDouble(const char* name, double* out, double min_value,
+                           double max_value, bool exclusive_min) {
+  Flag flag{};
+  flag.name = name;
+  flag.kind = Kind::kDouble;
+  flag.double_out = out;
+  flag.double_min = min_value;
+  flag.double_max = max_value;
+  flag.exclusive_min = exclusive_min;
+  flags_.push_back(flag);
+}
+
+bool FlagParser::Parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const Flag* flag = nullptr;
+    for (const Flag& candidate : flags_) {
+      if (std::strcmp(arg, candidate.name) == 0) {
+        flag = &candidate;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+    if (flag->kind == Kind::kBool) {
+      *flag->bool_out = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag %s requires a value\n", arg);
+      return false;
+    }
+    const char* value = argv[++i];
+    switch (flag->kind) {
+      case Kind::kString:
+        *flag->string_out = value;
+        break;
+      case Kind::kLong: {
+        long parsed = 0;
+        if (!ParseLong(value, &parsed) || parsed < flag->long_min ||
+            parsed > flag->long_max) {
+          std::fprintf(stderr, "error: invalid %s value '%s'\n", flag->name,
+                       value);
+          return false;
+        }
+        *flag->long_out = parsed;
+        break;
+      }
+      case Kind::kDouble: {
+        double parsed = 0.0;
+        if (!ParseDouble(value, &parsed) || parsed < flag->double_min ||
+            parsed > flag->double_max ||
+            (flag->exclusive_min && parsed == flag->double_min)) {
+          std::fprintf(stderr, "error: invalid %s value '%s'\n", flag->name,
+                       value);
+          return false;
+        }
+        *flag->double_out = parsed;
+        break;
+      }
+      case Kind::kBool:
+        HSGF_CHECK(false) << "boolean flag reached the value path";
+    }
+  }
+  return true;
+}
+
+}  // namespace hsgf::util

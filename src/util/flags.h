@@ -1,0 +1,69 @@
+#ifndef HSGF_UTIL_FLAGS_H_
+#define HSGF_UTIL_FLAGS_H_
+
+#include <limits>
+#include <vector>
+
+namespace hsgf::util {
+
+// Strict numeric parsing: the whole token must be consumed and in range.
+// (Shared by FlagParser and the tools' comma-separated node lists.)
+bool ParseLong(const char* s, long* out);
+bool ParseDouble(const char* s, double* out);
+
+// Strict command-line parser shared by the CLI tools (hsgf_extract,
+// hsgf_serve, hsgf_query). Flags are `--name` (boolean presence) or
+// `--name VALUE`; anything unregistered, a flag missing its value, or a
+// value that fails to parse or lies outside its registered range is an
+// error: Parse() prints one `error: ...` line to stderr and returns false,
+// and every tool turns that into its usage text and exit code 2.
+//
+// The parser stores borrowed pointers: the registered output locations and
+// the argv strings must outlive it. Defaults are whatever the outputs hold
+// before Parse() runs.
+class FlagParser {
+ public:
+  // --name present => *out = true. Takes no value.
+  void AddBool(const char* name, bool* out);
+
+  // --name VALUE => *out = VALUE (the argv pointer, not a copy).
+  void AddString(const char* name, const char** out);
+
+  // --name VALUE with VALUE an integer in [min_value, max_value].
+  void AddLong(const char* name, long* out, long min_value,
+               long max_value = std::numeric_limits<long>::max());
+
+  // --name VALUE with VALUE a double in [min_value, max_value]; when
+  // `exclusive_min` the lower bound itself is rejected (e.g. deadlines
+  // that must be strictly positive).
+  void AddDouble(const char* name, double* out, double min_value,
+                 double max_value = std::numeric_limits<double>::infinity(),
+                 bool exclusive_min = false);
+
+  // Consumes argv[1..argc); returns false (after printing the error) on the
+  // first unknown flag, missing value, or out-of-range value.
+  bool Parse(int argc, char** argv) const;
+
+ private:
+  enum class Kind { kBool, kString, kLong, kDouble };
+
+  struct Flag {
+    const char* name;
+    Kind kind;
+    bool* bool_out = nullptr;
+    const char** string_out = nullptr;
+    long* long_out = nullptr;
+    double* double_out = nullptr;
+    long long_min = 0;
+    long long_max = 0;
+    double double_min = 0.0;
+    double double_max = 0.0;
+    bool exclusive_min = false;
+  };
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_FLAGS_H_

@@ -1,0 +1,137 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hsgf::util {
+namespace {
+
+// The handler API is a plain function pointer (callable from the failure
+// path with no allocation), so the intercept goes through globals.
+std::string* g_last_message = nullptr;
+std::string* g_last_file = nullptr;
+int g_last_line = 0;
+
+struct CheckFailed : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void ThrowingHandler(const char* file, int line, const std::string& message) {
+  if (g_last_message != nullptr) *g_last_message = message;
+  if (g_last_file != nullptr) *g_last_file = file;
+  g_last_line = line;
+  throw CheckFailed(message);
+}
+
+// Installs the throwing handler for one test body and captures the failure
+// site into the members.
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_last_message = &message_;
+    g_last_file = &file_;
+    g_last_line = 0;
+    previous_ = SetCheckFailureHandler(&ThrowingHandler);
+  }
+  void TearDown() override {
+    SetCheckFailureHandler(previous_);
+    g_last_message = nullptr;
+    g_last_file = nullptr;
+  }
+
+  std::string message_;
+  std::string file_;
+  CheckFailureHandler previous_ = nullptr;
+};
+
+TEST_F(CheckTest, PassingChecksAreSilent) {
+  HSGF_CHECK(1 + 1 == 2);
+  HSGF_CHECK_EQ(4, 4);
+  HSGF_CHECK_NE(4, 5);
+  HSGF_CHECK_LT(4, 5);
+  HSGF_CHECK_LE(5, 5);
+  HSGF_CHECK_GT(5, 4);
+  HSGF_CHECK_GE(5, 5);
+  HSGF_CHECK(true) << "streamed onto a passing check, never evaluated";
+  EXPECT_TRUE(message_.empty());
+}
+
+TEST_F(CheckTest, FailureCarriesConditionAndStreamedMessage) {
+  const int frontier = 9;
+  EXPECT_THROW(HSGF_CHECK(frontier < 5) << "node " << 17, CheckFailed);
+  EXPECT_NE(message_.find("HSGF_CHECK(frontier < 5) failed"),
+            std::string::npos)
+      << message_;
+  EXPECT_NE(message_.find("node 17"), std::string::npos) << message_;
+  EXPECT_NE(file_.find("check_test.cc"), std::string::npos);
+  EXPECT_GT(g_last_line, 0);
+}
+
+TEST_F(CheckTest, ComparisonFailurePrintsBothOperands) {
+  const size_t rows = 3;
+  const size_t cols = 7;
+  EXPECT_THROW(HSGF_CHECK_EQ(rows, cols), CheckFailed);
+  EXPECT_NE(message_.find("(3 vs. 7)"), std::string::npos) << message_;
+  EXPECT_NE(message_.find("rows == cols"), std::string::npos) << message_;
+}
+
+TEST_F(CheckTest, CharOperandsPrintAsNumbers) {
+  const uint8_t label = 200;
+  EXPECT_THROW(HSGF_CHECK_LT(label, uint8_t{4}), CheckFailed);
+  EXPECT_NE(message_.find("(200 vs. 4)"), std::string::npos) << message_;
+}
+
+TEST_F(CheckTest, SuccessPathEvaluatesConditionOnce) {
+  int evaluations = 0;
+  HSGF_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(CheckTest, HandlerInstallReturnsPrevious) {
+  // SetUp installed ThrowingHandler; a second install must hand it back.
+  CheckFailureHandler handler = SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(handler, &ThrowingHandler);
+  SetCheckFailureHandler(handler);
+}
+
+#if HSGF_DCHECK_IS_ON
+
+TEST_F(CheckTest, DcheckFiresInDebugBuilds) {
+  EXPECT_THROW(HSGF_DCHECK_EQ(1, 2), CheckFailed);
+  EXPECT_NE(message_.find("(1 vs. 2)"), std::string::npos) << message_;
+  EXPECT_THROW(HSGF_DCHECK(false) << "debug only", CheckFailed);
+}
+
+#else  // HSGF_DCHECK_IS_ON
+
+TEST_F(CheckTest, DcheckEvaluatesNothingInReleaseBuilds) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  HSGF_DCHECK(touch() == 0);      // would fail if live
+  HSGF_DCHECK_EQ(touch(), 99);    // would fail if live
+  HSGF_DCHECK_LT(touch(), -5) << "never formatted: " << touch();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(message_.empty());
+}
+
+#endif  // HSGF_DCHECK_IS_ON
+
+TEST_F(CheckTest, DcheckParsesAsOneStatementInBranches) {
+  // The compiled-out form must still bind like a single statement.
+  if (1 + 1 == 2)
+    HSGF_DCHECK(true);
+  else
+    HSGF_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hsgf::util

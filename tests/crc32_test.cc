@@ -1,0 +1,69 @@
+#include "io/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hsgf::io {
+namespace {
+
+uint32_t CrcOfString(const char* s) { return Crc32Of(s, std::strlen(s)); }
+
+// Published known-answer vectors for CRC-32/ISO-HDLC (the zlib/PNG/IEEE
+// 802.3 variant: poly 0xEDB88320 reflected, init and final XOR 0xFFFFFFFF).
+// "123456789" -> 0xCBF43926 is the standard catalogue check value; a wrong
+// polynomial, init, reflection, or final XOR each break at least one of
+// these.
+TEST(Crc32Test, KnownAnswerVectors) {
+  EXPECT_EQ(CrcOfString(""), 0x00000000u);
+  EXPECT_EQ(CrcOfString("123456789"), 0xCBF43926u);
+  EXPECT_EQ(CrcOfString("a"), 0xE8B7BE43u);
+  EXPECT_EQ(CrcOfString("abc"), 0x352441C2u);
+  EXPECT_EQ(CrcOfString("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(CrcOfString("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, HandlesEmbeddedNulAndHighBytes) {
+  const std::vector<uint8_t> bytes = {0x00, 0xFF, 0x00, 0x80, 0x7F};
+  // Independently computed with zlib's crc32().
+  EXPECT_EQ(Crc32Of(bytes.data(), bytes.size()), 0xE31E050Au);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Crc32 crc;
+    crc.Update(data.data(), split);
+    crc.Update(data.data() + split, data.size() - split);
+    EXPECT_EQ(crc.Value(), 0x414FA339u) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, ValueIsReadableMidStream) {
+  Crc32 crc;
+  crc.Update("123456789", 9);
+  EXPECT_EQ(crc.Value(), 0xCBF43926u);
+  // Value() must not finalize destructively.
+  EXPECT_EQ(crc.Value(), 0xCBF43926u);
+  crc.Update("abc", 3);
+  Crc32 oneshot;
+  oneshot.Update("123456789abc", 12);
+  EXPECT_EQ(crc.Value(), oneshot.Value());
+}
+
+TEST(Crc32Test, SingleBitFlipChangesDigest) {
+  std::string data(64, '\x5a');
+  const uint32_t reference = Crc32Of(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 13) {
+    std::string corrupted = data;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x01);
+    EXPECT_NE(Crc32Of(corrupted.data(), corrupted.size()), reference)
+        << "flip in byte " << byte << " went undetected";
+  }
+}
+
+}  // namespace
+}  // namespace hsgf::io

@@ -1,0 +1,171 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hsgf::util {
+namespace {
+
+// Builds a mutable argv (FlagParser::Parse takes char**, like main's).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "test_binary");
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(ParseLongTest, StrictWholeTokenParsing) {
+  long value = 0;
+  EXPECT_TRUE(ParseLong("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseLong("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ParseLong("", &value));
+  EXPECT_FALSE(ParseLong("12x", &value));
+  EXPECT_FALSE(ParseLong("x12", &value));
+  EXPECT_FALSE(ParseLong("4 2", &value));
+  EXPECT_FALSE(ParseLong("99999999999999999999999999", &value));
+  EXPECT_FALSE(ParseLong(nullptr, &value));
+}
+
+TEST(ParseDoubleTest, StrictWholeTokenParsing) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5", &value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("2.5s", &value));
+  EXPECT_FALSE(ParseDouble("two", &value));
+  EXPECT_FALSE(ParseDouble(nullptr, &value));
+}
+
+TEST(FlagParserTest, ParsesEveryKind) {
+  bool verbose = false;
+  const char* path = nullptr;
+  long count = 5;
+  double rate = 1.0;
+  FlagParser parser;
+  parser.AddBool("--verbose", &verbose);
+  parser.AddString("--path", &path);
+  parser.AddLong("--count", &count, 0);
+  parser.AddDouble("--rate", &rate, 0.0);
+
+  Argv args({"--path", "out.csv", "--count", "12", "--verbose",
+             "--rate", "0.25"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(verbose);
+  EXPECT_STREQ(path, "out.csv");
+  EXPECT_EQ(count, 12);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenFlagsAbsent) {
+  long count = 7;
+  bool flag = false;
+  FlagParser parser;
+  parser.AddLong("--count", &count, 0);
+  parser.AddBool("--flag", &flag);
+  Argv args({});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(count, 7);
+  EXPECT_FALSE(flag);
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser parser;
+  bool flag = false;
+  parser.AddBool("--known", &flag);
+  Argv args({"--bogus-flag"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagParserTest, RejectsMissingValue) {
+  long count = 0;
+  FlagParser parser;
+  parser.AddLong("--count", &count, 0);
+  Argv args({"--count"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagParserTest, EnforcesLongRange) {
+  long port = -1;
+  FlagParser parser;
+  parser.AddLong("--port", &port, 0, 65535);
+  {
+    Argv args({"--port", "65535"});
+    EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+    EXPECT_EQ(port, 65535);
+  }
+  {
+    Argv args({"--port", "65536"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  }
+  {
+    Argv args({"--port", "-1"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  }
+  {
+    Argv args({"--port", "80x"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  }
+}
+
+TEST(FlagParserTest, EnforcesDoubleRangeAndExclusiveMin) {
+  double deadline = 1.0;
+  double percentile = 50.0;
+  FlagParser parser;
+  parser.AddDouble("--deadline-s", &deadline, 0.0,
+                   std::numeric_limits<double>::infinity(),
+                   /*exclusive_min=*/true);
+  parser.AddDouble("--percentile", &percentile, 0.0, 100.0);
+  {
+    Argv args({"--deadline-s", "0.5", "--percentile", "0"});
+    EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+    EXPECT_DOUBLE_EQ(deadline, 0.5);
+    EXPECT_DOUBLE_EQ(percentile, 0.0);  // inclusive lower bound ok
+  }
+  {
+    Argv args({"--deadline-s", "0"});  // exclusive lower bound rejected
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  }
+  {
+    Argv args({"--percentile", "100.5"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  }
+}
+
+TEST(FlagParserTest, LaterOccurrenceWins) {
+  long count = 0;
+  FlagParser parser;
+  parser.AddLong("--count", &count, 0);
+  Argv args({"--count", "3", "--count", "9"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(count, 9);
+}
+
+TEST(FlagParserTest, FlagLikeValueIsConsumedAsValue) {
+  // A value slot consumes the next token verbatim, even if it looks like a
+  // flag — matches getopt-style behavior and keeps parsing unambiguous.
+  const char* name = nullptr;
+  FlagParser parser;
+  parser.AddString("--name", &name);
+  Argv args({"--name", "--weird"});
+  EXPECT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_STREQ(name, "--weird");
+}
+
+}  // namespace
+}  // namespace hsgf::util

@@ -109,5 +109,45 @@ TEST(LruCacheTest, ConcurrentMixedTrafficStaysConsistent) {
   EXPECT_LE(cache.size(), cache.capacity());
 }
 
+TEST(LruCacheTest, ConcurrentInsertGetUnderConstantEviction) {
+  // Tiny capacity + large key range keeps every shard evicting on nearly
+  // every Put, so insert, hit, miss, and eviction paths interleave across
+  // threads constantly. Run under TSan (CI does) this is the lock-coverage
+  // test for the shard mutexes; under any build it checks the accounting
+  // invariants hold after heavy churn.
+  ShardedLruCache<int, std::vector<int>> cache(16, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeyRange = 512;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 131 + i * 7) % kKeyRange;
+        if ((t + i) % 2 == 0) {
+          // Payload derived from the key so readers can verify coherence.
+          cache.Put(key, std::vector<int>{key, key + 1, key + 2});
+        } else {
+          auto hit = cache.Get(key);
+          if (hit.has_value()) {
+            ASSERT_EQ(hit->size(), 3u);
+            EXPECT_EQ((*hit)[0], key);
+            EXPECT_EQ((*hit)[2], key + 2);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Far more inserts than capacity: evictions must have happened, and the
+  // size/capacity accounting must still be exact.
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 0);
+  // The cache must still work after the storm.
+  cache.Put(-1, std::vector<int>{-1, 0, 1});
+  EXPECT_TRUE(cache.Get(-1).has_value());
+}
+
 }  // namespace
 }  // namespace hsgf::util

@@ -200,7 +200,9 @@ TEST(FlatCountMapTest, ClearEmpties) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GT(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMicros(), 0);
   (void)sink;

@@ -26,12 +26,10 @@
 //
 // Example:
 //   ./hsgf_extract --graph citations.hsgf --all --emax 4 --out f.csv
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "core/extractor.h"
 #include "graph/io.h"
 #include "io/snapshot.h"
+#include "util/flags.h"
 #include "util/stop_token.h"
 
 namespace {
@@ -57,27 +56,6 @@ int Usage() {
                "                    [--save-snapshot FILE]\n"
                "       hsgf_extract --load-snapshot FILE [--out FILE]\n");
   return 2;
-}
-
-// Strict numeric parsing: the whole token must be consumed and in range.
-bool ParseLong(const char* s, long* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  long value = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  *out = value;
-  return true;
-}
-
-bool ParseDouble(const char* s, double* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  double value = std::strtod(s, &end);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  *out = value;
-  return true;
 }
 
 struct Options {
@@ -101,86 +79,25 @@ struct Options {
 // Returns false (after printing an error) on unknown flags, missing values,
 // or malformed numbers.
 bool ParseArgs(int argc, char** argv, Options* options) {
-  auto value_of = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
-    const char* value = nullptr;
-    if (is("--graph")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->graph_path = value;
-    } else if (is("--out")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->out_path = value;
-    } else if (is("--nodes")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->nodes_list = value;
-    } else if (is("--metrics-json")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->metrics_json = value;
-    } else if (is("--save-snapshot")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->save_snapshot = value;
-    } else if (is("--load-snapshot")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->load_snapshot = value;
-    } else if (is("--all")) {
-      options->all = true;
-    } else if (is("--mask-start-label")) {
-      options->mask_start_label = true;
-    } else if (is("--raw-counts")) {
-      options->raw_counts = true;
-    } else if (is("--progress")) {
-      options->progress = true;
-    } else if (is("--emax")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->emax) || options->emax < 1) {
-        std::fprintf(stderr, "error: invalid --emax value '%s'\n", value);
-        return false;
-      }
-    } else if (is("--dmax-percentile")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseDouble(value, &options->dmax_percentile) ||
-          options->dmax_percentile < 0.0 ||
-          options->dmax_percentile > 100.0) {
-        std::fprintf(stderr, "error: invalid --dmax-percentile value '%s'\n",
-                     value);
-        return false;
-      }
-    } else if (is("--max-features")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->max_features) ||
-          options->max_features < 0) {
-        std::fprintf(stderr, "error: invalid --max-features value '%s'\n",
-                     value);
-        return false;
-      }
-    } else if (is("--threads")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->threads) || options->threads < 0) {
-        std::fprintf(stderr, "error: invalid --threads value '%s'\n", value);
-        return false;
-      }
-    } else if (is("--deadline-s")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseDouble(value, &options->deadline_s) ||
-          options->deadline_s <= 0.0) {
-        std::fprintf(stderr, "error: invalid --deadline-s value '%s'\n",
-                     value);
-        return false;
-      }
-    } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
-      return false;
-    }
-  }
-  return true;
+  hsgf::util::FlagParser parser;
+  parser.AddString("--graph", &options->graph_path);
+  parser.AddString("--out", &options->out_path);
+  parser.AddString("--nodes", &options->nodes_list);
+  parser.AddString("--metrics-json", &options->metrics_json);
+  parser.AddString("--save-snapshot", &options->save_snapshot);
+  parser.AddString("--load-snapshot", &options->load_snapshot);
+  parser.AddBool("--all", &options->all);
+  parser.AddBool("--mask-start-label", &options->mask_start_label);
+  parser.AddBool("--raw-counts", &options->raw_counts);
+  parser.AddBool("--progress", &options->progress);
+  parser.AddLong("--emax", &options->emax, 1);
+  parser.AddDouble("--dmax-percentile", &options->dmax_percentile, 0.0, 100.0);
+  parser.AddLong("--max-features", &options->max_features, 0);
+  parser.AddLong("--threads", &options->threads, 0);
+  parser.AddDouble("--deadline-s", &options->deadline_s, 0.0,
+                   std::numeric_limits<double>::infinity(),
+                   /*exclusive_min=*/true);
+  return parser.Parse(argc, argv);
 }
 
 // CSV header cell for one feature column: the decoded characteristic
@@ -190,7 +107,13 @@ bool ParseArgs(int argc, char** argv, Options* options) {
 std::string FeatureColumnName(const hsgf::core::Encoding& encoding,
                               uint64_t hash, int effective_labels,
                               const std::vector<std::string>& label_names) {
-  if (encoding.empty()) return "h" + std::to_string(hash);
+  if (encoding.empty()) {
+    // Built via append: `"h" + std::to_string(...)` trips a GCC 12
+    // -Wrestrict false positive (PR105329) under -O3.
+    std::string name = "h";
+    name += std::to_string(hash);
+    return name;
+  }
   std::string name =
       hsgf::core::EncodingToString(encoding, effective_labels, label_names);
   for (char& c : name) {
@@ -279,7 +202,7 @@ int main(int argc, char** argv) {
     std::string token;
     while (std::getline(stream, token, ',')) {
       long id;
-      if (!ParseLong(token.c_str(), &id)) {
+      if (!util::ParseLong(token.c_str(), &id)) {
         std::fprintf(stderr, "error: invalid node id '%s' in --nodes\n",
                      token.c_str());
         return Usage();

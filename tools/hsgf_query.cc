@@ -19,7 +19,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -27,6 +26,7 @@
 #include <vector>
 
 #include "serve/protocol.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -47,16 +47,6 @@ int Usage() {
   return 2;
 }
 
-bool ParseLong(const char* s, long* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  long value = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  *out = value;
-  return true;
-}
-
 struct Options {
   const char* unix_socket = nullptr;
   const char* nodes_list = nullptr;
@@ -69,50 +59,16 @@ struct Options {
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
-  auto value_of = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
-    const char* value = nullptr;
-    if (is("--unix-socket")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->unix_socket = value;
-    } else if (is("--nodes")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->nodes_list = value;
-    } else if (is("--tcp-port")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->tcp_port) || options->tcp_port < 0 ||
-          options->tcp_port > 65535) {
-        std::fprintf(stderr, "error: invalid --tcp-port value '%s'\n", value);
-        return false;
-      }
-    } else if (is("--top-k")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->top_k) || options->top_k < 1) {
-        std::fprintf(stderr, "error: invalid --top-k value '%s'\n", value);
-        return false;
-      }
-    } else if (is("--vocab")) {
-      options->vocab = true;
-    } else if (is("--stats")) {
-      options->stats = true;
-    } else if (is("--shutdown")) {
-      options->shutdown = true;
-    } else if (is("--verbose")) {
-      options->verbose = true;
-    } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
-      return false;
-    }
-  }
-  return true;
+  hsgf::util::FlagParser parser;
+  parser.AddString("--unix-socket", &options->unix_socket);
+  parser.AddString("--nodes", &options->nodes_list);
+  parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
+  parser.AddLong("--top-k", &options->top_k, 1);
+  parser.AddBool("--vocab", &options->vocab);
+  parser.AddBool("--stats", &options->stats);
+  parser.AddBool("--shutdown", &options->shutdown);
+  parser.AddBool("--verbose", &options->verbose);
+  return parser.Parse(argc, argv);
 }
 
 int Connect(const Options& options) {
@@ -200,7 +156,7 @@ int main(int argc, char** argv) {
     std::string token;
     while (std::getline(stream, token, ',')) {
       long id;
-      if (!ParseLong(token.c_str(), &id)) {
+      if (!hsgf::util::ParseLong(token.c_str(), &id)) {
         std::fprintf(stderr, "error: invalid node id '%s' in --nodes\n",
                      token.c_str());
         return Usage();

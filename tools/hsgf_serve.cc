@@ -19,8 +19,6 @@
 // counters) as JSON.
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -29,6 +27,7 @@
 #include "io/snapshot.h"
 #include "serve/feature_service.h"
 #include "serve/server.h"
+#include "util/flags.h"
 #include "util/metrics.h"
 
 namespace {
@@ -49,26 +48,6 @@ int Usage() {
   return 2;
 }
 
-bool ParseLong(const char* s, long* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  long value = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  *out = value;
-  return true;
-}
-
-bool ParseDouble(const char* s, double* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  double value = std::strtod(s, &end);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  *out = value;
-  return true;
-}
-
 struct Options {
   const char* snapshot_path = nullptr;
   const char* graph_path = nullptr;
@@ -81,66 +60,16 @@ struct Options {
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
-  auto value_of = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: flag %s requires a value\n", argv[i]);
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto is = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
-    const char* value = nullptr;
-    if (is("--snapshot")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->snapshot_path = value;
-    } else if (is("--graph")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->graph_path = value;
-    } else if (is("--unix-socket")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->unix_socket = value;
-    } else if (is("--metrics-json")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      options->metrics_json = value;
-    } else if (is("--tcp-port")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->tcp_port) || options->tcp_port < 0 ||
-          options->tcp_port > 65535) {
-        std::fprintf(stderr, "error: invalid --tcp-port value '%s'\n", value);
-        return false;
-      }
-    } else if (is("--cache-capacity")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->cache_capacity) ||
-          options->cache_capacity < 0) {
-        std::fprintf(stderr, "error: invalid --cache-capacity value '%s'\n",
-                     value);
-        return false;
-      }
-    } else if (is("--max-requests")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseLong(value, &options->max_requests) ||
-          options->max_requests < 0) {
-        std::fprintf(stderr, "error: invalid --max-requests value '%s'\n",
-                     value);
-        return false;
-      }
-    } else if (is("--deadline-s")) {
-      if ((value = value_of(i)) == nullptr) return false;
-      if (!ParseDouble(value, &options->deadline_s) ||
-          options->deadline_s < 0.0) {
-        std::fprintf(stderr, "error: invalid --deadline-s value '%s'\n",
-                     value);
-        return false;
-      }
-    } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
-      return false;
-    }
-  }
-  return true;
+  hsgf::util::FlagParser parser;
+  parser.AddString("--snapshot", &options->snapshot_path);
+  parser.AddString("--graph", &options->graph_path);
+  parser.AddString("--unix-socket", &options->unix_socket);
+  parser.AddString("--metrics-json", &options->metrics_json);
+  parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
+  parser.AddLong("--cache-capacity", &options->cache_capacity, 0);
+  parser.AddLong("--max-requests", &options->max_requests, 0);
+  parser.AddDouble("--deadline-s", &options->deadline_s, 0.0);
+  return parser.Parse(argc, argv);
 }
 
 }  // namespace
