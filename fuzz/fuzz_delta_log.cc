@@ -1,0 +1,59 @@
+// Fuzz harness for the streaming delta-log parser and the batch-payload
+// codec (src/stream/delta_log.cc) — the bytes a daemon replays from disk
+// after a crash, i.e. exactly the torn/corrupt inputs the format exists to
+// survive.
+//
+// Two decode surfaces share each input: the whole buffer is parsed as a
+// delta-log file (header + CRC-framed records), and the buffer after the
+// first byte is decoded as a bare batch payload. Both decoders are strict
+// and the encoders canonical, so anything that decodes must re-encode to
+// identical bytes; a silent misread becomes a crash, not a missed bug.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/delta_log.h"
+#include "util/check.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1u << 20;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+
+  // Surface 1: the full delta-log format. Every decoded batch must survive
+  // an encode/decode round trip unchanged.
+  const hsgf::stream::DeltaLogContents contents =
+      hsgf::stream::ParseDeltaLog({data, size});
+  if (contents.ok()) {
+    HSGF_CHECK(contents.valid_bytes <= size) << "valid prefix beyond input";
+    for (const std::vector<hsgf::stream::DeltaOp>& batch : contents.batches) {
+      const std::string payload = hsgf::stream::EncodeBatchPayload(
+          {batch.data(), batch.size()});
+      std::vector<hsgf::stream::DeltaOp> reparsed;
+      HSGF_CHECK(hsgf::stream::DecodeBatchPayload(
+          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+          &reparsed))
+          << "canonical re-encoding failed to decode";
+      HSGF_CHECK(reparsed == batch) << "batch round-trip changed ops";
+    }
+  }
+
+  // Surface 2: a bare batch payload (the kApplyUpdate request body).
+  if (size < 1) return 0;
+  std::vector<hsgf::stream::DeltaOp> ops;
+  if (!hsgf::stream::DecodeBatchPayload({data + 1, size - 1}, &ops)) return 0;
+  const std::string reencoded =
+      hsgf::stream::EncodeBatchPayload({ops.data(), ops.size()});
+  HSGF_CHECK_EQ(reencoded.size(), size - 1)
+      << "payload round-trip changed length";
+  HSGF_CHECK(reencoded.empty() ||
+             std::memcmp(reencoded.data(), data + 1, size - 1) == 0)
+      << "payload round-trip changed bytes";
+  return 0;
+}

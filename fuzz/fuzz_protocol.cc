@@ -2,8 +2,10 @@
 // bytes a garbage or hostile peer can put on the daemon's socket.
 //
 // The first input byte selects what the rest of the payload is decoded as:
-// mode 0 -> DecodeRequest, modes 1..5 -> DecodeResponse for that
-// MessageType. Because the decoders demand the frame be fully consumed
+// mode 0 -> DecodeRequest, modes 1..7 -> DecodeResponse for that
+// MessageType (6 and 7 are the streaming kApplyUpdate / kGetEpoch replies;
+// the kApplyUpdate *request* body — a delta batch payload — is reached
+// through mode 0). Because the decoders demand the frame be fully consumed
 // (AtEnd) and the encoders are canonical, any payload that decodes must
 // re-encode to the identical bytes; the harness checks that round-trip, so a
 // decoder that silently misreads a field is a crash, not a missed bug.
@@ -25,7 +27,7 @@ using hsgf::serve::MessageType;
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size == 0 || size > kMaxInputBytes) return 0;
-  const uint8_t mode = data[0] % 6;
+  const uint8_t mode = data[0] % 8;
   const std::span<const uint8_t> payload(data + 1, size - 1);
 
   if (mode == 0) {

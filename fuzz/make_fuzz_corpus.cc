@@ -1,8 +1,9 @@
 // Seed-corpus generator for the fuzz/ harnesses. Writes deterministic seed
-// inputs under DIR/{snapshot,protocol,graph}/ — a real saved snapshot, every
-// request/response wire shape (with the harness's one-byte mode prefix), and
-// a spread of valid and near-valid graph texts — so the fuzzers start from
-// deep program states instead of rediscovering the formats byte by byte.
+// inputs under DIR/{snapshot,protocol,graph,stream}/ — a real saved
+// snapshot, every request/response wire shape (with the harness's one-byte
+// mode prefix), a spread of valid and near-valid graph texts, and delta logs
+// in the states a crash leaves behind — so the fuzzers start from deep
+// program states instead of rediscovering the formats byte by byte.
 //
 // Usage: make_fuzz_corpus DIR
 #include <sys/stat.h>
@@ -11,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "graph/io.h"
 #include "io/snapshot.h"
 #include "serve/protocol.h"
+#include "stream/delta_log.h"
 
 namespace {
 
@@ -93,17 +96,29 @@ bool WriteProtocolSeeds(const std::string& dir) {
   stats.type = MessageType::kStats;
   Request shutdown;
   shutdown.type = MessageType::kShutdown;
+  Request apply;
+  apply.type = MessageType::kApplyUpdate;
+  apply.ops = {hsgf::stream::DeltaOp::AddNode(1),
+               hsgf::stream::DeltaOp::AddEdge(3, 9),
+               hsgf::stream::DeltaOp::RemoveEdge(3, 9)};
+  Request epoch_req;
+  epoch_req.type = MessageType::kGetEpoch;
   bool ok = WriteSeed(dir + "/req_features.bin",
                       Mode(0, EncodeRequest(features))) &&
             WriteSeed(dir + "/req_topk.bin", Mode(0, EncodeRequest(topk))) &&
             WriteSeed(dir + "/req_vocab.bin", Mode(0, EncodeRequest(vocab))) &&
             WriteSeed(dir + "/req_stats.bin", Mode(0, EncodeRequest(stats))) &&
             WriteSeed(dir + "/req_shutdown.bin",
-                      Mode(0, EncodeRequest(shutdown)));
+                      Mode(0, EncodeRequest(shutdown))) &&
+            WriteSeed(dir + "/req_apply_update.bin",
+                      Mode(0, EncodeRequest(apply))) &&
+            WriteSeed(dir + "/req_get_epoch.bin",
+                      Mode(0, EncodeRequest(epoch_req)));
 
   Response values;
   values.values = {1.5, 0.0, -2.25};
   values.source = 2;
+  values.epoch = 7;
   Response hashes;
   hashes.hashes = {0x1234567890abcdefULL, 7};
   Response entries;
@@ -115,6 +130,17 @@ bool WriteProtocolSeeds(const std::string& dir) {
   failure.status = StatusCode::kNotFound;
   failure.text = "node 9 not found";
   Response empty;
+  Response update;
+  update.epoch = 12;
+  update.applied = 2;
+  update.rejected = 1;
+  update.dirty_roots = 17;
+  update.new_columns = 3;
+  Response epoch_info;
+  epoch_info.stream_attached = 1;
+  epoch_info.epoch = 12;
+  epoch_info.num_columns = 64;
+  epoch_info.overlay_rows = 9;
   ok = ok &&
        WriteSeed(dir + "/resp_features.bin",
                  Mode(1, EncodeResponse(MessageType::kGetFeatures, values))) &&
@@ -127,8 +153,58 @@ bool WriteProtocolSeeds(const std::string& dir) {
        WriteSeed(dir + "/resp_error.bin",
                  Mode(1, EncodeResponse(MessageType::kGetFeatures, failure))) &&
        WriteSeed(dir + "/resp_shutdown.bin",
-                 Mode(5, EncodeResponse(MessageType::kShutdown, empty)));
+                 Mode(5, EncodeResponse(MessageType::kShutdown, empty))) &&
+       WriteSeed(dir + "/resp_apply_update.bin",
+                 Mode(6, EncodeResponse(MessageType::kApplyUpdate, update))) &&
+       WriteSeed(dir + "/resp_get_epoch.bin",
+                 Mode(7, EncodeResponse(MessageType::kGetEpoch, epoch_info)));
   return ok;
+}
+
+// Delta-log seeds for fuzz_delta_log: an intact two-batch log written by the
+// real writer, then the post-crash shapes its parser must absorb (torn tail,
+// corrupt record, bare header) and the ones it must reject (wrong magic).
+bool WriteStreamSeeds(const std::string& dir) {
+  using hsgf::stream::DeltaOp;
+  const std::vector<DeltaOp> batch1 = {DeltaOp::AddNode(1),
+                                       DeltaOp::AddEdge(0, 4)};
+  const std::vector<DeltaOp> batch2 = {DeltaOp::RemoveEdge(0, 4),
+                                       DeltaOp::AddEdge(2, 5)};
+  const std::string valid_path = dir + "/valid.bin";
+  {
+    hsgf::stream::DeltaLogWriter writer;
+    std::string error;
+    if (!writer.Open(valid_path, &error) ||
+        !writer.Append({batch1.data(), batch1.size()}, &error) ||
+        !writer.Append({batch2.data(), batch2.size()}, &error)) {
+      std::fprintf(stderr, "error: delta log: %s\n", error.c_str());
+      return false;
+    }
+  }
+  std::ifstream in(valid_path, std::ios::binary);
+  const std::string valid((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (valid.size() <= hsgf::stream::kDeltaLogHeaderBytes) {
+    std::fprintf(stderr, "error: delta log seed came out empty\n");
+    return false;
+  }
+
+  std::string bad_crc = valid;
+  bad_crc.back() = static_cast<char>(bad_crc.back() ^ 0x5a);
+  std::string bad_magic = valid;
+  bad_magic[0] = 'X';
+  // The harness decodes bytes after the first as a bare batch payload, so a
+  // one-byte pad puts a canonical kApplyUpdate body on that surface too.
+  const std::string payload =
+      '\0' + hsgf::stream::EncodeBatchPayload({batch1.data(), batch1.size()});
+  return WriteSeed(dir + "/torn_tail.bin",
+                   valid.substr(0, valid.size() - 3)) &&
+         WriteSeed(dir + "/bad_crc.bin", bad_crc) &&
+         WriteSeed(dir + "/header_only.bin",
+                   valid.substr(0, hsgf::stream::kDeltaLogHeaderBytes)) &&
+         WriteSeed(dir + "/bad_magic.bin", bad_magic) &&
+         WriteSeed(dir + "/batch_payload.bin", payload) &&
+         WriteSeed(dir + "/empty.bin", "");
 }
 
 bool WriteGraphSeeds(const std::string& dir) {
@@ -166,12 +242,14 @@ int main(int argc, char** argv) {
   }
   const std::string root = argv[1];
   if (!MakeDir(root) || !MakeDir(root + "/snapshot") ||
-      !MakeDir(root + "/protocol") || !MakeDir(root + "/graph")) {
+      !MakeDir(root + "/protocol") || !MakeDir(root + "/graph") ||
+      !MakeDir(root + "/stream")) {
     return 1;
   }
   if (!WriteSnapshotSeeds(root + "/snapshot") ||
       !WriteProtocolSeeds(root + "/protocol") ||
-      !WriteGraphSeeds(root + "/graph")) {
+      !WriteGraphSeeds(root + "/graph") ||
+      !WriteStreamSeeds(root + "/stream")) {
     return 1;
   }
   std::fprintf(stderr, "corpus written under %s\n", root.c_str());

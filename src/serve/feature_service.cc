@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/encoding.h"
+#include "util/check.h"
 #include "util/stop_token.h"
 #include "util/timer.h"
 
@@ -24,6 +25,10 @@ FeatureService::FeatureService(io::Snapshot snapshot,
   not_found_ = metrics_.Counter("serve.not_found");
   deadline_exceeded_ = metrics_.Counter("serve.deadline_exceeded");
   cold_census_micros_ = metrics_.Histogram("serve.cold_census_micros");
+  stream_hits_ = metrics_.Counter("serve.stream_hits");
+  updates_ = metrics_.Counter("serve.updates");
+  update_dirty_roots_ = metrics_.Counter("serve.update_dirty_roots");
+  cache_invalidations_ = metrics_.Counter("serve.cache_invalidations");
 
   const auto hashes = snapshot_.feature_hashes();
   column_of_.reserve(hashes.size());
@@ -52,24 +57,120 @@ bool FeatureService::AttachGraph(const graph::HetGraph& graph,
   return true;
 }
 
+bool FeatureService::AttachStream(stream::StreamEngine& engine,
+                                  std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (engine.label_names() != snapshot_.label_names()) {
+    return fail("stream engine label alphabet does not match the snapshot's");
+  }
+  const core::CensusConfig& census = engine.census_config();
+  if (census.max_edges != snapshot_.max_edges() ||
+      census.max_degree != snapshot_.effective_dmax() ||
+      census.mask_start_label != snapshot_.mask_start_label() ||
+      census.hash_seed != snapshot_.hash_seed()) {
+    return fail(
+        "stream engine census parameters (emax/dmax/mask/seed) do not match "
+        "the snapshot's");
+  }
+  if (engine.log1p_transform() != snapshot_.log1p_transform()) {
+    return fail("stream engine value transform does not match the snapshot's");
+  }
+  if (engine.epoch() != 0 || engine.num_columns() != 0) {
+    return fail("stream engine already carries state; attach a fresh one");
+  }
+  const auto hashes = snapshot_.feature_hashes();
+  engine.SeedVocabulary({hashes.data(), hashes.size()});
+  stream_ = &engine;
+  return true;
+}
+
 FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node) {
+  const uint64_t epoch = stream_ != nullptr ? stream_->epoch() : 0;
+
+  // Incrementally maintained rows first: they reflect graph mutations the
+  // snapshot predates, so they must shadow the snapshot's stale row.
+  if (stream_ != nullptr) {
+    if (auto streamed = stream_->DenseRow(node)) {
+      metrics_.Increment(stream_hits_);
+      return {Outcome::kOk, FeatureSource::kStream, std::move(*streamed),
+              epoch};
+    }
+  }
   const int64_t row = snapshot_.FindRow(node);
   if (row >= 0) {
     metrics_.Increment(snapshot_hits_);
-    return {Outcome::kOk, FeatureSource::kSnapshot,
-            snapshot_.DenseRow(static_cast<uint32_t>(row))};
+    std::vector<double> values = snapshot_.DenseRow(static_cast<uint32_t>(row));
+    if (stream_ != nullptr) {
+      // The stream vocabulary extends the snapshot's, never reorders it, so
+      // a snapshot row is served at the current width by zero-padding.
+      values.resize(stream_->num_columns(), 0.0);
+    }
+    return {Outcome::kOk, FeatureSource::kSnapshot, std::move(values), epoch};
   }
   if (auto cached = cache_.Get(node)) {
     metrics_.Increment(cache_hits_);
-    return {Outcome::kOk, FeatureSource::kCache, std::move(*cached)};
+    return {Outcome::kOk, FeatureSource::kCache, std::move(*cached), epoch};
+  }
+  if (stream_ != nullptr) {
+    if (node < 0 || node >= stream_->num_nodes()) {
+      metrics_.Increment(not_found_);
+      return {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
+    }
+    metrics_.Increment(cache_misses_);
+    return ComputeColdStream(node);
   }
   if (extractor_ == nullptr || node < 0 ||
       node >= extractor_->graph().num_nodes()) {
     metrics_.Increment(not_found_);
-    return {Outcome::kNotFound, FeatureSource::kComputed, {}};
+    return {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
   }
   metrics_.Increment(cache_misses_);
   return ComputeCold(node);
+}
+
+FeatureService::UpdateReply FeatureService::ApplyUpdate(
+    std::span<const stream::DeltaOp> ops) {
+  HSGF_CHECK(stream_ != nullptr) << "ApplyUpdate without an attached stream";
+  stream::StreamEngine::ApplyResult applied = stream_->ApplyBatch(ops);
+  metrics_.Increment(updates_);
+  metrics_.Increment(update_dirty_roots_,
+                     static_cast<int64_t>(applied.dirty_roots.size()));
+
+  if (applied.new_columns > 0) {
+    // Every cached vector is now short (and a cached census may even have
+    // counted one of the newly interned hashes); drop them all. Vocabulary
+    // growth is rare at steady state — a mature base graph has already
+    // exposed most encodings — so this stays cheap in the common case.
+    const auto dropped = static_cast<int64_t>(cache_.size());
+    cache_.Clear();
+    metrics_.Increment(cache_invalidations_, dropped);
+  } else {
+    for (const graph::NodeId root : applied.dirty_roots) {
+      if (cache_.Erase(root)) metrics_.Increment(cache_invalidations_);
+    }
+  }
+
+  UpdateReply reply;
+  reply.epoch = applied.epoch;
+  reply.applied = applied.applied;
+  reply.rejected = applied.rejected;
+  reply.dirty_roots = static_cast<int>(applied.dirty_roots.size());
+  reply.new_columns = applied.new_columns;
+  reply.first_error = std::move(applied.first_error);
+  return reply;
+}
+
+FeatureService::EpochInfo FeatureService::GetEpoch() const {
+  EpochInfo info;
+  if (stream_ == nullptr) return info;
+  info.stream_attached = true;
+  info.epoch = stream_->epoch();
+  info.num_columns = stream_->num_columns();
+  info.overlay_rows = stream_->overlay_rows();
+  return info;
 }
 
 FeatureService::FeatureReply FeatureService::ComputeCold(graph::NodeId node) {
@@ -101,10 +202,36 @@ FeatureService::FeatureReply FeatureService::ComputeCold(graph::NodeId node) {
                                : static_cast<double>(count);
   });
   cache_.Put(node, values);
-  return {Outcome::kOk, FeatureSource::kComputed, std::move(values)};
+  return {Outcome::kOk, FeatureSource::kComputed, std::move(values), 0};
+}
+
+FeatureService::FeatureReply FeatureService::ComputeColdStream(
+    graph::NodeId node) {
+  util::StopSource stop_source;
+  util::StopToken stop;
+  if (config_.cold_census_deadline_s > 0.0) {
+    stop_source.SetDeadlineAfter(config_.cold_census_deadline_s);
+    stop = stop_source.Token();
+  }
+  util::Stopwatch watch;
+  std::optional<core::CensusResult> census = stream_->CensusNode(node, stop);
+  metrics_.Observe(cold_census_micros_, watch.ElapsedMicros());
+  const uint64_t epoch = stream_->epoch();
+  if (!census.has_value()) {
+    metrics_.Increment(not_found_);
+    return {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
+  }
+  if (census->stopped) {
+    metrics_.Increment(deadline_exceeded_);
+    return {Outcome::kDeadline, FeatureSource::kComputed, {}, epoch};
+  }
+  std::vector<double> values = stream_->ProjectCounts(census->counts);
+  cache_.Put(node, values);
+  return {Outcome::kOk, FeatureSource::kComputed, std::move(values), epoch};
 }
 
 std::vector<uint64_t> FeatureService::Vocabulary() const {
+  if (stream_ != nullptr) return stream_->vocabulary();
   const auto hashes = snapshot_.feature_hashes();
   return {hashes.begin(), hashes.end()};
 }
@@ -158,6 +285,12 @@ FeatureService::Stats FeatureService::GetStats() const {
   stats.max_edges = snapshot_.max_edges();
   stats.effective_dmax = snapshot_.effective_dmax();
   stats.graph_attached = extractor_ != nullptr;
+  stats.stream_attached = stream_ != nullptr;
+  if (stream_ != nullptr) {
+    stats.epoch = stream_->epoch();
+    stats.stream_columns = stream_->num_columns();
+    stats.stream_rows = stream_->overlay_rows();
+  }
   stats.cache_entries = cache_.size();
   stats.cache_capacity = cache_.capacity();
   stats.cache_evictions = cache_.evictions();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "core/extractor.h"
 #include "graph/het_graph.h"
 #include "io/snapshot.h"
+#include "stream/delta_log.h"
+#include "stream/stream_engine.h"
 #include "util/lru_cache.h"
 #include "util/metrics.h"
 
@@ -21,6 +24,7 @@ enum class FeatureSource : uint8_t {
   kSnapshot = 0,  // row was persisted in the snapshot
   kCache = 1,     // previously computed on demand, still in the LRU
   kComputed = 2,  // cold miss: censused on demand against the live graph
+  kStream = 3,    // incrementally re-censused after a live graph update
 };
 
 struct FeatureServiceConfig {
@@ -57,8 +61,18 @@ class FeatureService {
   // returns false with *error set on a mismatch.
   bool AttachGraph(const graph::HetGraph& graph, std::string* error = nullptr);
 
+  // Enables live updates: graph mutations via ApplyUpdate(), per-epoch
+  // feature versioning, and incremental rows taking precedence over stale
+  // snapshot rows. The engine must outlive the service, carry the snapshot's
+  // label alphabet and census parameters, and be pristine (epoch 0, empty
+  // vocabulary) — its vocabulary is seeded with the snapshot's columns so
+  // streamed features extend, never renumber, the snapshot's coordinate
+  // system. The stream path supersedes an attached graph for cold misses.
+  bool AttachStream(stream::StreamEngine& engine, std::string* error = nullptr);
+
   const io::Snapshot& snapshot() const { return snapshot_; }
   bool has_graph() const { return extractor_ != nullptr; }
+  bool has_stream() const { return stream_ != nullptr; }
 
   enum class Outcome : uint8_t {
     kOk = 0,
@@ -69,13 +83,42 @@ class FeatureService {
   struct FeatureReply {
     Outcome outcome = Outcome::kOk;
     FeatureSource source = FeatureSource::kSnapshot;
-    // Dense vector in the snapshot's column order (empty unless kOk).
+    // Dense vector in the current vocabulary's column order (empty unless
+    // kOk). Without a stream that is the snapshot's column order; with one,
+    // the snapshot's columns followed by any streamed extensions.
     std::vector<double> values;
+    // Stream epoch the reply reflects (0 without an attached stream).
+    uint64_t epoch = 0;
   };
 
   FeatureReply GetFeatures(graph::NodeId node);
 
-  // The snapshot's column hashes, in column order.
+  struct UpdateReply {
+    uint64_t epoch = 0;
+    int applied = 0;
+    int rejected = 0;
+    int dirty_roots = 0;
+    int new_columns = 0;
+    std::string first_error;
+  };
+
+  // Applies a delta batch to the attached stream engine, then invalidates
+  // exactly the dirty roots in the LRU (plus the whole cache when the
+  // vocabulary grew, since cached vectors would be short). Requires
+  // has_stream().
+  UpdateReply ApplyUpdate(std::span<const stream::DeltaOp> ops);
+
+  struct EpochInfo {
+    bool stream_attached = false;
+    uint64_t epoch = 0;
+    size_t num_columns = 0;
+    size_t overlay_rows = 0;
+  };
+
+  EpochInfo GetEpoch() const;
+
+  // The current column hashes, in column order (snapshot's, extended by the
+  // stream when one is attached).
   std::vector<uint64_t> Vocabulary() const;
 
   struct VocabularyEntry {
@@ -95,6 +138,10 @@ class FeatureService {
     int max_edges = 0;
     int effective_dmax = 0;
     bool graph_attached = false;
+    bool stream_attached = false;
+    uint64_t epoch = 0;
+    size_t stream_columns = 0;
+    size_t stream_rows = 0;
     size_t cache_entries = 0;
     size_t cache_capacity = 0;
     int64_t cache_evictions = 0;
@@ -104,11 +151,13 @@ class FeatureService {
 
  private:
   FeatureReply ComputeCold(graph::NodeId node);
+  FeatureReply ComputeColdStream(graph::NodeId node);
 
   io::Snapshot snapshot_;
   util::MetricsRegistry& metrics_;
   FeatureServiceConfig config_;
   std::unique_ptr<core::Extractor> extractor_;  // null until AttachGraph
+  stream::StreamEngine* stream_ = nullptr;      // null until AttachStream
   std::unordered_map<uint64_t, uint32_t> column_of_;
   util::ShardedLruCache<graph::NodeId, std::vector<double>> cache_;
 
@@ -118,6 +167,10 @@ class FeatureService {
   util::MetricId not_found_ = util::kInvalidMetric;
   util::MetricId deadline_exceeded_ = util::kInvalidMetric;
   util::MetricId cold_census_micros_ = util::kInvalidMetric;
+  util::MetricId stream_hits_ = util::kInvalidMetric;
+  util::MetricId updates_ = util::kInvalidMetric;
+  util::MetricId update_dirty_roots_ = util::kInvalidMetric;
+  util::MetricId cache_invalidations_ = util::kInvalidMetric;
 };
 
 }  // namespace hsgf::serve

@@ -117,9 +117,15 @@ std::string EncodeRequest(const Request& request) {
     case MessageType::kTopKEncodings:
       writer.PutU32(request.k);
       break;
+    case MessageType::kApplyUpdate:
+      // The body is the canonical delta-batch payload, byte-identical to a
+      // delta-log record's payload, so a server can log it verbatim.
+      payload += stream::EncodeBatchPayload(request.ops);
+      break;
     case MessageType::kGetVocabulary:
     case MessageType::kStats:
     case MessageType::kShutdown:
+    case MessageType::kGetEpoch:
       break;
   }
   return payload;
@@ -135,9 +141,13 @@ bool DecodeRequest(std::span<const uint8_t> payload, Request* request) {
       return reader.GetI32(&request->node) && reader.AtEnd();
     case MessageType::kTopKEncodings:
       return reader.GetU32(&request->k) && reader.AtEnd();
+    case MessageType::kApplyUpdate:
+      // DecodeBatchPayload is strict (full consumption), so AtEnd holds.
+      return stream::DecodeBatchPayload(payload.subspan(1), &request->ops);
     case MessageType::kGetVocabulary:
     case MessageType::kStats:
     case MessageType::kShutdown:
+    case MessageType::kGetEpoch:
       return reader.AtEnd();
   }
   return false;  // unknown message type
@@ -154,6 +164,7 @@ std::string EncodeResponse(MessageType type, const Response& response) {
   switch (type) {
     case MessageType::kGetFeatures:
       writer.PutU8(response.source);
+      writer.PutU64(response.epoch);
       writer.PutU32(static_cast<uint32_t>(response.values.size()));
       for (double v : response.values) writer.PutF64(v);
       break;
@@ -174,6 +185,19 @@ std::string EncodeResponse(MessageType type, const Response& response) {
       break;
     case MessageType::kShutdown:
       break;
+    case MessageType::kApplyUpdate:
+      writer.PutU64(response.epoch);
+      writer.PutU32(response.applied);
+      writer.PutU32(response.rejected);
+      writer.PutU32(response.dirty_roots);
+      writer.PutU32(response.new_columns);
+      break;
+    case MessageType::kGetEpoch:
+      writer.PutU8(response.stream_attached);
+      writer.PutU64(response.epoch);
+      writer.PutU32(response.num_columns);
+      writer.PutU64(response.overlay_rows);
+      break;
   }
   return payload;
 }
@@ -190,8 +214,8 @@ bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
   switch (type) {
     case MessageType::kGetFeatures: {
       uint32_t n = 0;
-      if (!reader.GetU8(&response->source) || !reader.GetU32(&n) ||
-          reader.Remaining() != n * sizeof(double)) {
+      if (!reader.GetU8(&response->source) || !reader.GetU64(&response->epoch) ||
+          !reader.GetU32(&n) || reader.Remaining() != n * sizeof(double)) {
         return false;
       }
       response->values.resize(n);
@@ -229,6 +253,17 @@ bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
       return reader.GetString(&response->text) && reader.AtEnd();
     case MessageType::kShutdown:
       return reader.AtEnd();
+    case MessageType::kApplyUpdate:
+      return reader.GetU64(&response->epoch) &&
+             reader.GetU32(&response->applied) &&
+             reader.GetU32(&response->rejected) &&
+             reader.GetU32(&response->dirty_roots) &&
+             reader.GetU32(&response->new_columns) && reader.AtEnd();
+    case MessageType::kGetEpoch:
+      return reader.GetU8(&response->stream_attached) &&
+             reader.GetU64(&response->epoch) &&
+             reader.GetU32(&response->num_columns) &&
+             reader.GetU64(&response->overlay_rows) && reader.AtEnd();
   }
   return false;
 }

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "stream/delta_log.h"
+
 namespace hsgf::serve {
 
 // Wire protocol of the hsgf_serve daemon. Everything is little-endian.
@@ -24,12 +26,21 @@ namespace hsgf::serve {
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 enum class MessageType : uint8_t {
-  kGetFeatures = 1,    // body: i32 node        -> u8 source, u32 n, f64[n]
+  kGetFeatures = 1,    // body: i32 node        -> u8 source, u64 epoch,
+                       //                          u32 n, f64[n]
   kGetVocabulary = 2,  // body: empty           -> u32 n, u64 hash[n]
   kTopKEncodings = 3,  // body: u32 k           -> u32 n, n x (u64 hash,
                        //                          f64 total, string encoding)
   kStats = 4,          // body: empty           -> string (JSON)
   kShutdown = 5,       // body: empty           -> empty; daemon then exits
+  kApplyUpdate = 6,    // body: delta batch payload (stream/delta_log.h)
+                       //                       -> u64 epoch, u32 applied,
+                       //                          u32 rejected,
+                       //                          u32 dirty_roots,
+                       //                          u32 new_columns
+  kGetEpoch = 7,       // body: empty           -> u8 stream_attached,
+                       //                          u64 epoch, u32 num_columns,
+                       //                          u64 overlay_rows
 };
 
 enum class StatusCode : uint8_t {
@@ -43,6 +54,7 @@ struct Request {
   MessageType type = MessageType::kGetFeatures;
   int32_t node = 0;  // kGetFeatures
   uint32_t k = 0;    // kTopKEncodings
+  std::vector<stream::DeltaOp> ops;  // kApplyUpdate
 };
 
 struct TopKEntry {
@@ -54,10 +66,18 @@ struct TopKEntry {
 struct Response {
   StatusCode status = StatusCode::kOk;
   uint8_t source = 0;             // kGetFeatures (serve::FeatureSource)
+  uint64_t epoch = 0;             // kGetFeatures / kApplyUpdate / kGetEpoch
   std::vector<double> values;     // kGetFeatures
   std::vector<uint64_t> hashes;   // kGetVocabulary
   std::vector<TopKEntry> entries; // kTopKEncodings
   std::string text;               // kStats JSON, or the error message
+  uint32_t applied = 0;           // kApplyUpdate
+  uint32_t rejected = 0;          // kApplyUpdate
+  uint32_t dirty_roots = 0;       // kApplyUpdate
+  uint32_t new_columns = 0;       // kApplyUpdate
+  uint8_t stream_attached = 0;    // kGetEpoch
+  uint32_t num_columns = 0;       // kGetEpoch
+  uint64_t overlay_rows = 0;      // kGetEpoch
 };
 
 std::string EncodeRequest(const Request& request);

@@ -18,11 +18,13 @@ namespace {
 
 // Latency histogram suffix per message type (indexed by type value - 1).
 const char* const kTypeNames[] = {"get_features", "get_vocabulary",
-                                  "top_k_encodings", "stats", "shutdown"};
+                                  "top_k_encodings", "stats", "shutdown",
+                                  "apply_update", "get_epoch"};
+constexpr int kNumTypes = 7;
 
 int TypeIndex(MessageType type) {
   const int index = static_cast<int>(type) - 1;
-  return (index >= 0 && index < 5) ? index : -1;
+  return (index >= 0 && index < kNumTypes) ? index : -1;
 }
 
 }  // namespace
@@ -34,7 +36,7 @@ SocketServer::SocketServer(FeatureService& service,
   requests_total_ = metrics_.Counter("serve.requests_total");
   bad_requests_ = metrics_.Counter("serve.bad_requests");
   request_micros_ = metrics_.Histogram("serve.request_micros");
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < kNumTypes; ++i) {
     request_micros_by_type_[i] = metrics_.Histogram(
         std::string("serve.request_micros.") + kTypeNames[i]);
   }
@@ -187,6 +189,7 @@ std::string SocketServer::HandleRequest(const Request& request,
   switch (request.type) {
     case MessageType::kGetFeatures: {
       FeatureService::FeatureReply reply = service_.GetFeatures(request.node);
+      response.epoch = reply.epoch;
       switch (reply.outcome) {
         case FeatureService::Outcome::kOk:
           response.source = static_cast<uint8_t>(reply.source);
@@ -222,6 +225,40 @@ std::string SocketServer::HandleRequest(const Request& request,
     case MessageType::kShutdown:
       *shutdown = true;
       break;
+    case MessageType::kApplyUpdate: {
+      if (!service_.has_stream()) {
+        response.status = StatusCode::kError;
+        response.text =
+            "updates are disabled (daemon started without --delta-log / "
+            "stream support)";
+        break;
+      }
+      // Write-ahead: the batch must be durable before it mutates anything,
+      // or a crash between apply and append would lose it on replay.
+      if (config_.delta_log != nullptr) {
+        std::string log_error;
+        if (!config_.delta_log->Append(request.ops, &log_error)) {
+          response.status = StatusCode::kError;
+          response.text = "delta log append failed: " + log_error;
+          break;
+        }
+      }
+      FeatureService::UpdateReply reply = service_.ApplyUpdate(request.ops);
+      response.epoch = reply.epoch;
+      response.applied = static_cast<uint32_t>(reply.applied);
+      response.rejected = static_cast<uint32_t>(reply.rejected);
+      response.dirty_roots = static_cast<uint32_t>(reply.dirty_roots);
+      response.new_columns = static_cast<uint32_t>(reply.new_columns);
+      break;
+    }
+    case MessageType::kGetEpoch: {
+      const FeatureService::EpochInfo info = service_.GetEpoch();
+      response.stream_attached = info.stream_attached ? 1 : 0;
+      response.epoch = info.epoch;
+      response.num_columns = static_cast<uint32_t>(info.num_columns);
+      response.overlay_rows = info.overlay_rows;
+      break;
+    }
   }
   return EncodeResponse(request.type, response);
 }
@@ -234,6 +271,11 @@ std::string SocketServer::StatsJson() const {
       << ",\"emax\":" << stats.max_edges
       << ",\"dmax\":" << stats.effective_dmax << "}"
       << ",\"graph_attached\":" << (stats.graph_attached ? "true" : "false")
+      << ",\"stream\":{\"attached\":"
+      << (stats.stream_attached ? "true" : "false")
+      << ",\"epoch\":" << stats.epoch
+      << ",\"columns\":" << stats.stream_columns
+      << ",\"rows\":" << stats.stream_rows << "}"
       << ",\"cache\":{\"entries\":" << stats.cache_entries
       << ",\"capacity\":" << stats.cache_capacity
       << ",\"evictions\":" << stats.cache_evictions << "}"

@@ -6,6 +6,7 @@
 
 #include "serve/feature_service.h"
 #include "serve/protocol.h"
+#include "stream/delta_log.h"
 #include "util/metrics.h"
 
 namespace hsgf::serve {
@@ -19,6 +20,12 @@ struct ServerConfig {
   // Stop serving after this many requests (0 = until a kShutdown request).
   // Lets smoke tests bound the daemon's lifetime without signals.
   int64_t max_requests = 0;
+
+  // Write-ahead log for kApplyUpdate batches. When set, each batch is
+  // appended (and flushed) *before* it is applied; a batch whose append
+  // fails is rejected wholesale, so the log never lags the in-memory state.
+  // The writer must be open and outlive the server. Null disables logging.
+  stream::DeltaLogWriter* delta_log = nullptr;
 };
 
 // Accept loop speaking the length-prefixed protocol (protocol.h) over a
@@ -70,9 +77,10 @@ class SocketServer {
   util::MetricId requests_total_ = util::kInvalidMetric;
   util::MetricId bad_requests_ = util::kInvalidMetric;
   util::MetricId request_micros_ = util::kInvalidMetric;
-  util::MetricId request_micros_by_type_[6] = {
+  util::MetricId request_micros_by_type_[8] = {
       util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric,
-      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric};
+      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric,
+      util::kInvalidMetric, util::kInvalidMetric};
 };
 
 }  // namespace hsgf::serve

@@ -1,0 +1,310 @@
+#include "stream/delta_log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/crc32.h"
+#include "util/check.h"
+
+namespace hsgf::stream {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string* out, int32_t value) {
+  PutU32(out, static_cast<uint32_t>(value));
+}
+
+// Cursor over a byte span; all Get* fail closed (return false, leave the
+// output untouched) on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool GetU8(uint8_t* value) {
+    if (pos_ + 1 > data_.size()) return false;
+    *value = data_[pos_++];
+    return true;
+  }
+
+  bool GetU32(uint32_t* value) {
+    if (pos_ + 4 > data_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *value = v;
+    return true;
+  }
+
+  bool GetI32(int32_t* value) {
+    uint32_t raw = 0;
+    if (!GetU32(&raw)) return false;
+    *value = static_cast<int32_t>(raw);
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::span<const uint8_t> Slice(size_t length) const {
+    return data_.subspan(pos_, length);
+  }
+  void Skip(size_t length) { pos_ += length; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeBatchPayload(std::span<const DeltaOp> ops) {
+  HSGF_CHECK_LE(ops.size(), kMaxOpsPerBatch) << "delta batch too large";
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(ops.size()));
+  for (const DeltaOp& op : ops) {
+    PutU8(&out, static_cast<uint8_t>(op.kind));
+    switch (op.kind) {
+      case DeltaKind::kAddNode:
+        PutU8(&out, op.label);
+        break;
+      case DeltaKind::kAddEdge:
+      case DeltaKind::kRemoveEdge:
+        PutI32(&out, op.u);
+        PutI32(&out, op.v);
+        break;
+    }
+  }
+  return out;
+}
+
+bool DecodeBatchPayload(std::span<const uint8_t> payload,
+                        std::vector<DeltaOp>* ops) {
+  ops->clear();
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return false;
+  if (count > kMaxOpsPerBatch) return false;
+  // 2 bytes (kind + label) is the smallest op; reject inflated counts before
+  // reserving.
+  if (count > reader.remaining()) return false;
+  ops->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind_byte = 0;
+    if (!reader.GetU8(&kind_byte)) return false;
+    DeltaOp op;
+    switch (kind_byte) {
+      case static_cast<uint8_t>(DeltaKind::kAddNode): {
+        uint8_t label = 0;
+        if (!reader.GetU8(&label)) return false;
+        op = DeltaOp::AddNode(label);
+        break;
+      }
+      case static_cast<uint8_t>(DeltaKind::kAddEdge):
+      case static_cast<uint8_t>(DeltaKind::kRemoveEdge): {
+        int32_t u = 0;
+        int32_t v = 0;
+        if (!reader.GetI32(&u) || !reader.GetI32(&v)) return false;
+        op = kind_byte == static_cast<uint8_t>(DeltaKind::kAddEdge)
+                 ? DeltaOp::AddEdge(u, v)
+                 : DeltaOp::RemoveEdge(u, v);
+        break;
+      }
+      default:
+        return false;
+    }
+    ops->push_back(op);
+  }
+  // Strict consumption keeps the encoding canonical (needed by the fuzz
+  // round-trip oracle and by CRC-framed log records).
+  return reader.AtEnd();
+}
+
+const char* DeltaLogErrorCodeName(DeltaLogErrorCode code) {
+  switch (code) {
+    case DeltaLogErrorCode::kOk:
+      return "ok";
+    case DeltaLogErrorCode::kIoError:
+      return "io_error";
+    case DeltaLogErrorCode::kBadMagic:
+      return "bad_magic";
+    case DeltaLogErrorCode::kBadVersion:
+      return "bad_version";
+  }
+  return "unknown";
+}
+
+DeltaLogContents ParseDeltaLog(std::span<const uint8_t> data) {
+  DeltaLogContents contents;
+  if (data.size() < kDeltaLogHeaderBytes) {
+    contents.error = DeltaLogErrorCode::kBadMagic;
+    contents.message = "file shorter than delta-log header";
+    return contents;
+  }
+  if (std::memcmp(data.data(), kDeltaLogMagic, sizeof(kDeltaLogMagic)) != 0) {
+    contents.error = DeltaLogErrorCode::kBadMagic;
+    contents.message = "bad delta-log magic";
+    return contents;
+  }
+  ByteReader reader(data);
+  reader.Skip(sizeof(kDeltaLogMagic));
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  reader.GetU32(&version);
+  reader.GetU32(&reserved);
+  if (version != kDeltaLogVersion) {
+    contents.error = DeltaLogErrorCode::kBadVersion;
+    contents.message = "delta-log version " + std::to_string(version) +
+                       " (expected " + std::to_string(kDeltaLogVersion) + ")";
+    return contents;
+  }
+  contents.valid_bytes = reader.pos();
+
+  while (!reader.AtEnd()) {
+    uint32_t payload_len = 0;
+    uint32_t expected_crc = 0;
+    if (!reader.GetU32(&payload_len) || !reader.GetU32(&expected_crc) ||
+        payload_len > kMaxDeltaRecordBytes ||
+        payload_len > reader.remaining()) {
+      contents.torn_tail = true;
+      break;
+    }
+    const std::span<const uint8_t> payload = reader.Slice(payload_len);
+    if (io::Crc32Of(payload.data(), payload.size()) != expected_crc) {
+      contents.torn_tail = true;
+      break;
+    }
+    std::vector<DeltaOp> ops;
+    if (!DecodeBatchPayload(payload, &ops)) {
+      contents.torn_tail = true;
+      break;
+    }
+    reader.Skip(payload_len);
+    contents.batches.push_back(std::move(ops));
+    contents.valid_bytes = reader.pos();
+  }
+  return contents;
+}
+
+DeltaLogContents ReadDeltaLog(const std::string& path) {
+  DeltaLogContents contents;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    contents.error = DeltaLogErrorCode::kIoError;
+    contents.message = path + ": " + std::strerror(errno);
+    return contents;
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    contents.error = DeltaLogErrorCode::kIoError;
+    contents.message = path + ": read failed";
+    return contents;
+  }
+  return ParseDeltaLog(
+      {reinterpret_cast<const uint8_t*>(data.data()), data.size()});
+}
+
+DeltaLogWriter::~DeltaLogWriter() { Close(); }
+
+bool DeltaLogWriter::Open(const std::string& path, std::string* error) {
+  HSGF_CHECK(file_ == nullptr) << "DeltaLogWriter already open";
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) {
+    // New log: create with a fresh header.
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+      if (error != nullptr) *error = path + ": " + std::strerror(errno);
+      return false;
+    }
+    std::string header(kDeltaLogMagic, sizeof(kDeltaLogMagic));
+    PutU32(&header, kDeltaLogVersion);
+    PutU32(&header, 0);  // reserved
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0) {
+      if (error != nullptr) *error = path + ": header write failed";
+      Close();
+      return false;
+    }
+    path_ = path;
+    return true;
+  }
+  std::fclose(probe);
+
+  // Existing log: validate it and truncate any torn tail so the next record
+  // appends onto an intact prefix.
+  DeltaLogContents contents = ReadDeltaLog(path);
+  if (!contents.ok()) {
+    if (error != nullptr) *error = contents.message;
+    return false;
+  }
+  if (contents.torn_tail) {
+    if (std::FILE* trunc = std::fopen(path.c_str(), "rb+")) {
+      const bool ok =
+          ftruncate(fileno(trunc),
+                    static_cast<off_t>(contents.valid_bytes)) == 0;
+      std::fclose(trunc);
+      if (!ok) {
+        if (error != nullptr) *error = path + ": truncate failed";
+        return false;
+      }
+    } else {
+      if (error != nullptr) *error = path + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = path + ": " + std::strerror(errno);
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+bool DeltaLogWriter::Append(std::span<const DeltaOp> ops, std::string* error) {
+  HSGF_CHECK(file_ != nullptr) << "DeltaLogWriter not open";
+  const std::string payload = EncodeBatchPayload(ops);
+  HSGF_CHECK_LE(payload.size(), kMaxDeltaRecordBytes);
+  std::string record;
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, io::Crc32Of(
+                      reinterpret_cast<const uint8_t*>(payload.data()),
+                      payload.size()));
+  record += payload;
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+      std::fflush(file_) != 0) {
+    if (error != nullptr) *error = path_ + ": append failed";
+    return false;
+  }
+  return true;
+}
+
+void DeltaLogWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+}  // namespace hsgf::stream

@@ -1,0 +1,151 @@
+#ifndef HSGF_STREAM_DELTA_LOG_H_
+#define HSGF_STREAM_DELTA_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::stream {
+
+// One graph mutation. Node additions carry a label from the graph's existing
+// alphabet (the encoding hashes are a function of the alphabet, so extending
+// it would silently change the feature coordinate system); edge operations
+// are undirected and carry both endpoints.
+enum class DeltaKind : uint8_t {
+  kAddNode = 0,     // label
+  kAddEdge = 1,     // u, v
+  kRemoveEdge = 2,  // u, v
+};
+
+struct DeltaOp {
+  DeltaKind kind = DeltaKind::kAddEdge;
+  graph::Label label = 0;  // kAddNode only
+  graph::NodeId u = 0;     // edge endpoints (kAddEdge / kRemoveEdge)
+  graph::NodeId v = 0;
+
+  static DeltaOp AddNode(graph::Label label) {
+    DeltaOp op;
+    op.kind = DeltaKind::kAddNode;
+    op.label = label;
+    return op;
+  }
+  static DeltaOp AddEdge(graph::NodeId u, graph::NodeId v) {
+    DeltaOp op;
+    op.kind = DeltaKind::kAddEdge;
+    op.u = u;
+    op.v = v;
+    return op;
+  }
+  static DeltaOp RemoveEdge(graph::NodeId u, graph::NodeId v) {
+    DeltaOp op;
+    op.kind = DeltaKind::kRemoveEdge;
+    op.u = u;
+    op.v = v;
+    return op;
+  }
+
+  bool operator==(const DeltaOp&) const = default;
+};
+
+// -----------------------------------------------------------------------
+// Batch payload codec — shared by the delta-log records and the wire
+// protocol's kApplyUpdate request body, so a logged batch and a received
+// batch are the same bytes.
+//
+// Layout (little-endian): [u32 op_count] then per op [u8 kind] followed by
+// kAddNode: [u8 label]; kAddEdge/kRemoveEdge: [i32 u][i32 v]. The decoder is
+// strict (unknown kinds fail, the payload must be fully consumed), so the
+// encoding is canonical: decode(payload) re-encodes to identical bytes.
+
+inline constexpr uint32_t kMaxOpsPerBatch = 1u << 20;
+
+std::string EncodeBatchPayload(std::span<const DeltaOp> ops);
+bool DecodeBatchPayload(std::span<const uint8_t> payload,
+                        std::vector<DeltaOp>* ops);
+
+// -----------------------------------------------------------------------
+// Write-ahead delta log. A serve process appends every accepted update
+// batch *before* applying it, so a restart can replay the log on top of the
+// base snapshot and reconstruct the exact epoch and feature state.
+//
+// File layout:
+//   [8B magic "HSGFDLTA"][u32 version][u32 reserved]    -- 16-byte header
+//   then zero or more records:
+//   [u32 payload_len][u32 crc32(payload)][payload]      -- one batch each
+//
+// Records are CRC-framed (io::crc32, the snapshot's checksum) so a torn
+// write — the crash the log exists to survive — is detected: parsing stops
+// at the first short or corrupt record and reports the prefix that is
+// intact. DeltaLogWriter::Open truncates such a torn tail before appending,
+// keeping replay-after-crash and append-after-crash consistent.
+
+inline constexpr char kDeltaLogMagic[8] = {'H', 'S', 'G', 'F',
+                                           'D', 'L', 'T', 'A'};
+inline constexpr uint32_t kDeltaLogVersion = 1;
+inline constexpr size_t kDeltaLogHeaderBytes = 16;
+// Caps the per-record allocation a corrupt length prefix can trigger.
+inline constexpr uint32_t kMaxDeltaRecordBytes = 16u << 20;
+
+enum class DeltaLogErrorCode {
+  kOk = 0,
+  kIoError,     // open/read failed (message carries errno text)
+  kBadMagic,    // not a delta log
+  kBadVersion,  // log from an incompatible format version
+};
+
+const char* DeltaLogErrorCodeName(DeltaLogErrorCode code);
+
+struct DeltaLogContents {
+  DeltaLogErrorCode error = DeltaLogErrorCode::kOk;
+  std::string message;
+
+  std::vector<std::vector<DeltaOp>> batches;
+  // True when a trailing short/corrupt record was dropped (torn write).
+  bool torn_tail = false;
+  // Length of the intact prefix (header + whole valid records); a writer
+  // reopening the log truncates to this before appending.
+  size_t valid_bytes = 0;
+
+  bool ok() const { return error == DeltaLogErrorCode::kOk; }
+};
+
+// Parses an in-memory delta log (the fuzzable core; no I/O). Only header
+// problems are errors — record-level damage ends the batch list early with
+// torn_tail set, because that is the expected post-crash state.
+DeltaLogContents ParseDeltaLog(std::span<const uint8_t> data);
+
+// Reads and parses the log at `path`. A missing file is an kIoError; treat
+// it as an empty log when first creating one.
+DeltaLogContents ReadDeltaLog(const std::string& path);
+
+// Appender. Open() creates the file with a fresh header, or validates the
+// header of an existing log and truncates any torn tail; Append() writes one
+// CRC-framed record per batch and flushes it before returning (the
+// write-ahead contract: a batch is applied only after Append succeeded).
+class DeltaLogWriter {
+ public:
+  DeltaLogWriter() = default;
+  ~DeltaLogWriter();
+
+  DeltaLogWriter(const DeltaLogWriter&) = delete;
+  DeltaLogWriter& operator=(const DeltaLogWriter&) = delete;
+
+  bool Open(const std::string& path, std::string* error = nullptr);
+  bool Append(std::span<const DeltaOp> ops, std::string* error = nullptr);
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace hsgf::stream
+
+#endif  // HSGF_STREAM_DELTA_LOG_H_

@@ -1,0 +1,229 @@
+#include "stream/stream_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "stream/dirty_tracker.h"
+#include "util/check.h"
+
+namespace hsgf::stream {
+
+namespace {
+
+double Transform(int64_t count, bool log1p_transform) {
+  // Must match the snapshot/serve read path exactly (bit-identical serving).
+  return log1p_transform ? std::log1p(static_cast<double>(count))
+                         : static_cast<double>(count);
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(graph::HetGraph base, StreamEngineConfig config)
+    : config_(std::move(config)), graph_(std::move(base)) {
+  // The engine's census always runs one root at a time on a materialized
+  // CSR; keep_encodings would only bloat the per-root results.
+  config_.census.keep_encodings = false;
+  graph_.Materialize();
+}
+
+void StreamEngine::SeedVocabulary(std::span<const uint64_t> hashes) {
+  std::unique_lock lock(mutex_);
+  HSGF_CHECK_EQ(epoch_, 0u) << "SeedVocabulary after updates were applied";
+  HSGF_CHECK(hashes_.empty()) << "vocabulary already seeded";
+  hashes_.reserve(hashes.size());
+  for (const uint64_t hash : hashes) {
+    const auto [it, inserted] =
+        column_of_.emplace(hash, static_cast<uint32_t>(hashes_.size()));
+    HSGF_CHECK(inserted) << "duplicate hash in seed vocabulary";
+    hashes_.push_back(hash);
+  }
+}
+
+uint32_t StreamEngine::InternColumn(uint64_t hash) {
+  const auto [it, inserted] =
+      column_of_.emplace(hash, static_cast<uint32_t>(hashes_.size()));
+  if (inserted) hashes_.push_back(hash);
+  return it->second;
+}
+
+StreamEngine::ApplyResult StreamEngine::ApplyBatch(
+    std::span<const DeltaOp> ops) {
+  std::unique_lock lock(mutex_);
+  ApplyResult result;
+
+  const int max_edges = config_.census.max_edges;
+  const int max_degree = config_.census.max_degree;
+
+  // Pass 1: dirty roots reachable in the PRE-mutation graph (with its
+  // degrees) from every endpoint a batch op proposes to touch. Which ops
+  // will be accepted is not yet known, so this uses the superset of all
+  // endpoints that exist pre-mutation — sound, at worst a few extra roots.
+  std::vector<graph::NodeId> pre_sources;
+  for (const DeltaOp& op : ops) {
+    if (op.kind == DeltaKind::kAddNode) continue;
+    for (const graph::NodeId endpoint : {op.u, op.v}) {
+      if (endpoint >= 0 && endpoint < graph_.num_nodes()) {
+        pre_sources.push_back(endpoint);
+      }
+    }
+  }
+  std::vector<graph::NodeId> dirty =
+      CollectDirtyRoots(graph_, pre_sources, max_edges, max_degree);
+
+  // Apply the ops. Rejections are deterministic functions of graph state,
+  // so WAL replay of full batches reconstructs identical outcomes.
+  const graph::NodeId pre_num_nodes = graph_.num_nodes();
+  std::string error;
+  for (const DeltaOp& op : ops) {
+    if (graph_.Apply(op, &error)) {
+      ++result.applied;
+    } else {
+      ++result.rejected;
+      if (result.first_error.empty()) result.first_error = error;
+    }
+  }
+
+  if (result.applied == 0) {
+    // Nothing changed; still advance the epoch so client and delta log
+    // agree on the number of batches processed.
+    result.epoch = ++epoch_;
+    return result;
+  }
+
+  // Pass 2: dirty roots in the POST-mutation graph (post degrees). A
+  // removal can unblock a hub, creating reach that exists only post; an
+  // addition creates reach that exists only post as well. New nodes are
+  // sources too — their (empty or fresh) rows must materialize.
+  std::vector<graph::NodeId> post_sources;
+  for (const DeltaOp& op : ops) {
+    if (op.kind == DeltaKind::kAddNode) continue;
+    for (const graph::NodeId endpoint : {op.u, op.v}) {
+      if (endpoint >= 0 && endpoint < graph_.num_nodes()) {
+        post_sources.push_back(endpoint);
+      }
+    }
+  }
+  for (graph::NodeId v = pre_num_nodes; v < graph_.num_nodes(); ++v) {
+    post_sources.push_back(v);
+  }
+  std::vector<graph::NodeId> post_dirty =
+      CollectDirtyRoots(graph_, post_sources, max_edges, max_degree);
+
+  dirty.insert(dirty.end(), post_dirty.begin(), post_dirty.end());
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  if (graph_.overlay_entries() > config_.compact_threshold) {
+    graph_.Compact();
+  }
+  const graph::HetGraph& csr = graph_.Materialize();
+
+  // Selective re-census: one reusable worker, roots in ascending order so
+  // vocabulary growth (hashes interned ascending within each root) is
+  // deterministic and replay-stable.
+  const size_t columns_before = hashes_.size();
+  core::CensusWorker worker(csr, config_.census);
+  core::CensusResult census;
+  std::vector<std::pair<uint64_t, int64_t>> by_hash;
+  for (const graph::NodeId root : dirty) {
+    worker.Run(root, census);
+    by_hash.clear();
+    census.counts.ForEach([&by_hash](uint64_t hash, int64_t count) {
+      by_hash.emplace_back(hash, count);
+    });
+    std::sort(by_hash.begin(), by_hash.end());
+    SparseRow row;
+    row.reserve(by_hash.size());
+    for (const auto& [hash, count] : by_hash) {
+      row.emplace_back(InternColumn(hash), count);
+    }
+    std::sort(row.begin(), row.end());
+    rows_[root] = std::move(row);
+  }
+
+  result.dirty_roots = std::move(dirty);
+  result.new_columns = static_cast<int>(hashes_.size() - columns_before);
+  result.epoch = ++epoch_;
+  return result;
+}
+
+uint64_t StreamEngine::epoch() const {
+  std::shared_lock lock(mutex_);
+  return epoch_;
+}
+
+size_t StreamEngine::num_columns() const {
+  std::shared_lock lock(mutex_);
+  return hashes_.size();
+}
+
+size_t StreamEngine::overlay_rows() const {
+  std::shared_lock lock(mutex_);
+  return rows_.size();
+}
+
+graph::NodeId StreamEngine::num_nodes() const {
+  std::shared_lock lock(mutex_);
+  return graph_.num_nodes();
+}
+
+std::vector<std::string> StreamEngine::label_names() const {
+  std::shared_lock lock(mutex_);
+  return graph_.label_names();
+}
+
+std::vector<uint64_t> StreamEngine::vocabulary() const {
+  std::shared_lock lock(mutex_);
+  return hashes_;
+}
+
+bool StreamEngine::HasRow(graph::NodeId node) const {
+  std::shared_lock lock(mutex_);
+  return rows_.find(node) != rows_.end();
+}
+
+std::optional<std::vector<double>> StreamEngine::DenseRow(
+    graph::NodeId node) const {
+  std::shared_lock lock(mutex_);
+  const auto it = rows_.find(node);
+  if (it == rows_.end()) return std::nullopt;
+  std::vector<double> dense(hashes_.size(), 0.0);
+  for (const auto& [column, count] : it->second) {
+    dense[column] = Transform(count, config_.log1p_transform);
+  }
+  return dense;
+}
+
+std::optional<std::vector<std::pair<uint32_t, int64_t>>>
+StreamEngine::RowCounts(graph::NodeId node) const {
+  std::shared_lock lock(mutex_);
+  const auto it = rows_.find(node);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<core::CensusResult> StreamEngine::CensusNode(
+    graph::NodeId node, util::StopToken stop) const {
+  std::shared_lock lock(mutex_);
+  if (node < 0 || node >= graph_.num_nodes()) return std::nullopt;
+  core::CensusWorker worker(graph_.csr(), config_.census);
+  core::CensusResult result;
+  worker.Run(node, result, stop);
+  return result;
+}
+
+std::vector<double> StreamEngine::ProjectCounts(
+    const util::FlatCountMap& counts) const {
+  std::shared_lock lock(mutex_);
+  std::vector<double> dense(hashes_.size(), 0.0);
+  counts.ForEach([&](uint64_t hash, int64_t count) {
+    const auto it = column_of_.find(hash);
+    if (it != column_of_.end()) {
+      dense[it->second] = Transform(count, config_.log1p_transform);
+    }
+  });
+  return dense;
+}
+
+}  // namespace hsgf::stream

@@ -1,0 +1,135 @@
+#ifndef HSGF_STREAM_STREAM_ENGINE_H_
+#define HSGF_STREAM_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/census.h"
+#include "graph/het_graph.h"
+#include "stream/delta_log.h"
+#include "stream/dynamic_graph.h"
+#include "util/flat_count_map.h"
+#include "util/stop_token.h"
+
+namespace hsgf::stream {
+
+struct StreamEngineConfig {
+  core::CensusConfig census;
+  // Apply log1p to counts in DenseRow/ProjectCounts, matching the snapshot
+  // transform. Raw counts are stored either way, so the transform is exact.
+  bool log1p_transform = true;
+  // Fold the overlay back into the base CSR once it holds this many entries.
+  size_t compact_threshold = size_t{1} << 16;
+};
+
+// Incremental feature maintenance over a mutable graph.
+//
+// The engine owns a DynamicGraph and a growing feature vocabulary. Each
+// ApplyBatch() call: (1) computes the dirty-root set of the batch with the
+// two-pass (pre + post mutation) reverse BFS of dirty_tracker.h; (2) applies
+// the ops; (3) re-runs the rooted census for exactly the dirty roots on the
+// materialized post graph; (4) merges the new counts into the per-root rows
+// under *stable vocabulary union* semantics — existing hash -> column
+// assignments never move, and hashes never seen before are appended in a
+// deterministic order (roots ascending, then new hashes ascending), so a
+// replay of the same batches from the same base always reproduces the same
+// column numbering; (5) bumps the epoch.
+//
+// Rows store raw int64 census counts; log1p (when configured) is applied at
+// read time exactly as the serve layer does for snapshot rows, which is what
+// makes incrementally maintained features bit-identical to a from-scratch
+// census.
+//
+// Thread safety: ApplyBatch takes an exclusive lock; every read-side method
+// takes a shared lock. Rejected ops are deterministic (they depend only on
+// graph state), so a write-ahead log replay — which re-applies full batches,
+// rejections included — reconstructs the identical epoch, vocabulary, and
+// rows.
+class StreamEngine {
+ public:
+  struct ApplyResult {
+    uint64_t epoch = 0;  // epoch after the batch
+    int applied = 0;
+    int rejected = 0;
+    // Roots re-censused by this batch, ascending (the serve layer erases
+    // exactly these from its LRU).
+    std::vector<graph::NodeId> dirty_roots;
+    int new_columns = 0;      // vocabulary growth from this batch
+    std::string first_error;  // first rejection message, if any
+  };
+
+  StreamEngine(graph::HetGraph base, StreamEngineConfig config);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // Pins the column order of an existing vocabulary (e.g. a snapshot's
+  // feature hashes, in snapshot column order) before any batch is applied.
+  // Must be called at epoch 0 with an empty vocabulary.
+  void SeedVocabulary(std::span<const uint64_t> hashes);
+
+  // Applies one delta batch. The epoch advances on *every* call — even one
+  // whose ops were all rejected — so client and log agree on a batch count;
+  // the re-census is skipped when nothing applied.
+  ApplyResult ApplyBatch(std::span<const DeltaOp> ops);
+
+  // --- Read side (shared lock) -------------------------------------------
+
+  uint64_t epoch() const;
+  size_t num_columns() const;
+  // Number of roots with an incrementally maintained row.
+  size_t overlay_rows() const;
+  graph::NodeId num_nodes() const;
+  std::vector<std::string> label_names() const;
+  const core::CensusConfig& census_config() const { return config_.census; }
+  bool log1p_transform() const { return config_.log1p_transform; }
+  std::vector<uint64_t> vocabulary() const;
+
+  bool HasRow(graph::NodeId node) const;
+
+  // Dense feature row at the current vocabulary width (transform applied),
+  // or nullopt if `node` has no maintained row.
+  std::optional<std::vector<double>> DenseRow(graph::NodeId node) const;
+
+  // Raw sparse counts of a maintained row, sorted by column (test hook).
+  std::optional<std::vector<std::pair<uint32_t, int64_t>>> RowCounts(
+      graph::NodeId node) const;
+
+  // From-scratch census of `node` on the current graph (the serve layer's
+  // cold path). Returns nullopt for out-of-range nodes.
+  std::optional<core::CensusResult> CensusNode(graph::NodeId node,
+                                               util::StopToken stop = {}) const;
+
+  // Projects census counts onto the current vocabulary (transform applied).
+  // Hashes outside the vocabulary are dropped, mirroring how snapshot
+  // serving projects cold-census results onto snapshot columns.
+  std::vector<double> ProjectCounts(const util::FlatCountMap& counts) const;
+
+ private:
+  using SparseRow = std::vector<std::pair<uint32_t, int64_t>>;
+
+  // Columns for `hashes` (ascending), interning unseen ones in order.
+  // Requires the exclusive lock.
+  uint32_t InternColumn(uint64_t hash);
+
+  StreamEngineConfig config_;
+  mutable std::shared_mutex mutex_;
+
+  DynamicGraph graph_;
+  uint64_t epoch_ = 0;
+
+  std::vector<uint64_t> hashes_;                   // column -> hash
+  std::unordered_map<uint64_t, uint32_t> column_of_;  // hash -> column
+  // node -> sparse row; only dirty-recomputed roots have entries.
+  std::unordered_map<graph::NodeId, SparseRow> rows_;
+};
+
+}  // namespace hsgf::stream
+
+#endif  // HSGF_STREAM_STREAM_ENGINE_H_

@@ -72,6 +72,28 @@ class ShardedLruCache {
     }
   }
 
+  // Removes the entry for `key` if present; returns whether it was. The
+  // serving layer uses this for targeted invalidation of dirty roots after a
+  // graph update.
+  bool Erase(const Key& key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
+  // Drops every entry (capacity and eviction counters are untouched).
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->index.clear();
+      shard->order.clear();
+    }
+  }
+
   // Current entry count (summed across shards; approximate under writes).
   size_t size() const {
     size_t total = 0;

@@ -1,0 +1,17 @@
+#include "util/resource.h"
+
+#include <sys/resource.h>
+
+namespace hsgf::util {
+
+int64_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux/BSD
+#endif
+}
+
+}  // namespace hsgf::util

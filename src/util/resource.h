@@ -1,0 +1,15 @@
+#ifndef HSGF_UTIL_RESOURCE_H_
+#define HSGF_UTIL_RESOURCE_H_
+
+#include <cstdint>
+
+namespace hsgf::util {
+
+// Peak resident set size of the calling process, in bytes (getrusage
+// ru_maxrss, normalized across the platforms that report it in KiB vs
+// bytes). Returns 0 when the platform provides no measurement.
+int64_t PeakRssBytes();
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_RESOURCE_H_

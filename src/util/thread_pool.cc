@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace hsgf::util {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -21,11 +23,19 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // Drain guarantee: workers only exit with an empty queue, so after the
+  // joins every submitted task has run to completion.
+  HSGF_CHECK(tasks_.empty())
+      << "thread pool destroyed with unexecuted tasks";
+  HSGF_CHECK_EQ(in_flight_, 0)
+      << "thread pool destroyed with tasks still in flight";
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    HSGF_CHECK(!shutting_down_)
+        << "ThreadPool::Submit raced with the pool's destructor";
     tasks_.push(std::move(task));
     ++in_flight_;
   }

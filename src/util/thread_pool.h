@@ -15,6 +15,13 @@ namespace hsgf::util {
 // Fixed-size worker pool. The subgraph census parallelizes by start node
 // (paper §3.2: the edge list is shared read-only, per-thread state is O(V),
 // so memory is O(tV + E) for t threads).
+//
+// Shutdown ordering: destruction *drains* the queue deterministically —
+// every task submitted before the destructor ran is executed to completion
+// before the workers join, never silently dropped (callers may rely on
+// side effects of fire-and-forget tasks). Submitting from another thread
+// concurrently with destruction is a caller bug and trips an HSGF_CHECK
+// rather than racing.
 class ThreadPool {
  public:
   // Creates a pool with `num_threads` workers. `num_threads == 0` selects
@@ -24,11 +31,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Runs every queued task to completion, then joins the workers.
   ~ThreadPool();
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
-  // Enqueues a task for asynchronous execution.
+  // Enqueues a task for asynchronous execution. Must not be called once
+  // destruction has begun.
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished.

@@ -84,6 +84,39 @@ TEST(LruCacheTest, CapacitySpreadAcrossShards) {
   EXPECT_GT(cache.evictions(), 0);
 }
 
+TEST(LruCacheTest, EraseRemovesExactlyTheKey) {
+  SingleShard cache(4, 1);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  cache.Put(3, "c");
+  EXPECT_TRUE(cache.Erase(2));
+  EXPECT_FALSE(cache.Erase(2));   // already gone
+  EXPECT_FALSE(cache.Erase(99));  // never present
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1).value_or(""), "a");
+  EXPECT_EQ(cache.Get(3).value_or(""), "c");
+  EXPECT_EQ(cache.size(), 2u);
+  // Erase is invalidation, not eviction: the counter is untouched.
+  EXPECT_EQ(cache.evictions(), 0);
+  // The freed slot is reusable.
+  cache.Put(2, "b2");
+  EXPECT_EQ(cache.Get(2).value_or(""), "b2");
+}
+
+TEST(LruCacheTest, ClearDropsEverythingButKeepsCapacity) {
+  SingleShard cache(8, 4);
+  for (int i = 0; i < 8; ++i) cache.Put(i, "x");
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(cache.Get(i).has_value());
+  }
+  cache.Put(1, "fresh");
+  EXPECT_EQ(cache.Get(1).value_or(""), "fresh");
+}
+
 TEST(LruCacheTest, ConcurrentMixedTrafficStaysConsistent) {
   ShardedLruCache<int, int> cache(64, 8);
   constexpr int kThreads = 4;

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -22,6 +24,8 @@
 #include "serve/feature_service.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "stream/delta_log.h"
+#include "stream/stream_engine.h"
 #include "util/metrics.h"
 
 namespace hsgf::serve {
@@ -117,6 +121,79 @@ TEST(ProtocolTest, ResponseRoundTrips) {
         Bytes(EncodeResponse(MessageType::kGetFeatures, response)), &decoded));
     EXPECT_EQ(decoded.status, StatusCode::kNotFound);
     EXPECT_EQ(decoded.text, response.text);
+  }
+}
+
+TEST(ProtocolTest, StreamRequestsRoundTrip) {
+  {
+    Request request;
+    request.type = MessageType::kApplyUpdate;
+    request.ops = {stream::DeltaOp::AddNode(3), stream::DeltaOp::AddEdge(1, 9),
+                   stream::DeltaOp::RemoveEdge(4, 2)};
+    Request decoded;
+    ASSERT_TRUE(DecodeRequest(Bytes(EncodeRequest(request)), &decoded));
+    EXPECT_EQ(decoded.type, MessageType::kApplyUpdate);
+    EXPECT_EQ(decoded.ops, request.ops);
+  }
+  {
+    Request request;
+    request.type = MessageType::kGetEpoch;
+    Request decoded;
+    ASSERT_TRUE(DecodeRequest(Bytes(EncodeRequest(request)), &decoded));
+    EXPECT_EQ(decoded.type, MessageType::kGetEpoch);
+    // kGetEpoch carries no body; a stray byte fails closed.
+    std::string padded = EncodeRequest(request);
+    padded.push_back('\0');
+    EXPECT_FALSE(DecodeRequest(Bytes(padded), &decoded));
+  }
+}
+
+TEST(ProtocolTest, StreamResponsesRoundTrip) {
+  {
+    Response response;
+    response.epoch = 12;
+    response.applied = 4;
+    response.rejected = 1;
+    response.dirty_roots = 17;
+    response.new_columns = 2;
+    Response decoded;
+    ASSERT_TRUE(DecodeResponse(
+        MessageType::kApplyUpdate,
+        Bytes(EncodeResponse(MessageType::kApplyUpdate, response)), &decoded));
+    EXPECT_EQ(decoded.status, StatusCode::kOk);
+    EXPECT_EQ(decoded.epoch, 12u);
+    EXPECT_EQ(decoded.applied, 4u);
+    EXPECT_EQ(decoded.rejected, 1u);
+    EXPECT_EQ(decoded.dirty_roots, 17u);
+    EXPECT_EQ(decoded.new_columns, 2u);
+  }
+  {
+    Response response;
+    response.stream_attached = 1;
+    response.epoch = 99;
+    response.num_columns = 1234;
+    response.overlay_rows = 56;
+    Response decoded;
+    ASSERT_TRUE(DecodeResponse(
+        MessageType::kGetEpoch,
+        Bytes(EncodeResponse(MessageType::kGetEpoch, response)), &decoded));
+    EXPECT_EQ(decoded.stream_attached, 1);
+    EXPECT_EQ(decoded.epoch, 99u);
+    EXPECT_EQ(decoded.num_columns, 1234u);
+    EXPECT_EQ(decoded.overlay_rows, 56u);
+  }
+  {  // kGetFeatures now carries the epoch alongside source and values.
+    Response response;
+    response.source = 3;
+    response.epoch = 7;
+    response.values = {1.0, 2.0};
+    Response decoded;
+    ASSERT_TRUE(DecodeResponse(
+        MessageType::kGetFeatures,
+        Bytes(EncodeResponse(MessageType::kGetFeatures, response)), &decoded));
+    EXPECT_EQ(decoded.source, 3);
+    EXPECT_EQ(decoded.epoch, 7u);
+    EXPECT_EQ(decoded.values, response.values);
   }
 }
 
@@ -351,6 +428,187 @@ TEST(FeatureServiceTest, StatsDescribeTheSnapshot) {
 }
 
 // ---------------------------------------------------------------------------
+// FeatureService with an attached stream engine
+
+// Path graph 0-1-2-...-7 with alternating labels; the snapshot persists rows
+// for nodes {0, 1, 2, 4, 5} only, so 3, 6 and 7 exercise the cold path. With
+// emax = 2, a delta touching {0, 2} dirties exactly {0, 1, 2, 3} — far from
+// the cached nodes 6 and 7.
+struct StreamFixture {
+  HetGraph graph;
+  core::ExtractionResult full;  // ground truth over all 8 nodes
+  core::FeatureSet kept;
+  io::Snapshot snapshot;
+  std::unique_ptr<stream::StreamEngine> engine;
+};
+
+StreamFixture MakeStreamFixture(const char* filename) {
+  StreamFixture fixture;
+  fixture.graph = graph::MakeGraph(
+      {"a", "b"}, {0, 1, 0, 1, 0, 1, 0, 1},
+      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}});
+
+  core::ExtractorConfig config;
+  config.census.max_edges = 2;
+  config.census.keep_encodings = true;
+  std::vector<NodeId> all_nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  core::Extractor extractor(fixture.graph, config);
+  fixture.full = extractor.Run(all_nodes);
+
+  const std::vector<int> keep_rows = {0, 1, 2, 4, 5};
+  fixture.kept.matrix = fixture.full.features.matrix.SelectRows(keep_rows);
+  fixture.kept.feature_hashes = fixture.full.features.feature_hashes;
+  fixture.kept.encodings = fixture.full.features.encodings;
+
+  io::SnapshotContents contents;
+  contents.max_edges = config.census.max_edges;
+  contents.effective_dmax = fixture.full.effective_dmax;
+  contents.hash_seed = config.census.hash_seed;
+  contents.label_names = fixture.graph.label_names();
+  for (int row : keep_rows) {
+    contents.node_ids.push_back(row);
+    contents.node_labels.push_back(fixture.graph.label(row));
+  }
+  contents.features = &fixture.kept;
+
+  const std::string path = ::testing::TempDir() + filename;
+  io::SnapshotError error;
+  EXPECT_TRUE(io::SaveSnapshot(path, contents, &error)) << error.message;
+  auto snapshot = io::OpenSnapshot(path, &error);
+  EXPECT_TRUE(snapshot.has_value()) << error.message;
+  fixture.snapshot = *snapshot;
+
+  stream::StreamEngineConfig engine_config;
+  engine_config.census.max_edges = fixture.snapshot.max_edges();
+  engine_config.census.max_degree = fixture.snapshot.effective_dmax();
+  engine_config.census.mask_start_label = fixture.snapshot.mask_start_label();
+  engine_config.census.hash_seed = fixture.snapshot.hash_seed();
+  engine_config.log1p_transform = fixture.snapshot.log1p_transform();
+  fixture.engine =
+      std::make_unique<stream::StreamEngine>(fixture.graph, engine_config);
+  return fixture;
+}
+
+TEST(FeatureServiceTest, StreamServingAndTargetedInvalidation) {
+  StreamFixture fixture = MakeStreamFixture("svc-stream.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachStream(*fixture.engine, &error)) << error;
+  ASSERT_TRUE(service.has_stream());
+
+  // Cold-miss nodes 6 and 3 land in the LRU.
+  EXPECT_EQ(service.GetFeatures(6).source, FeatureSource::kComputed);
+  EXPECT_EQ(service.GetFeatures(6).source, FeatureSource::kCache);
+  EXPECT_EQ(service.GetFeatures(3).source, FeatureSource::kComputed);
+  EXPECT_EQ(service.GetStats().cache_entries, 2u);
+
+  // Batch 1: add the chord 0-2. Dirty set is {0, 1, 2, 3}.
+  const std::vector<stream::DeltaOp> add = {stream::DeltaOp::AddEdge(0, 2)};
+  FeatureService::UpdateReply reply1 =
+      service.ApplyUpdate({add.data(), add.size()});
+  EXPECT_EQ(reply1.epoch, 1u);
+  EXPECT_EQ(reply1.applied, 1);
+  EXPECT_EQ(reply1.rejected, 0);
+  EXPECT_EQ(reply1.dirty_roots, 4);
+
+  // Node 3 was dirty: its cache entry is gone and it now serves from the
+  // stream's incrementally maintained row.
+  EXPECT_EQ(service.GetFeatures(3).source, FeatureSource::kStream);
+
+  // Re-warm node 6 (a vocabulary-growing batch clears the whole cache).
+  service.GetFeatures(6);
+  ASSERT_EQ(service.GetFeatures(6).source, FeatureSource::kCache);
+  const size_t cached_before = service.GetStats().cache_entries;
+
+  // Batch 2: remove the chord again. The graph returns to its base state,
+  // so every re-censused hash is already interned: no new columns, and the
+  // invalidation must be *targeted* — node 6 stays cached.
+  const std::vector<stream::DeltaOp> remove = {
+      stream::DeltaOp::RemoveEdge(0, 2)};
+  FeatureService::UpdateReply reply2 =
+      service.ApplyUpdate({remove.data(), remove.size()});
+  EXPECT_EQ(reply2.epoch, 2u);
+  EXPECT_EQ(reply2.applied, 1);
+  EXPECT_EQ(reply2.new_columns, 0);
+  EXPECT_EQ(reply2.dirty_roots, 4);
+  EXPECT_EQ(service.GetStats().cache_entries, cached_before);
+
+  FeatureService::FeatureReply warm = service.GetFeatures(6);
+  EXPECT_EQ(warm.source, FeatureSource::kCache);
+  EXPECT_EQ(warm.epoch, 2u);
+
+  // Dirty snapshot node 0 serves from the stream at the full engine width;
+  // after the net-zero edit its values equal the original extraction row
+  // zero-extended over the columns batch 1 interned — bit-identical.
+  FeatureService::FeatureReply streamed = service.GetFeatures(0);
+  EXPECT_EQ(streamed.source, FeatureSource::kStream);
+  EXPECT_EQ(streamed.epoch, 2u);
+  ASSERT_EQ(streamed.values.size(), fixture.engine->num_columns());
+  const uint32_t snapshot_cols = fixture.snapshot.num_cols();
+  for (size_t c = 0; c < streamed.values.size(); ++c) {
+    const double expected =
+        c < snapshot_cols
+            ? fixture.full.features.matrix(0, static_cast<int>(c))
+            : 0.0;
+    EXPECT_EQ(streamed.values[c], expected) << "col " << c;
+  }
+
+  // Clean snapshot node 5 still serves from the snapshot, zero-padded to
+  // the engine's current width.
+  FeatureService::FeatureReply padded = service.GetFeatures(5);
+  EXPECT_EQ(padded.source, FeatureSource::kSnapshot);
+  ASSERT_EQ(padded.values.size(), fixture.engine->num_columns());
+  for (size_t c = snapshot_cols; c < padded.values.size(); ++c) {
+    EXPECT_EQ(padded.values[c], 0.0);
+  }
+
+  // Epoch bookkeeping.
+  const FeatureService::EpochInfo epoch_info = service.GetEpoch();
+  EXPECT_TRUE(epoch_info.stream_attached);
+  EXPECT_EQ(epoch_info.epoch, 2u);
+  EXPECT_EQ(epoch_info.num_columns, fixture.engine->num_columns());
+  const FeatureService::Stats stats = service.GetStats();
+  EXPECT_TRUE(stats.stream_attached);
+  EXPECT_EQ(stats.epoch, 2u);
+
+  // The vocabulary served is the engine's (snapshot prefix preserved).
+  const std::vector<uint64_t> vocabulary = service.Vocabulary();
+  ASSERT_GE(vocabulary.size(), fixture.kept.feature_hashes.size());
+  for (size_t c = 0; c < fixture.kept.feature_hashes.size(); ++c) {
+    EXPECT_EQ(vocabulary[c], fixture.kept.feature_hashes[c]);
+  }
+}
+
+TEST(FeatureServiceTest, AttachStreamRejectsMismatchedEngine) {
+  StreamFixture fixture = MakeStreamFixture("svc-stream-mismatch.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+
+  // Wrong census parameters.
+  stream::StreamEngineConfig wrong;
+  wrong.census.max_edges = fixture.snapshot.max_edges() + 1;
+  wrong.census.hash_seed = fixture.snapshot.hash_seed();
+  stream::StreamEngine wrong_engine(fixture.graph, wrong);
+  std::string error;
+  EXPECT_FALSE(service.AttachStream(wrong_engine, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(service.has_stream());
+
+  // Non-pristine engine (a batch already applied).
+  stream::StreamEngineConfig config;
+  config.census.max_edges = fixture.snapshot.max_edges();
+  config.census.max_degree = fixture.snapshot.effective_dmax();
+  config.census.hash_seed = fixture.snapshot.hash_seed();
+  config.log1p_transform = fixture.snapshot.log1p_transform();
+  stream::StreamEngine used_engine(fixture.graph, config);
+  const std::vector<stream::DeltaOp> ops = {stream::DeltaOp::AddEdge(0, 2)};
+  used_engine.ApplyBatch({ops.data(), ops.size()});
+  EXPECT_FALSE(service.AttachStream(used_engine, &error));
+  EXPECT_FALSE(service.has_stream());
+}
+
+// ---------------------------------------------------------------------------
 // SocketServer end to end
 
 int ConnectTcp(int port) {
@@ -503,6 +761,110 @@ TEST(SocketServerTest, ServesOverAUnixSocketAndHonorsMaxRequests) {
   EXPECT_EQ(response.status, StatusCode::kOk);
   close(fd);
   serve_thread.join();  // max_requests bounded the daemon's lifetime
+}
+
+TEST(SocketServerTest, ApplyUpdateWithoutStreamIsAnExplicitError) {
+  ServeFixture fixture = MakeFixture("srv-nostream.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  SocketServer server(service, metrics, config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::thread serve_thread([&server] { server.Serve(); });
+
+  const int fd = ConnectTcp(server.tcp_port());
+  Request request;
+  request.type = MessageType::kApplyUpdate;
+  request.ops = {stream::DeltaOp::AddEdge(0, 1)};
+  Response response;
+  ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+  EXPECT_EQ(response.status, StatusCode::kError);
+  EXPECT_NE(response.text.find("disabled"), std::string::npos);
+
+  // kGetEpoch still answers, reporting no stream.
+  request.type = MessageType::kGetEpoch;
+  ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(response.stream_attached, 0);
+
+  close(fd);
+  server.RequestStop();
+  serve_thread.join();
+}
+
+TEST(SocketServerTest, StreamUpdatesOverTcpAreLoggedWriteAhead) {
+  StreamFixture fixture = MakeStreamFixture("srv-stream.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachStream(*fixture.engine, &error)) << error;
+
+  const std::string log_path = ::testing::TempDir() + "srv-stream.wal";
+  std::remove(log_path.c_str());
+  stream::DeltaLogWriter delta_log;
+  ASSERT_TRUE(delta_log.Open(log_path, &error)) << error;
+
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.delta_log = &delta_log;
+  SocketServer server(service, metrics, config);
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::thread serve_thread([&server] { server.Serve(); });
+  const int fd = ConnectTcp(server.tcp_port());
+
+  {  // Apply one batch over the wire.
+    Request request;
+    request.type = MessageType::kApplyUpdate;
+    request.ops = {stream::DeltaOp::AddEdge(0, 2),
+                   stream::DeltaOp::AddEdge(0, 0)};  // second op rejected
+    Response response;
+    ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.epoch, 1u);
+    EXPECT_EQ(response.applied, 1u);
+    EXPECT_EQ(response.rejected, 1u);
+    EXPECT_EQ(response.dirty_roots, 4u);
+  }
+  {  // The epoch is observable, and feature replies carry it.
+    Request request;
+    request.type = MessageType::kGetEpoch;
+    Response response;
+    ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.stream_attached, 1);
+    EXPECT_EQ(response.epoch, 1u);
+
+    request.type = MessageType::kGetFeatures;
+    request.node = 0;
+    ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.source, static_cast<uint8_t>(FeatureSource::kStream));
+    EXPECT_EQ(response.epoch, 1u);
+  }
+  {  // Stats JSON reports the stream block.
+    Request request;
+    request.type = MessageType::kStats;
+    Response response;
+    ASSERT_TRUE(ClientRoundTrip(fd, request, &response));
+    EXPECT_NE(response.text.find("\"stream\""), std::string::npos);
+    EXPECT_NE(response.text.find("\"epoch\":1"), std::string::npos);
+  }
+  close(fd);
+  server.RequestStop();
+  serve_thread.join();
+  delta_log.Close();
+
+  // Write-ahead contract: the batch reached the log exactly as sent —
+  // including the op the engine went on to reject.
+  const stream::DeltaLogContents contents = stream::ReadDeltaLog(log_path);
+  ASSERT_TRUE(contents.ok()) << contents.message;
+  ASSERT_EQ(contents.batches.size(), 1u);
+  ASSERT_EQ(contents.batches[0].size(), 2u);
+  EXPECT_EQ(contents.batches[0][0], stream::DeltaOp::AddEdge(0, 2));
+  EXPECT_EQ(contents.batches[0][1], stream::DeltaOp::AddEdge(0, 0));
+  std::remove(log_path.c_str());
 }
 
 TEST(SocketServerTest, RequestStopUnblocksServe) {

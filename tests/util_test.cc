@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/flat_count_map.h"
@@ -142,6 +144,41 @@ TEST(ThreadPoolTest, WaitBlocksUntilDone) {
 TEST(ThreadPoolTest, ZeroCountParallelForIsNoop) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](int64_t) { FAIL(); });
+}
+
+// Shutdown-ordering regression: destroying the pool while tasks are still
+// queued must drain the queue deterministically, not drop work. Runs under
+// the TSan CI job, which would flag any destructor/worker race.
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must pick up the backlog itself.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsWithSingleWorker) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran, i] {
+        // Later tasks observe every earlier task's effect: one worker
+        // executes the queue in FIFO order, even during shutdown.
+        EXPECT_EQ(ran.load(), i);
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(FlatCountMapTest, AddAndGet) {

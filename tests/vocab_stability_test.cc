@@ -1,0 +1,134 @@
+// Vocabulary-ID stability golden test.
+//
+// The streaming subsystem's stable-union contract says an encoding hash, once
+// assigned a column, keeps that column forever — across snapshot save/load
+// and across vocabulary-extending delta batches. This test pins the concrete
+// hash -> column assignment of a fixed graph + fixed delta batch against a
+// checked-in golden file, so any change to the rolling hash, the census
+// enumeration order, the snapshot column order, or the engine's interning
+// order shows up as an explicit golden diff instead of a silent coordinate
+// reshuffle that would invalidate every persisted feature store.
+//
+// To regenerate after an *intentional* format change: run the test and copy
+// the "actual vocabulary" block it prints into
+// tests/golden/vocab_stability.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "graph/builder.h"
+#include "graph/het_graph.h"
+#include "io/snapshot.h"
+#include "stream/delta_log.h"
+#include "stream/stream_engine.h"
+
+namespace hsgf {
+namespace {
+
+// Fixed 12-node author/paper graph: a ring of papers 4..11 with authors
+// 0..3 attached. Chosen to produce a few dozen distinct encodings at
+// emax = 3 without being trivial.
+graph::HetGraph FixedGraph() {
+  return graph::MakeGraph(
+      {"author", "paper"}, {0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1},
+      {{0, 4}, {0, 5}, {1, 5}, {1, 6}, {2, 6}, {2, 7}, {3, 7}, {3, 4},
+       {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 10}, {10, 11}, {11, 4}});
+}
+
+std::string FormatVocabulary(const std::vector<uint64_t>& hashes) {
+  std::ostringstream out;
+  for (size_t col = 0; col < hashes.size(); ++col) {
+    out << hashes[col] << ' ' << col << '\n';
+  }
+  return out.str();
+}
+
+TEST(VocabStabilityTest, PinnedAcrossSaveLoadExtendCycle) {
+  const graph::HetGraph graph = FixedGraph();
+
+  // Extract every node and persist a snapshot.
+  core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.num_threads = 1;
+  std::vector<graph::NodeId> nodes(graph.num_nodes());
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) nodes[v] = v;
+  core::Extractor extractor(graph, config);
+  const core::ExtractionResult result = extractor.Run(nodes);
+
+  const std::string snapshot_path =
+      ::testing::TempDir() + "/vocab_stability.snap";
+  io::SnapshotError error;
+  ASSERT_TRUE(io::SaveSnapshot(
+      snapshot_path, io::MakeSnapshotContents(graph, nodes, result, config),
+      &error))
+      << error.message;
+  auto snapshot = io::OpenSnapshot(snapshot_path, &error);
+  ASSERT_TRUE(snapshot.has_value()) << error.message;
+
+  // Loaded column order must equal the extraction's column order.
+  ASSERT_EQ(snapshot->num_cols(), result.features.feature_hashes.size());
+  for (uint32_t col = 0; col < snapshot->num_cols(); ++col) {
+    ASSERT_EQ(snapshot->feature_hashes()[col],
+              result.features.feature_hashes[col])
+        << "column " << col << " moved across save/load";
+  }
+
+  // Seed a stream engine from the loaded snapshot and extend the graph with
+  // a fixed batch (new paper spliced into the ring + one edit elsewhere).
+  stream::StreamEngineConfig engine_config;
+  engine_config.census.max_edges = snapshot->max_edges();
+  engine_config.census.max_degree = snapshot->effective_dmax();
+  engine_config.census.mask_start_label = snapshot->mask_start_label();
+  engine_config.census.hash_seed = snapshot->hash_seed();
+  engine_config.log1p_transform = snapshot->log1p_transform();
+  stream::StreamEngine engine(graph, engine_config);
+  engine.SeedVocabulary(snapshot->feature_hashes());
+
+  const std::vector<stream::DeltaOp> batch = {
+      stream::DeltaOp::AddNode(1),      // paper 12
+      stream::DeltaOp::AddEdge(12, 4),
+      stream::DeltaOp::AddEdge(12, 9),
+      stream::DeltaOp::AddEdge(0, 6),
+      stream::DeltaOp::RemoveEdge(8, 9),
+  };
+  const stream::StreamEngine::ApplyResult applied =
+      engine.ApplyBatch({batch.data(), batch.size()});
+  EXPECT_EQ(applied.applied, 5);
+  EXPECT_EQ(applied.rejected, 0);
+  EXPECT_GT(applied.new_columns, 0)
+      << "the fixed batch is expected to extend the vocabulary";
+
+  // Extension preserved the snapshot prefix.
+  const std::vector<uint64_t> vocabulary = engine.vocabulary();
+  ASSERT_GE(vocabulary.size(), snapshot->num_cols());
+  for (uint32_t col = 0; col < snapshot->num_cols(); ++col) {
+    ASSERT_EQ(vocabulary[col], snapshot->feature_hashes()[col])
+        << "extend cycle moved snapshot column " << col;
+  }
+
+  // Golden comparison of the full hash -> column map.
+  const std::string actual = FormatVocabulary(vocabulary);
+  const std::string golden_path =
+      std::string(HSGF_GOLDEN_DIR) + "/vocab_stability.txt";
+  std::ifstream golden_file(golden_path);
+  ASSERT_TRUE(golden_file.is_open())
+      << "missing golden file " << golden_path
+      << "\n--- actual vocabulary (hash column) ---\n"
+      << actual << "--- end ---";
+  std::stringstream golden;
+  golden << golden_file.rdbuf();
+  EXPECT_EQ(golden.str(), actual)
+      << "vocabulary IDs diverged from the golden file " << golden_path
+      << "\n--- actual vocabulary (hash column) ---\n"
+      << actual << "--- end ---";
+
+  std::remove(snapshot_path.c_str());
+}
+
+}  // namespace
+}  // namespace hsgf

@@ -39,7 +39,9 @@
 #include "graph/io.h"
 #include "io/snapshot.h"
 #include "util/flags.h"
+#include "util/resource.h"
 #include "util/stop_token.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -172,6 +174,7 @@ int LoadSnapshotToCsv(const Options& options) {
 int main(int argc, char** argv) {
   using namespace hsgf;
 
+  util::Stopwatch wall_clock;
   Options options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
   if (options.load_snapshot != nullptr) {
@@ -314,7 +317,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", options.metrics_json);
       return 1;
     }
-    metrics_file << result.metrics.ToJson();
+    // Process-level figures the census counters cannot see: total wall time
+    // (parse + census + output so far) and the process peak RSS. Recorded as
+    // gauges and re-snapshotted so they land next to the census metrics.
+    util::MetricsRegistry& registry = extractor.metrics();
+    registry.SetGauge(registry.Gauge("extract.wall_s"),
+                      wall_clock.ElapsedSeconds());
+    registry.SetGauge(registry.Gauge("extract.peak_rss_bytes"),
+                      static_cast<double>(util::PeakRssBytes()));
+    metrics_file << registry.Snapshot().ToJson();
   }
 
   std::fprintf(stderr,

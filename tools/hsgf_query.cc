@@ -133,6 +133,7 @@ const char* SourceName(uint8_t source) {
     case 0: return "snapshot";
     case 1: return "cache";
     case 2: return "computed";
+    case 3: return "stream";
   }
   return "unknown";
 }
@@ -186,9 +187,9 @@ int main(int argc, char** argv) {
     }
     if (options.verbose) {
       std::fprintf(stderr, "[hsgf_query] node %ld served from %s (%zu "
-                   "features)\n",
-                   node, SourceName(response.source),
-                   response.values.size());
+                   "features, epoch %llu)\n",
+                   node, SourceName(response.source), response.values.size(),
+                   static_cast<unsigned long long>(response.epoch));
     }
     std::cout << node;
     for (double v : response.values) std::cout << ',' << v;

@@ -10,8 +10,16 @@
 //
 // Usage:
 //   hsgf_serve --snapshot s.hsnap (--unix-socket PATH | --tcp-port N)
-//              [--graph g.hsgf] [--cache-capacity N] [--deadline-s S]
-//              [--max-requests N] [--metrics-json FILE]
+//              [--graph g.hsgf] [--delta-log FILE] [--cache-capacity N]
+//              [--deadline-s S] [--max-requests N] [--metrics-json FILE]
+//
+// With --delta-log (requires --graph) the daemon accepts live graph updates
+// (hsgf_update / kApplyUpdate): each delta batch is appended to the
+// write-ahead log, applied to an in-memory stream engine that re-censuses
+// exactly the dirty roots, and the affected cache entries are invalidated.
+// On startup any batches already in the log are replayed on top of the
+// snapshot + graph, so a restarted daemon resumes at the epoch where the
+// previous run stopped.
 //
 // The daemon exits on a client kShutdown request (hsgf_query --shutdown),
 // after --max-requests requests, or on SIGINT/SIGTERM; --metrics-json then
@@ -20,6 +28,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -27,6 +36,8 @@
 #include "io/snapshot.h"
 #include "serve/feature_service.h"
 #include "serve/server.h"
+#include "stream/delta_log.h"
+#include "stream/stream_engine.h"
 #include "util/flags.h"
 #include "util/metrics.h"
 
@@ -42,15 +53,17 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hsgf_serve --snapshot FILE "
                "(--unix-socket PATH | --tcp-port N)\n"
-               "                  [--graph FILE] [--cache-capacity N] "
-               "[--deadline-s S]\n"
-               "                  [--max-requests N] [--metrics-json FILE]\n");
+               "                  [--graph FILE] [--delta-log FILE] "
+               "[--cache-capacity N]\n"
+               "                  [--deadline-s S] [--max-requests N] "
+               "[--metrics-json FILE]\n");
   return 2;
 }
 
 struct Options {
   const char* snapshot_path = nullptr;
   const char* graph_path = nullptr;
+  const char* delta_log_path = nullptr;
   const char* unix_socket = nullptr;
   const char* metrics_json = nullptr;
   long tcp_port = -1;
@@ -63,6 +76,7 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   hsgf::util::FlagParser parser;
   parser.AddString("--snapshot", &options->snapshot_path);
   parser.AddString("--graph", &options->graph_path);
+  parser.AddString("--delta-log", &options->delta_log_path);
   parser.AddString("--unix-socket", &options->unix_socket);
   parser.AddString("--metrics-json", &options->metrics_json);
   parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
@@ -101,6 +115,11 @@ int main(int argc, char** argv) {
   serve::FeatureService service(std::move(*snapshot), metrics,
                                 service_config);
 
+  if (options.delta_log_path != nullptr && options.graph_path == nullptr) {
+    std::fprintf(stderr, "error: --delta-log requires --graph\n");
+    return Usage();
+  }
+
   std::optional<graph::HetGraph> graph;
   if (options.graph_path != nullptr) {
     std::string error;
@@ -109,6 +128,61 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
+  }
+
+  std::unique_ptr<stream::StreamEngine> engine;
+  stream::DeltaLogWriter delta_log;
+  if (options.delta_log_path != nullptr) {
+    // Live-update mode: the stream engine wraps the graph with the
+    // snapshot's census parameters, so streamed rows stay bit-identical to
+    // what a full re-extraction would produce.
+    stream::StreamEngineConfig engine_config;
+    engine_config.census.max_edges = service.snapshot().max_edges();
+    engine_config.census.max_degree = service.snapshot().effective_dmax();
+    engine_config.census.mask_start_label =
+        service.snapshot().mask_start_label();
+    engine_config.census.hash_seed = service.snapshot().hash_seed();
+    engine_config.log1p_transform = service.snapshot().log1p_transform();
+    engine = std::make_unique<stream::StreamEngine>(*graph, engine_config);
+    std::string attach_error;
+    if (!service.AttachStream(*engine, &attach_error)) {
+      std::fprintf(stderr, "error: %s\n", attach_error.c_str());
+      return 1;
+    }
+
+    // Replay whatever the previous run logged (torn tails are expected
+    // post-crash and simply mark where the replay stops), then reopen the
+    // log for appending — Open() truncates the torn tail so new batches
+    // extend the intact prefix.
+    stream::DeltaLogContents logged =
+        stream::ReadDeltaLog(options.delta_log_path);
+    if (logged.ok()) {
+      for (const auto& batch : logged.batches) {
+        service.ApplyUpdate(batch);
+      }
+      if (!logged.batches.empty() || logged.torn_tail) {
+        std::fprintf(stderr,
+                     "[hsgf_serve] replayed %zu delta batch(es) -> epoch %llu"
+                     "%s\n",
+                     logged.batches.size(),
+                     static_cast<unsigned long long>(engine->epoch()),
+                     logged.torn_tail ? " (torn tail truncated)" : "");
+      }
+    } else if (logged.error != stream::DeltaLogErrorCode::kIoError) {
+      // An unreadable existing log is corrupt beyond the torn-tail cases the
+      // format tolerates; refuse to silently diverge from it.
+      std::fprintf(stderr, "error: cannot replay delta log (%s): %s\n",
+                   stream::DeltaLogErrorCodeName(logged.error),
+                   logged.message.c_str());
+      return 1;
+    }
+    std::string log_error;
+    if (!delta_log.Open(options.delta_log_path, &log_error)) {
+      std::fprintf(stderr, "error: cannot open delta log: %s\n",
+                   log_error.c_str());
+      return 1;
+    }
+  } else if (graph.has_value()) {
     std::string attach_error;
     if (!service.AttachGraph(*graph, &attach_error)) {
       std::fprintf(stderr, "error: %s\n", attach_error.c_str());
@@ -123,6 +197,7 @@ int main(int argc, char** argv) {
     server_config.tcp_port = static_cast<int>(options.tcp_port);
   }
   server_config.max_requests = options.max_requests;
+  if (delta_log.is_open()) server_config.delta_log = &delta_log;
 
   serve::SocketServer server(service, metrics, server_config);
   std::string error;
@@ -148,7 +223,16 @@ int main(int argc, char** argv) {
                "emax=%d, dmax=%d; cold-miss census %s\n",
                stats.num_rows, stats.num_cols, stats.num_labels,
                stats.max_edges, stats.effective_dmax,
-               stats.graph_attached ? "enabled" : "disabled (no --graph)");
+               stats.graph_attached || stats.stream_attached
+                   ? "enabled"
+                   : "disabled (no --graph)");
+  if (stats.stream_attached) {
+    std::fprintf(stderr,
+                 "[hsgf_serve] live updates enabled (delta log %s, epoch "
+                 "%llu)\n",
+                 options.delta_log_path,
+                 static_cast<unsigned long long>(stats.epoch));
+  }
 
   server.Serve();
 

@@ -1,0 +1,248 @@
+// hsgf_update — pushes live graph updates to a running hsgf_serve daemon.
+//
+// Builds one delta batch from the command line, sends it as a kApplyUpdate
+// request (src/serve/protocol.h), and reports what the daemon did with it:
+// how many ops applied, how many roots were incrementally re-censused, and
+// the new feature epoch. The daemon must have been started with --delta-log
+// (live-update mode); otherwise the request fails with an explanatory error.
+//
+// Usage:
+//   hsgf_update (--unix-socket PATH | --tcp-port N)
+//               [--add-nodes L,L,...]      label index per new node
+//               [--add-edges U-V,U-V,...]
+//               [--remove-edges U-V,...]
+//               [--epoch] [--verbose]
+//
+// Ops are batched in the order add-nodes, add-edges, remove-edges, so an
+// added edge may reference a node added in the same batch (new nodes get the
+// next free ids, printed by the daemon's reply when --verbose is set).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "stream/delta_log.h"
+#include "util/flags.h"
+
+namespace {
+
+using hsgf::serve::DecodeResponse;
+using hsgf::serve::EncodeRequest;
+using hsgf::serve::MessageType;
+using hsgf::serve::ReadFrame;
+using hsgf::serve::Request;
+using hsgf::serve::Response;
+using hsgf::serve::StatusCode;
+using hsgf::serve::WriteFrame;
+using hsgf::stream::DeltaOp;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hsgf_update (--unix-socket PATH | --tcp-port N)\n"
+               "                   [--add-nodes L,L,...] "
+               "[--add-edges U-V,U-V,...]\n"
+               "                   [--remove-edges U-V,...] [--epoch] "
+               "[--verbose]\n");
+  return 2;
+}
+
+struct Options {
+  const char* unix_socket = nullptr;
+  const char* add_nodes = nullptr;
+  const char* add_edges = nullptr;
+  const char* remove_edges = nullptr;
+  long tcp_port = -1;
+  bool epoch = false;
+  bool verbose = false;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  hsgf::util::FlagParser parser;
+  parser.AddString("--unix-socket", &options->unix_socket);
+  parser.AddString("--add-nodes", &options->add_nodes);
+  parser.AddString("--add-edges", &options->add_edges);
+  parser.AddString("--remove-edges", &options->remove_edges);
+  parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
+  parser.AddBool("--epoch", &options->epoch);
+  parser.AddBool("--verbose", &options->verbose);
+  return parser.Parse(argc, argv);
+}
+
+int Connect(const Options& options) {
+  if (options.unix_socket != nullptr) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (std::strlen(options.unix_socket) >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "error: unix socket path too long\n");
+      return -1;
+    }
+    std::strncpy(addr.sun_path, options.unix_socket,
+                 sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+      std::fprintf(stderr, "error: connect unix:%s: %s\n",
+                   options.unix_socket, std::strerror(errno));
+      if (fd >= 0) close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: connect tcp:127.0.0.1:%ld: %s\n",
+                 options.tcp_port, std::strerror(errno));
+    if (fd >= 0) close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RoundTrip(int fd, const Request& request, Response* response) {
+  if (!WriteFrame(fd, EncodeRequest(request))) {
+    std::fprintf(stderr, "error: write failed\n");
+    return false;
+  }
+  std::string payload;
+  if (!ReadFrame(fd, &payload)) {
+    std::fprintf(stderr, "error: connection closed mid-reply\n");
+    return false;
+  }
+  if (!DecodeResponse(
+          request.type,
+          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+          response)) {
+    std::fprintf(stderr, "error: undecodable response\n");
+    return false;
+  }
+  return true;
+}
+
+// Parses "L,L,..." into AddNode ops.
+bool ParseNodeList(const char* list, std::vector<DeltaOp>* ops) {
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    long label;
+    if (!hsgf::util::ParseLong(token.c_str(), &label) || label < 0 ||
+        label > 255) {
+      std::fprintf(stderr, "error: invalid label '%s' in --add-nodes\n",
+                   token.c_str());
+      return false;
+    }
+    ops->push_back(DeltaOp::AddNode(static_cast<uint8_t>(label)));
+  }
+  return true;
+}
+
+// Parses "U-V,U-V,..." into edge ops of the given kind.
+bool ParseEdgeList(const char* list, bool add, const char* flag,
+                   std::vector<DeltaOp>* ops) {
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const size_t dash = token.find('-');
+    long u;
+    long v;
+    if (dash == std::string::npos ||
+        !hsgf::util::ParseLong(token.substr(0, dash).c_str(), &u) ||
+        !hsgf::util::ParseLong(token.substr(dash + 1).c_str(), &v)) {
+      std::fprintf(stderr, "error: invalid edge '%s' in %s (want U-V)\n",
+                   token.c_str(), flag);
+      return false;
+    }
+    ops->push_back(add ? DeltaOp::AddEdge(static_cast<int32_t>(u),
+                                          static_cast<int32_t>(v))
+                       : DeltaOp::RemoveEdge(static_cast<int32_t>(u),
+                                             static_cast<int32_t>(v)));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if ((options.unix_socket != nullptr) == (options.tcp_port >= 0)) {
+    return Usage();
+  }
+
+  std::vector<DeltaOp> ops;
+  if (options.add_nodes != nullptr && !ParseNodeList(options.add_nodes, &ops)) {
+    return Usage();
+  }
+  if (options.add_edges != nullptr &&
+      !ParseEdgeList(options.add_edges, /*add=*/true, "--add-edges", &ops)) {
+    return Usage();
+  }
+  if (options.remove_edges != nullptr &&
+      !ParseEdgeList(options.remove_edges, /*add=*/false, "--remove-edges",
+                     &ops)) {
+    return Usage();
+  }
+  if (ops.empty() && !options.epoch) return Usage();
+
+  const int fd = Connect(options);
+  if (fd < 0) return 1;
+  int exit_code = 0;
+
+  if (!ops.empty()) {
+    Request request;
+    request.type = MessageType::kApplyUpdate;
+    request.ops = std::move(ops);
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    if (response.status != StatusCode::kOk) {
+      std::fprintf(stderr, "error: %s\n", response.text.c_str());
+      close(fd);
+      return 1;
+    }
+    std::printf("epoch %llu: applied %u, rejected %u, dirty_roots %u, "
+                "new_columns %u\n",
+                static_cast<unsigned long long>(response.epoch),
+                response.applied, response.rejected, response.dirty_roots,
+                response.new_columns);
+    if (response.rejected > 0) exit_code = 1;
+  }
+
+  if (options.epoch) {
+    Request request;
+    request.type = MessageType::kGetEpoch;
+    Response response;
+    if (!RoundTrip(fd, request, &response)) {
+      close(fd);
+      return 1;
+    }
+    if (response.status != StatusCode::kOk) {
+      std::fprintf(stderr, "error: %s\n", response.text.c_str());
+      close(fd);
+      return 1;
+    }
+    std::printf("stream_attached %u epoch %llu columns %u rows %llu\n",
+                response.stream_attached,
+                static_cast<unsigned long long>(response.epoch),
+                response.num_columns,
+                static_cast<unsigned long long>(response.overlay_rows));
+  }
+
+  close(fd);
+  return exit_code;
+}
