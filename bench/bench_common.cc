@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "graph/degree_stats.h"
@@ -124,6 +125,67 @@ int FlagInt(int argc, char** argv, const std::string& name, int fallback) {
     if (name == argv[i]) return std::atoi(argv[i + 1]);
   }
   return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& suite,
+                    const std::vector<BenchRecord>& records) {
+  std::string out = "{\n  \"suite\": ";
+  AppendJsonString(out, suite);
+  out += ",\n  \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& record = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendJsonString(out, record.name);
+    out += ", \"wall_s\": " + FormatDouble(record.wall_s);
+    out += ", \"subgraphs\": " + std::to_string(record.subgraphs);
+    out += ", \"subgraphs_per_s\": " + FormatDouble(record.subgraphs_per_s);
+    out += ", \"peak_rss_bytes\": " + std::to_string(record.peak_rss_bytes);
+    out += ", \"config\": {";
+    for (size_t k = 0; k < record.config.size(); ++k) {
+      if (k > 0) out += ", ";
+      AppendJsonString(out, record.config[k].first);
+      out += ": ";
+      AppendJsonString(out, record.config[k].second);
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  return std::fclose(file) == 0 && ok;
 }
 
 }  // namespace hsgf::bench

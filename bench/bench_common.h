@@ -103,6 +103,26 @@ std::vector<double> LabelPredictionTrials(const ml::Matrix& features,
 double FlagDouble(int argc, char** argv, const std::string& name,
                   double fallback);
 int FlagInt(int argc, char** argv, const std::string& name, int fallback);
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& fallback);
+
+// One machine-readable benchmark measurement. `config` keys/values are
+// emitted verbatim as JSON strings, so numeric settings should be
+// pre-formatted by the caller.
+struct BenchRecord {
+  std::string name;
+  double wall_s = 0.0;
+  int64_t subgraphs = 0;
+  double subgraphs_per_s = 0.0;
+  int64_t peak_rss_bytes = 0;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+// Writes `records` as a JSON document (schema: {"suite", "records": [...]})
+// so CI can track a performance trajectory across commits (the committed
+// baselines live in EXPERIMENTS.md). Returns false on I/O failure.
+bool WriteBenchJson(const std::string& path, const std::string& suite,
+                    const std::vector<BenchRecord>& records);
 
 }  // namespace hsgf::bench
 

@@ -1,14 +1,23 @@
 // Micro-benchmarks (google-benchmark) for the census design choices called
 // out in DESIGN.md: the label-grouping heuristic (§3.2 "Heterogeneous
 // Optimization Heuristic"), the dmax constraint, the emax scaling law, and
-// the cost of materializing encodings.
+// the cost of materializing encodings — plus a multi-threaded end-to-end
+// throughput measurement written to BENCH_census.json for the perf
+// trajectory (EXPERIMENTS.md keeps the committed baselines).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
 #include "core/census.h"
+#include "core/extractor.h"
 #include "data/generator.h"
 #include "data/schema.h"
 #include "util/metrics.h"
+#include "util/resource.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -110,6 +119,79 @@ void BM_CensusStarSchema(benchmark::State& state) {
 }
 BENCHMARK(BM_CensusStarSchema)->DenseRange(3, 5);
 
+// Headline throughput number: the full parallel extraction pipeline
+// (Extractor fan-out, emax=5) over a fixed synthetic graph and a fixed,
+// hub-inclusive node sample. This is the measurement the CI perf-smoke job
+// tracks; keep the configuration stable so the trajectory stays comparable.
+hsgf::bench::BenchRecord MeasureThroughput(int threads, int num_nodes,
+                                           int repeats) {
+  const graph::HetGraph& graph = LoadGraph();
+  auto nodes = SampleNodes(graph, num_nodes, 123);
+  core::ExtractorConfig config;
+  config.census.max_edges = 5;
+  config.census.max_degree = 40;
+  config.census.keep_encodings = false;
+  config.num_threads = static_cast<unsigned>(threads);
+  core::Extractor extractor(graph, config);
+
+  hsgf::bench::BenchRecord record;
+  record.name = "census_throughput_emax5_mt";
+  util::Stopwatch watch;
+  for (int r = 0; r < repeats; ++r) {
+    core::ExtractionResult result = extractor.Run(nodes);
+    record.subgraphs += result.total_subgraphs;
+  }
+  record.wall_s = watch.ElapsedSeconds();
+  record.subgraphs_per_s =
+      record.wall_s > 0 ? static_cast<double>(record.subgraphs) / record.wall_s
+                        : 0.0;
+  record.peak_rss_bytes = util::PeakRssBytes();
+  record.config = {
+      {"graph", "LoadLikeSchema(0.25) seed 5"},
+      {"nodes", std::to_string(num_nodes)},
+      {"repeats", std::to_string(repeats)},
+      {"emax", "5"},
+      {"dmax", "40"},
+      {"threads", std::to_string(extractor.num_worker_threads())},
+  };
+  return record;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Bench-local flags (parsed before google-benchmark sees argv):
+  //   --bench_json PATH   write the throughput record to PATH (default
+  //                       BENCH_census.json in the working directory)
+  //   --throughput_only 1 skip the google-benchmark suite (CI perf-smoke)
+  //   --threads N         extractor threads (0 = hardware concurrency)
+  //   --throughput_nodes N / --throughput_repeats N  measurement size
+  const std::string json_path = hsgf::bench::FlagString(
+      argc, argv, "--bench_json", "BENCH_census.json");
+  const bool throughput_only =
+      hsgf::bench::FlagInt(argc, argv, "--throughput_only", 0) != 0;
+  const int threads = hsgf::bench::FlagInt(argc, argv, "--threads", 0);
+  const int num_nodes =
+      hsgf::bench::FlagInt(argc, argv, "--throughput_nodes", 128);
+  const int repeats =
+      hsgf::bench::FlagInt(argc, argv, "--throughput_repeats", 3);
+
+  if (!throughput_only) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const hsgf::bench::BenchRecord record =
+      MeasureThroughput(threads, num_nodes, repeats);
+  std::printf("%s: %.3f s wall, %lld subgraphs, %.3g subgraphs/s\n",
+              record.name.c_str(), record.wall_s,
+              static_cast<long long>(record.subgraphs),
+              record.subgraphs_per_s);
+  if (!hsgf::bench::WriteBenchJson(json_path, "census", {record})) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -59,6 +59,7 @@ CensusWorker::CensusWorker(const graph::HetGraph& graph,
     metrics_.subgraphs_by_edges.resize(
         static_cast<size_t>(config_.max_edges), util::kInvalidMetric);
   }
+  batch_.subgraphs_by_edges.assign(static_cast<size_t>(config_.max_edges), 0);
 }
 
 graph::Label CensusWorker::EffectiveLabel(graph::NodeId v) const {
@@ -121,9 +122,7 @@ void CensusWorker::AppendFrontierOf(graph::NodeId w, graph::NodeId parent) {
   // Topological heuristic (§3.2): hubs are added but never expanded through;
   // the start node is exempt (§4.3.5).
   if (IsBlocked(w)) {
-    if (metrics_.registry != nullptr) {
-      metrics_.registry->Increment(metrics_.dmax_blocked);
-    }
+    ++batch_.dmax_blocked;
     return;
   }
   for (graph::NodeId y : graph_.neighbors(w)) {
@@ -140,42 +139,49 @@ void CensusWorker::AppendFrontierOf(graph::NodeId w, graph::NodeId parent) {
   }
 }
 
-Encoding CensusWorker::MaterializeEncoding() const {
+Encoding CensusWorker::MaterializeEncoding() {
   // Collect the distinct nodes of the current subgraph (at most
   // max_edges + 1 of them) and recount labelled degrees from the edge stack.
-  std::vector<graph::NodeId> nodes;
-  nodes.reserve(edge_stack_.size() + 1);
+  // Both scratch vectors are member-owned: only the first |subgraph| entries
+  // are live, so repeated materializations allocate nothing once warm.
+  scratch_nodes_.clear();
   for (const auto& [u, v] : edge_stack_) {
-    nodes.push_back(u);
-    nodes.push_back(v);
+    scratch_nodes_.push_back(u);
+    scratch_nodes_.push_back(v);
   }
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::sort(scratch_nodes_.begin(), scratch_nodes_.end());
+  scratch_nodes_.erase(
+      std::unique(scratch_nodes_.begin(), scratch_nodes_.end()),
+      scratch_nodes_.end());
+  const size_t count = scratch_nodes_.size();
 
-  std::vector<NodeSignature> signatures(nodes.size());
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    signatures[i].label = EffectiveLabel(nodes[i]);
-    signatures[i].neighbor_counts.assign(num_effective_labels_, 0);
+  if (scratch_signatures_.size() < count) scratch_signatures_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    scratch_signatures_[i].label = EffectiveLabel(scratch_nodes_[i]);
+    scratch_signatures_[i].neighbor_counts.assign(num_effective_labels_, 0);
   }
-  auto index_of = [&nodes](graph::NodeId v) {
+  auto index_of = [this](graph::NodeId v) {
     return static_cast<size_t>(
-        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+        std::lower_bound(scratch_nodes_.begin(), scratch_nodes_.end(), v) -
+        scratch_nodes_.begin());
   };
   for (const auto& [u, v] : edge_stack_) {
-    ++signatures[index_of(u)].neighbor_counts[EffectiveLabel(v)];
-    ++signatures[index_of(v)].neighbor_counts[EffectiveLabel(u)];
+    ++scratch_signatures_[index_of(u)].neighbor_counts[EffectiveLabel(v)];
+    ++scratch_signatures_[index_of(v)].neighbor_counts[EffectiveLabel(u)];
   }
-  return EncodeSignatures(std::move(signatures), num_effective_labels_);
+  return EncodeSignatureRange(scratch_signatures_.data(), count,
+                              num_effective_labels_);
 }
 
-void CensusWorker::Extend(size_t begin, size_t end, int depth,
+void CensusWorker::Extend(size_t seg_begin, size_t seg_end, int depth,
                           CensusResult& result) {
-  HSGF_DCHECK_LE(begin, end);
-  HSGF_DCHECK_LE(end, arena_.size());
+  HSGF_DCHECK_LE(seg_begin, seg_end);
+  HSGF_DCHECK_LE(seg_end, seg_stack_.size());
   HSGF_DCHECK_LT(depth, config_.max_edges);
   HSGF_DCHECK_EQ(edge_stack_.size(), static_cast<size_t>(depth));
-  size_t i = begin;
-  while (i < end) {
+  Cursor i{seg_begin, seg_begin < seg_end ? seg_stack_[seg_begin].begin : 0};
+  while (i.seg < seg_end) {
+    HSGF_DCHECK_LT(i.pos, seg_stack_[i.seg].end);
     if (config_.max_subgraphs > 0 &&
         result.total_subgraphs >= config_.max_subgraphs) {
       result.truncated = true;
@@ -188,21 +194,28 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
         return;
       }
     }
-    const CandidateEdge head = arena_[i];
+    const CandidateEdge head = arena_[i.pos];
     const bool head_is_new_node = !InSubgraph(head.to);
-    size_t j = i + 1;
+    Cursor j = i;
+    Advance(j, seg_end);
+    int64_t run = 1;
     if (head_is_new_node && config_.group_by_label) {
       // Heterogeneous optimization heuristic: consecutive candidates that
       // extend the same subgraph node with a *new* neighbour of the same
       // label all produce the same encoding (and hash); batch their count.
+      // Runs may span segment boundaries — adjacent segments were adjacent
+      // in the flat candidate list this layout replaces.
       const graph::Label head_label = EffectiveLabel(head.to);
-      while (j < end && arena_[j].from == head.from &&
-             !InSubgraph(arena_[j].to) &&
-             EffectiveLabel(arena_[j].to) == head_label) {
-        ++j;
+      while (j.seg < seg_end) {
+        const CandidateEdge& cand = arena_[j.pos];
+        if (cand.from != head.from || InSubgraph(cand.to) ||
+            EffectiveLabel(cand.to) != head_label) {
+          break;
+        }
+        ++run;
+        Advance(j, seg_end);
       }
     }
-    const int64_t run = static_cast<int64_t>(j - i);
 
     // Hash of the subgraph after adding `head` (identical for the whole
     // run): both endpoints' contributions change.
@@ -225,38 +238,46 @@ void CensusWorker::Extend(size_t begin, size_t end, int depth,
 
     result.counts.Add(hash_after, run);
     result.total_subgraphs += run;
-    if (metrics_.registry != nullptr) {
-      HSGF_DCHECK_LT(static_cast<size_t>(depth),
-                     metrics_.subgraphs_by_edges.size());
-      metrics_.registry->Increment(metrics_.subgraphs_total, run);
-      metrics_.registry->Increment(metrics_.subgraphs_by_edges[depth], run);
-      if (run > 1) {
-        metrics_.registry->Increment(metrics_.label_group_saved, run - 1);
-      }
-    }
+    HSGF_DCHECK_LT(static_cast<size_t>(depth),
+                   batch_.subgraphs_by_edges.size());
+    batch_.subgraphs_total += run;
+    batch_.subgraphs_by_edges[depth] += run;
+    if (run > 1) batch_.label_group_saved += run - 1;
     if (config_.keep_encodings && !result.encodings.contains(hash_after)) {
       edge_stack_.push_back({head.from, head.to});
       result.encodings.emplace(hash_after, MaterializeEncoding());
       edge_stack_.pop_back();
-      if (metrics_.registry != nullptr) {
-        metrics_.registry->Increment(metrics_.encoding_materializations);
-      }
+      ++batch_.encoding_materializations;
     }
 
     if (depth + 1 < config_.max_edges) {
-      for (size_t k = i; k < j; ++k) {
+      for (Cursor k = i; k.seg != j.seg || k.pos != j.pos;
+           Advance(k, seg_end)) {
         if (result.truncated || result.stopped) return;
-        const CandidateEdge edge = arena_[k];
+        const CandidateEdge edge = arena_[k.pos];
         graph::NodeId added = AddEdge(edge);
         edge_stack_.emplace_back(edge.from, edge.to);
-        const size_t child_begin = arena_.size();
-        for (size_t t = k + 1; t < end; ++t) {
-          CandidateEdge carried = arena_[t];
-          arena_.push_back(carried);
+        // The child's candidate list: the rest of k's segment, the
+        // remaining ancestor segments, then the child's own frontier —
+        // all by reference except the frontier. Ancestor arena_ ranges
+        // stay valid because descendants only append past them and always
+        // resize back on unwind.
+        const size_t child_seg_begin = seg_stack_.size();
+        if (k.pos + 1 < seg_stack_[k.seg].end) {
+          seg_stack_.push_back({k.pos + 1, seg_stack_[k.seg].end});
         }
+        for (size_t s = k.seg + 1; s < seg_end; ++s) {
+          const Segment inherited = seg_stack_[s];
+          seg_stack_.push_back(inherited);
+        }
+        const size_t child_arena_begin = arena_.size();
         if (added != -1) AppendFrontierOf(added, edge.from);
-        Extend(child_begin, arena_.size(), depth + 1, result);
-        arena_.resize(child_begin);
+        if (arena_.size() > child_arena_begin) {
+          seg_stack_.push_back({child_arena_begin, arena_.size()});
+        }
+        Extend(child_seg_begin, seg_stack_.size(), depth + 1, result);
+        seg_stack_.resize(child_seg_begin);
+        arena_.resize(child_arena_begin);
         edge_stack_.pop_back();
         RemoveEdge(edge, added);
       }
@@ -289,16 +310,20 @@ void CensusWorker::Run(graph::NodeId start, CensusResult& result,
     current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
 
     arena_.clear();
+    seg_stack_.clear();
     edge_stack_.clear();
     // The start node is always expanded, regardless of dmax.
     for (graph::NodeId y : graph_.neighbors(start)) {
       arena_.push_back({start, y});
     }
-    Extend(0, arena_.size(), 0, result);
+    if (!arena_.empty()) seg_stack_.push_back({0, arena_.size()});
+    Extend(0, seg_stack_.size(), 0, result);
     // The enumeration must unwind completely — even on truncation or stop —
     // or the epoch-stamped scratch poisons the next Run() on this worker.
     HSGF_DCHECK(edge_stack_.empty())
         << edge_stack_.size() << " edges left on the stack after unwind";
+    HSGF_DCHECK_EQ(seg_stack_.size(), arena_.empty() ? size_t{0} : size_t{1})
+        << "segment stack not unwound to the root frame";
     HSGF_DCHECK_EQ(linear_contribution_[start], uint64_t{0})
         << "start-node hash contribution not restored";
     HSGF_DCHECK_EQ(current_hash_, MixedContribution(start))
@@ -306,16 +331,46 @@ void CensusWorker::Run(graph::NodeId start, CensusResult& result,
     node_epoch_[start] = 0;
   }
 
+  // Flush-on-Run: the hot loop accumulated into batch_; the registry sees
+  // one Increment per counter per census instead of one per enumeration
+  // step. Snapshots taken mid-extraction therefore lag by at most the
+  // in-flight nodes' counts.
   if (metrics_.registry != nullptr) {
     util::MetricsRegistry* registry = metrics_.registry;
     registry->Increment(metrics_.nodes);
     registry->Increment(metrics_.distinct_encodings,
                         static_cast<int64_t>(result.counts.size()));
+    if (batch_.subgraphs_total != 0) {
+      registry->Increment(metrics_.subgraphs_total, batch_.subgraphs_total);
+    }
+    for (size_t k = 0; k < batch_.subgraphs_by_edges.size(); ++k) {
+      if (batch_.subgraphs_by_edges[k] != 0) {
+        registry->Increment(metrics_.subgraphs_by_edges[k],
+                            batch_.subgraphs_by_edges[k]);
+      }
+    }
+    if (batch_.label_group_saved != 0) {
+      registry->Increment(metrics_.label_group_saved,
+                          batch_.label_group_saved);
+    }
+    if (batch_.dmax_blocked != 0) {
+      registry->Increment(metrics_.dmax_blocked, batch_.dmax_blocked);
+    }
+    if (batch_.encoding_materializations != 0) {
+      registry->Increment(metrics_.encoding_materializations,
+                          batch_.encoding_materializations);
+    }
     if (result.truncated) {
       registry->Increment(metrics_.budget_truncated_nodes);
     }
     if (result.stopped) registry->Increment(metrics_.stopped_nodes);
   }
+  batch_.subgraphs_total = 0;
+  batch_.label_group_saved = 0;
+  batch_.dmax_blocked = 0;
+  batch_.encoding_materializations = 0;
+  std::fill(batch_.subgraphs_by_edges.begin(),
+            batch_.subgraphs_by_edges.end(), 0);
 }
 
 CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,

@@ -144,6 +144,24 @@ class CensusWorker {
     graph::NodeId to;    // endpoint that was outside (may have joined since)
   };
 
+  // Half-open range of candidates in arena_. A recursion frame's candidate
+  // list is a sequence of segments: ranges inherited from ancestor frames
+  // (shared, never copied) followed by the frame's own frontier, which is
+  // the only part appended to arena_. Replaces the tail re-copy the old hot
+  // loop performed per child recursion (O(tail) memory traffic each).
+  struct Segment {
+    size_t begin;
+    size_t end;  // exclusive; segments are never empty
+  };
+
+  // Position inside a frame's segment list [seg, ...): `pos` indexes arena_
+  // within seg_stack_[seg]. Normalized: seg == the frame's seg_end means
+  // one-past-the-last candidate (pos is then 0).
+  struct Cursor {
+    size_t seg;
+    size_t pos;
+  };
+
   // Effective label of a node (mask applied to the start node).
   graph::Label EffectiveLabel(graph::NodeId v) const;
 
@@ -168,12 +186,27 @@ class CensusWorker {
   // else offers. Honours dmax.
   void AppendFrontierOf(graph::NodeId w, graph::NodeId parent);
 
-  // Core recursion over the candidate range [begin, end) of the arena.
-  void Extend(size_t begin, size_t end, int depth, CensusResult& result);
+  // Advances `c` one candidate forward within the frame whose segment list
+  // ends at `seg_end`, hopping to the next segment when the current one is
+  // exhausted.
+  void Advance(Cursor& c, size_t seg_end) const {
+    if (++c.pos >= seg_stack_[c.seg].end) {
+      ++c.seg;
+      c.pos = c.seg < seg_end ? seg_stack_[c.seg].begin : 0;
+    }
+  }
+
+  // Core recursion over the candidate segments seg_stack_[seg_begin,
+  // seg_end). The frame's candidates are the concatenation of those
+  // segments' arena_ ranges, in order — identical to the flat list the
+  // old copy-based loop built, so the enumeration order (and therefore
+  // budget truncation, grouping, and all output) is bit-identical.
+  void Extend(size_t seg_begin, size_t seg_end, int depth,
+              CensusResult& result);
 
   // Builds the canonical encoding of the current subgraph from the edge
-  // stack (rare: once per distinct hash).
-  Encoding MaterializeEncoding() const;
+  // stack (rare: once per distinct hash). Reuses member scratch buffers.
+  Encoding MaterializeEncoding();
 
   // How many enumeration steps may pass between StopToken polls; bounds
   // cancellation latency without putting a clock read in the hot loop.
@@ -197,8 +230,29 @@ class CensusWorker {
   std::vector<uint64_t> node_epoch_;
   std::vector<uint64_t> linear_contribution_;  // Σ_i t_i b_v^i for in-subgraph nodes
 
-  std::vector<CandidateEdge> arena_;                  // per-level candidate lists
+  std::vector<CandidateEdge> arena_;  // frontier candidates, one run per frame
+  std::vector<Segment> seg_stack_;    // per-frame segment lists, stack-shaped
   std::vector<std::pair<graph::NodeId, graph::NodeId>> edge_stack_;
+
+  // Hot-loop instrumentation is accumulated into these plain per-worker
+  // counters and flushed to the registry once per Run() (flush-on-Run
+  // contract, DESIGN.md §Performance). The registry's sharded counters are
+  // cheap but not free: a registry call per enumeration step costs a TLS
+  // lookup plus two atomic accesses, multiplied across pool threads.
+  struct BatchedCounters {
+    int64_t subgraphs_total = 0;
+    int64_t label_group_saved = 0;
+    int64_t dmax_blocked = 0;
+    int64_t encoding_materializations = 0;
+    std::vector<int64_t> subgraphs_by_edges;  // size config_.max_edges
+  };
+  BatchedCounters batch_;
+
+  // Scratch for MaterializeEncoding, member-owned so the per-distinct-
+  // encoding path does not reallocate. Sized to the largest subgraph seen;
+  // only the first |subgraph| entries are live per call.
+  std::vector<graph::NodeId> scratch_nodes_;
+  std::vector<NodeSignature> scratch_signatures_;
 };
 
 // The one one-shot convenience: builds a throwaway worker, runs the census

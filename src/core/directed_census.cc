@@ -270,49 +270,61 @@ void DirectedCensusWorker::AppendFrontierOf(graph::NodeId w,
   for (graph::NodeId y : graph_.predecessors(w)) offer(y, w, y);
 }
 
-Encoding DirectedCensusWorker::MaterializeEncoding() const {
-  std::vector<graph::NodeId> nodes;
-  nodes.reserve(arc_stack_.size() + 1);
+Encoding DirectedCensusWorker::MaterializeEncoding() {
+  // Member-owned scratch: only the first |subgraph| entries are live, so
+  // repeated materializations allocate nothing once warm.
+  scratch_nodes_.clear();
   for (const auto& [t, h] : arc_stack_) {
-    nodes.push_back(t);
-    nodes.push_back(h);
+    scratch_nodes_.push_back(t);
+    scratch_nodes_.push_back(h);
   }
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::sort(scratch_nodes_.begin(), scratch_nodes_.end());
+  scratch_nodes_.erase(
+      std::unique(scratch_nodes_.begin(), scratch_nodes_.end()),
+      scratch_nodes_.end());
+  const size_t count = scratch_nodes_.size();
 
   const int L = num_effective_labels_;
   const int block = 1 + 2 * L;
-  std::vector<std::vector<uint8_t>> blocks(nodes.size());
-  auto index_of = [&nodes](graph::NodeId v) {
+  if (scratch_blocks_.size() < count) scratch_blocks_.resize(count);
+  auto index_of = [this](graph::NodeId v) {
     return static_cast<size_t>(
-        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+        std::lower_bound(scratch_nodes_.begin(), scratch_nodes_.end(), v) -
+        scratch_nodes_.begin());
   };
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    blocks[i].assign(block, 0);
-    blocks[i][0] = EffectiveLabel(nodes[i]);
+  for (size_t i = 0; i < count; ++i) {
+    scratch_blocks_[i].assign(block, 0);
+    scratch_blocks_[i][0] = EffectiveLabel(scratch_nodes_[i]);
   }
   for (const auto& [t, h] : arc_stack_) {
-    ++blocks[index_of(h)][1 + EffectiveLabel(t)];          // in-count of head
-    ++blocks[index_of(t)][1 + L + EffectiveLabel(h)];      // out-count of tail
+    ++scratch_blocks_[index_of(h)][1 + EffectiveLabel(t)];      // in of head
+    ++scratch_blocks_[index_of(t)][1 + L + EffectiveLabel(h)];  // out of tail
   }
-  std::sort(blocks.begin(), blocks.end(), DescendingBytes);
+  std::sort(scratch_blocks_.begin(), scratch_blocks_.begin() + count,
+            DescendingBytes);
   Encoding encoding;
-  encoding.reserve(blocks.size() * block);
-  for (const auto& bytes : blocks) {
-    encoding.insert(encoding.end(), bytes.begin(), bytes.end());
+  encoding.reserve(count * block);
+  for (size_t i = 0; i < count; ++i) {
+    encoding.insert(encoding.end(), scratch_blocks_[i].begin(),
+                    scratch_blocks_[i].end());
   }
   return encoding;
 }
 
-void DirectedCensusWorker::Extend(size_t begin, size_t end, int depth,
+void DirectedCensusWorker::Extend(size_t seg_begin, size_t seg_end, int depth,
                                   CensusResult& result) {
-  for (size_t i = begin; i < end; ++i) {
+  // Candidates are the concatenation of seg_stack_[seg_begin, seg_end)'s
+  // arena_ ranges — the same sequence the old per-child tail copy built,
+  // so enumeration order (and budget truncation) is bit-identical.
+  for (Cursor i{seg_begin, seg_begin < seg_end ? seg_stack_[seg_begin].begin
+                                               : 0};
+       i.seg < seg_end; Advance(i, seg_end)) {
     if (config_.max_subgraphs > 0 &&
         result.total_subgraphs >= config_.max_subgraphs) {
       result.truncated = true;
       return;
     }
-    const CandidateArc arc = arena_[i];
+    const CandidateArc arc = arena_[i.pos];
     graph::NodeId added = AddArc(arc);
     arc_stack_.emplace_back(arc.tail, arc.head);
 
@@ -324,14 +336,24 @@ void DirectedCensusWorker::Extend(size_t begin, size_t end, int depth,
     }
 
     if (depth + 1 < config_.max_edges) {
-      const size_t child_begin = arena_.size();
-      for (size_t t = i + 1; t < end; ++t) {
-        CandidateArc carried = arena_[t];
-        arena_.push_back(carried);
+      // Child candidates: rest of i's segment, remaining ancestor
+      // segments, then the child's own frontier — references only.
+      const size_t child_seg_begin = seg_stack_.size();
+      if (i.pos + 1 < seg_stack_[i.seg].end) {
+        seg_stack_.push_back({i.pos + 1, seg_stack_[i.seg].end});
       }
+      for (size_t s = i.seg + 1; s < seg_end; ++s) {
+        const Segment inherited = seg_stack_[s];
+        seg_stack_.push_back(inherited);
+      }
+      const size_t child_arena_begin = arena_.size();
       if (added != -1) AppendFrontierOf(added, arc);
-      Extend(child_begin, arena_.size(), depth + 1, result);
-      arena_.resize(child_begin);
+      if (arena_.size() > child_arena_begin) {
+        seg_stack_.push_back({child_arena_begin, arena_.size()});
+      }
+      Extend(child_seg_begin, seg_stack_.size(), depth + 1, result);
+      seg_stack_.resize(child_seg_begin);
+      arena_.resize(child_arena_begin);
     }
     arc_stack_.pop_back();
     RemoveArc(arc, added);
@@ -353,10 +375,12 @@ void DirectedCensusWorker::Run(graph::NodeId start, CensusResult& result) {
   current_hash_ = Contribution(0);
 
   arena_.clear();
+  seg_stack_.clear();
   arc_stack_.clear();
   for (graph::NodeId y : graph_.successors(start)) arena_.push_back({start, y});
   for (graph::NodeId y : graph_.predecessors(start)) arena_.push_back({y, start});
-  Extend(0, arena_.size(), 0, result);
+  if (!arena_.empty()) seg_stack_.push_back({0, arena_.size()});
+  Extend(0, seg_stack_.size(), 0, result);
   node_epoch_[start] = 0;
 }
 

@@ -97,11 +97,32 @@ class DirectedCensusWorker {
     return in_power_[static_cast<size_t>(head) * num_effective_labels_ + tail];
   }
 
+  // Zero-copy candidate segments, mirroring CensusWorker: a frame's
+  // candidate list is inherited (begin, end) arena_ ranges from ancestor
+  // frames plus its own appended frontier, instead of a per-child tail
+  // copy.
+  struct Segment {
+    size_t begin;
+    size_t end;  // exclusive; segments are never empty
+  };
+  struct Cursor {
+    size_t seg;
+    size_t pos;
+  };
+
+  void Advance(Cursor& c, size_t seg_end) const {
+    if (++c.pos >= seg_stack_[c.seg].end) {
+      ++c.seg;
+      c.pos = c.seg < seg_end ? seg_stack_[c.seg].begin : 0;
+    }
+  }
+
   graph::NodeId AddArc(const CandidateArc& arc);
   void RemoveArc(const CandidateArc& arc, graph::NodeId added_node);
   void AppendFrontierOf(graph::NodeId w, const CandidateArc& discovery);
-  void Extend(size_t begin, size_t end, int depth, CensusResult& result);
-  Encoding MaterializeEncoding() const;
+  void Extend(size_t seg_begin, size_t seg_end, int depth,
+              CensusResult& result);
+  Encoding MaterializeEncoding();
 
   const graph::DirectedHetGraph& graph_;
   CensusConfig config_;
@@ -114,8 +135,14 @@ class DirectedCensusWorker {
   uint64_t current_hash_ = 0;
   std::vector<uint64_t> node_epoch_;
   std::vector<uint64_t> linear_contribution_;
-  std::vector<CandidateArc> arena_;
+  std::vector<CandidateArc> arena_;  // frontier candidates, one run per frame
+  std::vector<Segment> seg_stack_;   // per-frame segment lists, stack-shaped
   std::vector<std::pair<graph::NodeId, graph::NodeId>> arc_stack_;
+
+  // Member-owned scratch for MaterializeEncoding (first |subgraph| entries
+  // live per call); avoids fresh allocations per distinct encoding.
+  std::vector<graph::NodeId> scratch_nodes_;
+  std::vector<std::vector<uint8_t>> scratch_blocks_;
 };
 
 CensusResult RunDirectedCensus(const graph::DirectedHetGraph& graph,

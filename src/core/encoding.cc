@@ -7,44 +7,48 @@
 
 namespace hsgf::core {
 
-Encoding EncodeSignatures(std::vector<NodeSignature> signatures,
-                          int num_labels) {
+Encoding EncodeSignatureRange(NodeSignature* signatures, size_t count,
+                              int num_labels) {
   HSGF_CHECK_GE(num_labels, 1);
   const int block = num_labels + 1;
-  std::vector<std::vector<uint8_t>> blocks;
-  blocks.reserve(signatures.size());
-  for (const NodeSignature& sig : signatures) {
-    HSGF_DCHECK_EQ(static_cast<int>(sig.neighbor_counts.size()), num_labels);
-    std::vector<uint8_t> bytes;
-    bytes.reserve(block);
-    bytes.push_back(sig.label);
-    bytes.insert(bytes.end(), sig.neighbor_counts.begin(),
-                 sig.neighbor_counts.end());
-    blocks.push_back(std::move(bytes));
-  }
-  // Descending lexicographic order (Eq. 2: s_v1 >= s_v2 >= ... >= s_vn).
-  // Explicit byte loop: every block has the same length, and vector's
-  // three-way compare trips GCC's memcmp bound analysis under -O3.
-  auto descending = [](const std::vector<uint8_t>& a,
-                       const std::vector<uint8_t>& b) {
-    const size_t n = std::min(a.size(), b.size());
+  // Descending lexicographic block order (Eq. 2: s_v1 >= s_v2 >= ... >=
+  // s_vn), compared directly on the signatures so no per-block byte vectors
+  // are materialized. A block is [label, counts...], so label compares
+  // first. Explicit byte loop: every count array has the same length, and
+  // vector's three-way compare trips GCC's memcmp bound analysis under -O3.
+  auto descending = [](const NodeSignature& a, const NodeSignature& b) {
+    if (a.label != b.label) return a.label > b.label;
+    const size_t n = std::min(a.neighbor_counts.size(),
+                              b.neighbor_counts.size());
     for (size_t i = 0; i < n; ++i) {
-      if (a[i] != b[i]) return a[i] > b[i];
+      if (a.neighbor_counts[i] != b.neighbor_counts[i]) {
+        return a.neighbor_counts[i] > b.neighbor_counts[i];
+      }
     }
-    return a.size() > b.size();
+    return a.neighbor_counts.size() > b.neighbor_counts.size();
   };
-  std::sort(blocks.begin(), blocks.end(), descending);
+  std::sort(signatures, signatures + count, descending);
   Encoding encoding;
-  encoding.reserve(blocks.size() * block);
-  for (const auto& bytes : blocks) {
-    encoding.insert(encoding.end(), bytes.begin(), bytes.end());
+  encoding.reserve(count * block);
+  for (size_t i = 0; i < count; ++i) {
+    const NodeSignature& sig = signatures[i];
+    HSGF_DCHECK_EQ(static_cast<int>(sig.neighbor_counts.size()), num_labels);
+    encoding.push_back(sig.label);
+    encoding.insert(encoding.end(), sig.neighbor_counts.begin(),
+                    sig.neighbor_counts.end());
   }
   // Canonicality (what makes equal subgraphs hash equal): fixed block size,
   // blocks in descending order.
-  HSGF_DCHECK_EQ(encoding.size(), blocks.size() * block);
-  HSGF_DCHECK(std::is_sorted(blocks.begin(), blocks.end(), descending))
+  HSGF_DCHECK_EQ(encoding.size(), count * block);
+  HSGF_DCHECK(std::is_sorted(signatures, signatures + count, descending))
       << "encoding blocks are not in canonical descending order";
   return encoding;
+}
+
+Encoding EncodeSignatures(std::vector<NodeSignature> signatures,
+                          int num_labels) {
+  return EncodeSignatureRange(signatures.data(), signatures.size(),
+                              num_labels);
 }
 
 Encoding EncodeSmallGraph(const SmallGraph& graph, int num_labels) {

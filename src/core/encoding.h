@@ -47,6 +47,14 @@ struct NodeSignature {
 Encoding EncodeSignatures(std::vector<NodeSignature> signatures,
                           int num_labels);
 
+// Allocation-light variant for hot callers (the census materializes one
+// encoding per *distinct* hash): sorts the first `count` signatures into
+// canonical descending order in place — reordering swaps the signatures'
+// heap buffers rather than copying them — and serializes them directly into
+// the returned encoding. The signatures stay valid for reuse.
+Encoding EncodeSignatureRange(NodeSignature* signatures, size_t count,
+                              int num_labels);
+
 // Encodes a SmallGraph over a label universe of size num_labels (must be
 // >= graph.MaxLabelPlusOne()). Isolated nodes are included as all-zero
 // blocks; the census never produces them, but the collision study does not

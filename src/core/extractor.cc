@@ -1,8 +1,10 @@
 #include "core/extractor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <mutex>
+#include <numeric>
 #include <utility>
 
 #include "graph/degree_stats.h"
@@ -65,14 +67,23 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
     worker.Run(nodes[i], censuses[i], stop);
     metrics_.Observe(hist_node_micros_, watch.ElapsedMicros());
     if (censuses[i].stopped) any_stopped.store(true, std::memory_order_relaxed);
-    subgraphs_so_far.fetch_add(censuses[i].total_subgraphs);
-    nodes_done.fetch_add(1);
-    if (progress) {
+    // Plain statistic: relaxed is enough on its own, the acq_rel RMW on
+    // nodes_done below publishes it to whichever thread reports next.
+    subgraphs_so_far.fetch_add(censuses[i].total_subgraphs,
+                               std::memory_order_relaxed);
+    const size_t done = nodes_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Throttle: a progress report (and its mutex) at most once per
+    // kProgressInterval completions, plus the final one — not per node.
+    // The acq_rel increment chain guarantees the report that observes
+    // done == total also observes every worker's subgraph contribution.
+    if (progress &&
+        (done % kProgressInterval == 0 || done == nodes.size())) {
       // Re-read under the lock rather than passing the values computed
       // above: reports stay monotone even when workers reach the lock out
       // of order, and the last report carries the final totals.
       std::lock_guard<std::mutex> lock(progress_mutex);
-      progress({nodes_done.load(), nodes.size(), subgraphs_so_far.load()});
+      progress({nodes_done.load(std::memory_order_acquire), nodes.size(),
+                subgraphs_so_far.load(std::memory_order_relaxed)});
     }
   };
 
@@ -85,6 +96,21 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
         process(worker, i);
       }
     } else {
+      // Skew-aware dispatch (longest-processing-time-first): census cost is
+      // wildly skewed by start-node degree (paper Table 3 reports per-node
+      // outliers of 2493 s on hubs). Dequeuing in caller order can land a
+      // hub last and serialize the tail of the run on one thread; starting
+      // the heaviest nodes first bounds the straggler to roughly the
+      // heaviest single node. Results still land in caller slot order —
+      // censuses[i] is keyed by the original index — so the feature matrix
+      // is identical for any schedule.
+      std::vector<size_t> order(nodes.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return graph_.degree(nodes[a]) > graph_.degree(nodes[b]);
+      });
+      // Work-queue ticket: the RMW hands each index to exactly one thread;
+      // no other memory is published through it, hence relaxed.
       std::atomic<size_t> cursor{0};
       const unsigned worker_count = pool_->num_threads();
       for (unsigned t = 0; t < worker_count; ++t) {
@@ -94,9 +120,9 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
           CensusWorker worker(graph_, census_config_, census_metrics_);
           for (;;) {
             if (stop.StopRequested()) return;
-            const size_t i = cursor.fetch_add(1);
-            if (i >= nodes.size()) return;
-            process(worker, i);
+            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= order.size()) return;
+            process(worker, order[i]);
           }
         });
       }

@@ -38,7 +38,10 @@ struct ExtractorConfig {
 // the resolved value without re-deriving the percentile themselves.
 int ResolveDmax(const graph::HetGraph& graph, const ExtractorConfig& config);
 
-// Progress report delivered after each node's census completes.
+// Progress report delivered as node censuses complete. Reports are
+// throttled: at most one per Extractor::kProgressInterval completed nodes,
+// plus a final report carrying the exact totals when the last node
+// finishes (runs interrupted by a StopToken may end without one).
 struct ExtractionProgress {
   size_t nodes_done = 0;
   size_t nodes_total = 0;
@@ -78,6 +81,11 @@ struct ExtractionResult {
 // its censuses execute on the internal pool.
 class Extractor {
  public:
+  // Completed-node stride between progress reports (plus the final one).
+  // Keeps the shared progress mutex out of the per-node path: under heavy
+  // thread counts a per-node lock acquisition serializes the workers.
+  static constexpr size_t kProgressInterval = 16;
+
   Extractor(const graph::HetGraph& graph, const ExtractorConfig& config);
   ~Extractor();
 
@@ -108,8 +116,8 @@ class Extractor {
   // `stop` is polled inside the census enumeration loops: when it fires,
   // in-flight censuses return their partial counts, queued nodes are
   // skipped, and the result carries stopped_early. `progress`, when set, is
-  // invoked after each node's census (serialized, but possibly from worker
-  // threads).
+  // invoked at most once per kProgressInterval completed censuses plus once
+  // at the end (serialized, but possibly from worker threads).
   ExtractionResult Run(const std::vector<graph::NodeId>& nodes);
   ExtractionResult Run(const std::vector<graph::NodeId>& nodes,
                        util::StopToken stop, ProgressFn progress = nullptr);

@@ -62,6 +62,19 @@ class FlatCountMap {
     }
   }
 
+  // True iff both maps hold exactly the same (key, count) entries. Layout-
+  // independent: tables of different capacities (or insertion orders)
+  // compare equal when their contents match. Used by the differential
+  // census tests to compare count maps built by different enumerators.
+  bool Equals(const FlatCountMap& other) const {
+    if (size() != other.size()) return false;
+    bool equal = true;
+    ForEach([&](uint64_t key, int64_t count) {
+      if (count != other.Get(key)) equal = false;
+    });
+    return equal;
+  }
+
   void Clear() {
     std::fill(keys_.begin(), keys_.end(), 0);
     size_ = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 
@@ -168,24 +169,35 @@ TEST(ExtractorTest, SessionReuseAccumulatesMetrics) {
   EXPECT_EQ(extractor.effective_dmax(), first.effective_dmax);
 }
 
-TEST(ExtractorTest, ProgressReportsEveryNode) {
+TEST(ExtractorTest, ProgressThrottledAndFinalReportExact) {
   HetGraph graph = TestNetwork();
   ExtractorConfig config;
   config.census.max_edges = 3;
   config.num_threads = 2;
-  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  // Enough nodes to cross the throttle stride at least twice.
+  const size_t count =
+      std::min<size_t>(2 * Extractor::kProgressInterval + 3,
+                       static_cast<size_t>(graph.num_nodes()));
+  ASSERT_GT(count, Extractor::kProgressInterval);
+  std::vector<NodeId> nodes;
+  for (size_t v = 0; v < count; ++v) nodes.push_back(static_cast<NodeId>(v));
   Extractor extractor(graph, config);
   std::vector<ExtractionProgress> updates;
   ExtractionResult result = extractor.Run(
       nodes, util::StopToken(),
       [&updates](const ExtractionProgress& p) { updates.push_back(p); });
-  ASSERT_EQ(updates.size(), nodes.size());
+  // Throttled: at most one report per kProgressInterval completions plus
+  // the final one — never one per node.
+  ASSERT_GE(updates.size(), 1u);
+  EXPECT_LE(updates.size(),
+            nodes.size() / Extractor::kProgressInterval + 1);
   size_t last_done = 0;
   for (const ExtractionProgress& p : updates) {
     EXPECT_EQ(p.nodes_total, nodes.size());
     EXPECT_GE(p.nodes_done, last_done);  // monotone under the lock
     last_done = p.nodes_done;
   }
+  // The final report carries the exact totals.
   EXPECT_EQ(updates.back().nodes_done, nodes.size());
   EXPECT_EQ(updates.back().subgraphs_so_far, result.total_subgraphs);
 }

@@ -15,9 +15,10 @@
 //
 // Observability: --metrics-json dumps the extraction's metrics snapshot
 // (census counters, per-node time histogram, per-stage spans; schema in
-// DESIGN.md §Observability), --progress reports per-node completion on
-// stderr, and --deadline-s cancels the extraction after a wall-clock
-// budget, still emitting the partial feature matrix.
+// DESIGN.md §Observability), --progress reports completion batches on
+// stderr (throttled to once per Extractor::kProgressInterval nodes), and
+// --deadline-s cancels the extraction after a wall-clock budget, still
+// emitting the partial feature matrix.
 //
 // Persistence: --save-snapshot writes the extraction to the binary feature
 // store (src/io/snapshot.h) for hsgf_serve to answer queries from;
