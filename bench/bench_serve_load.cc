@@ -1,0 +1,438 @@
+// bench_serve_load — QPS / latency harness for the async serving core.
+//
+// Starts an in-process SocketServer (epoll event loop, src/serve/server.h)
+// over a snapshot extracted on the spot, opens --connections loopback TCP
+// connections (default 1000), negotiates protocol v2 on each, and drives
+// pipelined traffic from --threads client threads for --seconds per phase:
+//
+//   serve_pipelined_features  --depth kGetFeatures requests in flight per
+//                             connection, hot snapshot rows
+//   serve_pipelined_batch     pipelined kGetFeaturesBatch requests of
+//                             --batch-roots roots each
+//
+// Before the timed phases every snapshot row is fetched once over the wire
+// and compared against the extractor's ground-truth matrix — a mismatch is
+// a hard failure (exit 1), so the throughput numbers can never come from a
+// server that serves wrong bytes. Records (QPS in subgraphs_per_s, p50/p99
+// latency in the config map) are written via WriteBenchJson to
+// --bench_json (default BENCH_serve.json); the committed baseline is
+// tracked by the CI serve-load-smoke job, report-only.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/het_graph.h"
+#include "io/snapshot.h"
+#include "serve/client.h"
+#include "serve/feature_service.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/metrics.h"
+#include "util/resource.h"
+#include "util/timer.h"
+
+namespace hsgf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  graph::HetGraph graph;
+  std::vector<graph::NodeId> nodes;
+  core::ExtractionResult full;
+  io::Snapshot snapshot;
+};
+
+// Extracts a hot working set and persists it as the served snapshot. Every
+// benched request resolves from the snapshot tier, so the measurement is
+// the event loop and protocol stack, not census throughput (bench_micro_
+// census owns that number).
+bool BuildWorkload(Workload* workload, std::string* error) {
+  workload->graph = data::MakeNetwork(data::LoadLikeSchema(0.08), 11);
+  for (graph::NodeId v = 0;
+       v < workload->graph.num_nodes() && workload->nodes.size() < 64; ++v) {
+    workload->nodes.push_back(v);
+  }
+  core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  core::Extractor extractor(workload->graph, config);
+  workload->full = extractor.Run(workload->nodes);
+
+  const io::SnapshotContents contents = io::MakeSnapshotContents(
+      workload->graph, workload->nodes, workload->full, config);
+  const std::string path =
+      "/tmp/bench_serve_load." + std::to_string(getpid()) + ".hsnap";
+  io::SnapshotError snapshot_error;
+  if (!io::SaveSnapshot(path, contents, &snapshot_error)) {
+    *error = "SaveSnapshot: " + snapshot_error.message;
+    return false;
+  }
+  auto snapshot = io::OpenSnapshot(path, &snapshot_error);
+  std::remove(path.c_str());
+  if (!snapshot.has_value()) {
+    *error = "OpenSnapshot: " + snapshot_error.message;
+    return false;
+  }
+  workload->snapshot = *snapshot;
+  return true;
+}
+
+// Raises RLIMIT_NOFILE so `connections` client sockets plus their server
+// peers fit; returns the connection count that actually fits.
+int EnsureFdBudget(int connections) {
+  const rlim_t needed = static_cast<rlim_t>(connections) * 2 + 256;
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return connections;
+  if (limit.rlim_cur < needed) {
+    rlimit raised = limit;
+    raised.rlim_cur = std::min<rlim_t>(needed, limit.rlim_max);
+    setrlimit(RLIMIT_NOFILE, &raised);
+    if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return connections;
+  }
+  if (limit.rlim_cur < needed) {
+    const int fit = static_cast<int>((limit.rlim_cur - 256) / 2);
+    std::fprintf(stderr,
+                 "warning: RLIMIT_NOFILE %llu caps the bench at %d "
+                 "connections (asked for %d)\n",
+                 static_cast<unsigned long long>(limit.rlim_cur), fit,
+                 connections);
+    return std::max(fit, 1);
+  }
+  return connections;
+}
+
+// Every served row must be bit-identical to the extractor's output — both
+// through single-root requests and through one batch covering the whole
+// working set.
+bool ValidateBitIdentity(const Workload& workload, int port) {
+  serve::Client client;
+  if (!client.ConnectTcp(port).ok() || !client.Hello().ok()) {
+    std::fprintf(stderr, "error: validation client cannot connect\n");
+    return false;
+  }
+  const size_t cols = workload.full.features.feature_hashes.size();
+  for (size_t i = 0; i < workload.nodes.size(); ++i) {
+    serve::Response response;
+    if (!client.GetFeatures(workload.nodes[i], &response).ok() ||
+        response.values.size() != cols) {
+      std::fprintf(stderr, "error: node %d not served\n", workload.nodes[i]);
+      return false;
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      if (response.values[c] !=
+          workload.full.features.matrix(static_cast<int>(i),
+                                        static_cast<int>(c))) {
+        std::fprintf(stderr,
+                     "error: node %d column %zu differs from the "
+                     "extractor's output\n",
+                     workload.nodes[i], c);
+        return false;
+      }
+    }
+  }
+  serve::Response batch;
+  if (!client.GetFeaturesBatch(workload.nodes, &batch).ok() ||
+      batch.batch.size() != workload.nodes.size()) {
+    std::fprintf(stderr, "error: validation batch failed\n");
+    return false;
+  }
+  for (size_t i = 0; i < batch.batch.size(); ++i) {
+    if (batch.batch[i].status != serve::StatusCode::kOk) return false;
+    for (size_t c = 0; c < cols; ++c) {
+      if (batch.batch[i].values[c] !=
+          workload.full.features.matrix(static_cast<int>(i),
+                                        static_cast<int>(c))) {
+        std::fprintf(stderr, "error: batch root %zu differs\n", i);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct PhaseResult {
+  int64_t responses = 0;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[index];
+}
+
+// Drives one timed phase: each thread owns its slice of connections and
+// keeps `depth` requests pipelined on every one of them — a send sweep over
+// all owned connections, then a receive sweep, so connections * depth
+// requests are in flight at the peak of every round. `make_request` builds
+// the per-send request; latency is measured send-to-receive per request id.
+PhaseResult RunPhase(std::vector<serve::Client>& clients, int threads,
+                     int depth, double seconds,
+                     const std::function<serve::Request(size_t round_robin)>&
+                         make_request) {
+  std::atomic<int64_t> total_responses{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const size_t per_thread =
+      (clients.size() + static_cast<size_t>(threads) - 1) /
+      static_cast<size_t>(threads);
+
+  util::Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t begin = static_cast<size_t>(t) * per_thread;
+      const size_t end = std::min(clients.size(), begin + per_thread);
+      if (begin >= end) return;
+      std::vector<double>& my_latencies = latencies[static_cast<size_t>(t)];
+      std::unordered_map<uint32_t, Clock::time_point> sent_at;
+      size_t round_robin = begin;
+      const auto deadline =
+          Clock::now() + std::chrono::duration<double>(seconds);
+      while (Clock::now() < deadline && !failed.load()) {
+        for (size_t c = begin; c < end; ++c) {
+          for (int d = 0; d < depth; ++d) {
+            uint32_t id = 0;
+            if (!clients[c].Send(make_request(round_robin++), &id).ok()) {
+              failed.store(true);
+              return;
+            }
+            sent_at.emplace(id, Clock::now());
+          }
+        }
+        for (size_t c = begin; c < end; ++c) {
+          while (clients[c].outstanding() > 0) {
+            serve::Response response;
+            if (!clients[c].Receive(&response).ok()) {
+              failed.store(true);
+              return;
+            }
+            const auto it = sent_at.find(response.request_id);
+            if (it != sent_at.end()) {
+              my_latencies.push_back(
+                  std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            it->second)
+                      .count());
+              sent_at.erase(it);
+            }
+            total_responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  PhaseResult result;
+  result.wall_s = wall.ElapsedSeconds();
+  if (failed.load()) {
+    std::fprintf(stderr, "error: a client thread failed mid-phase\n");
+    return result;
+  }
+  result.responses = total_responses.load();
+  std::vector<double> merged;
+  for (const auto& slice : latencies) {
+    merged.insert(merged.end(), slice.begin(), slice.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = PercentileMs(merged, 0.50);
+  result.p99_ms = PercentileMs(merged, 0.99);
+  return result;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+}  // namespace
+}  // namespace hsgf
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+
+  const std::string json_path =
+      bench::FlagString(argc, argv, "--bench_json", "BENCH_serve.json");
+  int connections = bench::FlagInt(argc, argv, "--connections", 1000);
+  const int threads = bench::FlagInt(argc, argv, "--threads", 4);
+  const int depth = bench::FlagInt(argc, argv, "--depth", 4);
+  const int batch_roots = bench::FlagInt(argc, argv, "--batch-roots", 16);
+  const double seconds = bench::FlagDouble(argc, argv, "--seconds", 3.0);
+
+  connections = EnsureFdBudget(connections);
+
+  Workload workload;
+  std::string error;
+  if (!BuildWorkload(&workload, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_serve_load] snapshot: %zu rows x %zu cols; "
+               "%d connections, %d threads, depth %d\n",
+               workload.nodes.size(),
+               workload.full.features.feature_hashes.size(), connections,
+               threads, depth);
+
+  util::MetricsRegistry metrics;
+  serve::FeatureService service(workload.snapshot, metrics);
+  if (!service.AttachGraph(workload.graph, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  serve::ServerConfig server_config;
+  server_config.tcp_port = 0;
+  serve::SocketServer server(service, metrics, server_config);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::thread serve_thread([&server] { server.Serve(); });
+
+  if (!ValidateBitIdentity(workload, server.tcp_port())) {
+    server.RequestStop();
+    serve_thread.join();
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_serve_load] bit-identity validated over %zu rows\n",
+               workload.nodes.size());
+
+  // Connect phase (parallel): every connection speaks protocol v2.
+  std::vector<serve::Client> clients(static_cast<size_t>(connections));
+  {
+    std::atomic<bool> connect_failed{false};
+    std::vector<std::thread> connectors;
+    const size_t per_thread =
+        (clients.size() + static_cast<size_t>(threads) - 1) /
+        static_cast<size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      connectors.emplace_back([&, t] {
+        const size_t begin = static_cast<size_t>(t) * per_thread;
+        const size_t end = std::min(clients.size(), begin + per_thread);
+        for (size_t c = begin; c < end; ++c) {
+          if (!clients[c].ConnectTcp(server.tcp_port()).ok() ||
+              !clients[c].Hello().ok()) {
+            connect_failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& connector : connectors) connector.join();
+    if (connect_failed.load()) {
+      std::fprintf(stderr, "error: connect phase failed\n");
+      server.RequestStop();
+      serve_thread.join();
+      return 1;
+    }
+  }
+
+  const size_t num_nodes = workload.nodes.size();
+  const auto features_request = [&](size_t i) {
+    serve::Request request;
+    request.type = serve::MessageType::kGetFeatures;
+    request.node = workload.nodes[i % num_nodes];
+    return request;
+  };
+  const auto batch_request = [&](size_t i) {
+    serve::Request request;
+    request.type = serve::MessageType::kGetFeaturesBatch;
+    request.batch_nodes.reserve(static_cast<size_t>(batch_roots));
+    for (int b = 0; b < batch_roots; ++b) {
+      request.batch_nodes.push_back(
+          workload.nodes[(i + static_cast<size_t>(b)) % num_nodes]);
+    }
+    return request;
+  };
+
+  const PhaseResult features_phase =
+      RunPhase(clients, threads, depth, seconds, features_request);
+  const PhaseResult batch_phase =
+      RunPhase(clients, threads, depth, seconds, batch_request);
+
+  server.RequestStop();
+  serve_thread.join();
+  if (features_phase.responses == 0 || batch_phase.responses == 0) {
+    std::fprintf(stderr, "error: a phase produced no responses\n");
+    return 1;
+  }
+
+  const double features_qps =
+      static_cast<double>(features_phase.responses) / features_phase.wall_s;
+  const double batches_per_s =
+      static_cast<double>(batch_phase.responses) / batch_phase.wall_s;
+  const double roots_per_s = batches_per_s * batch_roots;
+  std::fprintf(stderr,
+               "[bench_serve_load] features: %.0f req/s "
+               "(p50 %.3fms, p99 %.3fms over %lld responses)\n",
+               features_qps, features_phase.p50_ms, features_phase.p99_ms,
+               static_cast<long long>(features_phase.responses));
+  std::fprintf(stderr,
+               "[bench_serve_load] batch(%d): %.0f batches/s = %.0f roots/s "
+               "(p50 %.3fms, p99 %.3fms)\n",
+               batch_roots, batches_per_s, roots_per_s, batch_phase.p50_ms,
+               batch_phase.p99_ms);
+
+  const std::vector<std::pair<std::string, std::string>> shared_config = {
+      {"connections", std::to_string(connections)},
+      {"threads", std::to_string(threads)},
+      {"depth", std::to_string(depth)},
+      {"workload", "hot snapshot rows, LoadLikeSchema(0.08) seed 11"},
+      {"rows", std::to_string(num_nodes)},
+      {"cols",
+       std::to_string(workload.full.features.feature_hashes.size())},
+  };
+
+  bench::BenchRecord features_record;
+  features_record.name = "serve_pipelined_features";
+  features_record.wall_s = features_phase.wall_s;
+  features_record.subgraphs = features_phase.responses;  // responses served
+  features_record.subgraphs_per_s = features_qps;        // QPS
+  features_record.peak_rss_bytes = util::PeakRssBytes();
+  features_record.config = shared_config;
+  features_record.config.push_back({"p50_ms", FormatMs(features_phase.p50_ms)});
+  features_record.config.push_back({"p99_ms", FormatMs(features_phase.p99_ms)});
+
+  bench::BenchRecord batch_record;
+  batch_record.name = "serve_pipelined_batch";
+  batch_record.wall_s = batch_phase.wall_s;
+  batch_record.subgraphs = batch_phase.responses * batch_roots;  // roots
+  batch_record.subgraphs_per_s = roots_per_s;  // per-root throughput
+  batch_record.peak_rss_bytes = util::PeakRssBytes();
+  batch_record.config = shared_config;
+  batch_record.config.push_back({"batch_roots", std::to_string(batch_roots)});
+  batch_record.config.push_back(
+      {"batches_per_s", FormatMs(batches_per_s)});
+  batch_record.config.push_back({"p50_ms", FormatMs(batch_phase.p50_ms)});
+  batch_record.config.push_back({"p99_ms", FormatMs(batch_phase.p99_ms)});
+
+  if (!bench::WriteBenchJson(json_path, "serve",
+                             {features_record, batch_record})) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench_serve_load] wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -2,13 +2,15 @@
 // bytes a garbage or hostile peer can put on the daemon's socket.
 //
 // The first input byte selects what the rest of the payload is decoded as:
-// mode 0 -> DecodeRequest, modes 1..7 -> DecodeResponse for that
-// MessageType (6 and 7 are the streaming kApplyUpdate / kGetEpoch replies;
-// the kApplyUpdate *request* body — a delta batch payload — is reached
-// through mode 0). Because the decoders demand the frame be fully consumed
-// (AtEnd) and the encoders are canonical, any payload that decodes must
-// re-encode to the identical bytes; the harness checks that round-trip, so a
-// decoder that silently misreads a field is a crash, not a missed bug.
+// mode 0 -> v1 DecodeRequest, modes 1..9 -> v1 DecodeResponse for that
+// MessageType (8 and 9 are the kHello / kGetFeaturesBatch replies; their
+// *request* bodies are reached through mode 0), mode 10 -> v2 DecodeRequest
+// (request-id/deadline prefix), mode 11 -> v2 DecodeResponse, with the
+// *second* byte selecting the MessageType. Because the decoders demand the
+// frame be fully consumed (AtEnd) and the encoders are canonical, any
+// payload that decodes must re-encode to the identical bytes; the harness
+// checks that round-trip, so a decoder that silently misreads a field is a
+// crash, not a missed bug.
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -21,35 +23,57 @@ namespace {
 
 constexpr size_t kMaxInputBytes = 1u << 20;
 
+using hsgf::serve::kNumMessageTypes;
+using hsgf::serve::kProtocolV1;
+using hsgf::serve::kProtocolV2;
 using hsgf::serve::MessageType;
+
+void CheckRequestRoundTrip(std::span<const uint8_t> payload,
+                           uint32_t version) {
+  hsgf::serve::Request request;
+  if (!hsgf::serve::DecodeRequest(payload, &request, version)) return;
+  const std::string reencoded = hsgf::serve::EncodeRequest(request, version);
+  HSGF_CHECK_EQ(reencoded.size(), payload.size())
+      << "request round-trip changed length (v" << version << ")";
+  HSGF_CHECK(std::memcmp(reencoded.data(), payload.data(),
+                         payload.size()) == 0)
+      << "request round-trip changed bytes (v" << version << ")";
+}
+
+void CheckResponseRoundTrip(MessageType type, std::span<const uint8_t> payload,
+                            uint32_t version) {
+  hsgf::serve::Response response;
+  if (!hsgf::serve::DecodeResponse(type, payload, &response, version)) return;
+  const std::string reencoded =
+      hsgf::serve::EncodeResponse(type, response, version);
+  HSGF_CHECK_EQ(reencoded.size(), payload.size())
+      << "response round-trip changed length (v" << version << ")";
+  HSGF_CHECK(payload.empty() || std::memcmp(reencoded.data(), payload.data(),
+                                            payload.size()) == 0)
+      << "response round-trip changed bytes (v" << version << ")";
+}
 
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size == 0 || size > kMaxInputBytes) return 0;
-  const uint8_t mode = data[0] % 8;
-  const std::span<const uint8_t> payload(data + 1, size - 1);
+  const uint8_t mode = data[0] % 12;
 
   if (mode == 0) {
-    hsgf::serve::Request request;
-    if (!hsgf::serve::DecodeRequest(payload, &request)) return 0;
-    const std::string reencoded = hsgf::serve::EncodeRequest(request);
-    HSGF_CHECK_EQ(reencoded.size(), payload.size())
-        << "request round-trip changed length";
-    HSGF_CHECK(std::memcmp(reencoded.data(), payload.data(),
-                           payload.size()) == 0)
-        << "request round-trip changed bytes";
-    return 0;
+    CheckRequestRoundTrip({data + 1, size - 1}, kProtocolV1);
+  } else if (mode <= kNumMessageTypes) {
+    CheckResponseRoundTrip(static_cast<MessageType>(mode), {data + 1, size - 1},
+                           kProtocolV1);
+  } else if (mode == 10) {
+    CheckRequestRoundTrip({data + 1, size - 1}, kProtocolV2);
+  } else {
+    // Mode 11: the second byte picks the response type the v2 body is
+    // decoded as.
+    if (size < 2) return 0;
+    const uint8_t raw_type = data[1] % (kNumMessageTypes + 1);
+    if (raw_type == 0) return 0;
+    CheckResponseRoundTrip(static_cast<MessageType>(raw_type),
+                           {data + 2, size - 2}, kProtocolV2);
   }
-
-  const auto type = static_cast<MessageType>(mode);
-  hsgf::serve::Response response;
-  if (!hsgf::serve::DecodeResponse(type, payload, &response)) return 0;
-  const std::string reencoded = hsgf::serve::EncodeResponse(type, response);
-  HSGF_CHECK_EQ(reencoded.size(), payload.size())
-      << "response round-trip changed length";
-  HSGF_CHECK(payload.empty() || std::memcmp(reencoded.data(), payload.data(),
-                                            payload.size()) == 0)
-      << "response round-trip changed bytes";
   return 0;
 }

@@ -103,6 +103,16 @@ bool WriteProtocolSeeds(const std::string& dir) {
                hsgf::stream::DeltaOp::RemoveEdge(3, 9)};
   Request epoch_req;
   epoch_req.type = MessageType::kGetEpoch;
+  Request hello;
+  hello.type = MessageType::kHello;
+  hello.max_version = hsgf::serve::kMaxSupportedProtocol;
+  Request batch;
+  batch.type = MessageType::kGetFeaturesBatch;
+  batch.batch_nodes = {0, 42, -3, 1 << 16};
+  // A v2-framed request (mode 10): id/deadline prefix ahead of the body.
+  Request deadline_features = features;
+  deadline_features.request_id = 0x1001;
+  deadline_features.deadline_ms = 250;
   bool ok = WriteSeed(dir + "/req_features.bin",
                       Mode(0, EncodeRequest(features))) &&
             WriteSeed(dir + "/req_topk.bin", Mode(0, EncodeRequest(topk))) &&
@@ -113,7 +123,15 @@ bool WriteProtocolSeeds(const std::string& dir) {
             WriteSeed(dir + "/req_apply_update.bin",
                       Mode(0, EncodeRequest(apply))) &&
             WriteSeed(dir + "/req_get_epoch.bin",
-                      Mode(0, EncodeRequest(epoch_req)));
+                      Mode(0, EncodeRequest(epoch_req))) &&
+            WriteSeed(dir + "/req_hello.bin", Mode(0, EncodeRequest(hello))) &&
+            WriteSeed(dir + "/req_batch.bin", Mode(0, EncodeRequest(batch))) &&
+            WriteSeed(dir + "/req_v2_features.bin",
+                      Mode(10, EncodeRequest(deadline_features,
+                                             hsgf::serve::kProtocolV2))) &&
+            WriteSeed(dir + "/req_v2_batch.bin",
+                      Mode(10, EncodeRequest(batch,
+                                             hsgf::serve::kProtocolV2)));
 
   Response values;
   values.values = {1.5, 0.0, -2.25};
@@ -141,6 +159,26 @@ bool WriteProtocolSeeds(const std::string& dir) {
   epoch_info.epoch = 12;
   epoch_info.num_columns = 64;
   epoch_info.overlay_rows = 9;
+  Response hello_reply;
+  hello_reply.agreed_version = hsgf::serve::kProtocolV2;
+  Response batch_reply;
+  batch_reply.batch.push_back(
+      {StatusCode::kOk, 2, 7, {1.5, 0.0, -2.25}, ""});
+  batch_reply.batch.push_back(
+      {StatusCode::kNotFound, 0, 0, {}, "node 9 not found"});
+  batch_reply.batch.push_back(
+      {StatusCode::kOverloaded, 0, 0, {}, "cold-census queue is full"});
+  Response shed;
+  shed.status = StatusCode::kOverloaded;
+  shed.text = "cold-census queue is full (limit 64); retry later";
+  shed.request_id = 0x2002;
+  // v2 response seeds (mode 11) carry a second byte naming the type.
+  const auto V2Mode = [](uint8_t type, const std::string& payload) {
+    std::string bytes(1, static_cast<char>(11));
+    bytes.push_back(static_cast<char>(type));
+    bytes += payload;
+    return bytes;
+  };
   ok = ok &&
        WriteSeed(dir + "/resp_features.bin",
                  Mode(1, EncodeResponse(MessageType::kGetFeatures, values))) &&
@@ -157,7 +195,22 @@ bool WriteProtocolSeeds(const std::string& dir) {
        WriteSeed(dir + "/resp_apply_update.bin",
                  Mode(6, EncodeResponse(MessageType::kApplyUpdate, update))) &&
        WriteSeed(dir + "/resp_get_epoch.bin",
-                 Mode(7, EncodeResponse(MessageType::kGetEpoch, epoch_info)));
+                 Mode(7, EncodeResponse(MessageType::kGetEpoch, epoch_info))) &&
+       WriteSeed(dir + "/resp_hello.bin",
+                 Mode(8, EncodeResponse(MessageType::kHello, hello_reply))) &&
+       WriteSeed(dir + "/resp_batch.bin",
+                 Mode(9, EncodeResponse(MessageType::kGetFeaturesBatch,
+                                        batch_reply))) &&
+       WriteSeed(dir + "/resp_v2_features.bin",
+                 V2Mode(1, EncodeResponse(MessageType::kGetFeatures, values,
+                                          hsgf::serve::kProtocolV2))) &&
+       WriteSeed(dir + "/resp_v2_overloaded.bin",
+                 V2Mode(1, EncodeResponse(MessageType::kGetFeatures, shed,
+                                          hsgf::serve::kProtocolV2))) &&
+       WriteSeed(dir + "/resp_v2_batch.bin",
+                 V2Mode(9, EncodeResponse(MessageType::kGetFeaturesBatch,
+                                          batch_reply,
+                                          hsgf::serve::kProtocolV2)));
   return ok;
 }
 

@@ -1,0 +1,259 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hsgf::serve {
+
+namespace {
+
+ClientResult Fail(ClientResult::Error error, std::string message) {
+  ClientResult result;
+  result.error = error;
+  result.message = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      version_(std::exchange(other.version_, kProtocolV1)),
+      deadline_ms_(other.deadline_ms_),
+      next_request_id_(other.next_request_id_),
+      pending_(std::move(other.pending_)),
+      send_order_(std::move(other.send_order_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    version_ = std::exchange(other.version_, kProtocolV1);
+    deadline_ms_ = other.deadline_ms_;
+    next_request_id_ = other.next_request_id_;
+    pending_ = std::move(other.pending_);
+    send_order_ = std::move(other.send_order_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  version_ = kProtocolV1;
+  pending_.clear();
+  send_order_.clear();
+}
+
+ClientResult Client::ConnectUnix(const std::string& path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Fail(ClientResult::Error::kConnect, "unix socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    if (fd >= 0) close(fd);
+    return Fail(ClientResult::Error::kConnect,
+                "connect unix:" + path + ": " + detail);
+  }
+  fd_ = fd;
+  return {};
+}
+
+ClientResult Client::ConnectTcp(int port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    if (fd >= 0) close(fd);
+    return Fail(ClientResult::Error::kConnect,
+                "connect tcp:127.0.0.1:" + std::to_string(port) + ": " +
+                    detail);
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return {};
+}
+
+ClientResult Client::Hello(uint32_t max_version) {
+  Request request;
+  request.type = MessageType::kHello;
+  request.max_version = max_version;
+  Response response;
+  // The handshake itself always runs in the connection's current framing.
+  ClientResult result = Call(std::move(request), &response);
+  if (!result.ok()) return result;
+  if (response.agreed_version < kProtocolV1 ||
+      response.agreed_version > max_version) {
+    return Fail(ClientResult::Error::kProtocol,
+                "server agreed to unsupported protocol version " +
+                    std::to_string(response.agreed_version));
+  }
+  if (response.agreed_version > version_) version_ = response.agreed_version;
+  return result;
+}
+
+ClientResult Client::GetFeatures(int32_t node, Response* response) {
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = node;
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::GetFeaturesBatch(std::span<const int32_t> nodes,
+                                      Response* response) {
+  Request request;
+  request.type = MessageType::kGetFeaturesBatch;
+  request.batch_nodes.assign(nodes.begin(), nodes.end());
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::GetVocabulary(Response* response) {
+  Request request;
+  request.type = MessageType::kGetVocabulary;
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::TopKEncodings(uint32_t k, Response* response) {
+  Request request;
+  request.type = MessageType::kTopKEncodings;
+  request.k = k;
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::Stats(Response* response) {
+  Request request;
+  request.type = MessageType::kStats;
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::GetEpoch(Response* response) {
+  Request request;
+  request.type = MessageType::kGetEpoch;
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::ApplyUpdate(std::span<const stream::DeltaOp> ops,
+                                 Response* response) {
+  Request request;
+  request.type = MessageType::kApplyUpdate;
+  request.ops.assign(ops.begin(), ops.end());
+  return Call(std::move(request), response);
+}
+
+ClientResult Client::Shutdown(Response* response) {
+  Request request;
+  request.type = MessageType::kShutdown;
+  Response local;
+  return Call(std::move(request), response != nullptr ? response : &local);
+}
+
+ClientResult Client::Send(Request request, uint32_t* request_id) {
+  if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
+  const uint32_t id = next_request_id_++;
+  request.request_id = id;
+  if (request.deadline_ms == 0) request.deadline_ms = deadline_ms_;
+  if (!WriteFrame(fd_, EncodeRequest(request, version_))) {
+    return Fail(ClientResult::Error::kTransport, "send failed");
+  }
+  pending_.emplace(id, request.type);
+  send_order_.push_back(id);
+  if (request_id != nullptr) *request_id = id;
+  return {};
+}
+
+ClientResult Client::Receive(Response* response, MessageType* type) {
+  if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
+  if (pending_.empty()) {
+    return Fail(ClientResult::Error::kProtocol, "no requests outstanding");
+  }
+  std::string payload;
+  if (!ReadFrame(fd_, &payload)) {
+    return Fail(ClientResult::Error::kTransport,
+                "connection closed mid-reply");
+  }
+  uint32_t id = 0;
+  if (version_ >= kProtocolV2) {
+    // The id leads the response frame; it selects the pending request whose
+    // type determines the body layout.
+    if (payload.size() < sizeof(uint32_t)) {
+      return Fail(ClientResult::Error::kProtocol, "short response frame");
+    }
+    std::memcpy(&id, payload.data(), sizeof(id));
+  } else {
+    id = send_order_.front();  // v1 answers strictly in request order
+  }
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return Fail(ClientResult::Error::kProtocol,
+                "response for unknown request id " + std::to_string(id));
+  }
+  const MessageType request_type = it->second;
+  if (!DecodeResponse(
+          request_type,
+          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+          response, version_)) {
+    return Fail(ClientResult::Error::kProtocol, "undecodable response");
+  }
+  if (version_ < kProtocolV2) response->request_id = id;
+  pending_.erase(it);
+  for (auto order = send_order_.begin(); order != send_order_.end(); ++order) {
+    if (*order == id) {
+      send_order_.erase(order);
+      break;
+    }
+  }
+  if (type != nullptr) *type = request_type;
+  return CheckStatus(*response);
+}
+
+ClientResult Client::Call(Request request, Response* response) {
+  if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
+  if (!pending_.empty()) {
+    return Fail(ClientResult::Error::kProtocol,
+                "typed call while pipelined requests are outstanding");
+  }
+  const MessageType request_type = request.type;
+  ClientResult sent = Send(std::move(request));
+  if (!sent.ok()) return sent;
+  MessageType got = request_type;
+  ClientResult received = Receive(response, &got);
+  if (received.ok() && got != request_type) {
+    return Fail(ClientResult::Error::kProtocol, "response type mismatch");
+  }
+  return received;
+}
+
+ClientResult Client::CheckStatus(const Response& response) const {
+  if (response.status == StatusCode::kOk) return {};
+  ClientResult result;
+  result.error = ClientResult::Error::kServerStatus;
+  result.status = response.status;
+  result.message = response.text;
+  return result;
+}
+
+}  // namespace hsgf::serve

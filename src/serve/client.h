@@ -1,0 +1,116 @@
+#ifndef HSGF_SERVE_CLIENT_H_
+#define HSGF_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.h"
+#include "stream/delta_log.h"
+
+namespace hsgf::serve {
+
+// Outcome of one client call, separating *where* it failed from the
+// server's verdict: transport and protocol failures mean the connection is
+// unusable, while kServerStatus means the exchange worked and the server
+// said no (response.status / message carry the details).
+struct ClientResult {
+  enum class Error : uint8_t {
+    kNone = 0,          // success; status == kOk
+    kNotConnected = 1,  // no socket (Connect failed or never called)
+    kConnect = 2,       // socket()/connect() failed
+    kTransport = 3,     // send failed or the peer closed mid-reply
+    kProtocol = 4,      // undecodable response or request-id mismatch
+    kServerStatus = 5,  // well-formed response with status != kOk
+  };
+
+  Error error = Error::kNone;
+  StatusCode status = StatusCode::kOk;  // server status (kServerStatus/kNone)
+  std::string message;                  // error detail, empty on success
+
+  bool ok() const { return error == Error::kNone; }
+  explicit operator bool() const { return ok(); }
+};
+
+// Blocking client for the hsgf_serve daemon — the one implementation of the
+// connect/encode/send/decode dance the CLI tools, tests, and benchmarks all
+// share. A fresh connection speaks protocol v1 (compatible with any
+// server); Hello() upgrades it to the newest version both sides support,
+// unlocking per-request deadlines and pipelining.
+//
+// Two calling styles, not to be interleaved while requests are in flight:
+//  - Typed calls (GetFeatures, ApplyUpdate, ...): one request, waits for
+//    its response.
+//  - Pipelined: Send() enqueues any number of requests, Receive() blocks
+//    for the next response. Under v2 responses may arrive out of order and
+//    are matched to their request by id; under v1 they arrive in order.
+//
+// Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  ClientResult ConnectUnix(const std::string& path);
+  ClientResult ConnectTcp(int port);  // loopback
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Negotiates the protocol version (min of `max_version` and the server's
+  // maximum); subsequent traffic uses the agreed framing. Servers predating
+  // kHello close the connection instead of answering — that surfaces as
+  // kTransport, and the caller can reconnect and stay on v1.
+  ClientResult Hello(uint32_t max_version = kMaxSupportedProtocol);
+  uint32_t version() const { return version_; }
+
+  // Latency budget stamped on every subsequent request (0 = none). Only the
+  // v2 framing carries it; under v1 it is ignored.
+  void set_deadline_ms(uint32_t deadline_ms) { deadline_ms_ = deadline_ms; }
+
+  // Typed round-trips. `response` is always filled on kNone/kServerStatus.
+  ClientResult GetFeatures(int32_t node, Response* response);
+  ClientResult GetFeaturesBatch(std::span<const int32_t> nodes,
+                                Response* response);
+  ClientResult GetVocabulary(Response* response);
+  ClientResult TopKEncodings(uint32_t k, Response* response);
+  ClientResult Stats(Response* response);
+  ClientResult GetEpoch(Response* response);
+  ClientResult ApplyUpdate(std::span<const stream::DeltaOp> ops,
+                           Response* response);
+  ClientResult Shutdown(Response* response = nullptr);
+
+  // Pipelined mode. Send stamps the request with a fresh id (echoed in
+  // *request_id when non-null) and the configured deadline, and returns
+  // once the frame is written. Receive blocks for the next response frame,
+  // fills *response, and reports which request it answers via *type /
+  // response->request_id. A response whose id matches nothing outstanding
+  // is a protocol error.
+  ClientResult Send(Request request, uint32_t* request_id = nullptr);
+  ClientResult Receive(Response* response, MessageType* type = nullptr);
+  size_t outstanding() const { return pending_.size(); }
+
+ private:
+  ClientResult Call(Request request, Response* response);
+  ClientResult CheckStatus(const Response& response) const;
+
+  int fd_ = -1;
+  uint32_t version_ = kProtocolV1;
+  uint32_t deadline_ms_ = 0;
+  uint32_t next_request_id_ = 1;
+  // In-flight pipelined requests: id -> type (the body layout needed to
+  // decode the response). send_order_ resolves v1 responses, which carry no
+  // id and arrive strictly in request order.
+  std::unordered_map<uint32_t, MessageType> pending_;
+  std::deque<uint32_t> send_order_;
+};
+
+}  // namespace hsgf::serve
+
+#endif  // HSGF_SERVE_CLIENT_H_

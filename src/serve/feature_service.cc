@@ -88,6 +88,20 @@ bool FeatureService::AttachStream(stream::StreamEngine& engine,
 }
 
 FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node) {
+  return GetFeatures(node, util::StopToken());
+}
+
+FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node,
+                                                         util::StopToken stop) {
+  FeatureReply reply;
+  if (TryGetFeaturesFast(node, &reply)) return reply;
+  metrics_.Increment(cache_misses_);
+  return stream_ != nullptr ? ComputeColdStream(node, stop)
+                            : ComputeCold(node, stop);
+}
+
+bool FeatureService::TryGetFeaturesFast(graph::NodeId node,
+                                        FeatureReply* reply) {
   const uint64_t epoch = stream_ != nullptr ? stream_->epoch() : 0;
 
   // Incrementally maintained rows first: they reflect graph mutations the
@@ -95,8 +109,9 @@ FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node) {
   if (stream_ != nullptr) {
     if (auto streamed = stream_->DenseRow(node)) {
       metrics_.Increment(stream_hits_);
-      return {Outcome::kOk, FeatureSource::kStream, std::move(*streamed),
-              epoch};
+      *reply = {Outcome::kOk, FeatureSource::kStream, std::move(*streamed),
+                epoch};
+      return true;
     }
   }
   const int64_t row = snapshot_.FindRow(node);
@@ -108,27 +123,25 @@ FeatureService::FeatureReply FeatureService::GetFeatures(graph::NodeId node) {
       // a snapshot row is served at the current width by zero-padding.
       values.resize(stream_->num_columns(), 0.0);
     }
-    return {Outcome::kOk, FeatureSource::kSnapshot, std::move(values), epoch};
+    *reply = {Outcome::kOk, FeatureSource::kSnapshot, std::move(values), epoch};
+    return true;
   }
   if (auto cached = cache_.Get(node)) {
     metrics_.Increment(cache_hits_);
-    return {Outcome::kOk, FeatureSource::kCache, std::move(*cached), epoch};
+    *reply = {Outcome::kOk, FeatureSource::kCache, std::move(*cached), epoch};
+    return true;
   }
-  if (stream_ != nullptr) {
-    if (node < 0 || node >= stream_->num_nodes()) {
-      metrics_.Increment(not_found_);
-      return {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
-    }
-    metrics_.Increment(cache_misses_);
-    return ComputeColdStream(node);
-  }
-  if (extractor_ == nullptr || node < 0 ||
-      node >= extractor_->graph().num_nodes()) {
+  const bool in_range =
+      stream_ != nullptr
+          ? (node >= 0 && node < stream_->num_nodes())
+          : (extractor_ != nullptr && node >= 0 &&
+             node < extractor_->graph().num_nodes());
+  if (!in_range) {
     metrics_.Increment(not_found_);
-    return {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
+    *reply = {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
+    return true;
   }
-  metrics_.Increment(cache_misses_);
-  return ComputeCold(node);
+  return false;  // only a cold census can answer
 }
 
 FeatureService::UpdateReply FeatureService::ApplyUpdate(
@@ -173,11 +186,17 @@ FeatureService::EpochInfo FeatureService::GetEpoch() const {
   return info;
 }
 
-FeatureService::FeatureReply FeatureService::ComputeCold(graph::NodeId node) {
-  util::StopSource stop_source;
+FeatureService::FeatureReply FeatureService::ComputeCold(
+    graph::NodeId node, const util::StopToken& caller_stop) {
+  // Link the service-level census deadline with the caller's token (server
+  // shutdown and/or the request deadline); the census polls one token and
+  // stops on whichever fires first.
+  util::StopSource stop_source(caller_stop);
   util::StopToken stop;
   if (config_.cold_census_deadline_s > 0.0) {
     stop_source.SetDeadlineAfter(config_.cold_census_deadline_s);
+  }
+  if (config_.cold_census_deadline_s > 0.0 || caller_stop.CanStop()) {
     stop = stop_source.Token();
   }
   util::Stopwatch watch;
@@ -206,11 +225,13 @@ FeatureService::FeatureReply FeatureService::ComputeCold(graph::NodeId node) {
 }
 
 FeatureService::FeatureReply FeatureService::ComputeColdStream(
-    graph::NodeId node) {
-  util::StopSource stop_source;
+    graph::NodeId node, const util::StopToken& caller_stop) {
+  util::StopSource stop_source(caller_stop);
   util::StopToken stop;
   if (config_.cold_census_deadline_s > 0.0) {
     stop_source.SetDeadlineAfter(config_.cold_census_deadline_s);
+  }
+  if (config_.cold_census_deadline_s > 0.0 || caller_stop.CanStop()) {
     stop = stop_source.Token();
   }
   util::Stopwatch watch;

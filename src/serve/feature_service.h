@@ -15,6 +15,7 @@
 #include "stream/stream_engine.h"
 #include "util/lru_cache.h"
 #include "util/metrics.h"
+#include "util/stop_token.h"
 
 namespace hsgf::serve {
 
@@ -93,6 +94,19 @@ class FeatureService {
 
   FeatureReply GetFeatures(graph::NodeId node);
 
+  // As above, but a cold census additionally observes `stop` (linked with
+  // the configured cold_census_deadline_s — whichever fires first wins). The
+  // event-loop server passes a token combining its shutdown source with the
+  // request's deadline, so an abandoned request stops burning a worker.
+  FeatureReply GetFeatures(graph::NodeId node, util::StopToken stop);
+
+  // Non-blocking probe of the fast tiers (stream row > snapshot row > LRU >
+  // definite not-found). Fills *reply and returns true when the answer
+  // needs no cold census; returns false when only an on-demand census can
+  // answer, without touching *reply. Lets the server answer hot reads on
+  // the event thread and queue only true cold misses to the worker pool.
+  bool TryGetFeaturesFast(graph::NodeId node, FeatureReply* reply);
+
   struct UpdateReply {
     uint64_t epoch = 0;
     int applied = 0;
@@ -150,8 +164,9 @@ class FeatureService {
   Stats GetStats() const;
 
  private:
-  FeatureReply ComputeCold(graph::NodeId node);
-  FeatureReply ComputeColdStream(graph::NodeId node);
+  FeatureReply ComputeCold(graph::NodeId node, const util::StopToken& stop);
+  FeatureReply ComputeColdStream(graph::NodeId node,
+                                 const util::StopToken& stop);
 
   io::Snapshot snapshot_;
   util::MetricsRegistry& metrics_;

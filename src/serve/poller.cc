@@ -1,0 +1,169 @@
+#include "serve/poller.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <unordered_map>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace hsgf::serve {
+namespace {
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) close(epfd_);
+  }
+
+  bool ok() const { return epfd_ >= 0; }
+
+  bool Add(int fd, uint64_t key, bool want_read, bool want_write) override {
+    epoll_event ev = MakeEvent(key, want_read, want_write);
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+    keys_[fd] = key;
+    return true;
+  }
+
+  bool Update(int fd, uint64_t key, bool want_read, bool want_write) override {
+    epoll_event ev = MakeEvent(key, want_read, want_write);
+    if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+    keys_[fd] = key;
+    return true;
+  }
+
+  void Remove(int fd) override {
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    keys_.erase(fd);
+  }
+
+  int Wait(std::vector<Event>* events, int timeout_ms) override {
+    events->clear();
+    raw_.resize(keys_.empty() ? 1 : keys_.size());
+    int n;
+    do {
+      n = epoll_wait(epfd_, raw_.data(), static_cast<int>(raw_.size()),
+                     timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return -1;
+    events->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& re = raw_[static_cast<size_t>(i)];
+      Event out;
+      out.key = re.data.u64;
+      out.readable = (re.events & EPOLLIN) != 0;
+      out.writable = (re.events & EPOLLOUT) != 0;
+      out.error = (re.events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(out);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  static epoll_event MakeEvent(uint64_t key, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = 0;
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.u64 = key;
+    return ev;
+  }
+
+  int epfd_ = -1;
+  // fd -> key, tracked only to size the epoll_wait output buffer.
+  std::unordered_map<int, uint64_t> keys_;
+  std::vector<epoll_event> raw_;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  bool Add(int fd, uint64_t key, bool want_read, bool want_write) override {
+    if (fd < 0 || entries_.count(fd) != 0) return false;
+    entries_[fd] = Entry{key, want_read, want_write};
+    dirty_ = true;
+    return true;
+  }
+
+  bool Update(int fd, uint64_t key, bool want_read, bool want_write) override {
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) return false;
+    it->second = Entry{key, want_read, want_write};
+    dirty_ = true;
+    return true;
+  }
+
+  void Remove(int fd) override {
+    if (entries_.erase(fd) != 0) dirty_ = true;
+  }
+
+  int Wait(std::vector<Event>* events, int timeout_ms) override {
+    events->clear();
+    if (dirty_) {
+      pfds_.clear();
+      pfds_.reserve(entries_.size());
+      for (const auto& [fd, entry] : entries_) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = 0;
+        if (entry.want_read) p.events |= POLLIN;
+        if (entry.want_write) p.events |= POLLOUT;
+        pfds_.push_back(p);
+      }
+      dirty_ = false;
+    }
+    int n;
+    do {
+      n = poll(pfds_.data(), pfds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return -1;
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      auto it = entries_.find(p.fd);
+      if (it == entries_.end()) continue;
+      Event out;
+      out.key = it->second.key;
+      out.readable = (p.revents & POLLIN) != 0;
+      out.writable = (p.revents & POLLOUT) != 0;
+      out.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(out);
+    }
+    return static_cast<int>(events->size());
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  std::unordered_map<int, Entry> entries_;
+  std::vector<pollfd> pfds_;  // rebuilt lazily when the interest set changes
+  bool dirty_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->ok()) return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace hsgf::serve

@@ -1,0 +1,59 @@
+#ifndef HSGF_SERVE_POLLER_H_
+#define HSGF_SERVE_POLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hsgf::serve {
+
+// Readiness-notification backend for the event-loop server (and for bulk
+// load-generation clients). Two implementations: an edge-of-the-art epoll
+// backend on Linux and a portable poll(2) fallback, selected by Create().
+// Both deliver level-triggered readiness, so a handler that drains only
+// part of a buffer is re-notified on the next Wait().
+//
+// Each registered fd carries a caller-chosen u64 key that comes back in
+// events — callers map keys to connection state and never hand the poller
+// anything but fds. Not thread-safe; owned and driven by one event thread.
+class Poller {
+ public:
+  struct Event {
+    uint64_t key = 0;
+    bool readable = false;
+    bool writable = false;
+    // Error/hangup on the fd (EPOLLERR/EPOLLHUP/POLLNVAL). The owner should
+    // attempt a final read (which reports the error / EOF) and close.
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+
+  // Registers `fd` with interest in read and/or write readiness. One
+  // registration per fd; false if the backend rejects the fd.
+  virtual bool Add(int fd, uint64_t key, bool want_read, bool want_write) = 0;
+
+  // Replaces the interest set of a registered fd.
+  virtual bool Update(int fd, uint64_t key, bool want_read,
+                      bool want_write) = 0;
+
+  // Unregisters the fd (callable right before close()).
+  virtual void Remove(int fd) = 0;
+
+  // Blocks up to timeout_ms (-1 = indefinitely) and appends ready events to
+  // *events (cleared first). Returns the number of events, 0 on timeout, or
+  // -1 on an unrecoverable backend error.
+  virtual int Wait(std::vector<Event>* events, int timeout_ms) = 0;
+
+  // Human-readable backend name ("epoll" / "poll") for logs and stats.
+  virtual const char* name() const = 0;
+
+  // Builds the best backend for this platform; `force_poll` selects the
+  // poll(2) fallback even where epoll is available (used by tests to cover
+  // both code paths on Linux).
+  static std::unique_ptr<Poller> Create(bool force_poll = false);
+};
+
+}  // namespace hsgf::serve
+
+#endif  // HSGF_SERVE_POLLER_H_

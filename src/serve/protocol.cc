@@ -106,9 +106,13 @@ bool WriteExactly(int fd, const void* buffer, size_t size) {
 
 }  // namespace
 
-std::string EncodeRequest(const Request& request) {
+std::string EncodeRequest(const Request& request, uint32_t version) {
   std::string payload;
   WireWriter writer(&payload);
+  if (version >= kProtocolV2) {
+    writer.PutU32(request.request_id);
+    writer.PutU32(request.deadline_ms);
+  }
   writer.PutU8(static_cast<uint8_t>(request.type));
   switch (request.type) {
     case MessageType::kGetFeatures:
@@ -122,6 +126,13 @@ std::string EncodeRequest(const Request& request) {
       // delta-log record's payload, so a server can log it verbatim.
       payload += stream::EncodeBatchPayload(request.ops);
       break;
+    case MessageType::kHello:
+      writer.PutU32(request.max_version);
+      break;
+    case MessageType::kGetFeaturesBatch:
+      writer.PutU32(static_cast<uint32_t>(request.batch_nodes.size()));
+      for (int32_t node : request.batch_nodes) writer.PutI32(node);
+      break;
     case MessageType::kGetVocabulary:
     case MessageType::kStats:
     case MessageType::kShutdown:
@@ -131,8 +142,20 @@ std::string EncodeRequest(const Request& request) {
   return payload;
 }
 
-bool DecodeRequest(std::span<const uint8_t> payload, Request* request) {
+bool DecodeRequest(std::span<const uint8_t> payload, Request* request,
+                   uint32_t version) {
   WireReader reader(payload);
+  size_t header_bytes = 0;
+  if (version >= kProtocolV2) {
+    if (!reader.GetU32(&request->request_id) ||
+        !reader.GetU32(&request->deadline_ms)) {
+      return false;
+    }
+    header_bytes = 2 * sizeof(uint32_t);
+  } else {
+    request->request_id = 0;
+    request->deadline_ms = 0;
+  }
   uint8_t type = 0;
   if (!reader.GetU8(&type)) return false;
   request->type = static_cast<MessageType>(type);
@@ -143,7 +166,22 @@ bool DecodeRequest(std::span<const uint8_t> payload, Request* request) {
       return reader.GetU32(&request->k) && reader.AtEnd();
     case MessageType::kApplyUpdate:
       // DecodeBatchPayload is strict (full consumption), so AtEnd holds.
-      return stream::DecodeBatchPayload(payload.subspan(1), &request->ops);
+      return stream::DecodeBatchPayload(payload.subspan(header_bytes + 1),
+                                        &request->ops);
+    case MessageType::kHello:
+      return reader.GetU32(&request->max_version) && reader.AtEnd();
+    case MessageType::kGetFeaturesBatch: {
+      uint32_t n = 0;
+      if (!reader.GetU32(&n) || n > kMaxBatchRoots ||
+          reader.Remaining() != n * sizeof(int32_t)) {
+        return false;
+      }
+      request->batch_nodes.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!reader.GetI32(&request->batch_nodes[i])) return false;
+      }
+      return reader.AtEnd();
+    }
     case MessageType::kGetVocabulary:
     case MessageType::kStats:
     case MessageType::kShutdown:
@@ -153,9 +191,11 @@ bool DecodeRequest(std::span<const uint8_t> payload, Request* request) {
   return false;  // unknown message type
 }
 
-std::string EncodeResponse(MessageType type, const Response& response) {
+std::string EncodeResponse(MessageType type, const Response& response,
+                           uint32_t version) {
   std::string payload;
   WireWriter writer(&payload);
+  if (version >= kProtocolV2) writer.PutU32(response.request_id);
   writer.PutU8(static_cast<uint8_t>(response.status));
   if (response.status != StatusCode::kOk) {
     writer.PutString(response.text);
@@ -198,13 +238,35 @@ std::string EncodeResponse(MessageType type, const Response& response) {
       writer.PutU32(response.num_columns);
       writer.PutU64(response.overlay_rows);
       break;
+    case MessageType::kHello:
+      writer.PutU32(response.agreed_version);
+      break;
+    case MessageType::kGetFeaturesBatch:
+      writer.PutU32(static_cast<uint32_t>(response.batch.size()));
+      for (const BatchEntry& entry : response.batch) {
+        writer.PutU8(static_cast<uint8_t>(entry.status));
+        if (entry.status == StatusCode::kOk) {
+          writer.PutU8(entry.source);
+          writer.PutU64(entry.epoch);
+          writer.PutU32(static_cast<uint32_t>(entry.values.size()));
+          for (double v : entry.values) writer.PutF64(v);
+        } else {
+          writer.PutString(entry.message);
+        }
+      }
+      break;
   }
   return payload;
 }
 
 bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
-                    Response* response) {
+                    Response* response, uint32_t version) {
   WireReader reader(payload);
+  if (version >= kProtocolV2) {
+    if (!reader.GetU32(&response->request_id)) return false;
+  } else {
+    response->request_id = 0;
+  }
   uint8_t status = 0;
   if (!reader.GetU8(&status)) return false;
   response->status = static_cast<StatusCode>(status);
@@ -264,6 +326,35 @@ bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
              reader.GetU64(&response->epoch) &&
              reader.GetU32(&response->num_columns) &&
              reader.GetU64(&response->overlay_rows) && reader.AtEnd();
+    case MessageType::kHello:
+      return reader.GetU32(&response->agreed_version) && reader.AtEnd();
+    case MessageType::kGetFeaturesBatch: {
+      uint32_t n = 0;
+      if (!reader.GetU32(&n) || n > kMaxBatchRoots) return false;
+      response->batch.clear();
+      response->batch.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        BatchEntry entry;
+        uint8_t entry_status = 0;
+        if (!reader.GetU8(&entry_status)) return false;
+        entry.status = static_cast<StatusCode>(entry_status);
+        if (entry.status == StatusCode::kOk) {
+          uint32_t m = 0;
+          if (!reader.GetU8(&entry.source) || !reader.GetU64(&entry.epoch) ||
+              !reader.GetU32(&m) || reader.Remaining() < m * sizeof(double)) {
+            return false;
+          }
+          entry.values.resize(m);
+          for (uint32_t c = 0; c < m; ++c) {
+            if (!reader.GetF64(&entry.values[c])) return false;
+          }
+        } else if (!reader.GetString(&entry.message)) {
+          return false;
+        }
+        response->batch.push_back(std::move(entry));
+      }
+      return reader.AtEnd();
+    }
   }
   return false;
 }

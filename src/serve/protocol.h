@@ -13,17 +13,39 @@ namespace hsgf::serve {
 
 // Wire protocol of the hsgf_serve daemon. Everything is little-endian.
 //
-// Frame:    [u32 length][payload: length bytes]
-// Request:  [u8 MessageType][type-specific body]
-// Response: [u8 StatusCode][body]
-//           status != kOk  -> body = string (error message)
-//           status == kOk  -> body depends on the request type (below)
+// Frame:       [u32 length][payload: length bytes]
+//
+// v1 framing (every connection starts here):
+//   Request:   [u8 MessageType][type-specific body]
+//   Response:  [u8 StatusCode][body]
+//
+// v2 framing (after a kHello handshake agrees on version >= 2):
+//   Request:   [u32 request_id][u32 deadline_ms][u8 MessageType][body]
+//   Response:  [u32 request_id][u8 StatusCode][body]
+//
+// The v2 prefix enables pipelining: a client may have many requests in
+// flight on one connection, the server may complete them out of order, and
+// the echoed request id matches each response to its request. `deadline_ms`
+// (0 = none) is the client's latency budget for this request; the server
+// sheds or abandons work that cannot meet it. The kHello request itself is
+// always sent in v1 framing — a v1 client that never sends kHello speaks
+// the original protocol bit-for-bit.
+//
+//   status != kOk  -> body = string (error message)
+//   status == kOk  -> body depends on the request type (below)
 //
 // Strings are [u32 length][bytes]. The frame length covers the payload only
 // and is capped at kMaxFrameBytes so a garbage peer cannot trigger an
 // unbounded allocation.
 
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Protocol versions a kHello handshake can agree on. v1 is the original
+// sequential request/response protocol; v2 adds the request-id/deadline
+// framing above plus the kGetFeaturesBatch opcode semantics.
+inline constexpr uint32_t kProtocolV1 = 1;
+inline constexpr uint32_t kProtocolV2 = 2;
+inline constexpr uint32_t kMaxSupportedProtocol = kProtocolV2;
 
 enum class MessageType : uint8_t {
   kGetFeatures = 1,    // body: i32 node        -> u8 source, u64 epoch,
@@ -41,13 +63,36 @@ enum class MessageType : uint8_t {
   kGetEpoch = 7,       // body: empty           -> u8 stream_attached,
                        //                          u64 epoch, u32 num_columns,
                        //                          u64 overlay_rows
+  kHello = 8,          // body: u32 max_version -> u32 agreed_version;
+                       //                          connection switches to the
+                       //                          agreed framing afterwards
+  kGetFeaturesBatch = 9,  // body: u32 n, i32 node[n]
+                          //                    -> u32 n, n x per-root reply:
+                          //                       u8 status, then (ok) u8
+                          //                       source, u64 epoch, u32 m,
+                          //                       f64[m] | (non-ok) string
 };
+
+// Number of wire message types. Sized metric tables and per-type dispatch
+// arrays derive from this so a new opcode cannot silently fall off the end;
+// the static_assert below fails the build if the enum grows without it.
+inline constexpr int kNumMessageTypes = 9;
+static_assert(static_cast<int>(MessageType::kGetFeaturesBatch) ==
+                  kNumMessageTypes,
+              "kNumMessageTypes must track the last MessageType value");
+
+// Upper bound on roots in one kGetFeaturesBatch request. Keeps a single
+// batch's reply comfortably under kMaxFrameBytes and bounds the work one
+// frame can demand; the decoder rejects larger batches outright.
+inline constexpr uint32_t kMaxBatchRoots = 4096;
 
 enum class StatusCode : uint8_t {
   kOk = 0,
   kNotFound = 1,    // node is in neither the snapshot nor the graph
   kBadRequest = 2,  // undecodable payload or unknown message type
   kError = 3,       // e.g. cold census deadline exceeded
+  kOverloaded = 4,  // admission control shed this request (cold-census queue
+                    // full, or the deadline expired before work began)
 };
 
 struct Request {
@@ -55,6 +100,25 @@ struct Request {
   int32_t node = 0;  // kGetFeatures
   uint32_t k = 0;    // kTopKEncodings
   std::vector<stream::DeltaOp> ops;  // kApplyUpdate
+  std::vector<int32_t> batch_nodes;  // kGetFeaturesBatch
+  uint32_t max_version = kProtocolV1;  // kHello
+
+  // v2 framing prefix; both stay 0 under v1 framing.
+  uint32_t request_id = 0;
+  uint32_t deadline_ms = 0;  // 0 = no per-request deadline
+};
+
+// One per-root result inside a kGetFeaturesBatch reply. A batch reply is
+// kOk overall whenever the batch itself was well-formed; failures are
+// reported per root, so one unknown node never poisons its neighbours.
+struct BatchEntry {
+  StatusCode status = StatusCode::kOk;
+  uint8_t source = 0;          // serve::FeatureSource (status == kOk)
+  uint64_t epoch = 0;          // stream epoch (status == kOk)
+  std::vector<double> values;  // dense row (status == kOk)
+  std::string message;         // error text (status != kOk)
+
+  bool operator==(const BatchEntry&) const = default;
 };
 
 struct TopKEntry {
@@ -78,15 +142,25 @@ struct Response {
   uint8_t stream_attached = 0;    // kGetEpoch
   uint32_t num_columns = 0;       // kGetEpoch
   uint64_t overlay_rows = 0;      // kGetEpoch
+  uint32_t agreed_version = 0;    // kHello
+  std::vector<BatchEntry> batch;  // kGetFeaturesBatch
+
+  uint32_t request_id = 0;  // v2 framing prefix; 0 under v1 framing
 };
 
-std::string EncodeRequest(const Request& request);
-bool DecodeRequest(std::span<const uint8_t> payload, Request* request);
+// `version` selects the framing (kProtocolV1: no prefix; kProtocolV2:
+// request_id/deadline_ms on requests, request_id on responses). Message
+// bodies are identical under both framings.
+std::string EncodeRequest(const Request& request,
+                          uint32_t version = kProtocolV1);
+bool DecodeRequest(std::span<const uint8_t> payload, Request* request,
+                   uint32_t version = kProtocolV1);
 
 // `type` selects which body layout an ok-status response carries.
-std::string EncodeResponse(MessageType type, const Response& response);
+std::string EncodeResponse(MessageType type, const Response& response,
+                           uint32_t version = kProtocolV1);
 bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
-                    Response* response);
+                    Response* response, uint32_t version = kProtocolV1);
 
 // Blocking framed I/O over a connected socket. ReadFrame returns false on
 // clean EOF, short reads, or an oversized length prefix; WriteFrame returns

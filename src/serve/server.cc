@@ -1,14 +1,18 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "util/timer.h"
 
@@ -17,15 +21,28 @@ namespace hsgf::serve {
 namespace {
 
 // Latency histogram suffix per message type (indexed by type value - 1).
-const char* const kTypeNames[] = {"get_features", "get_vocabulary",
-                                  "top_k_encodings", "stats", "shutdown",
-                                  "apply_update", "get_epoch"};
-constexpr int kNumTypes = 7;
+const char* const kTypeNames[kNumMessageTypes] = {
+    "get_features", "get_vocabulary", "top_k_encodings",
+    "stats",        "shutdown",       "apply_update",
+    "get_epoch",    "hello",          "get_features_batch"};
 
 int TypeIndex(MessageType type) {
   const int index = static_cast<int>(type) - 1;
-  return (index >= 0 && index < kNumTypes) ? index : -1;
+  return (index >= 0 && index < kNumMessageTypes) ? index : -1;
 }
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Everything that has to be flushed when the loop stops (responses already
+// queued, censuses already admitted) gets this long before the loop gives
+// up on unresponsive peers and closes them anyway.
+constexpr double kDrainDeadlineSeconds = 5.0;
+
+constexpr uint64_t kListenKey = 0;
+constexpr uint64_t kWakeKey = 1;
 
 }  // namespace
 
@@ -35,19 +52,27 @@ SocketServer::SocketServer(FeatureService& service,
   connections_ = metrics_.Counter("serve.connections");
   requests_total_ = metrics_.Counter("serve.requests_total");
   bad_requests_ = metrics_.Counter("serve.bad_requests");
+  overloaded_ = metrics_.Counter("serve.overloaded");
   request_micros_ = metrics_.Histogram("serve.request_micros");
-  for (int i = 0; i < kNumTypes; ++i) {
-    request_micros_by_type_[i] = metrics_.Histogram(
-        std::string("serve.request_micros.") + kTypeNames[i]);
+  for (int i = 0; i < kNumMessageTypes; ++i) {
+    request_micros_by_type_[i] =
+        metrics_.Histogram(std::string("serve.request_micros.") +
+                           kTypeNames[i]);
   }
 }
 
 SocketServer::~SocketServer() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     if (!config_.unix_socket_path.empty()) {
       unlink(config_.unix_socket_path.c_str());
     }
+  }
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) close(fd);
   }
 }
 
@@ -116,96 +141,534 @@ bool SocketServer::Start(std::string* error) {
     }
   }
 
-  if (listen(listen_fd_, 64) != 0) {
+  // The event loop multiplexes thousands of sockets; a deep backlog rides
+  // out accept bursts from load generators opening connections en masse.
+  if (listen(listen_fd_, 1024) != 0 || !SetNonBlocking(listen_fd_)) {
     if (error != nullptr) *error = std::strerror(errno);
     close(listen_fd_);
     listen_fd_ = -1;
     return false;
   }
-  return true;
-}
 
-void SocketServer::Serve() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR && !stop_.load(std::memory_order_relaxed)) continue;
-      break;  // listener shut down (RequestStop) or unrecoverable
-    }
-    metrics_.Increment(connections_);
-    HandleConnection(fd);
-    close(fd);
+  // Self-pipe: census workers (and RequestStop, possibly from a signal
+  // handler) write one byte to wake the event loop. Created here, not in
+  // Serve(), so RequestStop() works in the window between Start and Serve.
+  if (pipe(wake_fds_) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
   }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+  return true;
 }
 
 void SocketServer::RequestStop() {
   stop_.store(true, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) {
-    shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  const int fd = wake_fds_[1];
+  if (fd >= 0) {
+    const char byte = 0;
+    // write(2) is async-signal-safe; the result is irrelevant (a full pipe
+    // means the loop is already waking up).
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
   }
 }
 
-void SocketServer::HandleConnection(int fd) {
-  std::string payload;
-  while (!stop_.load(std::memory_order_relaxed) && ReadFrame(fd, &payload)) {
-    util::Stopwatch watch;
-    Request request;
-    std::string encoded;
-    bool shutdown_requested = false;
-    if (!DecodeRequest(
-            {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
-            &request)) {
-      metrics_.Increment(bad_requests_);
-      Response bad;
-      bad.status = StatusCode::kBadRequest;
-      bad.text = "undecodable request";
-      encoded = EncodeResponse(request.type, bad);
-    } else {
-      encoded = HandleRequest(request, &shutdown_requested);
-    }
-    const bool written = WriteFrame(fd, encoded);
+void SocketServer::Serve() {
+  if (listen_fd_ < 0) return;
+  draining_ = false;
+  poller_ = Poller::Create(config_.force_poll);
+  poller_->Add(listen_fd_, kListenKey, /*want_read=*/true,
+               /*want_write=*/false);
+  poller_->Add(wake_fds_[0], kWakeKey, /*want_read=*/true,
+               /*want_write=*/false);
+  pool_ = std::make_unique<util::ThreadPool>(
+      static_cast<unsigned>(std::max(1, config_.census_workers)));
 
-    metrics_.Increment(requests_total_);
+  util::Stopwatch drain_watch;
+  std::vector<Poller::Event> events;
+  while (true) {
+    if (stop_.load(std::memory_order_relaxed) && !draining_) {
+      BeginDrain();
+      drain_watch.Restart();
+    }
+    if (draining_ &&
+        (DrainComplete() || drain_watch.ElapsedSeconds() >
+                                kDrainDeadlineSeconds)) {
+      break;
+    }
+    const int n = poller_->Wait(&events, draining_ ? 20 : 1000);
+    if (n < 0) break;
+    for (const Poller::Event& event : events) {
+      if (event.key == kListenKey) {
+        if (!draining_) AcceptNew();
+        continue;
+      }
+      if (event.key == kWakeKey) {
+        char sink[256];
+        while (read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(event.key);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      if (conn.fd < 0) continue;
+      if (event.readable || event.error) OnReadable(conn);
+      if (conn.fd >= 0 && event.writable) FlushWrites(conn);
+      if (conn.fd >= 0) UpdateInterest(conn);
+    }
+    DrainCompletions();
+    ReapDead();
+  }
+
+  // Teardown: anything still open missed the drain deadline. Aborting the
+  // shutdown source first bounds the pool destructor, which runs every
+  // queued census task to completion.
+  shutdown_source_.RequestStop();
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) {
+      poller_->Remove(conn.fd);
+      close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  conns_.clear();
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.clear();
+  }
+  poller_.reset();
+}
+
+void SocketServer::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: burst drained; anything else: try again next wake
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    if (config_.tcp_port >= 0) {
+      // Responses are small frames; never trade latency for segment
+      // coalescing on the loopback path.
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const uint64_t id = next_conn_id_++;
+    Conn conn;
+    conn.fd = fd;
+    conn.id = id;
+    conns_.emplace(id, std::move(conn));
+    if (!poller_->Add(fd, id, /*want_read=*/true, /*want_write=*/false)) {
+      close(fd);
+      conns_.erase(id);
+      continue;
+    }
+    metrics_.Increment(connections_);
+  }
+}
+
+void SocketServer::CloseConn(Conn& conn) {
+  if (conn.fd < 0) return;
+  poller_->Remove(conn.fd);
+  close(conn.fd);
+  conn.fd = -1;  // reaped after the current event batch
+}
+
+void SocketServer::ReapDead() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    // A dead conn with censuses still in flight must keep its map entry so
+    // the eventual completion is recognized (and dropped) by id.
+    if (it->second.fd < 0 && it->second.inflight == 0) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::UpdateInterest(Conn& conn) {
+  if (conn.fd < 0) return;
+  const size_t write_pending = conn.wbuf.size() - conn.woff;
+  const size_t read_backlog = conn.rbuf.size() - conn.roff;
+  const bool want_write = write_pending > 0;
+  // Backpressure: stop reading once either buffer crosses the cap — a peer
+  // that pipelines faster than it drains responses blocks itself, not the
+  // loop. Draining stops all reads.
+  const bool want_read = !conn.read_closed && !draining_ &&
+                         write_pending <= config_.max_write_buffer_bytes &&
+                         read_backlog <= config_.max_write_buffer_bytes;
+  if (want_read == !conn.paused && want_write == conn.want_write) return;
+  poller_->Update(conn.fd, conn.id, want_read, want_write);
+  conn.paused = !want_read;
+  conn.want_write = want_write;
+}
+
+void SocketServer::OnReadable(Conn& conn) {
+  if (conn.fd < 0 || conn.read_closed) return;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.rbuf.append(buf, static_cast<size_t>(n));
+      if (conn.rbuf.size() - conn.roff > config_.max_write_buffer_bytes) {
+        break;  // backpressure; level-triggered poll re-delivers the rest
+      }
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    }
+    // EOF or a hard error: no more frames will arrive. Finish flushing what
+    // is queued (the peer may have half-closed), then close.
+    conn.read_closed = true;
+    break;
+  }
+  ProcessBuffered(conn);
+}
+
+void SocketServer::ProcessBuffered(Conn& conn) {
+  while (conn.fd >= 0 && !conn.v1_waiting) {
+    const size_t avail = conn.rbuf.size() - conn.roff;
+    if (avail < sizeof(uint32_t)) break;
+    uint32_t length = 0;
+    std::memcpy(&length, conn.rbuf.data() + conn.roff, sizeof(length));
+    if (length > kMaxFrameBytes) {
+      // There is no way to resync a framed stream after a garbage length;
+      // drop the connection rather than allocate for it.
+      CloseConn(conn);
+      return;
+    }
+    if (avail < sizeof(uint32_t) + length) break;  // frame still dribbling in
+    const auto* payload = reinterpret_cast<const uint8_t*>(conn.rbuf.data()) +
+                          conn.roff + sizeof(uint32_t);
+    conn.roff += sizeof(uint32_t) + length;
+    ProcessFrame(conn, {payload, length});
+  }
+  if (conn.fd < 0) return;
+  if (conn.roff == conn.rbuf.size()) {
+    conn.rbuf.clear();
+    conn.roff = 0;
+  } else if (conn.roff > (1u << 20)) {
+    conn.rbuf.erase(0, conn.roff);
+    conn.roff = 0;
+  }
+  if (conn.read_closed && conn.inflight == 0 &&
+      conn.woff == conn.wbuf.size()) {
+    CloseConn(conn);
+  }
+}
+
+void SocketServer::ProcessFrame(Conn& conn,
+                                std::span<const uint8_t> payload) {
+  util::Stopwatch watch;
+  const uint32_t version = conn.version;
+  Request request;
+  if (!DecodeRequest(payload, &request, version)) {
+    metrics_.Increment(bad_requests_);
+    Response bad;
+    bad.status = StatusCode::kBadRequest;
+    bad.text = "undecodable request";
+    bad.request_id = request.request_id;  // echo the id when it was readable
+    EnqueueResponse(conn, EncodeResponse(request.type, bad, version));
+    metrics_.Observe(request_micros_, watch.ElapsedMicros());
+    return;
+  }
+
+  switch (request.type) {
+    case MessageType::kGetFeatures: {
+      FeatureService::FeatureReply reply;
+      if (!service_.TryGetFeaturesFast(request.node, &reply)) {
+        DispatchCold(conn, std::move(request));
+        return;
+      }
+      Response response;
+      response.request_id = request.request_id;
+      FillFeatureResponse(reply, request.node, &response);
+      EnqueueResponse(conn,
+                      EncodeResponse(request.type, response, version));
+      break;
+    }
+    case MessageType::kGetFeaturesBatch: {
+      // Serve the batch inline only when every root resolves from the fast
+      // tiers; one cold root sends the whole batch to a worker (which
+      // re-probes the fast tiers — they are cheap — so the reply is built
+      // in one place).
+      Response response;
+      response.request_id = request.request_id;
+      response.batch.reserve(request.batch_nodes.size());
+      bool all_fast = true;
+      for (const int32_t node : request.batch_nodes) {
+        FeatureService::FeatureReply reply;
+        if (!service_.TryGetFeaturesFast(node, &reply)) {
+          all_fast = false;
+          break;
+        }
+        Response entry;
+        FillFeatureResponse(reply, node, &entry);
+        response.batch.push_back({entry.status, entry.source, entry.epoch,
+                                  std::move(entry.values),
+                                  std::move(entry.text)});
+      }
+      if (!all_fast) {
+        DispatchCold(conn, std::move(request));
+        return;
+      }
+      EnqueueResponse(conn,
+                      EncodeResponse(request.type, response, version));
+      break;
+    }
+    default: {
+      bool shutdown_requested = false;
+      uint32_t agreed_version = 0;
+      Response response =
+          HandleInline(request, &agreed_version, &shutdown_requested);
+      response.request_id = request.request_id;
+      EnqueueResponse(conn,
+                      EncodeResponse(request.type, response, version));
+      // The kHello reply itself goes out in the old framing; everything
+      // after it speaks the agreed version. Never downgrade — a v2
+      // connection re-negotiating to v1 would desync pipelined peers.
+      if (agreed_version > conn.version && conn.fd >= 0) {
+        conn.version = agreed_version;
+      }
+      if (shutdown_requested) stop_.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  const int64_t micros = watch.ElapsedMicros();
+  metrics_.Observe(request_micros_, micros);
+  const int type_index = TypeIndex(request.type);
+  if (type_index >= 0) {
+    metrics_.Observe(request_micros_by_type_[type_index], micros);
+  }
+}
+
+void SocketServer::EnqueueResponse(Conn& conn, std::string encoded) {
+  if (conn.fd < 0) return;
+  uint32_t length = static_cast<uint32_t>(encoded.size());
+  char header[sizeof(length)];
+  std::memcpy(header, &length, sizeof(length));
+  conn.wbuf.append(header, sizeof(length));
+  conn.wbuf.append(encoded);
+  metrics_.Increment(requests_total_);
+  const int64_t sent = responses_sent_.fetch_add(1) + 1;
+  if (config_.max_requests > 0 && sent >= config_.max_requests) {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  FlushWrites(conn);  // opportunistic; leftovers wait for POLLOUT
+  if (conn.fd >= 0) UpdateInterest(conn);
+}
+
+void SocketServer::FlushWrites(Conn& conn) {
+  if (conn.fd < 0) return;
+  while (conn.woff < conn.wbuf.size()) {
+    const ssize_t n = write(conn.fd, conn.wbuf.data() + conn.woff,
+                            conn.wbuf.size() - conn.woff);
+    if (n > 0) {
+      conn.woff += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseConn(conn);  // peer is gone; pending bytes are undeliverable
+    return;
+  }
+  conn.wbuf.clear();
+  conn.woff = 0;
+  if (conn.read_closed && conn.inflight == 0) CloseConn(conn);
+}
+
+void SocketServer::DispatchCold(Conn& conn, Request request) {
+  // Admission control. The shed path answers immediately — a client under
+  // deadline pressure learns "try elsewhere" in microseconds instead of
+  // queueing behind censuses it cannot wait for.
+  if (cold_pending_.load(std::memory_order_relaxed) >=
+      config_.cold_queue_limit) {
+    metrics_.Increment(overloaded_);
+    Response shed;
+    shed.request_id = request.request_id;
+    const std::string detail =
+        "cold-census queue is full (limit " +
+        std::to_string(config_.cold_queue_limit) + "); retry later";
+    if (request.type == MessageType::kGetFeaturesBatch) {
+      // Partial failure per root: the fast tiers answer on the event thread
+      // regardless of cold-queue pressure, so only the roots that actually
+      // need a census are shed.
+      shed.batch.reserve(request.batch_nodes.size());
+      for (const int32_t node : request.batch_nodes) {
+        FeatureService::FeatureReply reply;
+        if (service_.TryGetFeaturesFast(node, &reply)) {
+          Response entry;
+          FillFeatureResponse(reply, node, &entry);
+          shed.batch.push_back({entry.status, entry.source, entry.epoch,
+                                std::move(entry.values),
+                                std::move(entry.text)});
+        } else {
+          shed.batch.push_back(
+              {StatusCode::kOverloaded, 0, 0, {}, detail});
+        }
+      }
+    } else {
+      shed.status = StatusCode::kOverloaded;
+      shed.text = detail;
+    }
+    EnqueueResponse(conn, EncodeResponse(request.type, shed, conn.version));
+    return;
+  }
+  cold_pending_.fetch_add(1, std::memory_order_relaxed);
+  conn.inflight++;
+  // v1 has no request ids, so responses must stay in request order: hold
+  // frame processing on this connection until the completion lands. v2
+  // keeps parsing and may complete out of order.
+  if (conn.version == kProtocolV1) conn.v1_waiting = true;
+
+  // One token covers the whole request lifetime: server shutdown (parent)
+  // plus the client's deadline, armed now so time spent queued counts
+  // against the budget too.
+  util::StopSource source(shutdown_source_.Token());
+  if (request.deadline_ms > 0) {
+    source.SetDeadlineAfter(static_cast<double>(request.deadline_ms) / 1e3);
+  }
+  util::StopToken token = source.Token();
+  const uint64_t conn_id = conn.id;
+  const uint32_t version = conn.version;
+
+  pool_->Submit([this, conn_id, version, token,
+                 request = std::move(request)]() mutable {
+    util::Stopwatch watch;
+    Response response;
+    response.request_id = request.request_id;
+    if (token.StopRequested()) {
+      // Expired while queued (or the server is stopping): the work was
+      // never started, so shed rather than report a census failure.
+      metrics_.Increment(overloaded_);
+      response.status = StatusCode::kOverloaded;
+      response.text = request.deadline_ms > 0
+                          ? "deadline expired before a census worker was free"
+                          : "server is shutting down";
+    } else if (request.type == MessageType::kGetFeatures) {
+      FillFeatureResponse(service_.GetFeatures(request.node, token),
+                          request.node, &response);
+    } else {
+      response.batch.reserve(request.batch_nodes.size());
+      for (const int32_t node : request.batch_nodes) {
+        Response entry;
+        FillFeatureResponse(service_.GetFeatures(node, token), node, &entry);
+        response.batch.push_back({entry.status, entry.source, entry.epoch,
+                                  std::move(entry.values),
+                                  std::move(entry.text)});
+      }
+    }
+    std::string encoded = EncodeResponse(request.type, response, version);
     const int64_t micros = watch.ElapsedMicros();
     metrics_.Observe(request_micros_, micros);
     const int type_index = TypeIndex(request.type);
     if (type_index >= 0) {
       metrics_.Observe(request_micros_by_type_[type_index], micros);
     }
-
-    const int64_t served = requests_served_.fetch_add(1) + 1;
-    if (shutdown_requested ||
-        (config_.max_requests > 0 && served >= config_.max_requests)) {
-      RequestStop();
-      break;
+    cold_pending_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back({conn_id, std::move(encoded)});
     }
-    if (!written) break;
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = write(wake_fds_[1], &byte, 1);
+  });
+}
+
+void SocketServer::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    conn.inflight--;
+    conn.v1_waiting = false;
+    if (conn.fd < 0) continue;  // peer left while the census ran
+    EnqueueResponse(conn, std::move(completion.encoded));
+    if (conn.fd >= 0) {
+      ProcessBuffered(conn);  // v1: resume frames held for ordering
+    }
+    if (conn.fd >= 0) UpdateInterest(conn);
+  }
+  if (!batch.empty()) ReapDead();
+}
+
+void SocketServer::BeginDrain() {
+  draining_ = true;
+  // Cancel queued and running censuses: workers answer them kOverloaded /
+  // kError in microseconds, so the drain converges fast.
+  shutdown_source_.RequestStop();
+  if (listen_fd_ >= 0) poller_->Remove(listen_fd_);
+  for (auto& [id, conn] : conns_) {
+    UpdateInterest(conn);  // draining_ drops read interest everywhere
   }
 }
 
-std::string SocketServer::HandleRequest(const Request& request,
-                                        bool* shutdown) {
+bool SocketServer::DrainComplete() {
+  if (cold_pending_.load(std::memory_order_relaxed) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (conn.fd >= 0 &&
+        (conn.inflight > 0 || conn.woff < conn.wbuf.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SocketServer::FillFeatureResponse(
+    const FeatureService::FeatureReply& reply, int32_t node,
+    Response* response) {
+  response->epoch = reply.epoch;
+  switch (reply.outcome) {
+    case FeatureService::Outcome::kOk:
+      response->source = static_cast<uint8_t>(reply.source);
+      response->values = reply.values;
+      break;
+    case FeatureService::Outcome::kNotFound:
+      response->status = StatusCode::kNotFound;
+      response->text = "node " + std::to_string(node) +
+                       " is in neither the snapshot nor the graph";
+      break;
+    case FeatureService::Outcome::kDeadline:
+      response->status = StatusCode::kError;
+      response->text =
+          "cold census deadline exceeded for node " + std::to_string(node);
+      break;
+  }
+}
+
+Response SocketServer::HandleInline(const Request& request,
+                                    uint32_t* agreed_version,
+                                    bool* shutdown) {
   Response response;
   switch (request.type) {
-    case MessageType::kGetFeatures: {
-      FeatureService::FeatureReply reply = service_.GetFeatures(request.node);
-      response.epoch = reply.epoch;
-      switch (reply.outcome) {
-        case FeatureService::Outcome::kOk:
-          response.source = static_cast<uint8_t>(reply.source);
-          response.values = std::move(reply.values);
-          break;
-        case FeatureService::Outcome::kNotFound:
-          response.status = StatusCode::kNotFound;
-          response.text = "node " + std::to_string(request.node) +
-                          " is in neither the snapshot nor the graph";
-          break;
-        case FeatureService::Outcome::kDeadline:
-          response.status = StatusCode::kError;
-          response.text = "cold census deadline exceeded for node " +
-                          std::to_string(request.node);
-          break;
+    case MessageType::kHello: {
+      if (request.max_version == 0) {
+        response.status = StatusCode::kBadRequest;
+        response.text = "kHello max_version must be >= 1";
+        break;
       }
+      const uint32_t agreed =
+          std::min(request.max_version, kMaxSupportedProtocol);
+      response.agreed_version = agreed;
+      *agreed_version = agreed;
       break;
     }
     case MessageType::kGetVocabulary:
@@ -259,8 +722,14 @@ std::string SocketServer::HandleRequest(const Request& request,
       response.overlay_rows = info.overlay_rows;
       break;
     }
+    case MessageType::kGetFeatures:
+    case MessageType::kGetFeaturesBatch:
+      // Handled by ProcessFrame / DispatchCold, never routed here.
+      response.status = StatusCode::kError;
+      response.text = "internal: feature request routed to HandleInline";
+      break;
   }
-  return EncodeResponse(request.type, response);
+  return response;
 }
 
 std::string SocketServer::StatsJson() const {
@@ -276,6 +745,12 @@ std::string SocketServer::StatsJson() const {
       << ",\"epoch\":" << stats.epoch
       << ",\"columns\":" << stats.stream_columns
       << ",\"rows\":" << stats.stream_rows << "}"
+      << ",\"loop\":{\"backend\":\""
+      << (poller_ != nullptr ? poller_->name() : "none")
+      << "\",\"open_connections\":" << conns_.size()
+      << ",\"cold_pending\":" << cold_pending_.load(std::memory_order_relaxed)
+      << ",\"census_workers\":" << std::max(1, config_.census_workers)
+      << ",\"cold_queue_limit\":" << config_.cold_queue_limit << "}"
       << ",\"cache\":{\"entries\":" << stats.cache_entries
       << ",\"capacity\":" << stats.cache_capacity
       << ",\"evictions\":" << stats.cache_evictions << "}"

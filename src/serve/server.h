@@ -2,12 +2,21 @@
 #define HSGF_SERVE_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "serve/feature_service.h"
+#include "serve/poller.h"
 #include "serve/protocol.h"
 #include "stream/delta_log.h"
 #include "util/metrics.h"
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
 
 namespace hsgf::serve {
 
@@ -17,7 +26,7 @@ struct ServerConfig {
   std::string unix_socket_path;
   int tcp_port = -1;
 
-  // Stop serving after this many requests (0 = until a kShutdown request).
+  // Stop serving after this many responses (0 = until a kShutdown request).
   // Lets smoke tests bound the daemon's lifetime without signals.
   int64_t max_requests = 0;
 
@@ -26,14 +35,43 @@ struct ServerConfig {
   // fails is rejected wholesale, so the log never lags the in-memory state.
   // The writer must be open and outlive the server. Null disables logging.
   stream::DeltaLogWriter* delta_log = nullptr;
+
+  // Worker threads executing cold-miss censuses off the event thread (>= 1).
+  // Hot reads (stream/snapshot/cache rows) never touch the pool.
+  int census_workers = 2;
+
+  // Admission control: maximum cold requests queued or running at once. A
+  // cold miss arriving beyond this is answered kOverloaded instead of
+  // queueing (0 sheds every cold miss — useful in tests and for serving
+  // snapshot-only replicas that should never census).
+  size_t cold_queue_limit = 64;
+
+  // Backpressure: once a connection's unflushed response bytes exceed this,
+  // the server stops reading new frames from it until the peer drains.
+  size_t max_write_buffer_bytes = 8u << 20;
+
+  // Use the portable poll(2) backend even where epoll is available (covers
+  // the fallback path in tests).
+  bool force_poll = false;
 };
 
-// Accept loop speaking the length-prefixed protocol (protocol.h) over a
-// Unix or TCP socket. Connections are handled sequentially — one request is
-// a hash probe or an mmap read in the common case, so the accept loop is not
-// the bottleneck until cold misses dominate; FeatureService is fully
-// thread-safe, so the loop can fan out to a worker pool without changes to
-// the service layer when that day comes.
+// Event-loop server speaking the length-prefixed protocol (protocol.h) over
+// a Unix or TCP socket. One thread runs a non-blocking epoll/poll loop over
+// every connection: frames are parsed incrementally as bytes arrive, hot
+// requests (snapshot/stream/cache rows and metadata ops) are answered
+// inline, and cold-miss censuses run on a small worker pool so a slow
+// census never stalls I/O for other connections. Responses queue in
+// per-connection write buffers flushed as sockets accept bytes.
+//
+// Protocol-v2 connections (after kHello) may pipeline requests; the server
+// completes them out of order and matches responses by request id. On v1
+// connections the server preserves strict request/response ordering by
+// holding frame processing while a cold request is in flight.
+//
+// Admission control: cold work beyond cold_queue_limit — or whose
+// per-request deadline has already expired by the time a worker picks it up
+// — is answered kOverloaded. Deadlines and server shutdown share one linked
+// StopToken chain, so an abandoned request stops burning a census worker.
 class SocketServer {
  public:
   SocketServer(FeatureService& service, util::MetricsRegistry& metrics,
@@ -50,9 +88,10 @@ class SocketServer {
   // The bound TCP port (after Start); -1 for Unix endpoints.
   int tcp_port() const { return bound_tcp_port_; }
 
-  // Serves until a kShutdown request arrives, max_requests is exhausted, or
-  // RequestStop() is called. Blocking; run it on a dedicated thread if the
-  // caller needs to keep working.
+  // Runs the event loop until a kShutdown request arrives, max_requests is
+  // exhausted, or RequestStop() is called; pending responses are flushed
+  // (bounded) before it returns. Blocking; run it on a dedicated thread if
+  // the caller needs to keep working.
   void Serve();
 
   // Makes Serve() return promptly; callable from any thread and from signal
@@ -60,9 +99,52 @@ class SocketServer {
   void RequestStop();
 
  private:
-  void HandleConnection(int fd);
-  // Returns the encoded response; sets *shutdown for kShutdown requests.
-  std::string HandleRequest(const Request& request, bool* shutdown);
+  // One connection's edge-level state machine.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    uint32_t version = kProtocolV1;
+    std::string rbuf;     // unparsed inbound bytes
+    size_t roff = 0;      // parse cursor into rbuf
+    std::string wbuf;     // unflushed outbound bytes
+    size_t woff = 0;      // flush cursor into wbuf
+    int inflight = 0;     // cold requests dispatched, completion pending
+    bool v1_waiting = false;   // v1 ordering: hold parsing until completion
+    bool read_closed = false;  // peer EOF seen; flush then close
+    bool want_write = false;   // registered for POLLOUT
+    bool paused = false;       // reading paused (backpressure or drain)
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string encoded;  // response frame payload, ready to enqueue
+  };
+
+  // Connection helpers all run on the event thread. CloseConn marks the
+  // Conn dead (fd = -1); the loop reaps dead entries after each event batch,
+  // so references stay valid for the rest of the current dispatch.
+  void AcceptNew();
+  void CloseConn(Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void OnReadable(Conn& conn);
+  void ProcessBuffered(Conn& conn);
+  void ProcessFrame(Conn& conn, std::span<const uint8_t> payload);
+  void EnqueueResponse(Conn& conn, std::string encoded);
+  void FlushWrites(Conn& conn);
+  void DispatchCold(Conn& conn, Request request);
+  void DrainCompletions();
+  void BeginDrain();
+  bool DrainComplete();
+  void ReapDead();
+
+  // Builds the response for request types answered inline on the event
+  // thread; sets *shutdown for kShutdown. (Cold feature requests go through
+  // DispatchCold instead.)
+  Response HandleInline(const Request& request, uint32_t* agreed_version,
+                        bool* shutdown);
+  // Full feature lookup used by cold worker tasks (and for batch entries).
+  static void FillFeatureResponse(const FeatureService::FeatureReply& reply,
+                                  int32_t node, Response* response);
   std::string StatsJson() const;
 
   FeatureService& service_;
@@ -70,17 +152,34 @@ class SocketServer {
   ServerConfig config_;
   int listen_fd_ = -1;
   int bound_tcp_port_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: workers/RequestStop -> loop
   std::atomic<bool> stop_{false};
-  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> responses_sent_{0};
+  bool draining_ = false;
+
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener key, 1 = wake pipe key
+
+  // Cold-census execution: bounded by cold_queue_limit via cold_pending_;
+  // workers push encoded responses and poke the wake pipe.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<size_t> cold_pending_{0};
+  std::mutex completions_mutex_;
+  std::deque<Completion> completions_;
+  // Parent of every per-request token: RequestStop/shutdown cancels all
+  // queued and running censuses at once.
+  util::StopSource shutdown_source_;
 
   util::MetricId connections_ = util::kInvalidMetric;
   util::MetricId requests_total_ = util::kInvalidMetric;
   util::MetricId bad_requests_ = util::kInvalidMetric;
+  util::MetricId overloaded_ = util::kInvalidMetric;
   util::MetricId request_micros_ = util::kInvalidMetric;
-  util::MetricId request_micros_by_type_[8] = {
-      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric,
-      util::kInvalidMetric, util::kInvalidMetric, util::kInvalidMetric,
-      util::kInvalidMetric, util::kInvalidMetric};
+  // Sized from the protocol's own opcode count: adding a MessageType without
+  // growing this table is a compile error, not a silently dropped metric.
+  // (The constructor registers a histogram into every slot.)
+  util::MetricId request_micros_by_type_[kNumMessageTypes];
 };
 
 }  // namespace hsgf::serve

@@ -23,11 +23,29 @@ namespace stop_internal {
 struct StopState {
   std::atomic<bool> requested{false};
   std::atomic<int64_t> deadline_ns{0};  // steady_clock ns since epoch; 0=none
+  // Optional parent: this state also reports stop once the parent does.
+  // Immutable after construction, so polling stays lock-free. Chains are
+  // shallow (a linked source of a linked source), so recursion is fine.
+  std::shared_ptr<StopState> parent;
 
   static int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+  }
+
+  bool StopRequested() {
+    if (requested.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline = deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowNs() >= deadline) {
+      requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (parent != nullptr && parent->StopRequested()) {
+      requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 };
 }  // namespace stop_internal
@@ -40,18 +58,11 @@ class StopToken {
   // ever return true). Lets hot loops skip the amortized poll entirely.
   bool CanStop() const { return state_ != nullptr; }
 
-  // True once stop has been requested or the deadline has passed. Sticky:
-  // after the deadline fires once, subsequent polls are a relaxed load.
+  // True once stop has been requested, the deadline has passed, or a linked
+  // parent source stopped. Sticky: after any trigger fires once, subsequent
+  // polls are a relaxed load.
   bool StopRequested() const {
-    if (state_ == nullptr) return false;
-    if (state_->requested.load(std::memory_order_relaxed)) return true;
-    const int64_t deadline =
-        state_->deadline_ns.load(std::memory_order_relaxed);
-    if (deadline != 0 && stop_internal::StopState::NowNs() >= deadline) {
-      state_->requested.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    return false;
+    return state_ != nullptr && state_->StopRequested();
   }
 
  private:
@@ -65,6 +76,16 @@ class StopToken {
 class StopSource {
  public:
   StopSource() : state_(std::make_shared<stop_internal::StopState>()) {}
+
+  // A source linked to `parent`: its tokens report stop when either this
+  // source stops (RequestStop / its own deadline) or `parent` does. An
+  // empty parent token yields a plain unlinked source, so callers can link
+  // unconditionally. Lets a server combine one shared shutdown source with
+  // a per-request deadline without the census having to poll two tokens.
+  explicit StopSource(const StopToken& parent)
+      : state_(std::make_shared<stop_internal::StopState>()) {
+    state_->parent = parent.state_;
+  }
 
   void RequestStop() {
     state_->requested.store(true, std::memory_order_relaxed);

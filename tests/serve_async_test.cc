@@ -1,0 +1,1139 @@
+// Tests for the async serving core: protocol-v2 framing (kHello handshake,
+// request ids, deadlines, kGetFeaturesBatch), the epoll/poll event loop's
+// handling of adversarial I/O (dribbled bytes, mid-frame disconnects,
+// oversized length prefixes), pipelining under both protocol versions,
+// admission control (kOverloaded shedding, per-request deadlines), and the
+// serve::Client library the tools are built on.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "graph/builder.h"
+#include "io/snapshot.h"
+#include "serve/client.h"
+#include "serve/feature_service.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/metrics.h"
+
+namespace hsgf::serve {
+namespace {
+
+using graph::HetGraph;
+using graph::NodeId;
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+int64_t CounterValue(const util::MetricsSnapshot& snapshot,
+                     const std::string& name) {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2 layer
+
+TEST(ProtocolV2Test, HelloRoundTrips) {
+  Request request;
+  request.type = MessageType::kHello;
+  request.max_version = 7;
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(Bytes(EncodeRequest(request)), &decoded));
+  EXPECT_EQ(decoded.type, MessageType::kHello);
+  EXPECT_EQ(decoded.max_version, 7u);
+
+  Response response;
+  response.agreed_version = kProtocolV2;
+  Response decoded_response;
+  ASSERT_TRUE(DecodeResponse(MessageType::kHello,
+                             Bytes(EncodeResponse(MessageType::kHello,
+                                                  response)),
+                             &decoded_response));
+  EXPECT_EQ(decoded_response.status, StatusCode::kOk);
+  EXPECT_EQ(decoded_response.agreed_version, kProtocolV2);
+
+  // A truncated hello body fails closed.
+  const std::string truncated = {static_cast<char>(MessageType::kHello), 1, 0};
+  EXPECT_FALSE(DecodeRequest(Bytes(truncated), &decoded));
+}
+
+TEST(ProtocolV2Test, V2FramingIsAnIdDeadlinePrefixOverV1) {
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = 42;
+  request.request_id = 0xDEADBEEF;
+  request.deadline_ms = 250;
+
+  // The v2 request framing is exactly [u32 id][u32 deadline] + the v1 bytes,
+  // so message bodies are identical under both framings.
+  const std::string v1 = EncodeRequest(request, kProtocolV1);
+  const std::string v2 = EncodeRequest(request, kProtocolV2);
+  ASSERT_EQ(v2.size(), v1.size() + 8);
+  EXPECT_EQ(v2.substr(8), v1);
+
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(Bytes(v2), &decoded, kProtocolV2));
+  EXPECT_EQ(decoded.request_id, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded.node, 42);
+
+  // v1 decoding leaves the prefix fields zeroed.
+  ASSERT_TRUE(DecodeRequest(Bytes(v1), &decoded, kProtocolV1));
+  EXPECT_EQ(decoded.request_id, 0u);
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+
+  // Responses: [u32 id] + the v1 bytes.
+  Response response;
+  response.source = 1;
+  response.values = {1.0, -2.5};
+  response.request_id = 77;
+  const std::string rv1 = EncodeResponse(MessageType::kGetFeatures, response);
+  const std::string rv2 =
+      EncodeResponse(MessageType::kGetFeatures, response, kProtocolV2);
+  ASSERT_EQ(rv2.size(), rv1.size() + 4);
+  EXPECT_EQ(rv2.substr(4), rv1);
+  Response decoded_response;
+  ASSERT_TRUE(DecodeResponse(MessageType::kGetFeatures, Bytes(rv2),
+                             &decoded_response, kProtocolV2));
+  EXPECT_EQ(decoded_response.request_id, 77u);
+  EXPECT_EQ(decoded_response.values, response.values);
+
+  // A v2 frame shorter than its prefix fails closed.
+  const std::string stub = "\x01\x02\x03";
+  EXPECT_FALSE(DecodeRequest(Bytes(stub), &decoded, kProtocolV2));
+  EXPECT_FALSE(
+      DecodeResponse(MessageType::kGetFeatures, Bytes(stub), &decoded_response,
+                     kProtocolV2));
+}
+
+TEST(ProtocolV2Test, BatchRequestRoundTrips) {
+  Request request;
+  request.type = MessageType::kGetFeaturesBatch;
+  request.batch_nodes = {0, -5, 1 << 20};
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(Bytes(EncodeRequest(request)), &decoded));
+  EXPECT_EQ(decoded.type, MessageType::kGetFeaturesBatch);
+  EXPECT_EQ(decoded.batch_nodes, request.batch_nodes);
+
+  // Empty batches are well-formed.
+  request.batch_nodes.clear();
+  ASSERT_TRUE(DecodeRequest(Bytes(EncodeRequest(request)), &decoded));
+  EXPECT_TRUE(decoded.batch_nodes.empty());
+
+  // A count beyond kMaxBatchRoots is rejected before any allocation, even
+  // when the frame itself is tiny.
+  std::string oversized;
+  oversized.push_back(static_cast<char>(MessageType::kGetFeaturesBatch));
+  const uint32_t huge = kMaxBatchRoots + 1;
+  oversized.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  EXPECT_FALSE(DecodeRequest(Bytes(oversized), &decoded));
+
+  // A count that promises more nodes than the frame carries fails closed.
+  std::string truncated;
+  truncated.push_back(static_cast<char>(MessageType::kGetFeaturesBatch));
+  const uint32_t three = 3;
+  truncated.append(reinterpret_cast<const char*>(&three), sizeof(three));
+  const int32_t node = 1;
+  truncated.append(reinterpret_cast<const char*>(&node), sizeof(node));
+  EXPECT_FALSE(DecodeRequest(Bytes(truncated), &decoded));
+}
+
+TEST(ProtocolV2Test, BatchResponseRoundTrips) {
+  Response response;
+  BatchEntry ok;
+  ok.status = StatusCode::kOk;
+  ok.source = 3;
+  ok.epoch = 12;
+  ok.values = {0.0, 2.5, -1.0};
+  BatchEntry missing;
+  missing.status = StatusCode::kNotFound;
+  missing.message = "node 99 is in neither the snapshot nor the graph";
+  BatchEntry shed;
+  shed.status = StatusCode::kOverloaded;
+  shed.message = "cold-census queue is full";
+  response.batch = {ok, missing, shed};
+
+  const std::string encoded =
+      EncodeResponse(MessageType::kGetFeaturesBatch, response);
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(MessageType::kGetFeaturesBatch, Bytes(encoded),
+                             &decoded));
+  EXPECT_EQ(decoded.status, StatusCode::kOk);
+  ASSERT_EQ(decoded.batch.size(), 3u);
+  EXPECT_EQ(decoded.batch[0], ok);
+  EXPECT_EQ(decoded.batch[1], missing);
+  EXPECT_EQ(decoded.batch[2], shed);
+
+  // Canonical strictness: a trailing byte fails the whole decode.
+  std::string padded = encoded;
+  padded.push_back('\0');
+  EXPECT_FALSE(DecodeResponse(MessageType::kGetFeaturesBatch, Bytes(padded),
+                              &decoded));
+}
+
+TEST(ProtocolV2Test, OverloadedStatusRoundTrips) {
+  Response response;
+  response.status = StatusCode::kOverloaded;
+  response.text = "cold-census queue is full (limit 64); retry later";
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(
+      MessageType::kGetFeatures,
+      Bytes(EncodeResponse(MessageType::kGetFeatures, response)), &decoded));
+  EXPECT_EQ(decoded.status, StatusCode::kOverloaded);
+  EXPECT_EQ(decoded.text, response.text);
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+core::ExtractorConfig TestConfig() {
+  core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  return config;
+}
+
+// Same shape as serve_test's fixture: a snapshot whose last extraction row
+// was left out, so one graph node exercises the cold-miss path against the
+// full-run ground truth.
+struct AsyncFixture {
+  HetGraph graph;
+  std::vector<NodeId> nodes;
+  core::ExtractionResult full;
+  core::FeatureSet kept;
+  NodeId dropped = 0;
+  io::Snapshot snapshot;
+};
+
+AsyncFixture MakeAsyncFixture(const char* filename) {
+  AsyncFixture fixture{data::MakeNetwork(data::LoadLikeSchema(0.03), 7),
+                       {}, {}, {}, 0, {}};
+  for (NodeId v = 0; v < fixture.graph.num_nodes() && v < 12; ++v) {
+    fixture.nodes.push_back(v);
+  }
+  core::Extractor extractor(fixture.graph, TestConfig());
+  fixture.full = extractor.Run(fixture.nodes);
+  fixture.dropped = fixture.nodes.back();
+
+  std::vector<int> keep(fixture.nodes.size() - 1);
+  std::iota(keep.begin(), keep.end(), 0);
+  fixture.kept.matrix = fixture.full.features.matrix.SelectRows(keep);
+  fixture.kept.feature_hashes = fixture.full.features.feature_hashes;
+  fixture.kept.encodings = fixture.full.features.encodings;
+
+  io::SnapshotContents contents;
+  contents.max_edges = TestConfig().census.max_edges;
+  contents.effective_dmax = fixture.full.effective_dmax;
+  contents.hash_seed = TestConfig().census.hash_seed;
+  contents.label_names = fixture.graph.label_names();
+  for (size_t i = 0; i + 1 < fixture.nodes.size(); ++i) {
+    contents.node_ids.push_back(fixture.nodes[i]);
+    contents.node_labels.push_back(fixture.graph.label(fixture.nodes[i]));
+  }
+  contents.features = &fixture.kept;
+
+  const std::string path = ::testing::TempDir() + filename;
+  io::SnapshotError error;
+  EXPECT_TRUE(io::SaveSnapshot(path, contents, &error)) << error.message;
+  auto snapshot = io::OpenSnapshot(path, &error);
+  EXPECT_TRUE(snapshot.has_value()) << error.message;
+  fixture.snapshot = *snapshot;
+  return fixture;
+}
+
+// A fixture whose cold censuses take tens of milliseconds: a K16 clique at
+// emax = 5 (~350 columns, ~50-100ms per root census on a release build).
+// That makes admission-control and out-of-order-completion tests
+// deterministic — a hot request dispatched after a cold one always finishes
+// first, and a few-millisecond deadline always expires while a census is
+// queued or running. The snapshot holds node 0's row only; node 1 (and every
+// other clique node) is a cold miss.
+struct SlowFixture {
+  HetGraph graph;
+  core::ExtractionResult full;  // ground truth over nodes {0, 1}
+  core::FeatureSet kept;        // node 0's row only
+  io::Snapshot snapshot;
+};
+
+SlowFixture MakeSlowFixture(const char* filename) {
+  constexpr int kClique = 16;
+  std::vector<graph::Label> labels;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < kClique; ++i) {
+    labels.push_back(static_cast<graph::Label>(i % 2));
+    for (int j = i + 1; j < kClique; ++j) edges.push_back({i, j});
+  }
+  SlowFixture fixture;
+  fixture.graph = graph::MakeGraph({"a", "b"}, labels, edges);
+
+  core::ExtractorConfig config;
+  config.census.max_edges = 5;
+  config.census.keep_encodings = true;
+  core::Extractor extractor(fixture.graph, config);
+  fixture.full = extractor.Run({0, 1});
+
+  fixture.kept.matrix = fixture.full.features.matrix.SelectRows({0});
+  fixture.kept.feature_hashes = fixture.full.features.feature_hashes;
+  fixture.kept.encodings = fixture.full.features.encodings;
+
+  io::SnapshotContents contents;
+  contents.max_edges = config.census.max_edges;
+  contents.effective_dmax = fixture.full.effective_dmax;
+  contents.hash_seed = config.census.hash_seed;
+  contents.label_names = fixture.graph.label_names();
+  contents.node_ids = {0};
+  contents.node_labels = {fixture.graph.label(0)};
+  contents.features = &fixture.kept;
+
+  const std::string path = ::testing::TempDir() + filename;
+  io::SnapshotError error;
+  EXPECT_TRUE(io::SaveSnapshot(path, contents, &error)) << error.message;
+  auto snapshot = io::OpenSnapshot(path, &error);
+  EXPECT_TRUE(snapshot.has_value()) << error.message;
+  fixture.snapshot = *snapshot;
+  return fixture;
+}
+
+int ConnectTcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+bool RoundTripV1(int fd, const Request& request, Response* response) {
+  if (!WriteFrame(fd, EncodeRequest(request))) return false;
+  std::string payload;
+  if (!ReadFrame(fd, &payload)) return false;
+  return DecodeResponse(request.type, Bytes(payload), response);
+}
+
+// Runs the v1-framed kHello handshake on a raw socket; returns the agreed
+// version (0 on failure).
+uint32_t RawHello(int fd, uint32_t max_version = kMaxSupportedProtocol) {
+  Request hello;
+  hello.type = MessageType::kHello;
+  hello.max_version = max_version;
+  Response response;
+  if (!RoundTripV1(fd, hello, &response)) return 0;
+  if (response.status != StatusCode::kOk) return 0;
+  return response.agreed_version;
+}
+
+// Starts an event-loop server over the given service; `stop` is invoked by
+// the destructor so tests can't leak a serve thread on early ASSERT exits.
+struct RunningServer {
+  SocketServer server;
+  std::thread thread;
+
+  RunningServer(FeatureService& service, util::MetricsRegistry& metrics,
+                ServerConfig config)
+      : server(service, metrics, std::move(config)) {
+    std::string error;
+    EXPECT_TRUE(server.Start(&error)) << error;
+    thread = std::thread([this] { server.Serve(); });
+  }
+  ~RunningServer() {
+    server.RequestStop();
+    if (thread.joinable()) thread.join();
+  }
+  int port() { return server.tcp_port(); }
+};
+
+// ---------------------------------------------------------------------------
+// Handshake and framing over the wire
+
+TEST(AsyncServerTest, HelloNegotiatesV2AndEchoesRequestIds) {
+  AsyncFixture fixture = MakeAsyncFixture("async-hello.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  const int fd = ConnectTcp(running.port());
+  ASSERT_EQ(RawHello(fd), kProtocolV2);
+
+  // After the handshake every frame carries the v2 prefix, and the response
+  // echoes the request id.
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = fixture.nodes.front();
+  request.request_id = 0xC0FFEE;
+  ASSERT_TRUE(WriteFrame(fd, EncodeRequest(request, kProtocolV2)));
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd, &payload));
+  Response response;
+  ASSERT_TRUE(DecodeResponse(MessageType::kGetFeatures, Bytes(payload),
+                             &response, kProtocolV2));
+  EXPECT_EQ(response.request_id, 0xC0FFEEu);
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  ASSERT_EQ(response.values.size(), fixture.kept.feature_hashes.size());
+  close(fd);
+
+  // A client that caps the handshake at v1 stays on v1 framing.
+  const int v1_fd = ConnectTcp(running.port());
+  ASSERT_EQ(RawHello(v1_fd, kProtocolV1), kProtocolV1);
+  Response v1_response;
+  ASSERT_TRUE(RoundTripV1(v1_fd, request, &v1_response));
+  EXPECT_EQ(v1_response.status, StatusCode::kOk);
+  close(v1_fd);
+
+  // max_version = 0 is nonsense and elicits kBadRequest.
+  const int bad_fd = ConnectTcp(running.port());
+  Request bad_hello;
+  bad_hello.type = MessageType::kHello;
+  bad_hello.max_version = 0;
+  Response bad_response;
+  ASSERT_TRUE(RoundTripV1(bad_fd, bad_hello, &bad_response));
+  EXPECT_EQ(bad_response.status, StatusCode::kBadRequest);
+  close(bad_fd);
+}
+
+TEST(AsyncServerTest, V1FramesAreBitIdenticalToTheV1Protocol) {
+  AsyncFixture fixture = MakeAsyncFixture("async-v1bits.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  // A v1 client that never sends kHello must see byte-identical responses:
+  // reconstruct the expected reply from the service directly and compare the
+  // raw frame payload. Prewarm the dropped node so both the wire response
+  // and the reference reply come from the cache (the first cold serve would
+  // report kComputed, every later one kCache).
+  service.GetFeatures(fixture.dropped);
+  const int fd = ConnectTcp(running.port());
+  for (NodeId node : {fixture.nodes.front(), fixture.dropped,
+                      static_cast<NodeId>(fixture.graph.num_nodes() + 99)}) {
+    Request request;
+    request.type = MessageType::kGetFeatures;
+    request.node = node;
+    ASSERT_TRUE(WriteFrame(fd, EncodeRequest(request)));
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(fd, &payload));
+
+    FeatureService::FeatureReply reply = service.GetFeatures(node);
+    Response expected;
+    if (reply.outcome == FeatureService::Outcome::kOk) {
+      expected.source = static_cast<uint8_t>(reply.source);
+      expected.epoch = reply.epoch;
+      expected.values = reply.values;
+    } else {
+      expected.status = StatusCode::kNotFound;
+      expected.text = "node " + std::to_string(node) +
+                      " is in neither the snapshot nor the graph";
+    }
+    EXPECT_EQ(payload, EncodeResponse(MessageType::kGetFeatures, expected))
+        << "node " << node;
+  }
+  close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial I/O
+
+TEST(AsyncServerTest, DribbledBytesAreParsedIncrementally) {
+  AsyncFixture fixture = MakeAsyncFixture("async-dribble.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  const int fd = ConnectTcp(running.port());
+
+  // Two back-to-back requests delivered one byte at a time: the edge-level
+  // state machine must reassemble both frames and answer each.
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = fixture.nodes.front();
+  const std::string body = EncodeRequest(request);
+  std::string wire;
+  const uint32_t length = static_cast<uint32_t>(body.size());
+  wire.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  wire.append(body);
+  wire.append(wire);  // the same request twice
+
+  for (char byte : wire) {
+    ASSERT_EQ(write(fd, &byte, 1), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(fd, &payload));
+    Response response;
+    ASSERT_TRUE(DecodeResponse(MessageType::kGetFeatures, Bytes(payload),
+                               &response));
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    ASSERT_EQ(response.values.size(), fixture.kept.feature_hashes.size());
+  }
+  close(fd);
+}
+
+TEST(AsyncServerTest, MidFrameDisconnectLeavesServerHealthy) {
+  AsyncFixture fixture = MakeAsyncFixture("async-disconnect.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  {  // Hang up halfway through a frame's payload.
+    const int fd = ConnectTcp(running.port());
+    const uint32_t length = 100;
+    ASSERT_EQ(write(fd, &length, sizeof(length)),
+              static_cast<ssize_t>(sizeof(length)));
+    ASSERT_EQ(write(fd, "partial", 7), 7);
+    close(fd);
+  }
+  {  // Hang up with a cold request still in flight; its completion must be
+     // dropped, not delivered to a recycled connection.
+    const int fd = ConnectTcp(running.port());
+    Request request;
+    request.type = MessageType::kGetFeatures;
+    request.node = fixture.dropped;
+    ASSERT_TRUE(WriteFrame(fd, EncodeRequest(request)));
+    close(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The server keeps serving new connections.
+  const int fd = ConnectTcp(running.port());
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = fixture.nodes.front();
+  Response response;
+  ASSERT_TRUE(RoundTripV1(fd, request, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  close(fd);
+}
+
+TEST(AsyncServerTest, OversizedLengthPrefixClosesTheConnection) {
+  AsyncFixture fixture = MakeAsyncFixture("async-oversized.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  const int fd = ConnectTcp(running.port());
+  const uint32_t huge = kMaxFrameBytes + 1;
+  ASSERT_EQ(write(fd, &huge, sizeof(huge)),
+            static_cast<ssize_t>(sizeof(huge)));
+  // There is no way to resync a framed stream after a bogus length, so the
+  // server hangs up rather than answering.
+  std::string payload;
+  EXPECT_FALSE(ReadFrame(fd, &payload));
+  close(fd);
+
+  // Fresh connections are unaffected.
+  const int fresh = ConnectTcp(running.port());
+  Request request;
+  request.type = MessageType::kGetFeatures;
+  request.node = fixture.nodes.front();
+  Response response;
+  ASSERT_TRUE(RoundTripV1(fresh, request, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  close(fresh);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining
+
+TEST(AsyncServerTest, PipelinedV1RequestsAnswerInOrder) {
+  AsyncFixture fixture = MakeAsyncFixture("async-v1pipe.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  // Burst five requests in one write — including a cold miss in the middle,
+  // which the server must answer *in position* (v1 promises strict
+  // request/response order, so frame processing holds while the census
+  // runs).
+  const std::vector<NodeId> sequence = {
+      fixture.nodes[0], fixture.nodes[1], fixture.dropped, fixture.nodes[2],
+      fixture.nodes[3]};
+  const int fd = ConnectTcp(running.port());
+  std::string burst;
+  for (NodeId node : sequence) {
+    Request request;
+    request.type = MessageType::kGetFeatures;
+    request.node = node;
+    const std::string body = EncodeRequest(request);
+    const uint32_t length = static_cast<uint32_t>(body.size());
+    burst.append(reinterpret_cast<const char*>(&length), sizeof(length));
+    burst.append(body);
+  }
+  ASSERT_EQ(write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(fd, &payload)) << "response " << i;
+    Response response;
+    ASSERT_TRUE(DecodeResponse(MessageType::kGetFeatures, Bytes(payload),
+                               &response));
+    ASSERT_EQ(response.status, StatusCode::kOk) << "response " << i;
+    // Identify each response by its values: they must match the ground-truth
+    // row for the node at this position in the request order.
+    int expected_row = -1;
+    for (size_t n = 0; n < fixture.nodes.size(); ++n) {
+      if (fixture.nodes[n] == sequence[i]) {
+        expected_row = static_cast<int>(n);
+        break;
+      }
+    }
+    ASSERT_GE(expected_row, 0);
+    ASSERT_EQ(response.values.size(), fixture.kept.feature_hashes.size());
+    for (size_t c = 0; c < response.values.size(); ++c) {
+      ASSERT_EQ(response.values[c],
+                fixture.full.features.matrix(expected_row,
+                                             static_cast<int>(c)))
+          << "response " << i << " col " << c;
+    }
+  }
+  close(fd);
+}
+
+TEST(AsyncServerTest, V2PipelinedRequestsCompleteOutOfOrder) {
+  SlowFixture fixture = MakeSlowFixture("async-ooo.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_EQ(client.version(), kProtocolV2);
+
+  // Pipeline a slow cold census and then a hot metadata request. Under v2
+  // the hot one overtakes it — the response order is deterministic because
+  // the census takes tens of milliseconds while kStats answers inline.
+  Request cold;
+  cold.type = MessageType::kGetFeatures;
+  cold.node = 1;
+  uint32_t cold_id = 0;
+  ASSERT_TRUE(client.Send(std::move(cold), &cold_id).ok());
+  Request stats;
+  stats.type = MessageType::kStats;
+  uint32_t stats_id = 0;
+  ASSERT_TRUE(client.Send(std::move(stats), &stats_id).ok());
+  EXPECT_EQ(client.outstanding(), 2u);
+
+  Response first;
+  MessageType first_type = MessageType::kGetFeatures;
+  ASSERT_TRUE(client.Receive(&first, &first_type).ok());
+  EXPECT_EQ(first.request_id, stats_id);
+  EXPECT_EQ(first_type, MessageType::kStats);
+  EXPECT_NE(first.text.find("\"loop\""), std::string::npos);
+
+  Response second;
+  MessageType second_type = MessageType::kStats;
+  ASSERT_TRUE(client.Receive(&second, &second_type).ok());
+  EXPECT_EQ(second.request_id, cold_id);
+  EXPECT_EQ(second_type, MessageType::kGetFeatures);
+  ASSERT_EQ(second.status, StatusCode::kOk);
+  ASSERT_EQ(second.values.size(), fixture.kept.feature_hashes.size());
+  for (size_t c = 0; c < second.values.size(); ++c) {
+    ASSERT_EQ(second.values[c],
+              fixture.full.features.matrix(1, static_cast<int>(c)))
+        << "col " << c;
+  }
+  EXPECT_EQ(client.outstanding(), 0u);
+}
+
+TEST(AsyncServerTest, ManyConnectionsPipelineConcurrently) {
+  AsyncFixture fixture = MakeAsyncFixture("async-many.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  constexpr int kClients = 64;
+  constexpr int kPerClient = 4;
+  std::vector<Client> clients(kClients);
+  for (Client& client : clients) {
+    ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+    ASSERT_TRUE(client.Hello().ok());
+  }
+  // All clients buffer their requests before anyone reads a response, so the
+  // event loop is multiplexing kClients * kPerClient frames at once.
+  for (Client& client : clients) {
+    for (int i = 0; i < kPerClient; ++i) {
+      Request request;
+      request.type = MessageType::kGetFeatures;
+      request.node = fixture.nodes[i % (fixture.nodes.size() - 1)];
+      ASSERT_TRUE(client.Send(std::move(request)).ok());
+    }
+  }
+  for (Client& client : clients) {
+    for (int i = 0; i < kPerClient; ++i) {
+      Response response;
+      ASSERT_TRUE(client.Receive(&response).ok());
+      const int row = i % static_cast<int>(fixture.nodes.size() - 1);
+      ASSERT_EQ(response.values.size(), fixture.kept.feature_hashes.size());
+      for (size_t c = 0; c < response.values.size(); ++c) {
+        ASSERT_EQ(response.values[c],
+                  fixture.full.features.matrix(row, static_cast<int>(c)));
+      }
+    }
+    EXPECT_EQ(client.outstanding(), 0u);
+  }
+  EXPECT_EQ(CounterValue(metrics.Snapshot(), "serve.connections"), kClients);
+}
+
+// ---------------------------------------------------------------------------
+// Batch requests
+
+TEST(AsyncServerTest, BatchMixesHotColdAndMissingRoots) {
+  AsyncFixture fixture = MakeAsyncFixture("async-batch.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  const int32_t missing = fixture.graph.num_nodes() + 99;
+  const std::vector<int32_t> roots = {fixture.nodes.front(), fixture.dropped,
+                                      missing, fixture.nodes[1]};
+  Response response;
+  ASSERT_TRUE(client.GetFeaturesBatch(roots, &response).ok());
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  ASSERT_EQ(response.batch.size(), roots.size());
+
+  // Per-root statuses: the unknown node fails alone, without poisoning its
+  // neighbours; every served row is bit-identical to the full extraction.
+  const std::vector<int> expected_rows = {
+      0, static_cast<int>(fixture.nodes.size()) - 1, -1, 1};
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const BatchEntry& entry = response.batch[i];
+    if (expected_rows[i] < 0) {
+      EXPECT_EQ(entry.status, StatusCode::kNotFound);
+      EXPECT_FALSE(entry.message.empty());
+      EXPECT_TRUE(entry.values.empty());
+      continue;
+    }
+    ASSERT_EQ(entry.status, StatusCode::kOk) << "root " << i;
+    ASSERT_EQ(entry.values.size(), fixture.kept.feature_hashes.size());
+    for (size_t c = 0; c < entry.values.size(); ++c) {
+      ASSERT_EQ(entry.values[c],
+                fixture.full.features.matrix(expected_rows[i],
+                                             static_cast<int>(c)))
+          << "root " << i << " col " << c;
+    }
+  }
+
+  // An all-hot batch works under plain v1 framing too — the opcode is not
+  // gated on the handshake.
+  const int fd = ConnectTcp(running.port());
+  Request raw;
+  raw.type = MessageType::kGetFeaturesBatch;
+  raw.batch_nodes = {fixture.nodes[0], fixture.nodes[1]};
+  Response raw_response;
+  ASSERT_TRUE(RoundTripV1(fd, raw, &raw_response));
+  ASSERT_EQ(raw_response.status, StatusCode::kOk);
+  ASSERT_EQ(raw_response.batch.size(), 2u);
+  EXPECT_EQ(raw_response.batch[0].status, StatusCode::kOk);
+  EXPECT_EQ(raw_response.batch[1].status, StatusCode::kOk);
+  close(fd);
+
+  // An empty batch is a well-formed no-op.
+  Response empty;
+  ASSERT_TRUE(client.GetFeaturesBatch({}, &empty).ok());
+  EXPECT_EQ(empty.status, StatusCode::kOk);
+  EXPECT_TRUE(empty.batch.empty());
+
+  // The per-type latency histograms cover the new opcodes (the table is
+  // sized from kNumMessageTypes, not a hard-coded 8).
+  const util::MetricsSnapshot metric_values = metrics.Snapshot();
+  const util::HistogramSnapshot* batch_histogram =
+      metric_values.Histogram("serve.request_micros.get_features_batch");
+  ASSERT_NE(batch_histogram, nullptr);
+  const util::HistogramSnapshot* hello_histogram =
+      metric_values.Histogram("serve.request_micros.hello");
+  ASSERT_NE(hello_histogram, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(AsyncServerTest, ZeroColdQueueShedsEveryColdMiss) {
+  AsyncFixture fixture = MakeAsyncFixture("async-shed.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.cold_queue_limit = 0;  // a snapshot-only replica: never census
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  // Hot rows still serve...
+  Response hot;
+  ASSERT_TRUE(client.GetFeatures(fixture.nodes.front(), &hot).ok());
+  EXPECT_EQ(hot.status, StatusCode::kOk);
+
+  // ...but the cold miss is shed immediately with kOverloaded.
+  Response cold;
+  const ClientResult result = client.GetFeatures(fixture.dropped, &cold);
+  EXPECT_EQ(result.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(result.status, StatusCode::kOverloaded);
+  EXPECT_NE(result.message.find("queue"), std::string::npos);
+
+  // Batches shed per root: hot roots answer, the cold root reports
+  // kOverloaded inside the batch.
+  Response batch;
+  ASSERT_TRUE(client
+                  .GetFeaturesBatch(
+                      std::vector<int32_t>{fixture.nodes.front(),
+                                           fixture.dropped},
+                      &batch)
+                  .ok());
+  ASSERT_EQ(batch.batch.size(), 2u);
+  EXPECT_EQ(batch.batch[0].status, StatusCode::kOk);
+  EXPECT_EQ(batch.batch[1].status, StatusCode::kOverloaded);
+
+  EXPECT_GE(CounterValue(metrics.Snapshot(), "serve.overloaded"), 2);
+}
+
+TEST(AsyncServerTest, SaturatedColdQueueShedsNewArrivals) {
+  SlowFixture fixture = MakeSlowFixture("async-saturate.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.census_workers = 1;
+  config.cold_queue_limit = 1;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  // The first cold request fills the queue (limit 1); the second is shed
+  // while the first is still censusing.
+  Request first;
+  first.type = MessageType::kGetFeatures;
+  first.node = 1;
+  uint32_t first_id = 0;
+  ASSERT_TRUE(client.Send(std::move(first), &first_id).ok());
+  Request second;
+  second.type = MessageType::kGetFeatures;
+  second.node = 2;
+  uint32_t second_id = 0;
+  ASSERT_TRUE(client.Send(std::move(second), &second_id).ok());
+
+  // The shed response overtakes the census.
+  Response shed;
+  const ClientResult shed_result = client.Receive(&shed);
+  EXPECT_EQ(shed.request_id, second_id);
+  EXPECT_EQ(shed_result.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(shed_result.status, StatusCode::kOverloaded);
+
+  Response served;
+  ASSERT_TRUE(client.Receive(&served).ok());
+  EXPECT_EQ(served.request_id, first_id);
+  ASSERT_EQ(served.status, StatusCode::kOk);
+  ASSERT_EQ(served.values.size(), fixture.kept.feature_hashes.size());
+  for (size_t c = 0; c < served.values.size(); ++c) {
+    ASSERT_EQ(served.values[c],
+              fixture.full.features.matrix(1, static_cast<int>(c)));
+  }
+  EXPECT_EQ(CounterValue(metrics.Snapshot(), "serve.overloaded"), 1);
+}
+
+TEST(AsyncServerTest, DeadlineExpiredInQueueIsShedAtDequeue) {
+  SlowFixture fixture = MakeSlowFixture("async-queue-deadline.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.census_workers = 1;  // serialize, so the second request queues
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  // Request A occupies the only worker for tens of milliseconds; request B's
+  // few-millisecond deadline expires while it waits, so the worker sheds it
+  // without starting the census.
+  Request occupy;
+  occupy.type = MessageType::kGetFeatures;
+  occupy.node = 1;
+  uint32_t occupy_id = 0;
+  ASSERT_TRUE(client.Send(std::move(occupy), &occupy_id).ok());
+  Request hopeless;
+  hopeless.type = MessageType::kGetFeatures;
+  hopeless.node = 2;
+  hopeless.deadline_ms = 2;
+  uint32_t hopeless_id = 0;
+  ASSERT_TRUE(client.Send(std::move(hopeless), &hopeless_id).ok());
+
+  bool saw_ok = false;
+  bool saw_shed = false;
+  for (int i = 0; i < 2; ++i) {
+    Response response;
+    const ClientResult result = client.Receive(&response);
+    if (response.request_id == occupy_id) {
+      EXPECT_TRUE(result.ok());
+      EXPECT_EQ(response.status, StatusCode::kOk);
+      saw_ok = true;
+    } else {
+      EXPECT_EQ(response.request_id, hopeless_id);
+      EXPECT_EQ(result.status, StatusCode::kOverloaded);
+      EXPECT_NE(result.message.find("deadline"), std::string::npos);
+      saw_shed = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_shed);
+}
+
+TEST(AsyncServerTest, DeadlineBoundsARunningCensus) {
+  SlowFixture fixture = MakeSlowFixture("async-run-deadline.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+  client.set_deadline_ms(10);  // far below the ~50-100ms census
+
+  Response response;
+  const ClientResult result = client.GetFeatures(1, &response);
+  EXPECT_EQ(result.error, ClientResult::Error::kServerStatus);
+  // kError when the deadline fired mid-census, kOverloaded in the rare case
+  // it expired before the worker even started; either way the work was cut
+  // short and nothing was served.
+  EXPECT_TRUE(result.status == StatusCode::kError ||
+              result.status == StatusCode::kOverloaded)
+      << static_cast<int>(result.status);
+  EXPECT_NE(result.message.find("deadline"), std::string::npos);
+  EXPECT_TRUE(response.values.empty());
+
+  // Without the deadline the same node serves fine afterwards (and nothing
+  // stale was cached by the aborted attempt).
+  client.set_deadline_ms(0);
+  Response retry;
+  ASSERT_TRUE(client.GetFeatures(1, &retry).ok());
+  ASSERT_EQ(retry.status, StatusCode::kOk);
+  for (size_t c = 0; c < retry.values.size(); ++c) {
+    ASSERT_EQ(retry.values[c],
+              fixture.full.features.matrix(1, static_cast<int>(c)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) fallback backend
+
+TEST(AsyncServerTest, PollBackendServesIdentically) {
+  AsyncFixture fixture = MakeAsyncFixture("async-poll.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  std::string error;
+  ASSERT_TRUE(service.AttachGraph(fixture.graph, &error)) << error;
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.force_poll = true;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+  EXPECT_EQ(client.version(), kProtocolV2);
+
+  Response stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  EXPECT_NE(stats.text.find("\"backend\":\"poll\""), std::string::npos);
+
+  Response features;
+  ASSERT_TRUE(client.GetFeatures(fixture.dropped, &features).ok());
+  ASSERT_EQ(features.status, StatusCode::kOk);
+  const int dropped_row = static_cast<int>(fixture.nodes.size()) - 1;
+  ASSERT_EQ(features.values.size(), fixture.kept.feature_hashes.size());
+  for (size_t c = 0; c < features.values.size(); ++c) {
+    ASSERT_EQ(features.values[c],
+              fixture.full.features.matrix(dropped_row, static_cast<int>(c)));
+  }
+
+  Response batch;
+  ASSERT_TRUE(client
+                  .GetFeaturesBatch(
+                      std::vector<int32_t>{fixture.nodes[0], fixture.nodes[1]},
+                      &batch)
+                  .ok());
+  ASSERT_EQ(batch.batch.size(), 2u);
+  EXPECT_EQ(batch.batch[0].status, StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// serve::Client
+
+TEST(ClientTest, TypedCallsCoverTheProtocol) {
+  AsyncFixture fixture = MakeAsyncFixture("client-typed.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  EXPECT_TRUE(client.connected());
+  ASSERT_TRUE(client.Hello().ok());
+  EXPECT_EQ(client.version(), kProtocolV2);
+
+  Response features;
+  ASSERT_TRUE(client.GetFeatures(fixture.nodes.front(), &features).ok());
+  ASSERT_EQ(features.values.size(), fixture.kept.feature_hashes.size());
+
+  // A miss is a clean kServerStatus, not a transport failure — the
+  // connection stays usable.
+  Response miss;
+  const ClientResult miss_result = client.GetFeatures(-42, &miss);
+  EXPECT_EQ(miss_result.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(miss_result.status, StatusCode::kNotFound);
+  EXPECT_FALSE(miss_result.message.empty());
+  EXPECT_FALSE(miss_result.ok());
+  EXPECT_FALSE(static_cast<bool>(miss_result));
+
+  Response vocabulary;
+  ASSERT_TRUE(client.GetVocabulary(&vocabulary).ok());
+  EXPECT_EQ(vocabulary.hashes, fixture.kept.feature_hashes);
+
+  Response top;
+  ASSERT_TRUE(client.TopKEncodings(2, &top).ok());
+  ASSERT_EQ(top.entries.size(), 2u);
+
+  Response epoch;
+  ASSERT_TRUE(client.GetEpoch(&epoch).ok());
+  EXPECT_EQ(epoch.stream_attached, 0);
+
+  Response stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  EXPECT_NE(stats.text.find("\"loop\""), std::string::npos);
+
+  // A typed call with pipelined requests outstanding is refused client-side.
+  Request pending;
+  pending.type = MessageType::kStats;
+  ASSERT_TRUE(client.Send(std::move(pending)).ok());
+  Response clashing;
+  EXPECT_EQ(client.Stats(&clashing).error, ClientResult::Error::kProtocol);
+  ASSERT_TRUE(client.Receive(&clashing).ok());
+
+  // Shutdown stops the daemon.
+  ASSERT_TRUE(client.Shutdown().ok());
+  running.thread.join();
+}
+
+TEST(ClientTest, V1ModePipelinesInOrder) {
+  AsyncFixture fixture = MakeAsyncFixture("client-v1.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  // No Hello: the client stays on v1 and resolves responses by send order.
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  EXPECT_EQ(client.version(), kProtocolV1);
+
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    Request request;
+    request.type = MessageType::kGetFeatures;
+    request.node = fixture.nodes[i];
+    uint32_t id = 0;
+    ASSERT_TRUE(client.Send(std::move(request), &id).ok());
+    ids.push_back(id);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Response response;
+    MessageType type = MessageType::kStats;
+    ASSERT_TRUE(client.Receive(&response, &type).ok());
+    EXPECT_EQ(type, MessageType::kGetFeatures);
+    EXPECT_EQ(response.request_id, ids[i]);  // backfilled client-side
+    ASSERT_EQ(response.values.size(), fixture.kept.feature_hashes.size());
+    for (size_t c = 0; c < response.values.size(); ++c) {
+      ASSERT_EQ(response.values[c],
+                fixture.full.features.matrix(i, static_cast<int>(c)));
+    }
+  }
+
+  // Receive with nothing outstanding is a protocol error, not a hang.
+  Response idle;
+  EXPECT_EQ(client.Receive(&idle).error, ClientResult::Error::kProtocol);
+}
+
+TEST(ClientTest, ConnectFailureIsTyped) {
+  Client client;
+  const ClientResult result = client.ConnectTcp(1);  // nothing listens there
+  EXPECT_EQ(result.error, ClientResult::Error::kConnect);
+  EXPECT_FALSE(client.connected());
+
+  Response response;
+  EXPECT_EQ(client.GetFeatures(0, &response).error,
+            ClientResult::Error::kNotConnected);
+}
+
+}  // namespace
+}  // namespace hsgf::serve

@@ -1,49 +1,46 @@
 // hsgf_query — client for the hsgf_serve daemon.
 //
-// Speaks the length-prefixed protocol in src/serve/protocol.h over a Unix or
-// loopback TCP socket. Feature rows print as CSV (`node,v1,v2,...`) with the
-// same stream formatting hsgf_extract uses, so a served row is textually
-// identical to the corresponding row of the extraction CSV.
+// A thin CLI over serve::Client (src/serve/client.h). Feature rows print as
+// CSV (`node,v1,v2,...`) with the same stream formatting hsgf_extract uses,
+// so a served row is textually identical to the corresponding row of the
+// extraction CSV.
 //
 // Usage:
 //   hsgf_query (--unix-socket PATH | --tcp-port N)
-//              [--nodes 1,5,9] [--vocab] [--top-k N] [--stats] [--shutdown]
+//              [--nodes 1,5,9] [--batch] [--deadline-ms N]
+//              [--vocab] [--top-k N] [--stats] [--shutdown] [--v1]
 //
-// Actions run in the order listed above, over one connection. --verbose
-// reports each feature row's source (snapshot / cache / computed) on stderr.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
+// Actions run in the order listed above, over one connection. By default
+// the client negotiates the newest protocol version (kHello); --v1 skips
+// the handshake and speaks the original protocol. --batch fetches all
+// --nodes in one kGetFeaturesBatch request instead of one request per node;
+// --deadline-ms attaches a per-request latency budget (requires v2 — the
+// server sheds the request with kOverloaded when it cannot meet it).
+// --verbose reports each feature row's source (snapshot / cache / computed /
+// stream) on stderr.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "util/flags.h"
 
 namespace {
 
-using hsgf::serve::DecodeResponse;
-using hsgf::serve::EncodeRequest;
-using hsgf::serve::MessageType;
-using hsgf::serve::ReadFrame;
-using hsgf::serve::Request;
+using hsgf::serve::Client;
+using hsgf::serve::ClientResult;
 using hsgf::serve::Response;
 using hsgf::serve::StatusCode;
-using hsgf::serve::WriteFrame;
 
 int Usage() {
   std::fprintf(stderr,
                "usage: hsgf_query (--unix-socket PATH | --tcp-port N)\n"
-               "                  [--nodes id,id,...] [--vocab] [--top-k N]\n"
-               "                  [--stats] [--shutdown] [--verbose]\n");
+               "                  [--nodes id,id,...] [--batch]\n"
+               "                  [--deadline-ms N] [--vocab] [--top-k N]\n"
+               "                  [--stats] [--shutdown] [--v1] [--verbose]\n");
   return 2;
 }
 
@@ -52,9 +49,12 @@ struct Options {
   const char* nodes_list = nullptr;
   long tcp_port = -1;
   long top_k = -1;
+  long deadline_ms = 0;
+  bool batch = false;
   bool vocab = false;
   bool stats = false;
   bool shutdown = false;
+  bool v1 = false;
   bool verbose = false;
 };
 
@@ -64,68 +64,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddString("--nodes", &options->nodes_list);
   parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
   parser.AddLong("--top-k", &options->top_k, 1);
+  parser.AddLong("--deadline-ms", &options->deadline_ms, 1);
+  parser.AddBool("--batch", &options->batch);
   parser.AddBool("--vocab", &options->vocab);
   parser.AddBool("--stats", &options->stats);
   parser.AddBool("--shutdown", &options->shutdown);
+  parser.AddBool("--v1", &options->v1);
   parser.AddBool("--verbose", &options->verbose);
   return parser.Parse(argc, argv);
-}
-
-int Connect(const Options& options) {
-  if (options.unix_socket != nullptr) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (std::strlen(options.unix_socket) >= sizeof(addr.sun_path)) {
-      std::fprintf(stderr, "error: unix socket path too long\n");
-      return -1;
-    }
-    std::strncpy(addr.sun_path, options.unix_socket,
-                 sizeof(addr.sun_path) - 1);
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 || connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                          sizeof(addr)) != 0) {
-      std::fprintf(stderr, "error: connect unix:%s: %s\n",
-                   options.unix_socket, std::strerror(errno));
-      if (fd >= 0) close(fd);
-      return -1;
-    }
-    return fd;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0 ||
-      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::fprintf(stderr, "error: connect tcp:127.0.0.1:%ld: %s\n",
-                 options.tcp_port, std::strerror(errno));
-    if (fd >= 0) close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-// Sends one request and decodes the reply. False on transport or protocol
-// failure; a non-ok status is returned to the caller for reporting.
-bool RoundTrip(int fd, const Request& request, Response* response) {
-  if (!WriteFrame(fd, EncodeRequest(request))) {
-    std::fprintf(stderr, "error: write failed\n");
-    return false;
-  }
-  std::string payload;
-  if (!ReadFrame(fd, &payload)) {
-    std::fprintf(stderr, "error: connection closed mid-reply\n");
-    return false;
-  }
-  if (!DecodeResponse(
-          request.type,
-          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
-          response)) {
-    std::fprintf(stderr, "error: undecodable response\n");
-    return false;
-  }
-  return true;
 }
 
 const char* SourceName(uint8_t source) {
@@ -136,6 +82,20 @@ const char* SourceName(uint8_t source) {
     case 3: return "stream";
   }
   return "unknown";
+}
+
+// Reports a failed call. Transport/protocol failures are fatal (the
+// connection is unusable); server-status failures let the tool continue.
+bool ReportError(const ClientResult& result, const std::string& what) {
+  std::fprintf(stderr, "error: %s: %s\n", what.c_str(),
+               result.message.c_str());
+  return result.error == ClientResult::Error::kServerStatus;
+}
+
+void PrintRow(long node, const std::vector<double>& values) {
+  std::cout << node;
+  for (double v : values) std::cout << ',' << v;
+  std::cout << '\n';
 }
 
 }  // namespace
@@ -151,7 +111,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  std::vector<long> nodes;
+  std::vector<int32_t> nodes;
   if (options.nodes_list != nullptr) {
     std::stringstream stream(options.nodes_list);
     std::string token;
@@ -162,90 +122,132 @@ int main(int argc, char** argv) {
                      token.c_str());
         return Usage();
       }
-      nodes.push_back(id);
+      nodes.push_back(static_cast<int32_t>(id));
     }
   }
 
-  const int fd = Connect(options);
-  if (fd < 0) return 1;
-  int exit_code = 0;
-
-  for (long node : nodes) {
-    Request request;
-    request.type = MessageType::kGetFeatures;
-    request.node = static_cast<int32_t>(node);
-    Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
+  Client client;
+  ClientResult connected =
+      options.unix_socket != nullptr
+          ? client.ConnectUnix(options.unix_socket)
+          : client.ConnectTcp(static_cast<int>(options.tcp_port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.message.c_str());
+    return 1;
+  }
+  if (!options.v1) {
+    const ClientResult hello = client.Hello();
+    if (!hello.ok()) {
+      ReportError(hello, "version handshake");
       return 1;
     }
-    if (response.status != StatusCode::kOk) {
-      std::fprintf(stderr, "error: node %ld: %s\n", node,
-                   response.text.c_str());
-      exit_code = 1;
-      continue;
-    }
     if (options.verbose) {
-      std::fprintf(stderr, "[hsgf_query] node %ld served from %s (%zu "
-                   "features, epoch %llu)\n",
-                   node, SourceName(response.source), response.values.size(),
-                   static_cast<unsigned long long>(response.epoch));
+      std::fprintf(stderr, "[hsgf_query] speaking protocol v%u\n",
+                   client.version());
     }
-    std::cout << node;
-    for (double v : response.values) std::cout << ',' << v;
-    std::cout << '\n';
+  }
+  if (options.deadline_ms > 0) {
+    if (client.version() < hsgf::serve::kProtocolV2) {
+      std::fprintf(stderr,
+                   "error: --deadline-ms needs protocol v2 (drop --v1)\n");
+      return 1;
+    }
+    client.set_deadline_ms(static_cast<uint32_t>(options.deadline_ms));
+  }
+
+  int exit_code = 0;
+
+  if (options.batch && !nodes.empty()) {
+    Response response;
+    const ClientResult result = client.GetFeaturesBatch(nodes, &response);
+    if (!result.ok()) {
+      if (!ReportError(result, "batch query")) return 1;
+      exit_code = 1;
+    } else {
+      for (size_t i = 0; i < response.batch.size(); ++i) {
+        const hsgf::serve::BatchEntry& entry = response.batch[i];
+        if (entry.status != StatusCode::kOk) {
+          std::fprintf(stderr, "error: node %d: %s\n", nodes[i],
+                       entry.message.c_str());
+          exit_code = 1;
+          continue;
+        }
+        if (options.verbose) {
+          std::fprintf(stderr,
+                       "[hsgf_query] node %d served from %s (%zu features, "
+                       "epoch %llu)\n",
+                       nodes[i], SourceName(entry.source), entry.values.size(),
+                       static_cast<unsigned long long>(entry.epoch));
+        }
+        PrintRow(nodes[i], entry.values);
+      }
+    }
+  } else {
+    for (const int32_t node : nodes) {
+      Response response;
+      const ClientResult result = client.GetFeatures(node, &response);
+      if (!result.ok()) {
+        if (!ReportError(result, "node " + std::to_string(node))) return 1;
+        exit_code = 1;
+        continue;
+      }
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "[hsgf_query] node %d served from %s (%zu features, "
+                     "epoch %llu)\n",
+                     node, SourceName(response.source), response.values.size(),
+                     static_cast<unsigned long long>(response.epoch));
+      }
+      PrintRow(node, response.values);
+    }
   }
 
   if (options.vocab) {
-    Request request;
-    request.type = MessageType::kGetVocabulary;
     Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
+    const ClientResult result = client.GetVocabulary(&response);
+    if (!result.ok()) {
+      if (!ReportError(result, "vocabulary")) return 1;
+      exit_code = 1;
+    } else {
+      for (uint64_t hash : response.hashes) std::cout << 'h' << hash << '\n';
     }
-    for (uint64_t hash : response.hashes) std::cout << 'h' << hash << '\n';
   }
 
   if (options.top_k > 0) {
-    Request request;
-    request.type = MessageType::kTopKEncodings;
-    request.k = static_cast<uint32_t>(options.top_k);
     Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
-    }
-    for (const auto& entry : response.entries) {
-      std::cout << 'h' << entry.hash << ',' << entry.total << ','
-                << entry.encoding << '\n';
+    const ClientResult result =
+        client.TopKEncodings(static_cast<uint32_t>(options.top_k), &response);
+    if (!result.ok()) {
+      if (!ReportError(result, "top-k encodings")) return 1;
+      exit_code = 1;
+    } else {
+      for (const auto& entry : response.entries) {
+        std::cout << 'h' << entry.hash << ',' << entry.total << ','
+                  << entry.encoding << '\n';
+      }
     }
   }
 
   if (options.stats) {
-    Request request;
-    request.type = MessageType::kStats;
     Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
+    const ClientResult result = client.Stats(&response);
+    if (!result.ok()) {
+      if (!ReportError(result, "stats")) return 1;
+      exit_code = 1;
+    } else {
+      std::cout << response.text << '\n';
     }
-    std::cout << response.text << '\n';
   }
 
   if (options.shutdown) {
-    Request request;
-    request.type = MessageType::kShutdown;
-    Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
-    }
-    if (options.verbose) {
+    const ClientResult result = client.Shutdown();
+    if (!result.ok()) {
+      if (!ReportError(result, "shutdown")) return 1;
+      exit_code = 1;
+    } else if (options.verbose) {
       std::fprintf(stderr, "[hsgf_query] daemon acknowledged shutdown\n");
     }
   }
 
-  close(fd);
   return exit_code;
 }

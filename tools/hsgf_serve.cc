@@ -12,6 +12,12 @@
 //   hsgf_serve --snapshot s.hsnap (--unix-socket PATH | --tcp-port N)
 //              [--graph g.hsgf] [--delta-log FILE] [--cache-capacity N]
 //              [--deadline-s S] [--max-requests N] [--metrics-json FILE]
+//              [--census-workers N] [--cold-queue-limit N] [--poll]
+//
+// The daemon runs a single-threaded epoll (or, with --poll, poll(2)) event
+// loop; cold-miss censuses execute on --census-workers background threads,
+// and at most --cold-queue-limit cold requests may be queued or running
+// before further ones are shed with kOverloaded.
 //
 // With --delta-log (requires --graph) the daemon accepts live graph updates
 // (hsgf_update / kApplyUpdate): each delta batch is appended to the
@@ -56,7 +62,9 @@ int Usage() {
                "                  [--graph FILE] [--delta-log FILE] "
                "[--cache-capacity N]\n"
                "                  [--deadline-s S] [--max-requests N] "
-               "[--metrics-json FILE]\n");
+               "[--metrics-json FILE]\n"
+               "                  [--census-workers N] [--cold-queue-limit N] "
+               "[--poll]\n");
   return 2;
 }
 
@@ -69,7 +77,10 @@ struct Options {
   long tcp_port = -1;
   long cache_capacity = 4096;
   long max_requests = 0;
+  long census_workers = 2;
+  long cold_queue_limit = 64;
   double deadline_s = 10.0;
+  bool force_poll = false;
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -82,7 +93,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
   parser.AddLong("--cache-capacity", &options->cache_capacity, 0);
   parser.AddLong("--max-requests", &options->max_requests, 0);
+  parser.AddLong("--census-workers", &options->census_workers, 1, 256);
+  parser.AddLong("--cold-queue-limit", &options->cold_queue_limit, 0);
   parser.AddDouble("--deadline-s", &options->deadline_s, 0.0);
+  parser.AddBool("--poll", &options->force_poll);
   return parser.Parse(argc, argv);
 }
 
@@ -197,6 +211,10 @@ int main(int argc, char** argv) {
     server_config.tcp_port = static_cast<int>(options.tcp_port);
   }
   server_config.max_requests = options.max_requests;
+  server_config.census_workers = static_cast<int>(options.census_workers);
+  server_config.cold_queue_limit =
+      static_cast<size_t>(options.cold_queue_limit);
+  server_config.force_poll = options.force_poll;
   if (delta_log.is_open()) server_config.delta_log = &delta_log;
 
   serve::SocketServer server(service, metrics, server_config);

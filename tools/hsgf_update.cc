@@ -1,48 +1,36 @@
 // hsgf_update — pushes live graph updates to a running hsgf_serve daemon.
 //
-// Builds one delta batch from the command line, sends it as a kApplyUpdate
-// request (src/serve/protocol.h), and reports what the daemon did with it:
-// how many ops applied, how many roots were incrementally re-censused, and
-// the new feature epoch. The daemon must have been started with --delta-log
-// (live-update mode); otherwise the request fails with an explanatory error.
+// A thin CLI over serve::Client (src/serve/client.h). Builds one delta
+// batch from the command line, sends it as a kApplyUpdate request, and
+// reports what the daemon did with it: how many ops applied, how many roots
+// were incrementally re-censused, and the new feature epoch. The daemon
+// must have been started with --delta-log (live-update mode); otherwise the
+// request fails with an explanatory error.
 //
 // Usage:
 //   hsgf_update (--unix-socket PATH | --tcp-port N)
 //               [--add-nodes L,L,...]      label index per new node
 //               [--add-edges U-V,U-V,...]
 //               [--remove-edges U-V,...]
-//               [--epoch] [--verbose]
+//               [--epoch] [--v1] [--verbose]
 //
 // Ops are batched in the order add-nodes, add-edges, remove-edges, so an
 // added edge may reference a node added in the same batch (new nodes get the
 // next free ids, printed by the daemon's reply when --verbose is set).
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "serve/protocol.h"
+#include "serve/client.h"
 #include "stream/delta_log.h"
 #include "util/flags.h"
 
 namespace {
 
-using hsgf::serve::DecodeResponse;
-using hsgf::serve::EncodeRequest;
-using hsgf::serve::MessageType;
-using hsgf::serve::ReadFrame;
-using hsgf::serve::Request;
+using hsgf::serve::Client;
+using hsgf::serve::ClientResult;
 using hsgf::serve::Response;
-using hsgf::serve::StatusCode;
-using hsgf::serve::WriteFrame;
 using hsgf::stream::DeltaOp;
 
 int Usage() {
@@ -51,7 +39,7 @@ int Usage() {
                "                   [--add-nodes L,L,...] "
                "[--add-edges U-V,U-V,...]\n"
                "                   [--remove-edges U-V,...] [--epoch] "
-               "[--verbose]\n");
+               "[--v1] [--verbose]\n");
   return 2;
 }
 
@@ -62,6 +50,7 @@ struct Options {
   const char* remove_edges = nullptr;
   long tcp_port = -1;
   bool epoch = false;
+  bool v1 = false;
   bool verbose = false;
 };
 
@@ -73,63 +62,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddString("--remove-edges", &options->remove_edges);
   parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
   parser.AddBool("--epoch", &options->epoch);
+  parser.AddBool("--v1", &options->v1);
   parser.AddBool("--verbose", &options->verbose);
   return parser.Parse(argc, argv);
-}
-
-int Connect(const Options& options) {
-  if (options.unix_socket != nullptr) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (std::strlen(options.unix_socket) >= sizeof(addr.sun_path)) {
-      std::fprintf(stderr, "error: unix socket path too long\n");
-      return -1;
-    }
-    std::strncpy(addr.sun_path, options.unix_socket,
-                 sizeof(addr.sun_path) - 1);
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 || connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                          sizeof(addr)) != 0) {
-      std::fprintf(stderr, "error: connect unix:%s: %s\n",
-                   options.unix_socket, std::strerror(errno));
-      if (fd >= 0) close(fd);
-      return -1;
-    }
-    return fd;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0 ||
-      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::fprintf(stderr, "error: connect tcp:127.0.0.1:%ld: %s\n",
-                 options.tcp_port, std::strerror(errno));
-    if (fd >= 0) close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool RoundTrip(int fd, const Request& request, Response* response) {
-  if (!WriteFrame(fd, EncodeRequest(request))) {
-    std::fprintf(stderr, "error: write failed\n");
-    return false;
-  }
-  std::string payload;
-  if (!ReadFrame(fd, &payload)) {
-    std::fprintf(stderr, "error: connection closed mid-reply\n");
-    return false;
-  }
-  if (!DecodeResponse(
-          request.type,
-          {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
-          response)) {
-    std::fprintf(stderr, "error: undecodable response\n");
-    return false;
-  }
-  return true;
 }
 
 // Parses "L,L,..." into AddNode ops.
@@ -197,22 +132,35 @@ int main(int argc, char** argv) {
   }
   if (ops.empty() && !options.epoch) return Usage();
 
-  const int fd = Connect(options);
-  if (fd < 0) return 1;
+  Client client;
+  ClientResult connected =
+      options.unix_socket != nullptr
+          ? client.ConnectUnix(options.unix_socket)
+          : client.ConnectTcp(static_cast<int>(options.tcp_port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.message.c_str());
+    return 1;
+  }
+  if (!options.v1) {
+    const ClientResult hello = client.Hello();
+    if (!hello.ok()) {
+      std::fprintf(stderr, "error: version handshake: %s\n",
+                   hello.message.c_str());
+      return 1;
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[hsgf_update] speaking protocol v%u\n",
+                   client.version());
+    }
+  }
+
   int exit_code = 0;
 
   if (!ops.empty()) {
-    Request request;
-    request.type = MessageType::kApplyUpdate;
-    request.ops = std::move(ops);
     Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
-    }
-    if (response.status != StatusCode::kOk) {
-      std::fprintf(stderr, "error: %s\n", response.text.c_str());
-      close(fd);
+    const ClientResult result = client.ApplyUpdate(ops, &response);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.message.c_str());
       return 1;
     }
     std::printf("epoch %llu: applied %u, rejected %u, dirty_roots %u, "
@@ -224,16 +172,10 @@ int main(int argc, char** argv) {
   }
 
   if (options.epoch) {
-    Request request;
-    request.type = MessageType::kGetEpoch;
     Response response;
-    if (!RoundTrip(fd, request, &response)) {
-      close(fd);
-      return 1;
-    }
-    if (response.status != StatusCode::kOk) {
-      std::fprintf(stderr, "error: %s\n", response.text.c_str());
-      close(fd);
+    const ClientResult result = client.GetEpoch(&response);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.message.c_str());
       return 1;
     }
     std::printf("stream_attached %u epoch %llu columns %u rows %llu\n",
@@ -243,6 +185,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(response.overlay_rows));
   }
 
-  close(fd);
   return exit_code;
 }
