@@ -17,6 +17,15 @@
 // latency in the config map) are written via WriteBenchJson to
 // --bench_json (default BENCH_serve.json); the committed baseline is
 // tracked by the CI serve-load-smoke job, report-only.
+//
+// With --router-backends N (default 0 = off) the same two phases are then
+// repeated through the sharded tier: the snapshot is sliced per-shard with
+// router::WriteShardSlices, N backend SocketServers are started in-process
+// on ephemeral ports, an in-process router::Router fronts them, and the
+// identical bit-identity gate runs against the router's port before the
+// timed phases. The extra records are router_pipelined_features /
+// router_pipelined_batch, so one JSON captures both the direct and the
+// routed cost of the same workload.
 #include <sys/resource.h>
 #include <unistd.h>
 
@@ -26,6 +35,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +47,9 @@
 #include "data/schema.h"
 #include "graph/het_graph.h"
 #include "io/snapshot.h"
+#include "router/router.h"
+#include "router/shard_map.h"
+#include "router/slicer.h"
 #include "serve/client.h"
 #include "serve/feature_service.h"
 #include "serve/protocol.h"
@@ -266,6 +279,87 @@ std::string FormatMs(double ms) {
   return buffer;
 }
 
+// Opens `clients->size()` v2 connections to the given port in parallel.
+bool ConnectClients(int port, int threads, std::vector<serve::Client>* clients) {
+  std::atomic<bool> connect_failed{false};
+  std::vector<std::thread> connectors;
+  const size_t per_thread =
+      (clients->size() + static_cast<size_t>(threads) - 1) /
+      static_cast<size_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    connectors.emplace_back([&, t] {
+      const size_t begin = static_cast<size_t>(t) * per_thread;
+      const size_t end = std::min(clients->size(), begin + per_thread);
+      for (size_t c = begin; c < end; ++c) {
+        if (!(*clients)[c].ConnectTcp(port).ok() || !(*clients)[c].Hello().ok()) {
+          connect_failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& connector : connectors) connector.join();
+  return !connect_failed.load();
+}
+
+// One in-process shard backend: its own metrics, a FeatureService over the
+// shard's snapshot slice, and a SocketServer on an ephemeral TCP port.
+struct ShardBackend {
+  util::MetricsRegistry metrics;
+  io::Snapshot snapshot;
+  std::unique_ptr<serve::FeatureService> service;
+  std::unique_ptr<serve::SocketServer> server;
+  std::thread thread;
+
+  ~ShardBackend() {
+    if (server) server->RequestStop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+// Slices the workload's snapshot, starts one backend per shard, and fills
+// `map`'s endpoint table with the ephemeral ports that came up.
+bool StartShardBackends(const Workload& workload, router::ShardMap* map,
+                        std::vector<std::unique_ptr<ShardBackend>>* backends,
+                        std::string* error) {
+  const std::string prefix =
+      "/tmp/bench_serve_load." + std::to_string(getpid()) + ".shard";
+  const auto slice_path = [&prefix](uint32_t shard) {
+    return prefix + std::to_string(shard) + ".hsnap";
+  };
+  router::SliceStats stats;
+  if (!router::WriteShardSlices(workload.snapshot, *map, slice_path, &stats,
+                                error)) {
+    return false;
+  }
+  for (uint32_t shard = 0; shard < map->num_shards(); ++shard) {
+    auto backend = std::make_unique<ShardBackend>();
+    io::SnapshotError snapshot_error;
+    auto snapshot = io::OpenSnapshot(slice_path(shard), &snapshot_error);
+    std::remove(slice_path(shard).c_str());
+    if (!snapshot.has_value()) {
+      *error = "OpenSnapshot(shard " + std::to_string(shard) +
+               "): " + snapshot_error.message;
+      return false;
+    }
+    backend->snapshot = *snapshot;
+    backend->service = std::make_unique<serve::FeatureService>(
+        backend->snapshot, backend->metrics);
+    if (!backend->service->AttachGraph(workload.graph, error)) return false;
+    serve::ServerConfig server_config;
+    server_config.tcp_port = 0;
+    backend->server = std::make_unique<serve::SocketServer>(
+        *backend->service, backend->metrics, server_config);
+    if (!backend->server->Start(error)) return false;
+    backend->thread =
+        std::thread([server = backend->server.get()] { server->Serve(); });
+    map->set_endpoints(shard,
+                       {"tcp:" + std::to_string(backend->server->tcp_port())});
+    backends->push_back(std::move(backend));
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace hsgf
 
@@ -279,6 +373,8 @@ int main(int argc, char** argv) {
   const int depth = bench::FlagInt(argc, argv, "--depth", 4);
   const int batch_roots = bench::FlagInt(argc, argv, "--batch-roots", 16);
   const double seconds = bench::FlagDouble(argc, argv, "--seconds", 3.0);
+  const int router_backends =
+      bench::FlagInt(argc, argv, "--router-backends", 0);
 
   connections = EnsureFdBudget(connections);
 
@@ -319,34 +415,14 @@ int main(int argc, char** argv) {
                "[bench_serve_load] bit-identity validated over %zu rows\n",
                workload.nodes.size());
 
-  // Connect phase (parallel): every connection speaks protocol v2.
+  // Connect phase (parallel): every connection negotiates the newest
+  // protocol the server offers.
   std::vector<serve::Client> clients(static_cast<size_t>(connections));
-  {
-    std::atomic<bool> connect_failed{false};
-    std::vector<std::thread> connectors;
-    const size_t per_thread =
-        (clients.size() + static_cast<size_t>(threads) - 1) /
-        static_cast<size_t>(threads);
-    for (int t = 0; t < threads; ++t) {
-      connectors.emplace_back([&, t] {
-        const size_t begin = static_cast<size_t>(t) * per_thread;
-        const size_t end = std::min(clients.size(), begin + per_thread);
-        for (size_t c = begin; c < end; ++c) {
-          if (!clients[c].ConnectTcp(server.tcp_port()).ok() ||
-              !clients[c].Hello().ok()) {
-            connect_failed.store(true);
-            return;
-          }
-        }
-      });
-    }
-    for (std::thread& connector : connectors) connector.join();
-    if (connect_failed.load()) {
-      std::fprintf(stderr, "error: connect phase failed\n");
-      server.RequestStop();
-      serve_thread.join();
-      return 1;
-    }
+  if (!ConnectClients(server.tcp_port(), threads, &clients)) {
+    std::fprintf(stderr, "error: connect phase failed\n");
+    server.RequestStop();
+    serve_thread.join();
+    return 1;
   }
 
   const size_t num_nodes = workload.nodes.size();
@@ -428,8 +504,123 @@ int main(int argc, char** argv) {
   batch_record.config.push_back({"p50_ms", FormatMs(batch_phase.p50_ms)});
   batch_record.config.push_back({"p99_ms", FormatMs(batch_phase.p99_ms)});
 
-  if (!bench::WriteBenchJson(json_path, "serve",
-                             {features_record, batch_record})) {
+  std::vector<bench::BenchRecord> records = {features_record, batch_record};
+
+  // Routed phases: the same workload through a router fronting
+  // --router-backends sharded workers, behind the same bit-identity gate.
+  if (router_backends > 0) {
+    router::ShardMap map =
+        router::ShardMap::Build(static_cast<uint32_t>(router_backends));
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    if (!StartShardBackends(workload, &map, &backends, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+
+    util::MetricsRegistry router_metrics;
+    router::RouterConfig router_config;
+    router_config.tcp_port = 0;
+    // Nothing may shed during the timed phases: the south side keeps
+    // connections * depth requests in flight, so size each shard's window
+    // to absorb all of them landing on one shard in the worst case.
+    router_config.max_inflight_per_shard = static_cast<uint32_t>(
+        connections * depth + 64);
+    router::Router router(map, router_metrics, router_config);
+    if (!router.Start(&error)) {
+      std::fprintf(stderr, "error: router: %s\n", error.c_str());
+      return 1;
+    }
+    std::thread router_thread([&router] { router.Serve(); });
+
+    if (!ValidateBitIdentity(workload, router.tcp_port())) {
+      std::fprintf(stderr,
+                   "error: routed responses differ from the extractor\n");
+      router.RequestStop();
+      router_thread.join();
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_serve_load] routed bit-identity validated over "
+                 "%zu rows across %d shards\n",
+                 workload.nodes.size(), router_backends);
+
+    std::vector<serve::Client> routed_clients(
+        static_cast<size_t>(connections));
+    if (!ConnectClients(router.tcp_port(), threads, &routed_clients)) {
+      std::fprintf(stderr, "error: routed connect phase failed\n");
+      router.RequestStop();
+      router_thread.join();
+      return 1;
+    }
+
+    const PhaseResult routed_features =
+        RunPhase(routed_clients, threads, depth, seconds, features_request);
+    const PhaseResult routed_batch =
+        RunPhase(routed_clients, threads, depth, seconds, batch_request);
+
+    routed_clients.clear();
+    router.RequestStop();
+    router_thread.join();
+    backends.clear();
+    if (routed_features.responses == 0 || routed_batch.responses == 0) {
+      std::fprintf(stderr, "error: a routed phase produced no responses\n");
+      return 1;
+    }
+
+    const double routed_features_qps =
+        static_cast<double>(routed_features.responses) /
+        routed_features.wall_s;
+    const double routed_batches_per_s =
+        static_cast<double>(routed_batch.responses) / routed_batch.wall_s;
+    const double routed_roots_per_s = routed_batches_per_s * batch_roots;
+    std::fprintf(stderr,
+                 "[bench_serve_load] routed features: %.0f req/s "
+                 "(p50 %.3fms, p99 %.3fms over %lld responses)\n",
+                 routed_features_qps, routed_features.p50_ms,
+                 routed_features.p99_ms,
+                 static_cast<long long>(routed_features.responses));
+    std::fprintf(stderr,
+                 "[bench_serve_load] routed batch(%d): %.0f batches/s = "
+                 "%.0f roots/s (p50 %.3fms, p99 %.3fms)\n",
+                 batch_roots, routed_batches_per_s, routed_roots_per_s,
+                 routed_batch.p50_ms, routed_batch.p99_ms);
+
+    std::vector<std::pair<std::string, std::string>> routed_config =
+        shared_config;
+    routed_config.push_back({"backends", std::to_string(router_backends)});
+
+    bench::BenchRecord routed_features_record;
+    routed_features_record.name = "router_pipelined_features";
+    routed_features_record.wall_s = routed_features.wall_s;
+    routed_features_record.subgraphs = routed_features.responses;
+    routed_features_record.subgraphs_per_s = routed_features_qps;
+    routed_features_record.peak_rss_bytes = util::PeakRssBytes();
+    routed_features_record.config = routed_config;
+    routed_features_record.config.push_back(
+        {"p50_ms", FormatMs(routed_features.p50_ms)});
+    routed_features_record.config.push_back(
+        {"p99_ms", FormatMs(routed_features.p99_ms)});
+    records.push_back(routed_features_record);
+
+    bench::BenchRecord routed_batch_record;
+    routed_batch_record.name = "router_pipelined_batch";
+    routed_batch_record.wall_s = routed_batch.wall_s;
+    routed_batch_record.subgraphs = routed_batch.responses * batch_roots;
+    routed_batch_record.subgraphs_per_s = routed_roots_per_s;
+    routed_batch_record.peak_rss_bytes = util::PeakRssBytes();
+    routed_batch_record.config = routed_config;
+    routed_batch_record.config.push_back(
+        {"batch_roots", std::to_string(batch_roots)});
+    routed_batch_record.config.push_back(
+        {"batches_per_s", FormatMs(routed_batches_per_s)});
+    routed_batch_record.config.push_back(
+        {"p50_ms", FormatMs(routed_batch.p50_ms)});
+    routed_batch_record.config.push_back(
+        {"p99_ms", FormatMs(routed_batch.p99_ms)});
+    records.push_back(routed_batch_record);
+  }
+
+  if (!bench::WriteBenchJson(json_path, "serve", records)) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
     return 1;
   }

@@ -1,21 +1,25 @@
-// Fuzz harness for the wire-protocol decoders (src/serve/protocol.cc) — the
-// bytes a garbage or hostile peer can put on the daemon's socket.
+// Fuzz harness for the wire-protocol decoders (src/serve/protocol.cc) and
+// the shard-map blob parser (src/router/shard_map.cc) — the bytes a garbage
+// or hostile peer can put on the daemon's or the router's socket.
 //
 // The first input byte selects what the rest of the payload is decoded as:
-// mode 0 -> v1 DecodeRequest, modes 1..9 -> v1 DecodeResponse for that
-// MessageType (8 and 9 are the kHello / kGetFeaturesBatch replies; their
-// *request* bodies are reached through mode 0), mode 10 -> v2 DecodeRequest
-// (request-id/deadline prefix), mode 11 -> v2 DecodeResponse, with the
-// *second* byte selecting the MessageType. Because the decoders demand the
-// frame be fully consumed (AtEnd) and the encoders are canonical, any
-// payload that decodes must re-encode to the identical bytes; the harness
-// checks that round-trip, so a decoder that silently misreads a field is a
-// crash, not a missed bug.
+// mode 0 -> v1 DecodeRequest, modes 1..10 -> v1 DecodeResponse for that
+// MessageType (the kHello / kGetFeaturesBatch / kGetShardMap *request*
+// bodies are reached through mode 0), mode 11 -> v2 DecodeRequest
+// (request-id/deadline prefix), mode 12 -> v2 DecodeResponse with the
+// *second* byte selecting the MessageType, modes 13/14 -> the same two
+// under v3 framing (identical prefix; kGetShardMap and kUnavailable are
+// legal there), mode 15 -> ShardMap::Parse. Because the decoders demand the
+// frame be fully consumed (AtEnd), the encoders are canonical, and the
+// shard-map blob is canonical too, any payload that decodes must re-encode
+// to the identical bytes; the harness checks that round-trip, so a decoder
+// that silently misreads a field is a crash, not a missed bug.
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <string>
 
+#include "router/shard_map.h"
 #include "serve/protocol.h"
 #include "util/check.h"
 
@@ -26,6 +30,7 @@ constexpr size_t kMaxInputBytes = 1u << 20;
 using hsgf::serve::kNumMessageTypes;
 using hsgf::serve::kProtocolV1;
 using hsgf::serve::kProtocolV2;
+using hsgf::serve::kProtocolV3;
 using hsgf::serve::MessageType;
 
 void CheckRequestRoundTrip(std::span<const uint8_t> payload,
@@ -53,27 +58,44 @@ void CheckResponseRoundTrip(MessageType type, std::span<const uint8_t> payload,
       << "response round-trip changed bytes (v" << version << ")";
 }
 
+void CheckShardMapRoundTrip(std::span<const uint8_t> payload) {
+  hsgf::router::ShardMap map;
+  if (!hsgf::router::ShardMap::Parse(payload, &map)) return;
+  const std::string reencoded = map.Serialize();
+  HSGF_CHECK_EQ(reencoded.size(), payload.size())
+      << "shard-map round-trip changed length";
+  HSGF_CHECK(std::memcmp(reencoded.data(), payload.data(),
+                         payload.size()) == 0)
+      << "shard-map round-trip changed bytes";
+  // A parsed map must be usable: every id lands on a valid shard.
+  HSGF_CHECK_LT(map.ShardOf(static_cast<hsgf::graph::NodeId>(payload.size())),
+                map.num_shards());
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size == 0 || size > kMaxInputBytes) return 0;
-  const uint8_t mode = data[0] % 12;
+  const uint8_t mode = data[0] % 16;
 
   if (mode == 0) {
     CheckRequestRoundTrip({data + 1, size - 1}, kProtocolV1);
   } else if (mode <= kNumMessageTypes) {
     CheckResponseRoundTrip(static_cast<MessageType>(mode), {data + 1, size - 1},
                            kProtocolV1);
-  } else if (mode == 10) {
-    CheckRequestRoundTrip({data + 1, size - 1}, kProtocolV2);
-  } else {
-    // Mode 11: the second byte picks the response type the v2 body is
-    // decoded as.
+  } else if (mode == 11 || mode == 13) {
+    CheckRequestRoundTrip({data + 1, size - 1},
+                          mode == 11 ? kProtocolV2 : kProtocolV3);
+  } else if (mode == 12 || mode == 14) {
+    // The second byte picks the response type the v2/v3 body is decoded as.
     if (size < 2) return 0;
     const uint8_t raw_type = data[1] % (kNumMessageTypes + 1);
     if (raw_type == 0) return 0;
     CheckResponseRoundTrip(static_cast<MessageType>(raw_type),
-                           {data + 2, size - 2}, kProtocolV2);
+                           {data + 2, size - 2},
+                           mode == 12 ? kProtocolV2 : kProtocolV3);
+  } else {
+    CheckShardMapRoundTrip({data + 1, size - 1});
   }
   return 0;
 }

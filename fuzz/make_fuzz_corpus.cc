@@ -22,6 +22,7 @@
 #include "data/schema.h"
 #include "graph/io.h"
 #include "io/snapshot.h"
+#include "router/shard_map.h"
 #include "serve/protocol.h"
 #include "stream/delta_log.h"
 
@@ -109,7 +110,9 @@ bool WriteProtocolSeeds(const std::string& dir) {
   Request batch;
   batch.type = MessageType::kGetFeaturesBatch;
   batch.batch_nodes = {0, 42, -3, 1 << 16};
-  // A v2-framed request (mode 10): id/deadline prefix ahead of the body.
+  Request shard_map_req;
+  shard_map_req.type = MessageType::kGetShardMap;
+  // A v2-framed request (mode 11): id/deadline prefix ahead of the body.
   Request deadline_features = features;
   deadline_features.request_id = 0x1001;
   deadline_features.deadline_ms = 250;
@@ -126,12 +129,17 @@ bool WriteProtocolSeeds(const std::string& dir) {
                       Mode(0, EncodeRequest(epoch_req))) &&
             WriteSeed(dir + "/req_hello.bin", Mode(0, EncodeRequest(hello))) &&
             WriteSeed(dir + "/req_batch.bin", Mode(0, EncodeRequest(batch))) &&
+            WriteSeed(dir + "/req_get_shard_map.bin",
+                      Mode(0, EncodeRequest(shard_map_req))) &&
             WriteSeed(dir + "/req_v2_features.bin",
-                      Mode(10, EncodeRequest(deadline_features,
+                      Mode(11, EncodeRequest(deadline_features,
                                              hsgf::serve::kProtocolV2))) &&
             WriteSeed(dir + "/req_v2_batch.bin",
-                      Mode(10, EncodeRequest(batch,
-                                             hsgf::serve::kProtocolV2)));
+                      Mode(11, EncodeRequest(batch,
+                                             hsgf::serve::kProtocolV2))) &&
+            WriteSeed(dir + "/req_v3_shard_map.bin",
+                      Mode(13, EncodeRequest(shard_map_req,
+                                             hsgf::serve::kProtocolV3)));
 
   Response values;
   values.values = {1.5, 0.0, -2.25};
@@ -172,9 +180,28 @@ bool WriteProtocolSeeds(const std::string& dir) {
   shed.status = StatusCode::kOverloaded;
   shed.text = "cold-census queue is full (limit 64); retry later";
   shed.request_id = 0x2002;
-  // v2 response seeds (mode 11) carry a second byte naming the type.
+  Response hello_v3_reply;
+  hello_v3_reply.agreed_version = hsgf::serve::kProtocolV3;
+  hsgf::router::ShardMap shard_map = hsgf::router::ShardMap::Build(
+      /*num_shards=*/3, /*seed=*/42, /*vnodes_per_shard=*/8);
+  shard_map.set_endpoints(0, {"tcp:7001", "tcp:7101"});
+  shard_map.set_endpoints(1, {"unix:/tmp/hsgf-shard1.sock"});
+  shard_map.set_endpoints(2, {"tcp:7003"});
+  Response shard_map_reply;
+  shard_map_reply.shard_map_blob = shard_map.Serialize();
+  Response unavailable;
+  unavailable.status = StatusCode::kUnavailable;
+  unavailable.text = "shard 1: connect tcp:7002: connection refused";
+  unavailable.request_id = 0x3003;
+  // v2/v3 response seeds (modes 12/14) carry a second byte naming the type.
   const auto V2Mode = [](uint8_t type, const std::string& payload) {
-    std::string bytes(1, static_cast<char>(11));
+    std::string bytes(1, static_cast<char>(12));
+    bytes.push_back(static_cast<char>(type));
+    bytes += payload;
+    return bytes;
+  };
+  const auto V3Mode = [](uint8_t type, const std::string& payload) {
+    std::string bytes(1, static_cast<char>(14));
     bytes.push_back(static_cast<char>(type));
     bytes += payload;
     return bytes;
@@ -210,7 +237,28 @@ bool WriteProtocolSeeds(const std::string& dir) {
        WriteSeed(dir + "/resp_v2_batch.bin",
                  V2Mode(9, EncodeResponse(MessageType::kGetFeaturesBatch,
                                           batch_reply,
-                                          hsgf::serve::kProtocolV2)));
+                                          hsgf::serve::kProtocolV2))) &&
+       WriteSeed(dir + "/resp_shard_map.bin",
+                 Mode(10, EncodeResponse(MessageType::kGetShardMap,
+                                         shard_map_reply))) &&
+       WriteSeed(dir + "/resp_v3_hello.bin",
+                 Mode(8, EncodeResponse(MessageType::kHello,
+                                        hello_v3_reply))) &&
+       WriteSeed(dir + "/resp_v3_shard_map.bin",
+                 V3Mode(10, EncodeResponse(MessageType::kGetShardMap,
+                                           shard_map_reply,
+                                           hsgf::serve::kProtocolV3))) &&
+       WriteSeed(dir + "/resp_v3_unavailable.bin",
+                 V3Mode(1, EncodeResponse(MessageType::kGetFeatures,
+                                          unavailable,
+                                          hsgf::serve::kProtocolV3))) &&
+       // Mode 15: the shard-map blob parser — one canonical blob, one with
+       // its CRC clipped off.
+       WriteSeed(dir + "/shard_map_valid.bin",
+                 Mode(15, shard_map.Serialize())) &&
+       WriteSeed(dir + "/shard_map_truncated.bin",
+                 Mode(15, shard_map.Serialize().substr(
+                              0, shard_map.Serialize().size() - 4)));
   return ok;
 }
 

@@ -1,0 +1,841 @@
+#include "router/router.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "serve/client.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hsgf::router {
+
+namespace {
+
+using serve::ClientResult;
+using serve::MessageType;
+using serve::Request;
+using serve::Response;
+using serve::StatusCode;
+
+ClientResult Fail(ClientResult::Error error, std::string message) {
+  ClientResult result;
+  result.error = error;
+  result.message = std::move(message);
+  return result;
+}
+
+// A result that neither succeeded nor carries a backend verdict: the hop
+// itself failed, so the channel reconnected and a retry may go to a replica.
+bool ChannelFailure(const ClientResult& result) {
+  return result.error != ClientResult::Error::kNone &&
+         result.error != ClientResult::Error::kServerStatus;
+}
+
+// The per-root status a failed shard hop degrades to. kServerStatus keeps
+// the backend's verdict (including a synthetic kOverloaded window shed);
+// everything else — dead shard, timeout, failed dial — is kUnavailable.
+StatusCode FailureStatus(const ClientResult& result) {
+  if (result.error == ClientResult::Error::kServerStatus) {
+    return result.status;
+  }
+  return StatusCode::kUnavailable;
+}
+
+Response FailureResponse(uint32_t shard, const ClientResult& result) {
+  Response response;
+  response.status = FailureStatus(result);
+  response.text = "shard " + std::to_string(shard) + ": " + result.message;
+  return response;
+}
+
+void JsonEscapeTo(std::ostringstream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+// One shard's north-side connection: a single pipelined serve::Client
+// multiplexed across every router thread. Begin() stamps and sends a
+// request under the channel lock; Await() blocks until its response lands.
+// Receiving uses reader election: whichever waiter finds no active reader
+// becomes one, runs Client::Receive unlocked, files the response it got
+// (often someone else's) into done_, and notifies.
+//
+// Any transport/timeout/protocol failure kills the connection: every
+// in-flight ticket fails at once, the endpoint cursor rotates so the next
+// dial lands on the shard's next replica, and a fresh dial happens lazily
+// on the next Begin. Backoff applies only after a full dial cycle fails —
+// an established connection dying retries a replica immediately.
+class Router::ShardChannel {
+ public:
+  ShardChannel(uint32_t shard, std::vector<std::string> endpoints,
+               const RouterConfig& config, util::MetricsRegistry& metrics,
+               util::MetricId dials, util::MetricId timeouts,
+               util::MetricId errors)
+      : shard_(shard),
+        endpoints_(std::move(endpoints)),
+        worker_timeout_ms_(config.worker_timeout_ms),
+        max_inflight_(std::max(1u, config.max_inflight_per_shard)),
+        backoff_ms_(config.reconnect_backoff_ms),
+        metrics_(metrics),
+        dials_(dials),
+        timeouts_(timeouts),
+        errors_(errors) {}
+
+  ClientResult Begin(Request request, uint32_t* ticket) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (inflight_ >= max_inflight_) {
+      // Synthetic shed, shaped like a backend kOverloaded so callers map
+      // both through the same per-root status path.
+      ClientResult shed = Fail(ClientResult::Error::kServerStatus,
+                               "shard " + std::to_string(shard_) +
+                                   " in-flight window full");
+      shed.status = StatusCode::kOverloaded;
+      return shed;
+    }
+    ClientResult connected = EnsureConnectedLocked();
+    if (!connected.ok()) return connected;
+    uint32_t id = 0;
+    const ClientResult sent = client_.Send(std::move(request), &id);
+    if (!sent.ok()) {
+      if (reader_active_) {
+        // A reader is blocked inside Receive on this fd; it must be the one
+        // to close it. Mark the connection doomed and let it finish.
+        poisoned_ = true;
+        connected_ = false;
+      } else {
+        FailChannelLocked(sent);
+      }
+      metrics_.Increment(errors_);
+      return sent;
+    }
+    pending_.insert(id);
+    ++inflight_;
+    *ticket = id;
+    return {};
+  }
+
+  ClientResult Await(uint32_t ticket, Response* response) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto done = done_.find(ticket);
+      if (done != done_.end()) {
+        ClientResult result = std::move(done->second.result);
+        *response = std::move(done->second.response);
+        done_.erase(done);
+        HSGF_DCHECK_GT(inflight_, 0u);
+        --inflight_;
+        if (result.error == ClientResult::Error::kTimeout) {
+          metrics_.Increment(timeouts_);
+        }
+        if (ChannelFailure(result)) metrics_.Increment(errors_);
+        return result;
+      }
+      if (pending_.find(ticket) == pending_.end()) {
+        // Neither done nor pending: bookkeeping bug, fail loudly but safely.
+        --inflight_;
+        return Fail(ClientResult::Error::kProtocol, "ticket lost");
+      }
+      if (!connected_ && !reader_active_) {
+        // No reader will ever produce this response (connection already
+        // died and its pending set was drained elsewhere).
+        pending_.erase(ticket);
+        --inflight_;
+        metrics_.Increment(errors_);
+        return Fail(ClientResult::Error::kTransport,
+                    "shard connection lost");
+      }
+      if (connected_ && !reader_active_) {
+        reader_active_ = true;
+        lock.unlock();
+        Response got;
+        ClientResult received = client_.Receive(&got, nullptr);
+        lock.lock();
+        reader_active_ = false;
+        if (received.ok() ||
+            received.error == ClientResult::Error::kServerStatus) {
+          const uint32_t id = got.request_id;
+          if (pending_.erase(id) != 0) {
+            done_.emplace(id, Done{std::move(got), std::move(received)});
+          }
+          if (poisoned_) {
+            FailChannelLocked(
+                Fail(ClientResult::Error::kTransport,
+                     "connection poisoned by a failed send"));
+          }
+        } else {
+          FailChannelLocked(received);
+        }
+        cv_.notify_all();
+        continue;  // our ticket may now be in done_
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  ClientResult Roundtrip(Request request, Response* response) {
+    uint32_t ticket = 0;
+    ClientResult begun = Begin(std::move(request), &ticket);
+    if (!begun.ok()) return begun;
+    return Await(ticket, response);
+  }
+
+  struct ChannelStatus {
+    bool connected = false;
+    std::string endpoint;
+    uint32_t inflight = 0;
+    std::string last_error;
+  };
+
+  ChannelStatus GetStatus() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ChannelStatus status;
+    status.connected = connected_;
+    status.endpoint = endpoints_[endpoint_index_ % endpoints_.size()];
+    status.inflight = inflight_;
+    status.last_error = last_error_;
+    return status;
+  }
+
+ private:
+  struct Done {
+    Response response;
+    ClientResult result;
+  };
+
+  ClientResult EnsureConnectedLocked() {
+    if (connected_) return {};
+    if (reader_active_) {
+      // poisoned_ teardown still in progress on another thread.
+      return Fail(ClientResult::Error::kNotConnected,
+                  "shard " + std::to_string(shard_) + " reconnecting");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_dial_) {
+      return Fail(ClientResult::Error::kConnect,
+                  "shard " + std::to_string(shard_) +
+                      " backing off after repeated connect failures");
+    }
+    ClientResult last = Fail(ClientResult::Error::kConnect,
+                             "shard " + std::to_string(shard_) +
+                                 " has no endpoints");
+    for (size_t attempt = 0; attempt < endpoints_.size(); ++attempt) {
+      const std::string& spec =
+          endpoints_[endpoint_index_ % endpoints_.size()];
+      metrics_.Increment(dials_);
+      last = DialLocked(spec);
+      if (last.ok()) {
+        connected_ = true;
+        last_error_.clear();
+        return last;
+      }
+      endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+    }
+    // Every endpoint refused: rest before hammering the fleet again.
+    next_dial_ = now + std::chrono::milliseconds(backoff_ms_);
+    last_error_ = last.message;
+    return last;
+  }
+
+  ClientResult DialLocked(const std::string& spec) {
+    client_.Close();
+    Endpoint endpoint;
+    std::string parse_error;
+    if (!ParseEndpoint(spec, &endpoint, &parse_error)) {
+      return Fail(ClientResult::Error::kConnect, parse_error);
+    }
+    client_.set_io_timeout_ms(worker_timeout_ms_);
+    ClientResult result = endpoint.is_unix
+                              ? client_.ConnectUnix(endpoint.path)
+                              : client_.ConnectTcp(endpoint.port);
+    if (!result.ok()) return result;
+    result = client_.Hello(serve::kMaxSupportedProtocol);
+    if (!result.ok()) {
+      client_.Close();
+      return result;
+    }
+    if (client_.version() < serve::kProtocolV2) {
+      client_.Close();
+      return Fail(ClientResult::Error::kProtocol,
+                  "backend " + spec + " lacks protocol v2 pipelining");
+    }
+    return {};
+  }
+
+  // Fails every in-flight ticket with `result`, closes the connection, and
+  // rotates the endpoint cursor so the next dial tries a replica first.
+  void FailChannelLocked(const ClientResult& result) {
+    client_.Close();
+    connected_ = false;
+    poisoned_ = false;
+    last_error_ = result.message;
+    for (const uint32_t id : pending_) {
+      Done entry;
+      entry.result = result;
+      done_.emplace(id, std::move(entry));
+    }
+    pending_.clear();
+    endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+    cv_.notify_all();
+  }
+
+  const uint32_t shard_;
+  const std::vector<std::string> endpoints_;
+  const uint32_t worker_timeout_ms_;
+  const uint32_t max_inflight_;
+  const uint32_t backoff_ms_;
+  util::MetricsRegistry& metrics_;
+  const util::MetricId dials_;
+  const util::MetricId timeouts_;
+  const util::MetricId errors_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  serve::Client client_;
+  bool connected_ = false;
+  bool reader_active_ = false;
+  bool poisoned_ = false;
+  uint32_t inflight_ = 0;
+  size_t endpoint_index_ = 0;
+  std::chrono::steady_clock::time_point next_dial_{};
+  std::unordered_set<uint32_t> pending_;
+  std::unordered_map<uint32_t, Done> done_;
+  std::string last_error_;
+};
+
+Router::Router(ShardMap map, util::MetricsRegistry& metrics,
+               RouterConfig config)
+    : map_(std::move(map)),
+      metrics_(metrics),
+      config_(std::move(config)) {
+  HSGF_CHECK_GT(map_.num_shards(), 0u) << "router needs a non-empty ShardMap";
+  map_blob_ = map_.Serialize();
+  connections_ = metrics_.Counter("router.connections");
+  requests_total_ = metrics_.Counter("router.requests_total");
+  bad_requests_ = metrics_.Counter("router.bad_requests");
+  fanout_requests_ = metrics_.Counter("router.fanout_requests");
+  shard_errors_ = metrics_.Counter("router.shard_errors");
+  shard_timeouts_ = metrics_.Counter("router.shard_timeouts");
+  shard_dials_ = metrics_.Counter("router.shard_dials");
+  unavailable_roots_ = metrics_.Counter("router.unavailable_roots");
+  overloaded_roots_ = metrics_.Counter("router.overloaded_roots");
+  request_micros_ = metrics_.Histogram("router.request_micros");
+  channels_.reserve(map_.num_shards());
+  for (uint32_t shard = 0; shard < map_.num_shards(); ++shard) {
+    std::vector<std::string> endpoints = map_.endpoints(shard);
+    if (endpoints.empty()) {
+      // A shard with no endpoints can never be dialed; a placeholder spec
+      // yields a clean per-request kUnavailable instead of a crash.
+      endpoints.push_back("unix:/nonexistent/shard-" + std::to_string(shard));
+    }
+    channels_.push_back(std::make_unique<ShardChannel>(
+        shard, std::move(endpoints), config_, metrics_, shard_dials_,
+        shard_timeouts_, shard_errors_));
+  }
+}
+
+Router::~Router() {
+  RequestStop();
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    if (!config_.unix_socket_path.empty()) {
+      unlink(config_.unix_socket_path.c_str());
+    }
+  }
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+bool Router::Start(std::string* error) {
+  const bool want_unix = !config_.unix_socket_path.empty();
+  const bool want_tcp = config_.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    if (error != nullptr) {
+      *error = "configure exactly one of unix_socket_path / tcp_port";
+    }
+    return false;
+  }
+
+  if (want_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, config_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    unlink(config_.unix_socket_path.c_str());  // clear a stale socket file
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error != nullptr) {
+        *error =
+            "bind " + config_.unix_socket_path + ": " + std::strerror(errno);
+      }
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error != nullptr) {
+        *error = "bind 127.0.0.1:" + std::to_string(config_.tcp_port) + ": " +
+                 std::strerror(errno);
+      }
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (listen(listen_fd_, 512) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  if (pipe(wake_fds_) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  // Both ends non-blocking: the drain loop in Serve() must stop at EAGAIN
+  // rather than block, and RequestStop() (signal-handler safe) must never
+  // stall on a full pipe.
+  for (const int fd : wake_fds_) {
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  return true;
+}
+
+void Router::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const int fd = wake_fds_[1];
+  if (fd >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+void Router::Serve() {
+  if (listen_fd_ < 0) return;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = poll(fds, 2, 250);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buffer[64];
+      while (read(wake_fds_[0], buffer, sizeof(buffer)) > 0) {
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      metrics_.Increment(connections_);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      threads_.emplace_back(&Router::ServeConnection, this, fd);
+    }
+  }
+  // Connection threads observe stop_ within one poll tick and exit; joining
+  // happens in the destructor so Serve() itself returns promptly.
+}
+
+void Router::ServeConnection(int fd) {
+  // A client that starts a frame must finish it within the io timeout so a
+  // wedged peer cannot pin this thread; waiting for the *next* frame is the
+  // unbounded poll below, so idle connections are fine.
+  timeval tv{};
+  tv.tv_sec = config_.client_io_timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(config_.client_io_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  uint32_t version = serve::kProtocolV1;
+  std::string payload;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 250);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const serve::FrameStatus frame = serve::ReadFrameStatus(fd, &payload);
+    if (frame != serve::FrameStatus::kFrameOk) break;
+
+    util::Stopwatch watch;
+    Request request;
+    Response response;
+    bool shutdown_requested = false;
+    uint32_t agreed_version = 0;
+    if (!serve::DecodeRequest(
+            {reinterpret_cast<const uint8_t*>(payload.data()),
+             payload.size()},
+            &request, version)) {
+      metrics_.Increment(bad_requests_);
+      response.status = StatusCode::kBadRequest;
+      response.text = "undecodable request";
+    } else if (request.type == MessageType::kHello) {
+      if (request.max_version == 0) {
+        response.status = StatusCode::kBadRequest;
+        response.text = "kHello max_version must be >= 1";
+      } else {
+        agreed_version =
+            std::min(request.max_version, serve::kMaxSupportedProtocol);
+        response.agreed_version = agreed_version;
+      }
+    } else {
+      response = Route(request, &shutdown_requested);
+    }
+    response.request_id = request.request_id;
+    // The kHello reply goes out in the old framing; everything after it
+    // speaks the agreed version (mirrors the backend server's behavior).
+    const bool sent =
+        serve::WriteFrame(fd, serve::EncodeResponse(request.type, response,
+                                                    version));
+    metrics_.Increment(requests_total_);
+    metrics_.Observe(request_micros_, watch.ElapsedMicros());
+    if (!sent) break;
+    if (agreed_version > version) version = agreed_version;
+    const int64_t responses = responses_sent_.fetch_add(1) + 1;
+    if (shutdown_requested ||
+        (config_.max_requests > 0 && responses >= config_.max_requests)) {
+      RequestStop();
+      break;
+    }
+  }
+  close(fd);
+}
+
+Response Router::Route(const Request& request, bool* shutdown) {
+  switch (request.type) {
+    case MessageType::kGetFeatures:
+      return RouteSingle(request);
+    case MessageType::kGetFeaturesBatch:
+      return RouteBatch(request);
+    case MessageType::kApplyUpdate:
+      return RouteUpdate(request);
+    case MessageType::kGetEpoch:
+      return RouteEpoch(request);
+    case MessageType::kGetVocabulary:
+    case MessageType::kTopKEncodings:
+      return RouteAnyShard(request);
+    case MessageType::kGetShardMap: {
+      Response response;
+      response.shard_map_blob = map_blob_;
+      return response;
+    }
+    case MessageType::kStats: {
+      Response response;
+      response.text = StatsJson();
+      return response;
+    }
+    case MessageType::kShutdown: {
+      *shutdown = true;
+      return {};
+    }
+    case MessageType::kHello:
+      break;  // handled by ServeConnection before routing
+  }
+  Response response;
+  response.status = StatusCode::kError;
+  response.text = "internal: unroutable message type";
+  return response;
+}
+
+Response Router::RouteSingle(const Request& request) {
+  const uint32_t shard = map_.ShardOf(request.node);
+  ShardChannel& channel = *channels_[shard];
+  Response response;
+  metrics_.Increment(fanout_requests_);
+  ClientResult result = channel.Roundtrip(request, &response);
+  if (ChannelFailure(result)) {
+    // The channel rotated to the next replica on failure; one retry gives
+    // a replicated shard a chance to absorb the loss invisibly.
+    metrics_.Increment(fanout_requests_);
+    result = channel.Roundtrip(request, &response);
+  }
+  if (result.ok()) return response;
+  if (FailureStatus(result) == StatusCode::kOverloaded) {
+    metrics_.Increment(overloaded_roots_);
+  } else if (ChannelFailure(result)) {
+    metrics_.Increment(unavailable_roots_);
+  }
+  return FailureResponse(shard, result);
+}
+
+Response Router::RouteBatch(const Request& request) {
+  Response response;
+  if (request.batch_nodes.size() > serve::kMaxBatchRoots) {
+    response.status = StatusCode::kBadRequest;
+    response.text = "batch too large";
+    return response;
+  }
+  response.batch.resize(request.batch_nodes.size());
+  if (request.batch_nodes.empty()) return response;
+
+  // Scatter: group roots by owning shard, preserving each root's original
+  // slot so the gather phase can merge replies back in input order.
+  struct Group {
+    std::vector<size_t> slots;
+    Request sub;
+    uint32_t ticket = 0;
+    ClientResult begun;
+  };
+  std::map<uint32_t, Group> groups;
+  for (size_t i = 0; i < request.batch_nodes.size(); ++i) {
+    const int32_t node = request.batch_nodes[i];
+    Group& group = groups[map_.ShardOf(node)];
+    group.slots.push_back(i);
+    group.sub.batch_nodes.push_back(node);
+  }
+  for (auto& [shard, group] : groups) {
+    group.sub.type = MessageType::kGetFeaturesBatch;
+    group.sub.deadline_ms = request.deadline_ms;
+    metrics_.Increment(fanout_requests_);
+    group.begun = channels_[shard]->Begin(group.sub, &group.ticket);
+  }
+
+  // Gather: every sub-batch is already in flight, so slow shards overlap.
+  // A failed shard degrades only its own slots.
+  for (auto& [shard, group] : groups) {
+    Response sub;
+    ClientResult result = group.begun.ok()
+                              ? channels_[shard]->Await(group.ticket, &sub)
+                              : group.begun;
+    if (ChannelFailure(result)) {
+      metrics_.Increment(fanout_requests_);
+      result = channels_[shard]->Roundtrip(group.sub, &sub);
+    }
+    if (result.ok() && sub.batch.size() != group.slots.size()) {
+      result = Fail(ClientResult::Error::kProtocol,
+                    "shard answered wrong batch size");
+    }
+    if (result.ok()) {
+      for (size_t i = 0; i < group.slots.size(); ++i) {
+        response.batch[group.slots[i]] = std::move(sub.batch[i]);
+      }
+      continue;
+    }
+    const StatusCode degraded = FailureStatus(result);
+    const std::string message =
+        "shard " + std::to_string(shard) + ": " + result.message;
+    if (degraded == StatusCode::kOverloaded) {
+      metrics_.Increment(overloaded_roots_,
+                         static_cast<int64_t>(group.slots.size()));
+    } else {
+      metrics_.Increment(unavailable_roots_,
+                         static_cast<int64_t>(group.slots.size()));
+    }
+    for (const size_t slot : group.slots) {
+      response.batch[slot].status = degraded;
+      response.batch[slot].message = message;
+    }
+  }
+  return response;
+}
+
+Response Router::RouteUpdate(const Request& request) {
+  // Broadcast: an edge mutation dirties roots on every shard (each backend
+  // owns the full graph topology), so all shards must apply it to stay
+  // bit-identical with a single-process server.
+  std::vector<uint32_t> tickets(channels_.size(), 0);
+  std::vector<ClientResult> begun(channels_.size());
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    metrics_.Increment(fanout_requests_);
+    begun[shard] = channels_[shard]->Begin(request, &tickets[shard]);
+  }
+  Response response;
+  bool have_reply = false;
+  std::string failures;
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    Response sub;
+    ClientResult result = begun[shard].ok()
+                              ? channels_[shard]->Await(tickets[shard], &sub)
+                              : begun[shard];
+    if (ChannelFailure(result)) {
+      metrics_.Increment(fanout_requests_);
+      result = channels_[shard]->Roundtrip(request, &sub);
+    }
+    if (!result.ok()) {
+      if (!failures.empty()) failures += "; ";
+      failures += "shard " + std::to_string(shard) + ": " + result.message;
+      continue;
+    }
+    if (!have_reply) {
+      // applied/rejected/dirty_roots/new_columns are per-backend counts of
+      // the same update over the same topology — identical on every shard.
+      response.epoch = sub.epoch;
+      response.applied = sub.applied;
+      response.rejected = sub.rejected;
+      response.dirty_roots = sub.dirty_roots;
+      response.new_columns = sub.new_columns;
+      have_reply = true;
+    } else {
+      // Report the lowest epoch: the floor every shard has reached.
+      response.epoch = std::min(response.epoch, sub.epoch);
+    }
+  }
+  if (!have_reply) {
+    response.status = StatusCode::kUnavailable;
+    response.text = "update reached no shard (" + failures + ")";
+    return response;
+  }
+  if (!failures.empty()) {
+    // Some shards applied the update and some did not: the fleet is now
+    // split-brained until the caller retries, so this must be loud.
+    response.status = StatusCode::kError;
+    response.text = "update failed on " + failures;
+  }
+  return response;
+}
+
+Response Router::RouteEpoch(const Request& request) {
+  std::vector<uint32_t> tickets(channels_.size(), 0);
+  std::vector<ClientResult> begun(channels_.size());
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    metrics_.Increment(fanout_requests_);
+    begun[shard] = channels_[shard]->Begin(request, &tickets[shard]);
+  }
+  Response response;
+  response.stream_attached = 1;
+  bool have_reply = false;
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    Response sub;
+    ClientResult result = begun[shard].ok()
+                              ? channels_[shard]->Await(tickets[shard], &sub)
+                              : begun[shard];
+    if (ChannelFailure(result)) {
+      metrics_.Increment(fanout_requests_);
+      result = channels_[shard]->Roundtrip(request, &sub);
+    }
+    if (!result.ok()) {
+      // A partial epoch vector would lie about the fleet; surface the gap.
+      Response failed = FailureResponse(shard, result);
+      failed.status = StatusCode::kUnavailable;
+      return failed;
+    }
+    if (!have_reply) {
+      response.epoch = sub.epoch;
+      have_reply = true;
+    } else {
+      response.epoch = std::min(response.epoch, sub.epoch);
+    }
+    response.stream_attached =
+        static_cast<uint8_t>(response.stream_attached & sub.stream_attached);
+    response.num_columns = std::max(response.num_columns, sub.num_columns);
+    response.overlay_rows = std::max(response.overlay_rows, sub.overlay_rows);
+  }
+  return response;
+}
+
+Response Router::RouteAnyShard(const Request& request) {
+  // Metadata shared by construction (the global vocabulary): any healthy
+  // shard's answer is authoritative.
+  ClientResult last = Fail(ClientResult::Error::kNotConnected, "no shards");
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    Response response;
+    metrics_.Increment(fanout_requests_);
+    const ClientResult result = channels_[shard]->Roundtrip(request, &response);
+    if (result.ok()) return response;
+    if (result.error == ClientResult::Error::kServerStatus) {
+      return FailureResponse(shard, result);
+    }
+    last = result;
+  }
+  Response response;
+  response.status = StatusCode::kUnavailable;
+  response.text = "no shard reachable: " + last.message;
+  return response;
+}
+
+std::string Router::StatsJson() const {
+  std::ostringstream out;
+  out << "{\"router\":{\"shards\":" << map_.num_shards()
+      << ",\"vnodes_per_shard\":" << map_.vnodes_per_shard()
+      << ",\"open_threads\":";
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    out << threads_.size();
+  }
+  out << "}";
+  out << ",\"shard_status\":[";
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    const ShardChannel::ChannelStatus status = channels_[shard]->GetStatus();
+    if (shard != 0) out << ",";
+    out << "{\"shard\":" << shard << ",\"connected\":"
+        << (status.connected ? "true" : "false") << ",\"endpoint\":\"";
+    JsonEscapeTo(out, status.endpoint);
+    out << "\",\"inflight\":" << status.inflight << ",\"last_error\":\"";
+    JsonEscapeTo(out, status.last_error);
+    out << "\"}";
+  }
+  out << "]";
+  out << ",\"metrics\":" << metrics_.Snapshot().ToJson() << "}";
+  return out.str();
+}
+
+}  // namespace hsgf::router

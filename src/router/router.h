@@ -1,0 +1,145 @@
+#ifndef HSGF_ROUTER_ROUTER_H_
+#define HSGF_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/shard_map.h"
+#include "serve/protocol.h"
+#include "util/metrics.h"
+
+namespace hsgf::router {
+
+struct RouterConfig {
+  // Exactly one south-side endpoint: a Unix socket path, or a loopback TCP
+  // port (0 picks an ephemeral port — read it back with tcp_port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;
+
+  // Stop serving after this many responses (0 = until kShutdown).
+  int64_t max_requests = 0;
+
+  // North-side socket send/receive budget per shard hop. A worker that
+  // stalls longer than this is marked unhealthy (its channel reconnects,
+  // rotating to the next replica endpoint) and the affected roots degrade
+  // to kUnavailable. Must be > the slowest expected cold census.
+  uint32_t worker_timeout_ms = 5000;
+
+  // Backpressure: per-shard bound on in-flight north-side requests. Work
+  // arriving beyond it is shed per root with kOverloaded, mirroring the
+  // backend's own cold-queue admission control.
+  uint32_t max_inflight_per_shard = 128;
+
+  // Minimum delay before re-dialing a shard after every endpoint failed.
+  uint32_t reconnect_backoff_ms = 200;
+
+  // Mid-frame stall budget for south-side client sockets (a client that
+  // starts a frame must finish it within this). Idle connections are fine —
+  // the wait-for-next-frame poll is separate and unbounded.
+  uint32_t client_io_timeout_ms = 30000;
+};
+
+// The sharded serving front-end: owns no graph data, speaks the serve
+// protocol (v1/v2/v3) to clients on the south side, and multiplexes every
+// request onto N backend hsgf_serve workers over pipelined serve::Client
+// connections on the north side, as assigned by a ShardMap.
+//
+// Routing semantics:
+//  - kGetFeatures: forwarded to the root's shard; transport failures retry
+//    once on the shard's next replica endpoint.
+//  - kGetFeaturesBatch: split by shard, fanned out concurrently, merged
+//    back preserving input order. A dead or timed-out shard degrades only
+//    its own roots (kUnavailable), a backpressured one sheds only its own
+//    roots (kOverloaded); the batch itself stays kOk.
+//  - kApplyUpdate: broadcast to every shard — a mutation can dirty roots on
+//    any shard, and every backend owns the full graph topology. The reply
+//    aggregates: epoch = min over shards (the floor every shard has
+//    reached), dirty_roots/new_columns = max (per-backend counts of the
+//    same update are identical). Any shard failing the update is an kError
+//    naming it: shards may then disagree until the caller retries.
+//  - kGetEpoch: fanned out; epoch = min over shards, num_columns/
+//    overlay_rows = max, stream_attached = AND. Any unreachable shard makes
+//    the reply kUnavailable (an aggregate over a partial fleet would lie).
+//  - kGetVocabulary/kTopKEncodings: answered by the first healthy shard
+//    (every backend shares the global vocabulary by construction).
+//  - kGetShardMap: answered from the router's own map, so v3 clients can
+//    learn the shard layout and connect to backends directly.
+//  - kStats: router-level JSON (per-shard health, epochs, router metrics).
+//  - kShutdown: stops the router only; backends are managed separately.
+//
+// One thread per south connection (scatter/gather latency is backend-bound;
+// the router does no heavy compute), one multiplexed connection per shard
+// on the north side shared by all client threads.
+class Router {
+ public:
+  Router(ShardMap map, util::MetricsRegistry& metrics, RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Binds and listens south-side. False (with *error) on bad config or
+  // bind/listen failure. Backend connections are dialed lazily on first use,
+  // so the fleet may come up in any order.
+  bool Start(std::string* error);
+
+  // The bound TCP port (after Start); -1 for Unix endpoints.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  uint32_t num_shards() const { return map_.num_shards(); }
+
+  // Accept loop; blocks until kShutdown, max_requests, or RequestStop().
+  void Serve();
+
+  // Makes Serve() return promptly; callable from any thread and from
+  // signal handlers (only async-signal-safe calls).
+  void RequestStop();
+
+ private:
+  class ShardChannel;
+
+  void ServeConnection(int fd);
+  serve::Response Route(const serve::Request& request, bool* shutdown);
+  serve::Response RouteSingle(const serve::Request& request);
+  serve::Response RouteBatch(const serve::Request& request);
+  serve::Response RouteUpdate(const serve::Request& request);
+  serve::Response RouteEpoch(const serve::Request& request);
+  serve::Response RouteAnyShard(const serve::Request& request);
+  std::string StatsJson() const;
+
+  ShardMap map_;
+  std::string map_blob_;
+  util::MetricsRegistry& metrics_;
+  RouterConfig config_;
+
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe unblocks the accept poll
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> responses_sent_{0};
+
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+
+  mutable std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+
+  util::MetricId connections_ = util::kInvalidMetric;
+  util::MetricId requests_total_ = util::kInvalidMetric;
+  util::MetricId bad_requests_ = util::kInvalidMetric;
+  util::MetricId fanout_requests_ = util::kInvalidMetric;
+  util::MetricId shard_errors_ = util::kInvalidMetric;
+  util::MetricId shard_timeouts_ = util::kInvalidMetric;
+  util::MetricId shard_dials_ = util::kInvalidMetric;
+  util::MetricId unavailable_roots_ = util::kInvalidMetric;
+  util::MetricId overloaded_roots_ = util::kInvalidMetric;
+  util::MetricId request_micros_ = util::kInvalidMetric;
+};
+
+}  // namespace hsgf::router
+
+#endif  // HSGF_ROUTER_ROUTER_H_

@@ -1,0 +1,269 @@
+#include "router/shard_map.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/crc32.h"
+#include "util/check.h"
+
+namespace hsgf::router {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'G', 'F', 'S', 'M', 'A', 'P'};
+
+// Finalizer from splitmix64 — cheap, well-mixed, and stable across builds,
+// which is all the ring needs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+
+  bool GetBytes(void* out, size_t size) { return GetRaw(out, size); }
+
+  bool GetString(std::string* s, uint32_t max_length) {
+    uint32_t length = 0;
+    if (!GetU32(&length) || length > max_length || length > Remaining()) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_), length);
+    pos_ += length;
+    return true;
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  size_t Position() const { return pos_; }
+
+ private:
+  bool GetRaw(void* out, size_t size) {
+    if (Remaining() < size) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+bool ParseFail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+ShardMap ShardMap::Build(uint32_t num_shards, uint64_t seed,
+                         uint32_t vnodes_per_shard) {
+  ShardMap map;
+  map.num_shards_ = std::clamp(num_shards, 1u, kMaxShards);
+  map.seed_ = seed;
+  map.vnodes_ = std::clamp(vnodes_per_shard, 1u, kMaxVnodesPerShard);
+  map.endpoints_.resize(map.num_shards_);
+  map.BuildRing();
+  return map;
+}
+
+void ShardMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(static_cast<size_t>(num_shards_) * vnodes_);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t vnode = 0; vnode < vnodes_; ++vnode) {
+      const uint64_t point =
+          Mix64(seed_ ^ Mix64((static_cast<uint64_t>(shard) << 32) | vnode));
+      ring_.emplace_back(point, shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ShardMap::ShardOf(graph::NodeId node) const {
+  HSGF_CHECK(!ring_.empty()) << "ShardOf on an empty shard map";
+  const uint64_t point =
+      Mix64(seed_ ^ Mix64(static_cast<uint64_t>(static_cast<uint32_t>(node))));
+  // Owner = first ring point strictly above the node's point, wrapping.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), point,
+      [](uint64_t value, const std::pair<uint64_t, uint32_t>& entry) {
+        return value < entry.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::string ShardMap::Serialize() const {
+  HSGF_CHECK_GT(num_shards_, 0u) << "serializing an empty shard map";
+  std::string blob;
+  blob.append(kMagic, sizeof(kMagic));
+  PutU32(&blob, kShardMapFormatVersion);
+  PutU32(&blob, num_shards_);
+  PutU32(&blob, vnodes_);
+  PutU64(&blob, seed_);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    const std::vector<std::string>& eps = endpoints_[shard];
+    PutU32(&blob, static_cast<uint32_t>(eps.size()));
+    for (const std::string& ep : eps) {
+      PutU32(&blob, static_cast<uint32_t>(ep.size()));
+      blob.append(ep);
+    }
+  }
+  PutU32(&blob, io::Crc32Of(blob.data(), blob.size()));
+  return blob;
+}
+
+bool ShardMap::Parse(std::span<const uint8_t> blob, ShardMap* map,
+                     std::string* error) {
+  BlobReader reader(blob);
+  char magic[sizeof(kMagic)];
+  if (!reader.GetBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return ParseFail(error, "not a shard map (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!reader.GetU32(&version) || version != kShardMapFormatVersion) {
+    return ParseFail(error, "unsupported shard map format version");
+  }
+  ShardMap parsed;
+  if (!reader.GetU32(&parsed.num_shards_) || parsed.num_shards_ == 0 ||
+      parsed.num_shards_ > kMaxShards) {
+    return ParseFail(error, "shard count out of range");
+  }
+  if (!reader.GetU32(&parsed.vnodes_) || parsed.vnodes_ == 0 ||
+      parsed.vnodes_ > kMaxVnodesPerShard) {
+    return ParseFail(error, "vnodes per shard out of range");
+  }
+  if (!reader.GetU64(&parsed.seed_)) {
+    return ParseFail(error, "truncated shard map");
+  }
+  parsed.endpoints_.resize(parsed.num_shards_);
+  for (uint32_t shard = 0; shard < parsed.num_shards_; ++shard) {
+    uint32_t count = 0;
+    if (!reader.GetU32(&count) || count > kMaxEndpointsPerShard) {
+      return ParseFail(error, "endpoint count out of range for shard " +
+                                  std::to_string(shard));
+    }
+    parsed.endpoints_[shard].resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!reader.GetString(&parsed.endpoints_[shard][i], kMaxEndpointBytes)) {
+        return ParseFail(error, "bad endpoint string in shard " +
+                                    std::to_string(shard));
+      }
+    }
+  }
+  // The CRC must be the final field: strict total-length check first, so a
+  // blob with trailing garbage is rejected (keeps serialization canonical).
+  const size_t body_size = reader.Position();
+  uint32_t crc = 0;
+  if (!reader.GetU32(&crc) || reader.Remaining() != 0) {
+    return ParseFail(error, "truncated or oversized shard map");
+  }
+  if (crc != io::Crc32Of(blob.data(), body_size)) {
+    return ParseFail(error, "shard map CRC mismatch");
+  }
+  parsed.BuildRing();
+  *map = std::move(parsed);
+  return true;
+}
+
+bool ShardMap::SaveToFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return ParseFail(error, "cannot open " + path + " for writing");
+  }
+  const std::string blob = Serialize();
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out) return ParseFail(error, "write failed for " + path);
+  return true;
+}
+
+bool ShardMap::LoadFromFile(const std::string& path, ShardMap* map,
+                            std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return ParseFail(error, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) return ParseFail(error, "read failed for " + path);
+  const std::string blob = buffer.str();
+  return Parse({reinterpret_cast<const uint8_t*>(blob.data()), blob.size()},
+               map, error);
+}
+
+bool ParseEndpoint(const std::string& spec, Endpoint* endpoint,
+                   std::string* error) {
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint->is_unix = true;
+    endpoint->path = spec.substr(5);
+    endpoint->port = 0;
+    if (endpoint->path.empty()) {
+      return ParseFail(error, "empty unix socket path in '" + spec + "'");
+    }
+    return true;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string digits = spec.substr(4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return ParseFail(error, "bad tcp port in '" + spec + "'");
+    }
+    errno = 0;
+    const long port = std::strtol(digits.c_str(), nullptr, 10);
+    if (errno != 0 || port <= 0 || port > 65535) {
+      return ParseFail(error, "tcp port out of range in '" + spec + "'");
+    }
+    endpoint->is_unix = false;
+    endpoint->path.clear();
+    endpoint->port = static_cast<int>(port);
+    return true;
+  }
+  return ParseFail(error,
+                   "endpoint '" + spec + "' must be unix:<path> or tcp:<port>");
+}
+
+bool ParseShardSpec(const std::string& spec, uint32_t* shard,
+                    uint32_t* num_shards, std::string* error) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    return ParseFail(error, "shard spec '" + spec + "' must be k/N");
+  }
+  const std::string k_str = spec.substr(0, slash);
+  const std::string n_str = spec.substr(slash + 1);
+  if (k_str.find_first_not_of("0123456789") != std::string::npos ||
+      n_str.find_first_not_of("0123456789") != std::string::npos) {
+    return ParseFail(error, "shard spec '" + spec + "' must be k/N");
+  }
+  errno = 0;
+  const unsigned long k = std::strtoul(k_str.c_str(), nullptr, 10);
+  const unsigned long n = std::strtoul(n_str.c_str(), nullptr, 10);
+  if (errno != 0 || n == 0 || n > kMaxShards || k >= n) {
+    return ParseFail(error, "shard spec '" + spec +
+                                "' out of range (need 0 <= k < N <= " +
+                                std::to_string(kMaxShards) + ")");
+  }
+  *shard = static_cast<uint32_t>(k);
+  *num_shards = static_cast<uint32_t>(n);
+  return true;
+}
+
+}  // namespace hsgf::router

@@ -1,0 +1,111 @@
+#ifndef HSGF_ROUTER_SHARD_MAP_H_
+#define HSGF_ROUTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::router {
+
+// The contract between extraction-side slicing and the serving router: a
+// deterministic consistent-hash assignment of node ids to shards, plus the
+// endpoint(s) each shard is served from. Both sides load the same serialized
+// map, so a snapshot slice written by hsgf_shard and the routing decisions
+// of hsgf_router can never disagree.
+//
+// Assignment is a classic hash ring: every shard owns `vnodes_per_shard`
+// pseudo-random points derived from (seed, shard, vnode); a node id hashes
+// to a point and belongs to the shard owning the next point clockwise. The
+// ring is rebuilt from (num_shards, seed, vnodes) on load — only those three
+// scalars plus the endpoint table are persisted.
+//
+// Serialized blob layout (little-endian, canonical — parsing then
+// re-serializing reproduces the input byte-for-byte):
+//   char[8]  magic "HSGFSMAP"
+//   u32      format version (1)
+//   u32      num_shards   (1 .. kMaxShards)
+//   u32      vnodes_per_shard (1 .. kMaxVnodesPerShard)
+//   u64      hash seed
+//   per shard: u32 num_endpoints (0 .. kMaxEndpointsPerShard), then per
+//              endpoint u32 length (<= kMaxEndpointBytes) + bytes
+//   u32      CRC-32 of every byte above
+// Endpoints are "unix:<path>" or "tcp:<port>" strings; the first is the
+// shard's primary, the rest are replicas tried in order on failure.
+
+inline constexpr uint32_t kShardMapFormatVersion = 1;
+inline constexpr uint32_t kMaxShards = 1024;
+inline constexpr uint32_t kMaxVnodesPerShard = 256;
+inline constexpr uint32_t kMaxEndpointsPerShard = 16;
+inline constexpr uint32_t kMaxEndpointBytes = 512;
+inline constexpr uint32_t kDefaultVnodesPerShard = 64;
+inline constexpr uint64_t kDefaultShardSeed = 0x9e3779b97f4a7c15ull;
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  // A fresh map with empty endpoint lists. num_shards is clamped into
+  // [1, kMaxShards], vnodes into [1, kMaxVnodesPerShard].
+  static ShardMap Build(uint32_t num_shards,
+                        uint64_t seed = kDefaultShardSeed,
+                        uint32_t vnodes_per_shard = kDefaultVnodesPerShard);
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+  uint32_t vnodes_per_shard() const { return vnodes_; }
+  bool empty() const { return num_shards_ == 0; }
+
+  // The shard owning `node`. Only valid on a non-empty map.
+  uint32_t ShardOf(graph::NodeId node) const;
+
+  const std::vector<std::string>& endpoints(uint32_t shard) const {
+    return endpoints_[shard];
+  }
+  void set_endpoints(uint32_t shard, std::vector<std::string> endpoints) {
+    endpoints_[shard] = std::move(endpoints);
+  }
+
+  std::string Serialize() const;
+  // Strict parse: bounds, counts, exact length, CRC. On success *map is the
+  // decoded map (ring rebuilt); on failure *map is untouched and *error
+  // (when non-null) explains why.
+  static bool Parse(std::span<const uint8_t> blob, ShardMap* map,
+                    std::string* error = nullptr);
+
+  bool SaveToFile(const std::string& path, std::string* error = nullptr) const;
+  static bool LoadFromFile(const std::string& path, ShardMap* map,
+                           std::string* error = nullptr);
+
+ private:
+  void BuildRing();
+
+  uint32_t num_shards_ = 0;
+  uint64_t seed_ = 0;
+  uint32_t vnodes_ = 0;
+  std::vector<std::vector<std::string>> endpoints_;
+  // (point, shard), sorted ascending by point (ties by shard id, which makes
+  // ownership deterministic even across hash collisions).
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+// A parsed "unix:<path>" / "tcp:<port>" endpoint spec.
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;  // unix socket path
+  int port = 0;      // loopback TCP port
+};
+bool ParseEndpoint(const std::string& spec, Endpoint* endpoint,
+                   std::string* error = nullptr);
+
+// Parses a "k/N" shard spec (k in [0, N), N >= 1), as taken by
+// `hsgf_extract --shard`.
+bool ParseShardSpec(const std::string& spec, uint32_t* shard,
+                    uint32_t* num_shards, std::string* error = nullptr);
+
+}  // namespace hsgf::router
+
+#endif  // HSGF_ROUTER_SHARD_MAP_H_

@@ -1,0 +1,89 @@
+#include "router/slicer.h"
+
+#include <cstring>
+
+#include "core/feature_matrix.h"
+#include "ml/matrix.h"
+
+namespace hsgf::router {
+
+bool WriteShardSlices(
+    const io::Snapshot& snapshot, const ShardMap& map,
+    const std::function<std::string(uint32_t)>& path_for_shard,
+    SliceStats* stats, std::string* error) {
+  const uint32_t num_shards = map.num_shards();
+  const uint32_t num_rows = snapshot.num_rows();
+  const uint32_t num_cols = snapshot.num_cols();
+
+  std::vector<std::vector<uint32_t>> rows_by_shard(num_shards);
+  for (uint32_t row = 0; row < num_rows; ++row) {
+    rows_by_shard[map.ShardOf(snapshot.node_ids()[row])].push_back(row);
+  }
+  if (stats != nullptr) {
+    stats->rows_per_shard.assign(num_shards, 0);
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      stats->rows_per_shard[shard] =
+          static_cast<uint32_t>(rows_by_shard[shard].size());
+    }
+  }
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    if (rows_by_shard[shard].empty()) {
+      if (error != nullptr) {
+        *error = "shard " + std::to_string(shard) +
+                 " owns no rows of this snapshot; use fewer shards, more "
+                 "nodes, or a different --seed";
+      }
+      return false;
+    }
+  }
+
+  // The vocabulary is shared verbatim by every slice; only rows differ.
+  core::FeatureSet vocabulary;
+  vocabulary.feature_hashes.assign(snapshot.feature_hashes().begin(),
+                                   snapshot.feature_hashes().end());
+  for (uint32_t col = 0; col < num_cols; ++col) {
+    core::Encoding encoding = snapshot.EncodingOf(col);
+    if (!encoding.empty()) {
+      vocabulary.encodings.emplace(snapshot.feature_hashes()[col],
+                                   std::move(encoding));
+    }
+  }
+
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const std::vector<uint32_t>& rows = rows_by_shard[shard];
+    core::FeatureSet slice;
+    slice.feature_hashes = vocabulary.feature_hashes;
+    slice.encodings = vocabulary.encodings;
+    slice.matrix = ml::Matrix(static_cast<int>(rows.size()),
+                              static_cast<int>(num_cols));
+    io::SnapshotContents contents;
+    contents.max_edges = snapshot.max_edges();
+    contents.effective_dmax = snapshot.effective_dmax();
+    contents.mask_start_label = snapshot.mask_start_label();
+    contents.log1p_transform = snapshot.log1p_transform();
+    contents.hash_seed = snapshot.hash_seed();
+    contents.label_names = snapshot.label_names();
+    contents.node_ids.reserve(rows.size());
+    contents.node_labels.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const uint32_t row = rows[i];
+      const std::vector<double> dense = snapshot.DenseRow(row);
+      std::memcpy(slice.matrix.row(static_cast<int>(i)), dense.data(),
+                  dense.size() * sizeof(double));
+      contents.node_ids.push_back(snapshot.node_ids()[row]);
+      contents.node_labels.push_back(snapshot.node_labels()[row]);
+    }
+    contents.features = &slice;
+    io::SnapshotError save_error;
+    if (!io::SaveSnapshot(path_for_shard(shard), contents, &save_error)) {
+      if (error != nullptr) {
+        *error = "saving slice for shard " + std::to_string(shard) + ": " +
+                 save_error.message;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hsgf::router

@@ -1,0 +1,34 @@
+#ifndef HSGF_ROUTER_SLICER_H_
+#define HSGF_ROUTER_SLICER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "router/shard_map.h"
+
+namespace hsgf::router {
+
+// Splits a full snapshot into per-shard snapshot slices consistent with a
+// ShardMap: shard k's slice keeps exactly the rows whose node id hashes to
+// shard k, and every slice keeps the FULL feature vocabulary (hashes,
+// encodings, census parameters) of the source snapshot. That is what makes
+// a sharded deployment bit-identical to a single process: each backend
+// projects cold censuses onto the same global column space, so a row served
+// by shard k matches the row the unsharded server would have produced.
+struct SliceStats {
+  std::vector<uint32_t> rows_per_shard;
+};
+
+// Writes one slice per shard to path_for_shard(shard). Fails (false, *error
+// set) when any shard would receive zero rows — a backend cannot open an
+// empty snapshot, so such a map needs fewer shards or a different seed.
+bool WriteShardSlices(const io::Snapshot& snapshot, const ShardMap& map,
+                      const std::function<std::string(uint32_t)>& path_for_shard,
+                      SliceStats* stats, std::string* error);
+
+}  // namespace hsgf::router
+
+#endif  // HSGF_ROUTER_SLICER_H_

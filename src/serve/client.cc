@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -26,10 +27,13 @@ ClientResult Fail(ClientResult::Error error, std::string message) {
 
 Client::~Client() { Close(); }
 
+// Moves require exclusive access to both sides (like Close), so the mutex
+// itself is not transferred — each Client owns a fresh one.
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       version_(std::exchange(other.version_, kProtocolV1)),
       deadline_ms_(other.deadline_ms_),
+      io_timeout_ms_(other.io_timeout_ms_),
       next_request_id_(other.next_request_id_),
       pending_(std::move(other.pending_)),
       send_order_(std::move(other.send_order_)) {}
@@ -40,6 +44,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     version_ = std::exchange(other.version_, kProtocolV1);
     deadline_ms_ = other.deadline_ms_;
+    io_timeout_ms_ = other.io_timeout_ms_;
     next_request_id_ = other.next_request_id_;
     pending_ = std::move(other.pending_);
     send_order_ = std::move(other.send_order_);
@@ -74,6 +79,7 @@ ClientResult Client::ConnectUnix(const std::string& path) {
                 "connect unix:" + path + ": " + detail);
   }
   fd_ = fd;
+  ApplyIoTimeout();
   return {};
 }
 
@@ -95,7 +101,23 @@ ClientResult Client::ConnectTcp(int port) {
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  ApplyIoTimeout();
   return {};
+}
+
+void Client::set_io_timeout_ms(uint32_t timeout_ms) {
+  io_timeout_ms_ = timeout_ms;
+  ApplyIoTimeout();
+}
+
+void Client::ApplyIoTimeout() {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = io_timeout_ms_ / 1000;
+  tv.tv_usec = static_cast<long>(io_timeout_ms_ % 1000) * 1000;
+  // A zero timeval means "block forever", matching io_timeout_ms_ == 0.
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 ClientResult Client::Hello(uint32_t max_version) {
@@ -171,12 +193,31 @@ ClientResult Client::Shutdown(Response* response) {
   return Call(std::move(request), response != nullptr ? response : &local);
 }
 
+ClientResult Client::GetShardMap(Response* response) {
+  Request request;
+  request.type = MessageType::kGetShardMap;
+  return Call(std::move(request), response);
+}
+
+size_t Client::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
 ClientResult Client::Send(Request request, uint32_t* request_id) {
   if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
+  // Holding the lock across the write serializes concurrent senders and
+  // keeps frames whole; a receiver thread blocked in ReadFrame is unaffected.
+  std::lock_guard<std::mutex> lock(mutex_);
   const uint32_t id = next_request_id_++;
   request.request_id = id;
   if (request.deadline_ms == 0) request.deadline_ms = deadline_ms_;
   if (!WriteFrame(fd_, EncodeRequest(request, version_))) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Fail(ClientResult::Error::kTimeout,
+                  "send timed out after " + std::to_string(io_timeout_ms_) +
+                      "ms");
+    }
     return Fail(ClientResult::Error::kTransport, "send failed");
   }
   pending_.emplace(id, request.type);
@@ -187,14 +228,26 @@ ClientResult Client::Send(Request request, uint32_t* request_id) {
 
 ClientResult Client::Receive(Response* response, MessageType* type) {
   if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
-  if (pending_.empty()) {
-    return Fail(ClientResult::Error::kProtocol, "no requests outstanding");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) {
+      return Fail(ClientResult::Error::kProtocol, "no requests outstanding");
+    }
   }
+  // The blocking read runs unlocked so a sender thread can keep pipelining
+  // while this thread waits for the next response frame.
   std::string payload;
-  if (!ReadFrame(fd_, &payload)) {
+  const FrameStatus frame = ReadFrameStatus(fd_, &payload);
+  if (frame == FrameStatus::kFrameTimeout) {
+    return Fail(ClientResult::Error::kTimeout,
+                "receive timed out after " + std::to_string(io_timeout_ms_) +
+                    "ms");
+  }
+  if (frame != FrameStatus::kFrameOk) {
     return Fail(ClientResult::Error::kTransport,
                 "connection closed mid-reply");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   uint32_t id = 0;
   if (version_ >= kProtocolV2) {
     // The id leads the response frame; it selects the pending request whose

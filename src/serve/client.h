@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -24,6 +25,9 @@ struct ClientResult {
     kTransport = 3,     // send failed or the peer closed mid-reply
     kProtocol = 4,      // undecodable response or request-id mismatch
     kServerStatus = 5,  // well-formed response with status != kOk
+    kTimeout = 6,       // io deadline expired mid-send or mid-receive; the
+                        // stream position is unknown, so the connection is
+                        // unusable afterwards (reconnect to recover)
   };
 
   Error error = Error::kNone;
@@ -47,7 +51,10 @@ struct ClientResult {
 //    for the next response. Under v2 responses may arrive out of order and
 //    are matched to their request by id; under v1 they arrive in order.
 //
-// Not thread-safe; use one Client per thread.
+// Thread-safety: typed calls require external synchronization, but in
+// pipelined mode one sender thread (Send) and one receiver thread (Receive)
+// may operate concurrently — the router's north-side channels depend on
+// exactly that split. Connect/Close/Hello still require exclusive access.
 class Client {
  public:
   Client() = default;
@@ -74,6 +81,13 @@ class Client {
   // v2 framing carries it; under v1 it is ignored.
   void set_deadline_ms(uint32_t deadline_ms) { deadline_ms_ = deadline_ms; }
 
+  // Socket-level send/receive deadline (0 = block forever, the default).
+  // When set, a Send or Receive stalled longer than this on the socket
+  // returns Error::kTimeout instead of blocking indefinitely on a wedged
+  // server. Applies to the current connection and any later Connect*.
+  void set_io_timeout_ms(uint32_t timeout_ms);
+  uint32_t io_timeout_ms() const { return io_timeout_ms_; }
+
   // Typed round-trips. `response` is always filled on kNone/kServerStatus.
   ClientResult GetFeatures(int32_t node, Response* response);
   ClientResult GetFeaturesBatch(std::span<const int32_t> nodes,
@@ -85,6 +99,9 @@ class Client {
   ClientResult ApplyUpdate(std::span<const stream::DeltaOp> ops,
                            Response* response);
   ClientResult Shutdown(Response* response = nullptr);
+  // v3 servers and the router answer with the deployment's serialized
+  // ShardMap (response->shard_map_blob); older servers report kBadRequest.
+  ClientResult GetShardMap(Response* response);
 
   // Pipelined mode. Send stamps the request with a fresh id (echoed in
   // *request_id when non-null) and the configured deadline, and returns
@@ -94,15 +111,21 @@ class Client {
   // is a protocol error.
   ClientResult Send(Request request, uint32_t* request_id = nullptr);
   ClientResult Receive(Response* response, MessageType* type = nullptr);
-  size_t outstanding() const { return pending_.size(); }
+  size_t outstanding() const;
 
  private:
   ClientResult Call(Request request, Response* response);
   ClientResult CheckStatus(const Response& response) const;
+  void ApplyIoTimeout();
 
   int fd_ = -1;
   uint32_t version_ = kProtocolV1;
   uint32_t deadline_ms_ = 0;
+  uint32_t io_timeout_ms_ = 0;
+  // Guards the pipelining bookkeeping below (and serializes frame writes)
+  // so a sender and a receiver thread can share the connection. ReadFrame
+  // itself runs unlocked — it only touches fd_.
+  mutable std::mutex mutex_;
   uint32_t next_request_id_ = 1;
   // In-flight pipelined requests: id -> type (the body layout needed to
   // decode the response). send_order_ resolves v1 responses, which carry no

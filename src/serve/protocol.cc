@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -75,26 +76,45 @@ class WireReader {
   size_t pos_ = 0;
 };
 
-bool ReadExactly(int fd, void* buffer, size_t size) {
+// Reads exactly `size` bytes. *at_start distinguishes a clean EOF (peer
+// closed on a frame boundary) from a truncated frame; it is cleared as soon
+// as the first byte lands. kFrameTimeout is an SO_RCVTIMEO expiry — the
+// stream position is then unknown, so the connection is unusable.
+FrameStatus ReadExactly(int fd, void* buffer, size_t size, bool* at_start) {
   auto* bytes = static_cast<char*>(buffer);
   size_t done = 0;
   while (done < size) {
     const ssize_t n = read(fd, bytes + done, size - done);
-    if (n == 0) return false;  // EOF
+    if (n == 0) {
+      return *at_start ? FrameStatus::kFrameEof : FrameStatus::kFrameError;
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return FrameStatus::kFrameTimeout;
+      }
+      return FrameStatus::kFrameError;
     }
+    *at_start = false;
     done += static_cast<size_t>(n);
   }
-  return true;
+  return FrameStatus::kFrameOk;
 }
 
 bool WriteExactly(int fd, const void* buffer, size_t size) {
   const auto* bytes = static_cast<const char*>(buffer);
   size_t done = 0;
   while (done < size) {
-    const ssize_t n = write(fd, bytes + done, size - done);
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill the
+    // process — the router writes to backends whose death is an expected,
+    // handled event, and test binaries don't ignore SIGPIPE the way the
+    // daemons do. send() only works on sockets; fall back to write() for
+    // pipe fds (ENOTSOCK), where closed-reader EPIPE handling is the
+    // caller's concern.
+    ssize_t n = send(fd, bytes + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = write(fd, bytes + done, size - done);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -137,6 +157,7 @@ std::string EncodeRequest(const Request& request, uint32_t version) {
     case MessageType::kStats:
     case MessageType::kShutdown:
     case MessageType::kGetEpoch:
+    case MessageType::kGetShardMap:
       break;
   }
   return payload;
@@ -186,6 +207,7 @@ bool DecodeRequest(std::span<const uint8_t> payload, Request* request,
     case MessageType::kStats:
     case MessageType::kShutdown:
     case MessageType::kGetEpoch:
+    case MessageType::kGetShardMap:
       return reader.AtEnd();
   }
   return false;  // unknown message type
@@ -254,6 +276,9 @@ std::string EncodeResponse(MessageType type, const Response& response,
           writer.PutString(entry.message);
         }
       }
+      break;
+    case MessageType::kGetShardMap:
+      writer.PutString(response.shard_map_blob);
       break;
   }
   return payload;
@@ -355,20 +380,33 @@ bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
       }
       return reader.AtEnd();
     }
+    case MessageType::kGetShardMap:
+      return reader.GetString(&response->shard_map_blob) && reader.AtEnd();
   }
   return false;
 }
 
 bool ReadFrame(int fd, std::string* payload) {
+  return ReadFrameStatus(fd, payload) == FrameStatus::kFrameOk;
+}
+
+FrameStatus ReadFrameStatus(int fd, std::string* payload) {
   uint32_t length = 0;
-  if (!ReadExactly(fd, &length, sizeof(length))) return false;
-  if (length > kMaxFrameBytes) return false;
+  bool at_start = true;
+  FrameStatus status = ReadExactly(fd, &length, sizeof(length), &at_start);
+  if (status != FrameStatus::kFrameOk) return status;
+  if (length > kMaxFrameBytes) return FrameStatus::kFrameError;
   payload->resize(length);
-  if (length != 0 && !ReadExactly(fd, payload->data(), length)) return false;
+  if (length != 0) {
+    // at_start is already false here, so EOF inside the payload reports
+    // kFrameError (truncated frame), never kFrameEof.
+    status = ReadExactly(fd, payload->data(), length, &at_start);
+    if (status != FrameStatus::kFrameOk) return status;
+  }
   // The frame cap is the allocation bound the decoders rely on; a frame
   // larger than it must never reach them.
   HSGF_CHECK_LE(payload->size(), kMaxFrameBytes);
-  return true;
+  return FrameStatus::kFrameOk;
 }
 
 bool WriteFrame(int fd, std::string_view payload) {

@@ -42,10 +42,15 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 // Protocol versions a kHello handshake can agree on. v1 is the original
 // sequential request/response protocol; v2 adds the request-id/deadline
-// framing above plus the kGetFeaturesBatch opcode semantics.
+// framing above plus the kGetFeaturesBatch opcode semantics. v3 keeps the
+// v2 framing byte-for-byte and adds shard awareness: the kGetShardMap
+// opcode (so smart clients can fetch the deployment's ShardMap and route
+// around the hsgf_router front-end) and the kUnavailable status a router
+// uses for roots whose shard is down.
 inline constexpr uint32_t kProtocolV1 = 1;
 inline constexpr uint32_t kProtocolV2 = 2;
-inline constexpr uint32_t kMaxSupportedProtocol = kProtocolV2;
+inline constexpr uint32_t kProtocolV3 = 3;
+inline constexpr uint32_t kMaxSupportedProtocol = kProtocolV3;
 
 enum class MessageType : uint8_t {
   kGetFeatures = 1,    // body: i32 node        -> u8 source, u64 epoch,
@@ -71,14 +76,17 @@ enum class MessageType : uint8_t {
                           //                       u8 status, then (ok) u8
                           //                       source, u64 epoch, u32 m,
                           //                       f64[m] | (non-ok) string
+  kGetShardMap = 10,  // body: empty           -> string (serialized ShardMap
+                      //                          blob, router/shard_map.h);
+                      //                          kError when no map is
+                      //                          configured
 };
 
 // Number of wire message types. Sized metric tables and per-type dispatch
 // arrays derive from this so a new opcode cannot silently fall off the end;
 // the static_assert below fails the build if the enum grows without it.
-inline constexpr int kNumMessageTypes = 9;
-static_assert(static_cast<int>(MessageType::kGetFeaturesBatch) ==
-                  kNumMessageTypes,
+inline constexpr int kNumMessageTypes = 10;
+static_assert(static_cast<int>(MessageType::kGetShardMap) == kNumMessageTypes,
               "kNumMessageTypes must track the last MessageType value");
 
 // Upper bound on roots in one kGetFeaturesBatch request. Keeps a single
@@ -93,6 +101,8 @@ enum class StatusCode : uint8_t {
   kError = 3,       // e.g. cold census deadline exceeded
   kOverloaded = 4,  // admission control shed this request (cold-census queue
                     // full, or the deadline expired before work began)
+  kUnavailable = 5,  // the shard owning this root is down/unreachable (set by
+                     // the router, never by a single-process server)
 };
 
 struct Request {
@@ -144,6 +154,7 @@ struct Response {
   uint64_t overlay_rows = 0;      // kGetEpoch
   uint32_t agreed_version = 0;    // kHello
   std::vector<BatchEntry> batch;  // kGetFeaturesBatch
+  std::string shard_map_blob;     // kGetShardMap (serialized ShardMap)
 
   uint32_t request_id = 0;  // v2 framing prefix; 0 under v1 framing
 };
@@ -167,6 +178,18 @@ bool DecodeResponse(MessageType type, std::span<const uint8_t> payload,
 // false on write errors.
 bool ReadFrame(int fd, std::string* payload);
 bool WriteFrame(int fd, std::string_view payload);
+
+// ReadFrame with a typed failure verdict, for callers that must tell a
+// peer's clean close from a stalled socket (SO_RCVTIMEO expiry surfaces as
+// kFrameTimeout). kFrameEof means EOF on a frame boundary; EOF mid-frame is
+// a kFrameError like any other truncation.
+enum class FrameStatus : uint8_t {
+  kFrameOk = 0,
+  kFrameEof = 1,
+  kFrameTimeout = 2,
+  kFrameError = 3,
+};
+FrameStatus ReadFrameStatus(int fd, std::string* payload);
 
 }  // namespace hsgf::serve
 

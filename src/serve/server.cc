@@ -24,7 +24,8 @@ namespace {
 const char* const kTypeNames[kNumMessageTypes] = {
     "get_features", "get_vocabulary", "top_k_encodings",
     "stats",        "shutdown",       "apply_update",
-    "get_epoch",    "hello",          "get_features_batch"};
+    "get_epoch",    "hello",          "get_features_batch",
+    "get_shard_map"};
 
 int TypeIndex(MessageType type) {
   const int index = static_cast<int>(type) - 1;
@@ -722,6 +723,14 @@ Response SocketServer::HandleInline(const Request& request,
       response.overlay_rows = info.overlay_rows;
       break;
     }
+    case MessageType::kGetShardMap:
+      if (config_.shard_map_blob.empty()) {
+        response.status = StatusCode::kError;
+        response.text = "no shard map configured (start with --shard-map)";
+        break;
+      }
+      response.shard_map_blob = config_.shard_map_blob;
+      break;
     case MessageType::kGetFeatures:
     case MessageType::kGetFeaturesBatch:
       // Handled by ProcessFrame / DispatchCold, never routed here.

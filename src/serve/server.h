@@ -53,6 +53,11 @@ struct ServerConfig {
   // Use the portable poll(2) backend even where epoll is available (covers
   // the fallback path in tests).
   bool force_poll = false;
+
+  // Serialized ShardMap blob answered to kGetShardMap, so a backend in a
+  // sharded deployment can tell smart clients where every shard lives.
+  // Empty (the default) answers kGetShardMap with kError.
+  std::string shard_map_blob;
 };
 
 // Event-loop server speaking the length-prefixed protocol (protocol.h) over

@@ -1,0 +1,665 @@
+// Tests for the sharded serving tier: the consistent-hash ShardMap (ring
+// determinism, canonical blob round-trip, endpoint/spec parsing), the
+// snapshot slicer's global-vocabulary invariant, and the Router itself
+// fronting real in-process backends — ordered scatter/gather batch merges,
+// bit-identity with an unsharded server (including after a live update),
+// dead-shard partial degradation, epoch aggregation, v2-client compat, and
+// the serve::Client per-request timeout surface the router is built on.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "io/snapshot.h"
+#include "router/router.h"
+#include "router/shard_map.h"
+#include "router/slicer.h"
+#include "serve/client.h"
+#include "serve/feature_service.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "stream/delta_log.h"
+#include "stream/stream_engine.h"
+#include "util/metrics.h"
+
+namespace hsgf::router {
+namespace {
+
+using graph::HetGraph;
+using graph::NodeId;
+using serve::ClientResult;
+using serve::Response;
+using serve::StatusCode;
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+TEST(ShardMapTest, AssignmentIsDeterministicAndCoversEveryShard) {
+  const ShardMap a = ShardMap::Build(4);
+  const ShardMap b = ShardMap::Build(4);
+  std::set<uint32_t> seen;
+  for (NodeId node = 0; node < 2000; ++node) {
+    const uint32_t shard = a.ShardOf(node);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, b.ShardOf(node));  // same params -> same ring
+    seen.insert(shard);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // 64 vnodes/shard spread 2000 ids everywhere
+
+  // A different seed is a different ring.
+  const ShardMap c = ShardMap::Build(4, /*seed=*/12345);
+  bool any_moved = false;
+  for (NodeId node = 0; node < 2000 && !any_moved; ++node) {
+    any_moved = a.ShardOf(node) != c.ShardOf(node);
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(ShardMapTest, BlobRoundTripIsCanonical) {
+  ShardMap map = ShardMap::Build(3, /*seed=*/99, /*vnodes_per_shard=*/16);
+  map.set_endpoints(0, {"tcp:7001", "tcp:7101"});
+  map.set_endpoints(1, {"unix:/tmp/s1.sock"});
+  // shard 2 deliberately left without endpoints.
+
+  const std::string blob = map.Serialize();
+  ShardMap decoded;
+  std::string error;
+  ASSERT_TRUE(ShardMap::Parse(Bytes(blob), &decoded, &error)) << error;
+  EXPECT_EQ(decoded.num_shards(), 3u);
+  EXPECT_EQ(decoded.seed(), 99u);
+  EXPECT_EQ(decoded.vnodes_per_shard(), 16u);
+  EXPECT_EQ(decoded.endpoints(0),
+            (std::vector<std::string>{"tcp:7001", "tcp:7101"}));
+  EXPECT_EQ(decoded.endpoints(1), (std::vector<std::string>{"unix:/tmp/s1.sock"}));
+  EXPECT_TRUE(decoded.endpoints(2).empty());
+  // Canonical: re-serializing reproduces the input byte for byte, and the
+  // rebuilt ring assigns identically.
+  EXPECT_EQ(decoded.Serialize(), blob);
+  for (NodeId node = 0; node < 500; ++node) {
+    ASSERT_EQ(decoded.ShardOf(node), map.ShardOf(node));
+  }
+
+  // Corruption fails closed: bad magic, truncation, flipped payload byte
+  // (CRC), trailing garbage.
+  std::string bad = blob;
+  bad[0] ^= 0x40;
+  EXPECT_FALSE(ShardMap::Parse(Bytes(bad), &decoded));
+  EXPECT_FALSE(ShardMap::Parse(Bytes(blob.substr(0, blob.size() - 1)),
+                               &decoded));
+  bad = blob;
+  bad[blob.size() / 2] ^= 0x01;
+  EXPECT_FALSE(ShardMap::Parse(Bytes(bad), &decoded));
+  bad = blob + '\0';
+  EXPECT_FALSE(ShardMap::Parse(Bytes(bad), &decoded));
+}
+
+TEST(ShardMapTest, FileRoundTrip) {
+  ShardMap map = ShardMap::Build(2);
+  map.set_endpoints(0, {"tcp:7001"});
+  map.set_endpoints(1, {"tcp:7002"});
+  const std::string path = ::testing::TempDir() + "roundtrip.hsmap";
+  std::string error;
+  ASSERT_TRUE(map.SaveToFile(path, &error)) << error;
+  ShardMap loaded;
+  ASSERT_TRUE(ShardMap::LoadFromFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.Serialize(), map.Serialize());
+
+  EXPECT_FALSE(ShardMap::LoadFromFile("/nonexistent/x.hsmap", &loaded));
+}
+
+TEST(ShardMapTest, EndpointAndShardSpecParsing) {
+  Endpoint endpoint;
+  ASSERT_TRUE(ParseEndpoint("unix:/tmp/a.sock", &endpoint));
+  EXPECT_TRUE(endpoint.is_unix);
+  EXPECT_EQ(endpoint.path, "/tmp/a.sock");
+  ASSERT_TRUE(ParseEndpoint("tcp:7001", &endpoint));
+  EXPECT_FALSE(endpoint.is_unix);
+  EXPECT_EQ(endpoint.port, 7001);
+  EXPECT_FALSE(ParseEndpoint("tcp:0", &endpoint));
+  EXPECT_FALSE(ParseEndpoint("tcp:70000", &endpoint));
+  EXPECT_FALSE(ParseEndpoint("tcp:7x1", &endpoint));
+  EXPECT_FALSE(ParseEndpoint("unix:", &endpoint));
+  EXPECT_FALSE(ParseEndpoint("http:foo", &endpoint));
+
+  uint32_t shard = 0;
+  uint32_t num_shards = 0;
+  ASSERT_TRUE(ParseShardSpec("2/8", &shard, &num_shards));
+  EXPECT_EQ(shard, 2u);
+  EXPECT_EQ(num_shards, 8u);
+  EXPECT_FALSE(ParseShardSpec("8/8", &shard, &num_shards));  // k out of range
+  EXPECT_FALSE(ParseShardSpec("1/0", &shard, &num_shards));
+  EXPECT_FALSE(ParseShardSpec("1", &shard, &num_shards));
+  EXPECT_FALSE(ParseShardSpec("a/b", &shard, &num_shards));
+}
+
+// ---------------------------------------------------------------------------
+// Shared serving fixture
+
+core::ExtractorConfig TestConfig() {
+  core::ExtractorConfig config;
+  config.census.max_edges = 3;
+  config.census.keep_encodings = true;
+  return config;
+}
+
+// A full extraction over a small network, saved as one unsharded snapshot
+// and as per-shard slices of the same rows.
+struct ShardedFixture {
+  HetGraph graph;
+  std::vector<NodeId> nodes;
+  core::ExtractionResult full;
+  io::Snapshot full_snapshot;
+  ShardMap map;
+  std::vector<io::Snapshot> slices;
+};
+
+ShardedFixture MakeShardedFixture(const char* tag, uint32_t num_shards) {
+  ShardedFixture fixture;
+  fixture.graph = data::MakeNetwork(data::LoadLikeSchema(0.03), 7);
+  for (NodeId v = 0; v < fixture.graph.num_nodes() && v < 12; ++v) {
+    fixture.nodes.push_back(v);
+  }
+  core::Extractor extractor(fixture.graph, TestConfig());
+  fixture.full = extractor.Run(fixture.nodes);
+
+  io::SnapshotContents contents;
+  contents.max_edges = TestConfig().census.max_edges;
+  contents.effective_dmax = fixture.full.effective_dmax;
+  contents.hash_seed = TestConfig().census.hash_seed;
+  contents.label_names = fixture.graph.label_names();
+  for (const NodeId node : fixture.nodes) {
+    contents.node_ids.push_back(node);
+    contents.node_labels.push_back(fixture.graph.label(node));
+  }
+  contents.features = &fixture.full.features;
+
+  const std::string base = ::testing::TempDir() + tag;
+  io::SnapshotError snap_error;
+  EXPECT_TRUE(io::SaveSnapshot(base + ".hsnap", contents, &snap_error))
+      << snap_error.message;
+  auto full_snapshot = io::OpenSnapshot(base + ".hsnap", &snap_error);
+  EXPECT_TRUE(full_snapshot.has_value()) << snap_error.message;
+  fixture.full_snapshot = *full_snapshot;
+
+  fixture.map = ShardMap::Build(num_shards);
+  SliceStats stats;
+  std::string error;
+  EXPECT_TRUE(WriteShardSlices(
+      fixture.full_snapshot, fixture.map,
+      [&base](uint32_t shard) {
+        return base + "." + std::to_string(shard) + ".hsnap";
+      },
+      &stats, &error))
+      << error;
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    auto slice = io::OpenSnapshot(base + "." + std::to_string(shard) + ".hsnap",
+                                  &snap_error);
+    EXPECT_TRUE(slice.has_value()) << snap_error.message;
+    fixture.slices.push_back(*slice);
+  }
+  return fixture;
+}
+
+// One in-process hsgf_serve equivalent, stoppable mid-test.
+struct Backend {
+  util::MetricsRegistry metrics;
+  serve::FeatureService service;
+  serve::SocketServer server;
+  std::thread thread;
+
+  Backend(io::Snapshot snapshot, serve::ServerConfig config = {})
+      : service(std::move(snapshot), metrics),
+        server(service, metrics,
+               [&config] {
+                 config.tcp_port = 0;
+                 return std::move(config);
+               }()) {
+    std::string error;
+    EXPECT_TRUE(server.Start(&error)) << error;
+    thread = std::thread([this] { server.Serve(); });
+  }
+  ~Backend() { Stop(); }
+  void Stop() {
+    server.RequestStop();
+    if (thread.joinable()) thread.join();
+  }
+  int port() { return server.tcp_port(); }
+};
+
+struct RunningRouter {
+  util::MetricsRegistry metrics;
+  Router router;
+  std::thread thread;
+
+  RunningRouter(ShardMap map, RouterConfig config = {})
+      : router(std::move(map), metrics,
+               [&config] {
+                 config.tcp_port = 0;
+                 return std::move(config);
+               }()) {
+    std::string error;
+    EXPECT_TRUE(router.Start(&error)) << error;
+    thread = std::thread([this] { router.Serve(); });
+  }
+  ~RunningRouter() {
+    router.RequestStop();
+    if (thread.joinable()) thread.join();
+  }
+  int port() { return router.tcp_port(); }
+};
+
+// Spins up one Backend per slice and rewrites the map's endpoints to the
+// ephemeral ports they actually bound.
+std::vector<std::unique_ptr<Backend>> StartBackends(ShardedFixture* fixture) {
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (uint32_t shard = 0; shard < fixture->map.num_shards(); ++shard) {
+    backends.push_back(std::make_unique<Backend>(fixture->slices[shard]));
+    fixture->map.set_endpoints(
+        shard, {"tcp:" + std::to_string(backends.back()->port())});
+  }
+  return backends;
+}
+
+serve::Client ConnectedClient(int port,
+                              uint32_t max_version = serve::kMaxSupportedProtocol) {
+  serve::Client client;
+  EXPECT_TRUE(client.ConnectTcp(port).ok());
+  EXPECT_TRUE(client.Hello(max_version).ok());
+  return client;
+}
+
+// ---------------------------------------------------------------------------
+// Slicer
+
+TEST(SlicerTest, SlicesKeepTheFullVocabularyAndPartitionRows) {
+  ShardedFixture fixture = MakeShardedFixture("slicer", 2);
+
+  size_t total_rows = 0;
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    const io::Snapshot& slice = fixture.slices[shard];
+    // Full vocabulary in every slice — identical column space.
+    ASSERT_EQ(slice.num_cols(), fixture.full_snapshot.num_cols());
+    for (uint32_t c = 0; c < slice.num_cols(); ++c) {
+      ASSERT_EQ(slice.feature_hashes()[c],
+                fixture.full_snapshot.feature_hashes()[c]);
+    }
+    EXPECT_EQ(slice.max_edges(), fixture.full_snapshot.max_edges());
+    EXPECT_EQ(slice.hash_seed(), fixture.full_snapshot.hash_seed());
+    total_rows += slice.num_rows();
+    // Each row belongs to this shard and is bit-identical to the full
+    // snapshot's row for the same node.
+    for (uint32_t r = 0; r < slice.num_rows(); ++r) {
+      const NodeId node = slice.node_ids()[r];
+      ASSERT_EQ(fixture.map.ShardOf(node), shard);
+      const int full_row = fixture.full_snapshot.FindRow(node);
+      ASSERT_GE(full_row, 0);
+      const auto mine = slice.DenseRow(r);
+      const auto source =
+          fixture.full_snapshot.DenseRow(static_cast<uint32_t>(full_row));
+      ASSERT_EQ(mine.size(), source.size());
+      for (size_t c = 0; c < mine.size(); ++c) {
+        ASSERT_EQ(mine[c], source[c]);  // bitwise, no tolerance
+      }
+    }
+  }
+  EXPECT_EQ(total_rows, static_cast<size_t>(fixture.full_snapshot.num_rows()));
+}
+
+TEST(SlicerTest, RefusesAMapThatLeavesAShardEmpty) {
+  ShardedFixture fixture = MakeShardedFixture("slicer-empty", 2);
+  // 12 rows cannot populate 512 shards; the slicer must say so rather than
+  // write slices a backend cannot open.
+  const ShardMap too_many = ShardMap::Build(512);
+  SliceStats stats;
+  std::string error;
+  EXPECT_FALSE(WriteShardSlices(
+      fixture.full_snapshot, too_many,
+      [](uint32_t shard) {
+        return ::testing::TempDir() + "empty." + std::to_string(shard) +
+               ".hsnap";
+      },
+      &stats, &error));
+  EXPECT_NE(error.find("owns no rows"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Router end-to-end
+
+TEST(RouterTest, SingleRootsAreBitIdenticalToTheUnshardedServer) {
+  ShardedFixture fixture = MakeShardedFixture("router-single", 2);
+  auto backends = StartBackends(&fixture);
+  Backend single(fixture.full_snapshot);
+  RunningRouter running(fixture.map);
+
+  serve::Client routed = ConnectedClient(running.port());
+  EXPECT_EQ(routed.version(), serve::kProtocolV3);
+  serve::Client direct = ConnectedClient(single.port());
+
+  for (const NodeId node : fixture.nodes) {
+    Response via_router;
+    Response via_single;
+    ASSERT_TRUE(routed.GetFeatures(node, &via_router).ok());
+    ASSERT_TRUE(direct.GetFeatures(node, &via_single).ok());
+    ASSERT_EQ(via_router.status, StatusCode::kOk);
+    EXPECT_EQ(via_router.values, via_single.values) << "node " << node;
+    EXPECT_EQ(via_router.epoch, via_single.epoch);
+  }
+
+  // A root in no shard's snapshot fails with the backend's own verdict.
+  Response missing;
+  const ClientResult result = routed.GetFeatures(100000, &missing);
+  EXPECT_EQ(result.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(result.status, StatusCode::kNotFound);
+}
+
+TEST(RouterTest, BatchMergesPreserveInputOrderAcrossShards) {
+  ShardedFixture fixture = MakeShardedFixture("router-batch", 3);
+  auto backends = StartBackends(&fixture);
+  Backend single(fixture.full_snapshot);
+  RunningRouter running(fixture.map);
+
+  serve::Client routed = ConnectedClient(running.port());
+  serve::Client direct = ConnectedClient(single.port());
+
+  // Interleaved shards, duplicates, and a missing root in the middle.
+  std::vector<int32_t> order(fixture.nodes.begin(), fixture.nodes.end());
+  std::reverse(order.begin(), order.end());
+  order.push_back(order.front());
+  order.insert(order.begin() + 3, 100000);
+
+  Response via_router;
+  Response via_single;
+  ASSERT_TRUE(routed.GetFeaturesBatch(order, &via_router).ok());
+  ASSERT_TRUE(direct.GetFeaturesBatch(order, &via_single).ok());
+  ASSERT_EQ(via_router.batch.size(), order.size());
+  ASSERT_EQ(via_single.batch.size(), order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(via_router.batch[i].status, via_single.batch[i].status)
+        << "slot " << i;
+    EXPECT_EQ(via_router.batch[i].values, via_single.batch[i].values)
+        << "slot " << i;
+  }
+  EXPECT_EQ(via_router.batch[3].status, StatusCode::kNotFound);
+
+  // An empty batch is well-formed and answered locally.
+  Response empty;
+  ASSERT_TRUE(routed.GetFeaturesBatch({}, &empty).ok());
+  EXPECT_TRUE(empty.batch.empty());
+}
+
+TEST(RouterTest, DeadShardDegradesOnlyItsOwnRoots) {
+  ShardedFixture fixture = MakeShardedFixture("router-dead", 2);
+  auto backends = StartBackends(&fixture);
+  RouterConfig config;
+  config.reconnect_backoff_ms = 0;  // retry instantly so the test is fast
+  config.worker_timeout_ms = 500;   // a wedged hop costs 0.5s, not 5s
+  RunningRouter running(fixture.map, config);
+  serve::Client routed = ConnectedClient(running.port());
+
+  // Warm both channels, then kill shard 1's only backend outright — the
+  // destructor closes its listen socket like a dead process would, so
+  // redials get ECONNREFUSED instead of landing in an orphaned backlog.
+  Response warm;
+  ASSERT_TRUE(
+      routed
+          .GetFeaturesBatch(
+              std::vector<int32_t>(fixture.nodes.begin(), fixture.nodes.end()),
+              &warm)
+          .ok());
+  backends[1].reset();
+
+  std::vector<int32_t> order(fixture.nodes.begin(), fixture.nodes.end());
+  Response partial;
+  ASSERT_TRUE(routed.GetFeaturesBatch(order, &partial).ok());
+  ASSERT_EQ(partial.batch.size(), order.size());
+  size_t dead = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t shard = fixture.map.ShardOf(order[i]);
+    if (shard == 1) {
+      EXPECT_EQ(partial.batch[i].status, StatusCode::kUnavailable)
+          << "slot " << i;
+      EXPECT_NE(partial.batch[i].message.find("shard 1"), std::string::npos);
+      ++dead;
+    } else {
+      EXPECT_EQ(partial.batch[i].status, StatusCode::kOk) << "slot " << i;
+    }
+  }
+  EXPECT_GT(dead, 0u);
+  EXPECT_LT(dead, order.size());  // the live shard kept serving
+
+  // Single-root requests to the dead shard degrade too; the live shard is
+  // untouched.
+  for (const NodeId node : fixture.nodes) {
+    Response response;
+    const ClientResult result = routed.GetFeatures(node, &response);
+    if (fixture.map.ShardOf(node) == 1) {
+      EXPECT_FALSE(result.ok());
+    } else {
+      EXPECT_TRUE(result.ok());
+    }
+  }
+
+  // kGetEpoch refuses to aggregate over a partial fleet.
+  Response epoch;
+  const ClientResult epoch_result = routed.GetEpoch(&epoch);
+  EXPECT_EQ(epoch_result.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(epoch_result.status, StatusCode::kUnavailable);
+}
+
+TEST(RouterTest, ReplicaFailoverRescuesADeadPrimary) {
+  ShardedFixture fixture = MakeShardedFixture("router-replica", 2);
+  auto backends = StartBackends(&fixture);
+  // Shard 1 gets a dead primary plus the live server as replica; the first
+  // request fails the dial, rotates, and lands on the replica.
+  fixture.map.set_endpoints(
+      1, {"unix:/nonexistent/dead.sock",
+          "tcp:" + std::to_string(backends[1]->port())});
+  RouterConfig config;
+  config.reconnect_backoff_ms = 0;
+  RunningRouter running(fixture.map, config);
+  serve::Client routed = ConnectedClient(running.port());
+
+  for (const NodeId node : fixture.nodes) {
+    Response response;
+    ASSERT_TRUE(routed.GetFeatures(node, &response).ok()) << "node " << node;
+  }
+}
+
+// Sharded ApplyUpdate: the update broadcasts to every backend (each owns the
+// full graph topology), and afterwards routed rows still match an unsharded
+// server that applied the same update.
+TEST(RouterTest, ApplyUpdateBroadcastsAndStaysBitIdentical) {
+  ShardedFixture fixture = MakeShardedFixture("router-update", 2);
+
+  const auto engine_config = [&fixture] {
+    stream::StreamEngineConfig config;
+    config.census.max_edges = fixture.full_snapshot.max_edges();
+    config.census.max_degree = fixture.full_snapshot.effective_dmax();
+    config.census.mask_start_label = fixture.full_snapshot.mask_start_label();
+    config.census.hash_seed = fixture.full_snapshot.hash_seed();
+    config.log1p_transform = fixture.full_snapshot.log1p_transform();
+    return config;
+  }();
+
+  std::vector<std::unique_ptr<stream::StreamEngine>> engines;
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    backends.push_back(std::make_unique<Backend>(fixture.slices[shard]));
+    engines.push_back(std::make_unique<stream::StreamEngine>(fixture.graph,
+                                                             engine_config));
+    std::string error;
+    ASSERT_TRUE(
+        backends.back()->service.AttachStream(*engines.back(), &error))
+        << error;
+    fixture.map.set_endpoints(
+        shard, {"tcp:" + std::to_string(backends.back()->port())});
+  }
+  Backend single(fixture.full_snapshot);
+  auto single_engine =
+      std::make_unique<stream::StreamEngine>(fixture.graph, engine_config);
+  std::string error;
+  ASSERT_TRUE(single.service.AttachStream(*single_engine, &error)) << error;
+
+  RunningRouter running(fixture.map);
+  serve::Client routed = ConnectedClient(running.port());
+  serve::Client direct = ConnectedClient(single.port());
+
+  const std::vector<stream::DeltaOp> ops = {
+      stream::DeltaOp::AddEdge(fixture.nodes[0], fixture.nodes[4])};
+  Response routed_update;
+  Response direct_update;
+  ASSERT_TRUE(routed.ApplyUpdate(ops, &routed_update).ok());
+  ASSERT_TRUE(direct.ApplyUpdate(ops, &direct_update).ok());
+  EXPECT_EQ(routed_update.epoch, direct_update.epoch);  // min over shards = 1
+  EXPECT_EQ(routed_update.applied, direct_update.applied);
+  EXPECT_EQ(routed_update.dirty_roots, direct_update.dirty_roots);
+
+  // Post-update rows through the router match the unsharded server exactly.
+  std::vector<int32_t> order(fixture.nodes.begin(), fixture.nodes.end());
+  Response via_router;
+  Response via_single;
+  ASSERT_TRUE(routed.GetFeaturesBatch(order, &via_router).ok());
+  ASSERT_TRUE(direct.GetFeaturesBatch(order, &via_single).ok());
+  ASSERT_EQ(via_router.batch.size(), via_single.batch.size());
+  for (size_t i = 0; i < via_router.batch.size(); ++i) {
+    ASSERT_EQ(via_router.batch[i].status, StatusCode::kOk);
+    EXPECT_EQ(via_router.batch[i].values, via_single.batch[i].values)
+        << "slot " << i;
+  }
+
+  // Epoch aggregation: every shard reached epoch 1.
+  Response epoch;
+  ASSERT_TRUE(routed.GetEpoch(&epoch).ok());
+  EXPECT_EQ(epoch.epoch, 1u);
+  EXPECT_EQ(epoch.stream_attached, 1);
+}
+
+TEST(RouterTest, V2ClientsAreFullySupported) {
+  ShardedFixture fixture = MakeShardedFixture("router-v2", 2);
+  auto backends = StartBackends(&fixture);
+  RunningRouter running(fixture.map);
+
+  serve::Client v2 = ConnectedClient(running.port(), serve::kProtocolV2);
+  EXPECT_EQ(v2.version(), serve::kProtocolV2);
+
+  Response response;
+  ASSERT_TRUE(v2.GetFeatures(fixture.nodes[0], &response).ok());
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  std::vector<int32_t> order(fixture.nodes.begin(), fixture.nodes.end());
+  ASSERT_TRUE(v2.GetFeaturesBatch(order, &response).ok());
+  EXPECT_EQ(response.batch.size(), order.size());
+
+  // A v1 client (no Hello at all) works as well.
+  serve::Client v1;
+  ASSERT_TRUE(v1.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(v1.GetFeatures(fixture.nodes[1], &response).ok());
+  EXPECT_EQ(response.status, StatusCode::kOk);
+}
+
+TEST(RouterTest, ServesItsShardMapToV3Clients) {
+  ShardedFixture fixture = MakeShardedFixture("router-map", 2);
+  auto backends = StartBackends(&fixture);
+  RunningRouter running(fixture.map);
+
+  serve::Client routed = ConnectedClient(running.port());
+  Response response;
+  ASSERT_TRUE(routed.GetShardMap(&response).ok());
+  ShardMap served;
+  std::string error;
+  ASSERT_TRUE(ShardMap::Parse(Bytes(response.shard_map_blob), &served, &error))
+      << error;
+  EXPECT_EQ(served.Serialize(), fixture.map.Serialize());
+
+  // A smart client can bypass the router: resolve the owning backend from
+  // the served map and fetch the row directly.
+  const NodeId node = fixture.nodes[2];
+  const uint32_t shard = served.ShardOf(node);
+  Endpoint endpoint;
+  ASSERT_TRUE(ParseEndpoint(served.endpoints(shard)[0], &endpoint));
+  serve::Client direct = ConnectedClient(endpoint.port);
+  Response direct_response;
+  ASSERT_TRUE(direct.GetFeatures(node, &direct_response).ok());
+  Response routed_response;
+  ASSERT_TRUE(routed.GetFeatures(node, &routed_response).ok());
+  EXPECT_EQ(direct_response.values, routed_response.values);
+
+  // A backend given the blob serves it too (hsgf_serve --shard-map);
+  // backends without one answer kError.
+  serve::ServerConfig with_map;
+  with_map.shard_map_blob = fixture.map.Serialize();
+  Backend mapped(fixture.full_snapshot, with_map);
+  serve::Client mapped_client = ConnectedClient(mapped.port());
+  ASSERT_TRUE(mapped_client.GetShardMap(&response).ok());
+  EXPECT_EQ(response.shard_map_blob, fixture.map.Serialize());
+
+  const ClientResult bare =
+      ConnectedClient(backends[0]->port()).GetShardMap(&response);
+  EXPECT_EQ(bare.error, ClientResult::Error::kServerStatus);
+  EXPECT_EQ(bare.status, StatusCode::kError);
+}
+
+TEST(RouterTest, StatsReportsPerShardHealth) {
+  ShardedFixture fixture = MakeShardedFixture("router-stats", 2);
+  auto backends = StartBackends(&fixture);
+  RunningRouter running(fixture.map);
+  serve::Client routed = ConnectedClient(running.port());
+
+  Response warm;
+  ASSERT_TRUE(routed.GetFeatures(fixture.nodes[0], &warm).ok());
+  Response stats;
+  ASSERT_TRUE(routed.Stats(&stats).ok());
+  EXPECT_NE(stats.text.find("\"shard_status\""), std::string::npos);
+  EXPECT_NE(stats.text.find("router.requests_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// serve::Client timeouts (the primitive the router's health checks ride on)
+
+TEST(ClientTimeoutTest, ReceiveTimesOutAsATypedError) {
+  // A listener that accepts but never answers.
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  serve::Client client;
+  client.set_io_timeout_ms(100);
+  ASSERT_TRUE(client.ConnectTcp(ntohs(addr.sin_port)).ok());
+  Response response;
+  const ClientResult result = client.GetEpoch(&response);
+  EXPECT_EQ(result.error, ClientResult::Error::kTimeout);
+  EXPECT_NE(result.message.find("timed out"), std::string::npos)
+      << result.message;
+  close(listen_fd);
+}
+
+}  // namespace
+}  // namespace hsgf::router

@@ -11,7 +11,19 @@
 //                [--max-features 1000] [--threads 1] [--raw-counts]
 //                [--metrics-json m.json] [--progress] [--deadline-s 60]
 //                [--save-snapshot s.hsnap]
+//                [--shard k/N [--shard-map map.hsmap]]
 //   hsgf_extract --load-snapshot s.hsnap [--out features.csv]
+//
+// Sharded extraction: --shard k/N keeps only the selected nodes that the
+// consistent-hash shard map assigns to shard k — the same assignment
+// hsgf_router uses at serving time. With --shard-map the persisted map's
+// seed/vnodes are used (its shard count must match N); without it the
+// default-parameter map for N shards is assumed. Note that a shard
+// extracted this way censuses only its own nodes, so its feature
+// vocabulary is local to the shard; for serving slices that are
+// bit-identical to an unsharded deployment, extract the full snapshot once
+// and split it with `hsgf_shard --slice`, which keeps the global
+// vocabulary in every slice.
 //
 // Observability: --metrics-json dumps the extraction's metrics snapshot
 // (census counters, per-node time histogram, per-stage spans; schema in
@@ -39,6 +51,7 @@
 #include "core/extractor.h"
 #include "graph/io.h"
 #include "io/snapshot.h"
+#include "router/shard_map.h"
 #include "util/flags.h"
 #include "util/resource.h"
 #include "util/stop_token.h"
@@ -56,7 +69,8 @@ int Usage() {
                "[--raw-counts]\n"
                "                    [--metrics-json FILE] [--progress] "
                "[--deadline-s S]\n"
-               "                    [--save-snapshot FILE]\n"
+               "                    [--save-snapshot FILE] "
+               "[--shard k/N [--shard-map FILE]]\n"
                "       hsgf_extract --load-snapshot FILE [--out FILE]\n");
   return 2;
 }
@@ -68,6 +82,8 @@ struct Options {
   const char* metrics_json = nullptr;
   const char* save_snapshot = nullptr;
   const char* load_snapshot = nullptr;
+  const char* shard_spec = nullptr;
+  const char* shard_map_path = nullptr;
   bool all = false;
   bool mask_start_label = false;
   bool raw_counts = false;
@@ -89,6 +105,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddString("--metrics-json", &options->metrics_json);
   parser.AddString("--save-snapshot", &options->save_snapshot);
   parser.AddString("--load-snapshot", &options->load_snapshot);
+  parser.AddString("--shard", &options->shard_spec);
+  parser.AddString("--shard-map", &options->shard_map_path);
   parser.AddBool("--all", &options->all);
   parser.AddBool("--mask-start-label", &options->mask_start_label);
   parser.AddBool("--raw-counts", &options->raw_counts);
@@ -221,6 +239,51 @@ int main(int argc, char** argv) {
     for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
   }
   if (nodes.empty()) return Usage();
+
+  if (options.shard_map_path != nullptr && options.shard_spec == nullptr) {
+    std::fprintf(stderr, "error: --shard-map requires --shard k/N\n");
+    return Usage();
+  }
+  if (options.shard_spec != nullptr) {
+    uint32_t shard = 0;
+    uint32_t num_shards = 0;
+    if (!router::ParseShardSpec(options.shard_spec, &shard, &num_shards,
+                                &error)) {
+      std::fprintf(stderr, "error: bad --shard: %s\n", error.c_str());
+      return Usage();
+    }
+    router::ShardMap map;
+    if (options.shard_map_path != nullptr) {
+      if (!router::ShardMap::LoadFromFile(options.shard_map_path, &map,
+                                          &error)) {
+        std::fprintf(stderr, "error: cannot load shard map: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      if (map.num_shards() != num_shards) {
+        std::fprintf(stderr,
+                     "error: --shard %s disagrees with %s (%u shards)\n",
+                     options.shard_spec, options.shard_map_path,
+                     map.num_shards());
+        return 1;
+      }
+    } else {
+      map = router::ShardMap::Build(num_shards);
+    }
+    const size_t selected = nodes.size();
+    std::vector<graph::NodeId> mine;
+    for (graph::NodeId node : nodes) {
+      if (map.ShardOf(node) == shard) mine.push_back(node);
+    }
+    nodes = std::move(mine);
+    std::fprintf(stderr, "[hsgf_extract] shard %u/%u owns %zu of %zu nodes\n",
+                 shard, num_shards, nodes.size(), selected);
+    if (nodes.empty()) {
+      std::fprintf(stderr,
+                   "error: shard %u owns none of the selected nodes\n", shard);
+      return 1;
+    }
+  }
 
   core::ExtractorConfig config;
   config.census.keep_encodings = true;

@@ -1,0 +1,155 @@
+// hsgf_router — sharded serving front-end.
+//
+// Owns no graph data: it loads a shard map (written by `hsgf_shard
+// --create`), listens on a client-facing socket speaking the same protocol
+// as hsgf_serve (v1/v2/v3), and forwards every request to the backend
+// hsgf_serve worker(s) owning the touched roots over pipelined
+// connections. Batches are split by shard, fanned out concurrently, and
+// merged back in input order; a dead or slow backend degrades only its own
+// shard's roots (kUnavailable) while the rest of the batch is served.
+//
+// Usage:
+//   hsgf_router --shard-map FILE (--unix-socket PATH | --tcp-port N)
+//               [--max-requests N] [--worker-timeout-ms N]
+//               [--max-inflight N] [--backoff-ms N]
+//               [--client-io-timeout-ms N] [--metrics-json FILE]
+//
+// The backends are managed separately (start one hsgf_serve per shard
+// endpoint, each on the matching slice from `hsgf_shard --slice`); the
+// router dials them lazily, so the fleet may come up in any order. The
+// router exits on a client kShutdown request, after --max-requests
+// responses, or on SIGINT/SIGTERM; --metrics-json then dumps the router.*
+// metrics as JSON.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "router/router.h"
+#include "router/shard_map.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+
+namespace {
+
+hsgf::router::Router* g_router = nullptr;
+
+void HandleSignal(int) {
+  if (g_router != nullptr) g_router->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hsgf_router --shard-map FILE "
+               "(--unix-socket PATH | --tcp-port N)\n"
+               "                   [--max-requests N] [--worker-timeout-ms N] "
+               "[--max-inflight N]\n"
+               "                   [--backoff-ms N] [--client-io-timeout-ms N] "
+               "[--metrics-json FILE]\n");
+  return 2;
+}
+
+struct Options {
+  const char* shard_map_path = nullptr;
+  const char* unix_socket = nullptr;
+  const char* metrics_json = nullptr;
+  long tcp_port = -1;
+  long max_requests = 0;
+  long worker_timeout_ms = 5000;
+  long max_inflight = 128;
+  long backoff_ms = 200;
+  long client_io_timeout_ms = 30000;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  hsgf::util::FlagParser parser;
+  parser.AddString("--shard-map", &options->shard_map_path);
+  parser.AddString("--unix-socket", &options->unix_socket);
+  parser.AddString("--metrics-json", &options->metrics_json);
+  parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
+  parser.AddLong("--max-requests", &options->max_requests, 0);
+  parser.AddLong("--worker-timeout-ms", &options->worker_timeout_ms, 1);
+  parser.AddLong("--max-inflight", &options->max_inflight, 1);
+  parser.AddLong("--backoff-ms", &options->backoff_ms, 0);
+  parser.AddLong("--client-io-timeout-ms", &options->client_io_timeout_ms, 1);
+  return parser.Parse(argc, argv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.shard_map_path == nullptr) return Usage();
+  if ((options.unix_socket != nullptr) == (options.tcp_port >= 0)) {
+    return Usage();
+  }
+
+  router::ShardMap map;
+  std::string error;
+  if (!router::ShardMap::LoadFromFile(options.shard_map_path, &map, &error)) {
+    std::fprintf(stderr, "error: cannot load shard map: %s\n", error.c_str());
+    return 1;
+  }
+  for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+    if (map.endpoints(shard).empty()) {
+      std::fprintf(stderr,
+                   "error: shard %u has no endpoints; rebuild the map with "
+                   "hsgf_shard --create --endpoints\n",
+                   shard);
+      return 1;
+    }
+  }
+
+  router::RouterConfig config;
+  if (options.unix_socket != nullptr) {
+    config.unix_socket_path = options.unix_socket;
+  } else {
+    config.tcp_port = static_cast<int>(options.tcp_port);
+  }
+  config.max_requests = options.max_requests;
+  config.worker_timeout_ms = static_cast<uint32_t>(options.worker_timeout_ms);
+  config.max_inflight_per_shard = static_cast<uint32_t>(options.max_inflight);
+  config.reconnect_backoff_ms = static_cast<uint32_t>(options.backoff_ms);
+  config.client_io_timeout_ms =
+      static_cast<uint32_t>(options.client_io_timeout_ms);
+
+  util::MetricsRegistry metrics;
+  router::Router router(std::move(map), metrics, config);
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  g_router = &router;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // a hangup (client or backend) must not kill us
+
+  if (options.unix_socket != nullptr) {
+    std::fprintf(stderr, "[hsgf_router] listening on unix:%s\n",
+                 options.unix_socket);
+  } else {
+    std::fprintf(stderr, "[hsgf_router] listening on tcp:127.0.0.1:%d\n",
+                 router.tcp_port());
+  }
+  std::fprintf(stderr,
+               "[hsgf_router] fronting %u shard(s) from %s "
+               "(worker timeout %ldms, window %ld)\n",
+               router.num_shards(), options.shard_map_path,
+               options.worker_timeout_ms, options.max_inflight);
+
+  router.Serve();
+
+  if (options.metrics_json != nullptr) {
+    std::ofstream metrics_file(options.metrics_json);
+    if (!metrics_file) {
+      std::fprintf(stderr, "error: cannot write %s\n", options.metrics_json);
+      return 1;
+    }
+    metrics_file << metrics.Snapshot().ToJson();
+  }
+  std::fprintf(stderr, "[hsgf_router] shut down cleanly\n");
+  return 0;
+}

@@ -13,6 +13,11 @@
 //              [--graph g.hsgf] [--delta-log FILE] [--cache-capacity N]
 //              [--deadline-s S] [--max-requests N] [--metrics-json FILE]
 //              [--census-workers N] [--cold-queue-limit N] [--poll]
+//              [--shard-map FILE]
+//
+// In a sharded deployment (hsgf_router / hsgf_shard), --shard-map makes the
+// backend answer kGetShardMap with the deployment's shard map, so a smart
+// v3 client that reaches any backend can learn the whole fleet layout.
 //
 // The daemon runs a single-threaded epoll (or, with --poll, poll(2)) event
 // loop; cold-miss censuses execute on --census-workers background threads,
@@ -40,6 +45,7 @@
 
 #include "graph/io.h"
 #include "io/snapshot.h"
+#include "router/shard_map.h"
 #include "serve/feature_service.h"
 #include "serve/server.h"
 #include "stream/delta_log.h"
@@ -64,7 +70,8 @@ int Usage() {
                "                  [--deadline-s S] [--max-requests N] "
                "[--metrics-json FILE]\n"
                "                  [--census-workers N] [--cold-queue-limit N] "
-               "[--poll]\n");
+               "[--poll]\n"
+               "                  [--shard-map FILE]\n");
   return 2;
 }
 
@@ -74,6 +81,7 @@ struct Options {
   const char* delta_log_path = nullptr;
   const char* unix_socket = nullptr;
   const char* metrics_json = nullptr;
+  const char* shard_map_path = nullptr;
   long tcp_port = -1;
   long cache_capacity = 4096;
   long max_requests = 0;
@@ -90,6 +98,7 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddString("--delta-log", &options->delta_log_path);
   parser.AddString("--unix-socket", &options->unix_socket);
   parser.AddString("--metrics-json", &options->metrics_json);
+  parser.AddString("--shard-map", &options->shard_map_path);
   parser.AddLong("--tcp-port", &options->tcp_port, 0, 65535);
   parser.AddLong("--cache-capacity", &options->cache_capacity, 0);
   parser.AddLong("--max-requests", &options->max_requests, 0);
@@ -216,6 +225,17 @@ int main(int argc, char** argv) {
       static_cast<size_t>(options.cold_queue_limit);
   server_config.force_poll = options.force_poll;
   if (delta_log.is_open()) server_config.delta_log = &delta_log;
+  if (options.shard_map_path != nullptr) {
+    // Validate through the parser, then serve the canonical bytes.
+    router::ShardMap shard_map;
+    std::string map_error;
+    if (!router::ShardMap::LoadFromFile(options.shard_map_path, &shard_map,
+                                        &map_error)) {
+      std::fprintf(stderr, "error: bad --shard-map: %s\n", map_error.c_str());
+      return 1;
+    }
+    server_config.shard_map_blob = shard_map.Serialize();
+  }
 
   serve::SocketServer server(service, metrics, server_config);
   std::string error;

@@ -1,0 +1,265 @@
+// hsgf_shard — shard-map builder and snapshot slicer.
+//
+// Companion tool to hsgf_router: builds the consistent-hash shard map a
+// sharded deployment is keyed on, inspects it, and slices a full feature
+// snapshot into the per-shard snapshots each backend serves.
+//
+// Usage:
+//   hsgf_shard --create --shards N --out map.hsmap
+//              [--endpoints "tcp:7001|tcp:7101,tcp:7002,..."]
+//              [--seed S] [--vnodes V]
+//   hsgf_shard --info map.hsmap
+//   hsgf_shard --assign map.hsmap --nodes 1,5,9
+//   hsgf_shard --slice full.hsnap --shard-map map.hsmap --out-prefix sl
+//
+// --endpoints lists one entry per shard, comma-separated; within an entry
+// `|` separates the primary from its replicas, tried in order on failure.
+// Each endpoint is "unix:<path>" or "tcp:<port>" (loopback).
+//
+// --slice writes <prefix>.<shard>.hsnap per shard. Every slice keeps the
+// source snapshot's FULL feature vocabulary and census parameters with only
+// its own rows — that is what makes the sharded fleet bit-identical to a
+// single hsgf_serve over the unsliced snapshot. Slicing fails if any shard
+// would own zero rows (a backend cannot serve an empty snapshot); use fewer
+// shards or a different --seed.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "router/shard_map.h"
+#include "router/slicer.h"
+#include "util/flags.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hsgf_shard --create --shards N --out FILE\n"
+      "                  [--endpoints \"tcp:7001|tcp:7101,tcp:7002\"] "
+      "[--seed S] [--vnodes V]\n"
+      "       hsgf_shard --info FILE\n"
+      "       hsgf_shard --assign FILE --nodes id,id,...\n"
+      "       hsgf_shard --slice SNAPSHOT --shard-map FILE "
+      "--out-prefix PREFIX\n");
+  return 2;
+}
+
+struct Options {
+  const char* out_path = nullptr;
+  const char* endpoints = nullptr;
+  const char* info_path = nullptr;
+  const char* assign_path = nullptr;
+  const char* nodes_list = nullptr;
+  const char* slice_snapshot = nullptr;
+  const char* shard_map_path = nullptr;
+  const char* out_prefix = nullptr;
+  bool create = false;
+  long shards = 0;
+  long seed = -1;    // <0: default seed
+  long vnodes = -1;  // <0: default vnode count
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  hsgf::util::FlagParser parser;
+  parser.AddBool("--create", &options->create);
+  parser.AddString("--out", &options->out_path);
+  parser.AddString("--endpoints", &options->endpoints);
+  parser.AddString("--info", &options->info_path);
+  parser.AddString("--assign", &options->assign_path);
+  parser.AddString("--nodes", &options->nodes_list);
+  parser.AddString("--slice", &options->slice_snapshot);
+  parser.AddString("--shard-map", &options->shard_map_path);
+  parser.AddString("--out-prefix", &options->out_prefix);
+  parser.AddLong("--shards", &options->shards, 1,
+                 static_cast<long>(hsgf::router::kMaxShards));
+  parser.AddLong("--seed", &options->seed, 0);
+  parser.AddLong("--vnodes", &options->vnodes, 1,
+                 static_cast<long>(hsgf::router::kMaxVnodesPerShard));
+  return parser.Parse(argc, argv);
+}
+
+// Splits the --endpoints spec: commas separate shards, '|' separates the
+// replicas within one shard. Each endpoint must parse.
+bool ParseEndpointsSpec(const std::string& spec, uint32_t num_shards,
+                        std::vector<std::vector<std::string>>* per_shard) {
+  per_shard->clear();
+  std::stringstream shards_stream(spec);
+  std::string shard_entry;
+  while (std::getline(shards_stream, shard_entry, ',')) {
+    std::vector<std::string> replicas;
+    std::stringstream replica_stream(shard_entry);
+    std::string endpoint;
+    while (std::getline(replica_stream, endpoint, '|')) {
+      hsgf::router::Endpoint parsed;
+      std::string error;
+      if (!hsgf::router::ParseEndpoint(endpoint, &parsed, &error)) {
+        std::fprintf(stderr, "error: bad endpoint '%s': %s\n",
+                     endpoint.c_str(), error.c_str());
+        return false;
+      }
+      replicas.push_back(endpoint);
+    }
+    if (replicas.empty()) {
+      std::fprintf(stderr, "error: empty endpoint entry in --endpoints\n");
+      return false;
+    }
+    if (replicas.size() > hsgf::router::kMaxEndpointsPerShard) {
+      std::fprintf(stderr, "error: more than %u replicas for one shard\n",
+                   hsgf::router::kMaxEndpointsPerShard);
+      return false;
+    }
+    per_shard->push_back(std::move(replicas));
+  }
+  if (per_shard->size() != num_shards) {
+    std::fprintf(stderr,
+                 "error: --endpoints lists %zu shard(s), --shards says %u\n",
+                 per_shard->size(), num_shards);
+    return false;
+  }
+  return true;
+}
+
+int Create(const Options& options) {
+  using namespace hsgf;
+  if (options.out_path == nullptr || options.shards <= 0) return Usage();
+
+  const uint64_t seed = options.seed >= 0
+                            ? static_cast<uint64_t>(options.seed)
+                            : router::kDefaultShardSeed;
+  const uint32_t vnodes = options.vnodes > 0
+                              ? static_cast<uint32_t>(options.vnodes)
+                              : router::kDefaultVnodesPerShard;
+  router::ShardMap map = router::ShardMap::Build(
+      static_cast<uint32_t>(options.shards), seed, vnodes);
+
+  if (options.endpoints != nullptr) {
+    std::vector<std::vector<std::string>> per_shard;
+    if (!ParseEndpointsSpec(options.endpoints, map.num_shards(), &per_shard)) {
+      return 1;
+    }
+    for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+      map.set_endpoints(shard, std::move(per_shard[shard]));
+    }
+  }
+
+  std::string error;
+  if (!map.SaveToFile(options.out_path, &error)) {
+    std::fprintf(stderr, "error: cannot save shard map: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "wrote %s: %u shard(s), %u vnodes/shard, seed %llu%s\n",
+               options.out_path, map.num_shards(), map.vnodes_per_shard(),
+               static_cast<unsigned long long>(map.seed()),
+               options.endpoints != nullptr ? "" : " (no endpoints)");
+  return 0;
+}
+
+int Info(const Options& options) {
+  using namespace hsgf;
+  router::ShardMap map;
+  std::string error;
+  if (!router::ShardMap::LoadFromFile(options.info_path, &map, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("shard map %s\n", options.info_path);
+  std::printf("  shards: %u, vnodes/shard: %u, seed: %llu\n", map.num_shards(),
+              map.vnodes_per_shard(),
+              static_cast<unsigned long long>(map.seed()));
+  for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+    std::printf("  shard %u:", shard);
+    const auto& endpoints = map.endpoints(shard);
+    if (endpoints.empty()) {
+      std::printf(" (no endpoints)");
+    }
+    for (size_t i = 0; i < endpoints.size(); ++i) {
+      std::printf(" %s%s", endpoints[i].c_str(), i == 0 ? " (primary)" : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Assign(const Options& options) {
+  using namespace hsgf;
+  if (options.nodes_list == nullptr) return Usage();
+  router::ShardMap map;
+  std::string error;
+  if (!router::ShardMap::LoadFromFile(options.assign_path, &map, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::stringstream stream(options.nodes_list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    long id;
+    if (!util::ParseLong(token.c_str(), &id) || id < 0) {
+      std::fprintf(stderr, "error: invalid node id '%s' in --nodes\n",
+                   token.c_str());
+      return Usage();
+    }
+    std::printf("%ld -> shard %u\n", id,
+                map.ShardOf(static_cast<graph::NodeId>(id)));
+  }
+  return 0;
+}
+
+int Slice(const Options& options) {
+  using namespace hsgf;
+  if (options.shard_map_path == nullptr || options.out_prefix == nullptr) {
+    return Usage();
+  }
+  router::ShardMap map;
+  std::string error;
+  if (!router::ShardMap::LoadFromFile(options.shard_map_path, &map, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  io::SnapshotError snap_error;
+  auto snapshot = io::OpenSnapshot(options.slice_snapshot, &snap_error);
+  if (!snapshot.has_value()) {
+    std::fprintf(stderr, "error: cannot open snapshot (%s): %s\n",
+                 io::SnapshotErrorCodeName(snap_error.code),
+                 snap_error.message.c_str());
+    return 1;
+  }
+
+  const std::string prefix = options.out_prefix;
+  const auto path_for_shard = [&prefix](uint32_t shard) {
+    return prefix + "." + std::to_string(shard) + ".hsnap";
+  };
+  router::SliceStats stats;
+  if (!router::WriteShardSlices(*snapshot, map, path_for_shard, &stats,
+                                &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+    std::fprintf(stderr, "wrote %s: %u row(s) x %u features\n",
+                 path_for_shard(shard).c_str(), stats.rows_per_shard[shard],
+                 snapshot->num_cols());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+
+  const int modes = (options.create ? 1 : 0) +
+                    (options.info_path != nullptr ? 1 : 0) +
+                    (options.assign_path != nullptr ? 1 : 0) +
+                    (options.slice_snapshot != nullptr ? 1 : 0);
+  if (modes != 1) return Usage();
+
+  if (options.create) return Create(options);
+  if (options.info_path != nullptr) return Info(options);
+  if (options.assign_path != nullptr) return Assign(options);
+  return Slice(options);
+}
