@@ -118,7 +118,7 @@ class Router::ShardChannel {
       shed.status = StatusCode::kOverloaded;
       return shed;
     }
-    ClientResult connected = EnsureConnectedLocked();
+    ClientResult connected = EnsureConnected(lock);
     if (!connected.ok()) return connected;
     uint32_t id = 0;
     const ClientResult sent = client_.Send(std::move(request), &id);
@@ -228,41 +228,64 @@ class Router::ShardChannel {
     ClientResult result;
   };
 
-  ClientResult EnsureConnectedLocked() {
-    if (connected_) return {};
-    if (reader_active_) {
-      // poisoned_ teardown still in progress on another thread.
-      return Fail(ClientResult::Error::kNotConnected,
-                  "shard " + std::to_string(shard_) + " reconnecting");
-    }
-    const auto now = std::chrono::steady_clock::now();
-    if (now < next_dial_) {
-      return Fail(ClientResult::Error::kConnect,
-                  "shard " + std::to_string(shard_) +
-                      " backing off after repeated connect failures");
-    }
-    ClientResult last = Fail(ClientResult::Error::kConnect,
-                             "shard " + std::to_string(shard_) +
-                                 " has no endpoints");
-    for (size_t attempt = 0; attempt < endpoints_.size(); ++attempt) {
-      const std::string& spec =
-          endpoints_[endpoint_index_ % endpoints_.size()];
-      metrics_.Increment(dials_);
-      last = DialLocked(spec);
+  // Returns with the lock held and connected_ true on success. The dial
+  // itself (connect + Hello per endpoint, each bounded by worker_timeout_ms)
+  // runs with the lock RELEASED under the dialing_ guard, so Await() calls
+  // consuming already-completed responses and GetStatus() never stall
+  // behind a slow (re)connect; concurrent Begin() calls park on cv_ until
+  // the dialer posts a verdict.
+  ClientResult EnsureConnected(std::unique_lock<std::mutex>& lock) {
+    for (;;) {
+      if (connected_) return {};
+      if (reader_active_) {
+        // poisoned_ teardown still in progress on another thread.
+        return Fail(ClientResult::Error::kNotConnected,
+                    "shard " + std::to_string(shard_) + " reconnecting");
+      }
+      if (dialing_) {
+        cv_.wait(lock);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now < next_dial_) {
+        return Fail(ClientResult::Error::kConnect,
+                    "shard " + std::to_string(shard_) +
+                        " backing off after repeated connect failures");
+      }
+      // Become the dialer. With dialing_ set, client_ is exclusively ours
+      // even unlocked: senders require connected_ and reader election
+      // requires connected_, both false until we post the verdict.
+      dialing_ = true;
+      const size_t start = endpoint_index_;
+      lock.unlock();
+      ClientResult last = Fail(ClientResult::Error::kConnect,
+                               "shard " + std::to_string(shard_) +
+                                   " has no endpoints");
+      size_t attempt = 0;
+      for (; attempt < endpoints_.size(); ++attempt) {
+        metrics_.Increment(dials_);
+        last = Dial(endpoints_[(start + attempt) % endpoints_.size()]);
+        if (last.ok()) break;
+      }
+      lock.lock();
+      dialing_ = false;
+      endpoint_index_ = (start + attempt) % endpoints_.size();
       if (last.ok()) {
         connected_ = true;
         last_error_.clear();
-        return last;
+      } else {
+        // Every endpoint refused: rest before hammering the fleet again.
+        next_dial_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(backoff_ms_);
+        last_error_ = last.message;
       }
-      endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+      cv_.notify_all();
+      return last;
     }
-    // Every endpoint refused: rest before hammering the fleet again.
-    next_dial_ = now + std::chrono::milliseconds(backoff_ms_);
-    last_error_ = last.message;
-    return last;
   }
 
-  ClientResult DialLocked(const std::string& spec) {
+  // Runs without the channel lock; the dialing_ guard makes client_ ours.
+  ClientResult Dial(const std::string& spec) {
     client_.Close();
     Endpoint endpoint;
     std::string parse_error;
@@ -319,6 +342,7 @@ class Router::ShardChannel {
   serve::Client client_;
   bool connected_ = false;
   bool reader_active_ = false;
+  bool dialing_ = false;
   bool poisoned_ = false;
   uint32_t inflight_ = 0;
   size_t endpoint_index_ = 0;
@@ -362,8 +386,19 @@ Router::Router(ShardMap map, util::MetricsRegistry& metrics,
 Router::~Router() {
   RequestStop();
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    for (std::thread& thread : threads_) {
+    // Join outside the lock: a connection thread's last act is taking
+    // threads_mutex_ to mark itself finished, so joining under it deadlocks.
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      to_join.reserve(threads_.size());
+      for (auto& [id, thread] : threads_) {
+        to_join.push_back(std::move(thread));
+      }
+      threads_.clear();
+      finished_threads_.clear();
+    }
+    for (std::thread& thread : to_join) {
       if (thread.joinable()) thread.join();
     }
   }
@@ -477,6 +512,7 @@ void Router::RequestStop() {
 void Router::Serve() {
   if (listen_fd_ < 0) return;
   while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinishedThreads();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
     const int ready = poll(fds, 2, 250);
     if (ready < 0) {
@@ -494,15 +530,37 @@ void Router::Serve() {
       const int fd = accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) continue;
       metrics_.Increment(connections_);
+      open_connections_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(threads_mutex_);
-      threads_.emplace_back(&Router::ServeConnection, this, fd);
+      const uint64_t id = next_connection_id_++;
+      threads_.emplace(id,
+                       std::thread(&Router::ServeConnection, this, fd, id));
     }
   }
   // Connection threads observe stop_ within one poll tick and exit; joining
   // happens in the destructor so Serve() itself returns promptly.
 }
 
-void Router::ServeConnection(int fd) {
+void Router::ReapFinishedThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const uint64_t id : finished_threads_) {
+      const auto it = threads_.find(id);
+      if (it == threads_.end()) continue;
+      finished.push_back(std::move(it->second));
+      threads_.erase(it);
+    }
+    finished_threads_.clear();
+  }
+  // Join outside the lock: a thread marks itself finished just before
+  // returning, so this blocks at most for its final few instructions.
+  for (std::thread& thread : finished) {
+    thread.join();
+  }
+}
+
+void Router::ServeConnection(int fd, uint64_t connection_id) {
   // A client that starts a frame must finish it within the io timeout so a
   // wedged peer cannot pin this thread; waiting for the *next* frame is the
   // unbounded poll below, so idle connections are fine.
@@ -568,6 +626,9 @@ void Router::ServeConnection(int fd) {
     }
   }
   close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  finished_threads_.push_back(connection_id);
 }
 
 Response Router::Route(const Request& request, bool* shutdown) {
@@ -716,13 +777,19 @@ Response Router::RouteUpdate(const Request& request) {
     ClientResult result = begun[shard].ok()
                               ? channels_[shard]->Await(tickets[shard], &sub)
                               : begun[shard];
-    if (ChannelFailure(result)) {
-      metrics_.Increment(fanout_requests_);
-      result = channels_[shard]->Roundtrip(request, &sub);
-    }
+    // No transport-level retry here, unlike the read paths: kApplyUpdate is
+    // not idempotent (a receive timeout can fire after the backend already
+    // applied the update, and a replayed kAddNode appends a second node).
+    // Surface the failure so the operator reconciles the named shards
+    // instead of the router silently double-applying and diverging them.
     if (!result.ok()) {
       if (!failures.empty()) failures += "; ";
       failures += "shard " + std::to_string(shard) + ": " + result.message;
+      if (begun[shard].ok() && ChannelFailure(result)) {
+        // The request left the router before the hop died, so the backend
+        // may or may not have applied it.
+        failures += " (apply state unknown)";
+      }
       continue;
     }
     if (!have_reply) {
@@ -755,29 +822,36 @@ Response Router::RouteUpdate(const Request& request) {
 
 Response Router::RouteEpoch(const Request& request) {
   std::vector<uint32_t> tickets(channels_.size(), 0);
-  std::vector<ClientResult> begun(channels_.size());
+  std::vector<ClientResult> results(channels_.size());
+  std::vector<Response> subs(channels_.size());
   for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
     metrics_.Increment(fanout_requests_);
-    begun[shard] = channels_[shard]->Begin(request, &tickets[shard]);
+    results[shard] = channels_[shard]->Begin(request, &tickets[shard]);
+  }
+  // Await every begun ticket before judging the fleet: abandoning one would
+  // leak its in-flight window slot and park its response forever.
+  for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    ClientResult result =
+        results[shard].ok()
+            ? channels_[shard]->Await(tickets[shard], &subs[shard])
+            : results[shard];
+    if (ChannelFailure(result)) {
+      metrics_.Increment(fanout_requests_);
+      result = channels_[shard]->Roundtrip(request, &subs[shard]);
+    }
+    results[shard] = result;
   }
   Response response;
   response.stream_attached = 1;
   bool have_reply = false;
   for (uint32_t shard = 0; shard < channels_.size(); ++shard) {
-    Response sub;
-    ClientResult result = begun[shard].ok()
-                              ? channels_[shard]->Await(tickets[shard], &sub)
-                              : begun[shard];
-    if (ChannelFailure(result)) {
-      metrics_.Increment(fanout_requests_);
-      result = channels_[shard]->Roundtrip(request, &sub);
-    }
-    if (!result.ok()) {
+    if (!results[shard].ok()) {
       // A partial epoch vector would lie about the fleet; surface the gap.
-      Response failed = FailureResponse(shard, result);
+      Response failed = FailureResponse(shard, results[shard]);
       failed.status = StatusCode::kUnavailable;
       return failed;
     }
+    const Response& sub = subs[shard];
     if (!have_reply) {
       response.epoch = sub.epoch;
       have_reply = true;
@@ -816,11 +890,8 @@ std::string Router::StatsJson() const {
   std::ostringstream out;
   out << "{\"router\":{\"shards\":" << map_.num_shards()
       << ",\"vnodes_per_shard\":" << map_.vnodes_per_shard()
-      << ",\"open_threads\":";
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    out << threads_.size();
-  }
+      << ",\"open_connections\":"
+      << open_connections_.load(std::memory_order_relaxed);
   out << "}";
   out << ",\"shard_status\":[";
   for (uint32_t shard = 0; shard < channels_.size(); ++shard) {

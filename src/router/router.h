@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "router/shard_map.h"
@@ -60,8 +61,11 @@ struct RouterConfig {
 //    any shard, and every backend owns the full graph topology. The reply
 //    aggregates: epoch = min over shards (the floor every shard has
 //    reached), dirty_roots/new_columns = max (per-backend counts of the
-//    same update are identical). Any shard failing the update is an kError
-//    naming it: shards may then disagree until the caller retries.
+//    same update are identical). Updates are NOT idempotent, so unlike the
+//    read paths a transport failure is never auto-retried (a timed-out hop
+//    may still have applied, and a replayed kAddNode appends twice); any
+//    failing shard is a kError naming it, and the operator must reconcile
+//    the named shards before the fleet is bit-identical again.
 //  - kGetEpoch: fanned out; epoch = min over shards, num_columns/
 //    overlay_rows = max, stream_attached = AND. Any unreachable shard makes
 //    the reply kUnavailable (an aggregate over a partial fleet would lie).
@@ -103,7 +107,8 @@ class Router {
  private:
   class ShardChannel;
 
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, uint64_t connection_id);
+  void ReapFinishedThreads();
   serve::Response Route(const serve::Request& request, bool* shutdown);
   serve::Response RouteSingle(const serve::Request& request);
   serve::Response RouteBatch(const serve::Request& request);
@@ -125,8 +130,15 @@ class Router {
 
   std::vector<std::unique_ptr<ShardChannel>> channels_;
 
+  // Connection threads are reaped as they finish: each thread appends its
+  // id to finished_threads_ on exit, and the accept loop joins and erases
+  // those entries every tick, so a long-lived router under connection churn
+  // holds handles only for connections that are actually open.
   mutable std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
+  std::unordered_map<uint64_t, std::thread> threads_;
+  std::vector<uint64_t> finished_threads_;
+  uint64_t next_connection_id_ = 0;
+  std::atomic<int64_t> open_connections_{0};
 
   util::MetricId connections_ = util::kInvalidMetric;
   util::MetricId requests_total_ = util::kInvalidMetric;

@@ -466,6 +466,46 @@ TEST(RouterTest, DeadShardDegradesOnlyItsOwnRoots) {
   EXPECT_EQ(epoch_result.status, StatusCode::kUnavailable);
 }
 
+// Regression: a failed epoch fan-out must consume the tickets it already
+// opened on healthy shards. Leaking them would eat the healthy channel's
+// in-flight window, so after enough polls against a half-dead fleet the
+// live shard would start shedding everything as kOverloaded.
+TEST(RouterTest, FailedEpochFanoutDoesNotLeakHealthyShardWindow) {
+  ShardedFixture fixture = MakeShardedFixture("router-epoch-leak", 2);
+  auto backends = StartBackends(&fixture);
+  RouterConfig config;
+  config.reconnect_backoff_ms = 0;
+  config.worker_timeout_ms = 500;
+  config.max_inflight_per_shard = 4;  // a leak exhausts this in 4 polls
+  RunningRouter running(fixture.map, config);
+  serve::Client routed = ConnectedClient(running.port());
+
+  Response warm;
+  ASSERT_TRUE(routed.GetEpoch(&warm).ok());
+  // Kill shard 0: its failure surfaces before shard 1's ticket is awaited,
+  // which is exactly the early-return path that used to abandon it.
+  backends[0].reset();
+
+  // Poll epochs well past the in-flight window; every poll fails on the
+  // dead shard but must return the healthy shard's ticket to the window.
+  for (int i = 0; i < 3 * 4; ++i) {
+    Response epoch;
+    const ClientResult result = routed.GetEpoch(&epoch);
+    ASSERT_EQ(result.error, ClientResult::Error::kServerStatus);
+    ASSERT_EQ(result.status, StatusCode::kUnavailable) << "poll " << i;
+  }
+
+  // The healthy shard still serves its roots — nothing sheds kOverloaded.
+  size_t live = 0;
+  for (const NodeId node : fixture.nodes) {
+    if (fixture.map.ShardOf(node) != 1) continue;
+    Response response;
+    ASSERT_TRUE(routed.GetFeatures(node, &response).ok()) << "node " << node;
+    ++live;
+  }
+  EXPECT_GT(live, 0u);
+}
+
 TEST(RouterTest, ReplicaFailoverRescuesADeadPrimary) {
   ShardedFixture fixture = MakeShardedFixture("router-replica", 2);
   auto backends = StartBackends(&fixture);
