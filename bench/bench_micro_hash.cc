@@ -71,20 +71,20 @@ BENCHMARK(BM_HashViaRollingSum);
 
 // End-to-end effect inside the census: mixed vs unmixed contributions.
 void BM_CensusMixedContributions(benchmark::State& state) {
-  static const graph::HetGraph* graph =
-      new graph::HetGraph(data::MakeNetwork(data::LoadLikeSchema(0.2), 9));
+  static const graph::HetGraph graph(
+      data::MakeNetwork(data::LoadLikeSchema(0.2), 9));
   core::CensusConfig config;
   config.max_edges = 4;
   config.max_degree = 40;
   config.mix_contributions = state.range(0) != 0;
-  core::CensusWorker worker(*graph, config);
+  core::CensusWorker worker(graph, config);
   core::CensusResult result;
   util::Rng rng(3);
   std::vector<graph::NodeId> nodes;
   while (nodes.size() < 16) {
     graph::NodeId v =
-        static_cast<graph::NodeId>(rng.UniformInt(graph->num_nodes()));
-    if (graph->degree(v) > 0) nodes.push_back(v);
+        static_cast<graph::NodeId>(rng.UniformInt(graph.num_nodes()));
+    if (graph.degree(v) > 0) nodes.push_back(v);
   }
   size_t cursor = 0;
   int64_t subgraphs = 0;

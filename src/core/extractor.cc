@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <mutex>
 #include <numeric>
 #include <utility>
 
 #include "graph/degree_stats.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace hsgf::core {
@@ -60,7 +60,8 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
   std::atomic<size_t> nodes_done{0};
   std::atomic<int64_t> subgraphs_so_far{0};
   std::atomic<bool> any_stopped{false};
-  std::mutex progress_mutex;
+  // hsgf-lint: allow(mutex-guard) function-local; GUARDED_BY is members-only
+  util::Mutex progress_mutex;
 
   auto process = [&](CensusWorker& worker, size_t i) {
     util::Stopwatch watch;
@@ -81,7 +82,7 @@ ExtractionResult Extractor::Run(const std::vector<graph::NodeId>& nodes,
       // Re-read under the lock rather than passing the values computed
       // above: reports stay monotone even when workers reach the lock out
       // of order, and the last report carries the final totals.
-      std::lock_guard<std::mutex> lock(progress_mutex);
+      util::MutexLock lock(progress_mutex);
       progress({nodes_done.load(std::memory_order_acquire), nodes.size(),
                 subgraphs_so_far.load(std::memory_order_relaxed)});
     }

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -22,6 +21,8 @@
 
 #include "serve/client.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace hsgf::router {
@@ -107,8 +108,9 @@ class Router::ShardChannel {
         timeouts_(timeouts),
         errors_(errors) {}
 
-  ClientResult Begin(Request request, uint32_t* ticket) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  ClientResult Begin(Request request, uint32_t* ticket)
+      HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (inflight_ >= max_inflight_) {
       // Synthetic shed, shaped like a backend kOverloaded so callers map
       // both through the same per-root status path.
@@ -140,8 +142,9 @@ class Router::ShardChannel {
     return {};
   }
 
-  ClientResult Await(uint32_t ticket, Response* response) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  ClientResult Await(uint32_t ticket, Response* response)
+      HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     for (;;) {
       const auto done = done_.find(ticket);
       if (done != done_.end()) {
@@ -172,10 +175,10 @@ class Router::ShardChannel {
       }
       if (connected_ && !reader_active_) {
         reader_active_ = true;
-        lock.unlock();
+        lock.Unlock();
         Response got;
         ClientResult received = client_.Receive(&got, nullptr);
-        lock.lock();
+        lock.Lock();
         reader_active_ = false;
         if (received.ok() ||
             received.error == ClientResult::Error::kServerStatus) {
@@ -191,14 +194,15 @@ class Router::ShardChannel {
         } else {
           FailChannelLocked(received);
         }
-        cv_.notify_all();
+        cv_.NotifyAll();
         continue;  // our ticket may now be in done_
       }
-      cv_.wait(lock);
+      cv_.Wait(lock);
     }
   }
 
-  ClientResult Roundtrip(Request request, Response* response) {
+  ClientResult Roundtrip(Request request, Response* response)
+      HSGF_EXCLUDES(mutex_) {
     uint32_t ticket = 0;
     ClientResult begun = Begin(std::move(request), &ticket);
     if (!begun.ok()) return begun;
@@ -212,8 +216,11 @@ class Router::ShardChannel {
     std::string last_error;
   };
 
-  ChannelStatus GetStatus() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  // Never requires the dial lock for longer than a field copy: a slow
+  // reconnect keeps the mutex free (the dial cycle runs unlocked under the
+  // dialing_ guard), so status polls stay wait-free in practice.
+  ChannelStatus GetStatus() const HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     ChannelStatus status;
     status.connected = connected_;
     status.endpoint = endpoints_[endpoint_index_ % endpoints_.size()];
@@ -234,7 +241,12 @@ class Router::ShardChannel {
   // consuming already-completed responses and GetStatus() never stall
   // behind a slow (re)connect; concurrent Begin() calls park on cv_ until
   // the dialer posts a verdict.
-  ClientResult EnsureConnected(std::unique_lock<std::mutex>& lock) {
+  //
+  // `lock` must be the caller's own locally constructed MutexLock over
+  // mutex_ (the analysis only tracks Unlock/Lock on local scoped objects,
+  // which is also exactly the shape that keeps the unlock window visible
+  // at the call site).
+  ClientResult EnsureConnected(util::MutexLock& lock) HSGF_REQUIRES(mutex_) {
     for (;;) {
       if (connected_) return {};
       if (reader_active_) {
@@ -243,7 +255,7 @@ class Router::ShardChannel {
                     "shard " + std::to_string(shard_) + " reconnecting");
       }
       if (dialing_) {
-        cv_.wait(lock);
+        cv_.Wait(lock);
         continue;
       }
       const auto now = std::chrono::steady_clock::now();
@@ -257,17 +269,17 @@ class Router::ShardChannel {
       // requires connected_, both false until we post the verdict.
       dialing_ = true;
       const size_t start = endpoint_index_;
-      lock.unlock();
-      ClientResult last = Fail(ClientResult::Error::kConnect,
-                               "shard " + std::to_string(shard_) +
-                                   " has no endpoints");
+      ClientResult last;
       size_t attempt = 0;
-      for (; attempt < endpoints_.size(); ++attempt) {
-        metrics_.Increment(dials_);
-        last = Dial(endpoints_[(start + attempt) % endpoints_.size()]);
-        if (last.ok()) break;
+      {
+        // The analysis cannot track Unlock/Lock on a lock received by
+        // reference, so the unlocked window is delimited by an explicit
+        // release/reacquire pair instead of scoped-object calls. dialing_
+        // keeps client_ and the cursor ours while the mutex is free.
+        UnlockForDial(lock);
+        last = DialCycle(start, &attempt);
+        RelockAfterDial(lock);
       }
-      lock.lock();
       dialing_ = false;
       endpoint_index_ = (start + attempt) % endpoints_.size();
       if (last.ok()) {
@@ -279,13 +291,42 @@ class Router::ShardChannel {
                      std::chrono::milliseconds(backoff_ms_);
         last_error_ = last.message;
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       return last;
     }
   }
 
+  // Release/reacquire mutex_ through a caller-owned MutexLock. Annotated as
+  // capability transitions on mutex_ itself so EnsureConnected's body stays
+  // fully analyzed; the bodies only forward to the scoped lock.
+  void UnlockForDial(util::MutexLock& lock) HSGF_RELEASE(mutex_)
+      HSGF_NO_THREAD_SAFETY_ANALYSIS {
+    lock.Unlock();
+  }
+  void RelockAfterDial(util::MutexLock& lock) HSGF_ACQUIRE(mutex_)
+      HSGF_NO_THREAD_SAFETY_ANALYSIS {
+    lock.Lock();
+  }
+
+  // One full pass over the endpoint ring starting at `start`; runs without
+  // the channel lock (*attempts reports how far the cursor advanced).
+  ClientResult DialCycle(size_t start, size_t* attempts)
+      HSGF_EXCLUDES(mutex_) {
+    ClientResult last = Fail(ClientResult::Error::kConnect,
+                             "shard " + std::to_string(shard_) +
+                                 " has no endpoints");
+    size_t attempt = 0;
+    for (; attempt < endpoints_.size(); ++attempt) {
+      metrics_.Increment(dials_);
+      last = Dial(endpoints_[(start + attempt) % endpoints_.size()]);
+      if (last.ok()) break;
+    }
+    *attempts = attempt;
+    return last;
+  }
+
   // Runs without the channel lock; the dialing_ guard makes client_ ours.
-  ClientResult Dial(const std::string& spec) {
+  ClientResult Dial(const std::string& spec) HSGF_EXCLUDES(mutex_) {
     client_.Close();
     Endpoint endpoint;
     std::string parse_error;
@@ -312,7 +353,7 @@ class Router::ShardChannel {
 
   // Fails every in-flight ticket with `result`, closes the connection, and
   // rotates the endpoint cursor so the next dial tries a replica first.
-  void FailChannelLocked(const ClientResult& result) {
+  void FailChannelLocked(const ClientResult& result) HSGF_REQUIRES(mutex_) {
     client_.Close();
     connected_ = false;
     poisoned_ = false;
@@ -324,7 +365,7 @@ class Router::ShardChannel {
     }
     pending_.clear();
     endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   const uint32_t shard_;
@@ -337,19 +378,25 @@ class Router::ShardChannel {
   const util::MetricId timeouts_;
   const util::MetricId errors_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  // Deliberately NOT guarded by mutex_: ownership follows the channel
+  // protocol instead. The elected reader holds client_ across an unlocked
+  // Receive (reader_active_), the dialer holds it across an unlocked
+  // connect cycle (dialing_), and senders touch it only under the lock
+  // with connected_ true — states that are mutually exclusive by
+  // construction.
   serve::Client client_;
-  bool connected_ = false;
-  bool reader_active_ = false;
-  bool dialing_ = false;
-  bool poisoned_ = false;
-  uint32_t inflight_ = 0;
-  size_t endpoint_index_ = 0;
-  std::chrono::steady_clock::time_point next_dial_{};
-  std::unordered_set<uint32_t> pending_;
-  std::unordered_map<uint32_t, Done> done_;
-  std::string last_error_;
+  bool connected_ HSGF_GUARDED_BY(mutex_) = false;
+  bool reader_active_ HSGF_GUARDED_BY(mutex_) = false;
+  bool dialing_ HSGF_GUARDED_BY(mutex_) = false;
+  bool poisoned_ HSGF_GUARDED_BY(mutex_) = false;
+  uint32_t inflight_ HSGF_GUARDED_BY(mutex_) = 0;
+  size_t endpoint_index_ HSGF_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point next_dial_ HSGF_GUARDED_BY(mutex_){};
+  std::unordered_set<uint32_t> pending_ HSGF_GUARDED_BY(mutex_);
+  std::unordered_map<uint32_t, Done> done_ HSGF_GUARDED_BY(mutex_);
+  std::string last_error_ HSGF_GUARDED_BY(mutex_);
 };
 
 Router::Router(ShardMap map, util::MetricsRegistry& metrics,
@@ -387,10 +434,11 @@ Router::~Router() {
   RequestStop();
   {
     // Join outside the lock: a connection thread's last act is taking
-    // threads_mutex_ to mark itself finished, so joining under it deadlocks.
+    // threads_mutex_ to mark itself finished, so joining under it deadlocks
+    // (JoinThreads carries the HSGF_EXCLUDES(threads_mutex_) assertion).
     std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      util::MutexLock lock(threads_mutex_);
       to_join.reserve(threads_.size());
       for (auto& [id, thread] : threads_) {
         to_join.push_back(std::move(thread));
@@ -398,9 +446,7 @@ Router::~Router() {
       threads_.clear();
       finished_threads_.clear();
     }
-    for (std::thread& thread : to_join) {
-      if (thread.joinable()) thread.join();
-    }
+    JoinThreads(to_join);
   }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
@@ -531,7 +577,7 @@ void Router::Serve() {
       if (fd < 0) continue;
       metrics_.Increment(connections_);
       open_connections_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(threads_mutex_);
+      util::MutexLock lock(threads_mutex_);
       const uint64_t id = next_connection_id_++;
       threads_.emplace(id,
                        std::thread(&Router::ServeConnection, this, fd, id));
@@ -544,7 +590,7 @@ void Router::Serve() {
 void Router::ReapFinishedThreads() {
   std::vector<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    util::MutexLock lock(threads_mutex_);
     for (const uint64_t id : finished_threads_) {
       const auto it = threads_.find(id);
       if (it == threads_.end()) continue;
@@ -555,8 +601,12 @@ void Router::ReapFinishedThreads() {
   }
   // Join outside the lock: a thread marks itself finished just before
   // returning, so this blocks at most for its final few instructions.
-  for (std::thread& thread : finished) {
-    thread.join();
+  JoinThreads(finished);
+}
+
+void Router::JoinThreads(std::vector<std::thread>& threads) {
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -627,7 +677,7 @@ void Router::ServeConnection(int fd, uint64_t connection_id) {
   }
   close(fd);
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(threads_mutex_);
+  util::MutexLock lock(threads_mutex_);
   finished_threads_.push_back(connection_id);
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -13,6 +12,8 @@
 #include "router/shard_map.h"
 #include "serve/protocol.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hsgf::router {
 
@@ -98,7 +99,7 @@ class Router {
   uint32_t num_shards() const { return map_.num_shards(); }
 
   // Accept loop; blocks until kShutdown, max_requests, or RequestStop().
-  void Serve();
+  void Serve() HSGF_EXCLUDES(threads_mutex_);
 
   // Makes Serve() return promptly; callable from any thread and from
   // signal handlers (only async-signal-safe calls).
@@ -107,8 +108,15 @@ class Router {
  private:
   class ShardChannel;
 
-  void ServeConnection(int fd, uint64_t connection_id);
-  void ReapFinishedThreads();
+  void ServeConnection(int fd, uint64_t connection_id)
+      HSGF_EXCLUDES(threads_mutex_);
+  void ReapFinishedThreads() HSGF_EXCLUDES(threads_mutex_);
+  // Joins thread handles already moved out of threads_. Annotated to keep
+  // the PR 7 lesson machine-checked: a connection thread's last act is
+  // taking threads_mutex_ to mark itself finished, so joining while
+  // holding the lock deadlocks.
+  void JoinThreads(std::vector<std::thread>& threads)
+      HSGF_EXCLUDES(threads_mutex_);
   serve::Response Route(const serve::Request& request, bool* shutdown);
   serve::Response RouteSingle(const serve::Request& request);
   serve::Response RouteBatch(const serve::Request& request);
@@ -134,10 +142,11 @@ class Router {
   // id to finished_threads_ on exit, and the accept loop joins and erases
   // those entries every tick, so a long-lived router under connection churn
   // holds handles only for connections that are actually open.
-  mutable std::mutex threads_mutex_;
-  std::unordered_map<uint64_t, std::thread> threads_;
-  std::vector<uint64_t> finished_threads_;
-  uint64_t next_connection_id_ = 0;
+  mutable util::Mutex threads_mutex_;
+  std::unordered_map<uint64_t, std::thread> threads_
+      HSGF_GUARDED_BY(threads_mutex_);
+  std::vector<uint64_t> finished_threads_ HSGF_GUARDED_BY(threads_mutex_);
+  uint64_t next_connection_id_ HSGF_GUARDED_BY(threads_mutex_) = 0;
   std::atomic<int64_t> open_connections_{0};
 
   util::MetricId connections_ = util::kInvalidMetric;

@@ -28,8 +28,9 @@ ClientResult Fail(ClientResult::Error error, std::string message) {
 Client::~Client() { Close(); }
 
 // Moves require exclusive access to both sides (like Close), so the mutex
-// itself is not transferred — each Client owns a fresh one.
-Client::Client(Client&& other) noexcept
+// itself is not transferred — each Client owns a fresh one. The analysis
+// cannot see that exclusivity contract, hence the per-function opt-outs.
+Client::Client(Client&& other) noexcept HSGF_NO_THREAD_SAFETY_ANALYSIS
     : fd_(std::exchange(other.fd_, -1)),
       version_(std::exchange(other.version_, kProtocolV1)),
       deadline_ms_(other.deadline_ms_),
@@ -38,7 +39,8 @@ Client::Client(Client&& other) noexcept
       pending_(std::move(other.pending_)),
       send_order_(std::move(other.send_order_)) {}
 
-Client& Client::operator=(Client&& other) noexcept {
+Client& Client::operator=(Client&& other) noexcept
+    HSGF_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
@@ -58,6 +60,7 @@ void Client::Close() {
     fd_ = -1;
   }
   version_ = kProtocolV1;
+  util::MutexLock lock(mutex_);
   pending_.clear();
   send_order_.clear();
 }
@@ -200,7 +203,7 @@ ClientResult Client::GetShardMap(Response* response) {
 }
 
 size_t Client::outstanding() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return pending_.size();
 }
 
@@ -208,7 +211,7 @@ ClientResult Client::Send(Request request, uint32_t* request_id) {
   if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
   // Holding the lock across the write serializes concurrent senders and
   // keeps frames whole; a receiver thread blocked in ReadFrame is unaffected.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const uint32_t id = next_request_id_++;
   request.request_id = id;
   if (request.deadline_ms == 0) request.deadline_ms = deadline_ms_;
@@ -229,7 +232,7 @@ ClientResult Client::Send(Request request, uint32_t* request_id) {
 ClientResult Client::Receive(Response* response, MessageType* type) {
   if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (pending_.empty()) {
       return Fail(ClientResult::Error::kProtocol, "no requests outstanding");
     }
@@ -247,7 +250,7 @@ ClientResult Client::Receive(Response* response, MessageType* type) {
     return Fail(ClientResult::Error::kTransport,
                 "connection closed mid-reply");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   uint32_t id = 0;
   if (version_ >= kProtocolV2) {
     // The id leads the response frame; it selects the pending request whose
@@ -285,9 +288,15 @@ ClientResult Client::Receive(Response* response, MessageType* type) {
 
 ClientResult Client::Call(Request request, Response* response) {
   if (fd_ < 0) return Fail(ClientResult::Error::kNotConnected, "not connected");
-  if (!pending_.empty()) {
-    return Fail(ClientResult::Error::kProtocol,
-                "typed call while pipelined requests are outstanding");
+  {
+    // Locked: a typed call may race with pipelined Send/Receive on other
+    // threads, and the unlocked pending_.empty() probe this replaced was a
+    // data race (caught by the capability annotations).
+    util::MutexLock lock(mutex_);
+    if (!pending_.empty()) {
+      return Fail(ClientResult::Error::kProtocol,
+                  "typed call while pipelined requests are outstanding");
+    }
   }
   const MessageType request_type = request.type;
   ClientResult sent = Send(std::move(request));

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 
 #include "serve/protocol.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "stream/delta_log.h"
 
 namespace hsgf::serve {
@@ -109,12 +110,15 @@ class Client {
   // fills *response, and reports which request it answers via *type /
   // response->request_id. A response whose id matches nothing outstanding
   // is a protocol error.
-  ClientResult Send(Request request, uint32_t* request_id = nullptr);
-  ClientResult Receive(Response* response, MessageType* type = nullptr);
-  size_t outstanding() const;
+  ClientResult Send(Request request, uint32_t* request_id = nullptr)
+      HSGF_EXCLUDES(mutex_);
+  ClientResult Receive(Response* response, MessageType* type = nullptr)
+      HSGF_EXCLUDES(mutex_);
+  size_t outstanding() const HSGF_EXCLUDES(mutex_);
 
  private:
-  ClientResult Call(Request request, Response* response);
+  ClientResult Call(Request request, Response* response)
+      HSGF_EXCLUDES(mutex_);
   ClientResult CheckStatus(const Response& response) const;
   void ApplyIoTimeout();
 
@@ -125,13 +129,13 @@ class Client {
   // Guards the pipelining bookkeeping below (and serializes frame writes)
   // so a sender and a receiver thread can share the connection. ReadFrame
   // itself runs unlocked — it only touches fd_.
-  mutable std::mutex mutex_;
-  uint32_t next_request_id_ = 1;
+  mutable util::Mutex mutex_;
+  uint32_t next_request_id_ HSGF_GUARDED_BY(mutex_) = 1;
   // In-flight pipelined requests: id -> type (the body layout needed to
   // decode the response). send_order_ resolves v1 responses, which carry no
   // id and arrive strictly in request order.
-  std::unordered_map<uint32_t, MessageType> pending_;
-  std::deque<uint32_t> send_order_;
+  std::unordered_map<uint32_t, MessageType> pending_ HSGF_GUARDED_BY(mutex_);
+  std::deque<uint32_t> send_order_ HSGF_GUARDED_BY(mutex_);
 };
 
 }  // namespace hsgf::serve

@@ -238,7 +238,7 @@ void SocketServer::Serve() {
   conns_.clear();
   pool_.reset();
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     completions_.clear();
   }
   poller_.reset();
@@ -577,7 +577,7 @@ void SocketServer::DispatchCold(Conn& conn, Request request) {
     }
     cold_pending_.fetch_sub(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(completions_mutex_);
+      util::MutexLock lock(completions_mutex_);
       completions_.push_back({conn_id, std::move(encoded)});
     }
     const char byte = 0;
@@ -588,7 +588,7 @@ void SocketServer::DispatchCold(Conn& conn, Request request) {
 void SocketServer::DrainCompletions() {
   std::deque<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
@@ -621,7 +621,7 @@ void SocketServer::BeginDrain() {
 bool SocketServer::DrainComplete() {
   if (cold_pending_.load(std::memory_order_relaxed) != 0) return false;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     if (!completions_.empty()) return false;
   }
   for (const auto& [id, conn] : conns_) {

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,7 +14,9 @@
 #include "serve/protocol.h"
 #include "stream/delta_log.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/stop_token.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hsgf::serve {
@@ -137,9 +138,9 @@ class SocketServer {
   void EnqueueResponse(Conn& conn, std::string encoded);
   void FlushWrites(Conn& conn);
   void DispatchCold(Conn& conn, Request request);
-  void DrainCompletions();
+  void DrainCompletions() HSGF_EXCLUDES(completions_mutex_);
   void BeginDrain();
-  bool DrainComplete();
+  bool DrainComplete() HSGF_EXCLUDES(completions_mutex_);
   void ReapDead();
 
   // Builds the response for request types answered inline on the event
@@ -170,8 +171,8 @@ class SocketServer {
   // workers push encoded responses and poke the wake pipe.
   std::unique_ptr<util::ThreadPool> pool_;
   std::atomic<size_t> cold_pending_{0};
-  std::mutex completions_mutex_;
-  std::deque<Completion> completions_;
+  util::Mutex completions_mutex_;
+  std::deque<Completion> completions_ HSGF_GUARDED_BY(completions_mutex_);
   // Parent of every per-request token: RequestStop/shutdown cancels all
   // queued and running censuses at once.
   util::StopSource shutdown_source_;

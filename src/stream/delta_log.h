@@ -126,6 +126,11 @@ DeltaLogContents ReadDeltaLog(const std::string& path);
 // header of an existing log and truncates any torn tail; Append() writes one
 // CRC-framed record per batch and flushes it before returning (the
 // write-ahead contract: a batch is applied only after Append succeeded).
+//
+// Thread-compatible, externally synchronized: no internal locking. The
+// serving tier guarantees single-threaded use — kApplyUpdate is handled
+// inline on the server's one event thread, so Appends are naturally
+// serialized there.
 class DeltaLogWriter {
  public:
   DeltaLogWriter() = default;

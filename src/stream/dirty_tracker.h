@@ -33,6 +33,10 @@ namespace hsgf::stream {
 // can lower a hub's degree below the threshold, unblocking paths that exist
 // only in the post graph, while the pre graph is the one in which the old
 // (now stale) features were computed.
+//
+// Externally synchronized: these functions read the graph without locking;
+// StreamEngine calls them under its writer lock (the graph must not mutate
+// during the BFS).
 std::vector<graph::NodeId> CollectDirtyRoots(const DynamicGraph& graph,
                                              std::span<const graph::NodeId> sources,
                                              int max_edges, int max_degree);

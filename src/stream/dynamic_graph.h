@@ -23,6 +23,11 @@ namespace hsgf::stream {
 // construction: adding a previously removed base edge erases the removal
 // instead of recording an addition, and vice versa. Nodes created after the
 // base snapshot live in `added_labels_` with ids following the base's.
+//
+// Thread-compatible, externally synchronized: DynamicGraph has no internal
+// locking by design — StreamEngine owns one behind its SharedMutex (writes
+// under the writer lock, Materialize()d reads under the reader lock), and
+// the capability annotations there are what make that discipline checkable.
 class DynamicGraph {
  public:
   explicit DynamicGraph(graph::HetGraph base);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "stream/dirty_tracker.h"
 #include "util/check.h"
@@ -28,7 +27,7 @@ StreamEngine::StreamEngine(graph::HetGraph base, StreamEngineConfig config)
 }
 
 void StreamEngine::SeedVocabulary(std::span<const uint64_t> hashes) {
-  std::unique_lock lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   HSGF_CHECK_EQ(epoch_, 0u) << "SeedVocabulary after updates were applied";
   HSGF_CHECK(hashes_.empty()) << "vocabulary already seeded";
   hashes_.reserve(hashes.size());
@@ -49,7 +48,7 @@ uint32_t StreamEngine::InternColumn(uint64_t hash) {
 
 StreamEngine::ApplyResult StreamEngine::ApplyBatch(
     std::span<const DeltaOp> ops) {
-  std::unique_lock lock(mutex_);
+  util::WriterMutexLock lock(mutex_);
   ApplyResult result;
 
   const int max_edges = config_.census.max_edges;
@@ -149,43 +148,43 @@ StreamEngine::ApplyResult StreamEngine::ApplyBatch(
 }
 
 uint64_t StreamEngine::epoch() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return epoch_;
 }
 
 size_t StreamEngine::num_columns() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return hashes_.size();
 }
 
 size_t StreamEngine::overlay_rows() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return rows_.size();
 }
 
 graph::NodeId StreamEngine::num_nodes() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return graph_.num_nodes();
 }
 
 std::vector<std::string> StreamEngine::label_names() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return graph_.label_names();
 }
 
 std::vector<uint64_t> StreamEngine::vocabulary() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return hashes_;
 }
 
 bool StreamEngine::HasRow(graph::NodeId node) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   return rows_.find(node) != rows_.end();
 }
 
 std::optional<std::vector<double>> StreamEngine::DenseRow(
     graph::NodeId node) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   const auto it = rows_.find(node);
   if (it == rows_.end()) return std::nullopt;
   std::vector<double> dense(hashes_.size(), 0.0);
@@ -197,7 +196,7 @@ std::optional<std::vector<double>> StreamEngine::DenseRow(
 
 std::optional<std::vector<std::pair<uint32_t, int64_t>>>
 StreamEngine::RowCounts(graph::NodeId node) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   const auto it = rows_.find(node);
   if (it == rows_.end()) return std::nullopt;
   return it->second;
@@ -205,7 +204,7 @@ StreamEngine::RowCounts(graph::NodeId node) const {
 
 std::optional<core::CensusResult> StreamEngine::CensusNode(
     graph::NodeId node, util::StopToken stop) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   if (node < 0 || node >= graph_.num_nodes()) return std::nullopt;
   core::CensusWorker worker(graph_.csr(), config_.census);
   core::CensusResult result;
@@ -215,11 +214,15 @@ std::optional<core::CensusResult> StreamEngine::CensusNode(
 
 std::vector<double> StreamEngine::ProjectCounts(
     const util::FlatCountMap& counts) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderMutexLock lock(mutex_);
   std::vector<double> dense(hashes_.size(), 0.0);
+  // Alias bound while the shared lock is held: the ForEach lambda is
+  // analyzed as a separate function, so it reads through the local
+  // reference instead of the guarded member.
+  const std::unordered_map<uint64_t, uint32_t>& column_of = column_of_;
   counts.ForEach([&](uint64_t hash, int64_t count) {
-    const auto it = column_of_.find(hash);
-    if (it != column_of_.end()) {
+    const auto it = column_of.find(hash);
+    if (it != column_of.end()) {
       dense[it->second] = Transform(count, config_.log1p_transform);
     }
   });

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -15,7 +14,9 @@
 #include "stream/delta_log.h"
 #include "stream/dynamic_graph.h"
 #include "util/flat_count_map.h"
+#include "util/mutex.h"
 #include "util/stop_token.h"
+#include "util/thread_annotations.h"
 
 namespace hsgf::stream {
 
@@ -72,62 +73,67 @@ class StreamEngine {
   // Pins the column order of an existing vocabulary (e.g. a snapshot's
   // feature hashes, in snapshot column order) before any batch is applied.
   // Must be called at epoch 0 with an empty vocabulary.
-  void SeedVocabulary(std::span<const uint64_t> hashes);
+  void SeedVocabulary(std::span<const uint64_t> hashes)
+      HSGF_EXCLUDES(mutex_);
 
   // Applies one delta batch. The epoch advances on *every* call — even one
   // whose ops were all rejected — so client and log agree on a batch count;
   // the re-census is skipped when nothing applied.
-  ApplyResult ApplyBatch(std::span<const DeltaOp> ops);
+  ApplyResult ApplyBatch(std::span<const DeltaOp> ops) HSGF_EXCLUDES(mutex_);
 
   // --- Read side (shared lock) -------------------------------------------
 
-  uint64_t epoch() const;
-  size_t num_columns() const;
+  uint64_t epoch() const HSGF_EXCLUDES(mutex_);
+  size_t num_columns() const HSGF_EXCLUDES(mutex_);
   // Number of roots with an incrementally maintained row.
-  size_t overlay_rows() const;
-  graph::NodeId num_nodes() const;
-  std::vector<std::string> label_names() const;
+  size_t overlay_rows() const HSGF_EXCLUDES(mutex_);
+  graph::NodeId num_nodes() const HSGF_EXCLUDES(mutex_);
+  std::vector<std::string> label_names() const HSGF_EXCLUDES(mutex_);
   const core::CensusConfig& census_config() const { return config_.census; }
   bool log1p_transform() const { return config_.log1p_transform; }
-  std::vector<uint64_t> vocabulary() const;
+  std::vector<uint64_t> vocabulary() const HSGF_EXCLUDES(mutex_);
 
-  bool HasRow(graph::NodeId node) const;
+  bool HasRow(graph::NodeId node) const HSGF_EXCLUDES(mutex_);
 
   // Dense feature row at the current vocabulary width (transform applied),
   // or nullopt if `node` has no maintained row.
-  std::optional<std::vector<double>> DenseRow(graph::NodeId node) const;
+  std::optional<std::vector<double>> DenseRow(graph::NodeId node) const
+      HSGF_EXCLUDES(mutex_);
 
   // Raw sparse counts of a maintained row, sorted by column (test hook).
   std::optional<std::vector<std::pair<uint32_t, int64_t>>> RowCounts(
-      graph::NodeId node) const;
+      graph::NodeId node) const HSGF_EXCLUDES(mutex_);
 
   // From-scratch census of `node` on the current graph (the serve layer's
   // cold path). Returns nullopt for out-of-range nodes.
   std::optional<core::CensusResult> CensusNode(graph::NodeId node,
-                                               util::StopToken stop = {}) const;
+                                               util::StopToken stop = {}) const
+      HSGF_EXCLUDES(mutex_);
 
   // Projects census counts onto the current vocabulary (transform applied).
   // Hashes outside the vocabulary are dropped, mirroring how snapshot
   // serving projects cold-census results onto snapshot columns.
-  std::vector<double> ProjectCounts(const util::FlatCountMap& counts) const;
+  std::vector<double> ProjectCounts(const util::FlatCountMap& counts) const
+      HSGF_EXCLUDES(mutex_);
 
  private:
   using SparseRow = std::vector<std::pair<uint32_t, int64_t>>;
 
   // Columns for `hashes` (ascending), interning unseen ones in order.
-  // Requires the exclusive lock.
-  uint32_t InternColumn(uint64_t hash);
+  uint32_t InternColumn(uint64_t hash) HSGF_REQUIRES(mutex_);
 
   StreamEngineConfig config_;
-  mutable std::shared_mutex mutex_;
+  mutable util::SharedMutex mutex_;
 
-  DynamicGraph graph_;
-  uint64_t epoch_ = 0;
+  DynamicGraph graph_ HSGF_GUARDED_BY(mutex_);
+  uint64_t epoch_ HSGF_GUARDED_BY(mutex_) = 0;
 
-  std::vector<uint64_t> hashes_;                   // column -> hash
-  std::unordered_map<uint64_t, uint32_t> column_of_;  // hash -> column
+  // column -> hash
+  std::vector<uint64_t> hashes_ HSGF_GUARDED_BY(mutex_);
+  // hash -> column
+  std::unordered_map<uint64_t, uint32_t> column_of_ HSGF_GUARDED_BY(mutex_);
   // node -> sparse row; only dirty-recomputed roots have entries.
-  std::unordered_map<graph::NodeId, SparseRow> rows_;
+  std::unordered_map<graph::NodeId, SparseRow> rows_ HSGF_GUARDED_BY(mutex_);
 };
 
 }  // namespace hsgf::stream

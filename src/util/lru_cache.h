@@ -5,11 +5,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hsgf::util {
 
@@ -44,7 +46,7 @@ class ShardedLruCache {
   // std::nullopt on miss (capacity 0 always misses).
   std::optional<Value> Get(const Key& key) {
     Shard& shard = ShardOf(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return std::nullopt;
     shard.order.splice(shard.order.begin(), shard.order, it->second);
@@ -55,7 +57,7 @@ class ShardedLruCache {
   // least recent entry when over budget.
   void Put(const Key& key, Value value) {
     Shard& shard = ShardOf(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.capacity == 0) return;
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
@@ -77,7 +79,7 @@ class ShardedLruCache {
   // graph update.
   bool Erase(const Key& key) {
     Shard& shard = ShardOf(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return false;
     shard.order.erase(it->second);
@@ -88,7 +90,7 @@ class ShardedLruCache {
   // Drops every entry (capacity and eviction counters are untouched).
   void Clear() {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       shard->index.clear();
       shard->order.clear();
     }
@@ -98,7 +100,7 @@ class ShardedLruCache {
   size_t size() const {
     size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       total += shard->order.size();
     }
     return total;
@@ -115,7 +117,7 @@ class ShardedLruCache {
   int64_t evictions() const {
     int64_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       total += shard->evictions;
     }
     return total;
@@ -128,11 +130,12 @@ class ShardedLruCache {
     explicit Shard(size_t capacity_in) : capacity(capacity_in) {}
 
     const size_t capacity;
-    mutable std::mutex mutex;
-    std::list<std::pair<Key, Value>> order;  // front = most recent
+    mutable Mutex mutex;
+    // front = most recent
+    std::list<std::pair<Key, Value>> order HSGF_GUARDED_BY(mutex);
     std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
-        index;
-    int64_t evictions = 0;
+        index HSGF_GUARDED_BY(mutex);
+    int64_t evictions HSGF_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardOf(const Key& key) {

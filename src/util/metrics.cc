@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/mutex.h"
+
 namespace hsgf::util {
 
 namespace metrics_internal {
@@ -101,7 +103,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 
 MetricId MetricsRegistry::Register(const std::string& name, Kind kind,
                                    int slots_needed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < metrics_.size(); ++i) {
     if (metrics_[i].name != name) continue;
     if (metrics_[i].kind != kind) {
@@ -177,7 +179,7 @@ MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
   }
   Shard* shard;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shards_.push_back(std::make_unique<Shard>());
     shard = shards_.back().get();
   }
@@ -224,18 +226,22 @@ void MetricsRegistry::Observe(MetricId histogram, int64_t value) {
 void MetricsRegistry::AddSpanSeconds(MetricId span, double seconds) {
   if (span < 0) return;
   assert(KindBitsOf(span) == static_cast<int>(Kind::kSpan));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SpanData& data = spans_[BaseOf(span)];
   data.seconds += seconds;
   data.count += 1;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
-  auto sum_slot = [this](int slot) {
+  // Alias bound while locked: the sum_slot lambda body is analyzed as a
+  // separate function, so it reads through the local reference instead of
+  // touching the guarded member directly.
+  const std::vector<std::unique_ptr<Shard>>& shards = shards_;
+  auto sum_slot = [&shards](int slot) {
     int64_t total = 0;
-    for (const auto& shard : shards_) {
+    for (const auto& shard : shards) {
       total += shard->slots[slot].load(std::memory_order_relaxed);
     }
     return total;

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace hsgf::util {
@@ -122,9 +123,9 @@ class MetricsRegistry {
   void Increment(MetricId counter, int64_t delta = 1);
   void SetGauge(MetricId gauge, double value);
   void Observe(MetricId histogram, int64_t value);  // negative clamps to 0
-  void AddSpanSeconds(MetricId span, double seconds);
+  void AddSpanSeconds(MetricId span, double seconds) HSGF_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const HSGF_EXCLUDES(mutex_);
 
  private:
   friend class ScopedSpan;
@@ -140,16 +141,21 @@ class MetricsRegistry {
     int64_t count = 0;
   };
 
-  MetricId Register(const std::string& name, Kind kind, int slots_needed);
-  Shard& LocalShard();
+  MetricId Register(const std::string& name, Kind kind, int slots_needed)
+      HSGF_EXCLUDES(mutex_);
+  Shard& LocalShard() HSGF_EXCLUDES(mutex_);
 
   const uint64_t id_;  // process-unique; keys the thread-local shard cache
-  mutable std::mutex mutex_;
-  std::vector<MetricInfo> metrics_;               // guarded by mutex_
-  int next_slot_ = 0;                             // guarded by mutex_
-  std::vector<std::unique_ptr<Shard>> shards_;    // guarded by mutex_
-  std::deque<std::atomic<double>> gauges_;        // stable refs; lock-free set
-  std::vector<SpanData> spans_;                   // guarded by mutex_
+  mutable Mutex mutex_;
+  std::vector<MetricInfo> metrics_ HSGF_GUARDED_BY(mutex_);
+  int next_slot_ HSGF_GUARDED_BY(mutex_) = 0;
+  std::vector<std::unique_ptr<Shard>> shards_ HSGF_GUARDED_BY(mutex_);
+  // Deliberately NOT guarded: the deque only grows (under mutex_, inside
+  // Register) and std::deque growth never moves existing elements, so
+  // SetGauge can store into a registered element lock-free. The analysis
+  // cannot express "guarded for growth, atomic per element".
+  std::deque<std::atomic<double>> gauges_;
+  std::vector<SpanData> spans_ HSGF_GUARDED_BY(mutex_);
 };
 
 // RAII helper recording the wall-clock time between construction and

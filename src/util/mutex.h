@@ -1,0 +1,160 @@
+#ifndef HSGF_UTIL_MUTEX_H_
+#define HSGF_UTIL_MUTEX_H_
+
+// Capability-annotated wrappers over the standard synchronization
+// primitives. libstdc++'s std::mutex carries no capability attributes, so
+// HSGF_GUARDED_BY(some_std_mutex) trips -Wthread-safety-attributes; these
+// thin wrappers (same layout, same cost — every method is an inline
+// forward) give the analysis something to reason about. All locked code
+// outside src/util uses these types; tools/hsgf_lint.py enforces that.
+//
+// The scoped lock types deliberately mirror the Clang documentation's
+// MutexLocker shape (and absl's ReleasableMutexLock): a locally
+// constructed MutexLock may Unlock()/Lock() mid-scope and the analysis
+// tracks the capability state across those calls. Note the analysis only
+// tracks scoped objects constructed in the current function — helpers
+// that need to drop a caller's lock are restructured so the unlock
+// happens on the caller's own local (see router.cc's dial cycle).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace hsgf::util {
+
+class CondVar;
+
+// An exclusive mutex the thread-safety analysis understands.
+class HSGF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HSGF_ACQUIRE() { mu_.lock(); }
+  void Unlock() HSGF_RELEASE() { mu_.unlock(); }
+  bool TryLock() HSGF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII exclusive lock over util::Mutex, releasable and re-acquirable
+// mid-scope (the dtor releases only if currently held).
+class HSGF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HSGF_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.mu_.lock();
+  }
+  ~MutexLock() HSGF_RELEASE() {
+    if (held_) mu_.mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() HSGF_RELEASE() {
+    mu_.mu_.unlock();
+    held_ = false;
+  }
+  void Lock() HSGF_ACQUIRE() {
+    mu_.mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable paired with util::Mutex. Waits take the MutexLock by
+// reference; the capability state is unchanged across a Wait (released and
+// re-acquired inside), which matches what the analysis assumes for an
+// unannotated call. Waiters must use explicit `while (!pred) cv.Wait(lock)`
+// loops — a predicate lambda would be analyzed as a separate, unannotated
+// function and defeat GUARDED_BY checking of the predicate's reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Returns false on timeout (the lock is re-held either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// A reader/writer mutex the analysis understands (std::shared_mutex
+// equivalent). Exclusive acquisition guards writes; shared guards reads.
+class HSGF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HSGF_ACQUIRE() { mu_.lock(); }
+  void Unlock() HSGF_RELEASE() { mu_.unlock(); }
+  void LockShared() HSGF_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() HSGF_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderMutexLock;
+  friend class WriterMutexLock;
+  std::shared_mutex mu_;
+};
+
+class HSGF_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) HSGF_ACQUIRE(mu) : mu_(mu) {
+    mu_.mu_.lock();
+  }
+  ~WriterMutexLock() HSGF_RELEASE() { mu_.mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class HSGF_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) HSGF_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.mu_.lock_shared();
+  }
+  // Generic release: the scoped object holds the capability in shared mode
+  // but clang's join logic wants a mode-agnostic release on destructors.
+  ~ReaderMutexLock() HSGF_RELEASE_GENERIC() { mu_.mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace hsgf::util
+
+#endif  // HSGF_UTIL_MUTEX_H_

@@ -1,0 +1,86 @@
+#ifndef HSGF_UTIL_THREAD_ANNOTATIONS_H_
+#define HSGF_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) analysis attributes, spelled with an
+// HSGF_ prefix and compiled away entirely on non-Clang toolchains. The
+// project convention (DESIGN.md §9) is:
+//
+//  - Every mutex-protected member is declared with
+//    HSGF_GUARDED_BY(its_mutex_).
+//  - Private helpers that assume the caller holds a lock are annotated
+//    HSGF_REQUIRES(mutex_) and carry a "...Locked" suffix.
+//  - Public entry points of classes with internal locking are annotated
+//    HSGF_EXCLUDES(mutex_) so the analysis proves they are never called
+//    with the lock already held (self-deadlock).
+//  - Raw std::mutex / std::lock_guard are not used outside src/util;
+//    code takes util::Mutex / util::MutexLock (see util/mutex.h), which
+//    carry the capability attributes std::mutex lacks under libstdc++.
+//  - Suppressions are per-function via HSGF_NO_THREAD_SAFETY_ANALYSIS and
+//    must carry a comment explaining why the analysis cannot see the
+//    invariant. Blanket suppression is not permitted.
+//
+// The analysis runs in the clang `thread-safety` CI job with
+// -Wthread-safety -Wthread-safety-beta -Werror; GCC builds see no-ops.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HSGF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HSGF_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Declares a type to be a capability ("mutex", "role", ...).
+#define HSGF_CAPABILITY(x) HSGF_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII type that acquires a capability in its constructor and
+// releases it in its destructor (std::lock_guard-shaped classes).
+#define HSGF_SCOPED_CAPABILITY HSGF_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member is protected by the given capability.
+#define HSGF_GUARDED_BY(x) HSGF_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member whose pointee is protected by the given capability.
+#define HSGF_PT_GUARDED_BY(x) HSGF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function requires the caller to hold the capability (exclusively /
+// shared) on entry, and does not release it.
+#define HSGF_REQUIRES(...) \
+  HSGF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HSGF_REQUIRES_SHARED(...) \
+  HSGF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability (must not be held on entry).
+#define HSGF_ACQUIRE(...) \
+  HSGF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HSGF_ACQUIRE_SHARED(...) \
+  HSGF_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (must be held on entry).
+#define HSGF_RELEASE(...) \
+  HSGF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define HSGF_RELEASE_SHARED(...) \
+  HSGF_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (scoped-reader destructors).
+#define HSGF_RELEASE_GENERIC(...) \
+  HSGF_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// Function acquires the capability if and only if it returns `v`.
+#define HSGF_TRY_ACQUIRE(v, ...) \
+  HSGF_THREAD_ANNOTATION_(try_acquire_capability(v, __VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock-prevention assertion).
+#define HSGF_EXCLUDES(...) HSGF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion to the analysis that the capability is held (for code
+// reachable only while locked, where the acquisition is invisible).
+#define HSGF_ASSERT_CAPABILITY(x) \
+  HSGF_THREAD_ANNOTATION_(assert_capability(x))
+
+// The annotated function returns a reference to the capability guarding it.
+#define HSGF_RETURN_CAPABILITY(x) HSGF_THREAD_ANNOTATION_(lock_returned(x))
+
+// Per-function opt-out. Requires a comment explaining the invariant the
+// analysis cannot see; see the suppression policy in DESIGN.md §9.
+#define HSGF_NO_THREAD_SAFETY_ANALYSIS \
+  HSGF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // HSGF_UTIL_THREAD_ANNOTATIONS_H_

@@ -18,13 +18,15 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
   // Drain guarantee: workers only exit with an empty queue, so after the
-  // joins every submitted task has run to completion.
+  // joins every submitted task has run to completion. The lock is
+  // uncontended (all workers joined) but keeps the accesses checkable.
+  MutexLock lock(mutex_);
   HSGF_CHECK(tasks_.empty())
       << "thread pool destroyed with unexecuted tasks";
   HSGF_CHECK_EQ(in_flight_, 0)
@@ -33,35 +35,34 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     HSGF_CHECK(!shutting_down_)
         << "ThreadPool::Submit raced with the pool's destructor";
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(lock);
       if (tasks_.empty()) return;  // shutting down, queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -2,13 +2,14 @@
 #define HSGF_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hsgf::util {
 
@@ -38,21 +39,21 @@ class ThreadPool {
 
   // Enqueues a task for asynchronous execution. Must not be called once
   // destruction has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) HSGF_EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() HSGF_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HSGF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  int64_t in_flight_ = 0;  // queued + running tasks
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ HSGF_GUARDED_BY(mutex_);
+  int64_t in_flight_ HSGF_GUARDED_BY(mutex_) = 0;  // queued + running tasks
+  bool shutting_down_ HSGF_GUARDED_BY(mutex_) = false;
 };
 
 // Runs body(i) for every i in [0, count), distributing dynamically over the

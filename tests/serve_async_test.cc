@@ -526,7 +526,27 @@ TEST(AsyncServerTest, MidFrameDisconnectLeavesServerHealthy) {
     ASSERT_TRUE(WriteFrame(fd, EncodeRequest(request)));
     close(fd);
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Deterministic wait (no fixed sleep): poll kStats until the abandoned
+  // cold census has drained and the dead connections are reaped — the
+  // stats connection itself is then the only one open. Only after that can
+  // a recycled connection id even exist to mis-deliver the completion to.
+  {
+    const int stats_fd = ConnectTcp(running.port());
+    Request stats_request;
+    stats_request.type = MessageType::kStats;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool drained = false;
+    while (!drained && std::chrono::steady_clock::now() < deadline) {
+      Response stats;
+      ASSERT_TRUE(RoundTripV1(stats_fd, stats_request, &stats));
+      drained = stats.text.find("\"cold_pending\":0") != std::string::npos &&
+                stats.text.find("\"open_connections\":1") != std::string::npos;
+    }
+    EXPECT_TRUE(drained) << "orphaned cold work never drained";
+    close(stats_fd);
+  }
 
   // The server keeps serving new connections.
   const int fd = ConnectTcp(running.port());
@@ -1124,6 +1144,42 @@ TEST(ClientTest, V1ModePipelinesInOrder) {
   // Receive with nothing outstanding is a protocol error, not a hang.
   Response idle;
   EXPECT_EQ(client.Receive(&idle).error, ClientResult::Error::kProtocol);
+}
+
+// Regression for the lock-discipline fix in Client::Call: the guard that
+// rejects a typed call while pipelined requests are outstanding used to
+// probe pending_ without the lock (a data race surfaced by the capability
+// annotations). The guard must fire — typed and pipelined use of the same
+// connection cannot interleave — and must clear once the pipeline drains.
+TEST(ClientTest, TypedCallRefusedWhilePipelineOutstanding) {
+  AsyncFixture fixture = MakeAsyncFixture("client-call-guard.hsnap");
+  util::MetricsRegistry metrics;
+  FeatureService service(fixture.snapshot, metrics);
+  ServerConfig config;
+  config.tcp_port = 0;
+  RunningServer running(service, metrics, config);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(running.port()).ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  Request pipelined;
+  pipelined.type = MessageType::kGetFeatures;
+  pipelined.node = fixture.nodes.front();
+  ASSERT_TRUE(client.Send(std::move(pipelined)).ok());
+  ASSERT_EQ(client.outstanding(), 1u);
+
+  Response stats;
+  const ClientResult refused = client.Stats(&stats);
+  EXPECT_EQ(refused.error, ClientResult::Error::kProtocol);
+  EXPECT_NE(refused.message.find("outstanding"), std::string::npos)
+      << refused.message;
+
+  // Draining the pipeline re-arms typed calls on the same connection.
+  Response pending;
+  ASSERT_TRUE(client.Receive(&pending).ok());
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_TRUE(client.Stats(&stats).ok());
 }
 
 TEST(ClientTest, ConnectFailureIsTyped) {

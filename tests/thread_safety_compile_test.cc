@@ -1,0 +1,208 @@
+// Compile-time exemplars for the HSGF_* capability annotations
+// (util/thread_annotations.h, util/mutex.h). This target is BUILT by the
+// regular test build but never executed: its correct-usage section proves
+// the annotated API stays usable without analysis warnings, and its misuse
+// section proves the analysis still fires.
+//
+// The misuse exemplars are guarded by HSGF_THREAD_SAFETY_EXPECT_FAIL. The
+// thread-safety CI job compiles this file a second time with that macro
+// defined and requires clang to REJECT it — a gate that fails if the
+// annotations are ever stubbed out or the warning flags fall off. Each
+// exemplar's comment quotes the exact -Wthread-safety diagnostic clang
+// emits, so a maintainer seeing one in a real build can find the matching
+// pattern here. Under GCC the attributes expand to nothing and both
+// sections compile; only the clang job gives them teeth.
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace hsgf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Correct usage: every idiom the codebase relies on, in one place.
+
+class Counter {
+ public:
+  // Public entry points take the lock themselves, so they must be called
+  // lock-free: HSGF_EXCLUDES turns a re-entrant call into a compile error.
+  void Increment() HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    IncrementLocked();
+  }
+
+  int Total() const HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  // "...Locked" helpers document their precondition with HSGF_REQUIRES and
+  // never take the lock themselves.
+  void IncrementLocked() HSGF_REQUIRES(mutex_) { ++value_; }
+
+  // Mid-scope release/re-acquire on a locally constructed MutexLock: the
+  // analysis tracks held/released across Unlock()/Lock() pairs.
+  int DrainOutsideLock() HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    const int snapshot = value_;
+    lock.Unlock();
+    const int derived = snapshot * 2;  // guarded state untouched while open
+    lock.Lock();
+    value_ = 0;
+    return derived;
+  }
+
+  // CondVar waits use explicit predicate loops — a predicate lambda would
+  // be analyzed as a separate, unannotated function.
+  void WaitForPositive() HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (value_ <= 0) cv_.Wait(lock);
+  }
+
+  void Publish(int value) HSGF_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      value_ = value;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  int value_ HSGF_GUARDED_BY(mutex_) = 0;
+};
+
+class Registry {
+ public:
+  void Add(int item) HSGF_EXCLUDES(mutex_) {
+    util::WriterMutexLock lock(mutex_);
+    items_.push_back(item);
+  }
+
+  // Shared acquisition is enough for reads of guarded state.
+  size_t Size() const HSGF_EXCLUDES(mutex_) {
+    util::ReaderMutexLock lock(mutex_);
+    return items_.size();
+  }
+
+  // Lambdas are analyzed as separate functions: bind a reference to the
+  // guarded member while the lock is held and capture the alias instead.
+  size_t CountPositive() const HSGF_EXCLUDES(mutex_) {
+    util::ReaderMutexLock lock(mutex_);
+    const std::vector<int>& items = items_;
+    auto count = [&items] {
+      size_t n = 0;
+      for (const int item : items) n += item > 0 ? 1 : 0;
+      return n;
+    };
+    return count();
+  }
+
+ private:
+  mutable util::SharedMutex mutex_;
+  std::vector<int> items_ HSGF_GUARDED_BY(mutex_);
+};
+
+void ExerciseCorrectUsage() {
+  Counter counter;
+  counter.Publish(1);
+  counter.Increment();
+  counter.WaitForPositive();
+  (void)counter.Total();
+  (void)counter.DrainOutsideLock();
+
+  Registry registry;
+  registry.Add(3);
+  (void)registry.Size();
+  (void)registry.CountPositive();
+}
+
+// ---------------------------------------------------------------------------
+// Misuse exemplars: each one is a pattern the analysis must reject. The CI
+// negative-compile step defines HSGF_THREAD_SAFETY_EXPECT_FAIL and asserts
+// that `clang++ -Wthread-safety -Werror` refuses this translation unit.
+
+#ifdef HSGF_THREAD_SAFETY_EXPECT_FAIL
+
+class Broken {
+ public:
+  // error: reading variable 'value_' requires holding mutex 'mutex_'
+  // [-Wthread-safety-analysis]
+  int UnlockedRead() const { return value_; }
+
+  // error: writing variable 'value_' requires holding mutex 'mutex_'
+  // exclusively [-Wthread-safety-analysis]
+  void UnlockedWrite() { value_ = 1; }
+
+  // error: calling function 'IncrementLocked' requires holding mutex
+  // 'mutex_' exclusively [-Wthread-safety-analysis]
+  void MissingLockForHelper() { IncrementLocked(); }
+
+  // error: cannot call function 'UnlockedEntry' while mutex 'mutex_' is
+  // held [-Wthread-safety-analysis]  (the EXCLUDES contract)
+  void ReentrantCall() HSGF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    UnlockedEntry();
+  }
+
+  // error: writing variable 'shared_value_' requires holding mutex
+  // 'shared_mutex_' exclusively [-Wthread-safety-analysis]
+  // (a reader lock does not license writes)
+  void WriteUnderReaderLock() {
+    util::ReaderMutexLock lock(shared_mutex_);
+    shared_value_ = 1;
+  }
+
+  // error: mutex 'mutex_' is still held at the end of function
+  // [-Wthread-safety-analysis]  (manual Lock with no Unlock)
+  void LeakedLock() {
+    mutex_.Lock();
+    value_ = 2;
+  }
+
+  void UnlockedEntry() HSGF_EXCLUDES(mutex_) {}
+  void IncrementLocked() HSGF_REQUIRES(mutex_) { ++value_; }
+
+ private:
+  mutable util::Mutex mutex_;
+  mutable util::SharedMutex shared_mutex_;
+  int value_ HSGF_GUARDED_BY(mutex_) = 0;
+  int shared_value_ HSGF_GUARDED_BY(shared_mutex_) = 0;
+};
+
+#endif  // HSGF_THREAD_SAFETY_EXPECT_FAIL
+
+#if 0
+// Documentation-only exemplars: misuses -Wthread-safety-beta reports that
+// are kept out of the negative-compile gate because the beta analysis'
+// wording shifts across clang releases. Kept here (never compiled) so the
+// diagnostics stay greppable next to the patterns that cause them.
+//
+//   // warning: acquiring mutex 'mutex_' that is already held
+//   // [-Wthread-safety-analysis]
+//   void DoubleLock() {
+//     util::MutexLock a(mutex_);
+//     util::MutexLock b(mutex_);
+//   }
+//
+//   // warning: expecting mutex 'mutex_' to be held at start of each loop
+//   // [-Wthread-safety-analysis]  (lock released inside a loop body that
+//   // reads guarded state on the next iteration)
+//   void UnlockInLoop() {
+//     util::MutexLock lock(mutex_);
+//     while (value_ > 0) { lock.Unlock(); lock.Lock(); }
+//   }
+#endif
+
+}  // namespace
+}  // namespace hsgf
+
+int main() {
+  // Never run by ctest; exists so the linker finishes the job the analysis
+  // started. Calling the exemplars keeps -Wunused-function quiet under GCC.
+  hsgf::ExerciseCorrectUsage();
+  return 0;
+}
