@@ -20,7 +20,10 @@
 #include "core/extractor.h"
 #include "data/generator.h"
 #include "data/schema.h"
+#include "graph/digraph.h"
 #include "graph/io.h"
+#include "gstore/cgraph_format.h"
+#include "gstore/cgraph_writer.h"
 #include "io/snapshot.h"
 #include "router/shard_map.h"
 #include "serve/protocol.h"
@@ -308,6 +311,56 @@ bool WriteStreamSeeds(const std::string& dir) {
          WriteSeed(dir + "/empty.bin", "");
 }
 
+// Compressed-graph-container seeds for fuzz_cgraph: real containers written
+// by the production writer (undirected at two block granularities, plus a
+// directed one), a truncated copy, and the magic-only / empty stubs that
+// cover the identity ladder from the short side.
+bool WriteCGraphSeeds(const std::string& dir) {
+  using hsgf::graph::NodeId;
+  const hsgf::graph::HetGraph graph =
+      hsgf::data::MakeNetwork(hsgf::data::LoadLikeSchema(0.05), 7);
+  hsgf::gstore::CGraphError error;
+  if (!hsgf::gstore::WriteCompressedGraph(dir + "/valid.hscg", graph,
+                                          &error)) {
+    std::fprintf(stderr, "error: cgraph seed: %s\n", error.ToString().c_str());
+    return false;
+  }
+  // Tiny blocks: many BlockRefs and node runs crossing block boundaries.
+  hsgf::gstore::CGraphWriterOptions tiny;
+  tiny.block_target_entries = 4;
+  if (!hsgf::gstore::WriteCompressedGraph(dir + "/tiny_blocks.hscg", graph,
+                                          &error, tiny)) {
+    std::fprintf(stderr, "error: cgraph seed: %s\n", error.ToString().c_str());
+    return false;
+  }
+  hsgf::graph::DiGraphBuilder builder({"user", "item"});
+  for (NodeId v = 0; v < 12; ++v) builder.AddNode(v % 2);
+  for (NodeId u = 0; u < 12; ++u) {
+    builder.AddArc(u, (u + 1) % 12);
+    builder.AddArc(u, (u + 5) % 12);
+  }
+  const hsgf::graph::DirectedHetGraph digraph = std::move(builder).Build();
+  if (!hsgf::gstore::WriteCompressedGraph(dir + "/directed.hscg", digraph,
+                                          &error, tiny)) {
+    std::fprintf(stderr, "error: cgraph seed: %s\n", error.ToString().c_str());
+    return false;
+  }
+
+  std::ifstream in(dir + "/valid.hscg", std::ios::binary);
+  const std::string valid((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (valid.size() <= sizeof(hsgf::gstore::cgraph_internal::Header)) {
+    std::fprintf(stderr, "error: cgraph seed came out empty\n");
+    return false;
+  }
+  const std::string magic_only(hsgf::gstore::cgraph_internal::kMagic,
+                               sizeof(hsgf::gstore::cgraph_internal::kMagic));
+  return WriteSeed(dir + "/truncated.bin",
+                   valid.substr(0, valid.size() * 2 / 3)) &&
+         WriteSeed(dir + "/magic_only.bin", magic_only) &&
+         WriteSeed(dir + "/empty.bin", "");
+}
+
 bool WriteGraphSeeds(const std::string& dir) {
   // A real generated network, serialized by the writer itself.
   const hsgf::graph::HetGraph graph =
@@ -344,13 +397,14 @@ int main(int argc, char** argv) {
   const std::string root = argv[1];
   if (!MakeDir(root) || !MakeDir(root + "/snapshot") ||
       !MakeDir(root + "/protocol") || !MakeDir(root + "/graph") ||
-      !MakeDir(root + "/stream")) {
+      !MakeDir(root + "/stream") || !MakeDir(root + "/cgraph")) {
     return 1;
   }
   if (!WriteSnapshotSeeds(root + "/snapshot") ||
       !WriteProtocolSeeds(root + "/protocol") ||
       !WriteGraphSeeds(root + "/graph") ||
-      !WriteStreamSeeds(root + "/stream")) {
+      !WriteStreamSeeds(root + "/stream") ||
+      !WriteCGraphSeeds(root + "/cgraph")) {
     return 1;
   }
   std::fprintf(stderr, "corpus written under %s\n", root.c_str());

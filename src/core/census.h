@@ -1,13 +1,16 @@
 #ifndef HSGF_CORE_CENSUS_H_
 #define HSGF_CORE_CENSUS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/encoding.h"
 #include "core/rolling_hash.h"
 #include "graph/het_graph.h"
+#include "util/check.h"
 #include "util/flat_count_map.h"
 #include "util/metrics.h"
 #include "util/stop_token.h"
@@ -111,23 +114,46 @@ struct CensusMetrics {
                                 int max_edges);
 };
 
+namespace census_internal {
+
+// SplitMix64 finalizer; the identity on 0, bijective on 64-bit values.
+inline uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace census_internal
+
 // Enumerates all connected subgraphs (edge subsets) of `graph` that contain
 // a given start node and have 1..max_edges edges, counting them by encoding
 // hash. Exact and duplicate-free: each qualifying edge subset is visited
 // exactly once (ordered-extension enumeration with a forbidden-set
 // discipline). Thread-safe for concurrent Run() calls on distinct workers;
-// one CensusWorker holds O(V) scratch state and is reused across start
-// nodes (paper: memory O(tV + E) for t threads).
-class CensusWorker {
+// one worker holds O(V) scratch state and is reused across start nodes
+// (paper: memory O(tV + E) for t threads).
+//
+// The graph is a template parameter so the same enumeration runs over any
+// storage that models the census graph concept:
+//   num_nodes(), num_labels(), label(v), degree(v), neighbors(v)
+// with neighbors(v) returning a range of NodeId sorted by (label, id). The
+// worker consumes each neighbors(v) range immediately and never holds one
+// across another neighbors() call, so graph types may invalidate the range
+// on the next call (gstore::GraphView pages blocks in and out under this
+// exact contract). Enumeration order — and therefore every output, including
+// budget-truncation points — depends only on the neighbor sequences, not on
+// the storage, which is what makes compressed-vs-CSR censuses bit-identical.
+template <typename GraphT>
+class BasicCensusWorker {
  public:
   // `metrics` is optional instrumentation (see CensusMetrics); the worker
   // keeps a copy, so the hooks may be a temporary, but the registry they
   // point into must outlive the worker.
-  CensusWorker(const graph::HetGraph& graph, const CensusConfig& config,
-               CensusMetrics metrics = {});
+  BasicCensusWorker(const GraphT& graph, const CensusConfig& config,
+                    CensusMetrics metrics = {});
 
-  CensusWorker(const CensusWorker&) = delete;
-  CensusWorker& operator=(const CensusWorker&) = delete;
+  BasicCensusWorker(const BasicCensusWorker&) = delete;
+  BasicCensusWorker& operator=(const BasicCensusWorker&) = delete;
 
   const CensusConfig& config() const { return config_; }
 
@@ -212,7 +238,7 @@ class CensusWorker {
   // cancellation latency without putting a clock read in the hot loop.
   static constexpr int kStopCheckInterval = 1024;
 
-  const graph::HetGraph& graph_;
+  const GraphT& graph_;
   CensusConfig config_;
   CensusMetrics metrics_;
   RollingHash hasher_;
@@ -255,12 +281,379 @@ class CensusWorker {
   std::vector<NodeSignature> scratch_signatures_;
 };
 
+// The census worker every existing call site uses: the in-RAM CSR graph.
+using CensusWorker = BasicCensusWorker<graph::HetGraph>;
+
+// How an extraction session obtains a per-worker accessor for a graph type.
+// The default binds the shared graph itself — HetGraph is immutable and safe
+// to share across census threads. Graph types with per-thread paging state
+// (gstore::CompressedGraph) specialize this so each worker gets a private
+// view whose neighbors() spans may be invalidated by its own next call.
+template <typename GraphT>
+struct CensusAccess {
+  using View = GraphT;
+  static const GraphT& MakeView(const GraphT& graph) { return graph; }
+};
+
 // The one one-shot convenience: builds a throwaway worker, runs the census
 // for a single node, and returns the result by value. Anything that runs
 // more than one census should construct a CensusWorker and reuse it (worker
 // construction is O(V)).
 CensusResult RunCensus(const graph::HetGraph& graph, graph::NodeId start,
                        const CensusConfig& config);
+
+// --- BasicCensusWorker implementation ---------------------------------------
+
+template <typename GraphT>
+BasicCensusWorker<GraphT>::BasicCensusWorker(const GraphT& graph,
+                                             const CensusConfig& config,
+                                             CensusMetrics metrics)
+    : graph_(graph),
+      config_(config),
+      metrics_(std::move(metrics)),
+      hasher_(graph.num_labels() + (config.mask_start_label ? 1 : 0),
+              config.hash_seed),
+      num_effective_labels_(graph.num_labels() +
+                            (config.mask_start_label ? 1 : 0)),
+      node_epoch_(graph.num_nodes(), 0),
+      linear_contribution_(graph.num_nodes(), 0) {
+  HSGF_CHECK_GE(config_.max_edges, 1) << "census needs at least one edge";
+  // Tolerate hooks registered for a smaller emax: missing per-edge-count
+  // counters become inert instead of out-of-bounds.
+  if (metrics_.registry != nullptr) {
+    metrics_.subgraphs_by_edges.resize(
+        static_cast<size_t>(config_.max_edges), util::kInvalidMetric);
+  }
+  batch_.subgraphs_by_edges.assign(static_cast<size_t>(config_.max_edges), 0);
+}
+
+template <typename GraphT>
+graph::Label BasicCensusWorker<GraphT>::EffectiveLabel(graph::NodeId v) const {
+  if (config_.mask_start_label && v == start_) {
+    return static_cast<graph::Label>(graph_.num_labels());
+  }
+  return graph_.label(v);
+}
+
+template <typename GraphT>
+uint64_t BasicCensusWorker<GraphT>::MixedContribution(graph::NodeId v) const {
+  uint64_t c = linear_contribution_[v];
+  return config_.mix_contributions ? census_internal::Mix(c) : c;
+}
+
+template <typename GraphT>
+graph::NodeId BasicCensusWorker<GraphT>::AddEdge(const CandidateEdge& edge) {
+  // Every candidate extends the current subgraph: its source endpoint must
+  // already be inside, or the incremental hash bookkeeping drifts silently.
+  HSGF_DCHECK(InSubgraph(edge.from))
+      << "candidate edge " << edge.from << "->" << edge.to
+      << " does not touch the subgraph";
+  const graph::Label la = EffectiveLabel(edge.from);
+  const graph::Label lb = EffectiveLabel(edge.to);
+  current_hash_ -= MixedContribution(edge.from);
+  linear_contribution_[edge.from] += hasher_.Power(la, lb);
+  current_hash_ += MixedContribution(edge.from);
+  if (InSubgraph(edge.to)) {
+    current_hash_ -= MixedContribution(edge.to);
+    linear_contribution_[edge.to] += hasher_.Power(lb, la);
+    current_hash_ += MixedContribution(edge.to);
+    return -1;
+  }
+  node_epoch_[edge.to] = epoch_;
+  linear_contribution_[edge.to] = hasher_.Power(lb, la);
+  current_hash_ += MixedContribution(edge.to);
+  return edge.to;
+}
+
+template <typename GraphT>
+void BasicCensusWorker<GraphT>::RemoveEdge(const CandidateEdge& edge,
+                                           graph::NodeId added_node) {
+  const graph::Label la = EffectiveLabel(edge.from);
+  const graph::Label lb = EffectiveLabel(edge.to);
+  current_hash_ -= MixedContribution(edge.from);
+  linear_contribution_[edge.from] -= hasher_.Power(la, lb);
+  current_hash_ += MixedContribution(edge.from);
+  if (added_node != -1) {
+    current_hash_ -= MixedContribution(edge.to);
+    node_epoch_[edge.to] = 0;  // leave the subgraph
+    return;
+  }
+  current_hash_ -= MixedContribution(edge.to);
+  linear_contribution_[edge.to] -= hasher_.Power(lb, la);
+  current_hash_ += MixedContribution(edge.to);
+}
+
+template <typename GraphT>
+void BasicCensusWorker<GraphT>::AppendFrontierOf(graph::NodeId w,
+                                                 graph::NodeId parent) {
+  // Frontier candidates are only collected for nodes that just joined the
+  // subgraph; expanding an outside node would enumerate disconnected sets.
+  HSGF_DCHECK(InSubgraph(w)) << "frontier expansion of node " << w
+                             << " outside the subgraph";
+  // Topological heuristic (§3.2): hubs are added but never expanded through;
+  // the start node is exempt (§4.3.5).
+  if (IsBlocked(w)) {
+    ++batch_.dmax_blocked;
+    return;
+  }
+  for (graph::NodeId y : graph_.neighbors(w)) {
+    if (!InSubgraph(y)) {
+      arena_.push_back({w, y});
+    } else if (IsBlocked(y) && y != parent) {
+      // Edges back into the subgraph are normally offered by the other
+      // endpoint when *it* joins — but blocked nodes never offer their
+      // edges, so cycle-closing edges into an in-subgraph hub must be
+      // offered here (excluding w's own discovery edge). This keeps the
+      // enumerated set independent of candidate order and duplicate-free.
+      arena_.push_back({w, y});
+    }
+  }
+}
+
+template <typename GraphT>
+Encoding BasicCensusWorker<GraphT>::MaterializeEncoding() {
+  // Collect the distinct nodes of the current subgraph (at most
+  // max_edges + 1 of them) and recount labelled degrees from the edge stack.
+  // Both scratch vectors are member-owned: only the first |subgraph| entries
+  // are live, so repeated materializations allocate nothing once warm.
+  scratch_nodes_.clear();
+  for (const auto& [u, v] : edge_stack_) {
+    scratch_nodes_.push_back(u);
+    scratch_nodes_.push_back(v);
+  }
+  std::sort(scratch_nodes_.begin(), scratch_nodes_.end());
+  scratch_nodes_.erase(
+      std::unique(scratch_nodes_.begin(), scratch_nodes_.end()),
+      scratch_nodes_.end());
+  const size_t count = scratch_nodes_.size();
+
+  if (scratch_signatures_.size() < count) scratch_signatures_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    scratch_signatures_[i].label = EffectiveLabel(scratch_nodes_[i]);
+    scratch_signatures_[i].neighbor_counts.assign(num_effective_labels_, 0);
+  }
+  auto index_of = [this](graph::NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(scratch_nodes_.begin(), scratch_nodes_.end(), v) -
+        scratch_nodes_.begin());
+  };
+  for (const auto& [u, v] : edge_stack_) {
+    ++scratch_signatures_[index_of(u)].neighbor_counts[EffectiveLabel(v)];
+    ++scratch_signatures_[index_of(v)].neighbor_counts[EffectiveLabel(u)];
+  }
+  return EncodeSignatureRange(scratch_signatures_.data(), count,
+                              num_effective_labels_);
+}
+
+template <typename GraphT>
+void BasicCensusWorker<GraphT>::Extend(size_t seg_begin, size_t seg_end,
+                                       int depth, CensusResult& result) {
+  HSGF_DCHECK_LE(seg_begin, seg_end);
+  HSGF_DCHECK_LE(seg_end, seg_stack_.size());
+  HSGF_DCHECK_LT(depth, config_.max_edges);
+  HSGF_DCHECK_EQ(edge_stack_.size(), static_cast<size_t>(depth));
+  Cursor i{seg_begin, seg_begin < seg_end ? seg_stack_[seg_begin].begin : 0};
+  while (i.seg < seg_end) {
+    HSGF_DCHECK_LT(i.pos, seg_stack_[i.seg].end);
+    if (config_.max_subgraphs > 0 &&
+        result.total_subgraphs >= config_.max_subgraphs) {
+      result.truncated = true;
+      return;
+    }
+    if (has_stop_ && --stop_countdown_ <= 0) {
+      stop_countdown_ = kStopCheckInterval;
+      if (stop_.StopRequested()) {
+        result.stopped = true;
+        return;
+      }
+    }
+    const CandidateEdge head = arena_[i.pos];
+    const bool head_is_new_node = !InSubgraph(head.to);
+    Cursor j = i;
+    Advance(j, seg_end);
+    int64_t run = 1;
+    if (head_is_new_node && config_.group_by_label) {
+      // Heterogeneous optimization heuristic: consecutive candidates that
+      // extend the same subgraph node with a *new* neighbour of the same
+      // label all produce the same encoding (and hash); batch their count.
+      // Runs may span segment boundaries — adjacent segments were adjacent
+      // in the flat candidate list this layout replaces.
+      const graph::Label head_label = EffectiveLabel(head.to);
+      while (j.seg < seg_end) {
+        const CandidateEdge& cand = arena_[j.pos];
+        if (cand.from != head.from || InSubgraph(cand.to) ||
+            EffectiveLabel(cand.to) != head_label) {
+          break;
+        }
+        ++run;
+        Advance(j, seg_end);
+      }
+    }
+
+    // Hash of the subgraph after adding `head` (identical for the whole
+    // run): both endpoints' contributions change.
+    const graph::Label la = EffectiveLabel(head.from);
+    const graph::Label lb = EffectiveLabel(head.to);
+    uint64_t hash_after = current_hash_;
+    hash_after -= MixedContribution(head.from);
+    {
+      uint64_t c_from = linear_contribution_[head.from] + hasher_.Power(la, lb);
+      hash_after +=
+          config_.mix_contributions ? census_internal::Mix(c_from) : c_from;
+    }
+    if (head_is_new_node) {
+      uint64_t c_to = hasher_.Power(lb, la);
+      hash_after +=
+          config_.mix_contributions ? census_internal::Mix(c_to) : c_to;
+    } else {
+      hash_after -= MixedContribution(head.to);
+      uint64_t c_to = linear_contribution_[head.to] + hasher_.Power(lb, la);
+      hash_after +=
+          config_.mix_contributions ? census_internal::Mix(c_to) : c_to;
+    }
+
+    result.counts.Add(hash_after, run);
+    result.total_subgraphs += run;
+    HSGF_DCHECK_LT(static_cast<size_t>(depth),
+                   batch_.subgraphs_by_edges.size());
+    batch_.subgraphs_total += run;
+    batch_.subgraphs_by_edges[depth] += run;
+    if (run > 1) batch_.label_group_saved += run - 1;
+    if (config_.keep_encodings && !result.encodings.contains(hash_after)) {
+      edge_stack_.push_back({head.from, head.to});
+      result.encodings.emplace(hash_after, MaterializeEncoding());
+      edge_stack_.pop_back();
+      ++batch_.encoding_materializations;
+    }
+
+    if (depth + 1 < config_.max_edges) {
+      for (Cursor k = i; k.seg != j.seg || k.pos != j.pos;
+           Advance(k, seg_end)) {
+        if (result.truncated || result.stopped) return;
+        const CandidateEdge edge = arena_[k.pos];
+        graph::NodeId added = AddEdge(edge);
+        edge_stack_.emplace_back(edge.from, edge.to);
+        // The child's candidate list: the rest of k's segment, the
+        // remaining ancestor segments, then the child's own frontier —
+        // all by reference except the frontier. Ancestor arena_ ranges
+        // stay valid because descendants only append past them and always
+        // resize back on unwind.
+        const size_t child_seg_begin = seg_stack_.size();
+        if (k.pos + 1 < seg_stack_[k.seg].end) {
+          seg_stack_.push_back({k.pos + 1, seg_stack_[k.seg].end});
+        }
+        for (size_t s = k.seg + 1; s < seg_end; ++s) {
+          const Segment inherited = seg_stack_[s];
+          seg_stack_.push_back(inherited);
+        }
+        const size_t child_arena_begin = arena_.size();
+        if (added != -1) AppendFrontierOf(added, edge.from);
+        if (arena_.size() > child_arena_begin) {
+          seg_stack_.push_back({child_arena_begin, arena_.size()});
+        }
+        Extend(child_seg_begin, seg_stack_.size(), depth + 1, result);
+        seg_stack_.resize(child_seg_begin);
+        arena_.resize(child_arena_begin);
+        edge_stack_.pop_back();
+        RemoveEdge(edge, added);
+      }
+    }
+    i = j;
+  }
+}
+
+template <typename GraphT>
+void BasicCensusWorker<GraphT>::Run(graph::NodeId start, CensusResult& result,
+                                    util::StopToken stop) {
+  HSGF_CHECK(start >= 0 && start < graph_.num_nodes())
+      << "census start node " << start << " outside [0, "
+      << graph_.num_nodes() << ")";
+  result.counts.Clear();
+  result.encodings.clear();
+  result.total_subgraphs = 0;
+  result.truncated = false;
+  result.stopped = false;
+
+  stop_ = std::move(stop);
+  has_stop_ = stop_.CanStop();
+  stop_countdown_ = kStopCheckInterval;
+  if (has_stop_ && stop_.StopRequested()) {
+    result.stopped = true;
+  } else {
+    start_ = start;
+    ++epoch_;
+    node_epoch_[start] = epoch_;
+    linear_contribution_[start] = 0;
+    current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
+
+    arena_.clear();
+    seg_stack_.clear();
+    edge_stack_.clear();
+    // The start node is always expanded, regardless of dmax.
+    for (graph::NodeId y : graph_.neighbors(start)) {
+      arena_.push_back({start, y});
+    }
+    if (!arena_.empty()) seg_stack_.push_back({0, arena_.size()});
+    Extend(0, seg_stack_.size(), 0, result);
+    // The enumeration must unwind completely — even on truncation or stop —
+    // or the epoch-stamped scratch poisons the next Run() on this worker.
+    HSGF_DCHECK(edge_stack_.empty())
+        << edge_stack_.size() << " edges left on the stack after unwind";
+    HSGF_DCHECK_EQ(seg_stack_.size(), arena_.empty() ? size_t{0} : size_t{1})
+        << "segment stack not unwound to the root frame";
+    HSGF_DCHECK_EQ(linear_contribution_[start], uint64_t{0})
+        << "start-node hash contribution not restored";
+    HSGF_DCHECK_EQ(current_hash_, MixedContribution(start))
+        << "rolling hash did not return to the empty-subgraph state";
+    node_epoch_[start] = 0;
+  }
+
+  // Flush-on-Run: the hot loop accumulated into batch_; the registry sees
+  // one Increment per counter per census instead of one per enumeration
+  // step. Snapshots taken mid-extraction therefore lag by at most the
+  // in-flight nodes' counts.
+  if (metrics_.registry != nullptr) {
+    util::MetricsRegistry* registry = metrics_.registry;
+    registry->Increment(metrics_.nodes);
+    registry->Increment(metrics_.distinct_encodings,
+                        static_cast<int64_t>(result.counts.size()));
+    if (batch_.subgraphs_total != 0) {
+      registry->Increment(metrics_.subgraphs_total, batch_.subgraphs_total);
+    }
+    for (size_t k = 0; k < batch_.subgraphs_by_edges.size(); ++k) {
+      if (batch_.subgraphs_by_edges[k] != 0) {
+        registry->Increment(metrics_.subgraphs_by_edges[k],
+                            batch_.subgraphs_by_edges[k]);
+      }
+    }
+    if (batch_.label_group_saved != 0) {
+      registry->Increment(metrics_.label_group_saved,
+                          batch_.label_group_saved);
+    }
+    if (batch_.dmax_blocked != 0) {
+      registry->Increment(metrics_.dmax_blocked, batch_.dmax_blocked);
+    }
+    if (batch_.encoding_materializations != 0) {
+      registry->Increment(metrics_.encoding_materializations,
+                          batch_.encoding_materializations);
+    }
+    if (result.truncated) {
+      registry->Increment(metrics_.budget_truncated_nodes);
+    }
+    if (result.stopped) registry->Increment(metrics_.stopped_nodes);
+  }
+  batch_.subgraphs_total = 0;
+  batch_.label_group_saved = 0;
+  batch_.dmax_blocked = 0;
+  batch_.encoding_materializations = 0;
+  std::fill(batch_.subgraphs_by_edges.begin(),
+            batch_.subgraphs_by_edges.end(), 0);
+}
+
+// The CSR instantiation every in-RAM call site links against lives in
+// census.cc; this keeps its -O2 codegen (and therefore the published bench
+// trajectory) in one translation unit.
+extern template class BasicCensusWorker<graph::HetGraph>;
 
 }  // namespace hsgf::core
 

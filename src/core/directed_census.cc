@@ -5,31 +5,8 @@
 #include <sstream>
 
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace hsgf::core {
-
-namespace {
-
-uint64_t Mix(uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-// Descending lexicographic block order (canonical encoding order). Explicit
-// byte loop: every block has the same length, and vector's three-way
-// compare trips GCC's memcmp bound analysis under -O3.
-bool DescendingBytes(const std::vector<uint8_t>& a,
-                     const std::vector<uint8_t>& b) {
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (a[i] != b[i]) return a[i] > b[i];
-  }
-  return a.size() > b.size();
-}
-
-}  // namespace
 
 // --- SmallDiGraph ----------------------------------------------------------
 
@@ -124,7 +101,8 @@ Encoding EncodeSmallDiGraph(const SmallDiGraph& graph, int num_labels) {
     }
     blocks.push_back(std::move(bytes));
   }
-  std::sort(blocks.begin(), blocks.end(), DescendingBytes);
+  std::sort(blocks.begin(), blocks.end(),
+            directed_census_internal::DescendingBytes);
   Encoding encoding;
   encoding.reserve(blocks.size() * block);
   for (const auto& bytes : blocks) {
@@ -161,228 +139,9 @@ std::string DirectedEncodingToString(
 
 // --- DirectedCensusWorker ---------------------------------------------------
 
-DirectedCensusWorker::DirectedCensusWorker(const graph::DirectedHetGraph& graph,
-                                           const CensusConfig& config)
-    : graph_(graph),
-      config_(config),
-      num_effective_labels_(graph.num_labels() +
-                            (config.mask_start_label ? 1 : 0)),
-      node_epoch_(graph.num_nodes(), 0),
-      linear_contribution_(graph.num_nodes(), 0) {
-  HSGF_CHECK_GE(config_.max_edges, 1);
-  // Two independent odd base families: one for in-, one for out-counts.
-  const int L = num_effective_labels_;
-  std::vector<uint64_t> out_bases(L);
-  std::vector<uint64_t> in_bases(L);
-  uint64_t state = config_.hash_seed ^ 0x5851f42d4c957f2dULL;
-  for (int l = 0; l < L; ++l) out_bases[l] = util::SplitMix64(state) | 1ULL;
-  for (int l = 0; l < L; ++l) in_bases[l] = util::SplitMix64(state) | 1ULL;
-  out_power_.resize(static_cast<size_t>(L) * L);
-  in_power_.resize(static_cast<size_t>(L) * L);
-  for (int a = 0; a < L; ++a) {
-    uint64_t po = out_bases[a];
-    uint64_t pi = in_bases[a];
-    for (int i = 0; i < L; ++i) {
-      out_power_[static_cast<size_t>(a) * L + i] = po;
-      in_power_[static_cast<size_t>(a) * L + i] = pi;
-      po *= out_bases[a];
-      pi *= in_bases[a];
-    }
-  }
-}
-
-graph::Label DirectedCensusWorker::EffectiveLabel(graph::NodeId v) const {
-  if (config_.mask_start_label && v == start_) {
-    return static_cast<graph::Label>(graph_.num_labels());
-  }
-  return graph_.label(v);
-}
-
-uint64_t DirectedCensusWorker::Contribution(uint64_t linear) const {
-  return config_.mix_contributions ? Mix(linear) : linear;
-}
-
-graph::NodeId DirectedCensusWorker::AddArc(const CandidateArc& arc) {
-  const graph::Label lt = EffectiveLabel(arc.tail);
-  const graph::Label lh = EffectiveLabel(arc.head);
-  const uint64_t tail_delta = OutPower(lt, lh);  // tail gains an out-neighbour
-  const uint64_t head_delta = InPower(lh, lt);   // head gains an in-neighbour
-  graph::NodeId added = -1;
-
-  // At most one endpoint is outside the subgraph (candidate invariant).
-  auto apply = [&](graph::NodeId v, uint64_t delta) {
-    if (InSubgraph(v)) {
-      current_hash_ -= Contribution(linear_contribution_[v]);
-      linear_contribution_[v] += delta;
-      current_hash_ += Contribution(linear_contribution_[v]);
-    } else {
-      HSGF_DCHECK_EQ(added, -1)
-          << "both arc endpoints were outside the subgraph";
-      node_epoch_[v] = epoch_;
-      linear_contribution_[v] = delta;
-      current_hash_ += Contribution(delta);
-      added = v;
-    }
-  };
-  apply(arc.tail, tail_delta);
-  apply(arc.head, head_delta);
-  return added;
-}
-
-void DirectedCensusWorker::RemoveArc(const CandidateArc& arc,
-                                     graph::NodeId added_node) {
-  const graph::Label lt = EffectiveLabel(arc.tail);
-  const graph::Label lh = EffectiveLabel(arc.head);
-  auto revert = [this](graph::NodeId v, uint64_t delta) {
-    current_hash_ -= Contribution(linear_contribution_[v]);
-    linear_contribution_[v] -= delta;
-    current_hash_ += Contribution(linear_contribution_[v]);
-  };
-  if (added_node == arc.tail) {
-    current_hash_ -= Contribution(linear_contribution_[arc.tail]);
-    node_epoch_[arc.tail] = 0;
-    revert(arc.head, InPower(lh, lt));
-  } else if (added_node == arc.head) {
-    current_hash_ -= Contribution(linear_contribution_[arc.head]);
-    node_epoch_[arc.head] = 0;
-    revert(arc.tail, OutPower(lt, lh));
-  } else {
-    revert(arc.tail, OutPower(lt, lh));
-    revert(arc.head, InPower(lh, lt));
-  }
-}
-
-void DirectedCensusWorker::AppendFrontierOf(graph::NodeId w,
-                                            const CandidateArc& discovery) {
-  if (IsBlocked(w)) return;
-  auto offer = [&](graph::NodeId tail, graph::NodeId head,
-                   graph::NodeId other) {
-    if (!InSubgraph(other)) {
-      arena_.push_back({tail, head});
-    } else if (IsBlocked(other) &&
-               !(tail == discovery.tail && head == discovery.head)) {
-      // Blocked nodes never offer their own arcs; offer cycle closers here
-      // (excluding the discovery arc itself).
-      arena_.push_back({tail, head});
-    }
-  };
-  for (graph::NodeId y : graph_.successors(w)) offer(w, y, y);
-  for (graph::NodeId y : graph_.predecessors(w)) offer(y, w, y);
-}
-
-Encoding DirectedCensusWorker::MaterializeEncoding() {
-  // Member-owned scratch: only the first |subgraph| entries are live, so
-  // repeated materializations allocate nothing once warm.
-  scratch_nodes_.clear();
-  for (const auto& [t, h] : arc_stack_) {
-    scratch_nodes_.push_back(t);
-    scratch_nodes_.push_back(h);
-  }
-  std::sort(scratch_nodes_.begin(), scratch_nodes_.end());
-  scratch_nodes_.erase(
-      std::unique(scratch_nodes_.begin(), scratch_nodes_.end()),
-      scratch_nodes_.end());
-  const size_t count = scratch_nodes_.size();
-
-  const int L = num_effective_labels_;
-  const int block = 1 + 2 * L;
-  if (scratch_blocks_.size() < count) scratch_blocks_.resize(count);
-  auto index_of = [this](graph::NodeId v) {
-    return static_cast<size_t>(
-        std::lower_bound(scratch_nodes_.begin(), scratch_nodes_.end(), v) -
-        scratch_nodes_.begin());
-  };
-  for (size_t i = 0; i < count; ++i) {
-    scratch_blocks_[i].assign(block, 0);
-    scratch_blocks_[i][0] = EffectiveLabel(scratch_nodes_[i]);
-  }
-  for (const auto& [t, h] : arc_stack_) {
-    ++scratch_blocks_[index_of(h)][1 + EffectiveLabel(t)];      // in of head
-    ++scratch_blocks_[index_of(t)][1 + L + EffectiveLabel(h)];  // out of tail
-  }
-  std::sort(scratch_blocks_.begin(), scratch_blocks_.begin() + count,
-            DescendingBytes);
-  Encoding encoding;
-  encoding.reserve(count * block);
-  for (size_t i = 0; i < count; ++i) {
-    encoding.insert(encoding.end(), scratch_blocks_[i].begin(),
-                    scratch_blocks_[i].end());
-  }
-  return encoding;
-}
-
-void DirectedCensusWorker::Extend(size_t seg_begin, size_t seg_end, int depth,
-                                  CensusResult& result) {
-  // Candidates are the concatenation of seg_stack_[seg_begin, seg_end)'s
-  // arena_ ranges — the same sequence the old per-child tail copy built,
-  // so enumeration order (and budget truncation) is bit-identical.
-  for (Cursor i{seg_begin, seg_begin < seg_end ? seg_stack_[seg_begin].begin
-                                               : 0};
-       i.seg < seg_end; Advance(i, seg_end)) {
-    if (config_.max_subgraphs > 0 &&
-        result.total_subgraphs >= config_.max_subgraphs) {
-      result.truncated = true;
-      return;
-    }
-    const CandidateArc arc = arena_[i.pos];
-    graph::NodeId added = AddArc(arc);
-    arc_stack_.emplace_back(arc.tail, arc.head);
-
-    result.counts.Add(current_hash_, 1);
-    ++result.total_subgraphs;
-    if (config_.keep_encodings &&
-        !result.encodings.contains(current_hash_)) {
-      result.encodings.emplace(current_hash_, MaterializeEncoding());
-    }
-
-    if (depth + 1 < config_.max_edges) {
-      // Child candidates: rest of i's segment, remaining ancestor
-      // segments, then the child's own frontier — references only.
-      const size_t child_seg_begin = seg_stack_.size();
-      if (i.pos + 1 < seg_stack_[i.seg].end) {
-        seg_stack_.push_back({i.pos + 1, seg_stack_[i.seg].end});
-      }
-      for (size_t s = i.seg + 1; s < seg_end; ++s) {
-        const Segment inherited = seg_stack_[s];
-        seg_stack_.push_back(inherited);
-      }
-      const size_t child_arena_begin = arena_.size();
-      if (added != -1) AppendFrontierOf(added, arc);
-      if (arena_.size() > child_arena_begin) {
-        seg_stack_.push_back({child_arena_begin, arena_.size()});
-      }
-      Extend(child_seg_begin, seg_stack_.size(), depth + 1, result);
-      seg_stack_.resize(child_seg_begin);
-      arena_.resize(child_arena_begin);
-    }
-    arc_stack_.pop_back();
-    RemoveArc(arc, added);
-    if (result.truncated) return;
-  }
-}
-
-void DirectedCensusWorker::Run(graph::NodeId start, CensusResult& result) {
-  HSGF_CHECK(start >= 0 && start < graph_.num_nodes());
-  result.counts.Clear();
-  result.encodings.clear();
-  result.total_subgraphs = 0;
-  result.truncated = false;
-
-  start_ = start;
-  ++epoch_;
-  node_epoch_[start] = epoch_;
-  linear_contribution_[start] = 0;
-  current_hash_ = Contribution(0);
-
-  arena_.clear();
-  seg_stack_.clear();
-  arc_stack_.clear();
-  for (graph::NodeId y : graph_.successors(start)) arena_.push_back({start, y});
-  for (graph::NodeId y : graph_.predecessors(start)) arena_.push_back({y, start});
-  if (!arena_.empty()) seg_stack_.push_back({0, arena_.size()});
-  Extend(0, seg_stack_.size(), 0, result);
-  node_epoch_[start] = 0;
-}
+// Home of the digraph worker's code (see the extern template declaration in
+// directed_census.h).
+template class BasicDirectedCensusWorker<graph::DirectedHetGraph>;
 
 CensusResult RunDirectedCensus(const graph::DirectedHetGraph& graph,
                                graph::NodeId start,

@@ -1,16 +1,23 @@
 #ifndef HSGF_CORE_EXTRACTOR_H_
 #define HSGF_CORE_EXTRACTOR_H_
 
+#include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "core/census.h"
 #include "core/feature_matrix.h"
+#include "graph/degree_stats.h"
 #include "graph/het_graph.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/stop_token.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace hsgf::core {
 
@@ -32,11 +39,26 @@ struct ExtractorConfig {
   FeatureBuildOptions features;
 };
 
-// The dmax that an Extractor built from (graph, config) will apply:
+// The dmax that an extractor built from (graph, config) will apply:
 // census.max_degree, overridden by the dmax_percentile convenience when it
 // is set (0 = unlimited). Public so the CLI and benches can report or reuse
-// the resolved value without re-deriving the percentile themselves.
-int ResolveDmax(const graph::HetGraph& graph, const ExtractorConfig& config);
+// the resolved value without re-deriving the percentile themselves. Works
+// for any graph type modelling num_nodes()/degree(v).
+template <typename GraphT>
+int ResolveDmaxFor(const GraphT& graph, const ExtractorConfig& config) {
+  if (config.dmax_percentile > 0.0 && config.dmax_percentile < 100.0) {
+    return graph::DegreePercentileOf(
+        graph.num_nodes(), [&graph](graph::NodeId v) { return graph.degree(v); },
+        config.dmax_percentile);
+  }
+  if (config.dmax_percentile >= 100.0) return 0;  // constraint disabled
+  return config.census.max_degree;
+}
+
+inline int ResolveDmax(const graph::HetGraph& graph,
+                       const ExtractorConfig& config) {
+  return ResolveDmaxFor(graph, config);
+}
 
 // Progress report delivered as node censuses complete. Reports are
 // throttled: at most one per Extractor::kProgressInterval completed nodes,
@@ -77,22 +99,27 @@ struct ExtractionResult {
 // are reused, and the metrics registry accumulates over the session.
 //
 // Run() is deterministic: the feature matrix is identical for any thread
-// count. The Extractor itself is not re-entrant (one Run() at a time), but
+// count. The extractor itself is not re-entrant (one Run() at a time), but
 // its censuses execute on the internal pool.
-class Extractor {
+//
+// The graph storage is a template parameter (see BasicCensusWorker for the
+// concept); each pool thread obtains its own accessor through
+// CensusAccess<GraphT>, so paged storages hand every worker a private view.
+template <typename GraphT>
+class BasicExtractor {
  public:
   // Completed-node stride between progress reports (plus the final one).
   // Keeps the shared progress mutex out of the per-node path: under heavy
   // thread counts a per-node lock acquisition serializes the workers.
   static constexpr size_t kProgressInterval = 16;
 
-  Extractor(const graph::HetGraph& graph, const ExtractorConfig& config);
-  ~Extractor();
+  BasicExtractor(const GraphT& graph, const ExtractorConfig& config);
+  ~BasicExtractor() = default;
 
-  Extractor(const Extractor&) = delete;
-  Extractor& operator=(const Extractor&) = delete;
+  BasicExtractor(const BasicExtractor&) = delete;
+  BasicExtractor& operator=(const BasicExtractor&) = delete;
 
-  const graph::HetGraph& graph() const { return graph_; }
+  const GraphT& graph() const { return graph_; }
   const ExtractorConfig& config() const { return config_; }
   // The dmax applied to every census of this session (0 = unlimited).
   int effective_dmax() const { return census_config_.max_degree; }
@@ -131,7 +158,10 @@ class Extractor {
   CensusResult RunCensus(graph::NodeId node, util::StopToken stop = {});
 
  private:
-  const graph::HetGraph& graph_;
+  using Access = CensusAccess<GraphT>;
+  using Worker = BasicCensusWorker<typename Access::View>;
+
+  const GraphT& graph_;
   ExtractorConfig config_;
   CensusConfig census_config_;  // config_.census with dmax resolved
   util::MetricsRegistry metrics_;
@@ -145,11 +175,162 @@ class Extractor {
   std::unique_ptr<util::ThreadPool> pool_;  // null when single-threaded
 };
 
+// The extraction session every existing call site uses: in-RAM CSR.
+using Extractor = BasicExtractor<graph::HetGraph>;
+
 // One-shot convenience kept for existing call sites: builds a throwaway
 // Extractor session and runs it once.
 ExtractionResult ExtractFeatures(const graph::HetGraph& graph,
                                  const std::vector<graph::NodeId>& nodes,
                                  const ExtractorConfig& config);
+
+// --- BasicExtractor implementation ------------------------------------------
+
+template <typename GraphT>
+BasicExtractor<GraphT>::BasicExtractor(const GraphT& graph,
+                                       const ExtractorConfig& config)
+    : graph_(graph), config_(config), census_config_(config.census) {
+  span_resolve_dmax_ = metrics_.Span("extract.resolve_dmax");
+  span_census_ = metrics_.Span("extract.census");
+  hist_node_micros_ = metrics_.Histogram("census.node_micros");
+  gauge_effective_dmax_ = metrics_.Gauge("extract.effective_dmax");
+  gauge_nodes_total_ = metrics_.Gauge("extract.nodes_total");
+  gauge_features_selected_ = metrics_.Gauge("extract.features_selected");
+  census_metrics_ = CensusMetrics::Register(metrics_, census_config_.max_edges);
+
+  {
+    util::ScopedSpan span(metrics_, span_resolve_dmax_);
+    census_config_.max_degree = ResolveDmaxFor(graph, config);
+  }
+  metrics_.SetGauge(gauge_effective_dmax_, census_config_.max_degree);
+
+  // The pool (and its threads) lives for the whole session; num_threads == 0
+  // resolves to the hardware concurrency inside ThreadPool.
+  if (config_.num_threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+}
+
+template <typename GraphT>
+ExtractionResult BasicExtractor<GraphT>::Run(
+    const std::vector<graph::NodeId>& nodes) {
+  return Run(nodes, util::StopToken(), nullptr);
+}
+
+template <typename GraphT>
+ExtractionResult BasicExtractor<GraphT>::Run(
+    const std::vector<graph::NodeId>& nodes, util::StopToken stop,
+    ProgressFn progress) {
+  ExtractionResult result;
+  result.effective_dmax = census_config_.max_degree;
+  metrics_.SetGauge(gauge_nodes_total_, static_cast<double>(nodes.size()));
+
+  std::vector<CensusResult> censuses(nodes.size());
+  std::atomic<size_t> nodes_done{0};
+  std::atomic<int64_t> subgraphs_so_far{0};
+  std::atomic<bool> any_stopped{false};
+  // hsgf-lint: allow(mutex-guard) function-local; GUARDED_BY is members-only
+  util::Mutex progress_mutex;
+
+  auto process = [&](Worker& worker, size_t i) {
+    util::Stopwatch watch;
+    worker.Run(nodes[i], censuses[i], stop);
+    metrics_.Observe(hist_node_micros_, watch.ElapsedMicros());
+    if (censuses[i].stopped) any_stopped.store(true, std::memory_order_relaxed);
+    // Plain statistic: relaxed is enough on its own, the acq_rel RMW on
+    // nodes_done below publishes it to whichever thread reports next.
+    subgraphs_so_far.fetch_add(censuses[i].total_subgraphs,
+                               std::memory_order_relaxed);
+    const size_t done = nodes_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Throttle: a progress report (and its mutex) at most once per
+    // kProgressInterval completions, plus the final one — not per node.
+    // The acq_rel increment chain guarantees the report that observes
+    // done == total also observes every worker's subgraph contribution.
+    if (progress &&
+        (done % kProgressInterval == 0 || done == nodes.size())) {
+      // Re-read under the lock rather than passing the values computed
+      // above: reports stay monotone even when workers reach the lock out
+      // of order, and the last report carries the final totals.
+      util::MutexLock lock(progress_mutex);
+      progress({nodes_done.load(std::memory_order_acquire), nodes.size(),
+                subgraphs_so_far.load(std::memory_order_relaxed)});
+    }
+  };
+
+  {
+    util::ScopedSpan span(metrics_, span_census_);
+    if (pool_ == nullptr || nodes.size() <= 1) {
+      auto&& view = Access::MakeView(graph_);
+      Worker worker(view, census_config_, census_metrics_);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (stop.StopRequested()) break;
+        process(worker, i);
+      }
+    } else {
+      // Skew-aware dispatch (longest-processing-time-first): census cost is
+      // wildly skewed by start-node degree (paper Table 3 reports per-node
+      // outliers of 2493 s on hubs). Dequeuing in caller order can land a
+      // hub last and serialize the tail of the run on one thread; starting
+      // the heaviest nodes first bounds the straggler to roughly the
+      // heaviest single node. Results still land in caller slot order —
+      // censuses[i] is keyed by the original index — so the feature matrix
+      // is identical for any schedule.
+      std::vector<size_t> order(nodes.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return graph_.degree(nodes[a]) > graph_.degree(nodes[b]);
+      });
+      // Work-queue ticket: the RMW hands each index to exactly one thread;
+      // no other memory is published through it, hence relaxed.
+      std::atomic<size_t> cursor{0};
+      const unsigned worker_count = pool_->num_threads();
+      for (unsigned t = 0; t < worker_count; ++t) {
+        pool_->Submit([&] {
+          // One O(V) census worker per thread; the graph is shared
+          // read-only (paper: O(tV + E) memory). Paged storages hand each
+          // thread a private view through CensusAccess.
+          auto&& view = Access::MakeView(graph_);
+          Worker worker(view, census_config_, census_metrics_);
+          for (;;) {
+            if (stop.StopRequested()) return;
+            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= order.size()) return;
+            process(worker, order[i]);
+          }
+        });
+      }
+      pool_->Wait();
+    }
+  }
+
+  result.nodes_processed = nodes_done.load();
+  result.stopped_early = any_stopped.load(std::memory_order_relaxed) ||
+                         result.nodes_processed < nodes.size();
+  for (const CensusResult& census : censuses) {
+    result.total_subgraphs += census.total_subgraphs;
+    if (census.truncated) ++result.truncated_nodes;
+  }
+  result.features = BuildFeatureSet(censuses, config_.features, &metrics_);
+  metrics_.SetGauge(gauge_features_selected_,
+                    static_cast<double>(result.features.matrix.cols()));
+  result.metrics = metrics_.Snapshot();
+  return result;
+}
+
+template <typename GraphT>
+CensusResult BasicExtractor<GraphT>::RunCensus(graph::NodeId node,
+                                               util::StopToken stop) {
+  auto&& view = Access::MakeView(graph_);
+  Worker worker(view, census_config_, census_metrics_);
+  CensusResult result;
+  util::Stopwatch watch;
+  worker.Run(node, result, stop);
+  metrics_.Observe(hist_node_micros_, watch.ElapsedMicros());
+  return result;
+}
+
+// The CSR instantiation lives in extractor.cc (see census.h for why).
+extern template class BasicExtractor<graph::HetGraph>;
 
 }  // namespace hsgf::core
 

@@ -14,14 +14,9 @@ std::vector<int> SortedDegrees(const HetGraph& graph) {
 }
 
 int DegreePercentile(const HetGraph& graph, double percentile) {
-  assert(percentile >= 0.0 && percentile <= 100.0);
-  std::vector<int> degrees = SortedDegrees(graph);
-  if (degrees.empty()) return 0;
-  // Index of the last node inside the percentile (nearest-rank method).
-  size_t rank = static_cast<size_t>(
-      std::ceil(percentile / 100.0 * static_cast<double>(degrees.size())));
-  if (rank == 0) rank = 1;
-  return degrees[rank - 1];
+  return DegreePercentileOf(
+      graph.num_nodes(), [&graph](NodeId v) { return graph.degree(v); },
+      percentile);
 }
 
 std::vector<int64_t> DegreeHistogram(const HetGraph& graph) {

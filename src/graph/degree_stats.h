@@ -1,6 +1,9 @@
 #ifndef HSGF_GRAPH_DEGREE_STATS_H_
 #define HSGF_GRAPH_DEGREE_STATS_H_
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +21,27 @@ std::vector<int> SortedDegrees(const HetGraph& graph);
 // The smallest degree d such that at least `percentile` (in [0, 100]) percent
 // of nodes have degree <= d. percentile == 100 returns the maximum degree.
 int DegreePercentile(const HetGraph& graph, double percentile);
+
+// The same percentile over an arbitrary degree accessor — the shared
+// implementation DegreePercentile wraps. Kept generic so graph storages that
+// do not expose CSR arrays (gstore::CompressedGraph) resolve dmax with
+// bit-identical results.
+template <typename DegreeFn>
+int DegreePercentileOf(NodeId num_nodes, DegreeFn&& degree_of,
+                       double percentile) {
+  assert(percentile >= 0.0 && percentile <= 100.0);
+  if (num_nodes <= 0) return 0;
+  std::vector<int> degrees(static_cast<size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    degrees[static_cast<size_t>(v)] = degree_of(v);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  // Index of the last node inside the percentile (nearest-rank method).
+  size_t rank = static_cast<size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(degrees.size())));
+  if (rank == 0) rank = 1;
+  return degrees[rank - 1];
+}
 
 // Histogram of degrees: result[d] = number of nodes with degree d.
 std::vector<int64_t> DegreeHistogram(const HetGraph& graph);

@@ -1,0 +1,49 @@
+#include "gstore/block_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hsgf::gstore {
+
+BlockCache::BlockCache(size_t capacity_slots)
+    : slots_per_shard_(std::max<size_t>(1, capacity_slots / kShards)) {}
+
+void BlockCache::AttachMetrics(util::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) return;
+  hits_id_ = registry->Counter("gstore.cache_hits");
+  misses_id_ = registry->Counter("gstore.cache_misses");
+  decoded_id_ = registry->Counter("gstore.blocks_decoded");
+  evictions_id_ = registry->Counter("gstore.cache_evictions");
+}
+
+void BlockCache::Insert(Shard& shard, uint32_t block,
+                        std::shared_ptr<const DecodedBlock> data) {
+  HSGF_CHECK(data != nullptr);
+  if (shard.slots.size() < slots_per_shard_) {
+    shard.index.emplace(block, shard.slots.size());
+    shard.slots.push_back(Slot{block, /*referenced=*/false, std::move(data)});
+    return;
+  }
+  // Clock sweep: skip (and clear) referenced slots until an unreferenced
+  // victim turns up. Terminates within two revolutions.
+  for (;;) {
+    Slot& candidate = shard.slots[shard.hand];
+    shard.hand = (shard.hand + 1) % shard.slots.size();
+    if (candidate.referenced) {
+      candidate.referenced = false;
+      continue;
+    }
+    shard.index.erase(candidate.block);
+    Count(evictions_id_);
+    candidate.block = block;
+    candidate.referenced = false;
+    candidate.data = std::move(data);
+    shard.index.emplace(block,
+                        static_cast<size_t>(&candidate - shard.slots.data()));
+    return;
+  }
+}
+
+}  // namespace hsgf::gstore

@@ -1,0 +1,107 @@
+#ifndef HSGF_GSTORE_BLOCK_CACHE_H_
+#define HSGF_GSTORE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/het_graph.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace hsgf::gstore {
+
+// One decoded neighbor block: the exact NodeId entry stream the writer
+// compressed (out-runs, then in-runs if directed, per node in block order).
+struct DecodedBlock {
+  std::vector<graph::NodeId> entries;
+};
+
+// Sharded cache of decoded blocks with clock (second-chance) eviction.
+//
+// Blocks are handed out as shared_ptr<const DecodedBlock>, so eviction is
+// always safe: a view holding a pinned block keeps it alive even after the
+// cache has replaced the slot. Decoding happens under the shard lock — two
+// threads never decode the same block twice, at the cost of serializing
+// same-shard misses (shards are keyed by block id, so neighbouring workers
+// rarely collide).
+class BlockCache {
+ public:
+  // `capacity_slots` is the total slot budget across all shards (>= 1 per
+  // shard is enforced). Each slot holds one decoded block regardless of its
+  // size; callers size the budget as cache_bytes / (4 * block entries).
+  explicit BlockCache(size_t capacity_slots);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Returns the decoded block, decoding via `decode(block)` on a miss.
+  // `decode` must return a non-null shared_ptr (corruption on the hot path
+  // is a fatal check inside the decoder, not a cache concern).
+  template <typename DecodeFn>
+  std::shared_ptr<const DecodedBlock> Get(uint32_t block, DecodeFn&& decode) {
+    Shard& shard = shards_[block % kShards];
+    util::MutexLock lock(shard.mu);
+    auto it = shard.index.find(block);
+    if (it != shard.index.end()) {
+      Slot& slot = shard.slots[it->second];
+      slot.referenced = true;
+      Count(hits_id_);
+      return slot.data;
+    }
+    Count(misses_id_);
+    Count(decoded_id_);
+    std::shared_ptr<const DecodedBlock> data = decode(block);
+    Insert(shard, block, data);
+    return data;
+  }
+
+  // Registers gstore.cache_* counters. Call before the cache is shared
+  // across threads; the registry must outlive the cache.
+  void AttachMetrics(util::MetricsRegistry* registry);
+
+  size_t capacity_slots() const { return kShards * slots_per_shard_; }
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct Slot {
+    uint32_t block = 0;
+    bool referenced = false;
+    std::shared_ptr<const DecodedBlock> data;
+  };
+
+  struct Shard {
+    util::Mutex mu;
+    std::unordered_map<uint32_t, size_t> index HSGF_GUARDED_BY(mu);
+    std::vector<Slot> slots HSGF_GUARDED_BY(mu);
+    size_t hand HSGF_GUARDED_BY(mu) = 0;
+  };
+
+  void Insert(Shard& shard, uint32_t block,
+              std::shared_ptr<const DecodedBlock> data)
+      HSGF_REQUIRES(shard.mu);
+
+  void Count(util::MetricId id) {
+    if (registry_ != nullptr && id != util::kInvalidMetric) {
+      registry_->Increment(id);
+    }
+  }
+
+  size_t slots_per_shard_;
+  Shard shards_[kShards];
+
+  // Written once by AttachMetrics before concurrent use.
+  util::MetricsRegistry* registry_ = nullptr;
+  util::MetricId hits_id_ = util::kInvalidMetric;
+  util::MetricId misses_id_ = util::kInvalidMetric;
+  util::MetricId decoded_id_ = util::kInvalidMetric;
+  util::MetricId evictions_id_ = util::kInvalidMetric;
+};
+
+}  // namespace hsgf::gstore
+
+#endif  // HSGF_GSTORE_BLOCK_CACHE_H_

@@ -1,0 +1,126 @@
+#ifndef HSGF_GSTORE_CGRAPH_FORMAT_H_
+#define HSGF_GSTORE_CGRAPH_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hsgf::gstore {
+
+// --- Error reporting --------------------------------------------------------
+
+// Mirrors io::SnapshotErrorCode so tools can treat both families uniformly,
+// with one addition: kBlockCrcMismatch distinguishes lazily-detected
+// corruption inside a neighbor block from a corrupted metadata region
+// (kCrcMismatch), which is always caught at open.
+enum class CGraphErrorCode {
+  kOk = 0,
+  kIoError,
+  kBadMagic,
+  kBadVersion,
+  kTruncated,
+  kCrcMismatch,
+  kBlockCrcMismatch,
+  kMalformed,
+};
+
+const char* CGraphErrorCodeName(CGraphErrorCode code);
+
+struct CGraphError {
+  CGraphErrorCode code = CGraphErrorCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == CGraphErrorCode::kOk; }
+  std::string ToString() const;
+};
+
+// --- On-disk layout ---------------------------------------------------------
+//
+// A compressed graph container ("cgraph") is a single mmap-able file:
+//
+//   Header | kBlocks blob | kLabelNames | kNodeLabels | kNodeIndex
+//          | kNodeInDegrees | kBlockDir
+//
+// The blob comes first so the writer can stream neighbor blocks without
+// knowing their total size up front; the (small) metadata sections follow and
+// the header is patched in place at Finish. Every section starts on an
+// 8-byte boundary. Header.crc32 covers the header (with the crc field
+// zeroed) plus all metadata sections — everything EXCEPT the blob, which is
+// covered by per-block CRCs in kBlockDir and verified lazily at decode time.
+// That split is what lets Open() validate a multi-GiB container by touching
+// only a few MiB of metadata.
+
+namespace cgraph_internal {
+
+inline constexpr char kMagic[8] = {'H', 'S', 'G', 'F', 'C', 'G', 'R', 'F'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Header.flags bits.
+inline constexpr uint32_t kFlagDirected = 1u << 0;
+
+enum Section : int {
+  // Raw concatenated encoded neighbor blocks. Excluded from Header.crc32.
+  kBlocks = 0,
+  // uint32 count, then per label: uint32 length + bytes (no terminator).
+  kLabelNames,
+  // uint8[num_nodes] node labels.
+  kNodeLabels,
+  // NodeIndexEntry[num_nodes].
+  kNodeIndex,
+  // uint32[num_nodes] in-degrees; present iff kFlagDirected, else empty.
+  kNodeInDegrees,
+  // BlockRef[num_blocks].
+  kBlockDir,
+  kNumSections,
+};
+
+struct SectionRef {
+  uint64_t offset = 0;  // absolute file offset, 8-byte aligned
+  uint64_t size = 0;    // payload bytes, excluding alignment padding
+};
+static_assert(sizeof(SectionRef) == 16);
+
+// Locates one node's adjacency inside the decoded entry stream of a block.
+// For a directed graph the node's run is its out-list immediately followed
+// by its in-list (`degree` + in_degrees[v] entries); for an undirected graph
+// the run is just the neighbor list (`degree` entries).
+struct NodeIndexEntry {
+  uint32_t block = 0;   // owning block id, < Header.num_blocks
+  uint32_t offset = 0;  // first entry of this node's run within the block
+  uint32_t degree = 0;  // undirected degree, or out-degree if directed
+};
+static_assert(sizeof(NodeIndexEntry) == 12);
+
+struct BlockRef {
+  uint64_t offset = 0;         // start within kBlocks (section-relative)
+  uint32_t encoded_bytes = 0;  // compressed size
+  uint32_t entries = 0;        // decoded NodeId count
+  uint32_t first_node = 0;     // blocks own contiguous node ranges
+  uint32_t crc32 = 0;          // CRC-32 of the encoded bytes
+};
+static_assert(sizeof(BlockRef) == 24);
+
+struct Header {
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t header_size = 0;
+  uint32_t crc32 = 0;  // metadata CRC; see layout comment above
+  uint32_t flags = 0;
+  uint32_t num_nodes = 0;
+  uint32_t num_labels = 0;
+  uint64_t num_edges = 0;  // undirected edges, or arcs if directed
+  uint32_t num_blocks = 0;
+  uint32_t block_target_entries = 0;
+  SectionRef sections[kNumSections + 2] = {};  // +2 reserved, zeroed
+};
+static_assert(sizeof(Header) == 48 + 16 * (kNumSections + 2),
+              "cgraph header layout drifted; bump kFormatVersion");
+static_assert(sizeof(Header) % 8 == 0, "blob must start 8-byte aligned");
+
+inline constexpr uint64_t Pad8(uint64_t size) { return (size + 7) & ~7ull; }
+
+}  // namespace cgraph_internal
+
+}  // namespace hsgf::gstore
+
+#endif  // HSGF_GSTORE_CGRAPH_FORMAT_H_

@@ -1,0 +1,216 @@
+#include "gstore/cgraph_writer.h"
+
+#include <cstring>
+
+#include "gstore/varint.h"
+#include "util/check.h"
+
+namespace hsgf::gstore {
+
+using cgraph_internal::BlockRef;
+using cgraph_internal::Header;
+using cgraph_internal::NodeIndexEntry;
+using cgraph_internal::Pad8;
+using cgraph_internal::SectionRef;
+
+namespace {
+
+void WriteZeros(std::ofstream& out, uint64_t count) {
+  static constexpr char kZeros[8] = {};
+  HSGF_DCHECK_LE(count, sizeof(kZeros));
+  out.write(kZeros, static_cast<std::streamsize>(count));
+}
+
+}  // namespace
+
+CompressedGraphWriter::CompressedGraphWriter(
+    const std::string& path, std::vector<std::string> label_names,
+    bool directed, const CGraphWriterOptions& options)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      label_names_(std::move(label_names)),
+      directed_(directed),
+      block_target_entries_(options.block_target_entries) {
+  HSGF_CHECK_GT(block_target_entries_, 0u);
+  HSGF_CHECK_LE(label_names_.size(), static_cast<size_t>(graph::kMaxLabels));
+  // Reserve the header slot; every field (including section offsets) is
+  // patched in Finish() once the blob size is known.
+  const Header placeholder{};
+  out_.write(reinterpret_cast<const char*>(&placeholder), sizeof(placeholder));
+}
+
+void CompressedGraphWriter::AddNode(graph::Label label,
+                                    std::span<const graph::NodeId> neighbors) {
+  HSGF_CHECK(!directed_);
+  Append(label, neighbors, {});
+}
+
+void CompressedGraphWriter::AddDirectedNode(
+    graph::Label label, std::span<const graph::NodeId> successors,
+    std::span<const graph::NodeId> predecessors) {
+  HSGF_CHECK(directed_);
+  Append(label, successors, predecessors);
+}
+
+void CompressedGraphWriter::Append(graph::Label label,
+                                   std::span<const graph::NodeId> first,
+                                   std::span<const graph::NodeId> second) {
+  HSGF_CHECK(!finished_);
+  HSGF_CHECK_LT(static_cast<size_t>(label), label_names_.size());
+  const size_t run = first.size() + second.size();
+
+  // Every node — including isolated ones — belongs to the block that is
+  // pending when it arrives, so blocks own contiguous node ranges and the
+  // reader can re-derive run boundaries from (first_node, degrees) alone.
+  NodeIndexEntry entry;
+  entry.block = static_cast<uint32_t>(block_dir_.size());
+  entry.offset = pending_entries_;
+  entry.degree = static_cast<uint32_t>(first.size());
+  labels_.push_back(label);
+  node_index_.push_back(entry);
+  if (directed_) in_degrees_.push_back(static_cast<uint32_t>(second.size()));
+
+  EncodeAdjacency(first, pending_);
+  EncodeAdjacency(second, pending_);
+  pending_entries_ += static_cast<uint32_t>(run);
+  entry_total_ += run;
+
+  if (pending_entries_ >= block_target_entries_) FlushBlock();
+}
+
+void CompressedGraphWriter::FlushBlock() {
+  const uint32_t next_node = static_cast<uint32_t>(labels_.size());
+  if (next_node == pending_first_node_) return;  // no nodes since last flush
+
+  BlockRef ref;
+  ref.offset = blob_bytes_;
+  ref.encoded_bytes = static_cast<uint32_t>(pending_.size());
+  ref.entries = pending_entries_;
+  ref.first_node = pending_first_node_;
+  ref.crc32 = io::Crc32Of(pending_.data(), pending_.size());
+  block_dir_.push_back(ref);
+
+  if (!pending_.empty()) {
+    out_.write(reinterpret_cast<const char*>(pending_.data()),
+               static_cast<std::streamsize>(pending_.size()));
+  }
+  blob_bytes_ += pending_.size();
+  pending_.clear();
+  pending_entries_ = 0;
+  pending_first_node_ = next_node;
+}
+
+bool CompressedGraphWriter::Finish(CGraphError* error) {
+  HSGF_CHECK(!finished_);
+  finished_ = true;
+  FlushBlock();
+
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      error->code = CGraphErrorCode::kIoError;
+      error->message = message + ": " + path_;
+    }
+    return false;
+  };
+  if (!out_) return fail("write failed");
+
+  // Serialize the label-name table.
+  std::vector<uint8_t> names;
+  const auto put_u32 = [&names](uint32_t value) {
+    const size_t at = names.size();
+    names.resize(at + sizeof(value));
+    std::memcpy(names.data() + at, &value, sizeof(value));
+  };
+  put_u32(static_cast<uint32_t>(label_names_.size()));
+  for (const std::string& name : label_names_) {
+    put_u32(static_cast<uint32_t>(name.size()));
+    names.insert(names.end(), name.begin(), name.end());
+  }
+
+  struct SectionData {
+    int section;
+    const void* data;
+    uint64_t size;
+  };
+  const SectionData metadata[] = {
+      {cgraph_internal::kLabelNames, names.data(), names.size()},
+      {cgraph_internal::kNodeLabels, labels_.data(), labels_.size()},
+      {cgraph_internal::kNodeIndex, node_index_.data(),
+       node_index_.size() * sizeof(NodeIndexEntry)},
+      {cgraph_internal::kNodeInDegrees, in_degrees_.data(),
+       in_degrees_.size() * sizeof(uint32_t)},
+      {cgraph_internal::kBlockDir, block_dir_.data(),
+       block_dir_.size() * sizeof(BlockRef)},
+  };
+
+  Header header;
+  std::memcpy(header.magic, cgraph_internal::kMagic, sizeof(header.magic));
+  header.version = cgraph_internal::kFormatVersion;
+  header.header_size = sizeof(Header);
+  header.flags = directed_ ? cgraph_internal::kFlagDirected : 0u;
+  header.num_nodes = static_cast<uint32_t>(labels_.size());
+  header.num_labels = static_cast<uint32_t>(label_names_.size());
+  // Both endpoints of every edge (resp. both the out- and in-side of every
+  // arc) contribute one entry, so edges = entries / 2 in either mode.
+  HSGF_CHECK_EQ(entry_total_ % 2, 0u);
+  header.num_edges = entry_total_ / 2;
+  header.num_blocks = static_cast<uint32_t>(block_dir_.size());
+  header.block_target_entries = block_target_entries_;
+
+  header.sections[cgraph_internal::kBlocks] =
+      SectionRef{sizeof(Header), blob_bytes_};
+  WriteZeros(out_, Pad8(blob_bytes_) - blob_bytes_);
+  uint64_t offset = sizeof(Header) + Pad8(blob_bytes_);
+  for (const SectionData& section : metadata) {
+    header.sections[section.section] = SectionRef{offset, section.size};
+    if (section.size > 0) {
+      out_.write(reinterpret_cast<const char*>(section.data),
+                 static_cast<std::streamsize>(section.size));
+    }
+    WriteZeros(out_, Pad8(section.size) - section.size);
+    offset += Pad8(section.size);
+  }
+
+  // Metadata CRC: header (crc field zeroed) + every section except the blob,
+  // which is covered by the per-block CRCs instead.
+  io::Crc32 crc;
+  crc.Update(&header, sizeof(header));
+  for (const SectionData& section : metadata) {
+    if (section.size > 0) crc.Update(section.data, section.size);
+  }
+  header.crc32 = crc.Value();
+
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  if (!out_) return fail("write failed");
+  out_.close();
+  if (out_.fail()) return fail("close failed");
+  return true;
+}
+
+bool WriteCompressedGraph(const std::string& path,
+                          const graph::HetGraph& graph, CGraphError* error,
+                          const CGraphWriterOptions& options) {
+  CompressedGraphWriter writer(path, graph.label_names(), /*directed=*/false,
+                               options);
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    writer.AddNode(graph.label(v), graph.neighbors(v));
+  }
+  return writer.Finish(error);
+}
+
+bool WriteCompressedGraph(const std::string& path,
+                          const graph::DirectedHetGraph& graph,
+                          CGraphError* error,
+                          const CGraphWriterOptions& options) {
+  CompressedGraphWriter writer(path, graph.label_names(), /*directed=*/true,
+                               options);
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    writer.AddDirectedNode(graph.label(v), graph.successors(v),
+                           graph.predecessors(v));
+  }
+  return writer.Finish(error);
+}
+
+}  // namespace hsgf::gstore

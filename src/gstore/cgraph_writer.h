@@ -1,0 +1,103 @@
+#ifndef HSGF_GSTORE_CGRAPH_WRITER_H_
+#define HSGF_GSTORE_CGRAPH_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/het_graph.h"
+#include "gstore/cgraph_format.h"
+#include "io/crc32.h"
+
+namespace hsgf::gstore {
+
+struct CGraphWriterOptions {
+  // Target decoded entries per neighbor block (128 KiB of NodeIds by
+  // default). A node's run never splits across blocks, so a hub whose
+  // adjacency exceeds the target simply gets an oversized block.
+  uint32_t block_target_entries = 1u << 15;
+};
+
+// Streams a compressed graph container to disk in one pass over the nodes.
+//
+// Nodes MUST be appended in id order (id = append index) with adjacency
+// already sorted by (label, id) — i.e. exactly as HetGraph / DirectedHetGraph
+// expose it. The writer packs whole adjacency runs into delta-varint blocks,
+// spills each block as soon as it reaches the target size, and keeps only
+// O(num_nodes) metadata in memory; the header and metadata sections are
+// written at Finish().
+//
+// Usage:
+//   CompressedGraphWriter writer(path, graph.label_names(), /*directed=*/false);
+//   for (NodeId v = 0; v < graph.num_nodes(); ++v)
+//     writer.AddNode(graph.label(v), graph.neighbors(v));
+//   if (!writer.Finish(&error)) ...
+class CompressedGraphWriter {
+ public:
+  CompressedGraphWriter(const std::string& path,
+                        std::vector<std::string> label_names, bool directed,
+                        const CGraphWriterOptions& options = {});
+
+  CompressedGraphWriter(const CompressedGraphWriter&) = delete;
+  CompressedGraphWriter& operator=(const CompressedGraphWriter&) = delete;
+
+  // Appends the next undirected node. Requires !directed.
+  void AddNode(graph::Label label, std::span<const graph::NodeId> neighbors);
+
+  // Appends the next directed node. Requires directed.
+  void AddDirectedNode(graph::Label label,
+                       std::span<const graph::NodeId> successors,
+                       std::span<const graph::NodeId> predecessors);
+
+  // Flushes the final block, writes metadata and patches the header.
+  // Returns false (with `error` filled in) on I/O failure; the writer is
+  // unusable afterwards either way.
+  bool Finish(CGraphError* error = nullptr);
+
+  graph::NodeId num_nodes() const {
+    return static_cast<graph::NodeId>(labels_.size());
+  }
+
+ private:
+  void Append(graph::Label label, std::span<const graph::NodeId> first,
+              std::span<const graph::NodeId> second);
+  void FlushBlock();
+
+  std::ofstream out_;
+  std::string path_;
+  std::vector<std::string> label_names_;
+  bool directed_ = false;
+  bool finished_ = false;
+  uint32_t block_target_entries_ = 0;
+
+  // Per-node metadata, retained until Finish().
+  std::vector<uint8_t> labels_;
+  std::vector<cgraph_internal::NodeIndexEntry> node_index_;
+  std::vector<uint32_t> in_degrees_;  // directed only
+  std::vector<cgraph_internal::BlockRef> block_dir_;
+  uint64_t entry_total_ = 0;  // decoded entries across all nodes
+
+  // Block under construction.
+  std::vector<uint8_t> pending_;
+  uint32_t pending_entries_ = 0;
+  uint32_t pending_first_node_ = 0;
+  uint64_t blob_bytes_ = 0;
+};
+
+// Conveniences: compress an in-memory graph in one call. Return false and
+// fill `error` on I/O failure.
+bool WriteCompressedGraph(const std::string& path,
+                          const graph::HetGraph& graph,
+                          CGraphError* error = nullptr,
+                          const CGraphWriterOptions& options = {});
+bool WriteCompressedGraph(const std::string& path,
+                          const graph::DirectedHetGraph& graph,
+                          CGraphError* error = nullptr,
+                          const CGraphWriterOptions& options = {});
+
+}  // namespace hsgf::gstore
+
+#endif  // HSGF_GSTORE_CGRAPH_WRITER_H_

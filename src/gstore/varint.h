@@ -1,0 +1,91 @@
+#ifndef HSGF_GSTORE_VARINT_H_
+#define HSGF_GSTORE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/het_graph.h"
+
+namespace hsgf::gstore {
+
+// Varint + zigzag-delta codec for adjacency lists.
+//
+// Adjacency is sorted by (neighbour label, id) — NOT globally ascending —
+// so consecutive deltas are positive within a label run but can be negative
+// at run boundaries. Zigzag-encoding every delta handles both without
+// storing run structure, and decoding reproduces the exact input sequence,
+// which is what preserves the census label-run fast path (and bit-identity)
+// across a compress/decompress round trip.
+
+// LEB128: 7 payload bits per byte, high bit = continuation.
+inline void PutUvarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+// Bounds-checked decode; advances *p past the varint. Fails on truncation
+// and on encodings longer than 10 bytes (the 64-bit maximum).
+inline bool GetUvarint(const uint8_t** p, const uint8_t* end,
+                       uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (const uint8_t* q = *p; q != end && shift < 70; ++q, shift += 7) {
+    const uint8_t byte = *q;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical 10th bytes that would overflow 64 bits.
+      if (shift == 63 && byte > 1) return false;
+      *p = q + 1;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline uint64_t ZigZag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+// Appends one adjacency list: every id is encoded as the zigzag delta to
+// its predecessor (the first to an implicit 0). The delta chain resets per
+// list; concatenated lists are decodable given each list's length.
+inline void EncodeAdjacency(std::span<const graph::NodeId> neighbors,
+                            std::vector<uint8_t>& out) {
+  int64_t prev = 0;
+  for (graph::NodeId id : neighbors) {
+    PutUvarint(out, ZigZag(static_cast<int64_t>(id) - prev));
+    prev = id;
+  }
+}
+
+// Decodes one `count`-entry adjacency list, advancing *p. Fails on
+// truncation, varint overflow, or any decoded id outside [0, 2^31). The
+// caller still owns the id < num_nodes range check.
+inline bool DecodeAdjacency(const uint8_t** p, const uint8_t* end,
+                            size_t count, graph::NodeId* out) {
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t raw = 0;
+    if (!GetUvarint(p, end, &raw)) return false;
+    const int64_t id = prev + UnZigZag(raw);
+    if (id < 0 || id > INT32_MAX) return false;
+    out[i] = static_cast<graph::NodeId>(id);
+    prev = id;
+  }
+  return true;
+}
+
+}  // namespace hsgf::gstore
+
+#endif  // HSGF_GSTORE_VARINT_H_

@@ -120,11 +120,27 @@ struct SnapshotContents {
 
 // Assembles SnapshotContents from an extraction run: `nodes` is the node
 // list passed to Extractor::Run (row order), `config` the extractor config
-// the run used. The returned struct borrows result.features.
-SnapshotContents MakeSnapshotContents(const graph::HetGraph& graph,
+// the run used. The returned struct borrows result.features. Generic over
+// the graph representation (CSR HetGraph, gstore::CompressedGraph, ...):
+// only label_names() and label(v) are consulted.
+template <typename GraphT>
+SnapshotContents MakeSnapshotContents(const GraphT& graph,
                                       const std::vector<graph::NodeId>& nodes,
                                       const core::ExtractionResult& result,
-                                      const core::ExtractorConfig& config);
+                                      const core::ExtractorConfig& config) {
+  SnapshotContents contents;
+  contents.max_edges = config.census.max_edges;
+  contents.effective_dmax = result.effective_dmax;
+  contents.mask_start_label = config.census.mask_start_label;
+  contents.log1p_transform = config.features.log1p_transform;
+  contents.hash_seed = config.census.hash_seed;
+  contents.label_names = graph.label_names();
+  contents.node_ids = nodes;
+  contents.node_labels.reserve(nodes.size());
+  for (graph::NodeId v : nodes) contents.node_labels.push_back(graph.label(v));
+  contents.features = &result.features;
+  return contents;
+}
 
 // Writes the snapshot to `path` (overwriting). Fails closed with kEmpty on
 // zero rows/columns and kMalformed on inconsistent contents; nothing is a

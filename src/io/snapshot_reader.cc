@@ -174,6 +174,17 @@ std::optional<Snapshot> OpenSnapshot(const std::string& path,
     return std::nullopt;
   }
 
+  // Paging hints: serving touches rows in request order, so the bulk of the
+  // file (the CSR triple keyed by kRowOffsets) pages in randomly; the
+  // header, vocabulary, and row/column metadata ahead of it are read by
+  // validation and then consulted on every lookup, so prefetch that prefix
+  // eagerly. Advisory only — failures are ignored.
+  madvise(const_cast<uint8_t*>(base), size, MADV_RANDOM);
+  madvise(const_cast<uint8_t*>(base),
+          static_cast<size_t>(
+              header->sections[snapshot_internal::kRowOffsets].offset),
+          MADV_WILLNEED);
+
   // Whole-file checksum with the stored checksum field zeroed.
   Crc32 crc;
   Header zeroed = *header;

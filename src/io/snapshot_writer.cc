@@ -65,24 +65,6 @@ const char* SnapshotErrorCodeName(SnapshotErrorCode code) {
   return "unknown";
 }
 
-SnapshotContents MakeSnapshotContents(const graph::HetGraph& graph,
-                                      const std::vector<graph::NodeId>& nodes,
-                                      const core::ExtractionResult& result,
-                                      const core::ExtractorConfig& config) {
-  SnapshotContents contents;
-  contents.max_edges = config.census.max_edges;
-  contents.effective_dmax = result.effective_dmax;
-  contents.mask_start_label = config.census.mask_start_label;
-  contents.log1p_transform = config.features.log1p_transform;
-  contents.hash_seed = config.census.hash_seed;
-  contents.label_names = graph.label_names();
-  contents.node_ids = nodes;
-  contents.node_labels.reserve(nodes.size());
-  for (graph::NodeId v : nodes) contents.node_labels.push_back(graph.label(v));
-  contents.features = &result.features;
-  return contents;
-}
-
 bool SaveSnapshot(const std::string& path, const SnapshotContents& contents,
                   SnapshotError* error) {
   const core::FeatureSet* features = contents.features;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/builder.h"
+#include "gstore/compressed_graph.h"
 #include "util/check.h"
 
 namespace hsgf::stream {
@@ -31,6 +32,9 @@ bool SortedErase(std::vector<graph::NodeId>* list, graph::NodeId v) {
 DynamicGraph::DynamicGraph(graph::HetGraph base) : base_(std::move(base)) {
   num_edges_ = static_cast<size_t>(base_.num_edges());
 }
+
+DynamicGraph::DynamicGraph(const gstore::CompressedGraph& base)
+    : DynamicGraph(base.ToHetGraph()) {}
 
 bool DynamicGraph::Apply(const DeltaOp& op, std::string* error) {
   switch (op.kind) {

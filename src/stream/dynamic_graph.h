@@ -8,6 +8,10 @@
 #include "graph/het_graph.h"
 #include "stream/delta_log.h"
 
+namespace hsgf::gstore {
+class CompressedGraph;
+}  // namespace hsgf::gstore
+
 namespace hsgf::stream {
 
 // Mutable overlay over an immutable CSR HetGraph. Deltas (AddNode / AddEdge /
@@ -31,6 +35,13 @@ namespace hsgf::stream {
 class DynamicGraph {
  public:
   explicit DynamicGraph(graph::HetGraph base);
+
+  // Hydrates the base CSR from an out-of-core container (one block-
+  // sequential pass over the blob), so the streaming overlay composes on
+  // top of a graph that lived on disk. The census machinery walks the
+  // materialized CSR afterwards — see DESIGN.md §Out-of-core graph store
+  // for why streaming currently implies materialization.
+  explicit DynamicGraph(const gstore::CompressedGraph& base);
 
   DynamicGraph(const DynamicGraph&) = delete;
   DynamicGraph& operator=(const DynamicGraph&) = delete;

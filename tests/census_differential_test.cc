@@ -26,6 +26,8 @@
 #include "graph/builder.h"
 #include "graph/digraph.h"
 #include "graph/het_graph.h"
+#include "gstore/cgraph_writer.h"
+#include "gstore/compressed_graph.h"
 #include "util/rng.h"
 
 namespace hsgf::core {
@@ -595,6 +597,171 @@ TEST(CensusDifferentialTest, TruncatedRunsDoNotPoisonSubsequentRuns) {
     ExpectIdenticalResults(from_fresh, from_reused,
                            "reused-after-truncation start=" +
                                std::to_string(start));
+  }
+}
+
+// --- Out-of-core differential -----------------------------------------------
+//
+// The compressed graph store (src/gstore) claims bit-identity: a census run
+// through GraphView / DirectedGraphView over an HSGFCGRF container must equal
+// the CSR census byte for byte — same counts, same enumeration order (probed
+// via budget truncation), same encodings. Containers are written with tiny
+// blocks and opened with a minimal cache so the census actually pages and
+// evicts mid-enumeration.
+
+TEST(CensusDifferentialTest, CompressedGraphMatchesCsrAcrossModes) {
+  util::Rng rng(91620268);
+  const std::string path = ::testing::TempDir() + "census_diff.hscg";
+  for (int trial = 0; trial < 4; ++trial) {
+    const NodeId num_nodes = 14 + 3 * trial;
+    const int num_labels = 3;
+    std::vector<Label> labels(num_nodes);
+    for (auto& l : labels) l = static_cast<Label>(rng.UniformInt(num_labels));
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const double density = 3.0 / num_nodes;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = u + 1; v < num_nodes; ++v) {
+        if (rng.Bernoulli(density)) edges.emplace_back(u, v);
+      }
+    }
+    if (edges.empty()) continue;
+    HetGraph graph = MakeGraph({"a", "b", "c"}, labels, edges);
+
+    gstore::CGraphWriterOptions woptions;
+    woptions.block_target_entries = 4;  // every few nodes cross a block
+    gstore::CGraphError error;
+    ASSERT_TRUE(gstore::WriteCompressedGraph(path, graph, &error, woptions))
+        << error.ToString();
+    gstore::CGraphOptions roptions;
+    roptions.cache_bytes = 1;  // one slot per shard: evictions mid-census
+    auto compressed = gstore::CompressedGraph::Open(path, roptions, &error);
+    ASSERT_NE(compressed, nullptr) << error.ToString();
+    gstore::GraphView view = compressed->MakeView();
+
+    for (bool mask : {false, true}) {
+      for (int dmax : {0, 3}) {
+        for (bool group : {true, false}) {
+          CensusConfig config;
+          config.max_edges = 4;
+          config.max_degree = dmax;
+          config.mask_start_label = mask;
+          config.group_by_label = group;
+          config.mix_contributions = (trial % 2 == 0);
+          config.keep_encodings = true;
+
+          CensusWorker csr_worker(graph, config);
+          BasicCensusWorker<gstore::GraphView> cgraph_worker(view, config);
+          for (NodeId start :
+               PickStarts(num_nodes, [&](NodeId v) { return graph.degree(v); },
+                          3)) {
+            CensusResult expected;
+            CensusResult actual;
+            csr_worker.Run(start, expected);
+            cgraph_worker.Run(start, actual);
+            ExpectIdenticalResults(expected, actual,
+                                   "cgraph " + Describe(start, config));
+
+            // Budget truncation is the enumeration-order probe: both sides
+            // must stop on the same subgraph even though one pages blocks.
+            for (int64_t budget :
+                 {int64_t{1}, expected.total_subgraphs / 2 + 1}) {
+              if (expected.total_subgraphs < 2) break;
+              CensusConfig truncated_config = config;
+              truncated_config.max_subgraphs = budget;
+              CensusWorker truncated_csr(graph, truncated_config);
+              BasicCensusWorker<gstore::GraphView> truncated_cgraph(
+                  view, truncated_config);
+              CensusResult expected_truncated;
+              CensusResult actual_truncated;
+              truncated_csr.Run(start, expected_truncated);
+              truncated_cgraph.Run(start, actual_truncated);
+              ExpectIdenticalResults(
+                  expected_truncated, actual_truncated,
+                  "cgraph " + Describe(start, truncated_config));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CensusDifferentialTest, CompressedDirectedGraphMatchesCsrAcrossModes) {
+  util::Rng rng(86280201);
+  const std::string path = ::testing::TempDir() + "census_diff_directed.hscg";
+  for (int trial = 0; trial < 4; ++trial) {
+    const NodeId num_nodes = 12 + 2 * trial;
+    const int num_labels = 3;
+    graph::DiGraphBuilder builder({"a", "b", "c"});
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      builder.AddNode(static_cast<Label>(rng.UniformInt(num_labels)));
+    }
+    const double density = 2.2 / num_nodes;
+    int arcs = 0;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (u != v && rng.Bernoulli(density)) {
+          builder.AddArc(u, v);
+          ++arcs;
+        }
+      }
+    }
+    if (arcs == 0) continue;
+    DirectedHetGraph graph = std::move(builder).Build();
+
+    gstore::CGraphWriterOptions woptions;
+    woptions.block_target_entries = 4;
+    gstore::CGraphError error;
+    ASSERT_TRUE(gstore::WriteCompressedGraph(path, graph, &error, woptions))
+        << error.ToString();
+    gstore::CGraphOptions roptions;
+    roptions.cache_bytes = 1;
+    auto compressed = gstore::CompressedGraph::Open(path, roptions, &error);
+    ASSERT_NE(compressed, nullptr) << error.ToString();
+    ASSERT_TRUE(compressed->directed());
+    gstore::DirectedGraphView view = compressed->MakeDirectedView();
+
+    for (bool mask : {false, true}) {
+      for (int dmax : {0, 3}) {
+        CensusConfig config;
+        config.max_edges = 4;
+        config.max_degree = dmax;
+        config.mask_start_label = mask;
+        config.mix_contributions = (trial % 2 == 0);
+        config.keep_encodings = true;
+
+        DirectedCensusWorker csr_worker(graph, config);
+        BasicDirectedCensusWorker<gstore::DirectedGraphView> cgraph_worker(
+            view, config);
+        for (NodeId start : PickStarts(
+                 num_nodes, [&](NodeId v) { return graph.total_degree(v); },
+                 3)) {
+          CensusResult expected;
+          CensusResult actual;
+          csr_worker.Run(start, expected);
+          cgraph_worker.Run(start, actual);
+          ExpectIdenticalResults(expected, actual,
+                                 "cgraph-directed " + Describe(start, config));
+
+          for (int64_t budget :
+               {int64_t{1}, expected.total_subgraphs / 2 + 1}) {
+            if (expected.total_subgraphs < 2) break;
+            CensusConfig truncated_config = config;
+            truncated_config.max_subgraphs = budget;
+            DirectedCensusWorker truncated_csr(graph, truncated_config);
+            BasicDirectedCensusWorker<gstore::DirectedGraphView>
+                truncated_cgraph(view, truncated_config);
+            CensusResult expected_truncated;
+            CensusResult actual_truncated;
+            truncated_csr.Run(start, expected_truncated);
+            truncated_cgraph.Run(start, actual_truncated);
+            ExpectIdenticalResults(
+                expected_truncated, actual_truncated,
+                "cgraph-directed " + Describe(start, truncated_config));
+          }
+        }
+      }
+    }
   }
 }
 

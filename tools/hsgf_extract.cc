@@ -12,7 +12,19 @@
 //                [--metrics-json m.json] [--progress] [--deadline-s 60]
 //                [--save-snapshot s.hsnap]
 //                [--shard k/N [--shard-map map.hsmap]]
+//   hsgf_extract --graph g.hsgf --compress-graph g.hscg
+//   hsgf_extract --load-cgraph g.hscg [--cgraph-cache-mb 64] [extraction flags]
 //   hsgf_extract --load-snapshot s.hsnap [--out features.csv]
+//
+// Out-of-core graphs: --compress-graph converts the text graph into the
+// block-compressed HSGFCGRF container (src/gstore) and exits;
+// --load-cgraph mmaps such a container instead of building the in-memory
+// CSR and runs the census against demand-paged neighbor blocks, so graphs
+// larger than RAM extract in bounded memory (the decoded-block cache,
+// --cgraph-cache-mb). The census is bit-identical either way: the same
+// flags produce byte-identical CSVs from --graph and --load-cgraph.
+// With --metrics-json, a cgraph run additionally reports gstore.* metrics
+// (blocks decoded, cache hits/misses/evictions, bytes mapped).
 //
 // Sharded extraction: --shard k/N keeps only the selected nodes that the
 // consistent-hash shard map assigns to shard k — the same assignment
@@ -50,6 +62,8 @@
 #include "core/encoding.h"
 #include "core/extractor.h"
 #include "graph/io.h"
+#include "gstore/cgraph_writer.h"
+#include "gstore/compressed_graph.h"
 #include "io/snapshot.h"
 #include "router/shard_map.h"
 #include "util/flags.h"
@@ -71,6 +85,9 @@ int Usage() {
                "[--deadline-s S]\n"
                "                    [--save-snapshot FILE] "
                "[--shard k/N [--shard-map FILE]]\n"
+               "       hsgf_extract --graph FILE --compress-graph FILE\n"
+               "       hsgf_extract --load-cgraph FILE [--cgraph-cache-mb N] "
+               "[extraction flags]\n"
                "       hsgf_extract --load-snapshot FILE [--out FILE]\n");
   return 2;
 }
@@ -82,6 +99,8 @@ struct Options {
   const char* metrics_json = nullptr;
   const char* save_snapshot = nullptr;
   const char* load_snapshot = nullptr;
+  const char* compress_graph = nullptr;
+  const char* load_cgraph = nullptr;
   const char* shard_spec = nullptr;
   const char* shard_map_path = nullptr;
   bool all = false;
@@ -92,6 +111,7 @@ struct Options {
   double dmax_percentile = 0.0;
   long max_features = -1;   // <0: keep config default
   long threads = 1;
+  long cgraph_cache_mb = 64;
   double deadline_s = 0.0;  // <=0: no deadline
 };
 
@@ -105,6 +125,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddString("--metrics-json", &options->metrics_json);
   parser.AddString("--save-snapshot", &options->save_snapshot);
   parser.AddString("--load-snapshot", &options->load_snapshot);
+  parser.AddString("--compress-graph", &options->compress_graph);
+  parser.AddString("--load-cgraph", &options->load_cgraph);
   parser.AddString("--shard", &options->shard_spec);
   parser.AddString("--shard-map", &options->shard_map_path);
   parser.AddBool("--all", &options->all);
@@ -115,6 +137,7 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   parser.AddDouble("--dmax-percentile", &options->dmax_percentile, 0.0, 100.0);
   parser.AddLong("--max-features", &options->max_features, 0);
   parser.AddLong("--threads", &options->threads, 0);
+  parser.AddLong("--cgraph-cache-mb", &options->cgraph_cache_mb, 1);
   parser.AddDouble("--deadline-s", &options->deadline_s, 0.0,
                    std::numeric_limits<double>::infinity(),
                    /*exclusive_min=*/true);
@@ -188,37 +211,13 @@ int LoadSnapshotToCsv(const Options& options) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+// Resolves --nodes/--all (+ optional --shard filtering) against a graph of
+// `num_nodes` nodes. Returns -1 on success with *nodes filled; otherwise
+// the process exit code.
+int SelectNodes(hsgf::graph::NodeId num_nodes, const Options& options,
+                std::vector<hsgf::graph::NodeId>* nodes) {
   using namespace hsgf;
-
-  util::Stopwatch wall_clock;
-  Options options;
-  if (!ParseArgs(argc, argv, &options)) return Usage();
-  if (options.load_snapshot != nullptr) {
-    // Load mode replays a saved extraction; flags that drive a live census
-    // make no sense here.
-    if (options.graph_path != nullptr || options.all ||
-        options.nodes_list != nullptr || options.save_snapshot != nullptr) {
-      std::fprintf(stderr,
-                   "error: --load-snapshot combines only with --out\n");
-      return Usage();
-    }
-    return LoadSnapshotToCsv(options);
-  }
-  if (options.graph_path == nullptr) return Usage();
-  if (options.all == (options.nodes_list != nullptr)) return Usage();
-
   std::string error;
-  auto graph = graph::ReadGraphFromFile(options.graph_path, &error);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-
-  // Node selection.
-  std::vector<graph::NodeId> nodes;
   if (options.nodes_list != nullptr) {
     std::stringstream stream(options.nodes_list);
     std::string token;
@@ -229,16 +228,16 @@ int main(int argc, char** argv) {
                      token.c_str());
         return Usage();
       }
-      if (id < 0 || id >= graph->num_nodes()) {
+      if (id < 0 || id >= num_nodes) {
         std::fprintf(stderr, "error: node id %ld out of range\n", id);
         return 1;
       }
-      nodes.push_back(static_cast<graph::NodeId>(id));
+      nodes->push_back(static_cast<graph::NodeId>(id));
     }
   } else {
-    for (graph::NodeId v = 0; v < graph->num_nodes(); ++v) nodes.push_back(v);
+    for (graph::NodeId v = 0; v < num_nodes; ++v) nodes->push_back(v);
   }
-  if (nodes.empty()) return Usage();
+  if (nodes->empty()) return Usage();
 
   if (options.shard_map_path != nullptr && options.shard_spec == nullptr) {
     std::fprintf(stderr, "error: --shard-map requires --shard k/N\n");
@@ -270,20 +269,33 @@ int main(int argc, char** argv) {
     } else {
       map = router::ShardMap::Build(num_shards);
     }
-    const size_t selected = nodes.size();
+    const size_t selected = nodes->size();
     std::vector<graph::NodeId> mine;
-    for (graph::NodeId node : nodes) {
+    for (graph::NodeId node : *nodes) {
       if (map.ShardOf(node) == shard) mine.push_back(node);
     }
-    nodes = std::move(mine);
+    *nodes = std::move(mine);
     std::fprintf(stderr, "[hsgf_extract] shard %u/%u owns %zu of %zu nodes\n",
-                 shard, num_shards, nodes.size(), selected);
-    if (nodes.empty()) {
+                 shard, num_shards, nodes->size(), selected);
+    if (nodes->empty()) {
       std::fprintf(stderr,
                    "error: shard %u owns none of the selected nodes\n", shard);
       return 1;
     }
   }
+  return -1;
+}
+
+// The extraction proper, generic over the graph representation: the CSR
+// HetGraph (--graph) or the demand-paged gstore::CompressedGraph
+// (--load-cgraph). `cgraph` is non-null in the latter case so gstore.*
+// metrics land in the extractor's registry before the run.
+template <typename GraphT>
+int ExtractAndEmit(const GraphT& graph, const Options& options,
+                   const std::vector<hsgf::graph::NodeId>& nodes,
+                   hsgf::util::Stopwatch& wall_clock,
+                   hsgf::gstore::CompressedGraph* cgraph) {
+  using namespace hsgf;
 
   core::ExtractorConfig config;
   config.census.keep_encodings = true;
@@ -296,7 +308,8 @@ int main(int argc, char** argv) {
   config.census.mask_start_label = options.mask_start_label;
   config.features.log1p_transform = !options.raw_counts;
 
-  core::Extractor extractor(*graph, config);
+  core::BasicExtractor<GraphT> extractor(graph, config);
+  if (cgraph != nullptr) cgraph->AttachMetrics(&extractor.metrics());
 
   util::StopSource stop_source;
   util::StopToken stop;
@@ -335,7 +348,7 @@ int main(int argc, char** argv) {
 
   // Header: node id + decoded feature names.
   const int effective_labels =
-      graph->num_labels() + (config.census.mask_start_label ? 1 : 0);
+      graph.num_labels() + (config.census.mask_start_label ? 1 : 0);
   *out << "node";
   for (uint64_t hash : result.features.feature_hashes) {
     auto it = result.features.encodings.find(hash);
@@ -344,7 +357,7 @@ int main(int argc, char** argv) {
         it != result.features.encodings.end() ? it->second : kNoEncoding;
     *out << ','
          << FeatureColumnName(encoding, hash, effective_labels,
-                              graph->label_names());
+                              graph.label_names());
   }
   *out << '\n';
   for (size_t r = 0; r < nodes.size(); ++r) {
@@ -362,7 +375,7 @@ int main(int argc, char** argv) {
                    "unprocessed rows are all zeros\n");
     }
     io::SnapshotContents contents =
-        io::MakeSnapshotContents(*graph, nodes, result, config);
+        io::MakeSnapshotContents(graph, nodes, result, config);
     io::SnapshotError snap_error;
     if (!io::SaveSnapshot(options.save_snapshot, contents, &snap_error)) {
       std::fprintf(stderr, "error: cannot save snapshot (%s): %s\n",
@@ -401,4 +414,122 @@ int main(int argc, char** argv) {
                result.effective_dmax,
                static_cast<long long>(result.truncated_nodes));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsgf;
+
+  util::Stopwatch wall_clock;
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.load_snapshot != nullptr) {
+    // Load mode replays a saved extraction; flags that drive a live census
+    // make no sense here.
+    if (options.graph_path != nullptr || options.all ||
+        options.nodes_list != nullptr || options.save_snapshot != nullptr ||
+        options.load_cgraph != nullptr || options.compress_graph != nullptr) {
+      std::fprintf(stderr,
+                   "error: --load-snapshot combines only with --out\n");
+      return Usage();
+    }
+    return LoadSnapshotToCsv(options);
+  }
+
+  // --load-cgraph: census over the mmap-paged container.
+  if (options.load_cgraph != nullptr) {
+    if (options.graph_path != nullptr || options.compress_graph != nullptr) {
+      std::fprintf(stderr,
+                   "error: --load-cgraph excludes --graph/--compress-graph\n");
+      return Usage();
+    }
+    if (options.all == (options.nodes_list != nullptr)) return Usage();
+    gstore::CGraphOptions copts;
+    copts.cache_bytes =
+        static_cast<size_t>(options.cgraph_cache_mb) << 20;
+    gstore::CGraphError cerror;
+    auto cgraph = gstore::CompressedGraph::Open(options.load_cgraph, copts,
+                                                &cerror);
+    if (cgraph == nullptr) {
+      std::fprintf(stderr, "error: cannot open cgraph: %s\n",
+                   cerror.ToString().c_str());
+      return 1;
+    }
+    if (cgraph->directed()) {
+      std::fprintf(stderr,
+                   "error: %s is a directed container; extraction runs the "
+                   "undirected census\n",
+                   options.load_cgraph);
+      return 1;
+    }
+    std::fprintf(
+        stderr,
+        "[hsgf_extract] cgraph %s: %d nodes, %lld edges, %u blocks "
+        "(%.2fx vs CSR adjacency)\n",
+        options.load_cgraph, cgraph->num_nodes(),
+        static_cast<long long>(cgraph->num_edges()), cgraph->num_blocks(),
+        cgraph->blob_bytes() > 0
+            ? static_cast<double>(2 * cgraph->num_edges() *
+                                  sizeof(graph::NodeId)) /
+                  static_cast<double>(cgraph->blob_bytes())
+            : 0.0);
+    std::vector<graph::NodeId> nodes;
+    const int rc = SelectNodes(cgraph->num_nodes(), options, &nodes);
+    if (rc >= 0) return rc;
+    return ExtractAndEmit(*cgraph, options, nodes, wall_clock, cgraph.get());
+  }
+
+  if (options.graph_path == nullptr) return Usage();
+
+  std::string error;
+  auto graph = graph::ReadGraphFromFile(options.graph_path, &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // --compress-graph: convert to the out-of-core container and exit.
+  if (options.compress_graph != nullptr) {
+    if (options.all || options.nodes_list != nullptr) {
+      std::fprintf(stderr,
+                   "error: --compress-graph converts only; run extraction "
+                   "with --load-cgraph afterwards\n");
+      return Usage();
+    }
+    gstore::CGraphError cerror;
+    if (!gstore::WriteCompressedGraph(options.compress_graph, *graph,
+                                      &cerror)) {
+      std::fprintf(stderr, "error: cannot write cgraph: %s\n",
+                   cerror.ToString().c_str());
+      return 1;
+    }
+    auto written = gstore::CompressedGraph::Open(options.compress_graph, {},
+                                                 &cerror);
+    if (written == nullptr) {
+      std::fprintf(stderr, "error: written cgraph fails validation: %s\n",
+                   cerror.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "compressed %s -> %s: %d nodes, %lld edges, %u blocks, "
+                 "%llu bytes (adjacency %.2fx smaller than CSR)\n",
+                 options.graph_path, options.compress_graph,
+                 written->num_nodes(),
+                 static_cast<long long>(written->num_edges()),
+                 written->num_blocks(),
+                 static_cast<unsigned long long>(written->file_size()),
+                 written->blob_bytes() > 0
+                     ? static_cast<double>(2 * written->num_edges() *
+                                           sizeof(graph::NodeId)) /
+                           static_cast<double>(written->blob_bytes())
+                     : 0.0);
+    return 0;
+  }
+
+  if (options.all == (options.nodes_list != nullptr)) return Usage();
+  std::vector<graph::NodeId> nodes;
+  const int rc = SelectNodes(graph->num_nodes(), options, &nodes);
+  if (rc >= 0) return rc;
+  return ExtractAndEmit(*graph, options, nodes, wall_clock, nullptr);
 }

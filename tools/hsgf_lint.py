@@ -13,12 +13,15 @@ and rationale in DESIGN.md §9):
                    "subsystem.dotted_lowercase" scheme.
   naked-new        no naked new/delete or raw pthread_ calls outside
                    src/util (RAII owns everything).
+  naked-mmap       no raw mmap/munmap/madvise calls outside src/io and
+                   src/gstore — the two subsystems whose RAII Mapping
+                   types own every mapping's lifetime.
   mutex-guard      no raw std:: synchronization primitives outside
                    src/util/mutex.h, and every util::Mutex/SharedMutex
                    member has at least one HSGF_* capability annotation
                    naming it in the same file.
-  magic-once       each on-disk magic tag (HSGFSNAP/HSGFSMAP/HSGFDLTA/...)
-                   is defined in exactly one place.
+  magic-once       each on-disk magic tag (HSGFSNAP/HSGFSMAP/HSGFDLTA/
+                   HSGFCGRF/...) is defined in exactly one place.
 
 Suppression is per-line and must carry a reason:
 
@@ -39,8 +42,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 CODE_SCOPES = ("src", "tools", "bench")  # naked-new / metric-names scopes
-SUBSYSTEMS = ("census", "extract", "serve", "router", "stream", "io", "util",
-              "bench")
+SUBSYSTEMS = ("census", "extract", "serve", "router", "stream", "gstore",
+              "io", "util", "bench")
 METRIC_NAME_RE = re.compile(
     r"^(?:%s)\.[a-z0-9_][a-z0-9_.]*$" % "|".join(SUBSYSTEMS))
 ALLOW_RE = re.compile(r"hsgf-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
@@ -315,6 +318,32 @@ def rule_naked_new(files):
     return violations
 
 
+def rule_naked_mmap(files):
+    violations = []
+    exempt_prefixes = (str(REPO_ROOT / "src/io"),
+                       str(REPO_ROOT / "src/gstore"))
+    pattern = re.compile(r"\b(mmap|munmap|madvise)\s*\(")
+    for path, text in files.items():
+        spath = str(path)
+        if not spath.startswith(tuple(str(REPO_ROOT / s)
+                                      for s in CODE_SCOPES)):
+            continue
+        if spath.startswith(exempt_prefixes):
+            continue
+        code, suppressions = strip_code(text)
+        for match in pattern.finditer(code):
+            line = line_of(code, match.start())
+            if suppressed(suppressions, line, "naked-mmap"):
+                continue
+            violations.append(Violation(
+                "naked-mmap", path, line,
+                f"raw {match.group(1)}() outside src/io and src/gstore — "
+                "mappings must be owned by an RAII Mapping type "
+                "(io::Snapshot::Mapping, gstore::CompressedGraph::Mapping) "
+                "so unmap is tied to object lifetime"))
+    return violations
+
+
 MUTEX_MEMBER_RE = re.compile(
     r"\b(?:util::)?(Mutex|SharedMutex)\s+(\w+)\s*(?:;|HSGF_)")
 RAW_SYNC_RE = re.compile(
@@ -399,6 +428,7 @@ RULES = [
     rule_opcode_count,
     rule_metric_names,
     rule_naked_new,
+    rule_naked_mmap,
     rule_mutex_guard,
     rule_magic_once,
 ]
@@ -521,6 +551,29 @@ def self_test():
             "  // hsgf-lint: allow(naked-new) fixture with a reason\n"),
     })
 
+    clean(rule_naked_mmap, {
+        REPO_ROOT / "src/io/a.cc": "void* p = mmap(nullptr, n, PROT_READ, "
+                                   "MAP_PRIVATE, fd, 0);\n",
+        REPO_ROOT / "src/gstore/b.cc": "munmap(data, size);\n"
+                                       "madvise(data, size, MADV_RANDOM);\n",
+        REPO_ROOT / "src/c.cc": "// mmap is only mentioned in a comment\n",
+    })
+    failing(rule_naked_mmap, {
+        REPO_ROOT / "src/serve/a.cc": "void* p = mmap(nullptr, n, PROT_READ, "
+                                      "MAP_PRIVATE, fd, 0);\n",
+    }, "naked-mmap")
+    failing(rule_naked_mmap, {
+        REPO_ROOT / "tools/t.cc": "munmap(p, n);\n",
+    }, "naked-mmap")
+    failing(rule_naked_mmap, {
+        REPO_ROOT / "src/stream/s.cc": "madvise(p, n, MADV_WILLNEED);\n",
+    }, "naked-mmap")
+    clean(rule_naked_mmap, {
+        REPO_ROOT / "src/serve/a.cc": (
+            "munmap(p, n);"
+            "  // hsgf-lint: allow(naked-mmap) fixture with a reason\n"),
+    })
+
     clean(rule_mutex_guard, {
         REPO_ROOT / "src/a.h": (
             "class C {\n  mutable util::Mutex mu_;\n"
@@ -547,6 +600,12 @@ def self_test():
         REPO_ROOT / "src/io/x.h":
             "constexpr char kMagic[8] = {'H','S','G','F','S','N','A','P'};\n",
         REPO_ROOT / "src/io/y.cc": 'const std::string magic = "HSGFSNAP";\n',
+    }, "magic-once")
+    # The cgraph container tag is subject to the same single-definition rule.
+    failing(rule_magic_once, {
+        REPO_ROOT / "src/gstore/x.h":
+            "constexpr char kMagic[8] = {'H','S','G','F','C','G','R','F'};\n",
+        REPO_ROOT / "src/gstore/y.cc": 'CheckMagic(bytes, "HSGFCGRF");\n',
     }, "magic-once")
 
     print("hsgf_lint: self-test OK")
