@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "bench_common.h"
 #include "core/census.h"
 #include "core/extractor.h"
+#include "simd/dispatch.h"
 #include "data/generator.h"
 #include "data/schema.h"
 #include "gstore/cgraph_writer.h"
@@ -169,6 +171,12 @@ hsgf::bench::BenchRecord MeasureThroughputOn(const GraphT& graph,
       {"emax", "5"},
       {"dmax", "40"},
       {"threads", std::to_string(extractor.num_worker_threads())},
+      // Provenance for scaling comparisons: a 4-thread record measured on a
+      // 1-core box is time-sliced, not parallel — readers need the core
+      // count to interpret it. The active SIMD ISA pins which kernel set
+      // produced the number.
+      {"detected_cores", std::to_string(std::thread::hardware_concurrency())},
+      {"simd", simd::IsaName(simd::ActiveIsa())},
   };
   return record;
 }

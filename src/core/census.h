@@ -10,6 +10,7 @@
 #include "core/encoding.h"
 #include "core/rolling_hash.h"
 #include "graph/het_graph.h"
+#include "simd/kernels.h"
 #include "util/check.h"
 #include "util/flat_count_map.h"
 #include "util/metrics.h"
@@ -41,6 +42,17 @@ struct CensusConfig {
   // Identical results either way; exposed for the ablation benchmark.
   bool group_by_label = true;
 
+  // Minimum remaining-segment length worth an indirect vector-kernel call in
+  // the grouping scan. The kernel's fixed cost — dispatch through the table
+  // plus broadcasting every current member into vector lanes — only
+  // amortizes over a long stretch, and on the evaluation workload runs are
+  // short: 64 was measured noise-neutral against pure scalar (the vector
+  // path fires only on long hub runs, where it is free), while 16 was a
+  // measured ~4% regression. Below the threshold the scan stays inline and
+  // branchy — same predicate, same result. Tests set 1 to force every run
+  // through the kernels; a huge value forces pure scalar.
+  size_t vector_scan_min = 64;
+
   // Pass each per-node linear hash contribution through a 64-bit finalizer
   // before summing. The paper's Eq. 5 sums the raw linear contributions,
   // which makes the subgraph hash a function of the multiset of edge label
@@ -48,6 +60,20 @@ struct CensusConfig {
   // collide systematically. Mixing removes this failure mode at identical
   // asymptotic cost. Disable to study the unmixed variant.
   bool mix_contributions = true;
+
+  // Memoize per-node frontier snapshots (neighbour ids + labels) for nodes
+  // of degree >= kTemplateMinDegree and append frontiers by excising the
+  // current subgraph's members from the snapshot, instead of re-walking the
+  // adjacency with per-neighbour label loads. Pure memoization: the emitted
+  // candidate sequence is bit-identical either way (differential-tested).
+  // The snapshot cache persists across Run() calls on one worker — this is
+  // what multi-root batching shares between the roots of a batch — and is
+  // dropped by ClearFrontierCache(). Off by default: measured on a graph
+  // whose label/epoch arrays are cache-resident, rebuilding small frontiers
+  // beats the snapshot's second copy of the adjacency (which evicts more
+  // than it saves); turn it on when label gathers actually miss (labels far
+  // larger than LLC, or paged adjacency storage).
+  bool frontier_templates = false;
 
   // Safety budget: stop enumerating after this many subgraph occurrences
   // (0 = unlimited). Hub start nodes — which the dmax heuristic exempts —
@@ -117,6 +143,8 @@ struct CensusMetrics {
 namespace census_internal {
 
 // SplitMix64 finalizer; the identity on 0, bijective on 64-bit values.
+// simd::MixPair / MixBatch apply the same function lane-wise (simd_test
+// pins the two definitions together).
 inline uint64_t Mix(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
@@ -142,7 +170,17 @@ inline uint64_t Mix(uint64_t x) {
 // on the next call (gstore::GraphView pages blocks in and out under this
 // exact contract). Enumeration order — and therefore every output, including
 // budget-truncation points — depends only on the neighbor sequences, not on
-// the storage, which is what makes compressed-vs-CSR censuses bit-identical.
+// the storage or on the SIMD dispatch level, which is what makes
+// compressed-vs-CSR and scalar-vs-vector censuses bit-identical.
+//
+// Inner-loop layout (the SIMD kernel contract): candidates live in a
+// structure-of-arrays arena (cand_to_ / cand_label_), segments carry their
+// shared `from` endpoint, and the current subgraph's nodes are mirrored in
+// the small member_nodes_ list — so when a grouping run is long enough
+// (CensusConfig::vector_scan_min) the scan is one simd::LabelRunLength call
+// over the segment instead of per-candidate label/epoch gathers, and the
+// per-run hash terms are computed once at the run head and installed per
+// child.
 template <typename GraphT>
 class BasicCensusWorker {
  public:
@@ -164,29 +202,74 @@ class BasicCensusWorker {
   void Run(graph::NodeId start, CensusResult& result,
            util::StopToken stop = {});
 
- private:
-  struct CandidateEdge {
-    graph::NodeId from;  // endpoint that was inside the subgraph at discovery
-    graph::NodeId to;    // endpoint that was outside (may have joined since)
-  };
+  // Drops the memoized frontier templates. The extractor calls this at
+  // multi-root batch boundaries: within a batch the cache is the shared
+  // sub-enumeration state, across batches it is dropped so worker memory
+  // stays bounded by the densest batch, not the whole traversal. Cost is
+  // O(#templates), not O(V): only the populated slots are reset.
+  void ClearFrontierCache() {
+    for (const FrontierTemplate& tmpl : templates_) {
+      template_slot_[tmpl.node] = kNoTemplate;
+    }
+    templates_.clear();
+    template_to_.clear();
+    template_label_.clear();
+    template_key_.clear();
+  }
 
-  // Half-open range of candidates in arena_. A recursion frame's candidate
-  // list is a sequence of segments: ranges inherited from ancestor frames
-  // (shared, never copied) followed by the frame's own frontier, which is
-  // the only part appended to arena_. Replaces the tail re-copy the old hot
-  // loop performed per child recursion (O(tail) memory traffic each).
+ private:
+  // Half-open range of candidates in the SoA arena (cand_to_/cand_label_).
+  // A recursion frame's candidate list is a sequence of segments: ranges
+  // inherited from ancestor frames (shared, never copied) followed by the
+  // frame's own frontier, which is the only part appended to the arena.
+  // Every candidate in a segment shares the same in-subgraph endpoint —
+  // frontiers are appended per joining node and inherited segments are
+  // sub-ranges — so `from` lives here, not per candidate.
   struct Segment {
     size_t begin;
     size_t end;  // exclusive; segments are never empty
+    graph::NodeId from;
   };
 
-  // Position inside a frame's segment list [seg, ...): `pos` indexes arena_
-  // within seg_stack_[seg]. Normalized: seg == the frame's seg_end means
-  // one-past-the-last candidate (pos is then 0).
+  // Position inside a frame's segment list [seg, ...): `pos` indexes the
+  // arena within seg_stack_[seg]. Normalized: seg == the frame's seg_end
+  // means one-past-the-last candidate (pos is then 0).
   struct Cursor {
     size_t seg;
     size_t pos;
   };
+
+  // Undo record for one applied edge. The apply installs precomputed
+  // absolute values (hash, linear and mixed contributions); the unwind
+  // restores the saved ones — exact by construction, no recomputation.
+  struct EdgeUndo {
+    graph::NodeId to;
+    graph::NodeId added;  // `to` if it newly joined the subgraph, -1 if not
+    uint64_t hash_before;
+    uint64_t from_linear_before;
+    uint64_t from_mixed_before;
+    uint64_t to_linear_before;  // cycle-closing edges only
+    uint64_t to_mixed_before;   // cycle-closing edges only
+  };
+
+  // Memoized frontier snapshot of one node: its full neighbour list with
+  // labels, in adjacency order (sorted by (label, id)). The entries live in
+  // the flat template arenas (template_to_/template_label_/template_key_),
+  // not here — appending from a template is span copies out of those
+  // arenas, with no per-template pointer chase.
+  struct FrontierTemplate {
+    graph::NodeId node;  // owner, so ClearFrontierCache can reset its slot
+    size_t begin;        // range in the template arenas
+    size_t end;
+  };
+
+  // Degree threshold for building templates: below it the scalar append is
+  // already a handful of loads and the snapshot would not pay for itself.
+  static constexpr size_t kTemplateMinDegree = 12;
+  // Cap on total cached template entries per worker (~5 MB at the cap);
+  // nodes past the cap fall back to the scalar append.
+  static constexpr size_t kTemplateEntryCap = size_t{1} << 20;
+  static constexpr uint32_t kNoTemplate = 0xffffffffu;
 
   // Effective label of a node (mask applied to the start node).
   graph::Label EffectiveLabel(graph::NodeId v) const;
@@ -194,11 +277,6 @@ class BasicCensusWorker {
   bool InSubgraph(graph::NodeId v) const { return node_epoch_[v] == epoch_; }
 
   uint64_t MixedContribution(graph::NodeId v) const;
-
-  // Adds edge (from, to); returns `to` if it newly joined the subgraph,
-  // -1 otherwise. Updates the rolling hash incrementally.
-  graph::NodeId AddEdge(const CandidateEdge& edge);
-  void RemoveEdge(const CandidateEdge& edge, graph::NodeId added_node);
 
   // True iff the dmax heuristic forbids expanding through v.
   bool IsBlocked(graph::NodeId v) const {
@@ -209,8 +287,29 @@ class BasicCensusWorker {
   // Appends the frontier edges contributed by newly-joined node `w` (whose
   // discovery edge came from `parent`): edges to nodes outside the subgraph
   // plus cycle-closing edges into in-subgraph *blocked* nodes, which no one
-  // else offers. Honours dmax.
+  // else offers. Honours dmax. The caller owns pushing the segment (with
+  // from == w) for whatever this appends.
   void AppendFrontierOf(graph::NodeId w, graph::NodeId parent);
+
+  // Frontier template for `w`, building (and caching) it on first sight.
+  // Returns nullptr when the cache entry budget is exhausted.
+  template <typename NeighborRange>
+  const FrontierTemplate* TemplateFor(graph::NodeId w,
+                                      const NeighborRange& neighbors);
+
+  // Appends template arena entries [first, last) to the candidate arena.
+  void AppendTemplateRange(size_t first, size_t last) {
+    if (first >= last) return;
+    cand_to_.insert(cand_to_.end(), template_to_.begin() + first,
+                    template_to_.begin() + last);
+    cand_label_.insert(cand_label_.end(), template_label_.begin() + first,
+                       template_label_.begin() + last);
+  }
+
+  // Template-backed frontier append: copies the snapshot wholesale, cutting
+  // out current members (except the kept cycle-closers). Emits exactly the
+  // candidate sequence the scalar walk in AppendFrontierOf emits.
+  void AppendFromTemplate(const FrontierTemplate& tmpl, graph::NodeId parent);
 
   // Advances `c` one candidate forward within the frame whose segment list
   // ends at `seg_end`, hopping to the next segment when the current one is
@@ -224,7 +323,7 @@ class BasicCensusWorker {
 
   // Core recursion over the candidate segments seg_stack_[seg_begin,
   // seg_end). The frame's candidates are the concatenation of those
-  // segments' arena_ ranges, in order — identical to the flat list the
+  // segments' arena ranges, in order — identical to the flat list the
   // old copy-based loop built, so the enumeration order (and therefore
   // budget truncation, grouping, and all output) is bit-identical.
   void Extend(size_t seg_begin, size_t seg_end, int depth,
@@ -244,6 +343,14 @@ class BasicCensusWorker {
   RollingHash hasher_;
   int num_effective_labels_;
 
+  // mixed_power_[la * num_effective_labels_ + lb] == the finalized hash
+  // contribution of a node that just joined with label lb via an edge from a
+  // label-la node: Mix(Power(lb, la)) (raw Power when mixing is off). A
+  // new node's post-join contribution depends only on the label pair, so
+  // the head loop reads this table instead of running the finalizer — that
+  // was one of the two Mix evaluations per head, ~5% of census time.
+  std::vector<uint64_t> mixed_power_;
+
   graph::NodeId start_ = -1;
   uint64_t epoch_ = 0;
   uint64_t current_hash_ = 0;
@@ -252,13 +359,51 @@ class BasicCensusWorker {
   bool has_stop_ = false;
   int stop_countdown_ = kStopCheckInterval;
 
+  // Kernel table resolved once per Run() so the dispatch level cannot flip
+  // mid-census.
+  const simd::KernelTable* kernels_ = nullptr;
+
   // Per-node scratch, epoch-stamped so Run() needs no O(V) clear.
   std::vector<uint64_t> node_epoch_;
   std::vector<uint64_t> linear_contribution_;  // Σ_i t_i b_v^i for in-subgraph nodes
+  // Finalized (mixed) contribution cache: for every in-subgraph node v,
+  // mixed_contribution_[v] == MixedContribution(v). Keeping it current costs
+  // nothing extra — the apply path computes the mixed values anyway for the
+  // run hash — and saves re-finalizing unchanged endpoints per run.
+  std::vector<uint64_t> mixed_contribution_;
 
-  std::vector<CandidateEdge> arena_;  // frontier candidates, one run per frame
-  std::vector<Segment> seg_stack_;    // per-frame segment lists, stack-shaped
+  // The current subgraph's nodes (including start_), push/popped in lockstep
+  // with joins/leaves. Mirrors the epoch stamps: v is in the subgraph iff it
+  // appears here. At most max_edges + 1 entries, so membership tests in the
+  // grouping scan are broadcast compares against this list instead of
+  // random-access epoch gathers.
+  std::vector<graph::NodeId> member_nodes_;
+
+  // Structure-of-arrays candidate arena, one frontier run per frame:
+  // cand_to_[i] is the outside (or cycle-closing) endpoint, cand_label_[i]
+  // its label. Candidates never target the start node (the start is never a
+  // frontier of anything — it is unblocked, so cycle-closers into it are
+  // not emitted), so cand_label_ is the plain graph label even when the
+  // start label is masked.
+  std::vector<graph::NodeId> cand_to_;
+  std::vector<graph::Label> cand_label_;
+  std::vector<Segment> seg_stack_;  // per-frame segment lists, stack-shaped
   std::vector<std::pair<graph::NodeId, graph::NodeId>> edge_stack_;
+  std::vector<EdgeUndo> undo_stack_;
+
+  // Frontier template cache (see CensusConfig::frontier_templates).
+  // template_slot_ is a direct-indexed node -> template map (kNoTemplate
+  // when absent): one predictable load on the append path, where a hash-map
+  // probe was measurably slower than just rebuilding small frontiers.
+  // Entries for all templates share three flat arenas; template_key_ holds
+  // (label << 32) | id so the member-excision search probes one contiguous
+  // uint64 array instead of comparing (label, id) tuples across two.
+  std::vector<uint32_t> template_slot_;
+  std::vector<FrontierTemplate> templates_;
+  std::vector<graph::NodeId> template_to_;
+  std::vector<graph::Label> template_label_;
+  std::vector<uint64_t> template_key_;
+  std::vector<size_t> cut_scratch_;  // member positions to excise, reused
 
   // Hot-loop instrumentation is accumulated into these plain per-worker
   // counters and flushed to the registry once per Run() (flush-on-Run
@@ -316,7 +461,10 @@ BasicCensusWorker<GraphT>::BasicCensusWorker(const GraphT& graph,
       num_effective_labels_(graph.num_labels() +
                             (config.mask_start_label ? 1 : 0)),
       node_epoch_(graph.num_nodes(), 0),
-      linear_contribution_(graph.num_nodes(), 0) {
+      linear_contribution_(graph.num_nodes(), 0),
+      mixed_contribution_(graph.num_nodes(), 0),
+      template_slot_(config.frontier_templates ? graph.num_nodes() : 0,
+                     kNoTemplate) {
   HSGF_CHECK_GE(config_.max_edges, 1) << "census needs at least one edge";
   // Tolerate hooks registered for a smaller emax: missing per-edge-count
   // counters become inert instead of out-of-bounds.
@@ -325,6 +473,17 @@ BasicCensusWorker<GraphT>::BasicCensusWorker(const GraphT& graph,
         static_cast<size_t>(config_.max_edges), util::kInvalidMetric);
   }
   batch_.subgraphs_by_edges.assign(static_cast<size_t>(config_.max_edges), 0);
+  member_nodes_.reserve(static_cast<size_t>(config_.max_edges) + 1);
+  const size_t n = static_cast<size_t>(num_effective_labels_);
+  mixed_power_.resize(n * n);
+  for (size_t la = 0; la < n; ++la) {
+    for (size_t lb = 0; lb < n; ++lb) {
+      const uint64_t p = hasher_.Power(static_cast<graph::Label>(lb),
+                                       static_cast<graph::Label>(la));
+      mixed_power_[la * n + lb] =
+          config_.mix_contributions ? census_internal::Mix(p) : p;
+    }
+  }
 }
 
 template <typename GraphT>
@@ -342,45 +501,66 @@ uint64_t BasicCensusWorker<GraphT>::MixedContribution(graph::NodeId v) const {
 }
 
 template <typename GraphT>
-graph::NodeId BasicCensusWorker<GraphT>::AddEdge(const CandidateEdge& edge) {
-  // Every candidate extends the current subgraph: its source endpoint must
-  // already be inside, or the incremental hash bookkeeping drifts silently.
-  HSGF_DCHECK(InSubgraph(edge.from))
-      << "candidate edge " << edge.from << "->" << edge.to
-      << " does not touch the subgraph";
-  const graph::Label la = EffectiveLabel(edge.from);
-  const graph::Label lb = EffectiveLabel(edge.to);
-  current_hash_ -= MixedContribution(edge.from);
-  linear_contribution_[edge.from] += hasher_.Power(la, lb);
-  current_hash_ += MixedContribution(edge.from);
-  if (InSubgraph(edge.to)) {
-    current_hash_ -= MixedContribution(edge.to);
-    linear_contribution_[edge.to] += hasher_.Power(lb, la);
-    current_hash_ += MixedContribution(edge.to);
-    return -1;
+template <typename NeighborRange>
+auto BasicCensusWorker<GraphT>::TemplateFor(graph::NodeId w,
+                                            const NeighborRange& neighbors)
+    -> const FrontierTemplate* {
+  const uint32_t slot = template_slot_[w];
+  if (slot != kNoTemplate) return &templates_[slot];
+  const size_t degree = neighbors.size();
+  const size_t begin = template_to_.size();
+  if (begin + degree > kTemplateEntryCap) return nullptr;
+  template_to_.insert(template_to_.end(), neighbors.begin(), neighbors.end());
+  template_label_.resize(begin + degree);
+  template_key_.resize(begin + degree);
+  for (size_t k = 0; k < degree; ++k) {
+    const graph::NodeId y = template_to_[begin + k];
+    const graph::Label l = graph_.label(y);
+    template_label_[begin + k] = l;
+    template_key_[begin + k] =
+        (static_cast<uint64_t>(l) << 32) | static_cast<uint32_t>(y);
   }
-  node_epoch_[edge.to] = epoch_;
-  linear_contribution_[edge.to] = hasher_.Power(lb, la);
-  current_hash_ += MixedContribution(edge.to);
-  return edge.to;
+  HSGF_DCHECK(std::is_sorted(template_key_.begin() + begin,
+                             template_key_.end()))
+      << "adjacency of node " << w << " not sorted by (label, id)";
+  template_slot_[w] = static_cast<uint32_t>(templates_.size());
+  templates_.push_back({w, begin, begin + degree});
+  return &templates_.back();
 }
 
 template <typename GraphT>
-void BasicCensusWorker<GraphT>::RemoveEdge(const CandidateEdge& edge,
-                                           graph::NodeId added_node) {
-  const graph::Label la = EffectiveLabel(edge.from);
-  const graph::Label lb = EffectiveLabel(edge.to);
-  current_hash_ -= MixedContribution(edge.from);
-  linear_contribution_[edge.from] -= hasher_.Power(la, lb);
-  current_hash_ += MixedContribution(edge.from);
-  if (added_node != -1) {
-    current_hash_ -= MixedContribution(edge.to);
-    node_epoch_[edge.to] = 0;  // leave the subgraph
-    return;
+void BasicCensusWorker<GraphT>::AppendFromTemplate(
+    const FrontierTemplate& tmpl, graph::NodeId parent) {
+  // The positions to cut are exactly the in-subgraph neighbours that the
+  // scalar walk would skip: every member that occurs in the snapshot, minus
+  // the kept cycle-closers (blocked, not the discovery parent). The member
+  // list is tiny, so this is a handful of binary searches (over the packed
+  // (label, id) keys) plus bulk copies of the spans between cuts — no
+  // per-neighbour work.
+  const uint64_t* keys = template_key_.data();
+  cut_scratch_.clear();
+  for (graph::NodeId m : member_nodes_) {
+    const uint64_t key = (static_cast<uint64_t>(graph_.label(m)) << 32) |
+                         static_cast<uint32_t>(m);
+    const uint64_t* hit =
+        std::lower_bound(keys + tmpl.begin, keys + tmpl.end, key);
+    if (hit == keys + tmpl.end || *hit != key) continue;
+    if (IsBlocked(m) && m != parent) continue;  // kept as a cycle-closer
+    // Insertion sort on arrival: at most max_edges + 1 cuts, usually 1.
+    size_t pos = static_cast<size_t>(hit - keys);
+    size_t at = cut_scratch_.size();
+    cut_scratch_.push_back(pos);
+    while (at > 0 && cut_scratch_[at - 1] > pos) {
+      cut_scratch_[at] = cut_scratch_[at - 1];
+      cut_scratch_[--at] = pos;
+    }
   }
-  current_hash_ -= MixedContribution(edge.to);
-  linear_contribution_[edge.to] -= hasher_.Power(lb, la);
-  current_hash_ += MixedContribution(edge.to);
+  size_t prev = tmpl.begin;
+  for (size_t cut : cut_scratch_) {
+    AppendTemplateRange(prev, cut);
+    prev = cut + 1;
+  }
+  AppendTemplateRange(prev, tmpl.end);
 }
 
 template <typename GraphT>
@@ -396,16 +576,32 @@ void BasicCensusWorker<GraphT>::AppendFrontierOf(graph::NodeId w,
     ++batch_.dmax_blocked;
     return;
   }
-  for (graph::NodeId y : graph_.neighbors(w)) {
+  auto&& neighbors = graph_.neighbors(w);
+  if (config_.frontier_templates && neighbors.size() >= kTemplateMinDegree) {
+    if (const FrontierTemplate* tmpl = TemplateFor(w, neighbors)) {
+      AppendFromTemplate(*tmpl, parent);
+      return;
+    }
+  }
+  // Plain push_back append: resizing to the worst case up front and trimming
+  // after (to skip the per-push capacity checks) was measured ~4% slower —
+  // the two extra resize passes over the arena tail cost more than the
+  // predictable capacity branches.
+  for (graph::NodeId y : neighbors) {
+    bool keep;
     if (!InSubgraph(y)) {
-      arena_.push_back({w, y});
-    } else if (IsBlocked(y) && y != parent) {
+      keep = true;
+    } else {
       // Edges back into the subgraph are normally offered by the other
       // endpoint when *it* joins — but blocked nodes never offer their
       // edges, so cycle-closing edges into an in-subgraph hub must be
       // offered here (excluding w's own discovery edge). This keeps the
       // enumerated set independent of candidate order and duplicate-free.
-      arena_.push_back({w, y});
+      keep = IsBlocked(y) && y != parent;
+    }
+    if (keep) {
+      cand_to_.push_back(y);
+      cand_label_.push_back(graph_.label(y));
     }
   }
 }
@@ -452,23 +648,88 @@ void BasicCensusWorker<GraphT>::Extend(size_t seg_begin, size_t seg_end,
   HSGF_DCHECK_LE(seg_end, seg_stack_.size());
   HSGF_DCHECK_LT(depth, config_.max_edges);
   HSGF_DCHECK_EQ(edge_stack_.size(), static_cast<size_t>(depth));
+  const simd::KernelTable& kernels = *kernels_;
+  const size_t scan_min = config_.vector_scan_min;
+  // Leaf frames have no child-apply work to hide the count-table miss
+  // under, so prefetching there is pure overhead; non-leaf frames issue the
+  // prefetch before the grouping scan and the apply loop covers the
+  // latency. (Deferring leaf Adds into a flush buffer was tried and
+  // measured a ~7% pessimization — the extra store/reload traffic cost
+  // more than the overlapped probes saved on this cache-resident table.)
+  const bool leaf = depth + 1 >= config_.max_edges;
+  // Per-frame accumulators for the batched instrumentation counters: one
+  // memory RMW per frame instead of three per head. result.total_subgraphs
+  // is the exception — the budget check and child frames read it live.
+  int64_t frame_subgraphs = 0;
+  int64_t frame_saved = 0;
+  HSGF_DCHECK_LT(static_cast<size_t>(depth), batch_.subgraphs_by_edges.size());
+  auto commit_frame = [&] {
+    batch_.subgraphs_total += frame_subgraphs;
+    batch_.subgraphs_by_edges[depth] += frame_subgraphs;
+    batch_.label_group_saved += frame_saved;
+  };
   Cursor i{seg_begin, seg_begin < seg_end ? seg_stack_[seg_begin].begin : 0};
   while (i.seg < seg_end) {
     HSGF_DCHECK_LT(i.pos, seg_stack_[i.seg].end);
     if (config_.max_subgraphs > 0 &&
         result.total_subgraphs >= config_.max_subgraphs) {
       result.truncated = true;
+      commit_frame();
       return;
     }
     if (has_stop_ && --stop_countdown_ <= 0) {
       stop_countdown_ = kStopCheckInterval;
       if (stop_.StopRequested()) {
         result.stopped = true;
+        commit_frame();
         return;
       }
     }
-    const CandidateEdge head = arena_[i.pos];
-    const bool head_is_new_node = !InSubgraph(head.to);
+    const graph::NodeId head_from = seg_stack_[i.seg].from;
+    const graph::NodeId head_to = cand_to_[i.pos];
+    const graph::Label head_label = cand_label_[i.pos];
+    HSGF_DCHECK_EQ(head_label, EffectiveLabel(head_to));
+    const bool head_is_new_node = !InSubgraph(head_to);
+
+    // Hash of the subgraph after adding the head edge — identical for the
+    // whole run (a new same-label node contributes the same label-determined
+    // terms regardless of its id), so it is computed before the grouping
+    // scan and the count-table slot prefetched: the table is the one
+    // cache-missing access per head, and the scan is exactly the unrelated
+    // work to hide that miss under.
+    const graph::Label la = EffectiveLabel(head_from);
+    const graph::Label lb = head_label;
+    const uint64_t from_linear_after =
+        linear_contribution_[head_from] + hasher_.Power(la, lb);
+    const uint64_t to_linear_after =
+        head_is_new_node
+            ? hasher_.Power(lb, la)
+            : linear_contribution_[head_to] + hasher_.Power(lb, la);
+    // Finalizations inline here rather than going through an indirect
+    // kernel call (simd::MixPair is the same function lane-wise; the
+    // differential test would catch any drift): a new node's mixed
+    // contribution is a pure label-pair function served from mixed_power_,
+    // and the one remaining data-dependent Mix doesn't amortize a call.
+    const uint64_t from_mixed_after = config_.mix_contributions
+                                          ? census_internal::Mix(from_linear_after)
+                                          : from_linear_after;
+    uint64_t to_mixed_after;
+    if (head_is_new_node) {
+      to_mixed_after =
+          mixed_power_[static_cast<size_t>(la) * num_effective_labels_ + lb];
+      HSGF_DCHECK_EQ(to_mixed_after, config_.mix_contributions
+                                         ? census_internal::Mix(to_linear_after)
+                                         : to_linear_after);
+    } else {
+      to_mixed_after = config_.mix_contributions
+                           ? census_internal::Mix(to_linear_after)
+                           : to_linear_after;
+    }
+    uint64_t hash_after = current_hash_ - mixed_contribution_[head_from] +
+                          from_mixed_after + to_mixed_after;
+    if (!head_is_new_node) hash_after -= mixed_contribution_[head_to];
+    if (!leaf) result.counts.Prefetch(hash_after);
+
     Cursor j = i;
     Advance(j, seg_end);
     int64_t run = 1;
@@ -477,50 +738,41 @@ void BasicCensusWorker<GraphT>::Extend(size_t seg_begin, size_t seg_end,
       // extend the same subgraph node with a *new* neighbour of the same
       // label all produce the same encoding (and hash); batch their count.
       // Runs may span segment boundaries — adjacent segments were adjacent
-      // in the flat candidate list this layout replaces.
-      const graph::Label head_label = EffectiveLabel(head.to);
-      while (j.seg < seg_end) {
-        const CandidateEdge& cand = arena_[j.pos];
-        if (cand.from != head.from || InSubgraph(cand.to) ||
-            EffectiveLabel(cand.to) != head_label) {
-          break;
+      // in the flat candidate list this layout replaces — and segments are
+      // from-homogeneous, so the per-candidate scan is one vector kernel
+      // call per touched segment (labels against head_label, ids against
+      // the member list).
+      while (j.seg < seg_end && seg_stack_[j.seg].from == head_from) {
+        const Segment& seg = seg_stack_[j.seg];
+        const size_t avail = seg.end - j.pos;
+        size_t ext;
+        if (avail >= scan_min) {
+          ext = kernels.label_run_length(
+              cand_to_.data() + j.pos, cand_label_.data() + j.pos, avail,
+              head_label, member_nodes_.data(), member_nodes_.size());
+        } else {
+          // Same predicate inline (the epoch stamp and the member list agree
+          // by construction); short stretches don't repay the kernel call.
+          ext = 0;
+          while (ext < avail && cand_label_[j.pos + ext] == head_label &&
+                 !InSubgraph(cand_to_[j.pos + ext])) {
+            ++ext;
+          }
         }
-        ++run;
-        Advance(j, seg_end);
+        run += static_cast<int64_t>(ext);
+        j.pos += ext;
+        if (j.pos < seg.end) break;
+        ++j.seg;
+        j.pos = j.seg < seg_end ? seg_stack_[j.seg].begin : 0;
       }
-    }
-
-    // Hash of the subgraph after adding `head` (identical for the whole
-    // run): both endpoints' contributions change.
-    const graph::Label la = EffectiveLabel(head.from);
-    const graph::Label lb = EffectiveLabel(head.to);
-    uint64_t hash_after = current_hash_;
-    hash_after -= MixedContribution(head.from);
-    {
-      uint64_t c_from = linear_contribution_[head.from] + hasher_.Power(la, lb);
-      hash_after +=
-          config_.mix_contributions ? census_internal::Mix(c_from) : c_from;
-    }
-    if (head_is_new_node) {
-      uint64_t c_to = hasher_.Power(lb, la);
-      hash_after +=
-          config_.mix_contributions ? census_internal::Mix(c_to) : c_to;
-    } else {
-      hash_after -= MixedContribution(head.to);
-      uint64_t c_to = linear_contribution_[head.to] + hasher_.Power(lb, la);
-      hash_after +=
-          config_.mix_contributions ? census_internal::Mix(c_to) : c_to;
     }
 
     result.counts.Add(hash_after, run);
     result.total_subgraphs += run;
-    HSGF_DCHECK_LT(static_cast<size_t>(depth),
-                   batch_.subgraphs_by_edges.size());
-    batch_.subgraphs_total += run;
-    batch_.subgraphs_by_edges[depth] += run;
-    if (run > 1) batch_.label_group_saved += run - 1;
+    frame_subgraphs += run;
+    if (run > 1) frame_saved += run - 1;
     if (config_.keep_encodings && !result.encodings.contains(hash_after)) {
-      edge_stack_.push_back({head.from, head.to});
+      edge_stack_.push_back({head_from, head_to});
       result.encodings.emplace(hash_after, MaterializeEncoding());
       edge_stack_.pop_back();
       ++batch_.encoding_materializations;
@@ -529,37 +781,77 @@ void BasicCensusWorker<GraphT>::Extend(size_t seg_begin, size_t seg_end,
     if (depth + 1 < config_.max_edges) {
       for (Cursor k = i; k.seg != j.seg || k.pos != j.pos;
            Advance(k, seg_end)) {
-        if (result.truncated || result.stopped) return;
-        const CandidateEdge edge = arena_[k.pos];
-        graph::NodeId added = AddEdge(edge);
-        edge_stack_.emplace_back(edge.from, edge.to);
+        if (result.truncated || result.stopped) {
+          commit_frame();
+          return;
+        }
+        const graph::NodeId to = cand_to_[k.pos];
+        // Apply edge (head_from, to): every hash term was precomputed for
+        // the run head and holds for each child (for a grouped run all
+        // children are new nodes of the head's label; a cycle-closing head
+        // is always a run of one).
+        HSGF_DCHECK(InSubgraph(head_from))
+            << "candidate edge " << head_from << "->" << to
+            << " does not touch the subgraph";
+        HSGF_DCHECK(head_is_new_node ? !InSubgraph(to) : to == head_to);
+        undo_stack_.push_back({to, head_is_new_node ? to : graph::NodeId{-1},
+                               current_hash_,
+                               linear_contribution_[head_from],
+                               mixed_contribution_[head_from],
+                               head_is_new_node ? 0 : linear_contribution_[to],
+                               head_is_new_node ? 0 : mixed_contribution_[to]});
+        linear_contribution_[head_from] = from_linear_after;
+        mixed_contribution_[head_from] = from_mixed_after;
+        linear_contribution_[to] = to_linear_after;
+        mixed_contribution_[to] = to_mixed_after;
+        current_hash_ = hash_after;
+        if (head_is_new_node) {
+          node_epoch_[to] = epoch_;
+          member_nodes_.push_back(to);
+        }
+        edge_stack_.emplace_back(head_from, to);
         // The child's candidate list: the rest of k's segment, the
         // remaining ancestor segments, then the child's own frontier —
-        // all by reference except the frontier. Ancestor arena_ ranges
+        // all by reference except the frontier. Ancestor arena ranges
         // stay valid because descendants only append past them and always
         // resize back on unwind.
         const size_t child_seg_begin = seg_stack_.size();
         if (k.pos + 1 < seg_stack_[k.seg].end) {
-          seg_stack_.push_back({k.pos + 1, seg_stack_[k.seg].end});
+          seg_stack_.push_back(
+              {k.pos + 1, seg_stack_[k.seg].end, seg_stack_[k.seg].from});
         }
         for (size_t s = k.seg + 1; s < seg_end; ++s) {
           const Segment inherited = seg_stack_[s];
           seg_stack_.push_back(inherited);
         }
-        const size_t child_arena_begin = arena_.size();
-        if (added != -1) AppendFrontierOf(added, edge.from);
-        if (arena_.size() > child_arena_begin) {
-          seg_stack_.push_back({child_arena_begin, arena_.size()});
+        const size_t child_arena_begin = cand_to_.size();
+        if (head_is_new_node) AppendFrontierOf(to, head_from);
+        if (cand_to_.size() > child_arena_begin) {
+          seg_stack_.push_back({child_arena_begin, cand_to_.size(), to});
         }
         Extend(child_seg_begin, seg_stack_.size(), depth + 1, result);
         seg_stack_.resize(child_seg_begin);
-        arena_.resize(child_arena_begin);
+        cand_to_.resize(child_arena_begin);
+        cand_label_.resize(child_arena_begin);
         edge_stack_.pop_back();
-        RemoveEdge(edge, added);
+        // Unapply: absolute restores from the undo record.
+        const EdgeUndo& undo = undo_stack_.back();
+        current_hash_ = undo.hash_before;
+        linear_contribution_[head_from] = undo.from_linear_before;
+        mixed_contribution_[head_from] = undo.from_mixed_before;
+        if (undo.added != -1) {
+          node_epoch_[to] = 0;  // leave the subgraph
+          member_nodes_.pop_back();
+        } else {
+          linear_contribution_[to] = undo.to_linear_before;
+          mixed_contribution_[to] = undo.to_mixed_before;
+        }
+        undo_stack_.pop_back();
       }
     }
     i = j;
   }
+  commit_frame();
 }
 
 template <typename GraphT>
@@ -584,22 +876,37 @@ void BasicCensusWorker<GraphT>::Run(graph::NodeId start, CensusResult& result,
     ++epoch_;
     node_epoch_[start] = epoch_;
     linear_contribution_[start] = 0;
-    current_hash_ = MixedContribution(start);  // Mix(0) == 0; kept for clarity
+    mixed_contribution_[start] = MixedContribution(start);  // Mix(0) == 0
+    current_hash_ = mixed_contribution_[start];
+    kernels_ = &simd::ActiveKernels();
 
-    arena_.clear();
+    member_nodes_.clear();
+    member_nodes_.push_back(start);
+    cand_to_.clear();
+    cand_label_.clear();
     seg_stack_.clear();
     edge_stack_.clear();
-    // The start node is always expanded, regardless of dmax.
+    undo_stack_.clear();
+    // The start node is always expanded, regardless of dmax. Frontier
+    // templates are skipped here on purpose: a start snapshot would be
+    // built and used exactly once per Run.
     for (graph::NodeId y : graph_.neighbors(start)) {
-      arena_.push_back({start, y});
+      cand_to_.push_back(y);
+      cand_label_.push_back(graph_.label(y));
     }
-    if (!arena_.empty()) seg_stack_.push_back({0, arena_.size()});
+    if (!cand_to_.empty()) {
+      seg_stack_.push_back({0, cand_to_.size(), start});
+    }
     Extend(0, seg_stack_.size(), 0, result);
     // The enumeration must unwind completely — even on truncation or stop —
     // or the epoch-stamped scratch poisons the next Run() on this worker.
     HSGF_DCHECK(edge_stack_.empty())
         << edge_stack_.size() << " edges left on the stack after unwind";
-    HSGF_DCHECK_EQ(seg_stack_.size(), arena_.empty() ? size_t{0} : size_t{1})
+    HSGF_DCHECK(undo_stack_.empty())
+        << undo_stack_.size() << " undo records left after unwind";
+    HSGF_DCHECK_EQ(member_nodes_.size(), size_t{1})
+        << "member list not unwound to the start node";
+    HSGF_DCHECK_EQ(seg_stack_.size(), cand_to_.empty() ? size_t{0} : size_t{1})
         << "segment stack not unwound to the root frame";
     HSGF_DCHECK_EQ(linear_contribution_[start], uint64_t{0})
         << "start-node hash contribution not restored";

@@ -65,15 +65,15 @@ std::string DirectedEncodingToString(
 
 namespace directed_census_internal {
 
-// Descending lexicographic block order (canonical encoding order). Explicit
-// byte loop: every block has the same length, and vector's three-way
-// compare trips GCC's memcmp bound analysis under -O3.
+// Descending lexicographic block order (canonical encoding order). Routed
+// through the dispatched byte-compare kernel (memcmp semantics); a kernel
+// rather than std::lexicographical_compare because GCC's memcmp bound
+// analysis misfires on inlined vector<uint8_t> three-way compares under -O3.
 inline bool DescendingBytes(const std::vector<uint8_t>& a,
                             const std::vector<uint8_t>& b) {
   const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (a[i] != b[i]) return a[i] > b[i];
-  }
+  const int cmp = simd::CompareBytes(a.data(), b.data(), n);
+  if (cmp != 0) return cmp > 0;
   return a.size() > b.size();
 }
 
@@ -161,6 +161,11 @@ class BasicDirectedCensusWorker {
   uint64_t current_hash_ = 0;
   std::vector<uint64_t> node_epoch_;
   std::vector<uint64_t> linear_contribution_;
+  // Finalized (mixed) form of linear_contribution_[v], maintained in
+  // lockstep; caching it halves the Mix work per arc add/remove because the
+  // old mixed value is read back instead of recomputed (the undirected
+  // worker's hash-hoist, applied to the AoS arc walk).
+  std::vector<uint64_t> mixed_contribution_;
   std::vector<CandidateArc> arena_;  // frontier candidates, one run per frame
   std::vector<Segment> seg_stack_;   // per-frame segment lists, stack-shaped
   std::vector<std::pair<graph::NodeId, graph::NodeId>> arc_stack_;
@@ -188,7 +193,8 @@ BasicDirectedCensusWorker<GraphT>::BasicDirectedCensusWorker(
       num_effective_labels_(graph.num_labels() +
                             (config.mask_start_label ? 1 : 0)),
       node_epoch_(graph.num_nodes(), 0),
-      linear_contribution_(graph.num_nodes(), 0) {
+      linear_contribution_(graph.num_nodes(), 0),
+      mixed_contribution_(graph.num_nodes(), 0) {
   HSGF_CHECK_GE(config_.max_edges, 1);
   // Two independent odd base families: one for in-, one for out-counts.
   const int L = num_effective_labels_;
@@ -235,18 +241,21 @@ graph::NodeId BasicDirectedCensusWorker<GraphT>::AddArc(
   const uint64_t head_delta = InPower(lh, lt);   // head gains an in-neighbour
   graph::NodeId added = -1;
 
-  // At most one endpoint is outside the subgraph (candidate invariant).
+  // At most one endpoint is outside the subgraph (candidate invariant). The
+  // pre-edge mixed value is read from the cache instead of recomputed.
   auto apply = [&](graph::NodeId v, uint64_t delta) {
     if (InSubgraph(v)) {
-      current_hash_ -= Contribution(linear_contribution_[v]);
+      current_hash_ -= mixed_contribution_[v];
       linear_contribution_[v] += delta;
-      current_hash_ += Contribution(linear_contribution_[v]);
+      mixed_contribution_[v] = Contribution(linear_contribution_[v]);
+      current_hash_ += mixed_contribution_[v];
     } else {
       HSGF_DCHECK_EQ(added, -1)
           << "both arc endpoints were outside the subgraph";
       node_epoch_[v] = epoch_;
       linear_contribution_[v] = delta;
-      current_hash_ += Contribution(delta);
+      mixed_contribution_[v] = Contribution(delta);
+      current_hash_ += mixed_contribution_[v];
       added = v;
     }
   };
@@ -261,16 +270,17 @@ void BasicDirectedCensusWorker<GraphT>::RemoveArc(const CandidateArc& arc,
   const graph::Label lt = EffectiveLabel(arc.tail);
   const graph::Label lh = EffectiveLabel(arc.head);
   auto revert = [this](graph::NodeId v, uint64_t delta) {
-    current_hash_ -= Contribution(linear_contribution_[v]);
+    current_hash_ -= mixed_contribution_[v];
     linear_contribution_[v] -= delta;
-    current_hash_ += Contribution(linear_contribution_[v]);
+    mixed_contribution_[v] = Contribution(linear_contribution_[v]);
+    current_hash_ += mixed_contribution_[v];
   };
   if (added_node == arc.tail) {
-    current_hash_ -= Contribution(linear_contribution_[arc.tail]);
+    current_hash_ -= mixed_contribution_[arc.tail];
     node_epoch_[arc.tail] = 0;
     revert(arc.head, InPower(lh, lt));
   } else if (added_node == arc.head) {
-    current_hash_ -= Contribution(linear_contribution_[arc.head]);
+    current_hash_ -= mixed_contribution_[arc.head];
     node_epoch_[arc.head] = 0;
     revert(arc.tail, OutPower(lt, lh));
   } else {
@@ -405,7 +415,8 @@ void BasicDirectedCensusWorker<GraphT>::Run(graph::NodeId start,
   ++epoch_;
   node_epoch_[start] = epoch_;
   linear_contribution_[start] = 0;
-  current_hash_ = Contribution(0);
+  mixed_contribution_[start] = Contribution(0);
+  current_hash_ = mixed_contribution_[start];
 
   arena_.clear();
   seg_stack_.clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "simd/kernels.h"
 #include "util/check.h"
 
 namespace hsgf::core {
@@ -14,17 +15,19 @@ Encoding EncodeSignatureRange(NodeSignature* signatures, size_t count,
   // Descending lexicographic block order (Eq. 2: s_v1 >= s_v2 >= ... >=
   // s_vn), compared directly on the signatures so no per-block byte vectors
   // are materialized. A block is [label, counts...], so label compares
-  // first. Explicit byte loop: every count array has the same length, and
-  // vector's three-way compare trips GCC's memcmp bound analysis under -O3.
-  auto descending = [](const NodeSignature& a, const NodeSignature& b) {
+  // first; the count arrays go through the dispatched byte-compare kernel
+  // (memcmp semantics — hand-rolled because GCC's memcmp bound analysis
+  // misfires on inlined vector<uint8_t> three-way compares under -O3).
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  auto descending = [&kernels](const NodeSignature& a,
+                               const NodeSignature& b) {
     if (a.label != b.label) return a.label > b.label;
     const size_t n = std::min(a.neighbor_counts.size(),
                               b.neighbor_counts.size());
-    for (size_t i = 0; i < n; ++i) {
-      if (a.neighbor_counts[i] != b.neighbor_counts[i]) {
-        return a.neighbor_counts[i] > b.neighbor_counts[i];
-      }
-    }
+    const int cmp =
+        kernels.compare_bytes(a.neighbor_counts.data(),
+                              b.neighbor_counts.data(), n);
+    if (cmp != 0) return cmp > 0;
     return a.neighbor_counts.size() > b.neighbor_counts.size();
   };
   std::sort(signatures, signatures + count, descending);

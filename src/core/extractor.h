@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,16 @@ struct ExtractorConfig {
 
   // Worker threads for the per-node fan-out (0 = hardware concurrency).
   unsigned num_threads = 1;
+
+  // Multi-root batching: group roots that share a high-degree neighbour and
+  // run each group consecutively on one census worker, keeping the worker's
+  // frontier snapshot cache alive within the group (the shared hub's
+  // frontier — the common prefix of those censuses — is then built once per
+  // batch instead of once per root; with paged storage the hub's adjacency
+  // blocks also stay pinned across the batch). Pure scheduling: results are
+  // keyed by caller index, so the feature matrix is bit-identical with
+  // batching on or off, at any thread count (differential-tested).
+  bool batch_roots = true;
 
   FeatureBuildOptions features;
 };
@@ -113,6 +124,16 @@ class BasicExtractor {
   // thread counts a per-node lock acquisition serializes the workers.
   static constexpr size_t kProgressInterval = 16;
 
+  // Roots batch together only around a shared neighbour of at least this
+  // degree — below it the shared work (one frontier snapshot) is too small
+  // to be worth steering the schedule. Matches the census worker's own
+  // template threshold so every batch hub is actually snapshot-eligible.
+  static constexpr int kBatchHubMinDegree = 12;
+  // Upper bound on roots per batch: caps how much work the LPT scheduler
+  // must place as one indivisible unit, so batching cannot recreate the
+  // straggler problem it shares a cache to avoid.
+  static constexpr size_t kBatchCap = 16;
+
   BasicExtractor(const GraphT& graph, const ExtractorConfig& config);
   ~BasicExtractor() = default;
 
@@ -161,6 +182,13 @@ class BasicExtractor {
   using Access = CensusAccess<GraphT>;
   using Worker = BasicCensusWorker<typename Access::View>;
 
+  // Groups indices into `nodes` into the batches Run() schedules: roots
+  // keyed by their highest-degree neighbour of degree >= kBatchHubMinDegree
+  // (ties to the smallest id), in caller order, split at kBatchCap; roots
+  // with no such neighbour run solo. Deterministic in the input alone.
+  std::vector<std::vector<size_t>> PlanBatches(
+      const std::vector<graph::NodeId>& nodes);
+
   const GraphT& graph_;
   ExtractorConfig config_;
   CensusConfig census_config_;  // config_.census with dmax resolved
@@ -171,6 +199,7 @@ class BasicExtractor {
   util::MetricId hist_node_micros_ = util::kInvalidMetric;
   util::MetricId gauge_effective_dmax_ = util::kInvalidMetric;
   util::MetricId gauge_nodes_total_ = util::kInvalidMetric;
+  util::MetricId gauge_root_batches_ = util::kInvalidMetric;
   util::MetricId gauge_features_selected_ = util::kInvalidMetric;
   std::unique_ptr<util::ThreadPool> pool_;  // null when single-threaded
 };
@@ -195,6 +224,7 @@ BasicExtractor<GraphT>::BasicExtractor(const GraphT& graph,
   hist_node_micros_ = metrics_.Histogram("census.node_micros");
   gauge_effective_dmax_ = metrics_.Gauge("extract.effective_dmax");
   gauge_nodes_total_ = metrics_.Gauge("extract.nodes_total");
+  gauge_root_batches_ = metrics_.Gauge("extract.root_batches");
   gauge_features_selected_ = metrics_.Gauge("extract.features_selected");
   census_metrics_ = CensusMetrics::Register(metrics_, census_config_.max_edges);
 
@@ -257,30 +287,53 @@ ExtractionResult BasicExtractor<GraphT>::Run(
     }
   };
 
+  // Multi-root batching (scheduling only): each batch runs back-to-back on
+  // one worker with the worker's frontier snapshot cache kept alive inside
+  // the batch and dropped at its boundary, so roots around a shared hub
+  // walk the hub's frontier once. With batching off every root is its own
+  // batch and the loops below degenerate to the per-root schedule.
+  std::vector<std::vector<size_t>> batches;
+  if (config_.batch_roots && nodes.size() > 1) {
+    batches = PlanBatches(nodes);
+  } else {
+    batches.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) batches.push_back({i});
+  }
+  metrics_.SetGauge(gauge_root_batches_, static_cast<double>(batches.size()));
+
   {
     util::ScopedSpan span(metrics_, span_census_);
     if (pool_ == nullptr || nodes.size() <= 1) {
       auto&& view = Access::MakeView(graph_);
       Worker worker(view, census_config_, census_metrics_);
-      for (size_t i = 0; i < nodes.size(); ++i) {
+      for (const std::vector<size_t>& batch : batches) {
         if (stop.StopRequested()) break;
-        process(worker, i);
+        worker.ClearFrontierCache();
+        for (size_t i : batch) {
+          if (stop.StopRequested()) break;
+          process(worker, i);
+        }
       }
     } else {
       // Skew-aware dispatch (longest-processing-time-first): census cost is
       // wildly skewed by start-node degree (paper Table 3 reports per-node
       // outliers of 2493 s on hubs). Dequeuing in caller order can land a
       // hub last and serialize the tail of the run on one thread; starting
-      // the heaviest nodes first bounds the straggler to roughly the
-      // heaviest single node. Results still land in caller slot order —
-      // censuses[i] is keyed by the original index — so the feature matrix
-      // is identical for any schedule.
-      std::vector<size_t> order(nodes.size());
+      // the heaviest batches first bounds the straggler to roughly the
+      // heaviest single batch (kBatchCap bounds how heavy batching can make
+      // one). Results still land in caller slot order — censuses[i] is
+      // keyed by the original index — so the feature matrix is identical
+      // for any schedule.
+      std::vector<int64_t> weight(batches.size(), 0);
+      for (size_t b = 0; b < batches.size(); ++b) {
+        for (size_t i : batches[b]) weight[b] += graph_.degree(nodes[i]);
+      }
+      std::vector<size_t> order(batches.size());
       std::iota(order.begin(), order.end(), size_t{0});
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return graph_.degree(nodes[a]) > graph_.degree(nodes[b]);
+        return weight[a] > weight[b];
       });
-      // Work-queue ticket: the RMW hands each index to exactly one thread;
+      // Work-queue ticket: the RMW hands each batch to exactly one thread;
       // no other memory is published through it, hence relaxed.
       std::atomic<size_t> cursor{0};
       const unsigned worker_count = pool_->num_threads();
@@ -293,9 +346,13 @@ ExtractionResult BasicExtractor<GraphT>::Run(
           Worker worker(view, census_config_, census_metrics_);
           for (;;) {
             if (stop.StopRequested()) return;
-            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= order.size()) return;
-            process(worker, order[i]);
+            const size_t b = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (b >= order.size()) return;
+            worker.ClearFrontierCache();
+            for (size_t i : batches[order[b]]) {
+              if (stop.StopRequested()) return;
+              process(worker, i);
+            }
           }
         });
       }
@@ -315,6 +372,42 @@ ExtractionResult BasicExtractor<GraphT>::Run(
                     static_cast<double>(result.features.matrix.cols()));
   result.metrics = metrics_.Snapshot();
   return result;
+}
+
+template <typename GraphT>
+std::vector<std::vector<size_t>> BasicExtractor<GraphT>::PlanBatches(
+    const std::vector<graph::NodeId>& nodes) {
+  std::vector<std::vector<size_t>> batches;
+  batches.reserve(nodes.size());
+  auto&& view = Access::MakeView(graph_);
+  // hub -> index of its still-open batch in `batches`.
+  std::unordered_map<graph::NodeId, size_t> open;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    // Batch key: the root's highest-degree neighbour at or above the hub
+    // threshold, ties to the smallest id. degree() is O(1) index metadata on
+    // every census storage, so probing it inside the neighbour walk never
+    // invalidates the neighbors() range.
+    graph::NodeId hub = -1;
+    int hub_degree = 0;
+    for (graph::NodeId w : view.neighbors(nodes[i])) {
+      const int d = view.degree(w);
+      if (d < kBatchHubMinDegree) continue;
+      if (hub < 0 || d > hub_degree || (d == hub_degree && w < hub)) {
+        hub = w;
+        hub_degree = d;
+      }
+    }
+    if (hub < 0) {
+      batches.push_back({i});
+      continue;
+    }
+    auto [it, inserted] = open.try_emplace(hub, batches.size());
+    if (inserted) batches.emplace_back();
+    std::vector<size_t>& batch = batches[it->second];
+    batch.push_back(i);
+    if (batch.size() >= kBatchCap) open.erase(it);
+  }
+  return batches;
 }
 
 template <typename GraphT>

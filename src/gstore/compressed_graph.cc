@@ -420,11 +420,32 @@ bool CompressedGraph::VerifyBlock(uint32_t block, CGraphError* error) const {
 void CompressedGraph::AttachMetrics(util::MetricsRegistry* registry) {
   registry_ = registry;
   cache_->AttachMetrics(registry);
-  if (registry == nullptr) return;
+  if (registry == nullptr) {
+    prefetch_issued_ = util::kInvalidMetric;
+    return;
+  }
   registry->SetGauge(registry->Gauge("gstore.bytes_mapped"),
                      static_cast<double>(file_size_));
   registry->SetGauge(registry->Gauge("gstore.blocks_total"),
                      static_cast<double>(num_blocks()));
+  prefetch_issued_ = registry->Counter("gstore.prefetch_issued");
+}
+
+void CompressedGraph::PrefetchBlock(uint32_t block) const {
+  if (block >= num_blocks()) return;
+  const BlockRef& ref = block_dir_[block];
+  if (ref.encoded_bytes == 0) return;
+  // Page-round the block's compressed range within the mapping; WILLNEED is
+  // a hint, so a failure (e.g. on an exotic filesystem) is simply ignored.
+  auto* base = static_cast<uint8_t*>(mapping_->data);
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t begin =
+      static_cast<uint64_t>(blob_ - base) + ref.offset;
+  const uint64_t aligned = begin & ~static_cast<uint64_t>(page - 1);
+  const uint64_t end = begin + ref.encoded_bytes;
+  ::madvise(base + aligned, static_cast<size_t>(end - aligned),
+            MADV_WILLNEED);
+  if (registry_ != nullptr) registry_->Increment(prefetch_issued_);
 }
 
 graph::HetGraph CompressedGraph::ToHetGraph() const {

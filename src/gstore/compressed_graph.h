@@ -108,6 +108,14 @@ class CompressedGraph {
   // tests, and the fuzzer.
   bool VerifyBlock(uint32_t block, CGraphError* error) const;
 
+  // Asks the kernel to start paging in `block`'s compressed bytes
+  // (madvise WILLNEED on the page-rounded blob range). Purely a hint: no
+  // decode, no cache interaction, out-of-range ids are ignored. Views issue
+  // it for block b+1 when a sequential walk fetches block b, so the next
+  // block's page-in overlaps the current block's decode; counted by the
+  // gstore.prefetch_issued metric.
+  void PrefetchBlock(uint32_t block) const;
+
   // Fully decodes an undirected container back into an in-memory CSR graph.
   // Block-sequential, so it streams the blob once. The result is
   // bit-identical to the HetGraph the container was written from.
@@ -156,6 +164,7 @@ class CompressedGraph {
   // cache's own shard locks.
   std::unique_ptr<BlockCache> cache_;
   util::MetricsRegistry* registry_ = nullptr;
+  util::MetricId prefetch_issued_ = util::kInvalidMetric;
 };
 
 // Per-view pin memo size. The census traversal alternates between a node's
@@ -199,6 +208,15 @@ class GraphView {
     if (pinned_block_[slot] != block || pinned_[slot] == nullptr) {
       pinned_[slot] = graph_->GetBlock(block);
       pinned_block_[slot] = block;
+      // Sequential-walk prefetch: two consecutive fetches b-1, b predict
+      // b+1 next (block-ordered scans — ToHetGraph-style streaming, batched
+      // roots walking id-adjacent frontiers), so hint its page-in now and
+      // the madvise overlaps this block's decode. Detection is on fetches,
+      // not pins, so the memo-hit fast path stays untouched.
+      if (last_fetched_ != UINT32_MAX && block == last_fetched_ + 1) {
+        graph_->PrefetchBlock(block + 1);
+      }
+      last_fetched_ = block;
     }
     return *pinned_[slot];
   }
@@ -211,6 +229,8 @@ class GraphView {
     init.fill(UINT32_MAX);
     return init;
   }();
+  // Most recent block actually fetched (not memo-hit); UINT32_MAX = none.
+  mutable uint32_t last_fetched_ = UINT32_MAX;
 };
 
 // Directed counterpart: successors/predecessors of v live in the same block
@@ -252,6 +272,15 @@ class DirectedGraphView {
     if (pinned_block_[slot] != block || pinned_[slot] == nullptr) {
       pinned_[slot] = graph_->GetBlock(block);
       pinned_block_[slot] = block;
+      // Sequential-walk prefetch: two consecutive fetches b-1, b predict
+      // b+1 next (block-ordered scans — ToHetGraph-style streaming, batched
+      // roots walking id-adjacent frontiers), so hint its page-in now and
+      // the madvise overlaps this block's decode. Detection is on fetches,
+      // not pins, so the memo-hit fast path stays untouched.
+      if (last_fetched_ != UINT32_MAX && block == last_fetched_ + 1) {
+        graph_->PrefetchBlock(block + 1);
+      }
+      last_fetched_ = block;
     }
     return *pinned_[slot];
   }
@@ -264,6 +293,8 @@ class DirectedGraphView {
     init.fill(UINT32_MAX);
     return init;
   }();
+  // Most recent block actually fetched (not memo-hit); UINT32_MAX = none.
+  mutable uint32_t last_fetched_ = UINT32_MAX;
 };
 
 inline GraphView CompressedGraph::MakeView() const { return GraphView(this); }

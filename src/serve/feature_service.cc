@@ -39,13 +39,11 @@ bool FeatureService::AttachGraph(const graph::HetGraph& graph,
                                  std::string* error) {
   // Encoding hashes are a function of the label alphabet: a graph with a
   // different alphabet would silently produce features in a different
-  // coordinate system, so refuse it.
-  if (graph.label_names() != snapshot_.label_names()) {
-    if (error != nullptr) {
-      *error = "graph label alphabet does not match the snapshot's";
-    }
-    return false;
-  }
+  // coordinate system — AttachGraphStorage refuses the mismatch.
+  return AttachGraphStorage(graph, error);
+}
+
+core::ExtractorConfig FeatureService::ColdExtractorConfig() const {
   core::ExtractorConfig config;
   config.census.max_edges = snapshot_.max_edges();
   config.census.max_degree = snapshot_.effective_dmax();
@@ -53,8 +51,7 @@ bool FeatureService::AttachGraph(const graph::HetGraph& graph,
   config.census.hash_seed = snapshot_.hash_seed();
   config.census.keep_encodings = false;  // vocabulary is fixed by the snapshot
   config.num_threads = 1;                // cold misses are single-node
-  extractor_ = std::make_unique<core::Extractor>(graph, config);
-  return true;
+  return config;
 }
 
 bool FeatureService::AttachStream(stream::StreamEngine& engine,
@@ -134,8 +131,7 @@ bool FeatureService::TryGetFeaturesFast(graph::NodeId node,
   const bool in_range =
       stream_ != nullptr
           ? (node >= 0 && node < stream_->num_nodes())
-          : (extractor_ != nullptr && node >= 0 &&
-             node < extractor_->graph().num_nodes());
+          : (cold_ != nullptr && node >= 0 && node < cold_->num_nodes());
   if (!in_range) {
     metrics_.Increment(not_found_);
     *reply = {Outcome::kNotFound, FeatureSource::kComputed, {}, epoch};
@@ -200,7 +196,7 @@ FeatureService::FeatureReply FeatureService::ComputeCold(
     stop = stop_source.Token();
   }
   util::Stopwatch watch;
-  core::CensusResult census = extractor_->RunCensus(node, stop);
+  core::CensusResult census = cold_->RunCensus(node, stop);
   metrics_.Observe(cold_census_micros_, watch.ElapsedMicros());
   if (census.stopped) {
     // Partial counts would differ from what a full extraction produces;
@@ -305,7 +301,7 @@ FeatureService::Stats FeatureService::GetStats() const {
   stats.num_labels = snapshot_.num_labels();
   stats.max_edges = snapshot_.max_edges();
   stats.effective_dmax = snapshot_.effective_dmax();
-  stats.graph_attached = extractor_ != nullptr;
+  stats.graph_attached = cold_ != nullptr;
   stats.stream_attached = stream_ != nullptr;
   if (stream_ != nullptr) {
     stats.epoch = stream_->epoch();

@@ -39,6 +39,39 @@ struct FeatureServiceConfig {
   double cold_census_deadline_s = 10.0;
 };
 
+// Type-erased cold-miss census source: the serving tier asks only for a node
+// count (range check) and an on-demand census, so any census graph storage —
+// in-RAM CSR, out-of-core compressed graph — can back the cold path without
+// the serve layer naming its type. Implementations must be safe for
+// concurrent RunCensus() calls (the extraction session's contract).
+class ColdSource {
+ public:
+  virtual ~ColdSource() = default;
+  virtual graph::NodeId num_nodes() const = 0;
+  virtual core::CensusResult RunCensus(graph::NodeId node,
+                                       util::StopToken stop) = 0;
+};
+
+// Binds a census graph storage to the cold path through its extraction
+// session (dmax resolution, metrics, per-call workers all come with it).
+template <typename GraphT>
+class ExtractorColdSource final : public ColdSource {
+ public:
+  ExtractorColdSource(const GraphT& graph, const core::ExtractorConfig& config)
+      : extractor_(graph, config) {}
+
+  graph::NodeId num_nodes() const override {
+    return extractor_.graph().num_nodes();
+  }
+  core::CensusResult RunCensus(graph::NodeId node,
+                               util::StopToken stop) override {
+    return extractor_.RunCensus(node, std::move(stop));
+  }
+
+ private:
+  core::BasicExtractor<GraphT> extractor_;
+};
+
 // Answers per-node feature queries from an open snapshot: rows persisted in
 // the snapshot are served zero-copy; nodes absent from it are censused on
 // demand against an attached graph (same emax/dmax/masking/seed as the
@@ -62,6 +95,24 @@ class FeatureService {
   // returns false with *error set on a mismatch.
   bool AttachGraph(const graph::HetGraph& graph, std::string* error = nullptr);
 
+  // Storage-generic form of AttachGraph: binds any census graph storage
+  // modelling num_nodes()/label_names() plus the census graph concept —
+  // hsgf_serve uses it to serve cold misses straight from an out-of-core
+  // gstore::CompressedGraph without materializing the CSR. Same alphabet
+  // validation and census parameterization as AttachGraph.
+  template <typename GraphT>
+  bool AttachGraphStorage(const GraphT& graph, std::string* error = nullptr) {
+    if (graph.label_names() != snapshot_.label_names()) {
+      if (error != nullptr) {
+        *error = "graph label alphabet does not match the snapshot's";
+      }
+      return false;
+    }
+    cold_ = std::make_unique<ExtractorColdSource<GraphT>>(
+        graph, ColdExtractorConfig());
+    return true;
+  }
+
   // Enables live updates: graph mutations via ApplyUpdate(), per-epoch
   // feature versioning, and incremental rows taking precedence over stale
   // snapshot rows. The engine must outlive the service, carry the snapshot's
@@ -72,7 +123,7 @@ class FeatureService {
   bool AttachStream(stream::StreamEngine& engine, std::string* error = nullptr);
 
   const io::Snapshot& snapshot() const { return snapshot_; }
-  bool has_graph() const { return extractor_ != nullptr; }
+  bool has_graph() const { return cold_ != nullptr; }
   bool has_stream() const { return stream_ != nullptr; }
 
   enum class Outcome : uint8_t {
@@ -167,12 +218,15 @@ class FeatureService {
   FeatureReply ComputeCold(graph::NodeId node, const util::StopToken& stop);
   FeatureReply ComputeColdStream(graph::NodeId node,
                                  const util::StopToken& stop);
+  // The snapshot-parameterized extraction config every attached cold source
+  // is built with (emax/dmax/masking/seed must match the producing run).
+  core::ExtractorConfig ColdExtractorConfig() const;
 
   io::Snapshot snapshot_;
   util::MetricsRegistry& metrics_;
   FeatureServiceConfig config_;
-  std::unique_ptr<core::Extractor> extractor_;  // null until AttachGraph
-  stream::StreamEngine* stream_ = nullptr;      // null until AttachStream
+  std::unique_ptr<ColdSource> cold_;        // null until AttachGraph*
+  stream::StreamEngine* stream_ = nullptr;  // null until AttachStream
   std::unordered_map<uint64_t, uint32_t> column_of_;
   util::ShardedLruCache<graph::NodeId, std::vector<double>> cache_;
 

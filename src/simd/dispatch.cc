@@ -1,0 +1,124 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace hsgf::simd {
+namespace {
+
+// Runtime CPU capability for AVX2. SSE2 needs no probe (x86-64 baseline),
+// NEON needs no probe (aarch64 baseline) — AVX2 is the only level where the
+// binary may carry code the CPU cannot run.
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Table for `level` iff this binary carries it AND this CPU can run it.
+const KernelTable* RunnableTable(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return internal::ScalarKernels();
+    case IsaLevel::kSse2:
+      return internal::Sse2Kernels();
+    case IsaLevel::kAvx2:
+      return CpuHasAvx2() ? internal::Avx2Kernels() : nullptr;
+    case IsaLevel::kNeon:
+      return internal::NeonKernels();
+  }
+  return nullptr;
+}
+
+struct Dispatch {
+  std::atomic<const KernelTable*> table;
+  std::atomic<int> level;
+};
+
+Dispatch& State() {
+  // Magic-static init: detect once, apply the HSGF_SIMD env override once,
+  // before the first kernel dispatch from any thread. (Both statics are
+  // initialized under the same guard; no caller observes the null table.)
+  static Dispatch state;
+  static const bool init = [] {
+    IsaLevel best = IsaLevel::kScalar;
+    for (IsaLevel candidate :
+         {IsaLevel::kAvx2, IsaLevel::kSse2, IsaLevel::kNeon}) {
+      if (RunnableTable(candidate) != nullptr) {
+        best = candidate;
+        break;
+      }
+    }
+    if (const char* env = std::getenv("HSGF_SIMD")) {
+      IsaLevel forced = best;
+      if (std::strcmp(env, "scalar") == 0) forced = IsaLevel::kScalar;
+      else if (std::strcmp(env, "sse2") == 0) forced = IsaLevel::kSse2;
+      else if (std::strcmp(env, "avx2") == 0) forced = IsaLevel::kAvx2;
+      else if (std::strcmp(env, "neon") == 0) forced = IsaLevel::kNeon;
+      if (RunnableTable(forced) != nullptr) best = forced;
+    }
+    state.table.store(RunnableTable(best), std::memory_order_relaxed);
+    state.level.store(static_cast<int>(best), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)init;
+  return state;
+}
+
+}  // namespace
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const std::vector<IsaLevel>& SupportedIsaLevels() {
+  static const std::vector<IsaLevel> levels = [] {
+    std::vector<IsaLevel> out;
+    for (IsaLevel candidate :
+         {IsaLevel::kAvx2, IsaLevel::kSse2, IsaLevel::kNeon}) {
+      if (RunnableTable(candidate) != nullptr) out.push_back(candidate);
+    }
+    out.push_back(IsaLevel::kScalar);
+    return out;
+  }();
+  return levels;
+}
+
+IsaLevel DetectedIsa() { return SupportedIsaLevels().front(); }
+
+IsaLevel ActiveIsa() {
+  return static_cast<IsaLevel>(State().level.load(std::memory_order_acquire));
+}
+
+IsaLevel ForceIsa(IsaLevel level) {
+  const KernelTable* table = RunnableTable(level);
+  if (table != nullptr) {
+    Dispatch& state = State();
+    state.table.store(table, std::memory_order_release);
+    state.level.store(static_cast<int>(level), std::memory_order_release);
+  }
+  return ActiveIsa();
+}
+
+const KernelTable& ActiveKernels() {
+  return *State().table.load(std::memory_order_acquire);
+}
+
+const KernelTable* KernelsFor(IsaLevel level) { return RunnableTable(level); }
+
+}  // namespace hsgf::simd

@@ -1,0 +1,45 @@
+#ifndef HSGF_SIMD_DISPATCH_H_
+#define HSGF_SIMD_DISPATCH_H_
+
+#include <vector>
+
+namespace hsgf::simd {
+
+// Instruction-set levels the kernel layer can dispatch to. The numeric order
+// is meaningful only within one architecture family (kSse2 < kAvx2); kNeon
+// is the aarch64 family's single vector level. kScalar is always available
+// and is the reference implementation every other level must match
+// bit-for-bit (simd_test enforces this on whatever hardware runs it).
+enum class IsaLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* IsaName(IsaLevel level);
+
+// Levels this binary can actually run on this CPU, best first, kScalar last.
+// Combines compile-time availability (which kernel TUs were built — an
+// HSGF_SIMD=OFF build supports only kScalar) with runtime CPU detection
+// (AVX2 via cpuid; SSE2 is part of the x86-64 baseline; NEON is part of the
+// aarch64 baseline).
+const std::vector<IsaLevel>& SupportedIsaLevels();
+
+// The best supported level — what ActiveIsa() is until someone forces it.
+IsaLevel DetectedIsa();
+
+// The level the convenience kernel wrappers currently dispatch to.
+IsaLevel ActiveIsa();
+
+// Pins dispatch to `level` for this process; returns the level actually in
+// effect (the request is ignored if this binary/CPU cannot run it). Intended
+// for tests and benchmarks ("force the scalar path"); the store is atomic
+// but callers should not flip it while kernels run on other threads. The
+// HSGF_SIMD environment variable ("scalar", "sse2", "avx2", "neon") applies
+// the same override at first use, before any kernel dispatches.
+IsaLevel ForceIsa(IsaLevel level);
+
+}  // namespace hsgf::simd
+
+#endif  // HSGF_SIMD_DISPATCH_H_

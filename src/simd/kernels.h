@@ -1,0 +1,104 @@
+#ifndef HSGF_SIMD_KERNELS_H_
+#define HSGF_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.h"
+
+namespace hsgf::simd {
+
+// The vectorized primitives the census hot loops are written against. Every
+// entry has one canonical scalar definition (kernels_scalar.cc) and optional
+// per-ISA variants selected at runtime; all variants are bit-identical by
+// contract — same results, same wraparound arithmetic, no reordering that a
+// caller could observe (u64 sums are mod-2^64 commutative, so vector
+// accumulation trees are fine; comparisons return positions, not masks).
+struct KernelTable {
+  // Length of the leading label run: the number of consecutive entries at
+  // the front of (to[i], label[i]), i < n, with label[i] == run_label and
+  // to[i] not equal to any of members[0..num_members). This is the census
+  // grouping scan — `members` is the current subgraph's node list (at most
+  // emax + 1 entries), so candidates already inside the subgraph break the
+  // run exactly like a label mismatch does.
+  size_t (*label_run_length)(const int32_t* to, const uint8_t* label,
+                             size_t n, uint8_t run_label,
+                             const int32_t* members, size_t num_members);
+
+  // memcmp semantics on byte strings of equal length n: <0, 0, >0 as a
+  // compares lexicographically below, equal to, or above b. Used for the
+  // canonical descending encoding-block sort (an explicit kernel because
+  // GCC's -O3 bound analysis misfires on inlined std::lexicographical
+  // compares over vector<uint8_t>; see encoding.cc).
+  int (*compare_bytes)(const uint8_t* a, const uint8_t* b, size_t n);
+
+  // SplitMix64 finalization of two independent lanes (the census Mix step
+  // for the two endpoint contributions an edge changes): *a = Mix(*a),
+  // *b = Mix(*b).
+  void (*mix_pair)(uint64_t* a, uint64_t* b);
+
+  // out[i] = Mix(in[i]) for i < n. `in` and `out` may alias exactly.
+  void (*mix_batch)(const uint64_t* in, uint64_t* out, size_t n);
+
+  // Σ_i counts[i] * weights[i] mod 2^64 — the rolling-hash Eq. 5 dot
+  // product of a signature's neighbour counts against a label's power row.
+  uint64_t (*dot_u8_u64)(const uint8_t* counts, const uint64_t* weights,
+                         size_t n);
+};
+
+// Table for the currently active ISA level (see dispatch.h). The pointer
+// identity changes only through ForceIsa.
+const KernelTable& ActiveKernels();
+
+// Table for a specific level, or nullptr if this binary/CPU cannot run it.
+// Lets tests pin both sides of a scalar-vs-vector comparison without
+// touching the process-global active level.
+const KernelTable* KernelsFor(IsaLevel level);
+
+// Convenience wrappers over ActiveKernels(); call sites that dispatch many
+// times per microsecond should hoist `const KernelTable& k = ActiveKernels()`
+// instead.
+inline size_t LabelRunLength(const int32_t* to, const uint8_t* label,
+                             size_t n, uint8_t run_label,
+                             const int32_t* members, size_t num_members) {
+  return ActiveKernels().label_run_length(to, label, n, run_label, members,
+                                          num_members);
+}
+inline int CompareBytes(const uint8_t* a, const uint8_t* b, size_t n) {
+  return ActiveKernels().compare_bytes(a, b, n);
+}
+inline void MixPair(uint64_t* a, uint64_t* b) {
+  ActiveKernels().mix_pair(a, b);
+}
+inline void MixBatch(const uint64_t* in, uint64_t* out, size_t n) {
+  ActiveKernels().mix_batch(in, out, n);
+}
+inline uint64_t DotU8U64(const uint8_t* counts, const uint64_t* weights,
+                         size_t n) {
+  return ActiveKernels().dot_u8_u64(counts, weights, n);
+}
+
+namespace internal {
+
+// Scalar reference implementations, exposed so per-ISA tables can borrow
+// entries they have no profitable vector form for, and so tests can call
+// the reference directly.
+size_t LabelRunLengthScalar(const int32_t* to, const uint8_t* label, size_t n,
+                            uint8_t run_label, const int32_t* members,
+                            size_t num_members);
+int CompareBytesScalar(const uint8_t* a, const uint8_t* b, size_t n);
+void MixPairScalar(uint64_t* a, uint64_t* b);
+void MixBatchScalar(const uint64_t* in, uint64_t* out, size_t n);
+uint64_t DotU8U64Scalar(const uint8_t* counts, const uint64_t* weights,
+                        size_t n);
+
+const KernelTable* ScalarKernels();  // always available
+const KernelTable* Sse2Kernels();  // nullptr unless compiled for x86-64
+const KernelTable* Avx2Kernels();  // nullptr unless built with AVX2 support
+const KernelTable* NeonKernels();  // nullptr unless compiled for aarch64
+
+}  // namespace internal
+
+}  // namespace hsgf::simd
+
+#endif  // HSGF_SIMD_KERNELS_H_

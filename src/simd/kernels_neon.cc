@@ -1,0 +1,29 @@
+// NEON kernel table (aarch64 baseline). NEON has no 64-bit vector multiply,
+// so the SplitMix64-based entries borrow the scalar reference — aarch64
+// scalar MUL pipelines the two independent mix chains well anyway.
+#include "simd/kernels.h"
+#include "simd/simd.h"
+
+#if defined(HSGF_SIMD_NEON) && !defined(HSGF_SIMD_DISABLED)
+
+#include "simd/kernels128-inl.h"
+
+namespace hsgf::simd::internal {
+
+const KernelTable* NeonKernels() {
+  static const KernelTable table = {
+      &LabelRunLength128, &CompareBytes128, &MixPairScalar,
+      &MixBatchScalar,    &DotU8U64Scalar,
+  };
+  return &table;
+}
+
+}  // namespace hsgf::simd::internal
+
+#else
+
+namespace hsgf::simd::internal {
+const KernelTable* NeonKernels() { return nullptr; }
+}  // namespace hsgf::simd::internal
+
+#endif

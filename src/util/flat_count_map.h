@@ -10,14 +10,16 @@ namespace hsgf::util {
 // Open-addressing hash map from uint64 keys to int64 counts, specialized for
 // the census inner loop (increment-or-insert). Linear probing over a
 // power-of-two table; no tombstones (no erase). Key 0 is handled through a
-// dedicated slot so the table can use 0 as the empty sentinel.
+// dedicated slot so the table can use 0 as the empty sentinel. Keys and
+// counts are stored interleaved so the common hit touches one cache line,
+// and Prefetch(key) lets callers overlap that line's load with other work
+// (the census issues it before the label-grouping scan).
 class FlatCountMap {
  public:
   explicit FlatCountMap(size_t initial_capacity = 64) {
     size_t capacity = 16;
     while (capacity < initial_capacity) capacity *= 2;
-    keys_.assign(capacity, 0);
-    values_.assign(capacity, 0);
+    slots_.assign(capacity, Slot{0, 0});
     mask_ = capacity - 1;
   }
 
@@ -31,34 +33,42 @@ class FlatCountMap {
       zero_count_ += delta;
       return;
     }
-    size_t slot = Probe(key);
-    if (keys_[slot] == 0) {
-      keys_[slot] = key;
-      values_[slot] = delta;
-      if (++size_ * 10 >= keys_.size() * 7) Grow();
+    Slot& slot = slots_[Probe(key)];
+    if (slot.key == 0) {
+      slot.key = key;
+      slot.value = delta;
+      if (++size_ * 10 >= slots_.size() * 7) Grow();
     } else {
-      values_[slot] += delta;
+      slot.value += delta;
     }
+  }
+
+  // Starts pulling key's home slot into cache; a hint only, no effect on
+  // contents. Callers that know the key ahead of the Add use this to hide
+  // the table's (usually cache-missing) load under unrelated work.
+  void Prefetch(uint64_t key) const {
+    const size_t home = static_cast<size_t>(Scramble(key) >> 32) & mask_;
+    __builtin_prefetch(&slots_[home]);
   }
 
   // Returns the count for key, or 0 if absent.
   int64_t Get(uint64_t key) const {
     if (key == 0) return has_zero_ ? zero_count_ : 0;
-    size_t slot = Probe(key);
-    return keys_[slot] == key ? values_[slot] : 0;
+    const Slot& slot = slots_[Probe(key)];
+    return slot.key == key ? slot.value : 0;
   }
 
   bool Contains(uint64_t key) const {
     if (key == 0) return has_zero_;
-    return keys_[Probe(key)] == key;
+    return slots_[Probe(key)].key == key;
   }
 
   // Invokes fn(key, count) for every entry, in unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (has_zero_) fn(uint64_t{0}, zero_count_);
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != 0) fn(keys_[i], values_[i]);
+    for (const Slot& slot : slots_) {
+      if (slot.key != 0) fn(slot.key, slot.value);
     }
   }
 
@@ -76,13 +86,18 @@ class FlatCountMap {
   }
 
   void Clear() {
-    std::fill(keys_.begin(), keys_.end(), 0);
+    std::fill(slots_.begin(), slots_.end(), Slot{0, 0});
     size_ = 0;
     has_zero_ = false;
     zero_count_ = 0;
   }
 
  private:
+  struct Slot {
+    uint64_t key;
+    int64_t value;
+  };
+
   static uint64_t Scramble(uint64_t key) {
     // Fibonacci multiplicative scrambling; keys are already well mixed but
     // this guards against adversarial low-bit structure.
@@ -91,26 +106,23 @@ class FlatCountMap {
 
   size_t Probe(uint64_t key) const {
     size_t slot = static_cast<size_t>(Scramble(key) >> 32) & mask_;
-    while (keys_[slot] != 0 && keys_[slot] != key) slot = (slot + 1) & mask_;
+    while (slots_[slot].key != 0 && slots_[slot].key != key) {
+      slot = (slot + 1) & mask_;
+    }
     return slot;
   }
 
   void Grow() {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<int64_t> old_values = std::move(values_);
-    keys_.assign(old_keys.size() * 2, 0);
-    values_.assign(old_values.size() * 2, 0);
-    mask_ = keys_.size() - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == 0) continue;
-      size_t slot = Probe(old_keys[i]);
-      keys_[slot] = old_keys[i];
-      values_[slot] = old_values[i];
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{0, 0});
+    mask_ = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == 0) continue;
+      slots_[Probe(slot.key)] = slot;
     }
   }
 
-  std::vector<uint64_t> keys_;
-  std::vector<int64_t> values_;
+  std::vector<Slot> slots_;
   size_t size_ = 0;
   size_t mask_ = 0;
   bool has_zero_ = false;

@@ -28,6 +28,7 @@
 #include "graph/het_graph.h"
 #include "gstore/cgraph_writer.h"
 #include "gstore/compressed_graph.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace hsgf::core {
@@ -760,6 +761,196 @@ TEST(CensusDifferentialTest, CompressedDirectedGraphMatchesCsrAcrossModes) {
                 "cgraph-directed " + Describe(start, truncated_config));
           }
         }
+      }
+    }
+  }
+}
+
+// --- Forced-ISA differential ------------------------------------------------
+//
+// The SIMD kernel layer (src/simd) claims bit-identity between its scalar
+// reference and every vector level. simd_test pins the kernels in isolation;
+// these tests pin the composition: a census run entirely on the scalar
+// kernels must equal a census run on the detected (best vector) kernels —
+// same counts, same enumeration order (budget-probed), same encodings — for
+// undirected and directed workers, over CSR and paged cgraph storage. On a
+// machine (or HSGF_SIMD=OFF build) where only kScalar exists, both sides pin
+// to scalar and the comparison degenerates to a self-check, which is fine.
+
+// Restores the process-global dispatch level on scope exit so an ASSERT
+// bailing out of a test cannot leave later tests pinned to scalar.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::IsaLevel level) : previous_(simd::ActiveIsa()) {
+    simd::ForceIsa(level);
+  }
+  ~ScopedIsa() { simd::ForceIsa(previous_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  simd::IsaLevel previous_;
+};
+
+TEST(CensusDifferentialTest, ForcedScalarMatchesForcedVectorUndirected) {
+  util::Rng rng(40620262);
+  const std::string path = ::testing::TempDir() + "census_diff_isa.hscg";
+  const simd::IsaLevel vector_level = simd::DetectedIsa();
+  for (int trial = 0; trial < 3; ++trial) {
+    const NodeId num_nodes = 14 + 3 * trial;
+    const int num_labels = 3;
+    std::vector<Label> labels(num_nodes);
+    for (auto& l : labels) l = static_cast<Label>(rng.UniformInt(num_labels));
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const double density = 3.0 / num_nodes;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = u + 1; v < num_nodes; ++v) {
+        if (rng.Bernoulli(density)) edges.emplace_back(u, v);
+      }
+    }
+    if (edges.empty()) continue;
+    HetGraph graph = MakeGraph({"a", "b", "c"}, labels, edges);
+
+    gstore::CGraphWriterOptions woptions;
+    woptions.block_target_entries = 4;
+    gstore::CGraphError error;
+    ASSERT_TRUE(gstore::WriteCompressedGraph(path, graph, &error, woptions))
+        << error.ToString();
+    gstore::CGraphOptions roptions;
+    roptions.cache_bytes = 1;
+    auto compressed = gstore::CompressedGraph::Open(path, roptions, &error);
+    ASSERT_NE(compressed, nullptr) << error.ToString();
+    gstore::GraphView view = compressed->MakeView();
+
+    for (bool mask : {false, true}) {
+      for (bool group : {true, false}) {
+        CensusConfig config;
+        config.max_edges = 4;
+        config.mask_start_label = mask;
+        config.group_by_label = group;
+        config.mix_contributions = true;
+        config.keep_encodings = true;
+        // These graphs are far too small to reach the production threshold,
+        // so force every grouping run through the kernels — that is the
+        // path under test (under the scalar pin it is the scalar reference
+        // kernel, under the vector pin the widest vector one).
+        config.vector_scan_min = 1;
+
+        for (NodeId start :
+             PickStarts(num_nodes, [&](NodeId v) { return graph.degree(v); },
+                        3)) {
+          CensusResult scalar_csr, vector_csr, scalar_cg, vector_cg;
+          {
+            ScopedIsa pin(simd::IsaLevel::kScalar);
+            CensusWorker worker(graph, config);
+            worker.Run(start, scalar_csr);
+            BasicCensusWorker<gstore::GraphView> cg_worker(view, config);
+            cg_worker.Run(start, scalar_cg);
+          }
+          {
+            ScopedIsa pin(vector_level);
+            CensusWorker worker(graph, config);
+            worker.Run(start, vector_csr);
+            BasicCensusWorker<gstore::GraphView> cg_worker(view, config);
+            cg_worker.Run(start, vector_cg);
+          }
+          const std::string context = std::string("isa csr ") +
+                                      simd::IsaName(vector_level) + " " +
+                                      Describe(start, config);
+          ExpectIdenticalResults(scalar_csr, vector_csr, context);
+          ExpectIdenticalResults(scalar_csr, scalar_cg, "isa cgraph scalar");
+          ExpectIdenticalResults(scalar_csr, vector_cg, "isa cgraph vector");
+
+          // Budget truncation probes enumeration order across ISA levels:
+          // the vectorized run scan must not reorder candidates.
+          if (scalar_csr.total_subgraphs < 2) continue;
+          CensusConfig truncated_config = config;
+          truncated_config.max_subgraphs = scalar_csr.total_subgraphs / 2 + 1;
+          CensusResult scalar_t, vector_t;
+          {
+            ScopedIsa pin(simd::IsaLevel::kScalar);
+            CensusWorker worker(graph, truncated_config);
+            worker.Run(start, scalar_t);
+          }
+          {
+            ScopedIsa pin(vector_level);
+            CensusWorker worker(graph, truncated_config);
+            worker.Run(start, vector_t);
+          }
+          ExpectIdenticalResults(scalar_t, vector_t,
+                                 "isa truncated " +
+                                     Describe(start, truncated_config));
+        }
+      }
+    }
+  }
+}
+
+TEST(CensusDifferentialTest, ForcedScalarMatchesForcedVectorDirected) {
+  util::Rng rng(26260804);
+  const simd::IsaLevel vector_level = simd::DetectedIsa();
+  for (int trial = 0; trial < 3; ++trial) {
+    const NodeId num_nodes = 12 + 2 * trial;
+    const int num_labels = 3;
+    graph::DiGraphBuilder builder({"a", "b", "c"});
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      builder.AddNode(static_cast<Label>(rng.UniformInt(num_labels)));
+    }
+    const double density = 2.2 / num_nodes;
+    int arcs = 0;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (u != v && rng.Bernoulli(density)) {
+          builder.AddArc(u, v);
+          ++arcs;
+        }
+      }
+    }
+    if (arcs == 0) continue;
+    DirectedHetGraph graph = std::move(builder).Build();
+
+    for (bool mask : {false, true}) {
+      CensusConfig config;
+      config.max_edges = 4;
+      config.mask_start_label = mask;
+      config.mix_contributions = true;
+      config.keep_encodings = true;
+
+      for (NodeId start : PickStarts(
+               num_nodes, [&](NodeId v) { return graph.total_degree(v); },
+               3)) {
+        CensusResult scalar_result, vector_result;
+        {
+          ScopedIsa pin(simd::IsaLevel::kScalar);
+          DirectedCensusWorker worker(graph, config);
+          worker.Run(start, scalar_result);
+        }
+        {
+          ScopedIsa pin(vector_level);
+          DirectedCensusWorker worker(graph, config);
+          worker.Run(start, vector_result);
+        }
+        ExpectIdenticalResults(scalar_result, vector_result,
+                               "isa directed " + Describe(start, config));
+
+        if (scalar_result.total_subgraphs < 2) continue;
+        CensusConfig truncated_config = config;
+        truncated_config.max_subgraphs =
+            scalar_result.total_subgraphs / 2 + 1;
+        CensusResult scalar_t, vector_t;
+        {
+          ScopedIsa pin(simd::IsaLevel::kScalar);
+          DirectedCensusWorker worker(graph, truncated_config);
+          worker.Run(start, scalar_t);
+        }
+        {
+          ScopedIsa pin(vector_level);
+          DirectedCensusWorker worker(graph, truncated_config);
+          worker.Run(start, vector_t);
+        }
+        ExpectIdenticalResults(
+            scalar_t, vector_t,
+            "isa directed truncated " + Describe(start, truncated_config));
       }
     }
   }

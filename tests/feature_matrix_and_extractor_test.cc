@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "core/feature_matrix.h"
 #include "data/generator.h"
@@ -111,6 +113,83 @@ TEST(ExtractorTest, ParallelMatchesSerial) {
   EXPECT_EQ(a.total_subgraphs, b.total_subgraphs);
   ASSERT_EQ(a.features.feature_hashes, b.features.feature_hashes);
   EXPECT_EQ(a.features.matrix.data(), b.features.matrix.data());
+}
+
+// Hub-and-spoke network on which multi-root batching actually fires: every
+// leaf's highest-degree neighbour is its hub (degree >= the extractor's
+// kBatchHubMinDegree), so leaves of one hub share a batch; hubs themselves
+// have only low-degree neighbours and run solo. Cross-edges between
+// consecutive leaves keep the censuses non-trivial.
+HetGraph HubNetwork(int num_hubs, int leaves_per_hub) {
+  const NodeId num_nodes = num_hubs * (1 + leaves_per_hub);
+  std::vector<graph::Label> labels(num_nodes);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int h = 0; h < num_hubs; ++h) {
+    const NodeId hub = h * (1 + leaves_per_hub);
+    labels[hub] = 0;
+    for (int l = 0; l < leaves_per_hub; ++l) {
+      const NodeId leaf = hub + 1 + l;
+      labels[leaf] = static_cast<graph::Label>(1 + (l % 2));
+      edges.emplace_back(hub, leaf);
+      if (l > 0) edges.emplace_back(leaf - 1, leaf);
+    }
+  }
+  return graph::MakeGraph({"hub", "odd", "even"}, labels, edges);
+}
+
+TEST(ExtractorTest, BatchedMatchesPerRootAcrossThreadsAndTemplates) {
+  // Leaves-per-hub above kBatchCap (16) so the plan also splits batches.
+  HetGraph graph = HubNetwork(/*num_hubs=*/3, /*leaves_per_hub=*/20);
+  ASSERT_GE(graph.degree(0), Extractor::kBatchHubMinDegree);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nodes.push_back(v);
+
+  ExtractorConfig baseline;
+  baseline.census.max_edges = 3;
+  baseline.census.keep_encodings = true;
+  baseline.num_threads = 1;
+  baseline.batch_roots = false;
+  const ExtractionResult expected = ExtractFeatures(graph, nodes, baseline);
+
+  // Batching is pure scheduling: the feature matrix must be bit-identical
+  // across batching on/off x thread counts x frontier-template reuse.
+  for (bool batch : {true, false}) {
+    for (unsigned threads : {1u, 4u}) {
+      for (bool templates : {false, true}) {
+        ExtractorConfig config = baseline;
+        config.batch_roots = batch;
+        config.num_threads = threads;
+        config.census.frontier_templates = templates;
+        const ExtractionResult actual = ExtractFeatures(graph, nodes, config);
+        const std::string context =
+            "batch=" + std::to_string(batch) +
+            " threads=" + std::to_string(threads) +
+            " templates=" + std::to_string(templates);
+        EXPECT_EQ(expected.total_subgraphs, actual.total_subgraphs) << context;
+        EXPECT_EQ(expected.truncated_nodes, actual.truncated_nodes) << context;
+        ASSERT_EQ(expected.features.feature_hashes,
+                  actual.features.feature_hashes)
+            << context;
+        EXPECT_EQ(expected.features.matrix.data(), actual.features.matrix.data())
+            << context;
+        EXPECT_EQ(expected.features.encodings, actual.features.encodings)
+            << context;
+
+        // The schedule itself differs: batching groups each hub's leaves
+        // (split at kBatchCap), so there are strictly fewer batches than
+        // roots; without it every root is its own batch.
+        const double batches = actual.metrics.Gauge("extract.root_batches");
+        if (batch) {
+          EXPECT_LT(batches, static_cast<double>(nodes.size())) << context;
+          EXPECT_GE(batches, static_cast<double>(nodes.size()) /
+                                 static_cast<double>(Extractor::kBatchCap))
+              << context;
+        } else {
+          EXPECT_EQ(batches, static_cast<double>(nodes.size())) << context;
+        }
+      }
+    }
+  }
 }
 
 TEST(ExtractorTest, DmaxPercentileResolvesToDegree) {

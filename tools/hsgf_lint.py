@@ -16,6 +16,11 @@ and rationale in DESIGN.md §9):
   naked-mmap       no raw mmap/munmap/madvise calls outside src/io and
                    src/gstore — the two subsystems whose RAII Mapping
                    types own every mapping's lifetime.
+  raw-intrinsics   no vendor SIMD intrinsics (`_mm*_*`, NEON `vld1q_*`
+                   family) or intrinsic headers (immintrin.h, arm_neon.h,
+                   ...) outside src/simd — hot loops must go through the
+                   simd::KernelTable so every vector path keeps a
+                   bit-identical scalar twin and runtime dispatch.
   mutex-guard      no raw std:: synchronization primitives outside
                    src/util/mutex.h, and every util::Mutex/SharedMutex
                    member has at least one HSGF_* capability annotation
@@ -344,6 +349,45 @@ def rule_naked_mmap(files):
     return violations
 
 
+INTRINSIC_HEADER_RE = re.compile(
+    r'#\s*include\s*[<"](immintrin|emmintrin|xmmintrin|pmmintrin|'
+    r'tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|x86intrin|'
+    r'x86gprintrin|avx\w*intrin|arm_neon|arm_sve)\.h[>"]')
+# x86: every vector intrinsic is `_mm_*` / `_mm256_*` / `_mm512_*`. NEON has
+# no single prefix; match the load/store/dup/reinterpret families — no
+# kernel can exist without touching memory or materializing a register, so
+# any NEON code outside src/simd trips at least one of these.
+INTRINSIC_CALL_RE = re.compile(
+    r"\b(_mm\d*_\w+|v(?:ld|st)\d+q?_\w+|vdupq?_n_\w+|vreinterpretq?_\w+)"
+    r"\s*\(")
+
+
+def rule_raw_intrinsics(files):
+    violations = []
+    simd_prefix = str(REPO_ROOT / "src/simd")
+    for path, text in files.items():
+        spath = str(path)
+        if not spath.startswith(tuple(str(REPO_ROOT / s)
+                                      for s in CODE_SCOPES)):
+            continue
+        if spath.startswith(simd_prefix):
+            continue
+        code, suppressions = strip_code(text)
+        for pattern, label in ((INTRINSIC_HEADER_RE, "intrinsic header"),
+                               (INTRINSIC_CALL_RE, "vendor intrinsic")):
+            for match in pattern.finditer(code):
+                line = line_of(code, match.start())
+                if suppressed(suppressions, line, "raw-intrinsics"):
+                    continue
+                violations.append(Violation(
+                    "raw-intrinsics", path, line,
+                    f"{label} `{match.group(1)}` outside src/simd — add a "
+                    "simd::KernelTable entry (with its scalar reference) "
+                    "instead, so the vector path keeps a bit-identical "
+                    "scalar twin and runtime dispatch"))
+    return violations
+
+
 MUTEX_MEMBER_RE = re.compile(
     r"\b(?:util::)?(Mutex|SharedMutex)\s+(\w+)\s*(?:;|HSGF_)")
 RAW_SYNC_RE = re.compile(
@@ -429,6 +473,7 @@ RULES = [
     rule_metric_names,
     rule_naked_new,
     rule_naked_mmap,
+    rule_raw_intrinsics,
     rule_mutex_guard,
     rule_magic_once,
 ]
@@ -572,6 +617,35 @@ def self_test():
         REPO_ROOT / "src/serve/a.cc": (
             "munmap(p, n);"
             "  // hsgf-lint: allow(naked-mmap) fixture with a reason\n"),
+    })
+
+    clean(rule_raw_intrinsics, {
+        REPO_ROOT / "src/simd/kernels_avx2.cc": (
+            "#include <immintrin.h>\n"
+            "__m256i v = _mm256_loadu_si256(p);\n"),
+        REPO_ROOT / "src/simd/kernels_neon.cc": (
+            "#include <arm_neon.h>\n"
+            "uint8x16_t v = vld1q_u8(p);\n"),
+        REPO_ROOT / "src/core/a.cc": (
+            "// _mm256_cmpeq_epi8 is only mentioned in a comment\n"
+            "k.label_run_length(to, label, n, run_label, m, nm);\n"),
+    })
+    failing(rule_raw_intrinsics, {
+        REPO_ROOT / "src/core/a.cc": "#include <immintrin.h>\n",
+    }, "raw-intrinsics")
+    failing(rule_raw_intrinsics, {
+        REPO_ROOT / "src/core/a.cc": "__m128i v = _mm_loadu_si128(p);\n",
+    }, "raw-intrinsics")
+    failing(rule_raw_intrinsics, {
+        REPO_ROOT / "tools/t.cc": "uint8x16_t v = vld1q_u8(p);\n",
+    }, "raw-intrinsics")
+    failing(rule_raw_intrinsics, {
+        REPO_ROOT / "bench/b.cc": "#include <arm_neon.h>\n",
+    }, "raw-intrinsics")
+    clean(rule_raw_intrinsics, {
+        REPO_ROOT / "src/core/a.cc": (
+            "__m128i v = _mm_setzero_si128();"
+            "  // hsgf-lint: allow(raw-intrinsics) fixture with a reason\n"),
     })
 
     clean(rule_mutex_guard, {

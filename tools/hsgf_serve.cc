@@ -10,10 +10,19 @@
 //
 // Usage:
 //   hsgf_serve --snapshot s.hsnap (--unix-socket PATH | --tcp-port N)
-//              [--graph g.hsgf] [--delta-log FILE] [--cache-capacity N]
+//              [--graph g.hsgf | --load-cgraph g.cgraph]
+//              [--cgraph-cache-mb N] [--delta-log FILE] [--cache-capacity N]
 //              [--deadline-s S] [--max-requests N] [--metrics-json FILE]
 //              [--census-workers N] [--cold-queue-limit N] [--poll]
 //              [--shard-map FILE]
+//
+// --load-cgraph serves cold misses straight from an out-of-core compressed
+// graph container (written by hsgf_cgraph): the adjacency stays mmap'd and
+// demand-paged behind a --cgraph-cache-mb decoded-block cache instead of
+// being materialized as an in-RAM CSR — the daemon's footprint stays at the
+// snapshot plus the block cache no matter how large the graph is. Mutually
+// exclusive with --graph; live updates (--delta-log) require the in-RAM
+// --graph.
 //
 // In a sharded deployment (hsgf_router / hsgf_shard), --shard-map makes the
 // backend answer kGetShardMap with the deployment's shard map, so a smart
@@ -44,6 +53,7 @@
 #include <string>
 
 #include "graph/io.h"
+#include "gstore/compressed_graph.h"
 #include "io/snapshot.h"
 #include "router/shard_map.h"
 #include "serve/feature_service.h"
@@ -65,7 +75,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hsgf_serve --snapshot FILE "
                "(--unix-socket PATH | --tcp-port N)\n"
-               "                  [--graph FILE] [--delta-log FILE] "
+               "                  [--graph FILE | --load-cgraph FILE] "
+               "[--cgraph-cache-mb N]\n"
+               "                  [--delta-log FILE] "
                "[--cache-capacity N]\n"
                "                  [--deadline-s S] [--max-requests N] "
                "[--metrics-json FILE]\n"
@@ -78,6 +90,8 @@ int Usage() {
 struct Options {
   const char* snapshot_path = nullptr;
   const char* graph_path = nullptr;
+  const char* cgraph_path = nullptr;
+  long cgraph_cache_mb = 64;
   const char* delta_log_path = nullptr;
   const char* unix_socket = nullptr;
   const char* metrics_json = nullptr;
@@ -95,6 +109,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   hsgf::util::FlagParser parser;
   parser.AddString("--snapshot", &options->snapshot_path);
   parser.AddString("--graph", &options->graph_path);
+  parser.AddString("--load-cgraph", &options->cgraph_path);
+  parser.AddLong("--cgraph-cache-mb", &options->cgraph_cache_mb, 1, 1 << 20);
   parser.AddString("--delta-log", &options->delta_log_path);
   parser.AddString("--unix-socket", &options->unix_socket);
   parser.AddString("--metrics-json", &options->metrics_json);
@@ -142,6 +158,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --delta-log requires --graph\n");
     return Usage();
   }
+  if (options.graph_path != nullptr && options.cgraph_path != nullptr) {
+    std::fprintf(stderr,
+                 "error: --graph and --load-cgraph are mutually exclusive\n");
+    return Usage();
+  }
 
   std::optional<graph::HetGraph> graph;
   if (options.graph_path != nullptr) {
@@ -149,6 +170,35 @@ int main(int argc, char** argv) {
     graph = graph::ReadGraphFromFile(options.graph_path, &error);
     if (!graph.has_value()) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  // Out-of-core cold path: the container stays mmap'd (owned here, it must
+  // outlive the service); each cold census pages adjacency blocks through
+  // the shared decoded-block cache. gstore.* metrics land next to serve.*.
+  std::unique_ptr<gstore::CompressedGraph> cgraph;
+  if (options.cgraph_path != nullptr) {
+    gstore::CGraphOptions cgraph_options;
+    cgraph_options.cache_bytes =
+        static_cast<size_t>(options.cgraph_cache_mb) << 20;
+    gstore::CGraphError cgraph_error;
+    cgraph = gstore::CompressedGraph::Open(options.cgraph_path, cgraph_options,
+                                           &cgraph_error);
+    if (cgraph == nullptr) {
+      std::fprintf(stderr, "error: cannot open cgraph: %s\n",
+                   cgraph_error.ToString().c_str());
+      return 1;
+    }
+    if (cgraph->directed()) {
+      std::fprintf(stderr,
+                   "error: --load-cgraph requires an undirected container\n");
+      return 1;
+    }
+    cgraph->AttachMetrics(&metrics);
+    std::string attach_error;
+    if (!service.AttachGraphStorage(*cgraph, &attach_error)) {
+      std::fprintf(stderr, "error: %s\n", attach_error.c_str());
       return 1;
     }
   }
@@ -264,6 +314,13 @@ int main(int argc, char** argv) {
                stats.graph_attached || stats.stream_attached
                    ? "enabled"
                    : "disabled (no --graph)");
+  if (cgraph != nullptr) {
+    std::fprintf(stderr,
+                 "[hsgf_serve] out-of-core graph: %lld nodes, %u blocks, "
+                 "%ld MB block cache\n",
+                 static_cast<long long>(cgraph->num_nodes()),
+                 cgraph->num_blocks(), options.cgraph_cache_mb);
+  }
   if (stats.stream_attached) {
     std::fprintf(stderr,
                  "[hsgf_serve] live updates enabled (delta log %s, epoch "
